@@ -1,0 +1,54 @@
+"""E-16 — Proposition 16 at scale: computing C and K stays cheap even for
+transducers with thousands of rules (the analysis is a graph problem)."""
+
+import pytest
+
+from repro.transducers import TreeTransducer, analyze
+from repro.transducers.analysis import deletion_path_width
+
+
+def _layered_transducer(layers: int, width: int) -> TreeTransducer:
+    """A deletion DAG of `layers` × `width` states (bounded K by design)."""
+    states = {f"q_{i}_{j}" for i in range(layers) for j in range(width)} | {"q0"}
+    alphabet = {"a"}
+    rules = {("q0", "a"): "a(q_0_0)"}
+    for i in range(layers - 1):
+        for j in range(width):
+            target = f"q_{i + 1}_{(j + 1) % width}"
+            rules[(f"q_{i}_{j}", "a")] = f"{target} a"
+    for j in range(width):
+        rules[(f"q_{layers - 1}_{j}", "a")] = "a"
+    return TreeTransducer(states, alphabet, "q0", rules)
+
+
+@pytest.mark.parametrize("layers,width", [(8, 4), (16, 8), (32, 16)])
+def test_prop16_layered(benchmark, layers, width):
+    transducer = _layered_transducer(layers, width)
+    analysis = benchmark(analyze, transducer)
+    assert analysis.deletion_path_width == 1  # all deletion widths are 1
+
+
+def _copying_chain(n: int) -> TreeTransducer:
+    """K = 2^{n-1}: each level doubles (no cycles, so K is finite)."""
+    states = {f"q{i}" for i in range(n)} | {"q0r"}
+    rules = {("q0r", "a"): "a(q0)"}
+    for i in range(n - 1):
+        rules[(f"q{i}", "a")] = f"q{i + 1} q{i + 1}"
+    rules[(f"q{n - 1}", "a")] = "a"
+    return TreeTransducer(states, {"a"}, "q0r", rules)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_prop16_doubling_chain(benchmark, n):
+    transducer = _copying_chain(n)
+    width = benchmark(deletion_path_width, transducer)
+    assert width == 2 ** (n - 1)
+
+
+def test_prop16_unbounded_detection(benchmark):
+    base = _copying_chain(4)
+    rules = dict(base.rules)
+    rules[("q3", "a")] = "q1 q1"  # close a copying cycle
+    transducer = TreeTransducer(base.states, {"a"}, "q0r", rules)
+    width = benchmark(deletion_path_width, transducer)
+    assert width is None

@@ -1,0 +1,43 @@
+"""E-FA1 — Fig. A.1 and Proposition 4: tree-automaton decision procedures."""
+
+import pytest
+
+from repro.schemas import DTD, dtd_to_nta
+from repro.tree_automata import (
+    is_empty,
+    is_finite,
+    reachable_states_fig_a1,
+    witness_dag,
+)
+
+
+def _chain_dtd(n: int) -> DTD:
+    rules = {f"s{i}": f"s{i + 1} s{i + 1}?" for i in range(n)}
+    return DTD(rules, start="s0", alphabet={f"s{n}"})
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_fig_a1_verbatim_emptiness(benchmark, n):
+    nta = dtd_to_nta(_chain_dtd(n))
+    reachable = benchmark(reachable_states_fig_a1, nta)
+    assert "s0" in reachable
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_worklist_emptiness(benchmark, n):
+    nta = dtd_to_nta(_chain_dtd(n))
+    assert not benchmark(is_empty, nta)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_prop4_witness_generation(benchmark, n):
+    # The witness is a DAG description: its unfolding has 2^n+ nodes.
+    nta = dtd_to_nta(_chain_dtd(n))
+    dag = benchmark(witness_dag, nta)
+    assert dag is not None and dag.label == "s0"
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_prop4_finiteness(benchmark, n):
+    nta = dtd_to_nta(_chain_dtd(n))
+    assert benchmark(is_finite, nta)  # the chain DTD is finite

@@ -1,0 +1,78 @@
+"""E-38 / E-39 — Corollaries 38 and 39: counterexample generation and
+almost-always typechecking."""
+
+import pytest
+
+from repro.core import (
+    counterexample_nta,
+    typecheck_forward,
+    typecheck_replus,
+    typechecks_almost_always,
+)
+from repro.schemas import DTD
+from repro.tree_automata import is_finite, witness_tree
+from repro.workloads.books import book_dtd, toc_transducer
+from repro.workloads.families import filtering_family, replus_family
+
+
+def _failing_books():
+    din = book_dtd()
+    dout = DTD(
+        {"book": "title (chapter title title?)*"},
+        start="book",
+        alphabet=din.alphabet,
+    )
+    return toc_transducer(), din, dout
+
+
+def test_cor38_counterexample_forward(benchmark):
+    transducer, din, dout = _failing_books()
+
+    def run():
+        return typecheck_forward(transducer, din, dout)
+
+    result = benchmark(run)
+    assert not result.typechecks
+    assert result.verify(transducer, din.accepts, dout.accepts)
+
+
+@pytest.mark.parametrize("n", [6, 12])
+def test_cor38_counterexample_replus(benchmark, n):
+    transducer, din, dout, _ = replus_family(n, typechecks=False)
+    result = benchmark(typecheck_replus, transducer, din, dout)
+    assert not result.typechecks
+    assert result.counterexample is not None
+
+
+def test_cor38_witness_from_cex_nta(benchmark):
+    transducer, din, dout = _failing_books()
+    nta = counterexample_nta(transducer, din, dout)
+    witness = benchmark(witness_tree, nta)
+    assert witness is not None
+    assert din.accepts(witness)
+    assert not dout.accepts(transducer.apply(witness))
+
+
+def test_cor39_almost_always_negative(benchmark):
+    transducer, din, dout = _failing_books()
+    answer = benchmark(typechecks_almost_always, transducer, din, dout)
+    assert answer is False  # section chains pump infinitely many violations
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_cor39_almost_always_positive(benchmark, n):
+    transducer, din, dout, _ = filtering_family(n)
+    answer = benchmark(typechecks_almost_always, transducer, din, dout)
+    assert answer is True  # it fully typechecks: zero counterexamples
+
+
+def test_cor39_finiteness_on_cex_nta(benchmark):
+    din = DTD({"r": "a*"}, start="r")
+    from repro.transducers import TreeTransducer
+
+    t = TreeTransducer(
+        {"q"}, {"r", "a"}, "q", {("q", "r"): "r(q)", ("q", "a"): "a"}
+    )
+    dout = DTD({"r": "a+"}, start="r")  # only r() fails: finite
+    nta = counterexample_nta(t, din, dout)
+    assert benchmark(is_finite, nta)

@@ -1,0 +1,85 @@
+"""E-F1..E-F4 — the paper's figures, regenerated.
+
+* Fig. 1: the XSLT program of the Example 6 transducer;
+* Fig. 2: the Example 7 translation;
+* Fig. 3: the book document and both Example 10 transformations;
+* Fig. 4 / Example 17: the deletion-path graph analysis (C = 3, K = 6).
+"""
+
+import pytest
+
+from repro.transducers import analyze, to_xslt
+from repro.transducers.analysis import deletion_path_graph, deletion_path_width
+from repro.workloads.books import (
+    book_dtd,
+    example11_output_dtd,
+    fig3_document,
+    toc_transducer,
+    toc_with_summary_transducer,
+)
+from repro.workloads.examples_paper import (
+    example6_transducer,
+    example7_expected_output,
+    example7_tree,
+    example12_transducer,
+)
+
+
+def test_fig1_xslt_export(benchmark):
+    transducer = example6_transducer()
+    xslt = benchmark(to_xslt, transducer)
+    assert xslt.count("<xsl:template") == 4
+    assert '<xsl:template match="b" mode="q">' in xslt
+
+
+def test_fig2_translation(benchmark):
+    transducer = example6_transducer()
+    tree = example7_tree()
+    output = benchmark(transducer.apply, tree)
+    assert output == example7_expected_output()
+
+
+def test_fig3_document_validation(benchmark):
+    dtd = book_dtd()
+    document = fig3_document()
+    assert benchmark(dtd.accepts, document)
+
+
+def test_fig3_toc_transformation(benchmark):
+    document = fig3_document()
+    toc = toc_transducer()
+    output = benchmark(toc.apply, document)
+    # Fig. 3's book: chapter 1 has 3 section titles, chapter 2 has 1.
+    labels = [child.label for child in output.children]
+    assert labels.count("chapter") == 2
+    assert labels.count("title") == 1 + 3 + 1 + 1 + 1  # book + per-chapter titles
+
+
+def test_fig3_summary_typechecks_example11(benchmark):
+    from repro.core import typecheck_forward
+
+    result = benchmark(
+        typecheck_forward,
+        toc_with_summary_transducer(),
+        book_dtd(),
+        example11_output_dtd(),
+    )
+    assert result.typechecks
+
+
+def test_fig4_deletion_path_graph(benchmark):
+    transducer = example12_transducer()
+    edges, cost = benchmark(deletion_path_graph, transducer)
+    assert cost[(("q1", "a"), ("q2", "a"))] == 2
+
+
+def test_fig4_deletion_path_width(benchmark):
+    transducer = example12_transducer()
+    width = benchmark(deletion_path_width, transducer)
+    assert width == 6  # Example 17
+
+
+def test_fig4_full_analysis(benchmark):
+    analysis = benchmark(analyze, example12_transducer())
+    assert analysis.copying_width == 3
+    assert analysis.deletion_path_width == 6

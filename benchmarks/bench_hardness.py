@@ -1,0 +1,99 @@
+"""E-18 / E-27 / E-28 — the hardness families, measured.
+
+These runs are intentionally super-polynomial: the point of Theorems 18/28
+and Lemma 27 is that no algorithm can stay polynomial on these families
+(unless PSPACE/NP collapse); the timings document the blow-up at small n.
+"""
+
+import pytest
+
+from conftest import assert_result
+from repro.core import typecheck_forward
+from repro.hardness import cnf_to_unary_dfas, random_cnf3
+from repro.hardness.dfa_intersection import theorem18_instance
+from repro.hardness.xpath_gadgets import theorem28_2_instance
+from repro.strings.unary import intersection_nonempty_word, mod_dfa
+
+_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19)
+
+
+def test_theorem18_family(benchmark):
+    """The minimal real instance (mod-2 and mod-3 DFAs): a complete run."""
+    dfas = [mod_dfa(2, {1}), mod_dfa(3, {1})]
+    transducer, din, dout = theorem18_instance(dfas)
+    result = benchmark.pedantic(
+        lambda: typecheck_forward(
+            transducer, din, dout, want_counterexample=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert_result(result, False)  # CRT: the intersection is non-empty
+
+
+def test_theorem18_empty_intersection(benchmark):
+    # Two contradictory parity automata force emptiness: typechecks.
+    dfas = [mod_dfa(2, {0}), mod_dfa(2, {1})]
+    transducer, din, dout = theorem18_instance(dfas)
+    result = benchmark.pedantic(
+        lambda: typecheck_forward(
+            transducer, din, dout, want_counterexample=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert_result(result, True)
+
+
+def test_theorem18_blowup_detected(benchmark):
+    """Four prime moduli: the PSPACE-hardness frontier manifests as a
+    guarded super-polynomial blow-up."""
+    from repro.errors import BudgetExceededError
+
+    dfas = [mod_dfa(p, {1}) for p in _PRIMES[:4]]
+    transducer, din, dout = theorem18_instance(dfas)
+
+    def run():
+        try:
+            typecheck_forward(
+                transducer,
+                din,
+                dout,
+                want_counterexample=False,
+                max_product_nodes=50_000,
+            )
+            return "finished"
+        except BudgetExceededError:
+            return "blow-up"
+
+    assert benchmark(run) == "blow-up"
+
+
+@pytest.mark.parametrize("num_vars", [3, 4, 5])
+def test_lemma27_sat_gadget(benchmark, num_vars):
+    cnf = random_cnf3(num_vars=num_vars, num_clauses=2 * num_vars)
+    dfas = cnf_to_unary_dfas(cnf)
+
+    def solve():
+        return intersection_nonempty_word(dfas)
+
+    benchmark(solve)
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_theorem28_2_xpath_gadget(benchmark, n):
+    """The XPath{//} gadget escapes T_trac after compilation — detected in
+    polynomial time by the Prop. 16 analysis (the coNP-hardness frontier)."""
+    from repro.errors import ClassViolationError
+
+    dfas = [mod_dfa(p, {1}) for p in _PRIMES[:n]]
+    transducer, din, dout = theorem28_2_instance(dfas)
+
+    def run():
+        try:
+            typecheck_forward(transducer, din, dout, want_counterexample=False)
+            return "finished"
+        except ClassViolationError:
+            return "outside-T_trac"
+
+    assert benchmark(run) == "outside-T_trac"

@@ -1,0 +1,28 @@
+"""E-37 — Theorem 37 / Section 5: DTD(RE⁺) with unrestricted transducers."""
+
+import pytest
+
+from conftest import assert_result
+from repro.core import typecheck_replus, typecheck_replus_witnesses
+from repro.workloads.families import replus_family
+
+
+@pytest.mark.parametrize("n", [6, 12, 18])
+def test_theorem37_grammar_route(benchmark, n):
+    transducer, din, dout, expected = replus_family(n)
+    result = benchmark(typecheck_replus, transducer, din, dout)
+    assert_result(result, expected)
+
+
+@pytest.mark.parametrize("n", [6, 12, 18])
+def test_section6_two_witness_route(benchmark, n):
+    transducer, din, dout, expected = replus_family(n)
+    result = benchmark(typecheck_replus_witnesses, transducer, din, dout)
+    assert_result(result, expected)
+
+
+@pytest.mark.parametrize("n", [6, 12, 18])
+def test_theorem37_failing(benchmark, n):
+    transducer, din, dout, expected = replus_family(n, typechecks=False)
+    result = benchmark(typecheck_replus, transducer, din, dout)
+    assert_result(result, expected)

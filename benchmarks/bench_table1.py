@@ -1,0 +1,109 @@
+"""E-T1 — Table 1: the complexity landscape, measured.
+
+Table 1 of the paper classifies TC[T, S] for T ∈ {d, nd} × {c, bc} and
+S ∈ {NTA, DTA, DTD(NFA), DTD(DFA)}.  These benchmarks realize one scalable
+family per regime:
+
+* the tractable cell (nd, bc, DTD(DFA)) and the paper's new tractable
+  classes (T_trac with deletion; DTD(RE⁺) with d, c) scale polynomially;
+* the intractable regimes are represented by their hardness families
+  (Theorem 18 — deletion × copying; DTD(NFA) determinization; unary-DFA
+  intersection), run at small sizes where their super-polynomial growth is
+  already visible in the timings.
+"""
+
+import pytest
+
+from conftest import assert_result
+from repro.core import typecheck_forward, typecheck_replus
+from repro.hardness.dfa_intersection import theorem18_instance
+from repro.schemas import DTD
+from repro.strings.unary import mod_dfa
+from repro.workloads.families import filtering_family, nd_bc_family, replus_family
+
+_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_table1_nd_bc_dtd_dfa(benchmark, n):
+    """Row (nd, bc) × DTD(DFA): the PTIME cell of Table 1."""
+    transducer, din, dout, expected = nd_bc_family(n)
+    result = benchmark(typecheck_forward, transducer, din, dout)
+    assert_result(result, expected)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_table1_d_bc_dtd_dfa_trac(benchmark, n):
+    """Row (d, bc) × DTD(DFA), restricted to T_trac: the paper's new PTIME
+    class (Theorem 15) — deletion is free when it does not copy."""
+    transducer, din, dout, expected = filtering_family(n)
+    result = benchmark(typecheck_forward, transducer, din, dout)
+    assert_result(result, expected)
+
+
+@pytest.mark.parametrize("n", [6, 10, 14])
+def test_table1_d_c_replus(benchmark, n):
+    """Row (d, c) × DTD(RE⁺): tractable despite unbounded copying and
+    deletion (Theorem 37)."""
+    transducer, din, dout, expected = replus_family(n)
+    result = benchmark(typecheck_replus, transducer, din, dout)
+    assert_result(result, expected)
+
+
+def test_table1_d_c_dtd_dfa_hard(benchmark):
+    """Row (d, c) × DTD(DFA): the EXPTIME/PSPACE regime, exercised through
+    the *minimal* Theorem 18 instance (two real DFAs).  A single complete
+    run takes seconds where the tractable cells take milliseconds — the
+    blow-up of |dout|^{2M} made visible."""
+    dfas = [mod_dfa(2, {1}), mod_dfa(3, {1})]
+    transducer, din, dout = theorem18_instance(dfas)
+    result = benchmark.pedantic(
+        lambda: typecheck_forward(
+            transducer, din, dout, want_counterexample=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # ⋂ ≡ 1 mod p_i is non-empty by CRT: never typechecks.
+    assert_result(result, False)
+
+
+def test_table1_d_c_dtd_dfa_blowup(benchmark):
+    """One step further (four prime moduli): the behavior-tuple space
+    |dout|^{2M} exceeds any reasonable budget; the complete engine detects
+    the blow-up instead of running forever — Table 1's EXPTIME entry,
+    observed."""
+    from repro.errors import BudgetExceededError
+
+    dfas = [mod_dfa(p, {1}) for p in _PRIMES[:4]]
+    transducer, din, dout = theorem18_instance(dfas)
+
+    def run():
+        try:
+            typecheck_forward(
+                transducer,
+                din,
+                dout,
+                want_counterexample=False,
+                max_product_nodes=50_000,
+            )
+            return "finished"
+        except BudgetExceededError:
+            return "blow-up"
+
+    assert benchmark(run) == "blow-up"
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_table1_dtd_nfa_determinization_cost(benchmark, n):
+    """Column DTD(NFA): the subset-construction cost the paper charges to
+    nondeterministic schemas — (a|b)* a (a|b)^{n-1} needs 2^n DFA states."""
+    suffix = " ".join(["(a | b)"] * (n - 1))
+    din = DTD({"r": f"(a | b)* a {suffix}"}, start="r")
+
+    def compile_content():
+        din._dfa_cache.clear()
+        return din.content_dfa("r")
+
+    dfa = benchmark(compile_content)
+    assert len(dfa.states) >= 2 ** (n - 1)

@@ -1,0 +1,50 @@
+"""E-15 / E-16 — Theorem 15 scaling and Proposition 16 analysis cost."""
+
+import pytest
+
+from conftest import assert_result
+from repro.core import typecheck_forward
+from repro.transducers import TreeTransducer, analyze
+from repro.workloads.families import filtering_family, nd_bc_family
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_theorem15_filtering_scaling(benchmark, n):
+    transducer, din, dout, expected = filtering_family(n)
+    result = benchmark(typecheck_forward, transducer, din, dout)
+    assert_result(result, expected)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_theorem15_failing_instances(benchmark, n):
+    transducer, din, dout, expected = filtering_family(n, typechecks=False)
+    result = benchmark(
+        typecheck_forward, transducer, din, dout, want_counterexample=False
+    )
+    assert_result(result, expected)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_theorem15_nd_bc_scaling(benchmark, n):
+    transducer, din, dout, expected = nd_bc_family(n)
+    result = benchmark(typecheck_forward, transducer, din, dout)
+    assert_result(result, expected)
+
+
+def _wide_transducer(n: int) -> TreeTransducer:
+    """n states in a deletion chain with mixed widths (Prop. 16 workload)."""
+    states = {f"q{i}" for i in range(n)}
+    rules = {}
+    rules[("q0", "a")] = "a(q1)"
+    for i in range(1, n - 1):
+        rules[(f"q{i}", "a")] = f"q{i + 1} a"
+    rules[(f"q{n - 1}", "a")] = "a"
+    return TreeTransducer(states, {"a"}, "q0", rules)
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_prop16_analysis_scaling(benchmark, n):
+    transducer = _wide_transducer(n)
+    analysis = benchmark(analyze, transducer)
+    assert analysis.deletion_path_width == 1
+    assert analysis.copying_width == 1

@@ -1,0 +1,63 @@
+"""E-23 — Theorem 23/29: XPath selectors, compilation and typechecking."""
+
+import pytest
+
+from conftest import assert_result
+from repro.core import typecheck_forward
+from repro.schemas import DTD
+from repro.workloads.books import book_dtd, fig3_document, toc_xpath_transducer
+from repro.xpath import compile_calls, parse_pattern, pattern_to_dfa, select
+
+
+def test_pattern_evaluation(benchmark):
+    pattern = parse_pattern(".//section[.//section]/title")
+    document = fig3_document()
+    matches = benchmark(select, pattern, document)
+    assert isinstance(matches, list)
+
+
+@pytest.mark.parametrize("depth", [4, 8, 16])
+def test_theorem23_pattern_compilation(benchmark, depth):
+    text = "./" + "/".join(["*"] * (depth - 1) + ["title"])
+    pattern = parse_pattern(text)
+    dfa = benchmark(pattern_to_dfa, pattern, book_dtd().alphabet)
+    assert len(dfa.states) <= depth + 3  # linear, Theorem 23
+
+
+def test_theorem23_call_compilation(benchmark):
+    transducer = toc_xpath_transducer()
+    compiled = benchmark(compile_calls, transducer)
+    assert not compiled.uses_calls()
+
+
+def test_theorem23_end_to_end_typechecking(benchmark):
+    transducer = toc_xpath_transducer()
+    din = book_dtd()
+    dout = DTD(
+        {"book": "title (chapter title+)*"},
+        start="book",
+        alphabet=din.alphabet,
+    )
+    result = benchmark(typecheck_forward, transducer, din, dout)
+    assert_result(result, True)
+
+
+def test_theorem29_dfa_selector(benchmark):
+    """A selecting DFA instead of a pattern (Theorem 29)."""
+    from repro.transducers import TreeTransducer
+    from repro.transducers.rhs import RhsCall, RhsSym
+
+    din = book_dtd()
+    selector = pattern_to_dfa(parse_pattern(".//title"), din.alphabet)
+    transducer = TreeTransducer(
+        {"q0", "q"},
+        din.alphabet,
+        "q0",
+        {
+            ("q0", "book"): (RhsSym("book", (RhsCall("q", selector),)),),
+            ("q", "title"): "title",
+        },
+    )
+    dout = DTD({"book": "title+"}, start="book", alphabet=din.alphabet)
+    result = benchmark(typecheck_forward, transducer, din, dout)
+    assert_result(result, True)

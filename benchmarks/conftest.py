@@ -1,0 +1,9 @@
+"""Shared benchmark helpers."""
+
+import pytest
+
+
+def assert_result(result, expected: bool) -> None:
+    """Benchmarks still verify correctness: a fast wrong answer is no
+    reproduction."""
+    assert result.typechecks == expected

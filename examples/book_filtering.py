@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The full Example 10/11 scenario: filtering with deletion and copying.
+
+Runs both transducers of Example 10 on the Fig. 3 document, verifies the
+Example 11 typechecking claim, and shows almost-always typechecking
+(Corollary 39) on a tightened output schema.
+
+Run:  python examples/book_filtering.py
+"""
+
+from repro import DTD, typecheck, typechecks_almost_always
+from repro.trees.xml_io import tree_to_xml
+from repro.workloads.books import (
+    book_dtd,
+    example11_output_dtd,
+    fig3_document,
+    toc_transducer,
+    toc_with_summary_transducer,
+)
+
+
+def main() -> None:
+    din = book_dtd()
+    document = fig3_document()
+    assert din.accepts(document)
+    print("Fig. 3 document:")
+    print(tree_to_xml(document))
+
+    # ------------------------------------------------------------------
+    # Table of contents (deletion only).
+    # ------------------------------------------------------------------
+    toc = toc_transducer()
+    print("\ntable of contents:")
+    print(tree_to_xml(toc.apply(document)))
+
+    # ------------------------------------------------------------------
+    # Table of contents + summary (deletion and copying) — Example 11.
+    # ------------------------------------------------------------------
+    summary = toc_with_summary_transducer()
+    print("\ntable of contents with summary:")
+    print(tree_to_xml(summary.apply(document)))
+
+    dout = example11_output_dtd()
+    result = typecheck(summary, din, dout)
+    print(f"\nExample 11 typechecks: {result.typechecks} (algorithm: {result.algorithm})")
+
+    # ------------------------------------------------------------------
+    # Tighten the output schema until it breaks.
+    # ------------------------------------------------------------------
+    tight = DTD(
+        {
+            "book": "title (chapter title*)* chapter*",
+            "chapter": "title intro",  # summary chapters must not be empty
+        },
+        start="book",
+        alphabet=din.alphabet,
+    )
+    result = typecheck(summary, din, tight)
+    print(f"\ntightened schema typechecks: {result.typechecks}")
+    print(f"reason: {result.reason}")
+    print("counterexample:")
+    print(tree_to_xml(result.counterexample))
+
+    aa = typechecks_almost_always(summary, din, tight)
+    print(f"almost-always typechecks (finitely many counterexamples): {aa}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — a reproduction of Martens & Neven,
+"Frontiers of Tractability for Typechecking Simple XML Transformations"
+(PODS 2004; JCSS 73(3), 2007).
+
+The library implements the paper's entire technical stack from scratch:
+string automata and RE⁺ expressions, unranked trees with DAG compression,
+DTDs and unranked tree automata, deterministic top-down tree transducers
+with XPath selectors, and — on top — the paper's sound-and-complete
+typechecking algorithms with counterexample generation, plus instance
+generators for every hardness reduction.
+
+Quickstart::
+
+    from repro import DTD, TreeTransducer, typecheck
+
+    din = DTD({"book": "title author+ chapter+",
+               "chapter": "title intro section+",
+               "section": "title paragraph+ section*"}, start="book")
+    toc = TreeTransducer(
+        states={"q"}, alphabet=din.alphabet | {"book"}, initial="q",
+        rules={("q", "book"): "book(q)",
+               ("q", "chapter"): "chapter q",
+               ("q", "title"): "title",
+               ("q", "section"): "q"})
+    dout = DTD({"book": "title (chapter title*)*"}, start="book")
+    result = typecheck(toc, din, dout)
+    print(result.typechecks, result.counterexample)
+"""
+
+from repro.core import (
+    TypecheckResult,
+    counterexample_nta,
+    typecheck,
+    typecheck_bruteforce,
+    typecheck_delrelab,
+    typecheck_forward,
+    typecheck_replus,
+    typecheck_replus_witnesses,
+    typechecks_almost_always,
+)
+from repro.schemas import DTD, dtd_to_dtac, dtd_to_nta
+from repro.strings import DFA, NFA, parse_regex, parse_replus, regex_to_dfa
+from repro.transducers import TreeTransducer, analyze, to_xslt
+from repro.trees import Tree, parse_hedge, parse_tree
+from repro.tree_automata import NTA
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DTD",
+    "DFA",
+    "NFA",
+    "NTA",
+    "Tree",
+    "TreeTransducer",
+    "TypecheckResult",
+    "analyze",
+    "counterexample_nta",
+    "dtd_to_dtac",
+    "dtd_to_nta",
+    "parse_hedge",
+    "parse_regex",
+    "parse_replus",
+    "parse_tree",
+    "regex_to_dfa",
+    "to_xslt",
+    "typecheck",
+    "typecheck_bruteforce",
+    "typecheck_delrelab",
+    "typecheck_forward",
+    "typecheck_replus",
+    "typecheck_replus_witnesses",
+    "typechecks_almost_always",
+]

@@ -1,0 +1,128 @@
+"""Command-line interface: ``python -m repro <spec.py-like file>``.
+
+The CLI consumes a simple instance file with three sections separated by
+lines of ``---``:
+
+1. the input DTD: first line ``start <symbol>``, then rules ``a -> regex``;
+2. the transducer: first line ``initial <state> states <q1> <q2> ...``,
+   then rules ``q, a -> rhs`` in the paper's term syntax;
+3. the output DTD (same format as the input DTD).
+
+Example (the paper's Example 10/11)::
+
+    start book
+    book -> title author+ chapter+
+    chapter -> title intro section+
+    section -> title paragraph+ section*
+    ---
+    initial q states q
+    q, book -> book(q)
+    q, chapter -> chapter q
+    q, title -> title
+    q, section -> q
+    ---
+    start book
+    book -> title (chapter title+)*
+
+Exit status 0 = typechecks, 1 = fails (a counterexample is printed),
+2 = usage or class error.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.schemas.dtd import DTD
+from repro.transducers.transducer import TreeTransducer
+from repro.core.api import typecheck
+
+
+def parse_dtd_section(lines: List[str]) -> DTD:
+    """Parse ``start s`` followed by ``a -> regex`` lines."""
+    if not lines or not lines[0].startswith("start "):
+        raise ReproError("DTD section must begin with 'start <symbol>'")
+    start = lines[0].split(None, 1)[1].strip()
+    rules: Dict[str, str] = {}
+    for line in lines[1:]:
+        head, arrow, body = line.partition("->")
+        if not arrow:
+            raise ReproError(f"bad DTD rule: {line!r}")
+        rules[head.strip()] = body.strip()
+    return DTD(rules, start=start)
+
+
+def parse_transducer_section(lines: List[str], alphabet) -> TreeTransducer:
+    """Parse ``initial q states ...`` plus ``q, a -> rhs`` lines."""
+    if not lines or not lines[0].startswith("initial "):
+        raise ReproError("transducer section must begin with 'initial <state> states ...'")
+    header = lines[0].split()
+    initial = header[1]
+    if "states" in header:
+        states = set(header[header.index("states") + 1 :]) | {initial}
+    else:
+        states = {initial}
+    rules: Dict[Tuple[str, str], str] = {}
+    output_symbols = set()
+    for line in lines[1:]:
+        head, arrow, body = line.partition("->")
+        if not arrow:
+            raise ReproError(f"bad transducer rule: {line!r}")
+        state, comma, symbol = head.partition(",")
+        if not comma:
+            raise ReproError(f"bad transducer rule head: {head!r}")
+        rules[(state.strip(), symbol.strip())] = body.strip()
+        for token in body.replace("(", " ").replace(")", " ").split():
+            if token not in states and not token.startswith("<"):
+                output_symbols.add(token)
+    sigma = set(alphabet) | output_symbols | {symbol for (_q, symbol) in rules}
+    return TreeTransducer(states, sigma, initial, rules)
+
+
+def load_instance(text: str):
+    """Split an instance file into (transducer, din, dout)."""
+    sections: List[List[str]] = [[]]
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if set(line) == {"-"}:
+            sections.append([])
+            continue
+        sections[-1].append(line)
+    if len(sections) != 3:
+        raise ReproError(
+            f"expected 3 sections separated by '---', found {len(sections)}"
+        )
+    din = parse_dtd_section(sections[0])
+    transducer = parse_transducer_section(sections[1], din.alphabet)
+    dout_raw = parse_dtd_section(sections[2])
+    dout = DTD(dout_raw.rules(), start=dout_raw.start, alphabet=transducer.alphabet)
+    return transducer, din, dout
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    try:
+        with open(argv[0], encoding="utf-8") as handle:
+            transducer, din, dout = load_instance(handle.read())
+        result = typecheck(transducer, din, dout)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.typechecks:
+        print(f"TYPECHECKS ({result.algorithm})")
+        return 0
+    print(f"FAILS ({result.algorithm}): {result.reason}")
+    if result.counterexample is not None:
+        print(f"counterexample: {result.counterexample}")
+        print(f"its translation: {result.output}")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

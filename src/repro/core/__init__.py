@@ -1,0 +1,40 @@
+"""Typechecking — the paper's primary contribution.
+
+* :mod:`~repro.core.problem` — instance/result types (Definition 9);
+* :mod:`~repro.core.reachability` — reachable ``(state, symbol)`` pairs with
+  provenance for counterexample contexts;
+* :mod:`~repro.core.forward` — the Lemma 14 engine: a demand-driven fixpoint
+  over behavior tuples, PTIME for every class ``T^{C,K}_trac`` (Theorem 15);
+* :mod:`~repro.core.cex_nta` — the reachable part of Lemma 14's
+  counterexample NTA, assembled from the forward tables; powers
+  counterexample generation (Corollary 38) and almost-always typechecking
+  (Corollary 39);
+* :mod:`~repro.core.delrelab` — the Theorem 20 pipeline for
+  ``TC[T_del-relab, DTAc(DFA)]``;
+* :mod:`~repro.core.replus` — the Section 5 algorithms for
+  ``TC[T_d,c, DTD(RE+)]`` (Theorem 37): the grammar route and the
+  two-witness ``t_min``/``t_vast`` route on DAGs;
+* :mod:`~repro.core.bruteforce` — the enumeration oracle used in tests;
+* :mod:`~repro.core.api` — one-call dispatcher.
+"""
+
+from repro.core.problem import TypecheckResult
+from repro.core.forward import typecheck_forward
+from repro.core.cex_nta import counterexample_nta
+from repro.core.almost_always import typechecks_almost_always
+from repro.core.delrelab import typecheck_delrelab
+from repro.core.replus import typecheck_replus, typecheck_replus_witnesses
+from repro.core.bruteforce import typecheck_bruteforce
+from repro.core.api import typecheck
+
+__all__ = [
+    "TypecheckResult",
+    "typecheck",
+    "typecheck_forward",
+    "typecheck_delrelab",
+    "typecheck_replus",
+    "typecheck_replus_witnesses",
+    "typecheck_bruteforce",
+    "counterexample_nta",
+    "typechecks_almost_always",
+]

@@ -1,0 +1,91 @@
+"""One-call typechecking API with algorithm selection.
+
+``typecheck(T, Sin, Sout)`` picks the paper's algorithm for the instance:
+
+* DTD(RE⁺) schemas → the Section 5 grammar algorithm (any transducer);
+* transducers in some ``T^{C,K}_trac`` + DTDs → the Lemma 14 forward engine
+  (XPath/DFA calls are compiled away first, Theorems 23/29);
+* ``T_del-relab`` + tree-automaton schemas → the Theorem 20 pipeline;
+* anything else → a :class:`~repro.errors.ClassViolationError` explaining
+  which frontier was crossed (that is the paper's message: outside these
+  classes, complete typechecking is provably intractable).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ClassViolationError
+from repro.core.delrelab import typecheck_delrelab
+from repro.core.forward import typecheck_forward
+from repro.core.problem import TypecheckResult
+from repro.core.replus import typecheck_replus, typecheck_replus_witnesses
+from repro.core.bruteforce import typecheck_bruteforce
+from repro.schemas.dtd import DTD
+from repro.transducers.analysis import analyze
+from repro.transducers.transducer import TreeTransducer
+from repro.tree_automata.nta import NTA
+
+Schema = Union[DTD, NTA]
+
+
+def typecheck(
+    transducer: TreeTransducer,
+    sin: Schema,
+    sout: Schema,
+    method: str = "auto",
+    max_tuple: Optional[int] = None,
+    **kwargs,
+) -> TypecheckResult:
+    """Decide whether ``T(t) ∈ Sout`` for every ``t ∈ Sin`` (Definition 9).
+
+    ``method``: ``"auto"`` (default), ``"forward"``, ``"replus"``,
+    ``"replus-witnesses"``, ``"delrelab"`` or ``"bruteforce"``.
+    """
+    if method == "forward":
+        return typecheck_forward(transducer, _dtd(sin), _dtd(sout), max_tuple, **kwargs)
+    if method == "replus":
+        return typecheck_replus(transducer, _dtd(sin), _dtd(sout), **kwargs)
+    if method == "replus-witnesses":
+        return typecheck_replus_witnesses(transducer, _dtd(sin), _dtd(sout), **kwargs)
+    if method == "delrelab":
+        return typecheck_delrelab(transducer, sin, sout, **kwargs)
+    if method == "bruteforce":
+        return typecheck_bruteforce(transducer, _dtd(sin), _dtd(sout), **kwargs)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+
+    dtd_schemas = isinstance(sin, DTD) and isinstance(sout, DTD)
+    if dtd_schemas and sin.kind == "RE+" and sout.kind == "RE+":
+        return typecheck_replus(transducer, sin, sout, **kwargs)
+
+    plain = transducer
+    if transducer.uses_calls():
+        from repro.xpath.compile import compile_calls
+
+        plain = compile_calls(transducer)
+    analysis = analyze(plain)
+
+    if dtd_schemas and (analysis.in_trac or max_tuple is not None):
+        return typecheck_forward(plain, sin, sout, max_tuple, **kwargs)
+    if analysis.is_del_relab:
+        return typecheck_delrelab(plain, sin, sout, **kwargs)
+    raise ClassViolationError(
+        "instance crosses the tractability frontier: the transducer has "
+        f"copying width {analysis.copying_width} and "
+        f"{'unbounded' if analysis.deletion_path_width is None else analysis.deletion_path_width} "
+        "deletion path width, and the schemas are "
+        f"{type(sin).__name__}/{type(sout).__name__}. "
+        "Options: restrict the transducer (Theorem 15/20), use DTD(RE+) "
+        "schemas (Theorem 37), or pass max_tuple for a best-effort "
+        "(possibly exponential) run of the forward engine."
+    )
+
+
+def _dtd(schema: Schema) -> DTD:
+    if not isinstance(schema, DTD):
+        raise ClassViolationError(
+            "this method needs DTD schemas (tree automata are supported by "
+            "method='delrelab')"
+        )
+    return schema

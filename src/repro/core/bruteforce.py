@@ -1,0 +1,50 @@
+"""Brute-force typechecking oracle.
+
+Enumerates every input tree up to a node budget, applies the transducer and
+validates the output.  Exponential — usable only on tiny instances, but an
+invaluable differential-testing oracle for the polynomial algorithms: if the
+fast engine and the oracle ever disagree on trees within the budget, one of
+them is wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.problem import TypecheckResult
+from repro.schemas.dtd import DTD
+from repro.transducers.transducer import TreeTransducer
+from repro.trees.generate import enumerate_trees
+
+
+def typecheck_bruteforce(
+    transducer: TreeTransducer,
+    din: DTD,
+    dout: DTD,
+    max_nodes: int = 8,
+) -> TypecheckResult:
+    """Check every tree of ``L(din)`` with at most ``max_nodes`` nodes.
+
+    *Sound for rejection* (a found counterexample is real) but complete only
+    up to the budget: a ``True`` answer means "no counterexample of that
+    size".
+    """
+    count = 0
+    for tree in enumerate_trees(din, max_nodes):
+        count += 1
+        image: Optional = transducer.apply(tree)
+        if image is None or not dout.accepts(image):
+            return TypecheckResult(
+                False,
+                "bruteforce",
+                counterexample=tree,
+                output=image,
+                reason=f"enumeration found a counterexample of size {tree.size}",
+                stats={"trees_checked": count, "max_nodes": max_nodes},
+            )
+    return TypecheckResult(
+        True,
+        "bruteforce",
+        reason=f"no counterexample among the {count} trees of ≤ {max_nodes} nodes",
+        stats={"trees_checked": count, "max_nodes": max_nodes},
+    )

@@ -1,0 +1,173 @@
+"""Typechecking T_del-relab w.r.t. DTAc(DFA) — Theorem 20.
+
+Pipeline (exactly the proof of Theorem 20):
+
+1. check ``T ∈ T_del-relab`` (at most one state per rhs);
+2. ``T'``: replace every *deleting* (top-level) state ``q`` by ``#(q)`` — a
+   non-deleting transducer emitting the placeholder ``#``;
+3. ``B_in := T'(L(A_in))`` via the Lemma 19 image construction;
+4. ``Ā_out``: complement the complete deterministic output automaton by
+   flipping final states;
+5. ``B_out``: the #-elimination lift — ``t' ∈ L(B_out) ⟺ γ(t') ∈ L(Ā_out)``;
+6. the instance typechecks iff ``L(B_in ∩ B_out) = ∅`` (Fig. A.1 emptiness).
+
+Inputs that the transducer translates to the *empty hedge* (no initial rule
+for their root symbol) are counterexamples outside the image automaton; they
+are checked separately up front.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ClassViolationError
+from repro.core.problem import TypecheckResult
+from repro.schemas.dtd import DTD
+from repro.schemas.to_nta import dtd_to_dtac, dtd_to_nta
+from repro.strings.nfa import NFA
+from repro.transducers.analysis import analyze
+from repro.transducers.image import image_nta
+from repro.transducers.rhs import RhsState, RhsSym
+from repro.transducers.transducer import TreeTransducer
+from repro.tree_automata.emptiness import witness_tree
+from repro.tree_automata.hash_elim import HASH, eliminate_hashes, hash_elimination_lift
+from repro.tree_automata.nta import NTA
+from repro.tree_automata.ops import complement_dtac, intersect
+from repro.util import fresh_symbol
+
+Schema = Union[DTD, NTA]
+
+
+def wrap_deleting_states(
+    transducer: TreeTransducer, hash_symbol: str = HASH
+) -> TreeTransducer:
+    """``T'`` of Theorem 20: every top-level state ``q`` becomes ``#(q)``."""
+    new_rules = {}
+    for key, rhs in transducer.rules.items():
+        new_rules[key] = tuple(
+            RhsSym(hash_symbol, (node,)) if isinstance(node, RhsState) else node
+            for node in rhs
+        )
+    return TreeTransducer(
+        transducer.states,
+        transducer.alphabet | {hash_symbol},
+        transducer.initial,
+        new_rules,
+    )
+
+
+def _as_input_nta(schema: Schema) -> NTA:
+    return dtd_to_nta(schema) if isinstance(schema, DTD) else schema
+
+
+def _as_output_dtac(schema: Schema, check: bool) -> NTA:
+    if isinstance(schema, DTD):
+        return dtd_to_dtac(schema)
+    if check:
+        from repro.tree_automata.ops import is_bottom_up_deterministic, is_complete
+
+        if not is_bottom_up_deterministic(schema):
+            raise ClassViolationError("output automaton is not deterministic")
+        if not is_complete(schema):
+            raise ClassViolationError("output automaton is not complete")
+    return schema
+
+
+def _roots_without_initial_rule(
+    transducer: TreeTransducer, ain: NTA
+) -> Optional[str]:
+    """A root symbol realizable by ``ain`` for which ``T`` has no initial
+    rule, or ``None``."""
+    from repro.tree_automata.emptiness import productive_states
+
+    productive, witness = productive_states(ain)
+    for state in sorted(productive & ain.finals, key=repr):
+        symbol, _ = witness[state]
+        if (transducer.initial, symbol) not in transducer.rules:
+            return symbol
+    # Witnesses record one symbol per state; scan all rules for other roots.
+    for (state, symbol), nfa in ain.delta.items():
+        if state not in ain.finals:
+            continue
+        if (transducer.initial, symbol) in transducer.rules:
+            continue
+        if nfa.some_word(productive) is not None:
+            return symbol
+    return None
+
+
+def _witness_rooted(ain: NTA, symbol: str) -> Optional:
+    """Some tree of ``L(ain)`` whose root is ``symbol``."""
+    marker = fresh_symbol("root", [s for s in ain.states if isinstance(s, str)])
+    any_state = (marker, "any")
+    root_state = (marker, "root")
+    wrapped = ain.map_states(lambda q: ("base", q))
+    states = set(wrapped.states) | {any_state, root_state}
+    delta = dict(wrapped.delta)
+    universal = NFA.universal({any_state}).with_alphabet(states)
+    for a in ain.alphabet:
+        delta[(any_state, a)] = universal
+    delta[(root_state, symbol)] = universal
+    selector = NTA(states, ain.alphabet, delta, {root_state})
+    return witness_tree(intersect(wrapped, selector))
+
+
+def typecheck_delrelab(
+    transducer: TreeTransducer,
+    ain: Schema,
+    aout: Schema,
+    check_output_class: bool = True,
+) -> TypecheckResult:
+    """PTIME typechecking for ``TC[T_del-relab, DTAc(DFA)]`` (Theorem 20).
+
+    ``ain`` may be any NTA (or DTD); ``aout`` must be a DTAc (or a DTD,
+    which is completed into one).  On rejection the result carries the
+    *output-side* witness: a tree ``t' ∈ T'(L(A_in))`` with
+    ``γ(t') ∉ L(A_out)`` (stats key ``"violating_output"``); input-side
+    counterexamples for DTD schemas are available via the forward engine.
+    """
+    analysis = analyze(transducer)
+    if not analysis.is_del_relab:
+        raise ClassViolationError(
+            "transducer has an rhs with more than one state (not T_del-relab)"
+        )
+
+    input_nta = _as_input_nta(ain)
+    output_dtac = _as_output_dtac(aout, check_output_class)
+    stats = {"input_states": len(input_nta.states)}
+
+    bad_root = _roots_without_initial_rule(transducer, input_nta)
+    if bad_root is not None:
+        witness = _witness_rooted(input_nta, bad_root)
+        return TypecheckResult(
+            False,
+            "delrelab",
+            counterexample=witness,
+            reason=(
+                f"inputs rooted {bad_root!r} translate to the empty hedge "
+                "(no initial rule)"
+            ),
+            stats=stats,
+        )
+
+    hash_symbol = HASH
+    while hash_symbol in transducer.alphabet or hash_symbol in input_nta.alphabet:
+        hash_symbol += "#"
+    wrapped = wrap_deleting_states(transducer, hash_symbol)
+    b_in = image_nta(input_nta, wrapped)
+    complement = complement_dtac(output_dtac, check=False)
+    b_out = hash_elimination_lift(complement, hash_symbol)
+    product = intersect(b_in, b_out)
+    stats["product_states"] = len(product.states)
+
+    violating = witness_tree(product)
+    if violating is None:
+        return TypecheckResult(True, "delrelab", stats=stats)
+    gamma = eliminate_hashes(violating, hash_symbol)
+    stats["violating_output"] = gamma[0] if len(gamma) == 1 else gamma
+    return TypecheckResult(
+        False,
+        "delrelab",
+        reason="some translated tree violates the output automaton",
+        stats=stats,
+    )

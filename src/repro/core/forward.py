@@ -1,0 +1,553 @@
+"""The Lemma 14 typechecking engine (Theorem 15), demand-driven.
+
+The paper's counterexample automaton guesses, for every input node, up to
+``M = C·K`` triples ``(transducer state, A-state ℓ, A-state r)`` asserting
+"the output hedge this node contributes in that state takes the output
+content-model DFA from ``ℓ`` to ``r``", and defers their verification down
+the tree.  Its emptiness check therefore computes exactly which *tuples of
+behaviors* are realizable.  This module computes those tuples directly by a
+demand-driven least fixpoint over two mutually recursive tables (per output
+symbol σ with content DFA ``A = dout(σ)``):
+
+``tree[(σ, b, P)]``
+    the set of tuples ``τ = ((ℓ₁,r₁),…,(ℓ_m,r_m))`` such that some tree
+    ``t ∈ L(din, b)`` satisfies: for all ``i``, ``top(T^{P_i}(t))`` takes
+    ``A`` from ``ℓ_i`` to ``r_i`` (one tree realizes all components jointly);
+
+``hedge[(σ, a, P)]``
+    the analogous slot-pair tuples ``π`` realizable by hedges
+    ``t₁⋯t_n`` with ``top(t₁)⋯top(t_n) ∈ L(din(a))``, each ``t_j`` valid.
+
+``hedge`` is evaluated by a product BFS (content DFA × one ``A``-state per
+slot) whose transitions consume ``tree`` tuples of the children; ``tree`` is
+assembled from ``hedge`` of the deferred tuple ``P'`` by chaining the rhs
+top-level segments through ``A`` (the paper's step (4)).  The typechecking
+condition itself is Section 5's formulation, valid for all DTD inputs:
+for every reachable pair ``(q, a)`` and rhs node ``u`` with label σ,
+``L_{q,a,u} ⊆ L(dout(σ))`` — checked on the same product (step (3)).
+
+Tuple lengths never exceed ``C·K`` for transducers in ``T^{C,K}_trac``
+(Lemma 14's counting argument), which bounds the tables polynomially for
+fixed ``C·K``; the engine enforces the bound and reports a clean
+:class:`~repro.errors.BudgetExceededError` when an unrestricted transducer
+blows up — that is the paper's intractability frontier showing itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import BudgetExceededError, ClassViolationError
+from repro.schemas.dtd import DTD
+from repro.strings.dfa import DFA
+from repro.transducers.analysis import analyze
+from repro.transducers.rhs import RhsState, RhsSym, iter_rhs_nodes, top_decomposition, top_states
+from repro.transducers.transducer import TreeTransducer
+from repro.trees.generate import minimal_tree
+from repro.trees.tree import Tree
+from repro.core.problem import TypecheckResult
+from repro.core.reachability import Pair, context_for, reachable_pairs
+
+Slot = Tuple[object, object]  # (A-state, A-state)
+TupleKey = Tuple[str, str, Tuple[str, ...]]  # (σ, input symbol, P)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A failing local inclusion ``L_{q,a,u} ⊄ dout(σ)``."""
+
+    pair: Pair
+    rhs_path: Tuple[int, ...]
+    sigma: str
+    pi: Tuple[Slot, ...]
+    bad_state: object
+
+
+@dataclass
+class HedgeEntry:
+    """Fixpoint cell for a ``hedge`` key, including the product graph.
+
+    ``accepted[π]`` stores the witness child word ``[(c, τ), …]``,
+    materialized the moment π is first derived — witnesses therefore only
+    reference configurations recorded strictly earlier, which keeps the
+    recursive counterexample construction well-founded.
+    """
+
+    accepted: Dict[Tuple[Slot, ...], Tuple[Tuple[str, Tuple], ...]] = field(
+        default_factory=dict
+    )
+    nodes: Set[Tuple] = field(default_factory=set)
+    edges: List[Tuple] = field(default_factory=list)  # (src, c, τ, dst)
+    seeds: Set[Tuple] = field(default_factory=set)
+
+
+class ForwardEngine:
+    """Fixpoint engine shared by Theorem 15 typechecking, counterexample
+    generation (Cor. 38) and the counterexample-NTA export (Cor. 39)."""
+
+    def __init__(
+        self,
+        transducer: TreeTransducer,
+        din: DTD,
+        dout: DTD,
+        max_tuple: Optional[int] = None,
+        max_product_nodes: int = 500_000,
+    ) -> None:
+        self.transducer = transducer
+        self.din = din
+        self.dout = dout
+        self.out_alphabet = frozenset(transducer.alphabet | dout.alphabet)
+        self.productive = din.productive_symbols()
+        self.max_tuple = max_tuple
+        self.max_product_nodes = max_product_nodes
+        self.work = 0
+
+        self._out_dfa: Dict[str, DFA] = {}
+        self._in_useful: Dict[str, Tuple[DFA, frozenset]] = {}
+        self._decomp: Dict[Tuple[str, str], Tuple[Tuple[Tuple[str, ...], ...], Tuple[str, ...]]] = {}
+
+        self.tree_vals: Dict[TupleKey, Dict[Tuple[Slot, ...], Tuple[Slot, ...]]] = {}
+        # tree_vals[key][τ] = witness π in hedge((σ, b, P')).
+        self.hedge_vals: Dict[TupleKey, HedgeEntry] = {}
+        self._dependents: Dict[Tuple[str, TupleKey], Set[Tuple[str, TupleKey]]] = {}
+        self._dirty: deque = deque()
+        self._registered: Set[Tuple[str, TupleKey]] = set()
+
+    # ------------------------------------------------------------------
+    # Cached views
+    # ------------------------------------------------------------------
+    def out_dfa(self, sigma: str) -> DFA:
+        dfa = self._out_dfa.get(sigma)
+        if dfa is None:
+            dfa = self.dout.content_dfa(sigma).complete(self.out_alphabet)
+            self._out_dfa[sigma] = dfa
+        return dfa
+
+    def decomposition(
+        self, state: str, symbol: str
+    ) -> Tuple[Tuple[Tuple[str, ...], ...], Tuple[str, ...]]:
+        """Segments/deferred-states of ``top(rhs(state, symbol))``; a missing
+        rule contributes the empty translation (one empty segment)."""
+        key = (state, symbol)
+        cached = self._decomp.get(key)
+        if cached is None:
+            rhs = self.transducer.rules.get(key)
+            if rhs is None:
+                cached = (((),), ())
+            else:
+                cached = (top_decomposition(rhs), top_states(rhs))
+            self._decomp[key] = cached
+        return cached
+
+    def deferred_tuple(self, P: Tuple[str, ...], symbol: str) -> Tuple[str, ...]:
+        """The concatenated deferred tuple P' for processing ``symbol``."""
+        out: List[str] = []
+        for state in P:
+            out.extend(self.decomposition(state, symbol)[1])
+        result = tuple(out)
+        if self.max_tuple is not None and len(result) > self.max_tuple:
+            raise BudgetExceededError(
+                f"behavior tuple grew to {len(result)} > {self.max_tuple} "
+                "(transducer outside the configured T_trac class)"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Fixpoint plumbing
+    # ------------------------------------------------------------------
+    def _register(self, kind: str, key: TupleKey) -> None:
+        node = (kind, key)
+        if node in self._registered:
+            return
+        self._registered.add(node)
+        if kind == "tree":
+            self.tree_vals[key] = {}
+        else:
+            self.hedge_vals[key] = HedgeEntry()
+        self._dirty.append(node)
+
+    def _depend(self, read: Tuple[str, TupleKey], reader: Tuple[str, TupleKey]) -> None:
+        self._register(*read)
+        self._dependents.setdefault(read, set()).add(reader)
+
+    def request_hedge(self, sigma: str, symbol: str, P: Tuple[str, ...]) -> TupleKey:
+        key = (sigma, symbol, P)
+        self._register("hedge", key)
+        return key
+
+    def run(self) -> None:
+        """Run the chaotic iteration to the least fixpoint."""
+        while self._dirty:
+            kind, key = self._dirty.popleft()
+            grew = (
+                self._eval_tree(key) if kind == "tree" else self._eval_hedge(key)
+            )
+            if grew:
+                for dependent in self._dependents.get((kind, key), ()):
+                    if dependent not in self._dirty:
+                        self._dirty.append(dependent)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _eval_tree(self, key: TupleKey) -> bool:
+        sigma, b, P = key
+        if b not in self.productive:
+            return False
+        deferred = self.deferred_tuple(P, b)
+        hedge_key = (sigma, b, deferred)
+        self._depend(("hedge", hedge_key), ("tree", key))
+        entry = self.hedge_vals[hedge_key]
+        dfa = self.out_dfa(sigma)
+        table = self.tree_vals[key]
+        grew = False
+        for pi in entry.accepted:
+            for tau in self._assemble(P, b, pi, dfa):
+                if tau not in table:
+                    table[tau] = pi
+                    grew = True
+        if len(table) > self.max_product_nodes:
+            raise BudgetExceededError(
+                f"behavior table for {key!r} exceeded "
+                f"{self.max_product_nodes} tuples"
+            )
+        return grew
+
+    def _assemble(
+        self,
+        P: Tuple[str, ...],
+        b: str,
+        pi: Tuple[Slot, ...],
+        dfa: DFA,
+    ):
+        """All τ tuples derivable from hedge behavior π by chaining the rhs
+        segments through the (complete) output DFA — the paper's step (4)."""
+        per_component: List[List[Slot]] = []
+        offset = 0
+        for state in P:
+            segments, defers = self.decomposition(state, b)
+            k = len(defers)
+            slots = pi[offset : offset + k]
+            offset += k
+            pairs: List[Slot] = []
+            for start in dfa.states:
+                x = dfa.run(segments[0], start=start)
+                ok = True
+                for j in range(k):
+                    slot_start, slot_end = slots[j]
+                    if slot_start != x:
+                        ok = False
+                        break
+                    x = dfa.run(segments[j + 1], start=slot_end)
+                if ok:
+                    pairs.append((start, x))
+            if not pairs:
+                return
+            per_component.append(pairs)
+        yield from itertools.product(*per_component)
+
+    def _in_dfa_useful(self, a: str):
+        """The input content DFA of ``a`` with its useful-state set (pruning
+        the completion sink keeps the key fan-out at the *live* alphabet)."""
+        cached = self._in_useful.get(a)
+        if cached is None:
+            dfa_in = self.din.content_dfa(a)
+            as_nfa = dfa_in.to_nfa()
+            useful = as_nfa.reachable_states() & as_nfa.coreachable_states()
+            cached = (dfa_in, useful)
+            self._in_useful[a] = cached
+        return cached
+
+    def _eval_hedge(self, key: TupleKey) -> bool:
+        sigma, a, P = key
+        entry = self.hedge_vals[key]
+        dfa_in, useful_in = self._in_dfa_useful(a)
+        dfa_out = self.out_dfa(sigma)
+        m = len(P)
+
+        # Child alphabet: productive symbols on transitions between useful
+        # input-DFA states (dead/sink transitions spawn no work).
+        children = sorted(
+            {
+                c
+                for (state, c), target in dfa_in.transitions.items()
+                if c in self.productive
+                and state in useful_in
+                and target in useful_in
+            },
+            key=repr,
+        )
+        # Index each child's τ table by the required entry-state vector so a
+        # BFS node looks up exactly the matching behaviors instead of
+        # scanning the whole table (the table is |Q_A|^{2m} in the worst
+        # case; the index fans out by r-vectors only).
+        child_index: Dict[str, Dict[Tuple, List[Tuple]]] = {}
+        for c in children:
+            child_key = (sigma, c, P)
+            self._depend(("tree", child_key), ("hedge", key))
+            index: Dict[Tuple, List[Tuple]] = {}
+            for tau in self.tree_vals[child_key]:
+                ells = tuple(ell for (ell, _r) in tau)
+                index.setdefault(ells, []).append(tau)
+            child_index[c] = index
+
+        # Seed: every start vector, identity pairs.  The seed count
+        # |Q_A|^m is the paper's |dout|^{2M} factor: guard it before looping
+        # so super-polynomial instances fail fast instead of hanging.
+        if len(dfa_out.states) ** m > self.max_product_nodes:
+            raise BudgetExceededError(
+                f"{len(dfa_out.states)}^{m} behavior seeds exceed the "
+                f"product budget {self.max_product_nodes} — the instance "
+                "sits outside the tractable (fixed C·K) regime"
+            )
+        entry.nodes.clear()
+        entry.edges.clear()
+        entry.seeds.clear()
+        parents: Dict[Tuple, Optional[Tuple]] = {}
+        frontier: deque = deque()
+        for combo in itertools.product(sorted(dfa_out.states, key=repr), repeat=m):
+            node = (dfa_in.initial, tuple((x, x) for x in combo))
+            parents[node] = None
+            frontier.append(node)
+        entry.nodes.update(parents)
+        entry.seeds.update(parents)
+
+        grew = False
+
+        def note_accept(node: Tuple) -> None:
+            nonlocal grew
+            d, pairs = node
+            if d not in dfa_in.finals:
+                return
+            if pairs not in entry.accepted:
+                # Materialize the witness word now: it references only
+                # configurations that already exist (well-foundedness).
+                word: List[Tuple[str, Tuple]] = []
+                back = node
+                while True:
+                    step = parents[back]
+                    if step is None:
+                        break
+                    back, c, tau = step
+                    word.append((c, tau))
+                word.reverse()
+                entry.accepted[pairs] = tuple(word)
+                grew = True
+
+        for node in list(frontier):
+            note_accept(node)
+        while frontier:
+            node = frontier.popleft()
+            d, pairs = node
+            currents = tuple(current for (_start, current) in pairs)
+            for c in children:
+                d2 = dfa_in.transitions.get((d, c))
+                if d2 is None or d2 not in useful_in:
+                    continue
+                for tau in child_index[c].get(currents, ()):
+                    new_pairs = tuple(
+                        (slot[0], r) for slot, (_ell, r) in zip(pairs, tau)
+                    )
+                    successor = (d2, new_pairs)
+                    entry.edges.append((node, c, tau, successor))
+                    if successor not in parents:
+                        parents[successor] = (node, c, tau)
+                        entry.nodes.add(successor)
+                        if len(parents) > self.max_product_nodes:
+                            raise BudgetExceededError(
+                                "hedge product exceeded "
+                                f"{self.max_product_nodes} nodes"
+                            )
+                        note_accept(successor)
+                        frontier.append(successor)
+        self.work += len(parents)
+        return grew
+
+    # ------------------------------------------------------------------
+    # Witness extraction (Corollary 38)
+    # ------------------------------------------------------------------
+    def hedge_witness(
+        self, key: TupleKey, pi: Tuple[Slot, ...]
+    ) -> Tuple[Tuple[str, Tuple[Slot, ...]], ...]:
+        """The child word (with per-child τ) realizing π."""
+        return self.hedge_vals[key].accepted[pi]
+
+    def build_tree(self, sigma: str, b: str, P: Tuple[str, ...], tau) -> Tree:
+        """A concrete input tree realizing configuration (σ, b, P, τ)."""
+        pi = self.tree_vals[(sigma, b, P)][tau]
+        deferred = self.deferred_tuple(P, b)
+        return Tree(b, self.build_hedge(sigma, b, deferred, pi))
+
+    def build_hedge(
+        self, sigma: str, a: str, P: Tuple[str, ...], pi
+    ) -> List[Tree]:
+        children: List[Tree] = []
+        for c, tau in self.hedge_witness((sigma, a, P), pi):
+            children.append(self.build_tree(sigma, c, P, tau))
+        return children
+
+
+def _chain_top_level(
+    dfa: DFA, segments, pi: Tuple[Slot, ...]
+) -> Optional[object]:
+    """Final DFA state of the output children word of an rhs node, for a
+    given hedge behavior π (the paper's step (3) chaining); ``None`` when π
+    is inconsistent with the segment chaining."""
+    x = dfa.run(segments[0], start=dfa.initial)
+    for j, (slot_start, slot_end) in enumerate(pi):
+        if slot_start != x:
+            return None
+        x = dfa.run(segments[j + 1], start=slot_end)
+    return x
+
+
+def typecheck_forward(
+    transducer: TreeTransducer,
+    din: DTD,
+    dout: DTD,
+    max_tuple: Optional[int] = None,
+    max_product_nodes: int = 500_000,
+    want_counterexample: bool = True,
+) -> TypecheckResult:
+    """Sound and complete typechecking of ``T`` w.r.t. DTDs (Theorem 15).
+
+    ``max_tuple`` defaults to ``C·K`` from Proposition 16 when the transducer
+    lies in some ``T^{C,K}_trac``; for transducers with unbounded deletion
+    path width pass an explicit budget to run the engine as a (possibly
+    exponential) complete procedure — :class:`BudgetExceededError` signals
+    the blow-up.
+    """
+    if transducer.uses_calls():
+        from repro.xpath.compile import compile_calls
+
+        transducer = compile_calls(transducer)
+
+    analysis = analyze(transducer)
+    if max_tuple is None:
+        if analysis.deletion_path_width is None:
+            raise ClassViolationError(
+                "transducer has unbounded deletion path width (not in any "
+                "T^{C,K}_trac); pass max_tuple to run the general engine"
+            )
+        max_tuple = max(1, analysis.copying_width * analysis.deletion_path_width)
+
+    stats = {
+        "algorithm": "forward (Lemma 14)",
+        "copying_width": analysis.copying_width,
+        "deletion_path_width": analysis.deletion_path_width,
+        "max_tuple": max_tuple,
+    }
+
+    # Empty input language: vacuously typechecks.
+    if din.is_empty():
+        return TypecheckResult(
+            True, "forward", reason="input schema is empty", stats=stats
+        )
+
+    # Root-level checks.  The minimal witness tree is only built on demand:
+    # its explicit form can be huge (it is shared internally, but callers
+    # may traverse it), and passing instances never need it.
+    root_rule = transducer.rules.get((transducer.initial, din.start))
+    if root_rule is None:
+        witness = minimal_tree(din)
+        assert witness is not None
+        return TypecheckResult(
+            False,
+            "forward",
+            counterexample=witness,
+            output=None,
+            reason="no initial rule: the translation is empty",
+            stats=stats,
+        )
+    if len(root_rule) != 1 or not isinstance(root_rule[0], RhsSym):
+        raise ClassViolationError(
+            "the rule for the input root symbol must produce a single "
+            "Σ-rooted tree (Definition 5)"
+        )
+    root_out = root_rule[0]
+    if root_out.label != dout.start:
+        witness = minimal_tree(din)
+        assert witness is not None
+        return TypecheckResult(
+            False,
+            "forward",
+            counterexample=witness,
+            output=transducer.apply(witness),
+            reason=(
+                f"output root is {root_out.label!r}, "
+                f"output schema starts with {dout.start!r}"
+            ),
+            stats=stats,
+        )
+
+    engine = ForwardEngine(transducer, din, dout, max_tuple, max_product_nodes)
+    pairs = reachable_pairs(transducer, din)
+    checks: List[Tuple[Pair, Tuple[int, ...], str, Tuple, Tuple[str, ...], TupleKey]] = []
+    for (q, a) in pairs:
+        rhs = transducer.rules.get((q, a))
+        if rhs is None:
+            continue
+        for path, node in iter_rhs_nodes(rhs):
+            if not isinstance(node, RhsSym):
+                continue
+            segments = top_decomposition(node.children)
+            P = top_states(node.children)
+            key = engine.request_hedge(node.label, a, P)
+            checks.append(((q, a), path, node.label, segments, P, key))
+
+    engine.run()
+    stats["product_nodes"] = engine.work
+    stats["reachable_pairs"] = len(pairs)
+
+    violations: List[Violation] = []
+    for pair, path, sigma, segments, P, key in checks:
+        dfa = engine.out_dfa(sigma)
+        entry = engine.hedge_vals[key]
+        for pi in entry.accepted:
+            final = _chain_top_level(dfa, segments, pi)
+            if final is not None and final not in dfa.finals:
+                violations.append(Violation(pair, path, sigma, pi, final))
+                break  # one violating π per rhs node suffices
+
+    stats["violations"] = len(violations)
+    if not violations:
+        return TypecheckResult(True, "forward", stats=stats)
+
+    result = TypecheckResult(
+        False,
+        "forward",
+        reason=_describe(violations[0]),
+        stats=stats,
+    )
+    if want_counterexample:
+        violation = violations[0]
+        (q, a) = violation.pair
+        deferred_key = (violation.sigma, a, _pi_states(transducer, q, a, violation.rhs_path))
+        subtree_children = engine.build_hedge(
+            violation.sigma, a, deferred_key[2], violation.pi
+        )
+        subtree = Tree(a, subtree_children)
+        context, hole = context_for(violation.pair, pairs, din)
+        counterexample = context.replace(hole, subtree)
+        result.counterexample = counterexample
+        result.output = transducer.apply(counterexample)
+    return result
+
+
+def _pi_states(transducer, q, a, path) -> Tuple[str, ...]:
+    from repro.transducers.rhs import node_at
+
+    node = node_at(transducer.rules[(q, a)], path)
+    assert isinstance(node, RhsSym)
+    return top_states(node.children)
+
+
+def _describe(violation: Violation) -> str:
+    q, a = violation.pair
+    return (
+        f"children of a {violation.sigma!r}-node produced by rhs({q!r}, {a!r}) "
+        f"at {violation.rhs_path} can violate dout({violation.sigma!r})"
+    )

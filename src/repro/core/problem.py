@@ -1,0 +1,45 @@
+"""Instance and result types for the typechecking problem (Definition 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.trees.tree import Tree
+
+
+@dataclass
+class TypecheckResult:
+    """Outcome of a typechecking run.
+
+    ``typechecks`` answers Definition 8; when ``False`` a counterexample
+    input tree is attached whenever the algorithm produces one
+    (Corollary 38 — all complete algorithms here do, possibly on demand).
+    """
+
+    typechecks: bool
+    algorithm: str
+    counterexample: Optional[Tree] = None
+    output: Optional[Tree] = None
+    reason: str = ""
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.typechecks
+
+    def verify(self, transducer, sin_accepts, sout_accepts) -> bool:
+        """Check the attached counterexample against the instance.
+
+        ``sin_accepts`` / ``sout_accepts`` are predicates on trees (e.g.
+        ``din.accepts`` / ``dout.accepts``).  A failing instance must carry a
+        tree of the input schema whose translation violates the output
+        schema; ``None`` translations (empty output) always violate.
+        """
+        if self.typechecks:
+            return self.counterexample is None
+        if self.counterexample is None:
+            return False
+        if not sin_accepts(self.counterexample):
+            return False
+        image = transducer.apply(self.counterexample)
+        return image is None or not sout_accepts(image)

@@ -1,0 +1,178 @@
+"""Reachable (state, symbol) pairs of a transducer w.r.t. an input DTD.
+
+A pair ``(q, a)`` is *reachable* when some tree of ``L(din)`` has an
+``a``-labeled node processed by ``T`` in state ``q`` (Section 5).  Because a
+state occurring anywhere in ``rhs(q, a)`` processes *all* children of the
+current node, reachability is the fixpoint
+
+    ``(q₀, s_din)`` reachable (if ``L(din) ≠ ∅``);
+    ``(q', b)`` reachable when ``(q, a)`` is, ``q'`` occurs in ``rhs(q, a)``
+    and ``b`` is a usable child symbol of ``a``.
+
+Each pair also records a *provenance* edge from which
+:func:`context_for` rebuilds a concrete valid input tree with a hole at a
+node processed in the given pair — the context part of counterexamples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.schemas.dtd import DTD
+from repro.strings.nfa import NFA
+from repro.transducers.rhs import all_states
+from repro.transducers.transducer import TreeTransducer
+from repro.trees.generate import minimal_tree
+from repro.trees.tree import Tree
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Why a pair is reachable: discovered from ``parent`` via a content word
+    ``word`` of ``din(parent[1])`` whose ``position``-th symbol is the
+    child's symbol."""
+
+    parent: Pair
+    word: Tuple[str, ...]
+    position: int
+
+
+def some_word_containing(
+    nfa: NFA, symbol: str, allowed
+) -> Optional[Tuple[str, ...]]:
+    """A shortest accepted word over ``allowed`` containing ``symbol``.
+
+    BFS over (state, seen-flag) — the product with the two-state "contains
+    symbol" automaton.
+    """
+    allowed = frozenset(allowed) | {symbol}
+    start = [(q, False) for q in nfa.initial]
+    parent: Dict[Tuple, Tuple] = {}
+    seen = set(start)
+    frontier = deque(start)
+    hit = None
+    for q, flag in start:
+        if flag and q in nfa.finals:  # pragma: no cover - flag starts False
+            hit = (q, flag)
+    while frontier and hit is None:
+        node = frontier.popleft()
+        q, flag = node
+        row = nfa.transitions.get(q)
+        if not row:
+            continue
+        for sym, targets in row.items():
+            if sym not in allowed:
+                continue
+            new_flag = flag or sym == symbol
+            for target in targets:
+                succ = (target, new_flag)
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                parent[succ] = (node, sym)
+                if new_flag and target in nfa.finals:
+                    hit = succ
+                    break
+                frontier.append(succ)
+            if hit:
+                break
+    if hit is None:
+        return None
+    word = []
+    node = hit
+    while node in parent:
+        node, sym = parent[node]
+        word.append(sym)
+    word.reverse()
+    return tuple(word)
+
+
+def reachable_pairs(
+    transducer: TreeTransducer, din: DTD
+) -> Dict[Pair, Optional[Provenance]]:
+    """All reachable pairs with provenance (root pair maps to ``None``).
+
+    Returns an empty mapping when ``L(din) = ∅``.
+    """
+    productive = din.productive_symbols()
+    if din.start not in productive:
+        return {}
+    pairs: Dict[Pair, Optional[Provenance]] = {
+        (transducer.initial, din.start): None
+    }
+    frontier = deque(pairs)
+    usable_cache: Dict[str, frozenset] = {}
+    while frontier:
+        pair = frontier.popleft()
+        q, a = pair
+        rhs = transducer.rules.get((q, a))
+        if rhs is None:
+            continue
+        children = usable_cache.get(a)
+        if children is None:
+            children = din.usable_children(a, productive)
+            usable_cache[a] = children
+        states = set(all_states(rhs))
+        for b in children:
+            word = some_word_containing(din.content_nfa(a), b, productive)
+            assert word is not None, "usable symbols occur in some word"
+            position = word.index(b)
+            for q2 in states:
+                succ = (q2, b)
+                if succ not in pairs:
+                    pairs[succ] = Provenance(pair, word, position)
+                    frontier.append(succ)
+    return pairs
+
+
+def context_for(
+    pair: Pair,
+    pairs: Dict[Pair, Optional[Provenance]],
+    din: DTD,
+    hole_label: str = "__hole__",
+) -> Tuple[Tree, Tuple[int, ...]]:
+    """A valid tree of ``L(din)`` with a hole at a node processed in ``pair``.
+
+    Returns ``(tree, hole_address)``; the node at the address is a
+    placeholder leaf labeled ``hole_label`` to be replaced by the violating
+    subtree (which is itself rooted at ``pair[1]``).
+    """
+    fillers: Dict[str, Tree] = {}
+
+    def filler(symbol: str) -> Tree:
+        cached = fillers.get(symbol)
+        if cached is None:
+            built = minimal_tree(din, symbol)
+            assert built is not None, "only productive symbols are used"
+            fillers[symbol] = built
+            cached = built
+        return cached
+
+    # Walk provenance up to the root, collecting the embedding steps.
+    steps = []
+    current = pair
+    while True:
+        provenance = pairs[current]
+        if provenance is None:
+            break
+        steps.append((provenance, current))
+        current = provenance.parent
+
+    # Build the tree top-down: the hole starts at the root pair's node and
+    # descends through each recorded embedding.
+    tree = Tree(hole_label)
+    address: Tuple[int, ...] = ()
+    for provenance, child_pair in reversed(steps):
+        _, parent_symbol = provenance.parent
+        children = [
+            Tree(hole_label) if i == provenance.position else filler(sym)
+            for i, sym in enumerate(provenance.word)
+        ]
+        node = Tree(parent_symbol, children)
+        tree = tree.replace(address, node)
+        address = address + (provenance.position,)
+    return tree, address

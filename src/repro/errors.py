@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised on purpose by the library derives from :class:`ReproError`
+so applications can catch library failures with a single ``except`` clause
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the library."""
+
+
+class ParseError(ReproError):
+    """A textual representation (tree term, regex, XPath, ...) is malformed."""
+
+
+class NotDeterministicError(ReproError):
+    """An operation required a deterministic automaton or transducer."""
+
+
+class NotCompleteError(ReproError):
+    """An operation required a complete automaton (e.g. complementation)."""
+
+
+class InvalidTransducerError(ReproError):
+    """A transducer violates a well-formedness constraint of Definition 5."""
+
+
+class InvalidSchemaError(ReproError):
+    """A DTD or tree automaton violates a well-formedness constraint."""
+
+
+class ClassViolationError(ReproError):
+    """An input does not belong to the transducer/schema class an algorithm
+    requires (e.g. a transducer with unbounded deletion path width passed to
+    the :math:`T_{trac}` typechecker)."""
+
+
+class BudgetExceededError(ReproError):
+    """A configurable resource guard (state-space size, tuple width, work
+    counter) was exceeded.
+
+    The tractable algorithms of the paper are polynomial only for *fixed*
+    copying/deletion bounds; the guards turn an accidental exponential blow-up
+    into a clean, reportable failure instead of an out-of-memory crash.
+    """
+
+
+class NotSupportedError(ReproError):
+    """The requested combination of features is outside the implemented
+    fragment (mirrors the open problems acknowledged in the paper)."""

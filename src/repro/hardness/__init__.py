@@ -1,0 +1,30 @@
+"""Instance generators for every lower-bound reduction in the paper.
+
+These make the intractability side of the "frontier" executable: each
+generator maps instances of a hard source problem to typechecking (or
+emptiness) instances whose answer coincides, so benchmarks can demonstrate
+the blow-up empirically and tests can verify the reductions on small cases.
+"""
+
+from repro.hardness.path_systems import PathSystem, path_system_to_dtac, solve_path_system
+from repro.hardness.dfa_intersection import theorem18_instance
+from repro.hardness.sat_unary import CNF3, cnf_to_unary_dfas, random_cnf3, satisfiable
+from repro.hardness.xpath_gadgets import (
+    theorem28_1_instance,
+    theorem28_2_instance,
+    xpath_containment_holds,
+)
+
+__all__ = [
+    "PathSystem",
+    "solve_path_system",
+    "path_system_to_dtac",
+    "theorem18_instance",
+    "CNF3",
+    "random_cnf3",
+    "satisfiable",
+    "cnf_to_unary_dfas",
+    "theorem28_1_instance",
+    "theorem28_2_instance",
+    "xpath_containment_holds",
+]

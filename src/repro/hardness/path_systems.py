@@ -1,0 +1,66 @@
+"""PATH SYSTEMS → DTAc(DFA) emptiness (Lemma 3).
+
+PATH SYSTEMS (Cook): given a finite set ``P`` of propositions, axioms
+``A ⊆ P``, inference rules ``R ⊆ P³`` (from ``a`` and ``b`` infer ``c``) and
+a goal ``p``, decide whether ``p`` is provable.  It is PTIME-complete; the
+reduction below establishes PTIME-hardness of DTAc(DFA) emptiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set, Tuple
+
+from repro.strings.nfa import NFA
+from repro.tree_automata.nta import NTA
+from repro.tree_automata.ops import complete
+
+
+@dataclass(frozen=True)
+class PathSystem:
+    """A PATH SYSTEMS instance."""
+
+    propositions: FrozenSet[str]
+    axioms: FrozenSet[str]
+    rules: FrozenSet[Tuple[str, str, str]]  # (a, b, c): from a, b infer c
+    goal: str
+
+
+def solve_path_system(instance: PathSystem) -> bool:
+    """Reference fixpoint solver."""
+    provable: Set[str] = set(instance.axioms)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b, c) in instance.rules:
+            if c not in provable and a in provable and b in provable:
+                provable.add(c)
+                changed = True
+    return instance.goal in provable
+
+
+def path_system_to_dtac(instance: PathSystem) -> NTA:
+    """The Lemma 3 automaton: a DTAc(DFA) with ``L ≠ ∅ ⟺ goal provable``.
+
+    States are the propositions (plus a completion sink); ``δ(x, x)``
+    accepts ``ε`` when ``x`` is an axiom and ``a b`` for every rule
+    ``(a, b, x)``; derivation trees of the proof system are exactly the
+    accepted trees rooted at the goal.
+    """
+    symbols = set(instance.propositions)
+    delta = {}
+    for x in symbols:
+        words: List[Tuple[str, ...]] = []
+        if x in instance.axioms:
+            words.append(())
+        for (a, b, c) in instance.rules:
+            if c == x:
+                words.append((a, b))
+        if not words:
+            continue
+        nfa = NFA.from_word(words[0], symbols)
+        for word in words[1:]:
+            nfa = nfa.union(NFA.from_word(word, symbols))
+        delta[(x, x)] = nfa.with_alphabet(symbols)
+    base = NTA(symbols, symbols, delta, {instance.goal})
+    return complete(base)

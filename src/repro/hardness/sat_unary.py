@@ -1,0 +1,90 @@
+"""3-CNF-SAT → unary DFA intersection emptiness (Lemma 27).
+
+A truth assignment is encoded as ``a^r``: variable ``x_i`` is true iff
+``r ≡ 0 (mod p_i)`` for the ``i``-th prime.  Each clause becomes a DFA over
+``{a}`` accepting the encodings that satisfy it; the formula is satisfiable
+iff the intersection of the clause DFAs is non-empty.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.strings.dfa import DFA
+from repro.strings.unary import first_primes, product_mod_dfa
+
+
+@dataclass(frozen=True)
+class CNF3:
+    """A 3-CNF formula: clauses of exactly three literals; literal ``+i`` is
+    variable ``x_i`` (1-based), ``-i`` its negation."""
+
+    num_vars: int
+    clauses: Tuple[Tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.num_vars:
+                    raise ValueError(f"bad literal {literal}")
+
+
+def satisfiable(cnf: CNF3) -> bool:
+    """Reference exponential check (for tests)."""
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        if all(
+            any(bits[abs(l) - 1] == (l > 0) for l in clause)
+            for clause in cnf.clauses
+        ):
+            return True
+    return not cnf.clauses
+
+
+def cnf_to_unary_dfas(cnf: CNF3, symbol: str = "a") -> List[DFA]:
+    """One DFA per clause; ``⋂ L(A_i) ≠ ∅ ⟺ satisfiable`` (Lemma 27).
+
+    Each clause DFA tracks the residues modulo its three variables' primes
+    (size ``O(p₁p₂p₃) = O(n^6)`` overall, matching the paper's bound).
+    """
+    primes = first_primes(cnf.num_vars)
+    dfas: List[DFA] = []
+    for clause in cnf.clauses:
+        variables = [abs(l) for l in clause]
+        moduli = [primes[v - 1] for v in variables]
+        accepting = set()
+        for vector in itertools.product(*[range(m) for m in moduli]):
+            satisfied = False
+            for literal, residue in zip(clause, vector):
+                value = residue == 0
+                if (literal > 0) == value:
+                    satisfied = True
+                    break
+            if satisfied:
+                accepting.add(vector)
+        dfas.append(product_mod_dfa(moduli, accepting, symbol))
+    return dfas
+
+
+def assignment_of_word_length(cnf: CNF3, length: int) -> List[bool]:
+    """Decode ``a^length`` back into a truth assignment."""
+    primes = first_primes(cnf.num_vars)
+    return [length % p == 0 for p in primes]
+
+
+def random_cnf3(
+    num_vars: int, num_clauses: int, rng: random.Random | None = None
+) -> CNF3:
+    """A random 3-CNF formula (with replacement, distinct variables per
+    clause when possible)."""
+    rng = rng if rng is not None else random.Random()
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), k=min(3, num_vars))
+        while len(variables) < 3:
+            variables.append(rng.randint(1, num_vars))
+        clause = tuple(v if rng.random() < 0.5 else -v for v in variables)
+        clauses.append(clause)
+    return CNF3(num_vars, tuple(clauses))

@@ -1,0 +1,24 @@
+"""Schemas: DTDs parameterized by content-model representations.
+
+Definition 1 of the paper: a DTD is a pair ``(d, s_d)`` where ``d`` maps
+alphabet symbols to representations of regular string languages drawn from a
+class ``M`` (DFA, NFA, regular expressions, RE⁺ expressions) and ``s_d`` is
+the start symbol.  :class:`~repro.schemas.dtd.DTD` accepts content models in
+any of these representations and exposes compiled NFA/DFA views; the class of
+the *authored* representations is what the complexity results key on
+(``DTD(DFA)`` vs ``DTD(NFA)`` vs ``DTD(RE⁺)``).
+"""
+
+from repro.schemas.dtd import DTD
+from repro.schemas.witnesses import t_min_dag, t_vast_dag, t_min, t_vast
+from repro.schemas.to_nta import dtd_to_nta, dtd_to_dtac
+
+__all__ = [
+    "DTD",
+    "t_min_dag",
+    "t_vast_dag",
+    "t_min",
+    "t_vast",
+    "dtd_to_nta",
+    "dtd_to_dtac",
+]

@@ -1,0 +1,324 @@
+"""DTDs — Definition 1 of the paper.
+
+A :class:`DTD` maps alphabet symbols to content models and fixes a start
+symbol.  Content models may be authored as
+
+* textual regular expressions (parsed by :func:`repro.strings.parse_regex`),
+* :class:`~repro.strings.regex.Regex` ASTs,
+* :class:`~repro.strings.replus.REPlus` expressions (Section 5),
+* :class:`~repro.strings.nfa.NFA` or :class:`~repro.strings.dfa.DFA` objects.
+
+Symbols of the alphabet without an explicit rule are leaves (content ``ε``),
+matching the convention of the paper's examples (Example 10 gives no rules
+for ``title``, ``author``, ``intro`` or ``paragraph``).
+
+The *kind* of a DTD — ``DTD(DFA)``, ``DTD(NFA)``, ``DTD(RE+)`` — is the class
+of its authored representations; it drives algorithm selection and the
+complexity statements.  Compiled NFA/DFA views are cached per symbol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple, Union
+
+from repro.errors import InvalidSchemaError
+from repro.strings.dfa import DFA
+from repro.strings.nfa import NFA
+from repro.strings.regex import Regex, parse_regex, regex_to_nfa
+from repro.strings.replus import REPlus, regex_is_replus, replus_from_regex
+from repro.trees.tree import Hedge, Tree
+from repro.util import has_cycle
+
+ContentModel = Union[str, Regex, REPlus, NFA, DFA]
+
+
+class DTD:
+    """A DTD ``(d, s_d)`` over the alphabet implied by its rules.
+
+    Parameters
+    ----------
+    rules:
+        Mapping from symbol to content model (see module docstring).
+    start:
+        The start symbol ``s_d``.
+    alphabet:
+        Optional extra symbols (beyond rule keys and symbols occurring in
+        content models).
+    """
+
+    def __init__(
+        self,
+        rules: Mapping[str, ContentModel],
+        start: str,
+        alphabet: Iterable[str] = (),
+    ) -> None:
+        self.start = start
+        self._raw: Dict[str, ContentModel] = {}
+        symbols = set(alphabet) | set(rules) | {start}
+        for symbol, model in rules.items():
+            if isinstance(model, str):
+                model = parse_regex(model)
+            self._raw[symbol] = model
+            symbols |= self._model_symbols(model)
+        self.alphabet: FrozenSet[str] = frozenset(symbols)
+        self._nfa_cache: Dict[str, NFA] = {}
+        self._dfa_cache: Dict[str, DFA] = {}
+
+    @staticmethod
+    def _model_symbols(model: ContentModel) -> set:
+        if isinstance(model, Regex):
+            return set(model.symbols())
+        if isinstance(model, REPlus):
+            return set(model.symbols())
+        if isinstance(model, (NFA, DFA)):
+            return set(model.alphabet)
+        raise InvalidSchemaError(f"unsupported content model {model!r}")
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"DTD(start={self.start!r}, |Σ|={len(self.alphabet)}, kind={self.kind})"
+
+    def pretty(self) -> str:
+        """Human-readable rule listing (paper style ``a → e``)."""
+        lines = [f"start: {self.start}"]
+        for symbol in sorted(self._raw):
+            model = self._raw[symbol]
+            if isinstance(model, (Regex, REPlus)):
+                lines.append(f"{symbol} → {model}")
+            else:
+                lines.append(f"{symbol} → {model!r}")
+        return "\n".join(lines)
+
+    @property
+    def kind(self) -> str:
+        """The representation class: ``RE+`` ⊂ ``regex``; ``DFA``; ``NFA``.
+
+        ``RE+`` is reported only when *every* authored content model is an
+        RE⁺ expression; automata-backed DTDs report the weakest class used
+        (an NFA anywhere makes the DTD a DTD(NFA)).
+        """
+        kinds = set()
+        for model in self._raw.values():
+            if isinstance(model, REPlus) or (
+                isinstance(model, Regex) and regex_is_replus(model)
+            ):
+                kinds.add("RE+")
+            elif isinstance(model, Regex):
+                kinds.add("regex")
+            elif isinstance(model, DFA):
+                kinds.add("DFA")
+            else:
+                kinds.add("NFA")
+        for weakest in ("NFA", "regex", "DFA", "RE+"):
+            if weakest in kinds:
+                return weakest
+        return "RE+"  # no rules at all: vacuously RE+
+
+    @property
+    def size(self) -> int:
+        """Paper size measure: sum of the content-model sizes."""
+        total = 0
+        for symbol in self.alphabet:
+            total += self.content_nfa(symbol).size
+        return total
+
+    def rules(self) -> Dict[str, ContentModel]:
+        """The authored rules (defensive copy)."""
+        return dict(self._raw)
+
+    def with_start(self, start: str) -> "DTD":
+        """The same rules with a different start symbol — the paper's
+        ``(d, a)`` notation."""
+        if start not in self.alphabet:
+            raise InvalidSchemaError(f"{start!r} is not an alphabet symbol")
+        clone = DTD.__new__(DTD)
+        clone.start = start
+        clone._raw = self._raw
+        clone.alphabet = self.alphabet
+        clone._nfa_cache = self._nfa_cache
+        clone._dfa_cache = self._dfa_cache
+        return clone
+
+    # ------------------------------------------------------------------
+    # Content-model views
+    # ------------------------------------------------------------------
+    def content(self, symbol: str) -> ContentModel:
+        """The authored content model (ε-regex for implicit leaves)."""
+        model = self._raw.get(symbol)
+        if model is None:
+            from repro.strings.regex import Epsilon
+
+            return Epsilon()
+        return model
+
+    def content_nfa(self, symbol: str) -> NFA:
+        """The content model as an NFA over the DTD's alphabet (cached)."""
+        cached = self._nfa_cache.get(symbol)
+        if cached is not None:
+            return cached
+        model = self._raw.get(symbol)
+        if model is None:
+            nfa = NFA.epsilon_language(self.alphabet)
+        elif isinstance(model, Regex):
+            nfa = regex_to_nfa(model, self.alphabet)
+        elif isinstance(model, REPlus):
+            nfa = model.to_dfa(self.alphabet).to_nfa()
+        elif isinstance(model, DFA):
+            nfa = model.to_nfa().with_alphabet(self.alphabet | model.alphabet)
+        else:
+            nfa = model.with_alphabet(self.alphabet | model.alphabet)
+        self._nfa_cache[symbol] = nfa
+        return nfa
+
+    def content_dfa(self, symbol: str) -> DFA:
+        """The content model as a DFA (cached; determinizes if needed).
+
+        For an authored DFA this is the original automaton; otherwise the
+        content model is compiled — the potentially exponential subset
+        construction here is exactly the DTD(NFA) intractability the paper
+        charges to the schema class.
+        """
+        cached = self._dfa_cache.get(symbol)
+        if cached is not None:
+            return cached
+        model = self._raw.get(symbol)
+        if isinstance(model, DFA):
+            dfa = model
+        elif isinstance(model, REPlus):
+            dfa = model.to_dfa(self.alphabet)
+        else:
+            dfa = self.content_nfa(symbol).determinize().minimize().renumber()
+        self._dfa_cache[symbol] = dfa
+        return dfa
+
+    def content_replus(self, symbol: str) -> REPlus:
+        """The content model as an RE⁺ expression (Section 5 algorithms).
+
+        Raises :class:`InvalidSchemaError` when the authored model is not an
+        RE⁺ expression.
+        """
+        model = self._raw.get(symbol)
+        if model is None:
+            return REPlus.epsilon()
+        if isinstance(model, REPlus):
+            return model
+        if isinstance(model, Regex) and regex_is_replus(model):
+            return replus_from_regex(model)
+        raise InvalidSchemaError(
+            f"content model of {symbol!r} is not an RE+ expression"
+        )
+
+    # ------------------------------------------------------------------
+    # Validation (Definition 1: tree satisfaction)
+    # ------------------------------------------------------------------
+    def accepts(self, tree: Tree) -> bool:
+        """Whether ``tree`` satisfies the DTD (root = start and every node's
+        child word is in its content model)."""
+        return tree.label == self.start and self.partly_satisfies((tree,))
+
+    def partly_satisfies(self, hedge: Hedge) -> bool:
+        """The paper's *partly satisfies*: every node's child word conforms,
+        with no requirement on the root labels of the hedge."""
+        stack: List[Tree] = list(hedge)
+        while stack:
+            node = stack.pop()
+            word = tuple(child.label for child in node.children)
+            if not self.content_dfa(node.label).accepts(word):
+                return False
+            stack.extend(node.children)
+        return True
+
+    def violations(self, tree: Tree) -> List[Tuple[Tuple[int, ...], str]]:
+        """Diagnostic list of violations ``(node address, reason)``."""
+        issues: List[Tuple[Tuple[int, ...], str]] = []
+        if tree.label != self.start:
+            issues.append(((), f"root is {tree.label!r}, expected {self.start!r}"))
+        for path, node in tree.nodes():
+            word = tuple(child.label for child in node.children)
+            if not self.content_dfa(node.label).accepts(word):
+                issues.append(
+                    (path, f"children {' '.join(word) or 'ε'} ∉ d({node.label})")
+                )
+        return issues
+
+    # ------------------------------------------------------------------
+    # Structural analyses
+    # ------------------------------------------------------------------
+    def productive_symbols(self) -> FrozenSet[str]:
+        """Symbols ``a`` with ``L(d, a) ≠ ∅`` (fixpoint)."""
+        productive: set = set()
+        changed = True
+        while changed:
+            changed = False
+            for symbol in self.alphabet:
+                if symbol in productive:
+                    continue
+                if not self.content_nfa(symbol).is_empty(productive):
+                    productive.add(symbol)
+                    changed = True
+        return frozenset(productive)
+
+    def is_empty(self) -> bool:
+        """Whether ``L(d) = ∅``."""
+        return self.start not in self.productive_symbols()
+
+    def usable_children(self, symbol: str, productive: FrozenSet[str] | None = None):
+        """Symbols occurring in some content word of ``symbol`` built from
+        productive symbols — exactly the labels that can appear below a
+        ``symbol`` node in a valid tree."""
+        if productive is None:
+            productive = self.productive_symbols()
+        return self.content_nfa(symbol).used_symbols(productive)
+
+    def reachable_symbols(self) -> FrozenSet[str]:
+        """Symbols that occur in at least one tree of ``L(d)``."""
+        productive = self.productive_symbols()
+        if self.start not in productive:
+            return frozenset()
+        seen = {self.start}
+        frontier = [self.start]
+        while frontier:
+            symbol = frontier.pop()
+            for child in self.usable_children(symbol, productive):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        return frozenset(seen)
+
+    def is_non_recursive(self) -> bool:
+        """Whether no symbol can appear below itself in a valid tree.
+
+        Computed on the productive-restricted child graph, so DTDs whose
+        recursion is confined to unproductive symbols count as non-recursive
+        (their languages agree with a non-recursive DTD's).
+        """
+        productive = self.productive_symbols()
+        graph = {
+            symbol: set(self.usable_children(symbol, productive))
+            for symbol in productive
+        }
+        return not has_cycle(graph)
+
+    def depth_bound(self) -> int | None:
+        """Longest root-to-leaf depth over ``L(d)``; ``None`` if unbounded or
+        the language is empty."""
+        reachable = self.reachable_symbols()
+        if not reachable:
+            return None
+        productive = self.productive_symbols()
+        graph = {
+            symbol: set(self.usable_children(symbol, productive)) & reachable
+            for symbol in reachable
+        }
+        if has_cycle(graph):
+            return None
+        depth: Dict[str, int] = {}
+
+        def height(symbol: str) -> int:
+            if symbol in depth:
+                return depth[symbol]
+            result = 1 + max((height(b) for b in graph[symbol]), default=0)
+            depth[symbol] = result
+            return result
+
+        return height(self.start)

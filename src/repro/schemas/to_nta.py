@@ -1,0 +1,38 @@
+"""DTD → tree automaton conversion.
+
+A DTD is the special case of a tree automaton whose states are the alphabet
+symbols themselves: state ``a`` accepts exactly the trees rooted ``a`` whose
+every node satisfies its content model.  The resulting NTA is bottom-up
+deterministic by construction (``δ(a, b) ≠ ∅`` only when ``a = b``); use
+:func:`repro.tree_automata.ops.complete` to obtain a DTAc.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.schemas.dtd import DTD
+from repro.strings.nfa import NFA
+from repro.tree_automata.nta import NTA
+from repro.tree_automata.ops import complete
+
+
+def dtd_to_nta(dtd: DTD) -> NTA:
+    """The canonical deterministic (not complete) NTA for ``L(dtd)``."""
+    states = dtd.alphabet
+    delta: Dict[Tuple[str, str], NFA] = {}
+    for symbol in dtd.alphabet:
+        # Content words are over Σ and states are Σ: the horizontal
+        # language can be reused verbatim.
+        delta[(symbol, symbol)] = dtd.content_nfa(symbol).with_alphabet(states)
+    return NTA(states, dtd.alphabet, delta, {dtd.start})
+
+
+def dtd_to_dtac(dtd: DTD) -> NTA:
+    """A bottom-up deterministic *complete* automaton (DTAc) for ``L(dtd)``.
+
+    DTDs author their content models; when they are DFAs the result is a
+    DTAc(DFA) in the paper's sense (the sink's horizontal languages are
+    complements of deterministic automata, hence deterministic).
+    """
+    return complete(dtd_to_nta(dtd))

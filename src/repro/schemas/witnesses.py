@@ -1,0 +1,81 @@
+"""The witness trees ``t_min_a`` and ``t_vast_a`` of Section 5/6.
+
+For a non-recursive DTD whose content models are RE⁺ expressions
+``a₁^{α₁} ⋯ a_n^{α_n}``:
+
+* ``t_min_a  = a(t_min_{a₁} ⋯ t_min_{a_n})`` — one child per factor;
+* ``t_vast_a = a(h_{a₁} ⋯ h_{a_n})`` with ``h_{a_i}`` being *two* copies of
+  ``t_vast_{a_i}`` when ``α_i`` is ⁺ and one copy otherwise.
+
+``t_vast`` doubles on every ⁺-factor, so its unfolded size is exponential in
+the DTD depth; we build both trees as shared DAGs (one node per symbol),
+which the transducer/validation machinery of :mod:`repro.trees.dag` processes
+in polynomial time — matching the paper's remark that both witnesses "can be
+easily represented by a polynomial sized extended context free grammar".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import InvalidSchemaError
+from repro.schemas.dtd import DTD
+from repro.trees.dag import DagHedge, DagTree, unfold_tree
+from repro.trees.tree import Tree
+
+
+def t_min_dag(dtd: DTD, symbol: str | None = None) -> DagTree:
+    """``t_min`` as a DAG with one node per alphabet symbol."""
+    return _witness_dag(dtd, symbol, vast=False)
+
+
+def t_vast_dag(dtd: DTD, symbol: str | None = None) -> DagTree:
+    """``t_vast`` as a DAG with one node per alphabet symbol."""
+    return _witness_dag(dtd, symbol, vast=True)
+
+
+def _witness_dag(dtd: DTD, symbol: str | None, vast: bool) -> DagTree:
+    if not dtd.is_non_recursive():
+        raise InvalidSchemaError(
+            "t_min/t_vast are defined for non-recursive DTDs only "
+            "(every non-empty DTD(RE+) is non-recursive)"
+        )
+    root = dtd.start if symbol is None else symbol
+    if root not in dtd.productive_symbols():
+        raise InvalidSchemaError(
+            f"L(d, {root!r}) is empty — no witness tree exists"
+        )
+    memo: Dict[str, DagTree] = {}
+    building: set = set()
+
+    def build(a: str) -> DagTree:
+        cached = memo.get(a)
+        if cached is not None:
+            return cached
+        if a in building:  # unproductive recursion not caught above
+            raise InvalidSchemaError(f"symbol {a!r} is recursive")
+        building.add(a)
+        expr = dtd.content_replus(a)
+        parts = []
+        for factor in expr.factors:
+            child = build(factor.symbol)
+            copies = factor.count
+            if vast and not factor.exact:
+                copies += 1
+            parts.extend([child] * copies)
+        building.discard(a)
+        node = DagTree(a, DagHedge(parts))
+        memo[a] = node
+        return node
+
+    return build(root)
+
+
+def t_min(dtd: DTD, symbol: str | None = None, max_nodes: int = 1_000_000) -> Tree:
+    """``t_min`` as an explicit tree (its size is linear in practice)."""
+    return unfold_tree(t_min_dag(dtd, symbol), max_nodes)
+
+
+def t_vast(dtd: DTD, symbol: str | None = None, max_nodes: int = 1_000_000) -> Tree:
+    """``t_vast`` unfolded — beware: exponential in the DTD depth."""
+    return unfold_tree(t_vast_dag(dtd, symbol), max_nodes)

@@ -1,0 +1,55 @@
+"""Representations of regular string languages.
+
+The paper parameterizes DTDs and tree automata by a class ``M`` of
+representations of regular string languages (Definition 1); this package
+provides the concrete classes used throughout:
+
+* :class:`~repro.strings.nfa.NFA` — nondeterministic finite automata,
+* :class:`~repro.strings.dfa.DFA` — deterministic finite automata,
+* :mod:`~repro.strings.regex` — regular expressions with a parser and
+  Glushkov compilation,
+* :mod:`~repro.strings.replus` — the RE⁺ expressions of Section 5,
+* :mod:`~repro.strings.unary` — one-letter-alphabet machinery (Lemma 27),
+* :mod:`~repro.strings.cfg` — extended context-free grammars (Section 5).
+"""
+
+from repro.strings.nfa import NFA
+from repro.strings.dfa import DFA
+from repro.strings.regex import (
+    Regex,
+    Concat,
+    Union,
+    Star,
+    Plus,
+    Optional,
+    Sym,
+    Epsilon,
+    Empty,
+    parse_regex,
+    regex_to_nfa,
+    regex_to_dfa,
+)
+from repro.strings.replus import REPlus, REPlusFactor, parse_replus
+from repro.strings.cfg import ECFG, ECFGAtom
+
+__all__ = [
+    "NFA",
+    "DFA",
+    "Regex",
+    "Concat",
+    "Union",
+    "Star",
+    "Plus",
+    "Optional",
+    "Sym",
+    "Epsilon",
+    "Empty",
+    "parse_regex",
+    "regex_to_nfa",
+    "regex_to_dfa",
+    "REPlus",
+    "REPlusFactor",
+    "parse_replus",
+    "ECFG",
+    "ECFGAtom",
+]

@@ -1,0 +1,349 @@
+"""Deterministic finite automata.
+
+A DFA here is an NFA with a single initial state and at most one successor
+per ``(state, symbol)`` pair (Section 2 of the paper).  DFAs may be
+*partial*; :meth:`DFA.complete` adds an explicit sink when a total transition
+function is needed (e.g. for complementation, Theorem 20).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Sequence, Tuple
+
+from repro.errors import InvalidSchemaError, NotDeterministicError
+from repro.strings.nfa import NFA
+
+State = Hashable
+Symbol = Hashable
+
+
+class DFA:
+    """A (possibly partial) deterministic finite automaton.
+
+    Parameters
+    ----------
+    states / alphabet / initial / finals:
+        As for :class:`~repro.strings.nfa.NFA`, but ``initial`` is a single
+        state.
+    transitions:
+        Mapping ``(state, symbol) -> state``.  Missing entries are undefined
+        transitions (the run dies).
+    """
+
+    __slots__ = ("states", "alphabet", "transitions", "initial", "finals", "_hash")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[Tuple[State, Symbol], State],
+        initial: State,
+        finals: Iterable[State],
+    ) -> None:
+        self.states: FrozenSet[State] = frozenset(states)
+        self.alphabet: FrozenSet[Symbol] = frozenset(alphabet)
+        self.transitions: Dict[Tuple[State, Symbol], State] = dict(transitions)
+        self.initial: State = initial
+        self.finals: FrozenSet[State] = frozenset(finals)
+        if initial not in self.states:
+            raise InvalidSchemaError("initial state must be a state")
+        if not self.finals <= self.states:
+            raise InvalidSchemaError("final states must be states")
+        for (src, symbol), tgt in self.transitions.items():
+            if src not in self.states or tgt not in self.states:
+                raise InvalidSchemaError("transition endpoints must be states")
+            if symbol not in self.alphabet:
+                raise InvalidSchemaError(f"transition on unknown symbol {symbol!r}")
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"DFA(|Q|={len(self.states)}, |Σ|={len(self.alphabet)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DFA):
+            return NotImplemented
+        return (
+            self.states == other.states
+            and self.alphabet == other.alphabet
+            and self.transitions == other.transitions
+            and self.initial == other.initial
+            and self.finals == other.finals
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self.states,
+                    self.alphabet,
+                    self.initial,
+                    self.finals,
+                    frozenset(self.transitions.items()),
+                )
+            )
+        return self._hash
+
+    @property
+    def size(self) -> int:
+        """Paper size measure ``|Q| + |Σ| + Σ|δ(q,a)|``."""
+        return len(self.states) + len(self.alphabet) + len(self.transitions)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_word(word: Sequence[Symbol], alphabet: Iterable[Symbol] = ()) -> "DFA":
+        """A DFA accepting exactly ``word``."""
+        sigma = set(alphabet) | set(word)
+        states = list(range(len(word) + 1))
+        transitions = {(i, word[i]): i + 1 for i in range(len(word))}
+        return DFA(states, sigma, transitions, 0, {len(word)})
+
+    @staticmethod
+    def universal(alphabet: Iterable[Symbol]) -> "DFA":
+        """A DFA accepting every word over ``alphabet``."""
+        sigma = frozenset(alphabet)
+        return DFA({0}, sigma, {(0, a): 0 for a in sigma}, 0, {0})
+
+    @staticmethod
+    def empty_language(alphabet: Iterable[Symbol]) -> "DFA":
+        """A DFA accepting no word."""
+        return DFA({0}, alphabet, {}, 0, set())
+
+    @staticmethod
+    def from_nfa(nfa: NFA) -> "DFA":
+        """Interpret an NFA that happens to be deterministic as a DFA.
+
+        Raises :class:`NotDeterministicError` when ``nfa`` has several
+        initial states or a nondeterministic transition.
+        """
+        if len(nfa.initial) != 1:
+            raise NotDeterministicError("NFA has several initial states")
+        transitions: Dict[Tuple[State, Symbol], State] = {}
+        for src, row in nfa.transitions.items():
+            for symbol, tgts in row.items():
+                if len(tgts) > 1:
+                    raise NotDeterministicError(
+                        f"nondeterministic transition from {src!r} on {symbol!r}"
+                    )
+                (tgt,) = tgts
+                transitions[(src, symbol)] = tgt
+        (initial,) = nfa.initial
+        return DFA(nfa.states, nfa.alphabet, transitions, initial, nfa.finals)
+
+    def to_nfa(self) -> NFA:
+        """The same automaton as an :class:`NFA`."""
+        table: Dict[State, Dict[Symbol, set]] = {}
+        for (src, symbol), tgt in self.transitions.items():
+            table.setdefault(src, {}).setdefault(symbol, set()).add(tgt)
+        return NFA(self.states, self.alphabet, table, {self.initial}, self.finals)
+
+    def map_states(self, mapping) -> "DFA":
+        """Rename states through an injective ``mapping``."""
+        return DFA(
+            {mapping(q) for q in self.states},
+            self.alphabet,
+            {(mapping(s), a): mapping(t) for (s, a), t in self.transitions.items()},
+            mapping(self.initial),
+            {mapping(q) for q in self.finals},
+        )
+
+    def renumber(self) -> "DFA":
+        """Canonically rename states to ``0..n-1`` by BFS order from the
+        initial state (unreachable states keep arbitrary later numbers)."""
+        order: Dict[State, int] = {self.initial: 0}
+        frontier = deque([self.initial])
+        symbols = sorted(self.alphabet, key=repr)
+        while frontier:
+            src = frontier.popleft()
+            for symbol in symbols:
+                tgt = self.transitions.get((src, symbol))
+                if tgt is not None and tgt not in order:
+                    order[tgt] = len(order)
+                    frontier.append(tgt)
+        for state in sorted(self.states - set(order), key=repr):
+            order[state] = len(order)
+        return self.map_states(lambda q: order[q])
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def step(self, state: State | None, symbol: Symbol) -> State | None:
+        """Single transition; ``None`` represents the dead configuration."""
+        if state is None:
+            return None
+        return self.transitions.get((state, symbol))
+
+    def run(self, word: Iterable[Symbol], start: State | None = None) -> State | None:
+        """Extended transition function δ*; ``None`` when the run dies."""
+        state: State | None = self.initial if start is None else start
+        for symbol in word:
+            state = self.step(state, symbol)
+            if state is None:
+                return None
+        return state
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        """Whether the DFA accepts ``word``."""
+        return self.run(word) in self.finals
+
+    # ------------------------------------------------------------------
+    # Completion / complementation
+    # ------------------------------------------------------------------
+    def is_complete(self, alphabet: Iterable[Symbol] | None = None) -> bool:
+        """Whether every (state, symbol) pair has a transition."""
+        sigma = self.alphabet if alphabet is None else frozenset(alphabet)
+        return all((q, a) in self.transitions for q in self.states for a in sigma)
+
+    def complete(self, alphabet: Iterable[Symbol] | None = None) -> "DFA":
+        """A complete DFA for the same language, adding a sink if needed.
+
+        ``alphabet`` may enlarge the alphabet; new symbols lead to the sink.
+        """
+        sigma = self.alphabet | (frozenset(alphabet) if alphabet is not None else frozenset())
+        if self.is_complete(sigma):
+            return self if sigma == self.alphabet else DFA(
+                self.states, sigma, self.transitions, self.initial, self.finals
+            )
+        sink = ("__sink__", len(self.states))
+        while sink in self.states:
+            sink = (sink, 0)
+        states = set(self.states) | {sink}
+        transitions = dict(self.transitions)
+        for q in states:
+            for a in sigma:
+                transitions.setdefault((q, a), sink)
+        return DFA(states, sigma, transitions, self.initial, self.finals)
+
+    def complement(self, alphabet: Iterable[Symbol] | None = None) -> "DFA":
+        """Complement w.r.t. all words over ``alphabet`` (default: own)."""
+        completed = self.complete(alphabet)
+        return DFA(
+            completed.states,
+            completed.alphabet,
+            completed.transitions,
+            completed.initial,
+            completed.states - completed.finals,
+        )
+
+    # ------------------------------------------------------------------
+    # Language queries (delegated or direct)
+    # ------------------------------------------------------------------
+    def is_empty(self, symbols: Iterable[Symbol] | None = None) -> bool:
+        """Whether no word (over ``symbols`` if given) is accepted."""
+        return self.to_nfa().is_empty(symbols)
+
+    def some_word(self, symbols: Iterable[Symbol] | None = None):
+        """A shortest accepted word, or ``None``."""
+        return self.to_nfa().some_word(symbols)
+
+    def used_symbols(self, symbols: Iterable[Symbol] | None = None):
+        """Symbols occurring in at least one accepted word."""
+        return self.to_nfa().used_symbols(symbols)
+
+    def iter_words(self, max_length: int):
+        """All accepted words up to ``max_length`` (testing helper)."""
+        return self.to_nfa().iter_words(max_length)
+
+    def contains(self, other: "DFA | NFA") -> bool:
+        """Whether ``L(other) ⊆ L(self)``."""
+        other_nfa = other.to_nfa() if isinstance(other, DFA) else other
+        comp = self.complement(self.alphabet | other_nfa.alphabet)
+        return other_nfa.product(comp.to_nfa()).is_empty()
+
+    def equivalent(self, other: "DFA") -> bool:
+        """Language equivalence."""
+        return self.contains(other) and other.contains(self)
+
+    def product(self, other: "DFA", finals: str = "both") -> "DFA":
+        """Product DFA over the shared alphabet.
+
+        ``finals`` selects the acceptance condition: ``"both"`` for
+        intersection, ``"left"``/``"right"`` to track one component, or
+        ``"either"`` for union (requires both factors complete to be exact).
+        """
+        alphabet = self.alphabet & other.alphabet
+        start = (self.initial, other.initial)
+        states = {start}
+        transitions: Dict[Tuple[State, Symbol], State] = {}
+        frontier = deque([start])
+        while frontier:
+            p, q = frontier.popleft()
+            for symbol in alphabet:
+                tp = self.transitions.get((p, symbol))
+                tq = other.transitions.get((q, symbol))
+                if tp is None or tq is None:
+                    continue
+                target = (tp, tq)
+                transitions[((p, q), symbol)] = target
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+        if finals == "both":
+            accept = {
+                (p, q) for (p, q) in states if p in self.finals and q in other.finals
+            }
+        elif finals == "left":
+            accept = {(p, q) for (p, q) in states if p in self.finals}
+        elif finals == "right":
+            accept = {(p, q) for (p, q) in states if q in other.finals}
+        elif finals == "either":
+            accept = {
+                (p, q) for (p, q) in states if p in self.finals or q in other.finals
+            }
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown finals mode {finals!r}")
+        return DFA(states, alphabet, transitions, start, accept)
+
+    # ------------------------------------------------------------------
+    # Minimization (Hopcroft-style partition refinement via Moore)
+    # ------------------------------------------------------------------
+    def minimize(self) -> "DFA":
+        """Language-minimal complete DFA (Moore partition refinement).
+
+        The result is complete over the automaton's alphabet; the dead state,
+        if any, is retained only when it is reachable.
+        """
+        completed = self.complete()
+        reachable = completed.to_nfa().reachable_states()
+        states = [q for q in completed.states if q in reachable]
+        symbols = sorted(completed.alphabet, key=repr)
+
+        # Initial partition: finals vs non-finals.
+        block_of: Dict[State, int] = {
+            q: (0 if q in completed.finals else 1) for q in states
+        }
+        num_blocks = len(set(block_of.values()))
+        changed = True
+        while changed:
+            changed = False
+            signatures: Dict[tuple, list] = {}
+            for q in states:
+                sig = (
+                    block_of[q],
+                    tuple(block_of[completed.transitions[(q, a)]] for a in symbols),
+                )
+                signatures.setdefault(sig, []).append(q)
+            if len(signatures) != num_blocks:
+                changed = True
+                num_blocks = len(signatures)
+                for index, group in enumerate(signatures.values()):
+                    for q in group:
+                        block_of[q] = index
+        transitions = {
+            (block_of[q], a): block_of[completed.transitions[(q, a)]]
+            for q in states
+            for a in symbols
+        }
+        finals = {block_of[q] for q in states if q in completed.finals}
+        return DFA(
+            set(block_of.values()),
+            completed.alphabet,
+            transitions,
+            block_of[completed.initial],
+            finals,
+        ).renumber()

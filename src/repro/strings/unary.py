@@ -1,0 +1,122 @@
+"""One-letter-alphabet automata — the machinery behind Lemma 27.
+
+Lemma 27 reduces 3-CNF satisfiability to intersection emptiness of DFAs over
+the unary alphabet ``{a}``: a truth assignment is encoded as a word ``a^r``
+where variable ``x_i`` is true iff ``r ≡ 0 (mod p_i)`` for the ``i``-th prime
+``p_i``.  This module provides the primes, the modulus automata, and an
+incremental intersection-emptiness test used both by the Lemma 27 gadget and
+by the Theorem 18 / 28(2) benchmark families.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.strings.dfa import DFA
+
+
+def first_primes(n: int) -> List[int]:
+    """The first ``n`` primes (simple sieve; n is tiny in all gadgets)."""
+    if n <= 0:
+        return []
+    primes: List[int] = []
+    candidate = 2
+    while len(primes) < n:
+        if all(candidate % p for p in primes):
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+def mod_dfa(modulus: int, residues: Iterable[int], symbol: str = "a") -> DFA:
+    """DFA over ``{symbol}`` accepting ``symbol^r`` with ``r mod modulus``
+    in ``residues``."""
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    accepted = {r % modulus for r in residues}
+    transitions = {(i, symbol): (i + 1) % modulus for i in range(modulus)}
+    return DFA(range(modulus), {symbol}, transitions, 0, accepted)
+
+
+def product_mod_dfa(
+    moduli: Sequence[int],
+    accepting: Set[Tuple[int, ...]],
+    symbol: str = "a",
+) -> DFA:
+    """DFA over ``{symbol}`` tracking the residue vector modulo ``moduli``.
+
+    ``accepting`` lists the accepted residue vectors.  The state space is the
+    full product ``Π moduli`` — the size the paper's clause automata have.
+    """
+    import itertools
+
+    states = list(itertools.product(*[range(m) for m in moduli]))
+    transitions: Dict[Tuple[Tuple[int, ...], str], Tuple[int, ...]] = {}
+    for vector in states:
+        successor = tuple((vector[i] + 1) % moduli[i] for i in range(len(moduli)))
+        transitions[(vector, symbol)] = successor
+    start = tuple(0 for _ in moduli)
+    return DFA(states, {symbol}, transitions, start, accepting)
+
+
+def unary_word_length(dfa: DFA, symbol: str = "a") -> Dict[int, bool]:
+    """Map each residue class of the DFA's eventual period to acceptance.
+
+    Helper for tests: a unary DFA's language is eventually periodic; this
+    returns acceptance for lengths ``0 .. |Q| * 2`` (enough to observe the
+    period for the cycle automata used here).
+    """
+    out: Dict[int, bool] = {}
+    state = dfa.initial
+    out[0] = state in dfa.finals
+    for length in range(1, 2 * len(dfa.states) + 1):
+        state = dfa.step(state, symbol)
+        if state is None:
+            break
+        out[length] = state in dfa.finals
+    return out
+
+
+def intersection_nonempty_word(dfas: Sequence[DFA]) -> Tuple[str, ...] | None:
+    """A shortest word in ``⋂ L(A_i)`` or ``None`` when the intersection is
+    empty.
+
+    Explores the product space lazily (BFS over state vectors), which is the
+    textbook PSPACE-in-general / exponential-time procedure the hardness
+    results are about; the benchmarks use it as the honest baseline.
+    """
+    from collections import deque
+
+    if not dfas:
+        return ()
+    alphabet = frozenset.intersection(*[dfa.alphabet for dfa in dfas])
+    start = tuple(dfa.initial for dfa in dfas)
+
+    def accepting(vector: Tuple) -> bool:
+        return all(state in dfa.finals for state, dfa in zip(vector, dfas))
+
+    if accepting(start):
+        return ()
+    seen = {start}
+    frontier: deque[Tuple[Tuple, Tuple[str, ...]]] = deque([(start, ())])
+    while frontier:
+        vector, word = frontier.popleft()
+        for symbol in alphabet:
+            successor = tuple(
+                dfa.step(state, symbol) for state, dfa in zip(vector, dfas)
+            )
+            if any(state is None for state in successor):
+                continue
+            if successor in seen:
+                continue
+            seen.add(successor)
+            extended = word + (symbol,)
+            if accepting(successor):
+                return extended
+            frontier.append((successor, extended))
+    return None
+
+
+def intersection_empty(dfas: Sequence[DFA]) -> bool:
+    """Whether ``⋂ L(A_i) = ∅`` (see :func:`intersection_nonempty_word`)."""
+    return intersection_nonempty_word(dfas) is None

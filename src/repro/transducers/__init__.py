@@ -1,0 +1,32 @@
+"""Unranked top–down tree transducers (Section 2.3 of the paper).
+
+* :mod:`~repro.transducers.rhs` — right-hand sides: hedges over Σ whose
+  leaves may be states (or state/selector calls for the XPath extension);
+* :mod:`~repro.transducers.transducer` — :class:`TreeTransducer` with the
+  Definition 5 semantics, including evaluation over DAG-compressed inputs;
+* :mod:`~repro.transducers.analysis` — copying width, deletion widths,
+  deletion-path graph and the Proposition 16 algorithm for K, transducer
+  class predicates (T_nd, T_bc, T_trac, T_del-relab);
+* :mod:`~repro.transducers.xslt` — XSLT export (Fig. 1);
+* :mod:`~repro.transducers.image` — the Lemma 19 image-automaton
+  construction.
+"""
+
+from repro.transducers.rhs import RhsCall, RhsNode, RhsState, RhsSym, parse_rhs
+from repro.transducers.transducer import TreeTransducer
+from repro.transducers.analysis import TransducerAnalysis, analyze
+from repro.transducers.xslt import to_xslt
+from repro.transducers.image import image_nta
+
+__all__ = [
+    "RhsNode",
+    "RhsSym",
+    "RhsState",
+    "RhsCall",
+    "parse_rhs",
+    "TreeTransducer",
+    "TransducerAnalysis",
+    "analyze",
+    "to_xslt",
+    "image_nta",
+]

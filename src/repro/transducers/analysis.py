@@ -1,0 +1,240 @@
+"""Structural analysis of transducers: copying, deletion, Proposition 16.
+
+Implements the notions of Sections 2.5 and 3.1:
+
+* **deleting states** — states occurring at the top level of some rhs;
+* **copying width C** — the maximum number of state occurrences in any
+  sequence of siblings of any rhs;
+* **deletion width dw(q)** — the maximum number of states in
+  ``top(rhs(q, a))`` over all ``a``;
+* **deletion paths** and their widths; **recursively deleting** states;
+* the **deletion-path graph** ``G_T`` of Proposition 16, its condensation
+  ``G'_T`` (cost-1 cycles collapsed) and the longest-path computation of the
+  deletion path width ``K`` — with the paper's early exit: a cost-≥2 edge on
+  a cycle makes ``K`` unbounded;
+* class predicates: ``T_nd``, ``T_bc``, ``T^{C,K}_trac``, ``T_del-relab``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.transducers.rhs import (
+    RhsCall,
+    RhsState,
+    all_states,
+    sibling_sequences,
+    top_states,
+)
+from repro.transducers.transducer import TreeTransducer
+from repro.util import strongly_connected_components
+
+Node = Tuple[str, str]  # (state, symbol)
+
+
+def copying_width(transducer: TreeTransducer) -> int:
+    """The copying width C: max state occurrences among any siblings."""
+    width = 0
+    for rhs in transducer.rules.values():
+        for siblings in sibling_sequences(rhs):
+            count = sum(
+                1 for node in siblings if isinstance(node, (RhsState, RhsCall))
+            )
+            width = max(width, count)
+    return width
+
+
+def deleting_states(transducer: TreeTransducer) -> FrozenSet[str]:
+    """States with at least one top-level occurrence in some rhs."""
+    out: Set[str] = set()
+    for rhs in transducer.rules.values():
+        out.update(top_states(rhs))
+    return frozenset(out)
+
+
+def is_non_deleting(transducer: TreeTransducer) -> bool:
+    """T ∈ T_nd: no rhs contains states at its top level."""
+    return not deleting_states(transducer)
+
+
+def deletion_width(transducer: TreeTransducer, state: str) -> int:
+    """dw(q): max number of top-level states of ``rhs(q, a)`` over ``a``."""
+    width = 0
+    for (q, _a), rhs in transducer.rules.items():
+        if q == state:
+            width = max(width, len(top_states(rhs)))
+    return width
+
+
+def deletion_path_graph(
+    transducer: TreeTransducer,
+) -> Tuple[Dict[Node, Set[Node]], Dict[Tuple[Node, Node], int]]:
+    """The graph ``G_T`` of Proposition 16.
+
+    Nodes are pairs ``(q, a)``; there is an edge ``(q,a) → (q', a')`` for
+    every state ``q'`` occurring in ``top(rhs(q, a))`` and every symbol
+    ``a'``; its cost is the number of states at ``top(rhs(q, a))``.
+    """
+    nodes = [(q, a) for q in transducer.states for a in transducer.alphabet]
+    edges: Dict[Node, Set[Node]] = {node: set() for node in nodes}
+    cost: Dict[Tuple[Node, Node], int] = {}
+    for (q, a), rhs in transducer.rules.items():
+        tops = top_states(rhs)
+        if not tops:
+            continue
+        weight = len(tops)
+        for q2 in set(tops):
+            for a2 in transducer.alphabet:
+                edge = ((q, a), (q2, a2))
+                edges[(q, a)].add((q2, a2))
+                cost[edge] = weight
+    return edges, cost
+
+
+def deletion_path_width(transducer: TreeTransducer) -> Optional[int]:
+    """The deletion path width K via Proposition 16, or ``None`` when no
+    finite bound exists (a copying deletion cycle).
+
+    Algorithm: build ``G_T``; if an edge of cost ≥ 2 lies on a cycle, K is
+    unbounded; otherwise collapse the (cost-1) cycles and take the maximum
+    product of edge costs over paths of the resulting DAG ``G'_T``.
+    """
+    edges, cost = deletion_path_graph(transducer)
+
+    components = strongly_connected_components(edges)
+    component_of: Dict[Node, int] = {}
+    for index, component in enumerate(components):
+        for node in component:
+            component_of[node] = index
+
+    def on_cycle(src: Node, dst: Node) -> bool:
+        if component_of[src] != component_of[dst]:
+            return False
+        if src != dst:
+            return True  # same non-trivial SCC
+        return dst in edges[src]  # self-loop
+
+    for (src, dst), weight in cost.items():
+        if weight > 1 and on_cycle(src, dst):
+            return None
+
+    # Condensation: DAG over SCC indices; edge costs carried over (cycle
+    # edges all have cost 1 and disappear).
+    dag: Dict[int, Dict[int, int]] = {}
+    for src, targets in edges.items():
+        for dst in targets:
+            ci, cj = component_of[src], component_of[dst]
+            if ci == cj:
+                continue
+            weight = cost[(src, dst)]
+            row = dag.setdefault(ci, {})
+            row[cj] = max(row.get(cj, 1), weight)
+
+    # Longest (max-product) path over the DAG.  Tarjan emits components in
+    # reverse topological order, so iterate components forward: successors
+    # of component i appear before i in `components`.
+    best: Dict[int, int] = {index: 1 for index in range(len(components))}
+    for index in range(len(components)):
+        for succ, weight in dag.get(index, {}).items():
+            candidate = weight * best[succ]
+            if candidate > best[index]:
+                best[index] = candidate
+    return max(best.values(), default=1)
+
+
+def deletion_paths(
+    transducer: TreeTransducer, max_length: int = 8
+) -> List[Tuple[str, ...]]:
+    """Deletion paths (state sequences) up to ``max_length`` — Example 12's
+    notion, for inspection and tests."""
+    graph: Dict[str, Set[str]] = {q: set() for q in transducer.states}
+    for (q, _a), rhs in transducer.rules.items():
+        graph[q].update(top_states(rhs))
+    paths: List[Tuple[str, ...]] = []
+
+    def extend(path: Tuple[str, ...]) -> None:
+        if len(path) >= 2:
+            paths.append(path)
+        if len(path) >= max_length:
+            return
+        for succ in sorted(graph[path[-1]]):
+            extend(path + (succ,))
+
+    for q in sorted(transducer.states):
+        extend((q,))
+    return paths
+
+
+def path_width(transducer: TreeTransducer, path: Tuple[str, ...]) -> int:
+    """The width of a deletion path: ``Π dw(q_i)`` for i < n (Section 3.1)."""
+    width = 1
+    for state in path[:-1]:
+        width *= deletion_width(transducer, state)
+    return width
+
+
+def recursively_deleting_states(transducer: TreeTransducer) -> FrozenSet[str]:
+    """States occurring twice in some deletion path = states on a cycle of
+    the state-level deletion graph."""
+    graph: Dict[str, Set[str]] = {q: set() for q in transducer.states}
+    for (q, _a), rhs in transducer.rules.items():
+        graph[q].update(top_states(rhs))
+    components = strongly_connected_components(graph)
+    recursive: Set[str] = set()
+    for component in components:
+        if len(component) > 1:
+            recursive |= component
+        else:
+            (node,) = component
+            if node in graph[node]:
+                recursive.add(node)
+    # Only states that actually delete are "recursively deleting".
+    return frozenset(recursive & deleting_states(transducer))
+
+
+@dataclass(frozen=True)
+class TransducerAnalysis:
+    """Summary of the structural analysis of a transducer."""
+
+    copying_width: int
+    deletion_path_width: Optional[int]  # None = unbounded
+    deleting: FrozenSet[str]
+    recursively_deleting: FrozenSet[str]
+    non_deleting: bool
+    max_states_per_rhs: int
+    uses_calls: bool
+
+    @property
+    def in_trac(self) -> bool:
+        """Whether the transducer lies in some class ``T^{C,K}_trac``."""
+        return self.deletion_path_width is not None
+
+    def in_trac_class(self, c: int, k: int) -> bool:
+        """Whether the transducer lies in ``T^{C,K}_trac`` for given C, K."""
+        return (
+            self.copying_width <= c
+            and self.deletion_path_width is not None
+            and self.deletion_path_width <= k
+        )
+
+    @property
+    def is_del_relab(self) -> bool:
+        """T_del-relab (Section 3.3): at most one state per rhs."""
+        return self.max_states_per_rhs <= 1
+
+
+def analyze(transducer: TreeTransducer) -> TransducerAnalysis:
+    """Compute the full structural summary (Proposition 16 is PTIME)."""
+    return TransducerAnalysis(
+        copying_width=copying_width(transducer),
+        deletion_path_width=deletion_path_width(transducer),
+        deleting=deleting_states(transducer),
+        recursively_deleting=recursively_deleting_states(transducer),
+        non_deleting=is_non_deleting(transducer),
+        max_states_per_rhs=max(
+            (len(all_states(rhs)) for rhs in transducer.rules.values()),
+            default=0,
+        ),
+        uses_calls=transducer.uses_calls(),
+    )

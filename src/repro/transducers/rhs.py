@@ -1,0 +1,248 @@
+"""Right-hand sides of transducer rules.
+
+A right-hand side is a hedge over ``Σ`` whose leaves may additionally be
+
+* **states** — ``h ∈ H_Σ(Q)``, Definition 5: the state is replaced by the
+  translations of the current node's children;
+* **calls** ``⟨q, P⟩`` — Section 4's XPath extension: the state processes the
+  nodes *selected* by pattern ``P`` (or by a selecting DFA) instead of the
+  children.
+
+Concrete syntax (for :func:`parse_rhs`): the paper's term syntax where any
+token that names a state is a state leaf, e.g. ``"c(p q)"`` with states
+``{p, q}``.  Calls use angle-bracket syntax ``⟨q, pattern⟩`` written as
+``<q, .//title>``.
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import ParseError
+
+RhsHedge = Tuple["RhsNode", ...]
+
+
+class RhsNode:
+    """Base class of rhs nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class RhsSym(RhsNode):
+    """An output node labeled ``label`` with an rhs hedge below it."""
+
+    label: str
+    children: RhsHedge = ()
+
+    def __str__(self) -> str:
+        if not self.children:
+            return self.label
+        return f"{self.label}({rhs_str(self.children)})"
+
+
+@dataclass(frozen=True, slots=True)
+class RhsState(RhsNode):
+    """A state leaf ``q`` (processes all children of the current node)."""
+
+    state: str
+
+    def __str__(self) -> str:
+        return self.state
+
+
+@dataclass(frozen=True, slots=True)
+class RhsCall(RhsNode):
+    """A call ``⟨q, selector⟩`` (processes the selected descendants).
+
+    ``selector`` is an XPath pattern AST (:mod:`repro.xpath.ast`) or a
+    selecting DFA (:class:`repro.strings.dfa.DFA`).
+    """
+
+    state: str
+    selector: object
+
+    def __str__(self) -> str:
+        return f"<{self.state}, {self.selector}>"
+
+
+def rhs_str(hedge: RhsHedge) -> str:
+    """Term-syntax rendering of an rhs hedge."""
+    return " ".join(str(node) for node in hedge)
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+
+def iter_rhs_nodes(hedge: RhsHedge) -> Iterator[Tuple[Tuple[int, ...], RhsNode]]:
+    """All ``(hedge address, node)`` pairs in document order."""
+    stack: List[Tuple[Tuple[int, ...], RhsNode]] = [
+        ((index,), node) for index, node in reversed(list(enumerate(hedge)))
+    ]
+    while stack:
+        path, node = stack.pop()
+        yield path, node
+        if isinstance(node, RhsSym):
+            for index in range(len(node.children) - 1, -1, -1):
+                stack.append((path + (index,), node.children[index]))
+
+
+def node_at(hedge: RhsHedge, path: Tuple[int, ...]) -> RhsNode:
+    """The rhs node at a hedge address."""
+    node: RhsNode = hedge[path[0]]
+    for index in path[1:]:
+        assert isinstance(node, RhsSym)
+        node = node.children[index]
+    return node
+
+
+def top_states(hedge: RhsHedge) -> Tuple[str, ...]:
+    """States occurring at the top level of the hedge, in order.
+
+    These are the *deleting* occurrences (Section 2.5); calls at the top
+    level count as deleting too.
+    """
+    return tuple(
+        node.state
+        for node in hedge
+        if isinstance(node, (RhsState, RhsCall))
+    )
+
+
+def all_states(hedge: RhsHedge) -> Tuple[str, ...]:
+    """All state occurrences (states and calls) in document order."""
+    return tuple(
+        node.state
+        for _, node in iter_rhs_nodes(hedge)
+        if isinstance(node, (RhsState, RhsCall))
+    )
+
+
+def top_decomposition(hedge: RhsHedge) -> Tuple[Tuple[str, ...], ...]:
+    """The decomposition ``z₀ q₁ z₁ ⋯ q_k z_k`` of the top level: returns
+    ``(z₀, z₁, …, z_k)`` as label tuples; states are read off separately via
+    :func:`top_states`.  Calls are treated like states.
+    """
+    segments: List[Tuple[str, ...]] = []
+    current: List[str] = []
+    for node in hedge:
+        if isinstance(node, (RhsState, RhsCall)):
+            segments.append(tuple(current))
+            current = []
+        else:
+            assert isinstance(node, RhsSym)
+            current.append(node.label)
+    segments.append(tuple(current))
+    return tuple(segments)
+
+
+def sibling_sequences(hedge: RhsHedge) -> Iterator[RhsHedge]:
+    """Every sequence of siblings: the top level and all children tuples."""
+    yield hedge
+    for _, node in iter_rhs_nodes(hedge):
+        if isinstance(node, RhsSym) and node.children:
+            yield node.children
+
+
+def rhs_size(hedge: RhsHedge) -> int:
+    """Number of nodes (the paper's ``|rhs(q,a)|``)."""
+    return sum(1 for _ in iter_rhs_nodes(hedge))
+
+
+def substitute_states(hedge: RhsHedge, mapping) -> RhsHedge:
+    """Replace every state/call leaf through ``mapping(node) -> RhsHedge``."""
+    out: List[RhsNode] = []
+    for node in hedge:
+        if isinstance(node, (RhsState, RhsCall)):
+            out.extend(mapping(node))
+        else:
+            assert isinstance(node, RhsSym)
+            out.append(RhsSym(node.label, substitute_states(node.children, mapping)))
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_TOKEN = _stdlib_re.compile(
+    r"\s*(?:(?P<sym>[A-Za-z0-9_#$\-]+)|(?P<call><)|(?P<op>[(),]))"
+)
+
+
+def parse_rhs(text: str, states: Iterable[str]) -> RhsHedge:
+    """Parse an rhs in term syntax; tokens in ``states`` become state leaves.
+
+    Calls are written ``<q, pattern>`` where ``pattern`` is XPath syntax
+    (parsed by :func:`repro.xpath.parser.parse_pattern`).
+    """
+    state_set = frozenset(states)
+    tokens: List[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize rhs at ...{text[pos:pos + 12]!r}")
+        if match.group("call"):
+            end = text.find(">", match.end())
+            if end < 0:
+                raise ParseError(f"unterminated call in rhs {text!r}")
+            body = text[match.end():end]
+            state, _, pattern_text = body.partition(",")
+            state = state.strip()
+            if state not in state_set:
+                raise ParseError(f"call state {state!r} is not a state")
+            from repro.xpath.parser import parse_pattern
+
+            tokens.append(("call_state", state))
+            tokens.append(("call_pattern", pattern_text.strip()))
+            pos = end + 1
+            continue
+        pos = match.end()
+        if match.group("sym"):
+            tokens.append(("sym", match.group("sym")))
+        elif match.group("op") != ",":
+            tokens.append(("op", match.group("op")))
+
+    def parse_level(index: int) -> tuple[RhsHedge, int]:
+        nodes: List[RhsNode] = []
+        while index < len(tokens):
+            kind, value = tokens[index]
+            if (kind, value) == ("op", ")"):
+                break
+            if kind == "call_state":
+                from repro.xpath.parser import parse_pattern
+
+                pattern = parse_pattern(tokens[index + 1][1])
+                nodes.append(RhsCall(value, pattern))
+                index += 2
+                continue
+            if kind != "sym":
+                raise ParseError(f"unexpected token {value!r} in rhs {text!r}")
+            index += 1
+            if value in state_set:
+                if index < len(tokens) and tokens[index] == ("op", "("):
+                    raise ParseError(f"state {value!r} cannot have children")
+                nodes.append(RhsState(value))
+                continue
+            children: RhsHedge = ()
+            if index < len(tokens) and tokens[index] == ("op", "("):
+                children, index = parse_level(index + 1)
+                if index >= len(tokens) or tokens[index] != ("op", ")"):
+                    raise ParseError(f"unbalanced parentheses in rhs {text!r}")
+                index += 1
+            nodes.append(RhsSym(value, children))
+        return tuple(nodes), index
+
+    hedge, index = parse_level(0)
+    if index != len(tokens):
+        raise ParseError(f"trailing input in rhs {text!r}")
+    return hedge

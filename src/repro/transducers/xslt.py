@@ -1,0 +1,72 @@
+"""XSLT export — Fig. 1 of the paper.
+
+"Our tree transducers can be implemented as XSLT programs in a
+straightforward way": every rule ``(q, a) → h`` becomes a template matching
+``a`` in mode ``q``; state leaves become ``<xsl:apply-templates mode="q"/>``
+and call leaves ``⟨q, P⟩`` become ``<xsl:apply-templates select="P"
+mode="q"/>``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.transducers.rhs import RhsCall, RhsHedge, RhsState, RhsSym
+from repro.transducers.transducer import TreeTransducer
+
+
+def to_xslt(transducer: TreeTransducer, indent: int = 2) -> str:
+    """Render the transducer as an XSLT program (Fig. 1 style).
+
+    The program is started in the mode of the transducer's initial state;
+    a standard stylesheet header/footer is included.
+    """
+    lines: List[str] = [
+        '<?xml version="1.0"?>',
+        '<xsl:stylesheet version="1.0"',
+        '                xmlns:xsl="http://www.w3.org/1999/XSL/Transform">',
+        "",
+    ]
+    for (state, symbol) in sorted(transducer.rules):
+        rhs = transducer.rules[(state, symbol)]
+        lines.append(f'<xsl:template match="{symbol}" mode="{state}">')
+        _render_hedge(rhs, lines, 1, indent)
+        lines.append("</xsl:template>")
+        lines.append("")
+    lines.append("</xsl:stylesheet>")
+    return "\n".join(lines)
+
+
+def _render_hedge(hedge: RhsHedge, lines: List[str], level: int, indent: int) -> None:
+    pad = " " * (indent * level)
+    for node in hedge:
+        if isinstance(node, RhsState):
+            lines.append(f'{pad}<xsl:apply-templates mode="{node.state}"/>')
+        elif isinstance(node, RhsCall):
+            selector = _selector_xpath(node.selector)
+            lines.append(
+                f'{pad}<xsl:apply-templates select="{selector}" mode="{node.state}"/>'
+            )
+        else:
+            assert isinstance(node, RhsSym)
+            if not node.children:
+                lines.append(f"{pad}<{node.label}/>")
+            else:
+                lines.append(f"{pad}<{node.label}>")
+                _render_hedge(node.children, lines, level + 1, indent)
+                lines.append(f"{pad}</{node.label}>")
+
+
+def _selector_xpath(selector) -> str:
+    """Concrete XPath text for a call selector."""
+    from repro.strings.dfa import DFA
+
+    if isinstance(selector, DFA):
+        return f"dfa::{len(selector.states)}-states"  # informational only
+    text = str(selector)
+    # Our pattern syntax prints as ./φ or .//φ; XSLT wants a relative path.
+    if text.startswith(".//"):
+        return f"descendant::{text[3:]}" if "/" not in text[3:] else text
+    if text.startswith("./"):
+        return text[2:]
+    return text

@@ -1,0 +1,48 @@
+"""Unranked tree automata (Definition 2 of the paper).
+
+* :mod:`~repro.tree_automata.nta` — nondeterministic unranked tree automata
+  with NFA-represented horizontal languages, membership testing;
+* :mod:`~repro.tree_automata.emptiness` — the Fig. A.1 emptiness algorithm
+  with witness generation (Proposition 4(2,3));
+* :mod:`~repro.tree_automata.finiteness` — finiteness (Proposition 4(1));
+* :mod:`~repro.tree_automata.ops` — product, determinism/completeness checks,
+  completion, complementation of DTAc, bottom-up determinization;
+* :mod:`~repro.tree_automata.hash_elim` — the #-elimination lift used in the
+  proof of Theorem 20.
+"""
+
+from repro.tree_automata.nta import NTA
+from repro.tree_automata.emptiness import (
+    is_empty,
+    productive_states,
+    reachable_states_fig_a1,
+    witness_dag,
+    witness_tree,
+)
+from repro.tree_automata.finiteness import is_finite
+from repro.tree_automata.ops import (
+    complement_dtac,
+    complete,
+    determinize,
+    intersect,
+    is_bottom_up_deterministic,
+    is_complete,
+)
+from repro.tree_automata.hash_elim import hash_elimination_lift
+
+__all__ = [
+    "NTA",
+    "is_empty",
+    "productive_states",
+    "reachable_states_fig_a1",
+    "witness_dag",
+    "witness_tree",
+    "is_finite",
+    "intersect",
+    "complete",
+    "complement_dtac",
+    "determinize",
+    "is_bottom_up_deterministic",
+    "is_complete",
+    "hash_elimination_lift",
+]

@@ -1,0 +1,119 @@
+"""Emptiness of NTA(NFA) — Proposition 4(2,3) and Fig. A.1.
+
+Two implementations are provided:
+
+* :func:`reachable_states_fig_a1` — the *verbatim* algorithm of Fig. A.1
+  (``|Q|`` rounds, each re-testing ``δ(q,a) ∩ R*_{i-1} ≠ ∅``);
+* :func:`productive_states` — the same fixpoint run to stabilization with a
+  changed-flag (what one would actually ship); it additionally records, for
+  every productive state, a witness symbol and horizontal word, from which
+  :func:`witness_dag` assembles the DAG *description* of a witness tree that
+  Proposition 4(3) promises in PTIME (explicit witnesses can be exponential,
+  hence the DAG).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Tuple
+
+from repro.errors import BudgetExceededError
+from repro.trees.dag import DagHedge, DagTree, unfold_tree
+from repro.trees.tree import Tree
+from repro.tree_automata.nta import NTA
+
+State = Hashable
+
+
+def reachable_states_fig_a1(nta: NTA) -> FrozenSet[State]:
+    """The set ``R`` computed by the algorithm of Fig. A.1, verbatim.
+
+    ``R₁ := {q | ∃a, ε ∈ δ(q,a)}``;
+    ``R_i := {q | ∃a, δ(q,a) ∩ R*_{i-1} ≠ ∅}`` for ``i = 2..|Q|``;
+    ``R := R_{|Q|}``.
+    """
+    symbols = sorted(nta.alphabet, key=repr)
+    current: FrozenSet[State] = frozenset(
+        q
+        for q in nta.states
+        if any(nta.horizontal(q, a).accepts(()) for a in symbols)
+    )
+    for _ in range(2, len(nta.states) + 1):
+        current = frozenset(
+            q
+            for q in nta.states
+            if any(not nta.horizontal(q, a).is_empty(current) for a in symbols)
+        )
+    return current
+
+
+def productive_states(
+    nta: NTA,
+) -> Tuple[FrozenSet[State], Dict[State, Tuple[str, Tuple[State, ...]]]]:
+    """States that accept at least one tree, with per-state witnesses.
+
+    Returns ``(R, witness)`` where ``witness[q] = (a, w)`` records a symbol
+    and a horizontal word ``w ∈ δ(q,a) ∩ R*`` discovered when ``q`` entered
+    ``R`` (so ``w`` mentions only states added earlier — the witness DAG is
+    therefore acyclic).
+    """
+    productive: set = set()
+    witness: Dict[State, Tuple[str, Tuple[State, ...]]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for (state, symbol), nfa in nta.delta.items():
+            if state in productive:
+                continue
+            word = nfa.some_word(frozenset(productive))
+            if word is not None:
+                productive.add(state)
+                witness[state] = (symbol, word)
+                changed = True
+    return frozenset(productive), witness
+
+
+def is_empty(nta: NTA) -> bool:
+    """Whether ``L(A) = ∅`` (Proposition 4(2))."""
+    productive, _ = productive_states(nta)
+    return not (productive & nta.finals)
+
+
+def witness_dag(nta: NTA) -> DagTree | None:
+    """A DAG description of some tree in ``L(A)`` (Proposition 4(3)).
+
+    The DAG has at most one node per automaton state; its unfolding may be
+    exponentially large, which is exactly why the paper generates a
+    *description*.
+    Returns ``None`` when the language is empty.
+    """
+    productive, witness = productive_states(nta)
+    roots = sorted(productive & nta.finals, key=repr)
+    if not roots:
+        return None
+    memo: Dict[State, DagTree] = {}
+
+    def build(state: State) -> DagTree:
+        cached = memo.get(state)
+        if cached is not None:
+            return cached
+        symbol, word = witness[state]
+        node = DagTree(symbol, DagHedge([build(child) for child in word]))
+        memo[state] = node
+        return node
+
+    return build(roots[0])
+
+
+def witness_tree(nta: NTA, max_nodes: int = 100_000) -> Tree | None:
+    """An explicit witness tree, or ``None`` when the language is empty.
+
+    Raises :class:`BudgetExceededError` when the smallest recorded witness
+    unfolds to more than ``max_nodes`` nodes.
+    """
+    dag = witness_dag(nta)
+    if dag is None:
+        return None
+    try:
+        return unfold_tree(dag, max_nodes)
+    except BudgetExceededError:
+        raise

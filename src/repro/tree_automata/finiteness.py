@@ -1,0 +1,72 @@
+"""Finiteness of NTA(NFA) languages — Proposition 4(1).
+
+``L(A)`` is infinite iff the *useful* part of the automaton (states that are
+productive and occur in some accepting run) admits pumping, which happens in
+exactly two ways:
+
+* **vertical pumping** — a cycle in the graph "state ``q`` can have a child
+  subtree processed in state ``q'``" restricted to useful states (a loop on
+  a useful state, in the words of the proof: "a language is infinite iff
+  there is a loop on some useful state");
+* **horizontal pumping** — some useful state ``q`` and symbol ``a`` whose
+  horizontal language ``δ(q,a)``, restricted to productive states, is
+  infinite (arbitrarily wide nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable
+
+from repro.tree_automata.emptiness import productive_states
+from repro.tree_automata.nta import NTA
+from repro.util import has_cycle
+
+State = Hashable
+
+
+def useful_states(nta: NTA) -> FrozenSet[State]:
+    """States occurring in at least one accepting run.
+
+    ``q`` is useful iff it is productive and either accepting or usable as a
+    child of a useful state (computed top-down over the productive-restricted
+    horizontal languages).
+    """
+    productive, _ = productive_states(nta)
+    useful: set = set(nta.finals & productive)
+    frontier = list(useful)
+    usable_cache: Dict[tuple, FrozenSet[State]] = {}
+    while frontier:
+        state = frontier.pop()
+        for (src, symbol), nfa in nta.delta.items():
+            if src != state:
+                continue
+            key = (src, symbol)
+            usable = usable_cache.get(key)
+            if usable is None:
+                usable = nfa.used_symbols(productive)
+                usable_cache[key] = usable
+            for child in usable:
+                if child not in useful:
+                    useful.add(child)
+                    frontier.append(child)
+    return frozenset(useful)
+
+
+def is_finite(nta: NTA) -> bool:
+    """Whether ``L(A)`` is finite (Proposition 4(1), PTIME)."""
+    productive, _ = productive_states(nta)
+    useful = useful_states(nta)
+    if not useful & nta.finals:
+        return True  # empty language
+
+    vertical: Dict[State, set] = {q: set() for q in useful}
+    for (state, _symbol), nfa in nta.delta.items():
+        if state not in useful:
+            continue
+        usable = nfa.used_symbols(productive)
+        # Horizontal pumping: infinitely many words of productive states.
+        if usable and not nfa.accepts_finitely_many(productive):
+            return False
+        vertical[state].update(child for child in usable if child in useful)
+    # Vertical pumping: a cycle among useful states.
+    return not has_cycle(vertical)

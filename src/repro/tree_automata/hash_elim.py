@@ -1,0 +1,102 @@
+"""The #-elimination lift used in the proof of Theorem 20.
+
+Theorem 20 turns a deleting transducer ``T`` into a non-deleting ``T'`` that
+emits a placeholder ``#`` wherever ``T`` would delete, and then needs a tree
+automaton ``B_out`` accepting exactly the trees ``t'`` over ``Σ ∪ {#}`` whose
+#-*elimination* ``γ(t')`` (splice every #-node's children into its parent's
+child sequence, recursively) is accepted by a given automaton ``A`` over
+``Σ``.  This module builds that lift.
+
+Construction
+------------
+States of the lift: ``Q ∪ P`` where ``P`` contains *pair states*
+``((q, a), s₁, s₂)`` — "this #-node's spliced-out children take the
+horizontal automaton of ``δ(q, a)`` from ``s₁`` to ``s₂``".  Every horizontal
+NFA is extended with jump transitions ``s₁ →(pair)→ s₂`` for its own pairs,
+so a parent may delegate a stretch of its child word to a #-child, and
+#-nodes nest (a #-child of a #-node delegates within the same automaton).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.errors import InvalidSchemaError
+from repro.strings.nfa import NFA
+from repro.tree_automata.nta import NTA
+
+State = Hashable
+
+HASH = "#"
+
+
+def hash_elimination_lift(nta: NTA, hash_symbol: str = HASH) -> NTA:
+    """An NTA over ``Σ ∪ {hash_symbol}`` accepting ``{t : γ(t) ∈ L(nta)}``.
+
+    ``γ`` replaces every node labeled ``hash_symbol`` by its (recursively
+    eliminated) children; trees whose root is the hash symbol are never
+    accepted (their elimination is a hedge, not a tree).
+    """
+    if hash_symbol in nta.alphabet:
+        raise InvalidSchemaError(
+            f"hash symbol {hash_symbol!r} already occurs in the alphabet"
+        )
+
+    # Pair states, grouped by the owning (q, a) context.
+    pair_states: Dict[Tuple[State, str], list] = {}
+    for (q, a), nfa in nta.delta.items():
+        pairs = [
+            ((q, a), s1, s2) for s1 in nfa.states for s2 in nfa.states
+        ]
+        pair_states[(q, a)] = pairs
+
+    all_pairs = [p for pairs in pair_states.values() for p in pairs]
+    new_states = set(nta.states) | set(all_pairs)
+
+    def extended(context: Tuple[State, str], initial, finals) -> NFA:
+        """The horizontal NFA of ``context`` over ``Q ∪ P`` with jump
+        transitions for its own pair states."""
+        base = nta.delta[context]
+        table: Dict[State, Dict[Hashable, set]] = {
+            src: {sym: set(tgts) for sym, tgts in row.items()}
+            for src, row in base.transitions.items()
+        }
+        for pair in pair_states[context]:
+            _, s1, s2 = pair
+            table.setdefault(s1, {}).setdefault(pair, set()).add(s2)
+        return NFA(base.states, new_states, table, initial, finals)
+
+    delta: Dict[Tuple[State, str], NFA] = {}
+    for context, base in nta.delta.items():
+        q, a = context
+        delta[(q, a)] = extended(context, base.initial, base.finals)
+    for context, pairs in pair_states.items():
+        for pair in pairs:
+            _, s1, s2 = pair
+            delta[(pair, hash_symbol)] = extended(context, {s1}, {s2})
+
+    return NTA(
+        new_states,
+        nta.alphabet | {hash_symbol},
+        delta,
+        nta.finals,
+    )
+
+
+def eliminate_hashes(tree, hash_symbol: str = HASH):
+    """The function ``γ`` on explicit trees: splice out every #-node.
+
+    Returns a *hedge* (tuple of trees) because the root itself may be a
+    #-node.
+    """
+    from repro.trees.tree import Tree
+
+    def gamma(node) -> tuple:
+        spliced: list = []
+        for child in node.children:
+            spliced.extend(gamma(child))
+        if node.label == hash_symbol:
+            return tuple(spliced)
+        return (Tree(node.label, spliced),)
+
+    return gamma(tree)

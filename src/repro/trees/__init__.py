@@ -1,0 +1,29 @@
+"""Unranked trees and hedges (Section 2.1 of the paper).
+
+* :mod:`~repro.trees.tree` — immutable unranked trees, the paper's term
+  syntax ``a(b c(d))``, Dewey-address node sets, depth, ``top``;
+* :mod:`~repro.trees.dag` — DAG/SLP-compressed trees whose unfoldings may be
+  exponentially large (used for the ``t_min``/``t_vast`` witnesses of §5/§6);
+* :mod:`~repro.trees.generate` — enumeration and random generation of trees
+  satisfying a DTD (brute-force oracle, benchmarks);
+* :mod:`~repro.trees.xml_io` — XML (de)serialization.
+"""
+
+from repro.trees.tree import (
+    Tree,
+    hedge_str,
+    hedge_top,
+    parse_hedge,
+    parse_tree,
+)
+from repro.trees.dag import DagHedge, DagTree
+
+__all__ = [
+    "Tree",
+    "parse_tree",
+    "parse_hedge",
+    "hedge_str",
+    "hedge_top",
+    "DagTree",
+    "DagHedge",
+]

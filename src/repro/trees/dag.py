@@ -1,0 +1,235 @@
+"""DAG/SLP-compressed trees and hedges.
+
+Section 5/6 of the paper work with the witness trees ``t_min_a`` and
+``t_vast_a`` whose *unfolded* size can be exponential (``t_vast`` duplicates
+every ⁺-child), but which the paper notes are "easily represented by a
+polynomial sized extended context free grammar".  This module is that
+representation: trees and hedges as DAGs with explicit sharing.
+
+* :class:`DagTree` — a labeled node whose children form a :class:`DagHedge`;
+* :class:`DagHedge` — a concatenation of parts, each a tree or another hedge
+  (a straight-line program for the child sequence).
+
+All analyses (unfolded size, DFA runs over the ``top`` word, DTD validation,
+transducer application in :mod:`repro.core.replus`) are memoized on node
+*identity*, so shared subdags are processed once and everything stays
+polynomial in the DAG size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple, Union
+
+from repro.errors import BudgetExceededError
+from repro.strings.dfa import DFA
+from repro.trees.tree import Tree
+
+DagPart = Union["DagTree", "DagHedge"]
+
+
+class DagTree:
+    """A tree node in the DAG: label plus a (shared) child hedge."""
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: str, children: "DagHedge | None" = None) -> None:
+        self.label = label
+        self.children: DagHedge = children if children is not None else DagHedge(())
+
+    def __repr__(self) -> str:
+        return f"DagTree({self.label!r})"
+
+
+class DagHedge:
+    """A concatenation of trees and hedges (an SLP for a child sequence)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[DagPart] = ()) -> None:
+        self.parts: Tuple[DagPart, ...] = tuple(parts)
+        for part in self.parts:
+            if not isinstance(part, (DagTree, DagHedge)):
+                raise TypeError(f"part {part!r} is not a DagTree or DagHedge")
+
+    def __repr__(self) -> str:
+        return f"DagHedge({len(self.parts)} parts)"
+
+    @staticmethod
+    def of(*parts: DagPart) -> "DagHedge":
+        return DagHedge(parts)
+
+
+# ---------------------------------------------------------------------------
+# Conversions
+# ---------------------------------------------------------------------------
+
+
+def from_tree(tree: Tree) -> DagTree:
+    """Embed an explicit tree as a (sharing-free) DAG."""
+    return DagTree(tree.label, DagHedge([from_tree(c) for c in tree.children]))
+
+
+def unfold_tree(node: DagTree, max_nodes: int = 1_000_000) -> Tree:
+    """Expand a DAG tree to an explicit :class:`Tree`.
+
+    Raises :class:`BudgetExceededError` when the unfolding would exceed
+    ``max_nodes`` nodes — unfoldings are exponential in general.
+    """
+    if unfolded_size(node) > max_nodes:
+        raise BudgetExceededError(
+            f"unfolding has {unfolded_size(node)} nodes (> {max_nodes})"
+        )
+    memo: Dict[int, Tree] = {}
+
+    def tree_of(part: DagTree) -> Tree:
+        key = id(part)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = Tree(part.label, unfold_hedge_parts(part.children))
+        memo[key] = result
+        return result
+
+    def unfold_hedge_parts(hedge: DagHedge) -> list[Tree]:
+        out: list[Tree] = []
+        for part in hedge.parts:
+            if isinstance(part, DagTree):
+                out.append(tree_of(part))
+            else:
+                out.extend(unfold_hedge_parts(part))
+        return out
+
+    return tree_of(node)
+
+
+def unfold_hedge(hedge: DagHedge, max_nodes: int = 1_000_000) -> Tuple[Tree, ...]:
+    """Expand a DAG hedge to an explicit hedge (same budget guard)."""
+    root = DagTree("__root__", hedge)
+    return unfold_tree(root, max_nodes + 1).children
+
+
+# ---------------------------------------------------------------------------
+# Memoized analyses
+# ---------------------------------------------------------------------------
+
+
+def unfolded_size(node: DagPart, _memo: Dict[int, int] | None = None) -> int:
+    """Number of nodes of the unfolding (exact, big-integer arithmetic)."""
+    memo: Dict[int, int] = {} if _memo is None else _memo
+
+    def size_of(part: DagPart) -> int:
+        key = id(part)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(part, DagTree):
+            result = 1 + size_of(part.children)
+        else:
+            result = sum(size_of(p) for p in part.parts)
+        memo[key] = result
+        return result
+
+    return size_of(node)
+
+
+def top_length(hedge: DagHedge) -> int:
+    """Length of ``top`` of the unfolded hedge (number of root trees)."""
+    memo: Dict[int, int] = {}
+
+    def length_of(part: DagPart) -> int:
+        if isinstance(part, DagTree):
+            return 1
+        key = id(part)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = sum(length_of(p) for p in part.parts)
+        memo[key] = result
+        return result
+
+    return length_of(hedge)
+
+
+def dag_depth(node: DagPart) -> int:
+    """Depth of the unfolding (paper convention: single node has depth 1)."""
+    memo: Dict[int, int] = {}
+
+    def depth_of(part: DagPart) -> int:
+        key = id(part)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(part, DagTree):
+            result = 1 + depth_of(part.children)
+        else:
+            result = max((depth_of(p) for p in part.parts), default=0)
+        memo[key] = result
+        return result
+
+    return depth_of(node)
+
+
+class TransferTable:
+    """Memoized DFA transfer maps over ``top`` words of DAG hedges.
+
+    ``transfer(hedge)`` returns a dict mapping each DFA state ``s`` to the
+    state reached by running the DFA from ``s`` over the (possibly
+    exponentially long) sequence of root labels of ``hedge``; missing keys
+    mean the run dies.  Composition over shared sub-hedges happens once.
+    """
+
+    def __init__(self, dfa: DFA) -> None:
+        self.dfa = dfa
+        self._memo: Dict[int, Dict] = {}
+
+    def transfer(self, part: DagPart) -> Dict:
+        key = id(part)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(part, DagTree):
+            result = {
+                s: self.dfa.transitions[(s, part.label)]
+                for s in self.dfa.states
+                if (s, part.label) in self.dfa.transitions
+            }
+        else:
+            result = {s: s for s in self.dfa.states}
+            for sub in part.parts:
+                step = self.transfer(sub)
+                result = {
+                    s: step[mid]
+                    for s, mid in result.items()
+                    if mid in step
+                }
+                if not result:
+                    break
+        self._memo[key] = result
+        return result
+
+    def accepts_top(self, hedge: DagHedge) -> bool:
+        """Whether the DFA accepts ``top`` of the unfolded hedge."""
+        final = self.transfer(hedge).get(self.dfa.initial)
+        return final in self.dfa.finals
+
+
+def distinct_tree_nodes(node: DagPart) -> list[DagTree]:
+    """All distinct :class:`DagTree` nodes reachable in the DAG."""
+    seen: Dict[int, DagTree] = {}
+    visited_hedges: set[int] = set()
+    stack: list[DagPart] = [node]
+    order: list[DagTree] = []
+    while stack:
+        part = stack.pop()
+        if isinstance(part, DagTree):
+            if id(part) in seen:
+                continue
+            seen[id(part)] = part
+            order.append(part)
+            stack.append(part.children)
+        else:
+            if id(part) in visited_hedges:
+                continue
+            visited_hedges.add(id(part))
+            stack.extend(part.parts)
+    return order

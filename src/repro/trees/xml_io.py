@@ -1,0 +1,46 @@
+"""XML (de)serialization of unranked trees.
+
+The paper abstracts XML documents by their element structure (labels only —
+"the abstraction focuses on structure rather than on content", Section 2.3).
+Serialization therefore emits empty elements; parsing keeps element names and
+drops text, attributes, comments and processing instructions.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as _ET
+from typing import List
+
+from repro.errors import ParseError
+from repro.trees.tree import Tree
+
+
+def tree_to_xml(tree: Tree, indent: int = 2) -> str:
+    """Serialize a tree as indented XML."""
+    lines: List[str] = []
+
+    def emit(node: Tree, level: int) -> None:
+        pad = " " * (indent * level)
+        if not node.children:
+            lines.append(f"{pad}<{node.label}/>")
+            return
+        lines.append(f"{pad}<{node.label}>")
+        for child in node.children:
+            emit(child, level + 1)
+        lines.append(f"{pad}</{node.label}>")
+
+    emit(tree, 0)
+    return "\n".join(lines)
+
+
+def xml_to_tree(text: str) -> Tree:
+    """Parse an XML document into its element-structure tree."""
+    try:
+        root = _ET.fromstring(text)
+    except _ET.ParseError as exc:
+        raise ParseError(f"malformed XML: {exc}") from exc
+
+    def convert(element: _ET.Element) -> Tree:
+        return Tree(element.tag, [convert(child) for child in element])
+
+    return convert(root)

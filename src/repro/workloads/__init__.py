@@ -1,0 +1,44 @@
+"""Ready-made workloads: the paper's running examples and scalable instance
+families for the benchmarks."""
+
+from repro.workloads.books import (
+    book_dtd,
+    example11_output_dtd,
+    fig3_document,
+    toc_transducer,
+    toc_with_summary_transducer,
+    toc_xpath_transducer,
+)
+from repro.workloads.examples_paper import (
+    example6_transducer,
+    example7_tree,
+    example12_transducer,
+)
+from repro.workloads.families import (
+    filtering_family,
+    nd_bc_family,
+    replus_family,
+    relabeling_family,
+)
+from repro.workloads.random_instances import (
+    random_dtd,
+    random_trac_transducer,
+)
+
+__all__ = [
+    "book_dtd",
+    "toc_transducer",
+    "toc_with_summary_transducer",
+    "toc_xpath_transducer",
+    "example11_output_dtd",
+    "fig3_document",
+    "example6_transducer",
+    "example7_tree",
+    "example12_transducer",
+    "nd_bc_family",
+    "filtering_family",
+    "replus_family",
+    "relabeling_family",
+    "random_dtd",
+    "random_trac_transducer",
+]

@@ -1,0 +1,104 @@
+"""The book-filtering scenario of Examples 10, 11, 22 and Fig. 3."""
+
+from __future__ import annotations
+
+from repro.schemas.dtd import DTD
+from repro.transducers.transducer import TreeTransducer
+from repro.trees.tree import Tree, parse_tree
+
+
+def book_dtd() -> DTD:
+    """Example 10's input schema."""
+    return DTD(
+        {
+            "book": "title author+ chapter+",
+            "chapter": "title intro section+",
+            "section": "title paragraph+ section*",
+        },
+        start="book",
+    )
+
+
+def fig3_document() -> Tree:
+    """The document of Fig. 3 (two chapters, one nested section)."""
+    return parse_tree(
+        "book("
+        " title author"
+        " chapter(title intro"
+        "   section(title paragraph)"
+        "   section(title paragraph section(title paragraph)))"
+        " chapter(title intro section(title paragraph))"
+        ")"
+    )
+
+
+def toc_transducer() -> TreeTransducer:
+    """Example 10's first transducer: the table of contents."""
+    dtd = book_dtd()
+    return TreeTransducer(
+        states={"q"},
+        alphabet=dtd.alphabet,
+        initial="q",
+        rules={
+            ("q", "book"): "book(q)",
+            ("q", "chapter"): "chapter q",
+            ("q", "title"): "title",
+            ("q", "section"): "q",
+        },
+    )
+
+
+def toc_with_summary_transducer() -> TreeTransducer:
+    """Example 10's second transducer: table of contents plus summary."""
+    dtd = book_dtd()
+    return TreeTransducer(
+        states={"q", "p", "p2"},
+        alphabet=dtd.alphabet,
+        initial="q",
+        rules={
+            ("q", "book"): "book(q p)",
+            ("q", "chapter"): "chapter q",
+            ("q", "title"): "title",
+            ("q", "section"): "q",
+            ("p", "chapter"): "chapter(p2)",
+            ("p2", "title"): "title",
+            ("p2", "intro"): "intro",
+        },
+    )
+
+
+def toc_xpath_transducer() -> TreeTransducer:
+    """Example 22: the table of contents via an XPath call ``⟨q, ·//title⟩``."""
+    dtd = book_dtd()
+    return TreeTransducer(
+        states={"q"},
+        alphabet=dtd.alphabet,
+        initial="q",
+        rules={
+            ("q", "book"): "book(q)",
+            ("q", "chapter"): "chapter <q, .//title>",
+            ("q", "title"): "title",
+        },
+    )
+
+
+def example11_output_dtd() -> DTD:
+    """Example 11's output schema (the summary transducer typechecks
+    against it)."""
+    return DTD(
+        {
+            "book": "title (chapter title*)* chapter*",
+            "chapter": "title intro | ε",
+        },
+        start="book",
+        alphabet=book_dtd().alphabet,
+    )
+
+
+def toc_output_dtd() -> DTD:
+    """An output schema for the plain table-of-contents transducer."""
+    return DTD(
+        {"book": "title (chapter title+)*"},
+        start="book",
+        alphabet=book_dtd().alphabet,
+    )

@@ -1,0 +1,57 @@
+"""The formal worked examples of the paper: Examples 6/7 (Fig. 1, Fig. 2)
+and Example 12 / Fig. 4 / Example 17."""
+
+from __future__ import annotations
+
+from repro.transducers.transducer import TreeTransducer
+from repro.trees.tree import Tree, parse_tree
+
+
+def example6_transducer() -> TreeTransducer:
+    """Example 6: states {p, q}, Σ = {a, b, c, d, e}, initial p."""
+    return TreeTransducer(
+        states={"p", "q"},
+        alphabet={"a", "b", "c", "d", "e"},
+        initial="p",
+        rules={
+            ("p", "a"): "d(e)",
+            ("p", "b"): "d(q)",
+            ("q", "a"): "c p",
+            ("q", "b"): "c(p q)",
+        },
+    )
+
+
+def example7_tree() -> Tree:
+    """The input tree of Example 7 / Fig. 2(a): b(b(a b) a)."""
+    return parse_tree("b(b(a b) a)")
+
+
+def example7_expected_output() -> Tree:
+    """The translation of Example 7 / Fig. 2(b), derived from Definition 5:
+
+    ``T^p(b(b(a b) a)) = d( T^q(b(a b)) T^q(a) )`` with
+    ``T^q(b(a b)) = c( T^p(a) T^p(b) T^q(a) T^q(b) ) = c(d(e) d c c)`` and
+    ``T^q(a) = c``.
+    """
+    return parse_tree("d(c(d(e) d c c) c)")
+
+
+def example12_transducer() -> TreeTransducer:
+    """Example 12: the deletion-path-width showcase (C = 3, K = 6)."""
+    return TreeTransducer(
+        states={"q0", "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"},
+        alphabet={"a"},
+        initial="q0",
+        rules={
+            ("q0", "a"): "a(q1 q5)",
+            ("q1", "a"): "q2 a q2 a",
+            ("q2", "a"): "a q3 q3 a q3",
+            ("q3", "a"): "q4",
+            ("q4", "a"): "a",
+            ("q5", "a"): "q6 a a q6",
+            ("q6", "a"): "q7 q7",
+            ("q7", "a"): "a q8 a",
+            ("q8", "a"): "a a q7",
+        },
+    )

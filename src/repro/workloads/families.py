@@ -1,0 +1,116 @@
+"""Scalable instance families for the benchmarks (Table 1, Theorems 15, 20,
+23, 37).
+
+Each family takes a size parameter ``n`` and returns a typechecking instance
+``(transducer, din, dout, expected)`` whose answer is known by construction,
+so benchmarks measure honest end-to-end runs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.schemas.dtd import DTD
+from repro.transducers.transducer import TreeTransducer
+
+Instance = Tuple[TreeTransducer, DTD, DTD, bool]
+
+
+def nd_bc_family(n: int, typechecks: bool = True) -> Instance:
+    """Non-deleting, copying width 2, DTD(DFA): the Table 1 PTIME cell.
+
+    A chain DTD ``s₀ → s₁ s₁ → …`` of depth ``n``; the transducer relabels
+    ``s_i ↦ t_i`` and duplicates each level's children.  The output DTD
+    expects 2 or (for the failing variant) exactly 3 children per level.
+    """
+    rules_in = {f"s{i}": f"s{i + 1} s{i + 1}" for i in range(n)}
+    din = DTD(rules_in, start="s0", alphabet={f"s{n}"})
+    states = {"q"}
+    alphabet = set(din.alphabet) | {f"t{i}" for i in range(n + 1)}
+    t_rules = {
+        ("q", f"s{i}"): f"t{i}(q)" if i < n else f"t{n}"
+        for i in range(n + 1)
+    }
+    transducer = TreeTransducer(states, alphabet, "q", t_rules)
+    if typechecks:
+        rules_out = {f"t{i}": f"t{i + 1} t{i + 1}" for i in range(n)}
+    else:
+        # Expect *exactly three* children: the real output has two.
+        rules_out = {f"t{i}": f"t{i + 1} t{i + 1} t{i + 1}" for i in range(n)}
+    dout = DTD(rules_out, start="t0", alphabet={f"t{n}"})
+    return transducer, din, dout, typechecks
+
+
+def filtering_family(n: int, typechecks: bool = True) -> Instance:
+    """Recursive deletion without copying (the T_trac sweet spot, Thm 15).
+
+    Documents are ``item`` trees of unbounded depth with ``meta`` noise; the
+    transducer deletes every interior ``wrap`` node and keeps the ``item``
+    skeleton; ``n`` scales the alphabet (one payload symbol per index).
+    """
+    payloads = [f"k{i}" for i in range(n)]
+    din = DTD(
+        {
+            "doc": "item+",
+            "item": "(" + " | ".join(payloads) + ") wrap?",
+            "wrap": "item+",
+        },
+        start="doc",
+    )
+    alphabet = set(din.alphabet) | {"out"}
+    rules = {
+        ("q", "doc"): "out(q)",
+        ("q", "item"): "out(q)",
+        ("q", "wrap"): "q",  # recursive deletion, width 1
+    }
+    for index, payload in enumerate(payloads):
+        rules[("q", payload)] = payload
+    transducer = TreeTransducer({"q"}, alphabet, "q", rules)
+    choice = "(" + " | ".join(payloads) + ")"
+    dout_rules = {
+        "out": (f"out+ | {choice} out*") if typechecks else (f"out+ | {choice} out?")
+    }
+    dout = DTD(dout_rules, start="out", alphabet=alphabet)
+    return transducer, din, dout, typechecks
+
+
+def replus_family(n: int, typechecks: bool = True) -> Instance:
+    """DTD(RE⁺) with unbounded copying *and* deletion (Theorem 37).
+
+    A chain RE⁺ DTD of depth ``n``; the transducer duplicates each level
+    (2^n blow-up in the output, handled symbolically by the grammar/DAG
+    algorithms).
+    """
+    rules_in = {f"s{i}": f"s{i + 1}+" for i in range(n)}
+    din = DTD(rules_in, start="s0", alphabet={f"s{n}"})
+    alphabet = set(din.alphabet) | {f"t{i}" for i in range(n + 1)}
+    t_rules = {}
+    for i in range(n):
+        t_rules[("q", f"s{i}")] = f"t{i}(q q)"
+    t_rules[("q", f"s{n}")] = f"t{n}"
+    transducer = TreeTransducer({"q"}, alphabet, "q", t_rules)
+    rules_out = {
+        # Outputs have 2k ≥ 2 children per node; "exactly two" fails on
+        # t_vast (k = 2) while "at least two" is tight and typechecks.
+        f"t{i}": f"t{i + 1} t{i + 1}+" if typechecks else f"t{i + 1} t{i + 1}"
+        for i in range(n)
+    }
+    dout = DTD(rules_out, start="t0", alphabet={f"t{n}"})
+    return transducer, din, dout, typechecks
+
+
+def relabeling_family(n: int, typechecks: bool = True) -> Instance:
+    """T_del-relab instances over growing alphabets (Theorem 20)."""
+    symbols = [f"c{i}" for i in range(n)]
+    din = DTD(
+        {"r": "(" + " | ".join(symbols) + ")*", **{s: "ε" for s in symbols}},
+        start="r",
+    )
+    alphabet = set(din.alphabet) | {"d"}
+    rules = {("q", "r"): "r(q)"}
+    for index, symbol in enumerate(symbols):
+        # Relabel even indices to d, delete odd ones.
+        rules[("q", symbol)] = "d" if index % 2 == 0 else "q"
+    transducer = TreeTransducer({"q"}, alphabet, "q", rules)
+    dout = DTD({"r": "d*" if typechecks else "d+"}, start="r", alphabet=alphabet)
+    return transducer, din, dout, typechecks

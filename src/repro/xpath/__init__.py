@@ -1,0 +1,50 @@
+"""XPath patterns — Section 4 of the paper.
+
+The fragment XPath{/, //, [ ], |, ∗} of Definition 21: patterns ``·/φ`` or
+``·//φ`` with child/descendant composition, disjunction, filters, element
+tests and wildcards, always evaluated from the context node downwards.
+
+* :mod:`~repro.xpath.ast` / :mod:`~repro.xpath.parser` — AST and syntax;
+* :mod:`~repro.xpath.semantics` — the denotational semantics ``f_P(t, u)``;
+* :mod:`~repro.xpath.literals` — selecting literals and the Lemma 26
+  rewriting;
+* :mod:`~repro.xpath.to_dfa` — filter-free patterns to path NFAs/DFAs;
+* :mod:`~repro.xpath.compile` — the Theorem 23 / 29 compilers eliminating
+  calls in favour of (width-1) deleting states.
+"""
+
+from repro.xpath.ast import Child, Desc, Disj, Filter, Pattern, Phi, Test, Wildcard
+from repro.xpath.parser import parse_pattern
+from repro.xpath.semantics import matches, select, select_subtrees
+from repro.xpath.literals import rewrite_with_marker, selecting_literals
+from repro.xpath.to_dfa import (
+    is_filter_free,
+    pattern_fragment,
+    pattern_to_dfa,
+    pattern_to_nfa,
+    pattern_to_regex,
+)
+from repro.xpath.compile import compile_calls
+
+__all__ = [
+    "Pattern",
+    "Phi",
+    "Test",
+    "Wildcard",
+    "Child",
+    "Desc",
+    "Disj",
+    "Filter",
+    "parse_pattern",
+    "select",
+    "select_subtrees",
+    "matches",
+    "selecting_literals",
+    "rewrite_with_marker",
+    "is_filter_free",
+    "pattern_fragment",
+    "pattern_to_regex",
+    "pattern_to_nfa",
+    "pattern_to_dfa",
+    "compile_calls",
+]

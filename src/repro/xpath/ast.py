@@ -1,0 +1,112 @@
+"""AST for XPath{/, //, [ ], |, ∗} patterns (Definition 21)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+class Phi:
+    """Base class of φ expressions."""
+
+    __slots__ = ()
+
+    def symbols(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Test(Phi):
+    """Element test ``a``: selects the context node when labeled ``a``."""
+
+    __test__ = False  # not a pytest test class
+
+    name: str
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Wildcard(Phi):
+    """Wildcard ``∗``: selects the context node unconditionally."""
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True, slots=True)
+class Disj(Phi):
+    """Disjunction ``φ₁ | φ₂``."""
+
+    left: Phi
+    right: Phi
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def __str__(self) -> str:
+        return f"({self.left}|{self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Child(Phi):
+    """Child composition ``φ₁/φ₂``."""
+
+    left: Phi
+    right: Phi
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def __str__(self) -> str:
+        return f"{self.left}/{self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Desc(Phi):
+    """Descendant composition ``φ₁//φ₂``."""
+
+    left: Phi
+    right: Phi
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def __str__(self) -> str:
+        return f"{self.left}//{self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Filter(Phi):
+    """Filter ``φ[P]``: keeps nodes selected by ``φ`` at which the nested
+    pattern ``P`` selects at least one node."""
+
+    inner: Phi
+    predicate: "Pattern"
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.inner.symbols() | self.predicate.symbols()
+
+    def __str__(self) -> str:
+        return f"{self.inner}[{self.predicate}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern:
+    """A pattern ``·/φ`` (``descendant=False``) or ``·//φ`` (``True``)."""
+
+    phi: Phi
+    descendant: bool
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.phi.symbols()
+
+    def __str__(self) -> str:
+        return f".{'//' if self.descendant else '/'}{self.phi}"

@@ -1,0 +1,152 @@
+"""Compiling XPath/DFA calls away — Theorems 23 and 29.
+
+Both proofs share one mechanism: simulate the selecting automaton with
+deleting states of deletion width one.  For a call ``⟨p, A⟩`` the compiled
+transducer walks the input with states ``(p, A, s)``; on a child labeled
+``b`` with ``s' = δ_A(s, b)``:
+
+* if ``s'`` is accepting, the child is selected — emit ``rhs(p, b)``
+  (Theorem 23's "→ rhs(p, b)" / Theorem 29's "→ rhs(p, b) (p, q_F)");
+* if some accepting state is reachable from ``s'`` by at least one more
+  step, keep scanning below the child with ``(p, A, s')``;
+* otherwise the walk dies (no rule).
+
+Dead continuations are pruned, so for the acyclic XPath{/, ∗} automata of
+Theorem 23 the match rule is exactly ``rhs(p, b)`` with no trailing state,
+and the construction introduces only non-recursively deleting states of
+width one — preserving membership in ``T^{C,K}_trac``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import InvalidTransducerError
+from repro.strings.dfa import DFA
+from repro.transducers.rhs import (
+    RhsCall,
+    RhsHedge,
+    RhsNode,
+    RhsState,
+    RhsSym,
+)
+from repro.transducers.transducer import TreeTransducer
+from repro.util import fresh_symbol
+from repro.xpath.ast import Pattern
+from repro.xpath.to_dfa import pattern_to_dfa
+
+
+def _selector_dfa(selector, alphabet) -> DFA:
+    if isinstance(selector, DFA):
+        return selector
+    if isinstance(selector, Pattern):
+        return pattern_to_dfa(selector, alphabet)
+    raise InvalidTransducerError(f"unsupported selector {selector!r}")
+
+
+def compile_calls(transducer: TreeTransducer) -> TreeTransducer:
+    """An equivalent plain transducer with all calls eliminated.
+
+    Selector patterns must be filter-free (path-regular); selecting DFAs are
+    used as given.  The result's new states have deletion width one.
+    """
+    if not transducer.uses_calls():
+        return transducer
+
+    # Collect distinct selectors and compile them to DFAs.
+    selectors: List[object] = []
+    dfas: List[DFA] = []
+
+    def selector_index(selector) -> int:
+        for index, existing in enumerate(selectors):
+            if existing == selector or existing is selector:
+                return index
+        selectors.append(selector)
+        dfas.append(_selector_dfa(selector, transducer.alphabet))
+        return len(selectors) - 1
+
+    # Pre-scan: register all selectors, stable naming.
+    from repro.transducers.rhs import iter_rhs_nodes
+
+    for rhs in transducer.rules.values():
+        for _, node in iter_rhs_nodes(rhs):
+            if isinstance(node, RhsCall):
+                selector_index(node.selector)
+
+    taken = set(transducer.states)
+    scan_name: Dict[Tuple[str, int, object], str] = {}
+
+    def name_of(state: str, index: int, dfa_state) -> str:
+        key = (state, index, dfa_state)
+        cached = scan_name.get(key)
+        if cached is None:
+            cached = fresh_symbol(f"{state}~sel{index}~{dfa_state}", taken)
+            taken.add(cached)
+            scan_name[key] = cached
+        return cached
+
+    def alive(dfa: DFA, state) -> bool:
+        """Whether an accepting state is reachable in ≥ 1 steps."""
+        coreach = dfa.to_nfa().coreachable_states()
+        for symbol in dfa.alphabet:
+            target = dfa.transitions.get((state, symbol))
+            if target is not None and target in coreach:
+                return True
+        return False
+
+    def replace(hedge: RhsHedge) -> RhsHedge:
+        out: List[RhsNode] = []
+        for node in hedge:
+            if isinstance(node, RhsCall):
+                index = selector_index(node.selector)
+                dfa = dfas[index]
+                # The context node itself is never selected (patterns are
+                # ./φ or .//φ), so only the scan continuation appears; a
+                # selector that can never fire disappears entirely.
+                if alive(dfa, dfa.initial):
+                    out.append(RhsState(name_of(node.state, index, dfa.initial)))
+            elif isinstance(node, RhsState):
+                out.append(node)
+            else:
+                assert isinstance(node, RhsSym)
+                out.append(RhsSym(node.label, replace(node.children)))
+        return tuple(out)
+
+    new_rules: Dict[Tuple[str, str], RhsHedge] = {
+        key: replace(rhs) for key, rhs in transducer.rules.items()
+    }
+
+    # Scan rules for every named (state, selector, dfa-state) combination.
+    # name_of entries may grow while we emit rules; iterate to fixpoint.
+    emitted: set = set()
+    while True:
+        pending = [key for key in scan_name if key not in emitted]
+        if not pending:
+            break
+        for key in pending:
+            emitted.add(key)
+            p, index, s = key
+            dfa = dfas[index]
+            for b in sorted(transducer.alphabet):
+                s2 = dfa.transitions.get((s, b))
+                if s2 is None:
+                    continue
+                pieces: List[RhsNode] = []
+                if s2 in dfa.finals:
+                    # The selected node is processed by the (call-compiled)
+                    # rhs of (p, b): use the rewritten rule so nested calls
+                    # are eliminated too.
+                    pieces.extend(new_rules.get((p, b), ()))
+                if alive(dfa, s2):
+                    pieces.append(RhsState(name_of(p, index, s2)))
+                if pieces:
+                    new_rules[(name_of(p, index, s), b)] = tuple(pieces)
+
+    new_states = set(transducer.states) | set(scan_name.values())
+    compiled = TreeTransducer(
+        new_states,
+        transducer.alphabet,
+        transducer.initial,
+        new_rules,
+    )
+    return compiled

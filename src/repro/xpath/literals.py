@@ -1,0 +1,96 @@
+"""Selecting literals and the Lemma 26 rewriting.
+
+A literal (element test or wildcard) is *selecting* when it is used to select
+nodes rather than to navigate (Section 4): it is the last step of a
+top-level path, distributed over disjunctions, and filters do not affect it.
+
+Lemma 26 rewrites a pattern ``P`` into ``P'`` by appending a marker step
+after every selecting literal: ``/ℓ[φ₁]⋯[φ_n] ↦ /ℓ[φ₁]⋯[φ_n]/x`` and
+``//ℓ[φ₁]⋯[φ_n] ↦ //ℓ[φ₁]⋯[φ_n]//x`` — so ``P'`` selects an ``x``-node iff
+``P`` selects some node (in the marker-enriched documents of Lemma 26).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.xpath.ast import Child, Desc, Disj, Filter, Pattern, Phi, Test, Wildcard
+
+
+def selecting_literals(pattern: Pattern) -> List[Phi]:
+    """The selecting literals (Test/Wildcard nodes), per the §4 definition.
+
+    * ℓ is selecting in ``·/φ``, ``·//φ``, ``φ₁/φ₂``, ``φ₁//φ₂`` and
+      ``φ₂[P]`` if it is selecting in ``φ₂``;
+    * ℓ is selecting in ``φ₁|φ₂`` if selecting in ``φ₁`` or ``φ₂``;
+    * ℓ is selecting in ℓ.
+    """
+    out: List[Phi] = []
+
+    def walk(phi: Phi) -> None:
+        if isinstance(phi, (Test, Wildcard)):
+            out.append(phi)
+        elif isinstance(phi, Disj):
+            walk(phi.left)
+            walk(phi.right)
+        elif isinstance(phi, (Child, Desc)):
+            walk(phi.right)
+        elif isinstance(phi, Filter):
+            walk(phi.inner)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown φ node {phi!r}")
+
+    walk(pattern.phi)
+    return out
+
+
+def rewrite_with_marker(pattern: Pattern, marker: str) -> Pattern:
+    """The Lemma 26 transformation ``P ↦ P'`` for marker symbol ``marker``.
+
+    Every selecting literal (with its filter chain) is extended by ``/x``
+    when it was reached by a child axis and by ``//x`` when reached by a
+    descendant axis.
+    """
+
+    def extend(phi: Phi, via_descendant: bool) -> Phi:
+        step = Test(marker)
+        if via_descendant:
+            return Desc(phi, step)
+        return Child(phi, step)
+
+    def walk(phi: Phi, via_descendant: bool) -> Phi:
+        if isinstance(phi, (Test, Wildcard, Filter)):
+            # The selection position: a literal possibly wrapped in filters.
+            return extend(phi, via_descendant)
+        if isinstance(phi, Disj):
+            return Disj(walk(phi.left, via_descendant), walk(phi.right, via_descendant))
+        if isinstance(phi, Child):
+            return Child(phi.left, walk(phi.right, False))
+        if isinstance(phi, Desc):
+            return Desc(phi.left, walk(phi.right, True))
+        raise AssertionError(f"unknown φ node {phi!r}")
+
+    return Pattern(walk(pattern.phi, pattern.descendant), pattern.descendant)
+
+
+def marker_dtd(dtd, marker_one: str = "x1", marker_two: str = "x2"):
+    """The DTD ``d'`` of Lemma 26: every node also has ``x1`` and ``x2``
+    child leaves (appended at the end of each content model)."""
+    from repro.schemas.dtd import DTD
+    from repro.strings.regex import Concat, Sym, parse_regex
+
+    suffix: Tuple = (Sym(marker_one), Sym(marker_two))
+    rules = {}
+    for symbol in dtd.alphabet:
+        if symbol in (marker_one, marker_two):
+            continue
+        model = dtd.content(symbol)
+        if not hasattr(model, "nullable"):
+            # Automata-backed content models: go through a regex-free path by
+            # concatenating via NFAs is overkill here; Lemma 26 instances in
+            # this library are regex-authored.
+            raise NotImplementedError(
+                "marker_dtd needs regex-authored content models"
+            )
+        rules[symbol] = Concat((model, *suffix))
+    return DTD(rules, start=dtd.start, alphabet=dtd.alphabet | {marker_one, marker_two})

@@ -1,0 +1,124 @@
+"""Parser for the XPath fragment of Definition 21.
+
+Concrete syntax (``·`` may be written ``.``)::
+
+    pattern := ('./' | './/') disj
+    disj    := path ('|' path)*
+    path    := postfix (('/' | '//') postfix)*
+    postfix := atom ('[' pattern ']')*
+    atom    := NAME | '*' | '(' disj ')'
+
+Examples: ``./a//b``, ``.//title``, ``./(a|b)//c[.//e]/*``.
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+from typing import List, Tuple
+
+from repro.errors import ParseError
+from repro.xpath.ast import Child, Desc, Disj, Filter, Pattern, Phi, Test, Wildcard
+
+_TOKEN = _stdlib_re.compile(
+    r"\s*(?:(?P<name>[A-Za-z0-9_#$]+)|(?P<dslash>//)|(?P<op>[./*|\[\]()])|(?P<dot>·))"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize pattern at ...{text[pos:pos + 12]!r}")
+        pos = match.end()
+        if match.group("name"):
+            tokens.append(match.group("name"))
+        elif match.group("dslash"):
+            tokens.append("//")
+        elif match.group("dot"):
+            tokens.append(".")
+        else:
+            tokens.append(match.group("op"))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], source: str) -> None:
+        self.tokens = tokens
+        self.index = 0
+        self.source = source
+
+    def peek(self) -> str | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def pop(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of pattern {self.source!r}")
+        self.index += 1
+        return token
+
+    def parse_pattern(self) -> Pattern:
+        if self.peek() == ".":
+            self.pop()
+        axis = self.pop()
+        if axis == "//":
+            descendant = True
+        elif axis == "/":
+            descendant = False
+        else:
+            raise ParseError(
+                f"patterns start with ./ or .// — got {axis!r} in {self.source!r}"
+            )
+        return Pattern(self.parse_disj(), descendant)
+
+    def parse_disj(self) -> Phi:
+        node = self.parse_path()
+        while self.peek() == "|":
+            self.pop()
+            node = Disj(node, self.parse_path())
+        return node
+
+    def parse_path(self) -> Phi:
+        node = self.parse_postfix()
+        while self.peek() in ("/", "//"):
+            axis = self.pop()
+            right = self.parse_postfix()
+            node = Desc(node, right) if axis == "//" else Child(node, right)
+        return node
+
+    def parse_postfix(self) -> Phi:
+        node = self.parse_atom()
+        while self.peek() == "[":
+            self.pop()
+            predicate = self.parse_pattern()
+            if self.pop() != "]":
+                raise ParseError(f"expected ']' in pattern {self.source!r}")
+            node = Filter(node, predicate)
+        return node
+
+    def parse_atom(self) -> Phi:
+        token = self.pop()
+        if token == "*":
+            return Wildcard()
+        if token == "(":
+            inner = self.parse_disj()
+            if self.pop() != ")":
+                raise ParseError(f"expected ')' in pattern {self.source!r}")
+            return inner
+        if token in ("/", "//", "|", "[", "]", ")", "."):
+            raise ParseError(f"unexpected {token!r} in pattern {self.source!r}")
+        return Test(token)
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse a pattern such as ``"./(a|b)//c[.//e]/*"``."""
+    parser = _Parser(_tokenize(text), text)
+    pattern = parser.parse_pattern()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input in pattern {text!r}")
+    return pattern

@@ -1,0 +1,117 @@
+"""Denotational semantics of XPath patterns — the function ``f_P`` of §4.
+
+``f_P : t × Dom(t) → 2^{Dom(t)}`` follows the paper's inductive definition
+verbatim; node addresses are Dewey paths.  ``select(P, t)`` evaluates the
+pattern from the root (the paper's "P selects u in t" is ``u ∈ f_P(t, ε)``)
+and returns the selected addresses in document order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.trees.tree import Path, Tree
+from repro.xpath.ast import Child, Desc, Disj, Filter, Pattern, Phi, Test, Wildcard
+
+
+class _Evaluator:
+    """Evaluator with per-(node, subexpression) memoization."""
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+        self.subtrees: Dict[Path, Tree] = {
+            path: node for path, node in tree.nodes()
+        }
+        self._phi_cache: Dict[Tuple[int, Path], FrozenSet[Path]] = {}
+        self._pattern_cache: Dict[Tuple[int, Path], FrozenSet[Path]] = {}
+
+    def children_of(self, path: Path) -> List[Path]:
+        node = self.subtrees[path]
+        return [path + (i,) for i in range(len(node.children))]
+
+    def strict_descendants(self, path: Path) -> List[Path]:
+        node = self.subtrees[path]
+        return [
+            path + sub
+            for sub, _ in node.nodes()
+            if sub != ()
+        ]
+
+    # ------------------------------------------------------------------
+    def pattern(self, p: Pattern, context: Path) -> FrozenSet[Path]:
+        key = (id(p), context)
+        cached = self._pattern_cache.get(key)
+        if cached is not None:
+            return cached
+        starts = (
+            self.strict_descendants(context)
+            if p.descendant
+            else self.children_of(context)
+        )
+        out: Set[Path] = set()
+        for start in starts:
+            out |= self.phi(p.phi, start)
+        result = frozenset(out)
+        self._pattern_cache[key] = result
+        return result
+
+    def phi(self, phi: Phi, context: Path) -> FrozenSet[Path]:
+        key = (id(phi), context)
+        cached = self._phi_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._phi(phi, context)
+        self._phi_cache[key] = result
+        return result
+
+    def _phi(self, phi: Phi, context: Path) -> FrozenSet[Path]:
+        if isinstance(phi, Test):
+            if self.subtrees[context].label == phi.name:
+                return frozenset({context})
+            return frozenset()
+        if isinstance(phi, Wildcard):
+            return frozenset({context})
+        if isinstance(phi, Disj):
+            return self.phi(phi.left, context) | self.phi(phi.right, context)
+        if isinstance(phi, Child):
+            out: Set[Path] = set()
+            for w in self.phi(phi.left, context):
+                for child in self.children_of(w):
+                    out |= self.phi(phi.right, child)
+            return frozenset(out)
+        if isinstance(phi, Desc):
+            out = set()
+            for w in self.phi(phi.left, context):
+                for descendant in self.strict_descendants(w):
+                    out |= self.phi(phi.right, descendant)
+            return frozenset(out)
+        if isinstance(phi, Filter):
+            return frozenset(
+                v
+                for v in self.phi(phi.inner, context)
+                if self.pattern(phi.predicate, v)
+            )
+        raise AssertionError(f"unknown φ node {phi!r}")
+
+
+def evaluate(pattern: Pattern, tree: Tree, context: Path = ()) -> FrozenSet[Path]:
+    """``f_P(t, u)`` — the set of selected node addresses."""
+    return _Evaluator(tree).pattern(pattern, context)
+
+
+def select(pattern: Pattern, tree: Tree) -> List[Path]:
+    """Addresses selected from the root, in document order.
+
+    Dewey addresses sort lexicographically exactly in document order.
+    """
+    return sorted(evaluate(pattern, tree, ()))
+
+
+def select_subtrees(pattern: Pattern, tree: Tree) -> List[Tree]:
+    """The selected subtrees ``t/u``, in document order."""
+    return [tree.subtree(path) for path in select(pattern, tree)]
+
+
+def matches(pattern: Pattern, tree: Tree, path: Path) -> bool:
+    """Whether ``pattern`` selects the node at ``path`` (from the root)."""
+    return path in evaluate(pattern, tree, ())

@@ -1,0 +1,87 @@
+"""Additional Corollary 39 scenarios: the boundary between finitely and
+infinitely many counterexamples, exercised across algorithmic regimes."""
+
+import pytest
+
+from repro.core import typecheck_forward, typechecks_almost_always
+from repro.schemas import DTD
+from repro.transducers import TreeTransducer
+
+
+def make(din_rules, t_rules, dout_rules, start_in="r", start_out="r", states=("q",)):
+    din = DTD(din_rules, start=start_in)
+    dout = DTD(dout_rules, start=start_out, alphabet=set(din.alphabet))
+    t = TreeTransducer(set(states), din.alphabet | dout.alphabet, states[0], t_rules)
+    return t, din, dout
+
+
+class TestBoundary:
+    def test_bounded_violation_depth_is_finite(self):
+        # Violations only at bounded depth with finitely many shapes.
+        t, din, dout = make(
+            {"r": "a | b"},
+            {("q", "r"): "r(q)", ("q", "a"): "a", ("q", "b"): "b"},
+            {"r": "a"},
+        )
+        assert not typecheck_forward(t, din, dout).typechecks
+        assert typechecks_almost_always(t, din, dout)  # only r(b) fails
+
+    def test_sibling_pumping_is_infinite(self):
+        t, din, dout = make(
+            {"r": "a* b?"},
+            {("q", "r"): "r(q)", ("q", "a"): "a", ("q", "b"): "b"},
+            {"r": "a*"},
+        )
+        # any a^k b fails: infinitely many counterexamples.
+        assert not typechecks_almost_always(t, din, dout)
+
+    def test_deletion_engine_almost_always(self):
+        # Deleting transducer: w-chains collapse; only the b-leaf case fails,
+        # but it occurs under arbitrarily deep chains → infinite.
+        t, din, dout = make(
+            {"r": "w", "w": "w | a | b"},
+            {
+                ("q", "r"): "r(q)",
+                ("q", "w"): "q",
+                ("q", "a"): "a",
+                ("q", "b"): "b",
+            },
+            {"r": "a"},
+        )
+        assert not typecheck_forward(t, din, dout).typechecks
+        assert not typechecks_almost_always(t, din, dout)
+
+    def test_all_inputs_fail_finite_language(self):
+        # The input language itself is finite and every tree fails.
+        t, din, dout = make(
+            {"r": "a?"},
+            {("q", "r"): "r(q)", ("q", "a"): "a"},
+            {"r": "a a"},
+        )
+        assert not typecheck_forward(t, din, dout).typechecks
+        assert typechecks_almost_always(t, din, dout)
+
+    def test_all_inputs_fail_infinite_language(self):
+        t, din, dout = make(
+            {"r": "a*"},
+            {("q", "r"): "r(q)", ("q", "a"): "a"},
+            {"r": "b"},
+        )
+        assert not typecheck_forward(t, din, dout).typechecks
+        assert not typechecks_almost_always(t, din, dout)
+
+    def test_copying_violations(self):
+        # Two copies: violation shape fixed but context siblings pump.
+        din = DTD({"r": "m+", "m": "a?"}, start="r")
+        t = TreeTransducer(
+            {"q", "p"},
+            {"r", "m", "a", "out"},
+            "q",
+            {("q", "r"): "out(p p)", ("p", "m"): "p", ("p", "a"): "a"},
+        )
+        dout = DTD({"out": "a*"}, start="out", alphabet={"a", "out"})
+        assert typecheck_forward(t, din, dout).typechecks
+        assert typechecks_almost_always(t, din, dout)
+        dout_odd = DTD({"out": "(a a)* a"}, start="out", alphabet={"a", "out"})
+        # outputs always have even length: every input fails → infinite.
+        assert not typechecks_almost_always(t, din, dout_odd)

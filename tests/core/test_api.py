@@ -1,0 +1,82 @@
+"""Tests for the dispatching API."""
+
+import pytest
+
+from repro import typecheck
+from repro.errors import ClassViolationError
+from repro.schemas import DTD, dtd_to_dtac, dtd_to_nta
+from repro.transducers import TreeTransducer
+from repro.workloads.books import book_dtd, toc_output_dtd, toc_transducer
+
+
+class TestDispatch:
+    def test_auto_picks_replus(self):
+        din = DTD({"r": "a+"}, start="r")
+        dout = DTD({"r": "a a+"}, start="r")
+        t = TreeTransducer(
+            {"q"}, {"r", "a"}, "q", {("q", "r"): "r(q q)", ("q", "a"): "a"}
+        )
+        result = typecheck(t, din, dout)
+        assert result.algorithm == "replus"
+        assert result.typechecks  # doubling always emits ≥ 2 a's
+
+    def test_auto_replus_failing(self):
+        din = DTD({"r": "a+"}, start="r")
+        dout = DTD({"r": "a a"}, start="r")
+        t = TreeTransducer(
+            {"q"}, {"r", "a"}, "q", {("q", "r"): "r(q q)", ("q", "a"): "a"}
+        )
+        result = typecheck(t, din, dout)
+        assert result.algorithm == "replus"
+        assert not result.typechecks
+        assert result.verify(t, din.accepts, dout.accepts)
+
+    def test_auto_picks_forward_for_trac(self):
+        result = typecheck(toc_transducer(), book_dtd(), toc_output_dtd())
+        assert result.algorithm == "forward"
+        assert result.typechecks
+
+    def test_auto_picks_delrelab_for_automata(self):
+        din = DTD({"r": "x*"}, start="r")
+        dout = DTD({"r": "y*"}, start="r", alphabet={"x", "y", "r"})
+        t = TreeTransducer(
+            {"q"}, {"r", "x", "y"}, "q", {("q", "r"): "r(q)", ("q", "x"): "y"}
+        )
+        result = typecheck(t, dtd_to_nta(din), dtd_to_dtac(dout))
+        assert result.algorithm == "delrelab"
+        assert result.typechecks
+
+    def test_frontier_violation_raises(self):
+        # Copying + unbounded deletion with general DTDs: provably hard.
+        din = DTD({"r": "a | b", "a": "(a | b)?"}, start="r")
+        t = TreeTransducer(
+            {"q0", "q"},
+            {"r", "a", "b"},
+            "q0",
+            {("q0", "r"): "r(q)", ("q", "a"): "q q", ("q", "b"): "b"},
+        )
+        with pytest.raises(ClassViolationError):
+            typecheck(t, din, din)
+
+    def test_explicit_method_override(self):
+        result = typecheck(
+            toc_transducer(), book_dtd(), toc_output_dtd(), method="bruteforce",
+            max_nodes=9,
+        )
+        assert result.algorithm == "bruteforce"
+        assert result.typechecks
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            typecheck(toc_transducer(), book_dtd(), toc_output_dtd(), method="magic")
+
+    def test_nta_schema_needs_delrelab(self):
+        din = DTD({"r": "x*"}, start="r")
+        t = TreeTransducer(
+            {"q", "p"},
+            {"r", "x"},
+            "q",
+            {("q", "r"): "r(p p)", ("p", "x"): "x"},
+        )
+        with pytest.raises(ClassViolationError):
+            typecheck(t, dtd_to_nta(din), dtd_to_nta(din), method="forward")

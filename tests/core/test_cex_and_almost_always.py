@@ -1,0 +1,112 @@
+"""Tests for the counterexample NTA (Cor. 38) and almost-always
+typechecking (Cor. 39)."""
+
+from repro.core import (
+    counterexample_nta,
+    typecheck_forward,
+    typechecks_almost_always,
+)
+from repro.schemas import DTD
+from repro.transducers import TreeTransducer
+from repro.trees import parse_tree
+from repro.trees.generate import enumerate_trees
+from repro.tree_automata import is_empty, is_finite, witness_tree
+from repro.workloads.books import book_dtd, toc_output_dtd, toc_transducer
+
+
+def identity_over(din: DTD) -> TreeTransducer:
+    rules = {("q", a): f"{a}(q)" for a in din.alphabet}
+    return TreeTransducer({"q"}, din.alphabet, "q", rules)
+
+
+class TestCounterexampleNta:
+    def test_language_is_exactly_the_counterexamples(self):
+        din = DTD({"r": "a*"}, start="r")
+        t = identity_over(din)
+        dout = DTD({"r": "a a?"}, start="r")
+        nta = counterexample_nta(t, din, dout)
+        for tree in enumerate_trees(din, max_nodes=6):
+            out = t.apply(tree)
+            is_cex = out is None or not dout.accepts(out)
+            assert nta.accepts(tree) == is_cex, str(tree)
+
+    def test_with_deletion_and_copying(self):
+        din = DTD({"r": "m*", "m": "a?"}, start="r")
+        t = TreeTransducer(
+            {"q", "p"},
+            {"r", "m", "a"},
+            "q",
+            {("q", "r"): "r(p p)", ("p", "m"): "p", ("p", "a"): "a"},
+        )
+        dout = DTD({"r": "a a a*"}, start="r", alphabet={"r", "m", "a"})
+        nta = counterexample_nta(t, din, dout)
+        for tree in enumerate_trees(din, max_nodes=6):
+            out = t.apply(tree)
+            is_cex = out is None or not dout.accepts(out)
+            assert nta.accepts(tree) == is_cex, str(tree)
+
+    def test_emptiness_matches_forward(self):
+        result = typecheck_forward(toc_transducer(), book_dtd(), toc_output_dtd())
+        nta = counterexample_nta(toc_transducer(), book_dtd(), toc_output_dtd())
+        assert is_empty(nta) == result.typechecks
+
+    def test_witness_is_a_counterexample(self):
+        din = DTD({"r": "a*"}, start="r")
+        t = identity_over(din)
+        dout = DTD({"r": "a+"}, start="r")
+        nta = counterexample_nta(t, din, dout)
+        witness = witness_tree(nta)
+        assert witness == parse_tree("r")
+        assert din.accepts(witness) and not dout.accepts(t.apply(witness))
+
+    def test_root_failure_accepts_whole_language(self):
+        din = DTD({"r": "a?"}, start="r")
+        t = TreeTransducer({"q"}, {"r", "a"}, "q", {})  # no initial rule
+        dout = DTD({"r": "a?"}, start="r")
+        nta = counterexample_nta(t, din, dout)
+        assert nta.accepts(parse_tree("r"))
+        assert nta.accepts(parse_tree("r(a)"))
+        assert not nta.accepts(parse_tree("a"))
+
+
+class TestAlmostAlways:
+    def test_typechecking_instance_is_almost_always(self):
+        assert typechecks_almost_always(
+            toc_transducer(), book_dtd(), toc_output_dtd()
+        )
+
+    def test_finitely_many_counterexamples(self):
+        # Only r() violates a+: exactly one counterexample.
+        din = DTD({"r": "a*"}, start="r")
+        t = identity_over(din)
+        dout = DTD({"r": "a+"}, start="r")
+        assert not typecheck_forward(t, din, dout).typechecks
+        assert typechecks_almost_always(t, din, dout)
+
+    def test_infinitely_many_counterexamples(self):
+        # Everything with ≥ 3 a's violates: infinitely many.
+        din = DTD({"r": "a*"}, start="r")
+        t = identity_over(din)
+        dout = DTD({"r": "a a?"}, start="r")
+        assert not typechecks_almost_always(t, din, dout)
+
+    def test_infinite_contexts(self):
+        # One bad leaf shape, but it embeds below arbitrarily deep chains.
+        din = DTD({"r": "m", "m": "m | a b"}, start="r")
+        t = identity_over(din)
+        dout = DTD({"r": "m", "m": "m | a"}, start="r", alphabet=din.alphabet)
+        assert not typecheck_forward(t, din, dout).typechecks
+        assert not typechecks_almost_always(t, din, dout)
+
+    def test_root_failure_with_finite_language(self):
+        din = DTD({"r": "a?"}, start="r")
+        t = TreeTransducer({"q"}, {"r", "a"}, "q", {})
+        dout = DTD({"r": "a?"}, start="r")
+        # Two counterexamples (r and r(a)) — finite.
+        assert typechecks_almost_always(t, din, dout)
+
+    def test_root_failure_with_infinite_language(self):
+        din = DTD({"r": "a*"}, start="r")
+        t = TreeTransducer({"q"}, {"r", "a"}, "q", {})
+        dout = DTD({"r": "a*"}, start="r")
+        assert not typechecks_almost_always(t, din, dout)

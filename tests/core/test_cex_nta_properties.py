@@ -1,0 +1,57 @@
+"""Property tests: the counterexample NTA's language is *exactly* the set of
+counterexamples, on randomized instances (the strongest form of the Lemma 14
+correctness claim this library can check mechanically)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import counterexample_nta
+from repro.transducers import analyze
+from repro.trees.generate import enumerate_trees
+from repro.workloads.random_instances import (
+    random_dtd,
+    random_output_dtd,
+    random_trac_transducer,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cex_nta_language_is_exact(seed):
+    rng = random.Random(seed)
+    din = random_dtd(rng, symbols=3)
+    transducer = random_trac_transducer(
+        rng, din, num_states=2, allow_deletion=True, allow_copying=False
+    )
+    dout = random_output_dtd(rng, transducer)
+    if analyze(transducer).deletion_path_width is None:
+        return
+    nta = counterexample_nta(transducer, din, dout)
+    for tree in enumerate_trees(din, max_nodes=6):
+        image = transducer.apply(tree)
+        is_cex = image is None or not dout.accepts(image)
+        assert nta.accepts(tree) == is_cex, f"seed {seed}: {tree} → {image}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cex_nta_witnesses_verify(seed):
+    from repro.tree_automata import is_empty, witness_tree
+
+    rng = random.Random(seed)
+    din = random_dtd(rng, symbols=3)
+    transducer = random_trac_transducer(
+        rng, din, num_states=2, allow_deletion=False, allow_copying=True
+    )
+    dout = random_output_dtd(rng, transducer)
+    if analyze(transducer).deletion_path_width is None:
+        return
+    nta = counterexample_nta(transducer, din, dout)
+    if is_empty(nta):
+        return
+    witness = witness_tree(nta)
+    assert witness is not None
+    assert din.accepts(witness), f"seed {seed}"
+    image = transducer.apply(witness)
+    assert image is None or not dout.accepts(image), f"seed {seed}"

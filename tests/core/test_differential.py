@@ -1,0 +1,129 @@
+"""Differential testing: the polynomial engines vs the brute-force oracle
+(and vs each other) on randomized instances."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    counterexample_nta,
+    typecheck_bruteforce,
+    typecheck_forward,
+    typecheck_replus,
+    typecheck_replus_witnesses,
+)
+from repro.schemas import DTD
+from repro.transducers import TreeTransducer, analyze
+from repro.tree_automata import is_empty
+from repro.workloads.random_instances import (
+    random_dtd,
+    random_output_dtd,
+    random_trac_transducer,
+)
+
+MAX_NODES = 7
+
+
+def _run_case(seed: int, allow_deletion: bool, allow_copying: bool) -> None:
+    rng = random.Random(seed)
+    din = random_dtd(rng, symbols=3)
+    transducer = random_trac_transducer(
+        rng, din, num_states=2,
+        allow_deletion=allow_deletion, allow_copying=allow_copying,
+    )
+    dout = random_output_dtd(rng, transducer)
+    analysis = analyze(transducer)
+    if analysis.deletion_path_width is None:
+        return  # outside T_trac: the theorem does not apply
+    fast = typecheck_forward(transducer, din, dout)
+    slow = typecheck_bruteforce(transducer, din, dout, max_nodes=MAX_NODES)
+    if fast.typechecks:
+        assert slow.typechecks, (
+            f"seed {seed}: forward says OK, oracle found {slow.counterexample}"
+        )
+    else:
+        assert fast.verify(transducer, din.accepts, dout.accepts), (
+            f"seed {seed}: forward counterexample {fast.counterexample} "
+            "does not verify"
+        )
+    # The counterexample NTA agrees with the decision.
+    nta = counterexample_nta(transducer, din, dout)
+    assert is_empty(nta) == fast.typechecks, f"seed {seed}: cex-NTA disagrees"
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_forward_vs_oracle_no_deletion(seed):
+    _run_case(seed, allow_deletion=False, allow_copying=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_forward_vs_oracle_with_deletion(seed):
+    _run_case(seed, allow_deletion=True, allow_copying=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_forward_vs_oracle_full(seed):
+    _run_case(seed, allow_deletion=True, allow_copying=True)
+
+
+def _random_replus_instance(rng: random.Random):
+    depth = rng.randint(1, 3)
+    rules = {}
+    for i in range(depth):
+        factors = []
+        for _ in range(rng.randint(1, 2)):
+            factors.append(f"s{i + 1}" + rng.choice(["", "+"]))
+        rules[f"s{i}"] = " ".join(factors)
+    din = DTD(rules, start="s0", alphabet={f"s{depth}"})
+    outputs = [f"t{i}" for i in range(depth + 1)]
+    alphabet = set(din.alphabet) | set(outputs)
+    t_rules = {}
+    for i in range(depth):
+        shape = rng.choice(["t(q)", "t(q q)", "t q", "q"])
+        text = shape.replace("t", f"t{i}")
+        t_rules[("q", f"s{i}")] = text
+    t_rules[("q", f"s{depth}")] = f"t{depth}"
+    # ensure initial rule is a single tree
+    if not str(t_rules[("q", "s0")]).startswith("t0("):
+        t_rules[("q", "s0")] = "t0(q)"
+    transducer = TreeTransducer({"q"}, alphabet, "q", t_rules)
+    out_rules = {}
+    for i in range(depth):
+        factors = []
+        for _ in range(rng.randint(1, 2)):
+            factors.append(f"t{i + 1}" + rng.choice(["", "+"]))
+        out_rules[f"t{i}"] = " ".join(factors)
+    dout = DTD(out_rules, start="t0", alphabet={f"t{depth}"})
+    return transducer, din, dout
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_replus_routes_agree_with_oracle(seed):
+    rng = random.Random(seed)
+    transducer, din, dout = _random_replus_instance(rng)
+    grammar_route = typecheck_replus(transducer, din, dout)
+    witness_route = typecheck_replus_witnesses(transducer, din, dout)
+    oracle = typecheck_bruteforce(transducer, din, dout, max_nodes=8)
+    assert grammar_route.typechecks == witness_route.typechecks
+    if grammar_route.typechecks:
+        assert oracle.typechecks
+    else:
+        assert witness_route.verify(transducer, din.accepts, dout.accepts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_forward_agrees_with_replus_on_replus_instances(seed):
+    rng = random.Random(seed)
+    transducer, din, dout = _random_replus_instance(rng)
+    analysis = analyze(transducer)
+    if analysis.deletion_path_width is None:
+        return
+    forward = typecheck_forward(transducer, din, dout)
+    grammar = typecheck_replus(transducer, din, dout)
+    assert forward.typechecks == grammar.typechecks

@@ -1,0 +1,206 @@
+"""Tests for the Lemma 14 forward engine (Theorem 15)."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, ClassViolationError
+from repro.core import typecheck_bruteforce, typecheck_forward
+from repro.schemas import DTD
+from repro.transducers import TreeTransducer
+from repro.trees import parse_tree
+from repro.workloads.books import (
+    book_dtd,
+    example11_output_dtd,
+    toc_output_dtd,
+    toc_transducer,
+    toc_with_summary_transducer,
+    toc_xpath_transducer,
+)
+
+
+class TestExample10And11:
+    def test_toc_typechecks(self):
+        result = typecheck_forward(toc_transducer(), book_dtd(), toc_output_dtd())
+        assert result.typechecks
+
+    def test_example11_typechecks(self):
+        # "The second transducer of Example 10 typechecks with respect to
+        # the input schema and the following DTD" (Example 11).
+        result = typecheck_forward(
+            toc_with_summary_transducer(), book_dtd(), example11_output_dtd()
+        )
+        assert result.typechecks
+
+    def test_example11_is_tight_on_summary(self):
+        # Dropping ε from chapter's model breaks it: the toc part emits
+        # childless chapters.
+        dout = DTD(
+            {"book": "title (chapter title*)* chapter*", "chapter": "title intro"},
+            start="book",
+            alphabet=book_dtd().alphabet,
+        )
+        result = typecheck_forward(toc_with_summary_transducer(), book_dtd(), dout)
+        assert not result.typechecks
+        assert result.verify(
+            toc_with_summary_transducer(), book_dtd().accepts, dout.accepts
+        )
+
+    def test_xpath_variant(self):
+        result = typecheck_forward(
+            toc_xpath_transducer(), book_dtd(), toc_output_dtd()
+        )
+        assert result.typechecks
+
+
+class TestRootHandling:
+    def test_empty_input_schema(self):
+        din = DTD({"r": "x", "x": "x"}, start="r")
+        dout = DTD({"r": "ε"}, start="r")
+        t = TreeTransducer({"q"}, {"r", "x"}, "q", {})
+        assert typecheck_forward(t, din, dout).typechecks
+
+    def test_missing_initial_rule(self):
+        din = DTD({"r": "ε"}, start="r")
+        dout = DTD({"r": "ε"}, start="r")
+        t = TreeTransducer({"q"}, {"r"}, "q", {})
+        result = typecheck_forward(t, din, dout)
+        assert not result.typechecks
+        assert result.counterexample == parse_tree("r")
+
+    def test_wrong_root_label(self):
+        din = DTD({"r": "ε"}, start="r")
+        dout = DTD({"out": "ε"}, start="out")
+        t = TreeTransducer({"q"}, {"r", "out"}, "q", {("q", "r"): "r"})
+        result = typecheck_forward(t, din, dout)
+        assert not result.typechecks
+        assert "root" in result.reason
+
+    def test_hedge_initial_rule_rejected(self):
+        din = DTD({"r": "ε"}, start="r")
+        t = TreeTransducer({"q"}, {"r"}, "q", {("q", "r"): "r r"})
+        with pytest.raises(ClassViolationError):
+            typecheck_forward(t, din, din)
+
+
+class TestDeletionScenarios:
+    def test_unbounded_depth_deletion(self):
+        # Arbitrary-depth deletion without copying: PTIME per Theorem 15.
+        din = DTD({"r": "w", "w": "w | a"}, start="r")
+        t = TreeTransducer(
+            {"q"},
+            {"r", "w", "a", "out"},
+            "q",
+            {("q", "r"): "out(q)", ("q", "w"): "q", ("q", "a"): "a"},
+        )
+        dout = DTD({"out": "a"}, start="out", alphabet={"a", "out"})
+        result = typecheck_forward(t, din, dout)
+        assert result.typechecks
+        assert typecheck_bruteforce(t, din, dout, max_nodes=7).typechecks
+
+    def test_deletion_failure_detected(self):
+        # Deleting w flattens pairs of a's: words of even length ≥ 0.
+        din = DTD({"r": "w*", "w": "a a"}, start="r")
+        t = TreeTransducer(
+            {"q"},
+            {"r", "w", "a"},
+            "q",
+            {("q", "r"): "r(q)", ("q", "w"): "q", ("q", "a"): "a"},
+        )
+        dout_good = DTD({"r": "(a a)*"}, start="r", alphabet={"a", "r"})
+        dout_bad = DTD({"r": "(a a)+"}, start="r", alphabet={"a", "r"})
+        assert typecheck_forward(t, din, dout_good).typechecks
+        result = typecheck_forward(t, din, dout_bad)
+        assert not result.typechecks
+        assert result.counterexample == parse_tree("r")
+
+    def test_copying_with_bounded_deletion(self):
+        din = DTD({"r": "m", "m": "a?"}, start="r")
+        t = TreeTransducer(
+            {"q", "p"},
+            {"r", "m", "a"},
+            "q",
+            {
+                ("q", "r"): "r(p p)",  # copy twice
+                ("p", "m"): "p",  # bounded deletion while copying
+                ("p", "a"): "a",
+            },
+        )
+        dout = DTD({"r": "a* "}, start="r", alphabet={"a", "r"})
+        assert typecheck_forward(t, din, dout).typechecks
+        dout_exact = DTD({"r": "a a | ε"}, start="r", alphabet={"a", "r"})
+        assert typecheck_forward(t, din, dout_exact).typechecks
+        dout_wrong = DTD({"r": "a | ε"}, start="r", alphabet={"a", "r"})
+        result = typecheck_forward(t, din, dout_wrong)
+        assert not result.typechecks
+        assert result.verify(t, din.accepts, dout_wrong.accepts)
+
+    def test_correlated_copies(self):
+        # The same child hedge feeds both copies: r(a) -> out(a a) never
+        # out(a b); a naive uncorrelated analysis would reject.
+        din = DTD({"r": "a | b"}, start="r")
+        t = TreeTransducer(
+            {"q", "p"},
+            {"r", "a", "b", "out"},
+            "q",
+            {
+                ("q", "r"): "out(p p)",
+                ("p", "a"): "a",
+                ("p", "b"): "b",
+            },
+        )
+        dout = DTD({"out": "a a | b b"}, start="out", alphabet={"a", "b", "out"})
+        assert typecheck_forward(t, din, dout).typechecks
+
+    def test_unbounded_width_requires_budget(self):
+        t = TreeTransducer({"q"}, {"a"}, "q", {("q", "a"): "a(q q)"})
+        # not actually deleting-with-copying... make one that is:
+        t = TreeTransducer({"q0", "q"}, {"a"}, "q0", {("q0", "a"): "a(q)", ("q", "a"): "q q"})
+        din = DTD({"a": "a?"}, start="a")
+        with pytest.raises(ClassViolationError):
+            typecheck_forward(t, din, din)
+
+    def test_budget_guard_raises_cleanly(self):
+        t = TreeTransducer(
+            {"q0", "q"}, {"a"}, "q0", {("q0", "a"): "a(q)", ("q", "a"): "q q"}
+        )
+        din = DTD({"a": "a?"}, start="a")
+        with pytest.raises(BudgetExceededError):
+            typecheck_forward(t, din, din, max_tuple=3)
+
+
+class TestCounterexamples:
+    def test_counterexample_verifies(self):
+        din = book_dtd()
+        dout = DTD(
+            {"book": "title (chapter title title?)*"},
+            start="book",
+            alphabet=din.alphabet,
+        )
+        result = typecheck_forward(toc_transducer(), din, dout)
+        assert not result.typechecks
+        assert result.verify(toc_transducer(), din.accepts, dout.accepts)
+
+    def test_counterexample_in_deep_context(self):
+        # The violation only happens below two levels of context.
+        din = DTD({"r": "m", "m": "x", "x": "a*"}, start="r")
+        t = TreeTransducer(
+            {"q"},
+            {"r", "m", "x", "a"},
+            "q",
+            {
+                ("q", "r"): "r(q)",
+                ("q", "m"): "m(q)",
+                ("q", "x"): "x(q)",
+                ("q", "a"): "a",
+            },
+        )
+        dout = DTD({"r": "m", "m": "x", "x": "a"}, start="r", alphabet=din.alphabet)
+        result = typecheck_forward(t, din, dout)
+        assert not result.typechecks
+        assert result.verify(t, din.accepts, dout.accepts)
+        # The violating node sits at depth 3.
+        assert result.counterexample.depth >= 3
+
+    def test_stats_populated(self):
+        result = typecheck_forward(toc_transducer(), book_dtd(), toc_output_dtd())
+        assert result.stats["reachable_pairs"] > 0
+        assert result.stats["max_tuple"] >= 1

@@ -1,0 +1,48 @@
+"""Tests for the result type and its verification helper."""
+
+from repro.core.problem import TypecheckResult
+from repro.schemas import DTD
+from repro.transducers import TreeTransducer
+from repro.trees import parse_tree
+
+
+def _identity():
+    return TreeTransducer(
+        {"q"}, {"r", "a"}, "q", {("q", "r"): "r(q)", ("q", "a"): "a"}
+    )
+
+
+class TestVerify:
+    def test_passing_result_needs_no_counterexample(self):
+        result = TypecheckResult(True, "x")
+        assert result.verify(_identity(), lambda t: True, lambda t: True)
+
+    def test_passing_result_with_counterexample_is_inconsistent(self):
+        result = TypecheckResult(True, "x", counterexample=parse_tree("r"))
+        assert not result.verify(_identity(), lambda t: True, lambda t: True)
+
+    def test_failing_result_requires_counterexample(self):
+        result = TypecheckResult(False, "x")
+        assert not result.verify(_identity(), lambda t: True, lambda t: True)
+
+    def test_counterexample_must_be_in_input_schema(self):
+        din = DTD({"r": "a"}, start="r")
+        dout = DTD({"r": "ε"}, start="r", alphabet={"a"})
+        result = TypecheckResult(False, "x", counterexample=parse_tree("r"))
+        assert not result.verify(_identity(), din.accepts, dout.accepts)
+
+    def test_valid_counterexample(self):
+        din = DTD({"r": "a"}, start="r")
+        dout = DTD({"r": "ε"}, start="r", alphabet={"a"})
+        result = TypecheckResult(False, "x", counterexample=parse_tree("r(a)"))
+        assert result.verify(_identity(), din.accepts, dout.accepts)
+
+    def test_none_output_counts_as_violation(self):
+        t = TreeTransducer({"q"}, {"r"}, "q", {})  # empty translation
+        din = DTD({}, start="r")
+        result = TypecheckResult(False, "x", counterexample=parse_tree("r"))
+        assert result.verify(t, din.accepts, lambda tree: True)
+
+    def test_bool_protocol(self):
+        assert bool(TypecheckResult(True, "x"))
+        assert not bool(TypecheckResult(False, "x"))

@@ -1,0 +1,91 @@
+"""Tests for reachable pairs and context construction."""
+
+from repro.core.reachability import (
+    context_for,
+    reachable_pairs,
+    some_word_containing,
+)
+from repro.schemas import DTD
+from repro.strings import regex_to_nfa
+from repro.transducers import TreeTransducer
+from repro.workloads.books import book_dtd, toc_transducer
+
+
+class TestSomeWordContaining:
+    def test_finds_word(self):
+        nfa = regex_to_nfa("a* b c*")
+        assert some_word_containing(nfa, "b", {"a", "b", "c"}) == ("b",)
+        word = some_word_containing(nfa, "c", {"a", "b", "c"})
+        assert word is not None and "c" in word
+
+    def test_respects_allowed(self):
+        nfa = regex_to_nfa("a b | c b")
+        assert some_word_containing(nfa, "b", {"c", "b"}) == ("c", "b")
+
+    def test_none_when_impossible(self):
+        nfa = regex_to_nfa("a*")
+        assert some_word_containing(nfa, "z", {"a", "z"}) is None
+
+
+class TestReachablePairs:
+    def test_books(self):
+        pairs = reachable_pairs(toc_transducer(), book_dtd())
+        assert ("q", "book") in pairs
+        assert ("q", "section") in pairs
+        assert ("q", "paragraph") in pairs  # q processes *all* children
+        assert ("q", "book") in pairs and pairs[("q", "book")] is None
+
+    def test_unreachable_symbol(self):
+        din = DTD({"r": "a"}, start="r", alphabet={"z"})
+        t = TreeTransducer({"q"}, {"r", "a", "z"}, "q", {("q", "r"): "r(q)"})
+        pairs = reachable_pairs(t, din)
+        assert ("q", "z") not in pairs
+        assert ("q", "a") in pairs
+
+    def test_rule_less_pair_stops_descent(self):
+        din = DTD({"r": "m", "m": "a"}, start="r")
+        t = TreeTransducer({"q"}, {"r", "m", "a"}, "q", {("q", "r"): "r(q)"})
+        pairs = reachable_pairs(t, din)
+        assert ("q", "m") in pairs
+        assert ("q", "a") not in pairs  # no rule for (q, m): descent stops
+
+    def test_empty_language(self):
+        din = DTD({"r": "x", "x": "x"}, start="r")
+        t = TreeTransducer({"q"}, {"r", "x"}, "q", {("q", "r"): "r(q)"})
+        assert reachable_pairs(t, din) == {}
+
+    def test_multiple_states(self):
+        pairs = reachable_pairs(
+            __import__("repro.workloads.books", fromlist=["x"]).toc_with_summary_transducer(),
+            book_dtd(),
+        )
+        assert ("p", "chapter") in pairs
+        assert ("p2", "title") in pairs
+
+
+class TestContextFor:
+    def test_root_pair_context_is_hole(self):
+        pairs = reachable_pairs(toc_transducer(), book_dtd())
+        tree, hole = context_for(("q", "book"), pairs, book_dtd())
+        assert hole == ()
+        assert tree.label == "__hole__"
+
+    def test_deep_context_is_valid_after_plugging(self):
+        from repro.trees.generate import minimal_tree
+
+        din = book_dtd()
+        pairs = reachable_pairs(toc_transducer(), din)
+        tree, hole = context_for(("q", "section"), pairs, din)
+        assert tree.label_at(hole) == "__hole__"
+        plugged = tree.replace(hole, minimal_tree(din, "section"))
+        assert din.accepts(plugged)
+
+    def test_every_reachable_pair_has_a_realizing_context(self):
+        from repro.trees.generate import minimal_tree
+
+        din = book_dtd()
+        pairs = reachable_pairs(toc_transducer(), din)
+        for (q, a) in pairs:
+            tree, hole = context_for((q, a), pairs, din)
+            plugged = tree.replace(hole, minimal_tree(din, a))
+            assert din.accepts(plugged), (q, a)

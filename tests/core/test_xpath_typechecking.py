@@ -1,0 +1,111 @@
+"""End-to-end typechecking with XPath selectors (Section 4 integration).
+
+Covers the Theorem 23 story beyond the compiler unit tests: full
+typechecking runs with child/wildcard patterns, descendant patterns on
+non-recursive schemas, and DFA selectors (Theorem 29), cross-validated by
+brute force.
+"""
+
+import pytest
+
+from repro.core import typecheck_bruteforce, typecheck_forward
+from repro.schemas import DTD
+from repro.transducers import TreeTransducer
+from repro.transducers.rhs import RhsCall, RhsSym
+from repro.xpath import parse_pattern, pattern_to_dfa
+
+
+def _call_transducer(din, pattern_text, sigma_extra=()):
+    """r(⟨q, pattern⟩) with q the identity on leaf payloads."""
+    sigma = set(din.alphabet) | set(sigma_extra)
+    payloads = [s for s in din.alphabet if s.startswith("k")]
+    rules = {
+        ("q0", din.start): (
+            RhsSym(din.start, (RhsCall("q", parse_pattern(pattern_text)),)),
+        ),
+    }
+    for payload in payloads:
+        rules[("q", payload)] = payload
+    return TreeTransducer({"q0", "q"}, sigma, "q0", rules)
+
+
+@pytest.fixture
+def catalog():
+    return DTD(
+        {
+            "cat": "group+",
+            "group": "k1 k2?",
+        },
+        start="cat",
+    )
+
+
+class TestChildStarPatterns:
+    def test_select_grandchildren(self, catalog):
+        t = _call_transducer(catalog, "./*/k1")
+        dout = DTD({"cat": "k1+"}, start="cat", alphabet=catalog.alphabet)
+        assert typecheck_forward(t, catalog, dout).typechecks
+        assert typecheck_bruteforce(t, catalog, dout, max_nodes=8).typechecks
+
+    def test_detects_violation(self, catalog):
+        t = _call_transducer(catalog, "./*/*")
+        dout = DTD({"cat": "k1+"}, start="cat", alphabet=catalog.alphabet)
+        result = typecheck_forward(t, catalog, dout)
+        assert not result.typechecks
+        assert result.verify(t, catalog.accepts, dout.accepts)
+        oracle = typecheck_bruteforce(t, catalog, dout, max_nodes=8)
+        assert not oracle.typechecks
+
+    def test_exact_arity(self, catalog):
+        t = _call_transducer(catalog, "./group/k1")
+        # Every group contributes exactly one k1.
+        dout = DTD({"cat": "k1+"}, start="cat", alphabet=catalog.alphabet)
+        assert typecheck_forward(t, catalog, dout).typechecks
+
+
+class TestDescendantPatterns:
+    def test_descendant_on_bounded_schema(self, catalog):
+        # .//k2 over a depth-bounded schema compiles to an acyclic-ish scan;
+        # every group may or may not contribute a k2.
+        t = _call_transducer(catalog, ".//k2")
+        dout = DTD({"cat": "k2*"}, start="cat", alphabet=catalog.alphabet)
+        assert typecheck_forward(t, catalog, dout).typechecks
+        dout_plus = DTD({"cat": "k2+"}, start="cat", alphabet=catalog.alphabet)
+        result = typecheck_forward(t, catalog, dout_plus)
+        assert not result.typechecks
+        assert result.verify(t, catalog.accepts, dout_plus.accepts)
+
+
+class TestDfaSelectors:
+    def test_theorem29_dfa_selector_typechecks(self, catalog):
+        selector = pattern_to_dfa(parse_pattern("./group/k1"), catalog.alphabet)
+        t = TreeTransducer(
+            {"q0", "q"},
+            catalog.alphabet,
+            "q0",
+            {
+                ("q0", "cat"): (RhsSym("cat", (RhsCall("q", selector),)),),
+                ("q", "k1"): "k1",
+            },
+        )
+        dout = DTD({"cat": "k1+"}, start="cat", alphabet=catalog.alphabet)
+        assert typecheck_forward(t, catalog, dout).typechecks
+        assert typecheck_bruteforce(t, catalog, dout, max_nodes=8).typechecks
+
+    def test_dfa_selector_semantics_match_pattern(self, catalog):
+        from repro.trees.generate import enumerate_trees
+
+        pattern = parse_pattern(".//k1")
+        selector = pattern_to_dfa(pattern, catalog.alphabet)
+        t_pattern = _call_transducer(catalog, ".//k1")
+        t_dfa = TreeTransducer(
+            {"q0", "q"},
+            catalog.alphabet,
+            "q0",
+            {
+                ("q0", "cat"): (RhsSym("cat", (RhsCall("q", selector),)),),
+                ("q", "k1"): "k1",
+            },
+        )
+        for tree in enumerate_trees(catalog, max_nodes=8):
+            assert t_pattern.apply(tree) == t_dfa.apply(tree), str(tree)

@@ -1,0 +1,199 @@
+"""Tests validating every hardness reduction on small instances."""
+
+import random
+
+import pytest
+
+from repro.core import typecheck_bruteforce, typecheck_forward
+from repro.hardness import (
+    CNF3,
+    PathSystem,
+    cnf_to_unary_dfas,
+    path_system_to_dtac,
+    random_cnf3,
+    satisfiable,
+    solve_path_system,
+    theorem28_1_instance,
+    theorem28_2_instance,
+    xpath_containment_holds,
+)
+from repro.hardness.sat_unary import assignment_of_word_length
+from repro.hardness.dfa_intersection import theorem18_instance
+from repro.schemas import DTD
+from repro.strings import regex_to_dfa
+from repro.strings.unary import intersection_nonempty_word, mod_dfa
+from repro.tree_automata import is_empty
+from repro.xpath import parse_pattern
+
+
+class TestLemma3PathSystems:
+    def test_solver(self):
+        instance = PathSystem(
+            propositions=frozenset({"a", "b", "c", "p"}),
+            axioms=frozenset({"a", "b"}),
+            rules=frozenset({("a", "b", "c"), ("c", "a", "p")}),
+            goal="p",
+        )
+        assert solve_path_system(instance)
+
+    def test_unprovable(self):
+        instance = PathSystem(
+            propositions=frozenset({"a", "p"}),
+            axioms=frozenset({"a"}),
+            rules=frozenset(),
+            goal="p",
+        )
+        assert not solve_path_system(instance)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_reduction_agrees_with_solver(self, seed):
+        rng = random.Random(seed)
+        props = [f"p{i}" for i in range(4)]
+        axioms = frozenset(rng.sample(props, k=rng.randint(1, 2)))
+        rules = frozenset(
+            (rng.choice(props), rng.choice(props), rng.choice(props))
+            for _ in range(rng.randint(1, 5))
+        )
+        instance = PathSystem(frozenset(props), axioms, rules, rng.choice(props))
+        automaton = path_system_to_dtac(instance)
+        # Lemma 3: the language is non-empty iff the goal is provable.
+        assert (not is_empty(automaton)) == solve_path_system(instance)
+
+    def test_dtac_class(self):
+        from repro.tree_automata.ops import is_bottom_up_deterministic
+
+        instance = PathSystem(
+            propositions=frozenset({"a", "b", "c"}),
+            axioms=frozenset({"a"}),
+            rules=frozenset({("a", "a", "b")}),
+            goal="c",
+        )
+        assert is_bottom_up_deterministic(path_system_to_dtac(instance))
+
+
+class TestLemma27SatUnary:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reduction_agrees_with_truth_tables(self, seed):
+        rng = random.Random(seed)
+        cnf = random_cnf3(num_vars=3, num_clauses=rng.randint(1, 4), rng=rng)
+        dfas = cnf_to_unary_dfas(cnf)
+        word = intersection_nonempty_word(dfas)
+        assert (word is not None) == satisfiable(cnf)
+        if word is not None:
+            # The decoded assignment satisfies the formula.
+            assignment = assignment_of_word_length(cnf, len(word))
+            for clause in cnf.clauses:
+                assert any(
+                    assignment[abs(l) - 1] == (l > 0) for l in clause
+                )
+
+    def test_unsatisfiable_formula(self):
+        cnf = CNF3(
+            1,
+            (
+                (1, 1, 1),
+                (-1, -1, -1),
+            ),
+        )
+        assert not satisfiable(cnf)
+        assert intersection_nonempty_word(cnf_to_unary_dfas(cnf)) is None
+
+
+class TestTheorem18:
+    def _check(self, dfas, expect_empty):
+        transducer, din, dout = theorem18_instance(dfas)
+        # The instance typechecks iff the intersection is empty.
+        result = typecheck_bruteforce(transducer, din, dout, max_nodes=7)
+        if expect_empty:
+            assert result.typechecks
+        else:
+            assert not result.typechecks
+
+    def test_empty_intersection_typechecks(self):
+        self._check([mod_dfa(2, {0}), mod_dfa(2, {1})], expect_empty=True)
+
+    def test_nonempty_intersection_fails(self):
+        # words of length ≡ 1 mod 2 and ≡ 1 mod 3: a^1 works.
+        self._check([mod_dfa(2, {1}), mod_dfa(3, {1})], expect_empty=False)
+
+    def test_regex_dfas(self):
+        good = regex_to_dfa("a b").complete({"a", "b"})
+        also = regex_to_dfa("a b | b a").complete({"a", "b"})
+        never = regex_to_dfa("b a").complete({"a", "b"})
+        self._check([good, also], expect_empty=False)
+        self._check([good, never], expect_empty=True)
+
+    def test_transducer_class(self):
+        from repro.transducers.analysis import analyze
+
+        transducer, _, _ = theorem18_instance([mod_dfa(2, {0})] * 4)
+        analysis = analyze(transducer)
+        assert analysis.copying_width == 2
+        # Finite per-instance deletion path width n/2 (the first doubling
+        # happens by copying inside r(...), the rest by deletion): not
+        # bounded by any constant over the family — T_{dw=2,cw=2,fdpw}.
+        assert analysis.deletion_path_width == 2
+        bigger, _, _ = theorem18_instance([mod_dfa(2, {0})] * 16)
+        assert analyze(bigger).deletion_path_width == 8
+
+    def test_forward_engine_with_budget_agrees(self):
+        dfas = [mod_dfa(2, {1}), mod_dfa(3, {1})]
+        transducer, din, dout = theorem18_instance(dfas)
+        result = typecheck_forward(transducer, din, dout)
+        assert not result.typechecks
+        assert result.verify(transducer, din.accepts, dout.accepts)
+
+
+class TestTheorem28XPath:
+    def test_theorem28_2_nonempty_intersection_fails(self):
+        dfas = [mod_dfa(2, {0}), mod_dfa(3, {0})]  # ε ∈ intersection
+        transducer, din, dout = theorem28_2_instance(dfas)
+        result = typecheck_bruteforce(transducer, din, dout, max_nodes=8)
+        assert not result.typechecks
+
+    def test_theorem28_2_empty_intersection_typechecks(self):
+        dfas = [mod_dfa(2, {0}), mod_dfa(2, {1})]
+        transducer, din, dout = theorem28_2_instance(dfas)
+        result = typecheck_bruteforce(transducer, din, dout, max_nodes=9)
+        assert result.typechecks
+
+    def test_theorem28_2_escapes_t_trac(self):
+        # The paper's point: with the // axis, even a C = K = 1 XPath
+        # transducer compiles to one with *unbounded* deletion path width —
+        # each #-node both spawns a $-scan and continues scanning.  The
+        # complete engine refuses the instance as outside every T_trac.
+        from repro.errors import ClassViolationError
+        from repro.transducers.analysis import analyze
+        from repro.xpath.compile import compile_calls
+
+        dfas = [mod_dfa(2, {0}), mod_dfa(2, {1})]
+        transducer, din, dout = theorem28_2_instance(dfas)
+        compiled = compile_calls(transducer)
+        assert analyze(compiled).deletion_path_width is None
+        with pytest.raises(ClassViolationError):
+            typecheck_forward(transducer, din, dout)
+
+    @pytest.mark.parametrize(
+        "p1,p2,contained",
+        [
+            ("./a/b", "./a/*", True),
+            ("./a/*", "./a/b", False),
+            (".//b", ".//(a|b)", True),
+            ("./a", ".//a", True),
+        ],
+    )
+    def test_theorem28_1_reduction(self, p1, p2, contained):
+        dtd = DTD({"s": "a?", "a": "b | c"}, start="s")
+        pat1, pat2 = parse_pattern(p1), parse_pattern(p2)
+        transducer, din, dout = theorem28_1_instance(dtd, pat1, pat2)
+        result = typecheck_bruteforce(transducer, din, dout, max_nodes=12)
+        assert result.typechecks == contained, (p1, p2)
+
+    def test_xpath_containment_reference(self):
+        dtd = DTD({"s": "a?", "a": "b | c"}, start="s")
+        assert xpath_containment_holds(
+            dtd, parse_pattern("./a/b"), parse_pattern("./a/*"), max_nodes=6
+        )
+        assert not xpath_containment_holds(
+            dtd, parse_pattern("./a/*"), parse_pattern("./a/b"), max_nodes=6
+        )

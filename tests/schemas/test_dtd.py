@@ -1,0 +1,171 @@
+"""Tests for DTDs (Definition 1)."""
+
+import pytest
+
+from repro.errors import InvalidSchemaError
+from repro.schemas import DTD
+from repro.strings import DFA, NFA, parse_regex, parse_replus, regex_to_dfa
+from repro.trees import parse_tree
+
+
+@pytest.fixture
+def book():
+    """Example 10's input schema."""
+    return DTD(
+        {
+            "book": "title author+ chapter+",
+            "chapter": "title intro section+",
+            "section": "title paragraph+ section*",
+        },
+        start="book",
+    )
+
+
+@pytest.fixture
+def fig3_document():
+    """The Fig. 3 document (two chapters; nested sections)."""
+    return parse_tree(
+        "book(title author chapter(title intro section(title paragraph)"
+        " section(title paragraph section(title paragraph)))"
+        " chapter(title intro section(title paragraph)))"
+    )
+
+
+class TestValidation:
+    def test_fig3_document_conforms(self, book, fig3_document):
+        assert book.accepts(fig3_document)
+
+    def test_root_label_checked(self, book):
+        assert not book.accepts(parse_tree("chapter(title intro section(title paragraph))"))
+
+    def test_content_model_checked(self, book):
+        # book without authors
+        assert not book.accepts(parse_tree("book(title chapter(title intro section(title paragraph)))"))
+
+    def test_leaves_without_rules_accept_no_children(self, book):
+        assert not book.accepts(
+            parse_tree(
+                "book(title(x) author chapter(title intro section(title paragraph)))"
+            )
+        )
+
+    def test_partly_satisfies_ignores_root(self, book):
+        hedge = (parse_tree("chapter(title intro section(title paragraph))"),)
+        assert book.partly_satisfies(hedge)
+
+    def test_violations_report_path(self, book):
+        bad = parse_tree("book(title chapter(title intro section(title paragraph)))")
+        issues = book.violations(bad)
+        assert len(issues) == 1
+        assert issues[0][0] == ()
+
+    def test_violations_on_valid_tree(self, book, fig3_document):
+        assert book.violations(fig3_document) == []
+
+
+class TestContentViews:
+    def test_content_nfa_language(self, book):
+        nfa = book.content_nfa("book")
+        assert nfa.accepts(["title", "author", "chapter"])
+        assert not nfa.accepts(["title", "chapter"])
+
+    def test_content_dfa_cached(self, book):
+        assert book.content_dfa("book") is book.content_dfa("book")
+
+    def test_missing_rule_is_epsilon(self, book):
+        assert book.content_nfa("title").accepts([])
+        assert not book.content_nfa("title").accepts(["title"])
+
+    def test_content_replus(self):
+        dtd = DTD({"r": parse_replus("a b+")}, start="r")
+        assert dtd.content_replus("r") == parse_replus("a b+")
+        # Textual RE+ expressions convert on demand.
+        dtd2 = DTD({"r": "a b+"}, start="r")
+        assert dtd2.content_replus("r") == parse_replus("a b+")
+
+    def test_content_replus_rejects_general_regex(self):
+        dtd = DTD({"r": "a | b"}, start="r")
+        with pytest.raises(InvalidSchemaError):
+            dtd.content_replus("r")
+
+    def test_dfa_content_model(self):
+        dfa = regex_to_dfa("a b")
+        dtd = DTD({"r": dfa}, start="r")
+        assert dtd.accepts(parse_tree("r(a b)"))
+        assert dtd.kind == "DFA"
+
+    def test_nfa_content_model(self):
+        nfa = NFA({0, 1}, {"a"}, {0: {"a": {1}}}, {0}, {1})
+        dtd = DTD({"r": nfa}, start="r")
+        assert dtd.accepts(parse_tree("r(a)"))
+        assert dtd.kind == "NFA"
+
+
+class TestKind:
+    def test_replus_kind(self):
+        assert DTD({"r": "a b+"}, start="r").kind == "RE+"
+
+    def test_regex_kind(self):
+        assert DTD({"r": "a | b"}, start="r").kind == "regex"
+
+    def test_weakest_wins(self):
+        nfa = NFA({0}, {"a"}, {0: {"a": {0}}}, {0}, {0})
+        dtd = DTD({"r": "a b+", "a": nfa}, start="r")
+        assert dtd.kind == "NFA"
+
+    def test_no_rules(self):
+        assert DTD({}, start="r").kind == "RE+"
+
+
+class TestStructure:
+    def test_alphabet_includes_content_symbols(self, book):
+        assert "paragraph" in book.alphabet
+        assert "intro" in book.alphabet
+
+    def test_with_start(self, book):
+        section = book.with_start("section")
+        assert section.accepts(parse_tree("section(title paragraph)"))
+        with pytest.raises(InvalidSchemaError):
+            book.with_start("nosuch")
+
+    def test_productive_symbols(self):
+        dtd = DTD({"r": "a | x", "x": "x"}, start="r")
+        productive = dtd.productive_symbols()
+        assert "a" in productive and "r" in productive
+        assert "x" not in productive
+
+    def test_is_empty(self):
+        assert DTD({"r": "x", "x": "x"}, start="r").is_empty()
+        assert not DTD({"r": "x", "x": "ε"}, start="r").is_empty()
+
+    def test_usable_children(self):
+        dtd = DTD({"r": "a | x b", "x": "x"}, start="r")
+        # x is unproductive, so the branch "x b" is unusable: only a remains.
+        assert dtd.usable_children("r") == frozenset({"a"})
+
+    def test_reachable_symbols(self):
+        dtd = DTD({"r": "a", "a": "ε", "z": "a"}, start="r")
+        assert dtd.reachable_symbols() == frozenset({"r", "a"})
+
+    def test_recursive(self, book):
+        assert not book.is_non_recursive()  # section* under section
+
+    def test_non_recursive(self):
+        dtd = DTD({"r": "a b", "a": "c"}, start="r")
+        assert dtd.is_non_recursive()
+
+    def test_recursion_on_unproductive_symbol_ignored(self):
+        dtd = DTD({"r": "a", "x": "x"}, start="r")
+        assert dtd.is_non_recursive()
+
+    def test_depth_bound(self):
+        dtd = DTD({"r": "a", "a": "b?"}, start="r")
+        assert dtd.depth_bound() == 3
+        assert DTD({"r": "r?"}, start="r").depth_bound() is None
+
+    def test_size_positive(self, book):
+        assert book.size > 0
+
+    def test_pretty(self, book):
+        text = book.pretty()
+        assert "book →" in text and "start: book" in text

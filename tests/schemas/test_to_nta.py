@@ -1,0 +1,52 @@
+"""Tests for DTD → tree-automaton conversion."""
+
+import pytest
+
+from repro.schemas import DTD, dtd_to_dtac, dtd_to_nta
+from repro.trees import parse_tree
+from repro.trees.generate import enumerate_trees
+from repro.tree_automata.ops import is_bottom_up_deterministic, is_complete
+
+
+@pytest.fixture
+def dtd():
+    return DTD({"r": "a b?", "a": "c*"}, start="r")
+
+
+class TestDtdToNta:
+    def test_language_agrees(self, dtd):
+        nta = dtd_to_nta(dtd)
+        for tree in enumerate_trees(dtd, max_nodes=6):
+            assert nta.accepts(tree)
+        for text in ["r", "r(b)", "a(c)", "r(a(b))"]:
+            tree = parse_tree(text)
+            assert dtd.accepts(tree) == nta.accepts(tree)
+
+    def test_deterministic_not_complete(self, dtd):
+        nta = dtd_to_nta(dtd)
+        assert is_bottom_up_deterministic(nta)
+        assert not is_complete(nta)
+
+
+class TestDtdToDtac:
+    def test_language_preserved(self, dtd):
+        dtac = dtd_to_dtac(dtd)
+        for tree in enumerate_trees(dtd, max_nodes=6):
+            assert dtac.accepts(tree)
+        assert not dtac.accepts(parse_tree("r(b a)"))
+
+    def test_is_dtac(self, dtd):
+        dtac = dtd_to_dtac(dtd)
+        assert is_bottom_up_deterministic(dtac)
+        assert is_complete(dtac)
+
+    def test_every_tree_has_exactly_one_root_state(self, dtd):
+        # Bottom-up determinism + completeness ⇒ unique run.
+        dtac = dtd_to_dtac(dtd)
+        probe = DTD(
+            {s: "(a | b | c | r)*" for s in dtd.alphabet},
+            start="r",
+            alphabet=dtd.alphabet,
+        )
+        for tree in enumerate_trees(probe, max_nodes=4):
+            assert len(dtac.states_of(tree)) == 1, str(tree)

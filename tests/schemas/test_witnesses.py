@@ -1,0 +1,83 @@
+"""Tests for the t_min / t_vast witnesses of Section 5."""
+
+import pytest
+
+from repro.errors import InvalidSchemaError
+from repro.schemas import DTD, t_min, t_min_dag, t_vast, t_vast_dag
+from repro.trees import parse_tree
+from repro.trees.dag import distinct_tree_nodes, unfolded_size
+
+
+@pytest.fixture
+def simple():
+    return DTD({"r": "a b+", "a": "c", "b": "c+"}, start="r")
+
+
+class TestTMin:
+    def test_shape(self, simple):
+        assert t_min(simple) == parse_tree("r(a(c) b(c))")
+
+    def test_is_valid_and_minimal_per_plus(self, simple):
+        tree = t_min(simple)
+        assert simple.accepts(tree)
+
+    def test_leaf_dtd(self):
+        dtd = DTD({}, start="r")
+        assert t_min(dtd) == parse_tree("r")
+        assert t_vast(dtd) == parse_tree("r")
+
+    def test_min_string_at_each_node(self, simple):
+        tree = t_min(simple)
+        for _, node in tree.nodes():
+            word = tuple(c.label for c in node.children)
+            assert word == simple.content_replus(node.label).min_string()
+
+
+class TestTVast:
+    def test_shape(self, simple):
+        assert t_vast(simple) == parse_tree("r(a(c) b(c c) b(c c))")
+
+    def test_vast_word_at_each_node(self, simple):
+        tree = t_vast(simple)
+        for _, node in tree.nodes():
+            expr = simple.content_replus(node.label)
+            word = tuple(c.label for c in node.children)
+            assert expr.accepts(word)
+            # Vast at every node with a + factor.
+            if any(not f.exact for f in expr.factors):
+                assert expr.is_vast(word)
+
+    def test_is_valid(self, simple):
+        assert simple.accepts(t_vast(simple))
+
+    def test_exact_factors_not_duplicated(self):
+        dtd = DTD({"r": "a a"}, start="r")
+        assert t_vast(dtd) == parse_tree("r(a a)")
+
+
+class TestDagCompression:
+    def test_exponential_unfolding_polynomial_dag(self):
+        # Chain of 25 levels, each a + factor: t_vast has 2^25+ nodes but the
+        # DAG has one node per symbol.
+        rules = {f"s{i}": f"s{i + 1}+" for i in range(25)}
+        dtd = DTD(rules, start="s0", alphabet={"s25"})
+        dag = t_vast_dag(dtd)
+        assert len(distinct_tree_nodes(dag)) == 26
+        assert unfolded_size(dag) == 2 ** 26 - 1
+
+    def test_min_dag_stays_linear(self):
+        rules = {f"s{i}": f"s{i + 1}+" for i in range(25)}
+        dtd = DTD(rules, start="s0", alphabet={"s25"})
+        assert unfolded_size(t_min_dag(dtd)) == 26
+
+
+class TestPreconditions:
+    def test_recursive_dtd_rejected(self):
+        dtd = DTD({"r": "r+"}, start="r")
+        with pytest.raises(InvalidSchemaError):
+            t_min_dag(dtd)
+
+    def test_non_replus_rejected(self):
+        dtd = DTD({"r": "a | b"}, start="r")
+        with pytest.raises(InvalidSchemaError):
+            t_min(dtd)

@@ -1,0 +1,93 @@
+"""Hypothesis property tests for the automata algebra.
+
+These pin down the boolean-algebra laws the typechecking constructions rely
+on (products are intersections, complements flip membership, inclusion is
+antisymmetric up to equivalence, determinization preserves language).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.strings import NFA, regex_to_dfa, regex_to_nfa
+from repro.strings.regex import Concat, Epsilon, Optional, Plus, Star, Sym, Union
+
+_symbols = st.sampled_from(["a", "b"])
+
+_regex = st.recursive(
+    st.one_of(_symbols.map(Sym), st.just(Epsilon())),
+    lambda inner: st.one_of(
+        st.tuples(inner, inner).map(Concat),
+        st.tuples(inner, inner).map(Union),
+        inner.map(Star),
+        inner.map(Plus),
+        inner.map(Optional),
+    ),
+    max_leaves=5,
+)
+
+_words = st.lists(_symbols, max_size=5).map(tuple)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=_regex, right=_regex, word=_words)
+def test_product_is_intersection(left, right, word):
+    nl = regex_to_nfa(left, {"a", "b"})
+    nr = regex_to_nfa(right, {"a", "b"})
+    prod = nl.product(nr)
+    assert prod.accepts(word) == (nl.accepts(word) and nr.accepts(word))
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=_regex, word=_words)
+def test_complement_flips_membership(expr, word):
+    nfa = regex_to_nfa(expr, {"a", "b"})
+    comp = nfa.complement()
+    assert comp.accepts(word) != nfa.accepts(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=_regex, right=_regex, word=_words)
+def test_union_is_union(left, right, word):
+    nl = regex_to_nfa(left, {"a", "b"})
+    nr = regex_to_nfa(right, {"a", "b"})
+    assert nl.union(nr).accepts(word) == (nl.accepts(word) or nr.accepts(word))
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_regex)
+def test_minimize_preserves_language(expr):
+    dfa = regex_to_dfa(expr, {"a", "b"}, minimize=False)
+    minimal = dfa.minimize()
+    assert set(dfa.iter_words(4)) == set(minimal.iter_words(4))
+
+
+@settings(max_examples=40, deadline=None)
+@given(left=_regex, right=_regex)
+def test_containment_agrees_with_enumeration(left, right):
+    nl = regex_to_nfa(left, {"a", "b"})
+    nr = regex_to_nfa(right, {"a", "b"})
+    contained = nl.contains(nr)
+    enumerated = set(nr.iter_words(4)) <= set(nl.iter_words(4))
+    if contained:
+        assert enumerated
+    elif not enumerated:
+        assert not contained
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_regex, word=_words)
+def test_trim_preserves_language(expr, word):
+    nfa = regex_to_nfa(expr, {"a", "b"})
+    assert nfa.trim().accepts(word) == nfa.accepts(word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=_regex)
+def test_finiteness_agrees_with_pumping_probe(expr):
+    nfa = regex_to_nfa(expr, {"a", "b"})
+    finite = nfa.accepts_finitely_many()
+    # Probe: a language over {a,b} with a word longer than |Q| is infinite.
+    long_word_found = any(
+        len(word) > len(nfa.states) for word in nfa.iter_words(len(nfa.states) + 1)
+    )
+    if long_word_found:
+        assert not finite

@@ -1,0 +1,251 @@
+"""Unit and property tests for the RE⁺ calculus (Section 5 of the paper)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.strings import parse_regex, parse_replus, REPlus
+from repro.strings.replus import (
+    REPlusFactor,
+    regex_is_replus,
+    replus_from_regex,
+    _blocks,
+)
+
+
+class TestParsing:
+    def test_paper_example(self):
+        expr = parse_replus("title author+ chapter+")
+        assert [str(f) for f in expr.factors] == ["title=1", "author≥1", "chapter≥1"]
+
+    def test_epsilon(self):
+        assert parse_replus("ε").factors == ()
+        assert parse_replus("").factors == ()
+
+    def test_rejects_star(self):
+        with pytest.raises(ParseError):
+            parse_replus("a*")
+
+    def test_rejects_union(self):
+        with pytest.raises(ParseError):
+            parse_replus("a | b")
+
+    def test_commas(self):
+        assert parse_replus("a, b+") == parse_replus("a b+")
+
+
+class TestNormalForm:
+    def test_merge_exact_exact(self):
+        # a a ≡ a=2
+        expr = parse_replus("a a")
+        assert expr.factors == (REPlusFactor("a", 2, True),)
+
+    def test_merge_exact_plus(self):
+        # a a+ ≡ a≥2
+        expr = parse_replus("a a+")
+        assert expr.factors == (REPlusFactor("a", 2, False),)
+
+    def test_merge_plus_plus(self):
+        # a+ a+ ≡ a≥2
+        expr = parse_replus("a+ a+")
+        assert expr.factors == (REPlusFactor("a", 2, False),)
+
+    def test_no_merge_across_symbols(self):
+        expr = parse_replus("a b a")
+        assert len(expr.factors) == 3
+
+    def test_normal_form_is_canonical(self):
+        assert parse_replus("a a+ b") == parse_replus("a+ a b")
+
+    def test_str_roundtrip(self):
+        for text in ["a b+ c", "a a+", "x+ x+ y"]:
+            expr = parse_replus(text)
+            assert parse_replus(str(expr)) == expr
+
+
+class TestStrings:
+    def test_min_string(self):
+        expr = parse_replus("title author+ chapter+")
+        assert expr.min_string() == ("title", "author", "chapter")
+
+    def test_vast_string(self):
+        expr = parse_replus("title author+ chapter+")
+        assert expr.vast_string() == (
+            "title",
+            "author",
+            "author",
+            "chapter",
+            "chapter",
+        )
+
+    def test_vast_string_slack(self):
+        expr = parse_replus("a+")
+        assert expr.vast_string(slack=3) == ("a",) * 4
+
+    def test_is_vast(self):
+        expr = parse_replus("a b+")
+        assert expr.is_vast(("a", "b", "b"))
+        assert not expr.is_vast(("a", "b"))  # minimal, not vast
+        assert not expr.is_vast(("a", "a", "b", "b"))
+
+    def test_singleton_language_min_is_vast(self):
+        # Note (Section 5): when L(e) is a singleton, e_min is e-vast.
+        expr = parse_replus("a b a")
+        assert expr.is_vast(expr.min_string())
+
+    def test_blocks(self):
+        assert _blocks(("a", "a", "b", "a")) == [("a", 2), ("b", 1), ("a", 1)]
+
+
+class TestMembership:
+    def test_accepts(self):
+        expr = parse_replus("title author+ chapter+")
+        assert expr.accepts(("title", "author", "chapter"))
+        assert expr.accepts(("title", "author", "author", "chapter"))
+        assert not expr.accepts(("title", "chapter"))
+        assert not expr.accepts(("author", "title", "chapter"))
+        assert not expr.accepts(())
+
+    def test_epsilon_accepts_only_empty(self):
+        expr = REPlus.epsilon()
+        assert expr.accepts(())
+        assert not expr.accepts(("a",))
+
+    def test_membership_agrees_with_dfa(self):
+        expr = parse_replus("a b+ a+ c")
+        dfa = expr.to_dfa()
+        for word in dfa.iter_words(7):
+            assert expr.accepts(word)
+        assert not expr.accepts(("a", "b", "c"))
+        assert not dfa.accepts(("a", "b", "c"))
+
+
+class TestInclusion:
+    def test_reflexive(self):
+        expr = parse_replus("a b+ c")
+        assert expr.contains(expr)
+
+    def test_plus_widens(self):
+        # L(a b) ⊆ L(a b+), not conversely.
+        small = parse_replus("a b")
+        large = parse_replus("a b+")
+        assert large.contains(small)
+        assert not small.contains(large)
+
+    def test_incomparable_symbol_sequences(self):
+        left = parse_replus("a b")
+        right = parse_replus("a c")
+        assert not left.contains(right)
+        assert not right.contains(left)
+
+    def test_counts(self):
+        assert parse_replus("a+").contains(parse_replus("a a+"))
+        assert not parse_replus("a a+").contains(parse_replus("a+"))
+
+    def test_lemma31_agrees(self):
+        pairs = [
+            ("a b+", "a b"),
+            ("a b", "a b+"),
+            ("a+ b+", "a a+ b"),
+            ("a b a", "a b a"),
+            ("a", "b"),
+        ]
+        for big, small in pairs:
+            e_big, e_small = parse_replus(big), parse_replus(small)
+            assert e_big.contains(e_small) == e_big.contains_by_lemma31(e_small)
+
+    def test_equivalence(self):
+        assert parse_replus("a a+").equivalent(parse_replus("a+ a"))
+        assert not parse_replus("a+").equivalent(parse_replus("a"))
+
+
+class TestIntersection:
+    def test_disjoint(self):
+        assert parse_replus("a b").intersect(parse_replus("b a")) is None
+
+    def test_exact_vs_plus(self):
+        # a b+ ∩ a+ b = {ab} = a b
+        result = parse_replus("a b+").intersect(parse_replus("a+ b"))
+        assert result == parse_replus("a b")
+
+    def test_plus_vs_plus(self):
+        result = parse_replus("a+ b+").intersect(parse_replus("a a+ b+"))
+        assert result == parse_replus("a a+ b+")
+
+    def test_incompatible_counts(self):
+        assert parse_replus("a a").intersect(parse_replus("a")) is None
+        assert parse_replus("a").intersect(parse_replus("a a+")) is None
+
+
+class TestConversions:
+    def test_to_regex(self):
+        expr = parse_replus("a b+ c")
+        regex = expr.to_regex()
+        assert parse_regex("a b+ c") == regex
+
+    def test_regex_is_replus(self):
+        assert regex_is_replus(parse_regex("a b+ c"))
+        assert not regex_is_replus(parse_regex("a*"))
+        assert not regex_is_replus(parse_regex("a | b"))
+        assert not regex_is_replus(parse_regex("(a b)+"))
+
+    def test_replus_from_regex(self):
+        assert replus_from_regex(parse_regex("a b+")) == parse_replus("a b+")
+        with pytest.raises(ParseError):
+            replus_from_regex(parse_regex("a*"))
+
+    def test_to_dfa_size_is_linear(self):
+        expr = parse_replus("a b a b a b+")
+        dfa = expr.to_dfa()
+        assert len(dfa.states) == len(expr.min_string()) + 1
+
+
+# ---------------------------------------------------------------------------
+# Property tests against the DFA semantics.
+# ---------------------------------------------------------------------------
+
+_factor = st.tuples(st.sampled_from(["a", "b", "c"]), st.booleans())
+_replus = st.lists(_factor, max_size=5).map(REPlus.from_factors)
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=_replus)
+def test_min_and_vast_are_members(expr):
+    assert expr.accepts(expr.min_string())
+    assert expr.accepts(expr.vast_string())
+    if any(not f.exact for f in expr.factors):
+        assert expr.min_string() != expr.vast_string()
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=_replus, right=_replus)
+def test_inclusion_matches_dfa_inclusion(left, right):
+    alphabet = {"a", "b", "c"}
+    dfa_left = left.to_dfa(alphabet)
+    dfa_right = right.to_dfa(alphabet)
+    assert left.contains(right) == dfa_left.contains(dfa_right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=_replus, right=_replus)
+def test_inclusion_matches_lemma31(left, right):
+    assert left.contains(right) == left.contains_by_lemma31(right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=_replus, right=_replus)
+def test_intersection_matches_dfa_product(left, right):
+    alphabet = {"a", "b", "c"}
+    expected = left.to_dfa(alphabet).product(right.to_dfa(alphabet))
+    result = left.intersect(right)
+    if result is None:
+        assert expected.is_empty()
+    else:
+        assert not expected.is_empty()
+        assert result.to_dfa(alphabet).equivalent(expected.complete(alphabet))
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=_replus, word=st.lists(st.sampled_from(["a", "b", "c"]), max_size=6))
+def test_membership_matches_dfa(expr, word):
+    assert expr.accepts(tuple(word)) == expr.to_dfa({"a", "b", "c"}).accepts(word)

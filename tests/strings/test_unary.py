@@ -1,0 +1,96 @@
+"""Tests for the unary-alphabet machinery of Lemma 27."""
+
+from repro.strings.unary import (
+    first_primes,
+    intersection_empty,
+    intersection_nonempty_word,
+    mod_dfa,
+    product_mod_dfa,
+    unary_word_length,
+)
+
+
+class TestPrimes:
+    def test_first_primes(self):
+        assert first_primes(6) == [2, 3, 5, 7, 11, 13]
+
+    def test_empty(self):
+        assert first_primes(0) == []
+
+
+class TestModDfa:
+    def test_accepts_multiples(self):
+        dfa = mod_dfa(3, {0})
+        assert dfa.accepts([])
+        assert dfa.accepts(["a"] * 3)
+        assert dfa.accepts(["a"] * 9)
+        assert not dfa.accepts(["a"] * 4)
+
+    def test_nonzero_residue(self):
+        dfa = mod_dfa(5, {2})
+        assert dfa.accepts(["a"] * 2)
+        assert dfa.accepts(["a"] * 7)
+        assert not dfa.accepts(["a"] * 5)
+
+    def test_complement_residues(self):
+        # "x_i false" encoding: length not divisible by p.
+        dfa = mod_dfa(3, {1, 2})
+        assert not dfa.accepts([])
+        assert dfa.accepts(["a"])
+        assert dfa.accepts(["a", "a"])
+        assert not dfa.accepts(["a"] * 3)
+
+    def test_unary_word_length_probe(self):
+        dfa = mod_dfa(4, {0})
+        profile = unary_word_length(dfa)
+        assert profile[0] and profile[4] and profile[8]
+        assert not profile[1] and not profile[5]
+
+
+class TestProductModDfa:
+    def test_tracks_residue_vector(self):
+        # Accept words with |w| ≡ 0 mod 2 OR |w| ≡ 0 mod 3 (a "clause").
+        accepting = {
+            (r2, r3) for r2 in range(2) for r3 in range(3) if r2 == 0 or r3 == 0
+        }
+        dfa = product_mod_dfa([2, 3], accepting)
+        assert dfa.accepts([])  # 0 satisfies both
+        assert dfa.accepts(["a"] * 2)
+        assert dfa.accepts(["a"] * 3)
+        assert not dfa.accepts(["a"] * 5)  # 5 ≡ 1 mod 2, 2 mod 3
+        assert dfa.accepts(["a"] * 6)
+
+    def test_state_count_is_product(self):
+        dfa = product_mod_dfa([2, 3, 5], set())
+        assert len(dfa.states) == 30
+
+
+class TestIntersection:
+    def test_empty_intersection(self):
+        # ≡1 mod 2 and ≡0 mod 2 can never both hold.
+        a = mod_dfa(2, {0})
+        b = mod_dfa(2, {1})
+        assert intersection_empty([a, b])
+
+    def test_crt_intersection(self):
+        # ≡0 mod 2 and ≡0 mod 3 ⇒ shortest positive witness is ε (length 0).
+        a = mod_dfa(2, {0})
+        b = mod_dfa(3, {0})
+        assert intersection_nonempty_word([a, b]) == ()
+
+    def test_crt_nontrivial(self):
+        # ≡1 mod 2 and ≡2 mod 3: CRT gives length 5.
+        a = mod_dfa(2, {1})
+        b = mod_dfa(3, {2})
+        word = intersection_nonempty_word([a, b])
+        assert word is not None
+        assert len(word) == 5
+
+    def test_empty_collection(self):
+        assert intersection_nonempty_word([]) == ()
+
+    def test_three_way(self):
+        dfas = [mod_dfa(2, {1}), mod_dfa(3, {1}), mod_dfa(5, {1})]
+        word = intersection_nonempty_word(dfas)
+        assert word is not None
+        assert len(word) == 1  # length 1 ≡ 1 mod 2, 3 and 5

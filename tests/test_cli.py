@@ -1,0 +1,67 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import load_instance, main
+from repro.errors import ReproError
+
+GOOD = """
+start book
+book -> title author+ chapter+
+chapter -> title intro section+
+section -> title paragraph+ section*
+---
+initial q states q
+q, book -> book(q)
+q, chapter -> chapter q
+q, title -> title
+q, section -> q
+---
+start book
+book -> title (chapter title+)*
+"""
+
+BAD = GOOD.replace("title (chapter title+)*", "title (chapter title title?)*")
+
+
+class TestLoadInstance:
+    def test_parses_sections(self):
+        transducer, din, dout = load_instance(GOOD)
+        assert din.start == "book"
+        assert dout.start == "book"
+        assert ("q", "section") in transducer.rules
+
+    def test_comments_and_blank_lines(self):
+        text = "# a comment\n" + GOOD
+        transducer, _, _ = load_instance(text)
+        assert transducer.initial == "q"
+
+    def test_wrong_section_count(self):
+        with pytest.raises(ReproError):
+            load_instance("start r\nr -> a")
+
+    def test_bad_rule(self):
+        with pytest.raises(ReproError):
+            load_instance("start r\nr is weird\n---\ninitial q\n---\nstart r")
+
+
+class TestMain:
+    def test_typechecking_instance(self, tmp_path, capsys):
+        spec = tmp_path / "instance.txt"
+        spec.write_text(GOOD, encoding="utf-8")
+        assert main([str(spec)]) == 0
+        assert "TYPECHECKS" in capsys.readouterr().out
+
+    def test_failing_instance_prints_counterexample(self, tmp_path, capsys):
+        spec = tmp_path / "instance.txt"
+        spec.write_text(BAD, encoding="utf-8")
+        assert main([str(spec)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILS" in out
+        assert "counterexample" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["/no/such/file"]) == 2
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 2

@@ -1,0 +1,75 @@
+"""Tests for shared utilities (graph algorithms back Prop. 16 and the
+finiteness checks, so they get direct coverage)."""
+
+from repro.util import (
+    FreshNames,
+    first,
+    fresh_symbol,
+    has_cycle,
+    powerset,
+    strongly_connected_components,
+    transitive_closure,
+)
+
+
+class TestGraphs:
+    def test_transitive_closure(self):
+        graph = {1: [2], 2: [3], 3: []}
+        closure = transitive_closure(graph)
+        assert closure[1] == {2, 3}
+        assert closure[2] == {3}
+        assert closure[3] == set()
+
+    def test_transitive_closure_cycle(self):
+        closure = transitive_closure({1: [2], 2: [1]})
+        assert closure[1] == {1, 2}
+        assert closure[2] == {1, 2}
+
+    def test_has_cycle(self):
+        assert not has_cycle({1: [2], 2: [3]})
+        assert has_cycle({1: [2], 2: [1]})
+        assert has_cycle({1: [1]})  # self loop
+        assert not has_cycle({})
+
+    def test_nodes_only_as_successors(self):
+        assert not has_cycle({1: [2]})
+        closure = transitive_closure({1: [2]})
+        assert closure[2] == set()
+
+    def test_scc_partition(self):
+        graph = {1: [2], 2: [1, 3], 3: [4], 4: [3], 5: []}
+        components = strongly_connected_components(graph)
+        as_sets = {frozenset(c) for c in components}
+        assert frozenset({1, 2}) in as_sets
+        assert frozenset({3, 4}) in as_sets
+        assert frozenset({5}) in as_sets
+
+    def test_scc_reverse_topological_order(self):
+        # Tarjan emits sinks first: successors appear before predecessors.
+        graph = {1: [2], 2: [3], 3: []}
+        components = strongly_connected_components(graph)
+        order = [next(iter(c)) for c in components]
+        assert order.index(3) < order.index(2) < order.index(1)
+
+
+class TestNames:
+    def test_fresh_symbol_avoids_reserved(self):
+        assert fresh_symbol("x", ["y"]) == "x"
+        assert fresh_symbol("x", ["x"]) == "x_0"
+        assert fresh_symbol("x", ["x", "x_0"]) == "x_1"
+
+    def test_fresh_names_generator(self):
+        names = FreshNames(reserved=["fresh_0"])
+        first_name = names.fresh()
+        second_name = names.fresh()
+        assert first_name != "fresh_0"
+        assert first_name != second_name
+
+
+class TestMisc:
+    def test_powerset(self):
+        assert list(powerset([1, 2])) == [(), (1,), (2,), (1, 2)]
+
+    def test_first(self):
+        assert first([3, 4]) == 3
+        assert first([], default="d") == "d"

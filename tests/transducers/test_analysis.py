@@ -1,0 +1,134 @@
+"""Tests for the structural analysis: Examples 12/13/17 (Fig. 4),
+Proposition 16, class predicates."""
+
+import pytest
+
+from repro.transducers import TreeTransducer, analyze
+from repro.transducers.analysis import (
+    copying_width,
+    deleting_states,
+    deletion_path_graph,
+    deletion_path_width,
+    deletion_paths,
+    deletion_width,
+    is_non_deleting,
+    path_width,
+    recursively_deleting_states,
+)
+from repro.workloads.books import toc_transducer, toc_with_summary_transducer
+from repro.workloads.examples_paper import example6_transducer, example12_transducer
+
+
+class TestExample12:
+    """The worked example of Section 3.1 (Fig. 4, Example 17)."""
+
+    def test_deletion_widths(self):
+        t = example12_transducer()
+        expected = {
+            "q1": 2, "q2": 3, "q3": 1, "q4": 0,
+            "q5": 2, "q6": 2, "q7": 1, "q8": 1,
+        }
+        for state, width in expected.items():
+            assert deletion_width(t, state) == width, state
+
+    def test_copying_width_is_3(self):
+        # Example 17: "It is immediate that C = 3."
+        assert copying_width(example12_transducer()) == 3
+
+    def test_deletion_path_width_is_6(self):
+        # Example 17: the path (q1,a)(q2,a)(q3,a)(q4,a) has cost 6.
+        assert deletion_path_width(example12_transducer()) == 6
+
+    def test_example13_class_membership(self):
+        analysis = analyze(example12_transducer())
+        assert analysis.in_trac_class(3, 6)
+        assert not analysis.in_trac_class(3, 5)
+        assert not analysis.in_trac_class(2, 6)
+
+    def test_deletion_paths_from_example(self):
+        t = example12_transducer()
+        paths = deletion_paths(t, max_length=5)
+        assert ("q1", "q2", "q3", "q4") in paths
+        assert ("q5", "q6", "q7", "q8", "q7") in paths
+        assert path_width(t, ("q1", "q2", "q3", "q4")) == 6
+        assert path_width(t, ("q5", "q6", "q7", "q8", "q7")) == 4
+
+    def test_recursively_deleting(self):
+        # q7 and q8 occur twice in some deletion path.
+        assert recursively_deleting_states(example12_transducer()) == frozenset(
+            {"q7", "q8"}
+        )
+
+    def test_graph_shape(self):
+        edges, cost = deletion_path_graph(example12_transducer())
+        assert (("q2", "a"), ("q3", "a")) in cost
+        assert cost[(("q1", "a"), ("q2", "a"))] == 2
+        assert cost[(("q2", "a"), ("q3", "a"))] == 3
+
+
+class TestUnboundedWidth:
+    def test_copying_deletion_cycle_is_unbounded(self):
+        # "Would there be a rule (q7, b) → q8 q8 then paths of arbitrary
+        # large deletion width could be constructed." (Example 12)
+        base = example12_transducer()
+        rules = {key: rhs for key, rhs in base.rules.items()}
+        rules[("q7", "b")] = "q8 q8"
+        t = TreeTransducer(base.states, base.alphabet | {"b"}, "q0", rules)
+        assert deletion_path_width(t) is None
+        assert not analyze(t).in_trac
+
+    def test_self_loop_with_copying(self):
+        t = TreeTransducer({"q"}, {"a"}, "q", {("q", "a"): "q q"})
+        assert deletion_path_width(t) is None
+
+
+class TestExample10Classes:
+    def test_first_transducer_in_T11(self):
+        # Example 13: the first transducer belongs to T^{1,1}_trac.
+        analysis = analyze(toc_transducer())
+        assert analysis.copying_width == 1
+        assert analysis.deletion_path_width == 1
+        assert analysis.in_trac_class(1, 1)
+
+    def test_second_transducer_in_T21(self):
+        # Example 13: the second is in T^{2,1}_trac.
+        analysis = analyze(toc_with_summary_transducer())
+        assert analysis.copying_width == 2
+        assert analysis.deletion_path_width == 1
+        assert analysis.in_trac_class(2, 1)
+
+    def test_recursive_deletion_without_copying_is_free(self):
+        # (q, section) → q is recursively deleting but K stays 1.
+        analysis = analyze(toc_transducer())
+        assert "q" in analysis.recursively_deleting
+        assert analysis.deletion_path_width == 1
+
+
+class TestPredicates:
+    def test_example6_non_deleting_width(self):
+        t = example6_transducer()
+        # (q, a) → c p deletes; copying width 2 ((q,b) → c(p q)).
+        assert not is_non_deleting(t)
+        assert copying_width(t) == 2
+        assert deleting_states(t) == frozenset({"p"})
+
+    def test_non_deleting(self):
+        t = TreeTransducer({"q"}, {"a"}, "q", {("q", "a"): "a(q)"})
+        assert is_non_deleting(t)
+        assert analyze(t).deletion_path_width == 1
+
+    def test_del_relab(self):
+        t = TreeTransducer(
+            {"q"}, {"a", "b"}, "q", {("q", "a"): "b(q)", ("q", "b"): "q"}
+        )
+        assert analyze(t).is_del_relab
+
+    def test_not_del_relab(self):
+        assert not analyze(toc_with_summary_transducer()).is_del_relab
+
+    def test_no_rules(self):
+        t = TreeTransducer({"q"}, {"a"}, "q", {})
+        analysis = analyze(t)
+        assert analysis.copying_width == 0
+        assert analysis.deletion_path_width == 1
+        assert analysis.non_deleting

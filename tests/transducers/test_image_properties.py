@@ -1,0 +1,97 @@
+"""Property tests for the Lemma 19 image construction.
+
+Randomized single-state relabeling transducers over random DTDs: the image
+automaton must accept exactly the set of translations of valid inputs.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.delrelab import wrap_deleting_states
+from repro.schemas import dtd_to_nta
+from repro.schemas.dtd import DTD
+from repro.transducers import TreeTransducer, image_nta
+from repro.trees.generate import enumerate_trees
+from repro.trees.tree import Tree
+
+
+def _random_delrelab(rng: random.Random):
+    """A random T_del-relab transducer + small input DTD."""
+    symbols = ["r", "a", "b"]
+    models = {
+        "r": rng.choice(["a*", "a b?", "(a | b)*", "a? b?"]),
+        "a": rng.choice(["ε", "b?", "a?"]),
+        "b": rng.choice(["ε", "a?"]),
+    }
+    din = DTD(models, start="r")
+    outputs = ["o1", "o2"]
+    alphabet = set(din.alphabet) | set(outputs)
+    rules = {}
+    rules[("q", "r")] = (f"{rng.choice(outputs)}(q)", True)
+    for symbol in ["a", "b"]:
+        choice = rng.random()
+        if choice < 0.25:
+            continue  # no rule: translates to ε
+        if choice < 0.5:
+            rules[("q", symbol)] = ("q", False)  # delete
+        elif choice < 0.75:
+            rules[("q", symbol)] = (rng.choice(outputs), False)  # relabel leaf
+        else:
+            rules[("q", symbol)] = (f"{rng.choice(outputs)}(q)", False)
+    transducer = TreeTransducer(
+        {"q"}, alphabet, "q", {key: text for key, (text, _) in rules.items()}
+    )
+    return transducer, din
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_image_accepts_exactly_the_translations(seed):
+    rng = random.Random(seed)
+    transducer, din = _random_delrelab(rng)
+    wrapped = wrap_deleting_states(transducer)
+    image = image_nta(dtd_to_nta(din), wrapped)
+
+    translations = set()
+    for tree in enumerate_trees(din, max_nodes=5):
+        out = wrapped.apply(tree)
+        assert out is not None, "wrapped transducers always produce a tree"
+        translations.add(out)
+        assert image.accepts(out), f"seed {seed}: image rejects T'({tree})"
+
+    # Conversely: probe trees over the output alphabet that are not
+    # translations must be rejected (sample a few shapes).
+    probes = {
+        Tree("o1"),
+        Tree("o2"),
+        Tree("o1", [Tree("o1")]),
+        Tree("o1", [Tree("#")]),
+        Tree("#", [Tree("o1")]),
+        Tree("o2", [Tree("o1"), Tree("o2")]),
+    }
+    for probe in probes:
+        if probe not in translations:
+            # The probe might still be the image of a *larger* input; only
+            # flag certainly-wrong shapes: wrong root label.
+            root_labels = {t.label for t in translations}
+            if probe.label not in root_labels:
+                assert not image.accepts(probe), f"seed {seed}: {probe}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_gamma_of_image_is_plain_translation(seed):
+    from repro.tree_automata.hash_elim import eliminate_hashes
+
+    rng = random.Random(seed)
+    transducer, din = _random_delrelab(rng)
+    wrapped = wrap_deleting_states(transducer)
+    for tree in enumerate_trees(din, max_nodes=5):
+        wrapped_out = wrapped.apply(tree)
+        plain_out = transducer.apply(tree)
+        gamma = eliminate_hashes(wrapped_out)
+        if plain_out is None:
+            assert gamma == ()
+        else:
+            assert gamma == (plain_out,)

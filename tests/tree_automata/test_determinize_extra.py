@@ -1,0 +1,76 @@
+"""Extra coverage: determinization budget, intersection corner cases, and
+the interplay used by the Theorem 20 pipeline."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.schemas import DTD, dtd_to_dtac, dtd_to_nta
+from repro.trees import parse_tree
+from repro.trees.generate import enumerate_trees
+from repro.tree_automata import (
+    complement_dtac,
+    determinize,
+    hash_elimination_lift,
+    intersect,
+    is_bottom_up_deterministic,
+    is_empty,
+    witness_tree,
+)
+
+
+class TestDeterminizeBudget:
+    def test_budget_guard(self):
+        # A union of many chains forces many subset states.
+        dtd = DTD({"r": "(a | b | c | d)*"}, start="r")
+        nta = dtd_to_nta(dtd)
+        with pytest.raises(BudgetExceededError):
+            determinize(nta, max_states=1)
+
+
+class TestComplementConsistency:
+    @pytest.mark.parametrize(
+        "model", ["a*", "a b?", "(a | b) b", "a+ | b+"]
+    )
+    def test_complement_partitions_trees(self, model):
+        # Complement is w.r.t. all trees over the automaton's own alphabet.
+        dtd = DTD({"r": model}, start="r", alphabet={"a", "b"})
+        dtac = dtd_to_dtac(dtd)
+        comp = complement_dtac(dtac, check=False)
+        sigma = "(" + " | ".join(sorted(dtd.alphabet)) + ")*"
+        probe = DTD(
+            {symbol: sigma for symbol in dtd.alphabet},
+            start="r",
+            alphabet=dtd.alphabet,
+        )
+        count = 0
+        for tree in enumerate_trees(probe, max_nodes=4):
+            count += 1
+            assert dtac.accepts(tree) != comp.accepts(tree), str(tree)
+        assert count > 5
+
+    def test_intersection_with_complement_is_empty(self):
+        dtd = DTD({"r": "a*"}, start="r")
+        dtac = dtd_to_dtac(dtd)
+        comp = complement_dtac(dtac, check=False)
+        assert is_empty(intersect(dtac, comp))
+
+
+class TestTheorem20Pieces:
+    def test_lift_then_intersect_witness(self):
+        # γ^{-1}(L(r → a a)) ∩ {trees over {r,a,#}} has small witnesses.
+        dtd = DTD({"r": "a a"}, start="r")
+        lifted = hash_elimination_lift(dtd_to_nta(dtd))
+        assert lifted.accepts(parse_tree("r(#(a) a)"))
+        assert lifted.accepts(parse_tree("r(#(a a))"))
+        assert lifted.accepts(parse_tree("r(#(#(a a)))"))
+        assert not lifted.accepts(parse_tree("r(#(a))"))
+        witness = witness_tree(lifted)
+        assert witness is not None
+
+    def test_lift_preserves_determinism_failure_modes(self):
+        # The lift is generally nondeterministic; just sanity-check states.
+        dtd = DTD({"r": "a?"}, start="r")
+        base = dtd_to_nta(dtd)
+        lifted = hash_elimination_lift(base)
+        assert len(lifted.states) > len(base.states)
+        assert "#" in lifted.alphabet

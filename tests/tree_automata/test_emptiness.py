@@ -1,0 +1,145 @@
+"""Tests for emptiness, witnesses (Prop. 4, Fig. A.1) and finiteness."""
+
+import pytest
+
+from repro.schemas import DTD, dtd_to_nta
+from repro.strings import NFA, regex_to_nfa
+from repro.trees.dag import unfolded_size
+from repro.tree_automata import (
+    NTA,
+    is_empty,
+    is_finite,
+    productive_states,
+    reachable_states_fig_a1,
+    witness_dag,
+    witness_tree,
+)
+
+
+def simple_nta(rules, finals, alphabet=("a", "b")):
+    """Helper: rules as {(state, symbol): regex-over-states}."""
+    states = {q for (q, _s) in rules} | set(finals)
+    for text in rules.values():
+        states |= set(regex_to_nfa(text).alphabet)
+    delta = {
+        key: regex_to_nfa(text, alphabet=states) for key, text in rules.items()
+    }
+    return NTA(states, set(alphabet), delta, set(finals))
+
+
+class TestEmptiness:
+    def test_nonempty_leaf(self):
+        nta = simple_nta({("q", "a"): "ε"}, finals=["q"])
+        assert not is_empty(nta)
+
+    def test_empty_no_leaf_rule(self):
+        # q requires a q child forever.
+        nta = simple_nta({("q", "a"): "q"}, finals=["q"])
+        assert is_empty(nta)
+
+    def test_empty_final_unreachable(self):
+        nta = simple_nta({("q", "a"): "ε"}, finals=["f"])
+        assert is_empty(nta)
+
+    def test_chain(self):
+        nta = simple_nta(
+            {("q2", "a"): "q1 q1", ("q1", "b"): "ε"}, finals=["q2"]
+        )
+        assert not is_empty(nta)
+
+    def test_fig_a1_matches_fixpoint(self):
+        nta = simple_nta(
+            {
+                ("q1", "b"): "ε",
+                ("q2", "a"): "q1+",
+                ("q3", "a"): "q2 q4",  # q4 unproductive
+                ("q4", "a"): "q4",
+            },
+            finals=["q3"],
+        )
+        fig = reachable_states_fig_a1(nta)
+        fix, _ = productive_states(nta)
+        assert fig == fix == frozenset({"q1", "q2"})
+        assert is_empty(nta)
+
+    def test_dtd_emptiness_agrees(self):
+        empty_dtd = DTD({"r": "x", "x": "x"}, start="r")
+        assert is_empty(dtd_to_nta(empty_dtd))
+        good_dtd = DTD({"r": "x", "x": "ε"}, start="r")
+        assert not is_empty(dtd_to_nta(good_dtd))
+
+
+class TestWitness:
+    def test_witness_accepted(self):
+        nta = simple_nta(
+            {("q2", "a"): "q1 q1", ("q1", "b"): "ε"}, finals=["q2"]
+        )
+        tree = witness_tree(nta)
+        assert tree is not None
+        assert nta.accepts(tree)
+
+    def test_witness_none_when_empty(self):
+        nta = simple_nta({("q", "a"): "q"}, finals=["q"])
+        assert witness_dag(nta) is None
+        assert witness_tree(nta) is None
+
+    def test_witness_dag_polynomial_for_exponential_tree(self):
+        # q_i needs two q_{i+1} children: the smallest witness has 2^25
+        # leaves but the DAG has 26 nodes (Prop. 4(3): a *description*).
+        rules = {(f"q{i}", "a"): f"q{i + 1} q{i + 1}" for i in range(25)}
+        rules[("q25", "a")] = "ε"
+        nta = simple_nta(rules, finals=["q0"], alphabet=("a",))
+        dag = witness_dag(nta)
+        assert dag is not None
+        assert unfolded_size(dag) == 2 ** 26 - 1
+
+    def test_witness_dtd_valid(self):
+        dtd = DTD({"r": "a b+", "b": "c"}, start="r")
+        tree = witness_tree(dtd_to_nta(dtd))
+        assert tree is not None
+        assert dtd.accepts(tree)
+
+
+class TestFiniteness:
+    def test_single_tree_language(self):
+        nta = simple_nta({("q", "a"): "ε"}, finals=["q"])
+        assert is_finite(nta)
+
+    def test_empty_language_is_finite(self):
+        nta = simple_nta({("q", "a"): "q"}, finals=["q"])
+        assert is_finite(nta)
+
+    def test_horizontal_pumping_infinite(self):
+        nta = simple_nta({("r", "a"): "q*", ("q", "b"): "ε"}, finals=["r"])
+        assert not is_finite(nta)
+
+    def test_vertical_pumping_infinite(self):
+        nta = simple_nta(
+            {("q", "a"): "q | ε"},
+            finals=["q"],
+            alphabet=("a",),
+        )
+        assert not is_finite(nta)
+
+    def test_pumping_outside_useful_part_ignored(self):
+        # q* loop exists but r is not reachable from any final state.
+        nta = simple_nta(
+            {("f", "a"): "ε", ("r", "a"): "q*", ("q", "b"): "ε"},
+            finals=["f"],
+        )
+        assert is_finite(nta)
+
+    def test_unproductive_loop_ignored(self):
+        nta = simple_nta(
+            {("f", "a"): "ε | x", ("x", "a"): "x"},
+            finals=["f"],
+        )
+        assert is_finite(nta)
+
+    def test_finite_bounded_dtd(self):
+        dtd = DTD({"r": "a a?", "a": "b?"}, start="r")
+        assert is_finite(dtd_to_nta(dtd))
+
+    def test_infinite_dtd(self):
+        dtd = DTD({"r": "a*"}, start="r")
+        assert not is_finite(dtd_to_nta(dtd))

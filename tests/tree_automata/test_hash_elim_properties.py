@@ -1,0 +1,50 @@
+"""Property tests for the #-elimination lift (Theorem 20's B_out)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.schemas import DTD, dtd_to_nta
+from repro.trees.tree import Tree
+from repro.tree_automata.hash_elim import eliminate_hashes, hash_elimination_lift
+
+
+def _random_hash_tree(rng: random.Random, depth: int) -> Tree:
+    """A random tree over {r, a, b, #}."""
+    label = rng.choice(["r", "a", "b", "#"])
+    if depth == 0:
+        return Tree(label)
+    width = rng.randint(0, 3)
+    return Tree(label, [_random_hash_tree(rng, depth - 1) for _ in range(width)])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    model=st.sampled_from(["a* b*", "(a | b)*", "a b? a?", "b+ | a"]),
+)
+def test_lift_agrees_with_gamma(seed, model):
+    """t' ∈ L(lift(A)) ⟺ γ(t') is a single tree accepted by A."""
+    rng = random.Random(seed)
+    dtd = DTD({"r": model, "a": "b*", "b": "ε"}, start="r")
+    base = dtd_to_nta(dtd)
+    lifted = hash_elimination_lift(base)
+    probe = _random_hash_tree(rng, depth=3)
+    gamma = eliminate_hashes(probe)
+    expected = len(gamma) == 1 and base.accepts(gamma[0])
+    assert lifted.accepts(probe) == expected, f"{probe} → γ = {gamma}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_gamma_preserves_non_hash_nodes(seed):
+    rng = random.Random(seed)
+    probe = _random_hash_tree(rng, depth=3)
+    gamma = eliminate_hashes(probe)
+
+    def count_non_hash(tree: Tree) -> int:
+        return sum(1 for _, node in tree.nodes() if node.label != "#")
+
+    assert sum(count_non_hash(t) for t in gamma) == count_non_hash(probe)
+    for tree in gamma:
+        assert all(node.label != "#" for _, node in tree.nodes())

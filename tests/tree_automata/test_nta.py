@@ -1,0 +1,127 @@
+"""Tests for NTA membership and basic structure."""
+
+import pytest
+
+from repro.errors import InvalidSchemaError
+from repro.schemas import DTD, dtd_to_nta
+from repro.strings import NFA, regex_to_nfa
+from repro.trees import parse_tree
+from repro.tree_automata import NTA
+
+
+@pytest.fixture
+def even_leaves():
+    """NTA over {a}: state q0 = subtree has an even number of leaves,
+    q1 = odd.
+
+    A leaf (no children) counts one leaf, itself: only q1 admits ε.  An
+    inner node's leaf count is the sum over its children, so its parity is
+    the parity of the number of q1-children ("even" = words decomposing
+    into blocks q0 or q1 q0* q1).
+    """
+    states = {"q0", "q1"}
+    odd = "(q0 | q1 (q0)* q1)* q1 (q0 | q1 (q0)* q1)*"
+    even_nonempty = "(q0 | q1 (q0)* q1)+"
+    delta = {
+        ("q1", "a"): regex_to_nfa(f"({odd}) | ε", alphabet=states),
+        ("q0", "a"): regex_to_nfa(even_nonempty, alphabet=states),
+    }
+    return NTA(states, {"a"}, delta, {"q0"})
+
+
+class TestConstruction:
+    def test_rejects_unknown_state(self):
+        with pytest.raises(InvalidSchemaError):
+            NTA({"q"}, {"a"}, {("p", "a"): NFA.epsilon_language({"q"})}, {"q"})
+
+    def test_rejects_unknown_symbol(self):
+        with pytest.raises(InvalidSchemaError):
+            NTA({"q"}, {"a"}, {("q", "b"): NFA.epsilon_language({"q"})}, {"q"})
+
+    def test_rejects_foreign_horizontal_alphabet(self):
+        with pytest.raises(InvalidSchemaError):
+            NTA({"q"}, {"a"}, {("q", "a"): NFA.epsilon_language({"zzz"})}, {"q"})
+
+    def test_rejects_unknown_final(self):
+        with pytest.raises(InvalidSchemaError):
+            NTA({"q"}, {"a"}, {}, {"p"})
+
+    def test_size(self):
+        nta = NTA({"q"}, {"a"}, {("q", "a"): NFA.epsilon_language({"q"})}, {"q"})
+        assert nta.size == 1 + 1 + nta.delta[("q", "a")].size
+
+
+class TestMembership:
+    def test_leaf_parity(self, even_leaves):
+        # Single leaf: 1 leaf (odd) → q1 only; not accepted (F = {q0}).
+        assert even_leaves.states_of(parse_tree("a")) == frozenset({"q1"})
+        assert not even_leaves.accepts(parse_tree("a"))
+
+    def test_two_leaves(self, even_leaves):
+        tree = parse_tree("a(a a)")
+        assert even_leaves.states_of(tree) == frozenset({"q0"})
+        assert even_leaves.accepts(tree)
+
+    def test_three_leaves(self, even_leaves):
+        assert not even_leaves.accepts(parse_tree("a(a a a)"))
+        assert even_leaves.accepts(parse_tree("a(a a a a)"))
+
+    def test_nested(self, even_leaves):
+        # a( a(a a) a ) has leaves: a,a,a → 3 → odd → reject.
+        assert not even_leaves.accepts(parse_tree("a(a(a a) a)"))
+        # a( a(a a) a(a a) ) → 4 leaves → accept.
+        assert even_leaves.accepts(parse_tree("a(a(a a) a(a a))"))
+
+    def test_no_rule_no_state(self):
+        nta = NTA({"q"}, {"a", "b"}, {("q", "a"): NFA.epsilon_language({"q"})}, {"q"})
+        assert nta.states_of(parse_tree("b")) == frozenset()
+        assert not nta.accepts(parse_tree("b"))
+
+    def test_horizontal_fallback_empty(self):
+        nta = NTA({"q"}, {"a"}, {}, {"q"})
+        assert nta.horizontal("q", "a").is_empty()
+
+
+class TestRuns:
+    def test_a_run_on_accepted_tree(self, even_leaves):
+        tree = parse_tree("a(a(a a) a(a a))")
+        run = even_leaves.a_run(tree)
+        assert run is not None
+        assert run[()] == "q0"
+        # Leaves are odd.
+        assert run[(0, 0)] == "q1"
+        assert run[(1, 1)] == "q1"
+
+    def test_a_run_rejected(self, even_leaves):
+        assert even_leaves.a_run(parse_tree("a")) is None
+
+    def test_run_is_locally_consistent(self, even_leaves):
+        tree = parse_tree("a(a a a a)")
+        run = even_leaves.a_run(tree)
+        assert run is not None
+        for path, node in tree.nodes():
+            word = tuple(run[path + (i,)] for i in range(len(node.children)))
+            assert even_leaves.horizontal(run[path], node.label).accepts(word)
+
+
+class TestDtdConversion:
+    def test_dtd_nta_agrees_with_dtd(self):
+        dtd = DTD(
+            {"book": "title chapter+", "chapter": "title"},
+            start="book",
+        )
+        nta = dtd_to_nta(dtd)
+        good = parse_tree("book(title chapter(title) chapter(title))")
+        bad = parse_tree("book(chapter(title))")
+        assert dtd.accepts(good) and nta.accepts(good)
+        assert not dtd.accepts(bad) and not nta.accepts(bad)
+
+    def test_states_are_symbols(self):
+        dtd = DTD({"r": "a"}, start="r")
+        nta = dtd_to_nta(dtd)
+        assert nta.states == dtd.alphabet
+
+    def test_map_states(self):
+        dtd = DTD({"r": "a"}, start="r")
+        nta = dtd_to_nta(dtd).map_states(lambda q: ("wrapped", q))
+        assert nta.accepts(parse_tree("r(a)"))

@@ -1,0 +1,110 @@
+"""Tests for DAG/SLP-compressed trees."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.strings import regex_to_dfa
+from repro.trees import DagHedge, DagTree, parse_tree
+from repro.trees.dag import (
+    TransferTable,
+    dag_depth,
+    distinct_tree_nodes,
+    from_tree,
+    top_length,
+    unfold_hedge,
+    unfold_tree,
+    unfolded_size,
+)
+
+
+def doubling_chain(depth: int) -> DagTree:
+    """A DAG whose unfolding is a full binary tree of the given depth."""
+    node = DagTree("leaf")
+    for _ in range(depth):
+        node = DagTree("n", DagHedge([node, node]))
+    return node
+
+
+class TestRoundtrip:
+    def test_from_tree_unfold(self):
+        tree = parse_tree("a(b(c) d)")
+        assert unfold_tree(from_tree(tree)) == tree
+
+    def test_shared_subtree_unfolds_twice(self):
+        shared = DagTree("x")
+        root = DagTree("r", DagHedge([shared, shared]))
+        assert unfold_tree(root) == parse_tree("r(x x)")
+
+    def test_nested_hedges_flatten(self):
+        inner = DagHedge([DagTree("a"), DagTree("b")])
+        root = DagTree("r", DagHedge([inner, DagTree("c"), inner]))
+        assert unfold_tree(root) == parse_tree("r(a b c a b)")
+
+    def test_unfold_hedge(self):
+        hedge = DagHedge([DagTree("a"), DagTree("b", DagHedge([DagTree("c")]))])
+        assert unfold_hedge(hedge) == (parse_tree("a"), parse_tree("b(c)"))
+
+
+class TestSizes:
+    def test_unfolded_size_exponential(self):
+        dag = doubling_chain(30)
+        assert unfolded_size(dag) == 2 ** 31 - 1
+
+    def test_budget_guard(self):
+        dag = doubling_chain(30)
+        with pytest.raises(BudgetExceededError):
+            unfold_tree(dag, max_nodes=1000)
+
+    def test_top_length(self):
+        shared = DagHedge([DagTree("a"), DagTree("b")])
+        hedge = DagHedge([shared, shared, DagTree("c")])
+        assert top_length(hedge) == 5
+
+    def test_dag_depth(self):
+        assert dag_depth(doubling_chain(12)) == 13
+        assert dag_depth(DagTree("a")) == 1
+
+    def test_distinct_tree_nodes(self):
+        dag = doubling_chain(20)
+        # Only 21 distinct nodes despite the 2^21-1 unfolded nodes.
+        assert len(distinct_tree_nodes(dag)) == 21
+
+
+class TestTransferTable:
+    def test_matches_explicit_run(self):
+        dfa = regex_to_dfa("a b* c", alphabet={"a", "b", "c"})
+        hedge = DagHedge([DagTree("a"), DagTree("b"), DagTree("b"), DagTree("c")])
+        table = TransferTable(dfa)
+        assert table.accepts_top(hedge)
+        transfer = table.transfer(hedge)
+        assert transfer[dfa.initial] in dfa.finals
+
+    def test_rejects(self):
+        dfa = regex_to_dfa("a c")
+        hedge = DagHedge([DagTree("a"), DagTree("b"), DagTree("c")])
+        assert not TransferTable(dfa).accepts_top(hedge)
+
+    def test_exponential_top_word(self):
+        # Hedge whose top word is a^(2^40): validate divisibility by 2 via
+        # the transfer table in linear (DAG) time.
+        level = DagHedge([DagTree("a")])
+        for _ in range(40):
+            level = DagHedge([level, level])
+        even = regex_to_dfa("(a a)*")
+        odd_after_one = regex_to_dfa("a (a a)*")
+        assert TransferTable(even).accepts_top(level)
+        assert not TransferTable(odd_after_one).accepts_top(level)
+        assert top_length(level) == 2 ** 40
+
+    def test_dead_run(self):
+        dfa = regex_to_dfa("a")
+        hedge = DagHedge([DagTree("z")])
+        table = TransferTable(dfa)
+        assert table.transfer(hedge) == {}
+        assert not table.accepts_top(hedge)
+
+    def test_empty_hedge_is_identity(self):
+        dfa = regex_to_dfa("a*")
+        table = TransferTable(dfa)
+        transfer = table.transfer(DagHedge(()))
+        assert all(transfer[s] == s for s in dfa.states)

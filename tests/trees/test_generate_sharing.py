@@ -1,0 +1,50 @@
+"""Regression tests for witness construction on doubling DTDs.
+
+A DTD whose content models double per level has minimal trees of explicit
+size 2^n; the generators must stay polynomial through structural sharing and
+lazy construction (this hung the typechecker before the fix).
+"""
+
+import time
+
+from repro.core import typecheck_forward
+from repro.schemas import DTD
+from repro.trees.generate import minimal_tree
+from repro.workloads.families import nd_bc_family
+
+
+class TestSharing:
+    def test_minimal_tree_of_doubling_dtd_is_shared(self):
+        n = 40
+        rules = {f"s{i}": f"s{i + 1} s{i + 1}" for i in range(n)}
+        dtd = DTD(rules, start="s0", alphabet={f"s{n}"})
+        start = time.perf_counter()
+        tree = minimal_tree(dtd)
+        elapsed = time.perf_counter() - start
+        assert tree is not None
+        assert tree.label == "s0"
+        assert elapsed < 2.0  # exponential construction would never finish
+        # Shared children: both subtrees are the same object.
+        assert tree.children[0] is tree.children[1]
+
+    def test_shared_tree_validates(self):
+        rules = {f"s{i}": f"s{i + 1} s{i + 1}" for i in range(4)}
+        dtd = DTD(rules, start="s0", alphabet={"s4"})
+        tree = minimal_tree(dtd)
+        assert dtd.accepts(tree)
+
+    def test_typechecking_doubling_family_is_fast(self):
+        transducer, din, dout, expected = nd_bc_family(32)
+        start = time.perf_counter()
+        result = typecheck_forward(transducer, din, dout)
+        elapsed = time.perf_counter() - start
+        assert result.typechecks == expected
+        assert elapsed < 5.0
+
+    def test_failing_doubling_family_counterexample_is_shared(self):
+        transducer, din, dout, _ = nd_bc_family(10, typechecks=False)
+        result = typecheck_forward(transducer, din, dout)
+        assert not result.typechecks
+        assert result.counterexample is not None
+        # The counterexample validates against din even at 2^10 leaves.
+        assert din.accepts(result.counterexample)

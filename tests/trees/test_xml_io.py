@@ -1,0 +1,34 @@
+"""Tests for XML serialization."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.trees import parse_tree
+from repro.trees.xml_io import tree_to_xml, xml_to_tree
+
+
+class TestSerialization:
+    def test_leaf(self):
+        assert tree_to_xml(parse_tree("a")) == "<a/>"
+
+    def test_nested(self):
+        xml = tree_to_xml(parse_tree("a(b c(d))"))
+        assert xml == "<a>\n  <b/>\n  <c>\n    <d/>\n  </c>\n</a>"
+
+    def test_custom_indent(self):
+        xml = tree_to_xml(parse_tree("a(b)"), indent=4)
+        assert xml == "<a>\n    <b/>\n</a>"
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        tree = parse_tree("book(title author chapter(title intro))")
+        assert xml_to_tree(tree_to_xml(tree)) == tree
+
+    def test_text_and_attributes_dropped(self):
+        tree = xml_to_tree('<a x="1">hello<b/>world</a>')
+        assert tree == parse_tree("a(b)")
+
+    def test_malformed(self):
+        with pytest.raises(ParseError):
+            xml_to_tree("<a><b></a>")

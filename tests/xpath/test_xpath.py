@@ -1,0 +1,241 @@
+"""Tests for XPath patterns: parsing, semantics, selecting literals,
+path-DFA compilation, and the Theorem 23/29 call compilers."""
+
+import pytest
+
+from repro.errors import NotSupportedError, ParseError
+from repro.trees import parse_tree
+from repro.xpath import (
+    compile_calls,
+    is_filter_free,
+    parse_pattern,
+    pattern_fragment,
+    pattern_to_dfa,
+    rewrite_with_marker,
+    select,
+    select_subtrees,
+    selecting_literals,
+)
+from repro.xpath.ast import Child, Desc, Disj, Filter, Pattern, Test, Wildcard
+from repro.xpath.semantics import evaluate
+
+
+@pytest.fixture
+def doc():
+    return parse_tree("r(a(b c(e)) b(c) c)")
+
+
+class TestParser:
+    def test_simple_child(self):
+        p = parse_pattern("./a")
+        assert p == Pattern(Test("a"), descendant=False)
+
+    def test_descendant(self):
+        assert parse_pattern(".//b").descendant
+
+    def test_unicode_dot(self):
+        assert parse_pattern("·//b") == parse_pattern(".//b")
+
+    def test_paper_example(self):
+        # ·/(a|b)//c[·//e]/∗  (Definition 21's example)
+        p = parse_pattern("./(a|b)//c[.//e]/*")
+        assert isinstance(p.phi, Child)
+        assert isinstance(p.phi.right, Wildcard)
+        assert isinstance(p.phi.left, Desc)
+        assert isinstance(p.phi.left.right, Filter)
+
+    def test_requires_leading_axis(self):
+        with pytest.raises(ParseError):
+            parse_pattern("a/b")
+
+    def test_unbalanced_filter(self):
+        with pytest.raises(ParseError):
+            parse_pattern("./a[./b")
+
+    def test_str_roundtrip(self):
+        for text in ["./a/b", ".//a", "./(a|b)//c[.//e]/*", "./a[./b]/c"]:
+            p = parse_pattern(text)
+            assert parse_pattern(str(p)) == p
+
+
+class TestSemantics:
+    def test_child_axis(self, doc):
+        assert select(parse_pattern("./a"), doc) == [(0,)]
+        assert select(parse_pattern("./c"), doc) == [(2,)]
+
+    def test_descendant_axis(self, doc):
+        assert select(parse_pattern(".//c"), doc) == [(0, 1), (1, 0), (2,)]
+
+    def test_wildcard(self, doc):
+        assert select(parse_pattern("./*"), doc) == [(0,), (1,), (2,)]
+
+    def test_child_composition(self, doc):
+        assert select(parse_pattern("./a/c"), doc) == [(0, 1)]
+
+    def test_descendant_composition(self, doc):
+        assert select(parse_pattern("./a//e"), doc) == [(0, 1, 0)]
+
+    def test_disjunction(self, doc):
+        assert select(parse_pattern("./(a|b)"), doc) == [(0,), (1,)]
+
+    def test_filter(self, doc):
+        # c-nodes that have an e-descendant: only a's c child.
+        assert select(parse_pattern(".//c[.//e]"), doc) == [(0, 1)]
+
+    def test_filter_empty(self, doc):
+        assert select(parse_pattern(".//b[./z]"), doc) == []
+
+    def test_context_node_never_selected(self, doc):
+        assert () not in evaluate(parse_pattern(".//r"), doc)
+
+    def test_document_order(self, doc):
+        paths = select(parse_pattern(".//*"), doc)
+        assert paths == sorted(paths)
+        assert len(paths) == doc.size - 1
+
+    def test_select_subtrees(self, doc):
+        subtrees = select_subtrees(parse_pattern("./a/c"), doc)
+        assert subtrees == [parse_tree("c(e)")]
+
+    def test_example22_equivalence(self):
+        # ⟨q, ·//title⟩ on a chapter selects all title descendants.
+        from repro.workloads.books import fig3_document
+
+        chapter = fig3_document().subtree((2,))
+        titles = select(parse_pattern(".//title"), chapter)
+        assert len(titles) == 4  # chapter title + 3 section titles? see below
+
+    def test_example22_full_equivalence(self):
+        from repro.workloads.books import (
+            book_dtd,
+            toc_transducer,
+            toc_xpath_transducer,
+        )
+        from repro.trees.generate import enumerate_trees
+
+        plain, xp = toc_transducer(), toc_xpath_transducer()
+        for tree in enumerate_trees(book_dtd(), max_nodes=13):
+            assert plain.apply(tree) == xp.apply(tree), str(tree)
+
+
+class TestSelectingLiterals:
+    def test_example25_first(self):
+        # ·//a/b/((c/d)|(b/e)) — selecting literals are d and e.
+        p = parse_pattern(".//a/b/((c/d)|(b/e))")
+        literals = selecting_literals(p)
+        assert {str(l) for l in literals} == {"d", "e"}
+
+    def test_example25_second(self):
+        # ·/a[·/c]//∗[·/(b|c)] — the selecting literal is ∗.
+        p = parse_pattern("./a[./c]//*[./(b|c)]")
+        literals = selecting_literals(p)
+        assert [str(l) for l in literals] == ["*"]
+
+    def test_rewrite_child(self):
+        p = parse_pattern("./a/b")
+        assert str(rewrite_with_marker(p, "x1")) == "./a/b/x1"
+
+    def test_rewrite_descendant(self):
+        p = parse_pattern(".//a")
+        assert str(rewrite_with_marker(p, "x2")) == ".//a//x2"
+
+    def test_rewrite_keeps_filters(self):
+        p = parse_pattern("./a[./c]")
+        assert str(rewrite_with_marker(p, "x1")) == "./a[./c]/x1"
+
+    def test_rewrite_distributes_over_disjunction(self):
+        p = parse_pattern("./(a|b)")
+        rewritten = rewrite_with_marker(p, "x1")
+        assert isinstance(rewritten.phi, Disj)
+
+
+class TestFragments:
+    def test_fragment_detection(self):
+        assert pattern_fragment(parse_pattern("./a/b")) == frozenset({"/"})
+        assert pattern_fragment(parse_pattern(".//a[./b]")) == frozenset(
+            {"//", "[]", "/"}
+        )
+        assert pattern_fragment(parse_pattern("./a|b/*")) >= frozenset({"/", "|", "*"})
+
+    def test_filter_free(self):
+        assert is_filter_free(parse_pattern("./a//b|c/*"))
+        assert not is_filter_free(parse_pattern("./a[./b]"))
+
+
+class TestPathDfa:
+    def test_child_star_pattern(self, doc):
+        # XPath{/, *}: linear acyclic DFA (Theorem 23).
+        dfa = pattern_to_dfa(parse_pattern("./*/c"), {"r", "a", "b", "c", "e"})
+        assert dfa.accepts(["a", "c"])
+        assert dfa.accepts(["b", "c"])
+        assert not dfa.accepts(["c"])
+
+    def test_descendant_pattern(self):
+        dfa = pattern_to_dfa(parse_pattern(".//title"), {"title", "x"})
+        assert dfa.accepts(["title"])
+        assert dfa.accepts(["x", "x", "title"])
+        assert not dfa.accepts(["x"])
+
+    def test_filters_rejected(self):
+        with pytest.raises(NotSupportedError):
+            pattern_to_dfa(parse_pattern("./a[./b]"), {"a", "b"})
+
+    def test_dfa_matches_semantics(self, doc):
+        alphabet = {"r", "a", "b", "c", "e"}
+        for text in ["./a/c", ".//c", "./*/e", ".//(b|c)", "./a//*"]:
+            pattern = parse_pattern(text)
+            dfa = pattern_to_dfa(pattern, alphabet)
+            expected = set(select(pattern, doc))
+            actual = {
+                path
+                for path, _ in doc.nodes()
+                if path != ()
+                and dfa.accepts([doc.label_at(path[: i + 1]) for i in range(len(path))])
+            }
+            assert actual == expected, text
+
+
+class TestCompileCalls:
+    def test_equivalent_on_books(self):
+        from repro.workloads.books import book_dtd, toc_xpath_transducer
+        from repro.trees.generate import enumerate_trees
+
+        xp = toc_xpath_transducer()
+        plain = compile_calls(xp)
+        assert not plain.uses_calls()
+        for tree in enumerate_trees(book_dtd(), max_nodes=13):
+            assert xp.apply(tree) == plain.apply(tree), str(tree)
+
+    def test_width_one_deleting_states(self):
+        from repro.transducers.analysis import analyze
+        from repro.workloads.books import toc_xpath_transducer
+
+        plain = compile_calls(toc_xpath_transducer())
+        analysis = analyze(plain)
+        # Theorem 23: compilation stays in T_trac with K unchanged.
+        assert analysis.deletion_path_width == 1
+
+    def test_descendant_selector_document_order(self):
+        from repro.transducers import TreeTransducer
+        from repro.transducers.rhs import RhsCall, RhsSym
+        from repro.xpath.parser import parse_pattern as pp
+
+        t = TreeTransducer(
+            {"q0", "q"},
+            {"r", "a", "b"},
+            "q0",
+            {
+                ("q0", "r"): (RhsSym("r", (RhsCall("q", pp(".//a")),)),),
+                ("q", "a"): "a",
+            },
+        )
+        plain = compile_calls(t)
+        tree = parse_tree("r(a(a b(a)) a)")
+        assert t.apply(tree) == parse_tree("r(a a a a)")
+        assert plain.apply(tree) == parse_tree("r(a a a a)")
+
+    def test_no_calls_is_identity(self):
+        from repro.workloads.books import toc_transducer
+
+        t = toc_transducer()
+        assert compile_calls(t) is t
