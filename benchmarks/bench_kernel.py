@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Old-vs-new benchmark for the ``repro.kernel`` interned-state automata
+kernel, seeding the repo's perf trajectory.
+
+Times the seed object-state implementations (retained in
+:mod:`repro.kernel.reference` and via ``typecheck_forward(use_kernel=False)``)
+against the interned kernel on the ``workloads/families.py`` scaling
+families plus DFA/NTA micro-workloads, verifies every result, and writes
+``BENCH_kernel.json`` at the repo root.
+
+Usage::
+
+    python benchmarks/bench_kernel.py            # full run
+    python benchmarks/bench_kernel.py --smoke    # CI guard: fails (exit 1)
+                                                 # if the kernel is slower
+                                                 # than the baseline on the
+                                                 # smoke family
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.forward import typecheck_forward  # noqa: E402
+from repro.kernel import reference  # noqa: E402
+from repro.schemas.to_nta import dtd_to_nta  # noqa: E402
+from repro.strings.dfa import DFA  # noqa: E402
+from repro.tree_automata.emptiness import productive_states  # noqa: E402
+from repro.workloads.families import filtering_family, nd_bc_family  # noqa: E402
+
+SMOKE_FAMILY = ("nd_bc", 16)
+# CI guard threshold: the smoke family runs at ~2x locally; requiring only
+# ≥ 0.8x keeps the gate meaningful (a real regression drops well below)
+# without flaking on noisy shared runners.
+SMOKE_MIN_SPEEDUP = 0.8
+
+
+def best_of(fn, repeat: int) -> float:
+    """Best-of-``repeat`` wall time in seconds (min is robust to noise)."""
+    times = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def counter_dfa(n: int, symbols: int = 3) -> DFA:
+    """A complete n-state counter DFA over ``symbols`` letters."""
+    sigma = [f"x{j}" for j in range(symbols)]
+    transitions = {
+        (i, sigma[j]): (i + j + 1) % n for i in range(n) for j in range(symbols)
+    }
+    return DFA(range(n), sigma, transitions, 0, {0})
+
+
+def bench_forward(results, sizes, repeat: int) -> None:
+    """typecheck_forward: interned kernel vs the seed object fixpoint."""
+    for name, family, n in sizes:
+        transducer, din, dout, expected = family(n)
+        # Warm the DTD-level caches both engines share, and verify both
+        # engines give the right answer before timing anything.
+        for use_kernel in (True, False):
+            result = typecheck_forward(transducer, din, dout, use_kernel=use_kernel)
+            assert result.typechecks == expected, (name, n, use_kernel)
+        old = best_of(
+            lambda: typecheck_forward(transducer, din, dout, use_kernel=False),
+            repeat,
+        )
+        new = best_of(
+            lambda: typecheck_forward(transducer, din, dout, use_kernel=True),
+            repeat,
+        )
+        results.append(
+            {
+                "group": "forward",
+                "name": f"{name}({n})",
+                "family": name,
+                "n": n,
+                "baseline_s": old,
+                "kernel_s": new,
+                "speedup": old / new,
+            }
+        )
+
+
+def bench_dfa(results, sizes, repeat: int) -> None:
+    """DFA product / inclusion / minimize: kernel vs reference objects."""
+    for n in sizes:
+        left, right = counter_dfa(n), counter_dfa(n + 1)
+        cases = {
+            "dfa_product": (
+                lambda: reference.dfa_product_object(left, right),
+                lambda: left.product(right),
+            ),
+            "dfa_inclusion": (
+                lambda: reference.dfa_contains_object(left, right),
+                lambda: left.contains(right),
+            ),
+            "dfa_minimize": (
+                lambda: reference.dfa_minimize_object(left.product(right, "either")),
+                lambda: left.product(right, "either").minimize(),
+            ),
+        }
+        for case, (old_fn, new_fn) in cases.items():
+            assert old_fn() == new_fn(), case  # benchmarks verify correctness
+            old = best_of(old_fn, repeat)
+            new = best_of(new_fn, repeat)
+            results.append(
+                {
+                    "group": "dfa",
+                    "name": f"{case}({n})",
+                    "family": case,
+                    "n": n,
+                    "baseline_s": old,
+                    "kernel_s": new,
+                    "speedup": old / new,
+                }
+            )
+
+
+def bench_nta(results, sizes, repeat: int) -> None:
+    """NTA emptiness fixpoint: interned worklist vs whole-δ rescans.
+
+    Chain DTDs of depth ``n``: the seed fixpoint needs ``n`` rounds, each
+    rescanning all of δ, while the worklist re-tests only unlocked rules.
+    """
+    for n in sizes:
+        _, din, _, _ = nd_bc_family(n)
+        nta = dtd_to_nta(din)
+        old_set, _ = reference.productive_states_object(nta)
+        new_set, _ = productive_states(nta)
+        assert old_set == new_set
+        old = best_of(lambda: reference.productive_states_object(nta), repeat)
+        new = best_of(lambda: productive_states(nta), repeat)
+        results.append(
+            {
+                "group": "nta",
+                "name": f"nta_productive({n})",
+                "family": "nta_productive",
+                "n": n,
+                "baseline_s": old,
+                "kernel_s": new,
+                "speedup": old / new,
+            }
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes; exit 1 if the kernel is slower "
+                             "than the baseline on the smoke family")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="timing repetitions (default: 5, smoke: 7)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_kernel.json")
+    args = parser.parse_args(argv)
+    repeat = args.repeat or (7 if args.smoke else 5)
+
+    results: list = []
+    if args.smoke:
+        bench_forward(results, [("nd_bc", nd_bc_family, SMOKE_FAMILY[1])], repeat)
+        bench_dfa(results, [16], repeat)
+        bench_nta(results, [32], repeat)
+    else:
+        bench_forward(
+            results,
+            [
+                ("nd_bc", nd_bc_family, 16),
+                ("nd_bc", nd_bc_family, 32),
+                ("nd_bc", nd_bc_family, 64),
+                ("filtering", filtering_family, 32),
+                ("filtering", filtering_family, 48),
+            ],
+            repeat,
+        )
+        bench_dfa(results, [16, 48, 96], repeat)
+        bench_nta(results, [32, 96, 256], repeat)
+
+    forward = [r for r in results if r["group"] == "forward"]
+    largest = max(forward, key=lambda r: (r["n"], r["baseline_s"]))
+    summary = {
+        "mode": "smoke" if args.smoke else "full",
+        "repeat": repeat,
+        "largest_forward": largest["name"],
+        "largest_forward_speedup": largest["speedup"],
+        "benchmarks": results,
+    }
+    args.output.write_text(json.dumps(summary, indent=2) + "\n")
+
+    width = max(len(r["name"]) for r in results)
+    for r in results:
+        print(
+            f"{r['name']:<{width}}  baseline {r['baseline_s'] * 1e3:8.2f} ms"
+            f"  kernel {r['kernel_s'] * 1e3:8.2f} ms"
+            f"  speedup {r['speedup']:6.2f}x"
+        )
+    print(f"\nwrote {args.output} "
+          f"(largest forward bench: {largest['name']} "
+          f"at {largest['speedup']:.2f}x)")
+
+    if args.smoke:
+        smoke = next(r for r in forward if r["n"] == SMOKE_FAMILY[1])
+        if smoke["speedup"] < SMOKE_MIN_SPEEDUP:
+            print(
+                f"SMOKE FAILURE: interned kernel slower than the object-state "
+                f"baseline on {smoke['name']} "
+                f"({smoke['kernel_s'] * 1e3:.2f} ms vs "
+                f"{smoke['baseline_s'] * 1e3:.2f} ms; speedup "
+                f"{smoke['speedup']:.2f}x < {SMOKE_MIN_SPEEDUP}x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

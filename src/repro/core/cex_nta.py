@@ -125,19 +125,23 @@ def counterexample_nta(
         delta[(("plain", a), a)] = plain_nfa(a).with_alphabet(state_set)
 
     # cfg states: the hedge product graphs, with finals chosen per τ.
+    # (Cell keys come from the engine and are canonical: σ is None for
+    # cells with an empty behavior tuple, which the kernel shares across
+    # output symbols — the state names below just follow the keys.)
     for (sigma, b, P), table in engine.tree_vals.items():
         if not table:
             continue
         deferred = engine.deferred_tuple(P, b)
-        hedge_key = (sigma, b, deferred)
+        hedge_key = engine.key_for(sigma, b, deferred)
         entry = engine.hedge_vals[hedge_key]
         dfa = engine.out_dfa(sigma)
         dfa_in = din.content_dfa(b)
         graph_states = set(entry.nodes)
         transitions: Dict = {}
+        child_sigma = hedge_key[0]
         for (src, c, tau_c, dst) in entry.edges:
             transitions.setdefault(src, {}).setdefault(
-                ("cfg", sigma, c, deferred, tau_c), set()
+                ("cfg", child_sigma, c, deferred, tau_c), set()
             ).add(dst)
         taus_by_pi: Dict[Tuple, Set] = {}
         for pi in entry.accepted:
@@ -176,9 +180,10 @@ def counterexample_nta(
         if not bad:
             continue
         transitions = {}
+        cfg_sigma = engine.key_for(sigma, a, P)[0]
         for (src, c, tau_c, dst) in entry.edges:
             transitions.setdefault(src, {}).setdefault(
-                ("cfg", sigma, c, P, tau_c), set()
+                ("cfg", cfg_sigma, c, P, tau_c), set()
             ).add(dst)
         check_parts.setdefault((q, a), []).append(
             NFA(set(entry.nodes), state_set, transitions, entry.seeds, bad)

@@ -96,6 +96,47 @@ def _roots_without_initial_rule(
     return None
 
 
+def _non_tree_elimination_detector(alphabet, hash_symbol: str) -> NTA:
+    """An NTA accepting the trees over ``alphabet`` whose #-elimination is
+    *not* a single tree (the empty hedge or a hedge of ≥ 2 trees).
+
+    Such outputs conform to no tree schema, so they are violations that the
+    #-elimination lift — which by construction only speaks about single-tree
+    eliminations — cannot flag.  States count a subtree's elimination length
+    capped at two: a Σ-node always eliminates to one tree; a #-node sums its
+    children.  Accepting roots are lengths 0 and ≥ 2.
+    """
+    states = frozenset({0, 1, 2})
+    sigma = frozenset(alphabet) - {hash_symbol}
+    delta = {}
+    universal = NFA.universal(states)
+    for symbol in sigma:
+        delta[(1, symbol)] = universal
+    # Children sum 0: only 0-length children.
+    delta[(0, hash_symbol)] = NFA({"z"}, states, {"z": {0: {"z"}}}, {"z"}, {"z"})
+    # Children sum exactly 1: 0* 1 0*.
+    delta[(1, hash_symbol)] = NFA(
+        {"a", "b"},
+        states,
+        {"a": {0: {"a"}, 1: {"b"}}, "b": {0: {"b"}}},
+        {"a"},
+        {"b"},
+    )
+    # Children sum ≥ 2: saturating counter.
+    delta[(2, hash_symbol)] = NFA(
+        {"a", "b", "c"},
+        states,
+        {
+            "a": {0: {"a"}, 1: {"b"}, 2: {"c"}},
+            "b": {0: {"b"}, 1: {"c"}, 2: {"c"}},
+            "c": {0: {"c"}, 1: {"c"}, 2: {"c"}},
+        },
+        {"a"},
+        {"c"},
+    )
+    return NTA(states, sigma | {hash_symbol}, delta, {0, 2})
+
+
 def _witness_rooted(ain: NTA, symbol: str) -> Optional:
     """Some tree of ``L(ain)`` whose root is ``symbol``."""
     marker = fresh_symbol("root", [s for s in ain.states if isinstance(s, str)])
@@ -161,6 +202,15 @@ def typecheck_delrelab(
     stats["product_states"] = len(product.states)
 
     violating = witness_tree(product)
+    reason = "some translated tree violates the output automaton"
+    if violating is None:
+        # The lift only speaks about single-tree eliminations; a root-deleting
+        # rule can also translate an input to the empty hedge or a hedge of
+        # several trees — not a tree at all, hence a violation of any tree
+        # schema.  Catch those with the non-tree-elimination detector.
+        detector = _non_tree_elimination_detector(b_in.alphabet, hash_symbol)
+        violating = witness_tree(intersect(b_in, detector))
+        reason = "some input translates to a non-tree hedge (root deletion)"
     if violating is None:
         return TypecheckResult(True, "delrelab", stats=stats)
     gamma = eliminate_hashes(violating, hash_symbol)
@@ -168,6 +218,6 @@ def typecheck_delrelab(
     return TypecheckResult(
         False,
         "delrelab",
-        reason="some translated tree violates the output automaton",
+        reason=reason,
         stats=stats,
     )

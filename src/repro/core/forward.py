@@ -37,10 +37,11 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import BudgetExceededError, ClassViolationError
+from repro.kernel.product import ProductBFS
 from repro.schemas.dtd import DTD
 from repro.strings.dfa import DFA
 from repro.transducers.analysis import analyze
@@ -66,7 +67,6 @@ class Violation:
     bad_state: object
 
 
-@dataclass
 class HedgeEntry:
     """Fixpoint cell for a ``hedge`` key, including the product graph.
 
@@ -74,14 +74,94 @@ class HedgeEntry:
     materialized the moment π is first derived — witnesses therefore only
     reference configurations recorded strictly earlier, which keeps the
     recursive counterexample construction well-founded.
+
+    The kernel path keeps the product graph in interned-int form — nodes
+    are flat int tuples ``(d, ℓ₁, r₁, …, ℓ_m, r_m)`` living inside a
+    *persistent* :class:`~repro.kernel.product.ProductBFS` engine, so
+    re-evaluations only propagate child behaviors added since the last
+    round instead of re-running the whole BFS.  The seed's object-level
+    ``nodes`` / ``edges`` / ``seeds`` views are decoded lazily through
+    properties — only the counterexample-NTA export ever reads those, so
+    typechecking itself never pays the decode.
     """
 
-    accepted: Dict[Tuple[Slot, ...], Tuple[Tuple[str, Tuple], ...]] = field(
-        default_factory=dict
+    __slots__ = (
+        "accepted",
+        "int_accepted",
+        "int_accepted_list",
+        "int_edges",
+        "int_seeds",
+        "engine",
+        "by_currents",
+        "consumed",
+        "child_keys",
+        "_decode_node",
+        "_decode_tau",
+        "_nodes",
+        "_edges",
+        "_seeds",
     )
-    nodes: Set[Tuple] = field(default_factory=set)
-    edges: List[Tuple] = field(default_factory=list)  # (src, c, τ, dst)
-    seeds: Set[Tuple] = field(default_factory=set)
+
+    def __init__(self) -> None:
+        self.accepted: Dict[Tuple[Slot, ...], Tuple[Tuple[str, Tuple], ...]] = {}
+        # Kernel state: interned accepted π (dict + insertion-order list for
+        # delta slicing by dependent tree cells), accumulated edge list,
+        # seeds, the persistent BFS engine, the currents-vector node index,
+        # and per-child-key counts of already-propagated τ entries.
+        self.int_accepted: Dict[Tuple[int, ...], Tuple[Slot, ...]] = {}
+        self.int_accepted_list: List[Tuple[Tuple[int, ...], Tuple[Slot, ...]]] = []
+        self.int_edges: List[Tuple] = []  # (src, c, τ_flat, dst)
+        self.int_seeds: Set[Tuple[int, ...]] = set()
+        self.engine = None  # ProductBFS, created at first kernel evaluation
+        self.by_currents: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+        self.consumed: Dict[TupleKey, int] = {}
+        self.child_keys: Tuple[TupleKey, ...] = ()
+        self._decode_node = None
+        self._decode_tau = None
+        self._nodes: Optional[Set[Tuple]] = None
+        self._edges: Optional[List[Tuple]] = None
+        self._seeds: Optional[Set[Tuple]] = None
+
+    def reset_object(self) -> None:
+        """Start an object-path evaluation: direct object containers."""
+        self._decode_node = self._decode_tau = None
+        self._nodes = set()
+        self._edges = []
+        self._seeds = set()
+
+    @property
+    def nodes(self) -> Set[Tuple]:
+        """Product nodes ``(content state, π)`` in object form."""
+        if self._decode_node is None:
+            return self._nodes if self._nodes is not None else set()
+        if self._nodes is None:
+            decode = self._decode_node
+            self._nodes = {decode(node) for node in self.engine.parents}
+        return self._nodes
+
+    @property
+    def edges(self) -> List[Tuple]:
+        """Product edges ``(src, c, τ, dst)`` in object form."""
+        if self._decode_node is None:
+            return self._edges if self._edges is not None else []
+        if self._edges is None:
+            decode_node = self._decode_node
+            decode_tau = self._decode_tau
+            self._edges = [
+                (decode_node(src), c, decode_tau(tau), decode_node(dst))
+                for (src, c, tau, dst) in self.int_edges
+            ]
+        return self._edges
+
+    @property
+    def seeds(self) -> Set[Tuple]:
+        """Seed nodes (identity slot pairs) in object form."""
+        if self._decode_node is None:
+            return self._seeds if self._seeds is not None else set()
+        if self._seeds is None:
+            decode = self._decode_node
+            self._seeds = {decode(node) for node in self.int_seeds}
+        return self._seeds
 
 
 class ForwardEngine:
@@ -95,6 +175,7 @@ class ForwardEngine:
         dout: DTD,
         max_tuple: Optional[int] = None,
         max_product_nodes: int = 500_000,
+        use_kernel: bool = True,
     ) -> None:
         self.transducer = transducer
         self.din = din
@@ -103,28 +184,63 @@ class ForwardEngine:
         self.productive = din.productive_symbols()
         self.max_tuple = max_tuple
         self.max_product_nodes = max_product_nodes
+        self.use_kernel = use_kernel
         self.work = 0
 
         self._out_dfa: Dict[str, DFA] = {}
         self._in_useful: Dict[str, Tuple[DFA, frozenset]] = {}
         self._decomp: Dict[Tuple[str, str], Tuple[Tuple[Tuple[str, ...], ...], Tuple[str, ...]]] = {}
+        # Kernel caches: interned input content DFAs with useful-state masks
+        # and child symbol indices, and per-(σ, state, b) segment-run maps.
+        self._in_kern: Dict[str, Tuple] = {}
+        self._seg: Dict[Tuple[str, str, str], Tuple[List[List[int]], int]] = {}
 
         self.tree_vals: Dict[TupleKey, Dict[Tuple[Slot, ...], Tuple[Slot, ...]]] = {}
         # tree_vals[key][τ] = witness π in hedge((σ, b, P')).
         self.hedge_vals: Dict[TupleKey, HedgeEntry] = {}
+        # Interned mirror of tree_vals: flat int-tuple τ -> flat int-tuple π,
+        # with an insertion-order list (for delta propagation into hedge
+        # cells) and an index by entry-state vector ℓ₁…ℓ_m (for BFS lookups).
+        self._tree_int: Dict[TupleKey, Dict[Tuple[int, ...], Tuple[int, ...]]] = {}
+        self._tree_order: Dict[TupleKey, List[Tuple[int, ...]]] = {}
+        self._tree_index: Dict[TupleKey, Dict[Tuple[int, ...], List[Tuple[int, ...]]]] = {}
+        # How many accepted π of the supplying hedge cell each tree cell has
+        # already assembled (the tree-side delta counter).
+        self._tree_consumed: Dict[TupleKey, int] = {}
         self._dependents: Dict[Tuple[str, TupleKey], Set[Tuple[str, TupleKey]]] = {}
         self._dirty: deque = deque()
+        self._dirty_set: Set[Tuple[str, TupleKey]] = set()
         self._registered: Set[Tuple[str, TupleKey]] = set()
 
     # ------------------------------------------------------------------
     # Cached views
     # ------------------------------------------------------------------
-    def out_dfa(self, sigma: str) -> DFA:
+    def out_dfa(self, sigma: Optional[str]) -> DFA:
         dfa = self._out_dfa.get(sigma)
         if dfa is None:
-            dfa = self.dout.content_dfa(sigma).complete(self.out_alphabet)
+            if sigma is None:
+                # σ-independent cells (empty behavior tuple) never consult
+                # the output DFA; a universal one keeps the code paths total.
+                dfa = DFA.universal(self.out_alphabet)
+            else:
+                dfa = self.dout.content_dfa_complete(sigma, self.out_alphabet)
             self._out_dfa[sigma] = dfa
         return dfa
+
+    def key_for(self, sigma: str, symbol: str, P: Tuple[str, ...]) -> TupleKey:
+        """Canonical cell key for ``(σ, symbol, P)``.
+
+        A cell with an empty behavior tuple carries no σ-specific
+        information — its only content is "does a valid tree/hedge exist" —
+        so the kernel shares it across all output symbols (σ → ``None``).
+        For non-deleting transducers every cell below the root checks has
+        ``P = ()``, which collapses the (σ, input symbol) product to a
+        single chain.  The object path keeps the seed's per-σ keys: it is
+        the faithful baseline, not an optimized engine.
+        """
+        if not P and self.use_kernel:
+            return (None, symbol, P)
+        return (sigma, symbol, P)
 
     def decomposition(
         self, state: str, symbol: str
@@ -165,35 +281,184 @@ class ForwardEngine:
         self._registered.add(node)
         if kind == "tree":
             self.tree_vals[key] = {}
+            self._tree_int[key] = {}
+            self._tree_order[key] = []
+            self._tree_index[key] = {}
         else:
             self.hedge_vals[key] = HedgeEntry()
         self._dirty.append(node)
+        self._dirty_set.add(node)
 
     def _depend(self, read: Tuple[str, TupleKey], reader: Tuple[str, TupleKey]) -> None:
         self._register(*read)
         self._dependents.setdefault(read, set()).add(reader)
 
     def request_hedge(self, sigma: str, symbol: str, P: Tuple[str, ...]) -> TupleKey:
-        key = (sigma, symbol, P)
+        key = self.key_for(sigma, symbol, P)
         self._register("hedge", key)
         return key
 
     def run(self) -> None:
         """Run the chaotic iteration to the least fixpoint."""
-        while self._dirty:
-            kind, key = self._dirty.popleft()
+        dirty = self._dirty
+        dirty_set = self._dirty_set
+        while dirty:
+            node = dirty.popleft()
+            dirty_set.discard(node)
+            kind, key = node
             grew = (
                 self._eval_tree(key) if kind == "tree" else self._eval_hedge(key)
             )
             if grew:
-                for dependent in self._dependents.get((kind, key), ()):
-                    if dependent not in self._dirty:
-                        self._dirty.append(dependent)
+                for dependent in self._dependents.get(node, ()):
+                    if dependent not in dirty_set:
+                        dirty.append(dependent)
+                        dirty_set.add(dependent)
 
     # ------------------------------------------------------------------
-    # Evaluation
+    # Evaluation — kernel path (interned ints) with the seed object path
+    # retained as the differential-testing baseline (``use_kernel=False``).
     # ------------------------------------------------------------------
     def _eval_tree(self, key: TupleKey) -> bool:
+        if self.use_kernel:
+            return self._eval_tree_kernel(key)
+        return self._eval_tree_object(key)
+
+    def _eval_hedge(self, key: TupleKey) -> bool:
+        if self.use_kernel:
+            return self._eval_hedge_kernel(key)
+        return self._eval_hedge_object(key)
+
+    # -- kernel caches --------------------------------------------------
+    def _out_kernel(self, sigma: str):
+        """Interned view of the (complete) output content DFA of σ."""
+        return self.out_dfa(sigma).kernel()
+
+    def _in_kernel_info(self, a: str):
+        """Interned input content DFA of ``a`` with its useful-state mask
+        and the usable child symbols as ``(symbol, symbol_index)`` pairs."""
+        cached = self._in_kern.get(a)
+        if cached is None:
+            dfa_in = self.din.content_dfa(a)
+            idfa = dfa_in.kernel()
+            # The content DFA (and hence its kernel) is cached on the DTD,
+            # so this memo survives across engine instances.
+            aux_key = ("forward_in", self.productive)
+            cached = idfa.aux.get(aux_key)
+            if cached is None:
+                useful = dfa_in.to_nfa().useful_states()
+                useful_mask = idfa.states.mask(useful)
+                children = sorted(
+                    {
+                        c
+                        for (state, c), target in dfa_in.transitions.items()
+                        if c in self.productive
+                        and state in useful
+                        and target in useful
+                    },
+                    key=repr,
+                )
+                child_syms = tuple((c, idfa.symbols.index(c)) for c in children)
+                cached = (idfa, useful_mask, child_syms)
+                idfa.aux[aux_key] = cached
+            self._in_kern[a] = cached
+        return cached
+
+    def _segment_maps(self, sigma: str, state: str, b: str):
+        """Per-segment end-state arrays: ``maps[j][x]`` is the output DFA
+        state after reading segment ``j`` of ``top(rhs(state, b))`` from
+        ``x``.  Computed once per (σ, state, b) — the object path re-runs
+        the words for every (π, start) combination instead."""
+        key = (sigma, state, b)
+        cached = self._seg.get(key)
+        if cached is None:
+            segments, defers = self.decomposition(state, b)
+            idfa = self._out_kernel(sigma)
+            maps: List[List[int]] = []
+            for segment in segments:
+                word = idfa.intern_word(segment)
+                assert word is not None, "output DFA is complete over Σ_out"
+                maps.append([idfa.run(word, start=x) for x in range(idfa.n_states)])
+            cached = (maps, len(defers))
+            self._seg[key] = cached
+        return cached
+
+    @staticmethod
+    def _decode_slots(idfa, flat: Tuple[int, ...]) -> Tuple[Slot, ...]:
+        """Flat int tuple ``(ℓ₁, r₁, …)`` back to object slot pairs."""
+        value = idfa.states.value
+        return tuple(
+            (value(flat[i]), value(flat[i + 1])) for i in range(0, len(flat), 2)
+        )
+
+    # -- tree cells -----------------------------------------------------
+    def _eval_tree_kernel(self, key: TupleKey) -> bool:
+        sigma, b, P = key
+        if b not in self.productive:
+            return False
+        deferred = self.deferred_tuple(P, b)
+        hedge_key = self.key_for(sigma, b, deferred)
+        self._depend(("hedge", hedge_key), ("tree", key))
+        entry = self.hedge_vals[hedge_key]
+        accepted_list = entry.int_accepted_list
+        start = self._tree_consumed.get(key, 0)
+        if start >= len(accepted_list):
+            return False
+        idfa = self._out_kernel(sigma)
+        int_table = self._tree_int[key]
+        order = self._tree_order[key]
+        index = self._tree_index[key]
+        table = self.tree_vals[key]
+        segdata = [self._segment_maps(sigma, state, b) for state in P]
+        n_out = idfa.n_states
+        decode_slots = self._decode_slots
+        grew = False
+        # τ derivation depends only on π and the (static) segment maps, so
+        # each accepted π is assembled exactly once, at the delta boundary.
+        for pi_flat, pi in accepted_list[start:]:
+            for tau_flat in self._assemble_int(segdata, pi_flat, n_out):
+                if tau_flat not in int_table:
+                    int_table[tau_flat] = pi_flat
+                    order.append(tau_flat)
+                    index.setdefault(tau_flat[0::2], []).append(tau_flat)
+                    table[decode_slots(idfa, tau_flat)] = pi
+                    grew = True
+        self._tree_consumed[key] = len(accepted_list)
+        if len(int_table) > self.max_product_nodes:
+            raise BudgetExceededError(
+                f"behavior table for {key!r} exceeded "
+                f"{self.max_product_nodes} tuples"
+            )
+        return grew
+
+    @staticmethod
+    def _assemble_int(segdata, pi_flat: Tuple[int, ...], n_out: int):
+        """Interned step (4): all τ flat tuples derivable from hedge
+        behavior ``pi_flat`` by chaining segment maps."""
+        per_component: List[List[Tuple[int, int]]] = []
+        offset = 0
+        for maps, k in segdata:
+            slots = pi_flat[2 * offset : 2 * (offset + k)]
+            offset += k
+            first = maps[0]
+            pairs: List[Tuple[int, int]] = []
+            for start in range(n_out):
+                x = first[start]
+                ok = True
+                for j in range(k):
+                    if slots[2 * j] != x:
+                        ok = False
+                        break
+                    x = maps[j + 1][slots[2 * j + 1]]
+                if ok:
+                    pairs.append((start, x))
+            if not pairs:
+                return
+            per_component.append(pairs)
+        for combo in itertools.product(*per_component):
+            yield tuple(v for pair in combo for v in pair)
+
+    def _eval_tree_object(self, key: TupleKey) -> bool:
         sigma, b, P = key
         if b not in self.productive:
             return False
@@ -255,13 +520,155 @@ class ForwardEngine:
         cached = self._in_useful.get(a)
         if cached is None:
             dfa_in = self.din.content_dfa(a)
-            as_nfa = dfa_in.to_nfa()
-            useful = as_nfa.reachable_states() & as_nfa.coreachable_states()
+            useful = dfa_in.to_nfa().useful_states()
             cached = (dfa_in, useful)
             self._in_useful[a] = cached
         return cached
 
-    def _eval_hedge(self, key: TupleKey) -> bool:
+    # -- hedge cells ----------------------------------------------------
+    def _eval_hedge_kernel(self, key: TupleKey) -> bool:
+        sigma, a, P = key
+        entry = self.hedge_vals[key]
+        if entry.engine is not None:
+            # Fast no-op exit: nothing new in any child table since the last
+            # evaluation (the chaotic iteration re-enqueues liberally).
+            consumed = entry.consumed
+            orders = self._tree_order
+            for child_key in entry.child_keys:
+                if consumed.get(child_key, 0) < len(orders[child_key]):
+                    break
+            else:
+                return False
+        idfa_in, useful_mask, child_syms = self._in_kernel_info(a)
+        idfa_out = self._out_kernel(sigma)
+        m = len(P)
+        n_out = idfa_out.n_states
+
+        in_value = idfa_in.states.value
+        decode_slots = self._decode_slots
+        int_edges = entry.int_edges
+        int_accepted = entry.int_accepted
+        accepted = entry.accepted
+        by_currents = entry.by_currents
+        in_table = idfa_in.table
+        in_n_symbols = idfa_in.n_symbols
+        in_finals = idfa_in.finals_mask
+        grew = False
+        new_this_eval: Set[Tuple[int, ...]] = set()
+
+        engine = entry.engine
+        first_eval = engine is None
+        if first_eval:
+            # Seed-count guard, as in the object path.
+            if n_out ** m > self.max_product_nodes:
+                raise BudgetExceededError(
+                    f"{n_out}^{m} behavior seeds exceed the "
+                    f"product budget {self.max_product_nodes} — the instance "
+                    "sits outside the tractable (fixed C·K) regime"
+                )
+            engine = entry.engine = ProductBFS(
+                max_nodes=self.max_product_nodes,
+                budget_message="hedge product exceeded {max_nodes} nodes",
+            )
+
+            def decode_node(node: Tuple[int, ...]):
+                return (in_value(node[0]), decode_slots(idfa_out, node[1:]))
+
+            entry._decode_node = decode_node
+            entry._decode_tau = lambda flat: decode_slots(idfa_out, flat)
+
+        parents = engine.parents
+        nodes_before = len(parents)
+
+        def note_accept(node: Tuple[int, ...]) -> bool:
+            nonlocal grew
+            new_this_eval.add(node)
+            by_currents.setdefault(node[2::2], []).append(node)
+            if not in_finals >> node[0] & 1:
+                return False
+            pairs = node[1:]
+            if pairs not in int_accepted:
+                # Materialize the witness now: it references only
+                # configurations that already exist (well-foundedness).
+                pi = decode_slots(idfa_out, pairs)
+                int_accepted[pairs] = pi
+                entry.int_accepted_list.append((pairs, pi))
+                accepted[pi] = tuple(
+                    (c, decode_slots(idfa_out, tau_flat))
+                    for c, tau_flat in engine.path(node)
+                )
+                grew = True
+            return False
+
+        child_data = []
+        for c, c_sym in child_syms:
+            child_key = self.key_for(sigma, c, P)
+            self._depend(("tree", child_key), ("hedge", key))
+            child_data.append((c, c_sym, child_key, self._tree_index[child_key]))
+        entry.child_keys = tuple(item[2] for item in child_data)
+
+        if first_eval:
+            d0 = idfa_in.initial
+            for combo in itertools.product(range(n_out), repeat=m):
+                node = (d0,) + tuple(v for x in combo for v in (x, x))
+                entry.int_seeds.add(node)
+                engine.push(node, None, note_accept)
+
+        # Delta pass: push child behaviors added since the last evaluation
+        # through the *already-explored* nodes; nodes discovered during this
+        # evaluation are skipped here — the drain below expands them against
+        # the full tables, so every (node, τ) pair is applied exactly once.
+        consumed = entry.consumed
+        for c, c_sym, child_key, _index in child_data:
+            order = self._tree_order[child_key]
+            start = consumed.get(child_key, 0)
+            if start >= len(order):
+                continue
+            consumed[child_key] = len(order)
+            for tau_flat in order[start:]:
+                ells = tau_flat[0::2]
+                candidates = by_currents.get(ells)
+                if not candidates:
+                    continue
+                label = (c, tau_flat)
+                new_currents = tau_flat[1::2]
+                for i in range(len(candidates)):
+                    node = candidates[i]
+                    if node in new_this_eval:
+                        continue
+                    d2 = in_table[node[0] * in_n_symbols + c_sym]
+                    if d2 < 0 or not useful_mask >> d2 & 1:
+                        continue
+                    succ = (d2,) + tuple(
+                        v for pair in zip(node[1::2], new_currents) for v in pair
+                    )
+                    int_edges.append((node, c, tau_flat, succ))
+                    engine.push(succ, (node, label), note_accept)
+
+        def successors(node: Tuple[int, ...]):
+            base = node[0] * in_n_symbols
+            starts = node[1::2]
+            currents = node[2::2]
+            for c, c_sym, _child_key, index in child_data:
+                d2 = in_table[base + c_sym]
+                if d2 < 0 or not useful_mask >> d2 & 1:
+                    continue
+                for tau_flat in index.get(currents, ()):
+                    succ = (d2,) + tuple(
+                        v
+                        for pair in zip(starts, tau_flat[1::2])
+                        for v in pair
+                    )
+                    int_edges.append((node, c, tau_flat, succ))
+                    yield succ, (c, tau_flat)
+
+        engine.drain(successors, note_accept)
+        self.work += len(parents) - nodes_before
+        # Invalidate the lazily decoded views (the graph may have grown).
+        entry._nodes = entry._edges = None
+        return grew
+
+    def _eval_hedge_object(self, key: TupleKey) -> bool:
         sigma, a, P = key
         entry = self.hedge_vals[key]
         dfa_in, useful_in = self._in_dfa_useful(a)
@@ -303,17 +710,16 @@ class ForwardEngine:
                 f"product budget {self.max_product_nodes} — the instance "
                 "sits outside the tractable (fixed C·K) regime"
             )
-        entry.nodes.clear()
-        entry.edges.clear()
-        entry.seeds.clear()
+        entry.reset_object()
+        nodes, edges, seeds = entry._nodes, entry._edges, entry._seeds
         parents: Dict[Tuple, Optional[Tuple]] = {}
         frontier: deque = deque()
         for combo in itertools.product(sorted(dfa_out.states, key=repr), repeat=m):
             node = (dfa_in.initial, tuple((x, x) for x in combo))
             parents[node] = None
             frontier.append(node)
-        entry.nodes.update(parents)
-        entry.seeds.update(parents)
+        nodes.update(parents)
+        seeds.update(parents)
 
         grew = False
 
@@ -352,10 +758,10 @@ class ForwardEngine:
                         (slot[0], r) for slot, (_ell, r) in zip(pairs, tau)
                     )
                     successor = (d2, new_pairs)
-                    entry.edges.append((node, c, tau, successor))
+                    edges.append((node, c, tau, successor))
                     if successor not in parents:
                         parents[successor] = (node, c, tau)
-                        entry.nodes.add(successor)
+                        nodes.add(successor)
                         if len(parents) > self.max_product_nodes:
                             raise BudgetExceededError(
                                 "hedge product exceeded "
@@ -377,7 +783,7 @@ class ForwardEngine:
 
     def build_tree(self, sigma: str, b: str, P: Tuple[str, ...], tau) -> Tree:
         """A concrete input tree realizing configuration (σ, b, P, τ)."""
-        pi = self.tree_vals[(sigma, b, P)][tau]
+        pi = self.tree_vals[self.key_for(sigma, b, P)][tau]
         deferred = self.deferred_tuple(P, b)
         return Tree(b, self.build_hedge(sigma, b, deferred, pi))
 
@@ -385,7 +791,7 @@ class ForwardEngine:
         self, sigma: str, a: str, P: Tuple[str, ...], pi
     ) -> List[Tree]:
         children: List[Tree] = []
-        for c, tau in self.hedge_witness((sigma, a, P), pi):
+        for c, tau in self.hedge_witness(self.key_for(sigma, a, P), pi):
             children.append(self.build_tree(sigma, c, P, tau))
         return children
 
@@ -411,6 +817,7 @@ def typecheck_forward(
     max_tuple: Optional[int] = None,
     max_product_nodes: int = 500_000,
     want_counterexample: bool = True,
+    use_kernel: bool = True,
 ) -> TypecheckResult:
     """Sound and complete typechecking of ``T`` w.r.t. DTDs (Theorem 15).
 
@@ -419,6 +826,10 @@ def typecheck_forward(
     path width pass an explicit budget to run the engine as a (possibly
     exponential) complete procedure — :class:`BudgetExceededError` signals
     the blow-up.
+
+    ``use_kernel=False`` runs the fixpoint on the seed object-state tables
+    instead of the interned kernel — same least fixpoint, kept as the
+    differential-testing and benchmarking baseline.
     """
     if transducer.uses_calls():
         from repro.xpath.compile import compile_calls
@@ -439,6 +850,7 @@ def typecheck_forward(
         "copying_width": analysis.copying_width,
         "deletion_path_width": analysis.deletion_path_width,
         "max_tuple": max_tuple,
+        "engine": "kernel" if use_kernel else "object",
     }
 
     # Empty input language: vacuously typechecks.
@@ -483,7 +895,9 @@ def typecheck_forward(
             stats=stats,
         )
 
-    engine = ForwardEngine(transducer, din, dout, max_tuple, max_product_nodes)
+    engine = ForwardEngine(
+        transducer, din, dout, max_tuple, max_product_nodes, use_kernel=use_kernel
+    )
     pairs = reachable_pairs(transducer, din)
     checks: List[Tuple[Pair, Tuple[int, ...], str, Tuple, Tuple[str, ...], TupleKey]] = []
     for (q, a) in pairs:

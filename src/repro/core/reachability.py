@@ -47,48 +47,41 @@ def some_word_containing(
     """A shortest accepted word over ``allowed`` containing ``symbol``.
 
     BFS over (state, seen-flag) — the product with the two-state "contains
-    symbol" automaton.
+    symbol" automaton — run on the interned kernel: nodes are packed ints
+    ``state_index * 2 + flag`` (the seed object-tuple version is preserved
+    as :func:`repro.kernel.reference.some_word_containing_object`).
     """
-    allowed = frozenset(allowed) | {symbol}
-    start = [(q, False) for q in nfa.initial]
-    parent: Dict[Tuple, Tuple] = {}
-    seen = set(start)
-    frontier = deque(start)
-    hit = None
-    for q, flag in start:
-        if flag and q in nfa.finals:  # pragma: no cover - flag starts False
-            hit = (q, flag)
-    while frontier and hit is None:
-        node = frontier.popleft()
-        q, flag = node
-        row = nfa.transitions.get(q)
-        if not row:
-            continue
-        for sym, targets in row.items():
-            if sym not in allowed:
+    from repro.kernel.product import ProductBFS
+
+    infa = nfa.kernel()
+    target_symbol = infa.symbols.get(symbol)
+    if target_symbol < 0:
+        # The NFA can never read ``symbol``, so no accepted word contains it.
+        return None
+    allowed_mask = infa.allowed_mask(allowed) | (1 << target_symbol)
+    rows = infa.rows
+    finals_mask = infa.finals_mask
+
+    def accepting(node: int) -> bool:
+        return bool(node & 1) and bool(finals_mask >> (node >> 1) & 1)
+
+    def successors(node: int):
+        flag = node & 1
+        for sym, targets in rows[node >> 1]:
+            if not allowed_mask >> sym & 1:
                 continue
-            new_flag = flag or sym == symbol
+            new_flag = flag | (sym == target_symbol)
             for target in targets:
-                succ = (target, new_flag)
-                if succ in seen:
-                    continue
-                seen.add(succ)
-                parent[succ] = (node, sym)
-                if new_flag and target in nfa.finals:
-                    hit = succ
-                    break
-                frontier.append(succ)
-            if hit:
-                break
+                yield target * 2 + new_flag, sym
+
+    engine = ProductBFS()
+    hit = engine.run(
+        (q * 2 for q in infa.initial), successors, on_visit=accepting
+    )
     if hit is None:
         return None
-    word = []
-    node = hit
-    while node in parent:
-        node, sym = parent[node]
-        word.append(sym)
-    word.reverse()
-    return tuple(word)
+    value = infa.symbols.value
+    return tuple(value(sym) for sym in engine.path(hit))
 
 
 def reachable_pairs(
@@ -106,6 +99,7 @@ def reachable_pairs(
     }
     frontier = deque(pairs)
     usable_cache: Dict[str, frozenset] = {}
+    word_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
     while frontier:
         pair = frontier.popleft()
         q, a = pair
@@ -118,8 +112,11 @@ def reachable_pairs(
             usable_cache[a] = children
         states = set(all_states(rhs))
         for b in children:
-            word = some_word_containing(din.content_nfa(a), b, productive)
-            assert word is not None, "usable symbols occur in some word"
+            word = word_cache.get((a, b))
+            if word is None:
+                word = some_word_containing(din.content_nfa(a), b, productive)
+                assert word is not None, "usable symbols occur in some word"
+                word_cache[(a, b)] = word
             position = word.index(b)
             for q2 in states:
                 succ = (q2, b)

@@ -1,0 +1,191 @@
+"""Interned NFA core: per-state transition rows over dense integers.
+
+:class:`InternedNFA` is the nondeterministic sibling of
+:class:`~repro.kernel.dfa_kernel.InternedDFA`: states and symbols become
+dense ints, transition rows become tuples ``(symbol, targets)`` of ints, and
+symbol-restricted queries (``some_word`` over a productive subset, the
+Fig. A.1 emptiness tests) take the allowed set as a *bitmask* instead of a
+frozenset, so the inner loops are pure integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.kernel.interning import Interner
+from repro.kernel.product import ProductBFS
+
+State = Hashable
+Symbol = Hashable
+
+
+class InternedNFA:
+    """An ε-free NFA over dense integer states and symbols.
+
+    ``rows[q]`` is a tuple of ``(symbol_index, targets_tuple)`` pairs;
+    ``initial`` is a tuple of state indices and ``finals_mask`` a bitmask.
+    """
+
+    __slots__ = ("states", "symbols", "rows", "initial", "finals_mask", "n_states")
+
+    def __init__(self, nfa) -> None:
+        self.states: Interner = Interner.from_sorted(nfa.states)
+        self.symbols: Interner = Interner.from_sorted(nfa.alphabet)
+        self.n_states = len(self.states)
+        state_index = self.states.index
+        symbol_index = self.symbols.index
+        rows: List[Tuple[Tuple[int, Tuple[int, ...]], ...]] = [()] * self.n_states
+        for src, row in nfa.transitions.items():
+            rows[state_index(src)] = tuple(
+                sorted(
+                    (
+                        symbol_index(symbol),
+                        tuple(sorted(state_index(t) for t in targets)),
+                    )
+                    for symbol, targets in row.items()
+                )
+            )
+        self.rows = rows
+        self.initial: Tuple[int, ...] = tuple(
+            sorted(state_index(q) for q in nfa.initial)
+        )
+        self.finals_mask: int = self.states.mask(nfa.finals)
+
+    # ------------------------------------------------------------------
+    def allowed_mask(self, symbols=None) -> int:
+        """Bitmask over *symbol* indices for a symbol restriction
+        (``None``: everything)."""
+        if symbols is None:
+            return (1 << len(self.symbols)) - 1
+        return self.symbols.mask(symbols)
+
+    def some_word_ints(self, allowed: Optional[int] = None) -> Optional[Tuple[int, ...]]:
+        """A shortest accepted word (as symbol indices) using only symbols
+        whose bit is set in ``allowed``, or ``None`` when none exists."""
+        finals_mask = self.finals_mask
+        rows = self.rows
+        unrestricted = allowed is None
+
+        def accepting(state: int) -> bool:
+            return bool(finals_mask >> state & 1)
+
+        def successors(state: int):
+            for symbol, targets in rows[state]:
+                if unrestricted or allowed >> symbol & 1:
+                    for target in targets:
+                        yield target, symbol
+
+        engine = ProductBFS()
+        hit = engine.run(self.initial, successors, on_visit=accepting)
+        if hit is None:
+            return None
+        return tuple(engine.path(hit))
+
+    def some_word(self, symbols=None) -> Optional[Tuple[Symbol, ...]]:
+        """A shortest accepted word over ``symbols``, decoded."""
+        allowed = None if symbols is None else self.allowed_mask(symbols)
+        word = self.some_word_ints(allowed)
+        if word is None:
+            return None
+        value = self.symbols.value
+        return tuple(value(symbol) for symbol in word)
+
+    def is_empty(self, allowed: Optional[int] = None) -> bool:
+        """Whether no word over the ``allowed`` symbol mask is accepted."""
+        return self.reachable_mask(allowed) & self.finals_mask == 0
+
+    def reachable_mask(self, allowed: Optional[int] = None) -> int:
+        """Bitmask of states reachable from the initial states."""
+        rows = self.rows
+        unrestricted = allowed is None
+        seen = 0
+        for q in self.initial:
+            seen |= 1 << q
+        frontier = deque(self.initial)
+        while frontier:
+            src = frontier.popleft()
+            for symbol, targets in rows[src]:
+                if unrestricted or allowed >> symbol & 1:
+                    for target in targets:
+                        if not seen >> target & 1:
+                            seen |= 1 << target
+                            frontier.append(target)
+        return seen
+
+    def coreachable_mask(self, allowed: Optional[int] = None) -> int:
+        """Bitmask of states from which a final state is reachable."""
+        unrestricted = allowed is None
+        predecessors: List[List[int]] = [[] for _ in range(self.n_states)]
+        for src, row in enumerate(self.rows):
+            for symbol, targets in row:
+                if unrestricted or allowed >> symbol & 1:
+                    for target in targets:
+                        predecessors[target].append(src)
+        seen = self.finals_mask
+        frontier = deque(i for i in range(self.n_states) if seen >> i & 1)
+        while frontier:
+            node = frontier.popleft()
+            for pred in predecessors[node]:
+                if not seen >> pred & 1:
+                    seen |= 1 << pred
+                    frontier.append(pred)
+        return seen
+
+
+# ----------------------------------------------------------------------
+# Horizontal pair products (tree-automaton intersection)
+# ----------------------------------------------------------------------
+def pair_product_components(left, right):
+    """Reachable pair product reading *pairs* of symbols — the horizontal
+    language of a product tree automaton (see
+    :func:`repro.tree_automata.ops.intersect`).
+
+    Returns ``(states, table, initial, finals, alphabet)`` decoded to the
+    seed's pair-tuple representation.
+    """
+    ileft: InternedNFA = left.kernel()
+    iright: InternedNFA = right.kernel()
+    n_right = iright.n_states
+    lrows, rrows = ileft.rows, iright.rows
+    lvalue, rvalue = ileft.states.value, iright.states.value
+    lsym, rsym = ileft.symbols.value, iright.symbols.value
+
+    table: Dict[Tuple, Dict[Tuple, set]] = {}
+
+    def decode(node: int) -> Tuple[State, State]:
+        l, r = divmod(node, n_right)
+        return (lvalue(l), rvalue(r))
+
+    def successors(node: int):
+        l, r = divmod(node, n_right)
+        row_l = lrows[l]
+        row_r = rrows[r]
+        if not row_l or not row_r:
+            return
+        src = decode(node)
+        row_out = table.setdefault(src, {})
+        for u, targets_l in row_l:
+            for v, targets_r in row_r:
+                cell = row_out.setdefault((lsym(u), rsym(v)), set())
+                for tl in targets_l:
+                    base = tl * n_right
+                    for tr in targets_r:
+                        succ = base + tr
+                        cell.add(decode(succ))
+                        yield succ, None
+
+    engine = ProductBFS()
+    seeds = [l * n_right + r for l in ileft.initial for r in iright.initial]
+    engine.run(seeds, successors)
+
+    states = {decode(node) for node in engine.parents}
+    lf, rf = ileft.finals_mask, iright.finals_mask
+    finals = {
+        decode(node)
+        for node in engine.parents
+        if lf >> (node // n_right) & 1 and rf >> (node % n_right) & 1
+    }
+    initial = {decode(node) for node in seeds}
+    alphabet = {(u, v) for u in left.alphabet for v in right.alphabet}
+    return states, table, initial, finals, alphabet

@@ -1,0 +1,143 @@
+"""The shared demand-driven product-reachability engine.
+
+Every algorithm in the paper bottoms out in the same primitive: explore the
+reachable part of a (possibly huge, implicitly defined) product graph and
+decide emptiness / extract a witness path.  :class:`ProductBFS` is that
+primitive, factored out once:
+
+* ``DFA × DFA`` product and inclusion (:mod:`repro.kernel.dfa_kernel`);
+* horizontal ``NFA × NFA`` pair products (:mod:`repro.kernel.nfa_kernel`);
+* shortest accepted words — plain or constrained (``NFA × marker``
+  products, :mod:`repro.core.reachability`);
+* NTA emptiness worklists (:mod:`repro.kernel.nta_kernel`);
+* the Lemma 14 content-DFA × slot-tuple hedge product
+  (:mod:`repro.core.forward`).
+
+Nodes are whatever the configuration encodes them as — by convention small
+int tuples or single packed ints produced via :class:`~repro.kernel.interning.Interner`
+— so the seen-set and parent map hash machine integers, not nested object
+tuples.  The engine records one parent edge per node, which is exactly what
+witness extraction (shortest words, counterexample hedges) needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import BudgetExceededError
+
+Node = Hashable
+Label = Hashable
+
+
+class ProductBFS:
+    """Breadth-first reachability over an implicitly defined graph.
+
+    ``run(seeds, successors)`` explores the graph induced by the
+    ``successors`` callback (yielding ``(successor, edge_label)`` pairs) in
+    FIFO order, so discovery paths are shortest paths.  ``parents`` maps
+    every visited node to ``None`` (seed) or ``(predecessor, label)``.
+
+    ``on_visit`` is called exactly once per node, at discovery time (seeds
+    included); a truthy return value stops the search and makes ``run``
+    return that node — the early-exit used by inclusion checking and
+    witness searches.  ``max_nodes`` bounds the explored space with a
+    :class:`~repro.errors.BudgetExceededError`.
+
+    The engine's state (``parents`` and the pending ``frontier``) persists
+    across calls, so incremental clients — the forward engine's fixpoint,
+    whose child tables grow between evaluations — can :meth:`push` freshly
+    enabled successors with their parent edge and :meth:`drain` again: the
+    closure over the grown graph is completed without re-exploring old
+    nodes.  One-shot clients just call :meth:`run`.
+    """
+
+    __slots__ = ("parents", "frontier", "max_nodes", "budget_message")
+
+    def __init__(
+        self,
+        max_nodes: Optional[int] = None,
+        budget_message: str = "product exploration exceeded {max_nodes} nodes",
+    ) -> None:
+        self.parents: Dict[Node, Optional[Tuple[Node, Label]]] = {}
+        self.frontier: deque = deque()
+        self.max_nodes = max_nodes
+        self.budget_message = budget_message
+
+    def push(
+        self,
+        node: Node,
+        parent: Optional[Tuple[Node, Label]] = None,
+        on_visit: Optional[Callable[[Node], bool]] = None,
+    ) -> bool:
+        """Register ``node`` (if unseen) and queue it for expansion.
+
+        Returns the truthy early-exit signal from ``on_visit``; ``False``
+        for an already-seen node.
+        """
+        parents = self.parents
+        if node in parents:
+            return False
+        parents[node] = parent
+        if self.max_nodes is not None and len(parents) > self.max_nodes:
+            raise BudgetExceededError(
+                self.budget_message.format(max_nodes=self.max_nodes)
+            )
+        if on_visit is not None and on_visit(node):
+            return True
+        self.frontier.append(node)
+        return False
+
+    def drain(
+        self,
+        successors: Callable[[Node], Iterable[Tuple[Node, Label]]],
+        on_visit: Optional[Callable[[Node], bool]] = None,
+    ) -> Optional[Node]:
+        """Expand the pending frontier to closure; return the early-exit
+        node or ``None``."""
+        parents = self.parents
+        max_nodes = self.max_nodes
+        frontier = self.frontier
+        while frontier:
+            node = frontier.popleft()
+            for successor, label in successors(node):
+                if successor in parents:
+                    continue
+                parents[successor] = (node, label)
+                if max_nodes is not None and len(parents) > max_nodes:
+                    raise BudgetExceededError(
+                        self.budget_message.format(max_nodes=max_nodes)
+                    )
+                if on_visit is not None and on_visit(successor):
+                    return successor
+                frontier.append(successor)
+        return None
+
+    def run(
+        self,
+        seeds: Iterable[Node],
+        successors: Callable[[Node], Iterable[Tuple[Node, Label]]],
+        on_visit: Optional[Callable[[Node], bool]] = None,
+    ) -> Optional[Node]:
+        """Explore from ``seeds``; return the early-exit node or ``None``."""
+        for node in seeds:
+            if self.push(node, None, on_visit):
+                return node
+        return self.drain(successors, on_visit)
+
+    def path(self, node: Node) -> List[Label]:
+        """Edge labels along the discovery path from a seed to ``node``."""
+        labels: List[Label] = []
+        current = node
+        while True:
+            step = self.parents[current]
+            if step is None:
+                break
+            current, label = step
+            labels.append(label)
+        labels.reverse()
+        return labels
+
+    def __len__(self) -> int:
+        return len(self.parents)

@@ -63,6 +63,8 @@ class DTD:
         self.alphabet: FrozenSet[str] = frozenset(symbols)
         self._nfa_cache: Dict[str, NFA] = {}
         self._dfa_cache: Dict[str, DFA] = {}
+        self._complete_cache: Dict[Tuple[str, FrozenSet[str]], DFA] = {}
+        self._productive: FrozenSet[str] | None = None
 
     @staticmethod
     def _model_symbols(model: ContentModel) -> set:
@@ -137,6 +139,8 @@ class DTD:
         clone.alphabet = self.alphabet
         clone._nfa_cache = self._nfa_cache
         clone._dfa_cache = self._dfa_cache
+        clone._complete_cache = self._complete_cache
+        clone._productive = self._productive
         return clone
 
     # ------------------------------------------------------------------
@@ -190,6 +194,22 @@ class DTD:
             dfa = self.content_nfa(symbol).determinize().minimize().renumber()
         self._dfa_cache[symbol] = dfa
         return dfa
+
+    def content_dfa_complete(self, symbol: str, alphabet: Iterable[str]) -> DFA:
+        """The content DFA completed over ``alphabet`` (cached per
+        ``(symbol, alphabet)``).
+
+        The forward engine completes every output content model over the
+        same enlarged alphabet on each run; caching here keeps the
+        completed automaton — and therefore its interned kernel form —
+        stable across engine instances.
+        """
+        key = (symbol, frozenset(alphabet))
+        cached = self._complete_cache.get(key)
+        if cached is None:
+            cached = self.content_dfa(symbol).complete(key[1])
+            self._complete_cache[key] = cached
+        return cached
 
     def content_replus(self, symbol: str) -> REPlus:
         """The content model as an RE⁺ expression (Section 5 algorithms).
@@ -245,7 +265,10 @@ class DTD:
     # Structural analyses
     # ------------------------------------------------------------------
     def productive_symbols(self) -> FrozenSet[str]:
-        """Symbols ``a`` with ``L(d, a) ≠ ∅`` (fixpoint)."""
+        """Symbols ``a`` with ``L(d, a) ≠ ∅`` (fixpoint; cached — the set is
+        start-independent and the DTD immutable)."""
+        if self._productive is not None:
+            return self._productive
         productive: set = set()
         changed = True
         while changed:
@@ -256,7 +279,8 @@ class DTD:
                 if not self.content_nfa(symbol).is_empty(productive):
                     productive.add(symbol)
                     changed = True
-        return frozenset(productive)
+        self._productive = frozenset(productive)
+        return self._productive
 
     def is_empty(self) -> bool:
         """Whether ``L(d) = ∅``."""

@@ -31,7 +31,10 @@ class DFA:
         transitions (the run dies).
     """
 
-    __slots__ = ("states", "alphabet", "transitions", "initial", "finals", "_hash")
+    __slots__ = (
+        "states", "alphabet", "transitions", "initial", "finals",
+        "_hash", "_kernel", "_nfa",
+    )
 
     def __init__(
         self,
@@ -56,12 +59,23 @@ class DFA:
             if symbol not in self.alphabet:
                 raise InvalidSchemaError(f"transition on unknown symbol {symbol!r}")
         self._hash: int | None = None
+        self._kernel = None
+        self._nfa: NFA | None = None
 
     # ------------------------------------------------------------------
     # Basic protocol
     # ------------------------------------------------------------------
     def __repr__(self) -> str:
         return f"DFA(|Q|={len(self.states)}, |Σ|={len(self.alphabet)})"
+
+    def kernel(self):
+        """The interned-integer view of this automaton (cached; the DFA is
+        immutable, so the kernel form is computed at most once)."""
+        if self._kernel is None:
+            from repro.kernel.dfa_kernel import InternedDFA
+
+            self._kernel = InternedDFA(self)
+        return self._kernel
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DFA):
@@ -136,11 +150,16 @@ class DFA:
         return DFA(nfa.states, nfa.alphabet, transitions, initial, nfa.finals)
 
     def to_nfa(self) -> NFA:
-        """The same automaton as an :class:`NFA`."""
-        table: Dict[State, Dict[Symbol, set]] = {}
-        for (src, symbol), tgt in self.transitions.items():
-            table.setdefault(src, {}).setdefault(symbol, set()).add(tgt)
-        return NFA(self.states, self.alphabet, table, {self.initial}, self.finals)
+        """The same automaton as an :class:`NFA` (cached; both classes are
+        immutable)."""
+        if self._nfa is None:
+            table: Dict[State, Dict[Symbol, set]] = {}
+            for (src, symbol), tgt in self.transitions.items():
+                table.setdefault(src, {}).setdefault(symbol, set()).add(tgt)
+            self._nfa = NFA(
+                self.states, self.alphabet, table, {self.initial}, self.finals
+            )
+        return self._nfa
 
     def map_states(self, mapping) -> "DFA":
         """Rename states through an injective ``mapping``."""
@@ -250,10 +269,17 @@ class DFA:
         return self.to_nfa().iter_words(max_length)
 
     def contains(self, other: "DFA | NFA") -> bool:
-        """Whether ``L(other) ⊆ L(self)``."""
-        other_nfa = other.to_nfa() if isinstance(other, DFA) else other
-        comp = self.complement(self.alphabet | other_nfa.alphabet)
-        return other_nfa.product(comp.to_nfa()).is_empty()
+        """Whether ``L(other) ⊆ L(self)``.
+
+        Runs on the interned kernel: a pair BFS over ``(other state, own
+        state-or-dead)`` with early exit at the first violating pair — no
+        explicit complement automaton is ever built.
+        """
+        from repro.kernel.dfa_kernel import contains_dfa, contains_nfa
+
+        if isinstance(other, DFA):
+            return contains_dfa(self, other)
+        return contains_nfa(self, other)
 
     def equivalent(self, other: "DFA") -> bool:
         """Language equivalence."""
@@ -265,38 +291,15 @@ class DFA:
         ``finals`` selects the acceptance condition: ``"both"`` for
         intersection, ``"left"``/``"right"`` to track one component, or
         ``"either"`` for union (requires both factors complete to be exact).
+
+        The reachable pair space is explored on the interned kernel; states
+        of the result are the usual pairs of original states.
         """
-        alphabet = self.alphabet & other.alphabet
-        start = (self.initial, other.initial)
-        states = {start}
-        transitions: Dict[Tuple[State, Symbol], State] = {}
-        frontier = deque([start])
-        while frontier:
-            p, q = frontier.popleft()
-            for symbol in alphabet:
-                tp = self.transitions.get((p, symbol))
-                tq = other.transitions.get((q, symbol))
-                if tp is None or tq is None:
-                    continue
-                target = (tp, tq)
-                transitions[((p, q), symbol)] = target
-                if target not in states:
-                    states.add(target)
-                    frontier.append(target)
-        if finals == "both":
-            accept = {
-                (p, q) for (p, q) in states if p in self.finals and q in other.finals
-            }
-        elif finals == "left":
-            accept = {(p, q) for (p, q) in states if p in self.finals}
-        elif finals == "right":
-            accept = {(p, q) for (p, q) in states if q in other.finals}
-        elif finals == "either":
-            accept = {
-                (p, q) for (p, q) in states if p in self.finals or q in other.finals
-            }
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown finals mode {finals!r}")
+        from repro.kernel.dfa_kernel import product_components
+
+        states, transitions, start, accept, alphabet = product_components(
+            self, other, finals
+        )
         return DFA(states, alphabet, transitions, start, accept)
 
     # ------------------------------------------------------------------
@@ -306,44 +309,13 @@ class DFA:
         """Language-minimal complete DFA (Moore partition refinement).
 
         The result is complete over the automaton's alphabet; the dead state,
-        if any, is retained only when it is reachable.
+        if any, is retained only when it is reachable.  Refinement runs on
+        the interned kernel (int block arrays instead of object dicts).
         """
-        completed = self.complete()
-        reachable = completed.to_nfa().reachable_states()
-        states = [q for q in completed.states if q in reachable]
-        symbols = sorted(completed.alphabet, key=repr)
+        from repro.kernel.dfa_kernel import minimize_components
 
-        # Initial partition: finals vs non-finals.
-        block_of: Dict[State, int] = {
-            q: (0 if q in completed.finals else 1) for q in states
-        }
-        num_blocks = len(set(block_of.values()))
-        changed = True
-        while changed:
-            changed = False
-            signatures: Dict[tuple, list] = {}
-            for q in states:
-                sig = (
-                    block_of[q],
-                    tuple(block_of[completed.transitions[(q, a)]] for a in symbols),
-                )
-                signatures.setdefault(sig, []).append(q)
-            if len(signatures) != num_blocks:
-                changed = True
-                num_blocks = len(signatures)
-                for index, group in enumerate(signatures.values()):
-                    for q in group:
-                        block_of[q] = index
-        transitions = {
-            (block_of[q], a): block_of[completed.transitions[(q, a)]]
-            for q in states
-            for a in symbols
-        }
-        finals = {block_of[q] for q in states if q in completed.finals}
+        completed = self.complete()
+        states, transitions, initial, finals = minimize_components(completed)
         return DFA(
-            set(block_of.values()),
-            completed.alphabet,
-            transitions,
-            block_of[completed.initial],
-            finals,
+            states, completed.alphabet, transitions, initial, finals
         ).renumber()

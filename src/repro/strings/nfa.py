@@ -55,7 +55,10 @@ class NFA:
         Set of accepting states.
     """
 
-    __slots__ = ("states", "alphabet", "transitions", "initial", "finals", "_hash")
+    __slots__ = (
+        "states", "alphabet", "transitions", "initial", "finals",
+        "_hash", "_kernel", "_useful",
+    )
 
     def __init__(
         self,
@@ -93,6 +96,8 @@ class NFA:
         if not self.finals <= self.states:
             raise InvalidSchemaError("final states must be states")
         self._hash: int | None = None
+        self._kernel = None
+        self._useful: FrozenSet[State] | None = None
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -102,6 +107,15 @@ class NFA:
             f"NFA(|Q|={len(self.states)}, |Σ|={len(self.alphabet)}, "
             f"|I|={len(self.initial)}, |F|={len(self.finals)})"
         )
+
+    def kernel(self):
+        """The interned-integer view of this automaton (cached; the NFA is
+        immutable, so the kernel form is computed at most once)."""
+        if self._kernel is None:
+            from repro.kernel.nfa_kernel import InternedNFA
+
+            self._kernel = InternedNFA(self)
+        return self._kernel
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, NFA):
@@ -355,9 +369,16 @@ class NFA:
 
         return not has_cycle(graph)
 
+    def useful_states(self) -> FrozenSet[State]:
+        """Reachable-and-coreachable states over the full alphabet (cached;
+        the automaton is immutable)."""
+        if self._useful is None:
+            self._useful = self.reachable_states() & self.coreachable_states()
+        return self._useful
+
     def trim(self) -> "NFA":
         """Restrict to useful (reachable and coreachable) states."""
-        useful = self.reachable_states() & self.coreachable_states()
+        useful = self.useful_states()
         table = {
             src: {
                 sym: tgts & useful

@@ -55,21 +55,15 @@ def productive_states(
     and a horizontal word ``w ∈ δ(q,a) ∩ R*`` discovered when ``q`` entered
     ``R`` (so ``w`` mentions only states added earlier — the witness DAG is
     therefore acyclic).
+
+    Runs on the interned kernel (:mod:`repro.kernel.nta_kernel`): the
+    productive set lives in per-horizontal-NFA bitmasks updated
+    incrementally, instead of the seed's whole-δ rescans (that version is
+    preserved as :func:`repro.kernel.reference.productive_states_object`).
     """
-    productive: set = set()
-    witness: Dict[State, Tuple[str, Tuple[State, ...]]] = {}
-    changed = True
-    while changed:
-        changed = False
-        for (state, symbol), nfa in nta.delta.items():
-            if state in productive:
-                continue
-            word = nfa.some_word(frozenset(productive))
-            if word is not None:
-                productive.add(state)
-                witness[state] = (symbol, word)
-                changed = True
-    return frozenset(productive), witness
+    from repro.kernel.nta_kernel import productive_states as _kernel_productive
+
+    return _kernel_productive(nta)
 
 
 def is_empty(nta: NTA) -> bool:

@@ -34,21 +34,38 @@ def hash_elimination_lift(nta: NTA, hash_symbol: str = HASH) -> NTA:
     """An NTA over ``Σ ∪ {hash_symbol}`` accepting ``{t : γ(t) ∈ L(nta)}``.
 
     ``γ`` replaces every node labeled ``hash_symbol`` by its (recursively
-    eliminated) children; trees whose root is the hash symbol are never
-    accepted (their elimination is a hedge, not a tree).
+    eliminated) children.  A tree whose root is the hash symbol is accepted
+    exactly when its elimination is a *single* tree of ``L(nta)`` (an empty
+    or multi-tree hedge is not a tree, hence never in ``L(nta)``); this is
+    handled by a virtual root context whose horizontal automaton accepts
+    precisely one final-state symbol, with its own pair states so hash
+    nodes nest below a hash root as everywhere else.
     """
     if hash_symbol in nta.alphabet:
         raise InvalidSchemaError(
             f"hash symbol {hash_symbol!r} already occurs in the alphabet"
         )
 
-    # Pair states, grouped by the owning (q, a) context.
+    # Horizontal automata per context.  The virtual root context accepts
+    # exactly the length-one words "f" with f final — its key can never
+    # collide with a real (q, a) context because a = hash_symbol is not in
+    # the alphabet.
+    root_context = ("__hash_root__", hash_symbol)
+    contexts: Dict[Tuple[State, str], NFA] = dict(nta.delta)
+    contexts[root_context] = NFA(
+        {0, 1},
+        nta.states,
+        {0: {final: {1} for final in nta.finals}},
+        {0},
+        {1},
+    )
+
+    # Pair states, grouped by the owning context.
     pair_states: Dict[Tuple[State, str], list] = {}
-    for (q, a), nfa in nta.delta.items():
-        pairs = [
-            ((q, a), s1, s2) for s1 in nfa.states for s2 in nfa.states
+    for context, nfa in contexts.items():
+        pair_states[context] = [
+            (context, s1, s2) for s1 in nfa.states for s2 in nfa.states
         ]
-        pair_states[(q, a)] = pairs
 
     all_pairs = [p for pairs in pair_states.values() for p in pairs]
     new_states = set(nta.states) | set(all_pairs)
@@ -56,7 +73,7 @@ def hash_elimination_lift(nta: NTA, hash_symbol: str = HASH) -> NTA:
     def extended(context: Tuple[State, str], initial, finals) -> NFA:
         """The horizontal NFA of ``context`` over ``Q ∪ P`` with jump
         transitions for its own pair states."""
-        base = nta.delta[context]
+        base = contexts[context]
         table: Dict[State, Dict[Hashable, set]] = {
             src: {sym: set(tgts) for sym, tgts in row.items()}
             for src, row in base.transitions.items()
@@ -75,11 +92,13 @@ def hash_elimination_lift(nta: NTA, hash_symbol: str = HASH) -> NTA:
             _, s1, s2 = pair
             delta[(pair, hash_symbol)] = extended(context, {s1}, {s2})
 
+    # A hash-rooted tree is accepted through the root pair "0 → 1": its
+    # children hedge eliminates to exactly one tree in a final state.
     return NTA(
         new_states,
         nta.alphabet | {hash_symbol},
         delta,
-        nta.finals,
+        set(nta.finals) | {(root_context, 0, 1)},
     )
 
 

@@ -23,30 +23,12 @@ def _pair_product_nfa(left: NFA, right: NFA) -> NFA:
 
     Accepts ``(u₁,v₁)…(u_n,v_n)`` iff ``left`` accepts ``u₁…u_n`` and
     ``right`` accepts ``v₁…v_n`` — the horizontal language of a product tree
-    automaton whose states are pairs.
+    automaton whose states are pairs.  The reachable pair space is explored
+    on the interned kernel.
     """
-    alphabet = {(u, v) for u in left.alphabet for v in right.alphabet}
-    initial = {(p, q) for p in left.initial for q in right.initial}
-    states = set(initial)
-    table: Dict[State, Dict[Tuple, set]] = {}
-    frontier = deque(initial)
-    while frontier:
-        pair = frontier.popleft()
-        p, q = pair
-        row_p = left.transitions.get(p, {})
-        row_q = right.transitions.get(q, {})
-        if not row_p or not row_q:
-            continue
-        for u, targets_p in row_p.items():
-            for v, targets_q in row_q.items():
-                for tp in targets_p:
-                    for tq in targets_q:
-                        target = (tp, tq)
-                        table.setdefault(pair, {}).setdefault((u, v), set()).add(target)
-                        if target not in states:
-                            states.add(target)
-                            frontier.append(target)
-    finals = {(p, q) for (p, q) in states if p in left.finals and q in right.finals}
+    from repro.kernel.nfa_kernel import pair_product_components
+
+    states, table, initial, finals, alphabet = pair_product_components(left, right)
     if not states:
         return NFA.empty_language(alphabet)
     return NFA(states, alphabet, table, initial, finals)

@@ -138,3 +138,50 @@ class TestTypecheckDelrelab:
             fast = typecheck_forward(relabeler, din, dout)
             dr = typecheck_delrelab(relabeler, din, dout)
             assert fast.typechecks == dr.typechecks, out_model
+
+
+class TestRootDeletion:
+    """Root-deleting rules whose translation is not a single tree.
+
+    Such outputs (the empty hedge, or a hedge of ≥ 2 trees) conform to no
+    tree schema; the #-elimination lift cannot express them, so
+    typecheck_delrelab uses a separate non-tree-elimination detector.
+    Differentially confirmed against the brute-force oracle.
+    """
+
+    @pytest.fixture
+    def root_deleter(self):
+        return TreeTransducer(
+            {"q"}, {"r", "x"}, "q", {("q", "r"): "q", ("q", "x"): "x"}
+        )
+
+    def _check(self, transducer, din, dout, expected):
+        from repro.core.bruteforce import typecheck_bruteforce
+
+        result = typecheck_delrelab(transducer, din, dout)
+        oracle = typecheck_bruteforce(transducer, din, dout, max_nodes=6)
+        assert result.typechecks is expected
+        assert oracle.typechecks is expected
+        return result
+
+    def test_two_tree_hedge_is_violation(self, root_deleter):
+        din = DTD({"r": "x x", "x": "ε"}, start="r")
+        dout = DTD({"x": "ε"}, start="x", alphabet=root_deleter.alphabet)
+        result = self._check(root_deleter, din, dout, False)
+        assert "non-tree hedge" in result.reason
+        assert len(result.stats["violating_output"]) == 2
+
+    def test_empty_hedge_is_violation(self, root_deleter):
+        din = DTD({"r": "ε", "x": "ε"}, start="r", alphabet={"x"})
+        dout = DTD({"x": "ε"}, start="x", alphabet=root_deleter.alphabet)
+        result = self._check(root_deleter, din, dout, False)
+        assert "non-tree hedge" in result.reason
+
+    def test_single_tree_elimination_still_checked(self, root_deleter):
+        din = DTD({"r": "x", "x": "ε"}, start="r")
+        dout_ok = DTD({"x": "ε"}, start="x", alphabet=root_deleter.alphabet)
+        dout_bad = DTD(
+            {"y": "ε"}, start="y", alphabet=root_deleter.alphabet | {"y"}
+        )
+        self._check(root_deleter, din, dout_ok, True)
+        self._check(root_deleter, din, dout_bad, False)

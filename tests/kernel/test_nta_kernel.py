@@ -1,0 +1,61 @@
+"""Differential tests: interned NTA emptiness vs the seed fixpoint, plus
+witness-validity properties the DAG construction relies on."""
+
+import random
+
+import pytest
+
+from repro.kernel import reference
+from repro.kernel.nta_kernel import productive_states as kernel_productive
+from repro.schemas.dtd import DTD
+from repro.schemas.to_nta import dtd_to_nta
+from repro.tree_automata.emptiness import is_empty, productive_states, witness_tree
+from repro.workloads.random_instances import random_dtd
+
+
+def _random_nta(seed: int):
+    rng = random.Random(seed)
+    dtd = random_dtd(rng, symbols=rng.randint(2, 4))
+    nta = dtd_to_nta(dtd)
+    if rng.random() < 0.5:
+        # Drop some final states so emptiness outcomes vary.
+        finals = {q for q in nta.finals if rng.random() < 0.5}
+        from repro.tree_automata.nta import NTA
+
+        nta = NTA(nta.states, nta.alphabet, nta.delta, finals)
+    return nta
+
+
+@pytest.mark.parametrize("seed", range(80))
+def test_productive_states_match_reference(seed):
+    nta = _random_nta(seed)
+    kernel_set, kernel_witness = kernel_productive(nta)
+    ref_set, _ref_witness = reference.productive_states_object(nta)
+    assert kernel_set == ref_set
+    assert set(kernel_witness) == set(ref_set)
+    assert is_empty(nta) == reference.nta_is_empty_object(nta)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_witnesses_are_valid_and_acyclic(seed):
+    """witness[q] = (a, w) must satisfy w ∈ δ(q, a) with every state of w
+    productive — and only states recorded *before* q (acyclicity), which is
+    what keeps the witness DAG well-founded."""
+    nta = _random_nta(seed)
+    productive, witness = productive_states(nta)
+    seen = set()
+    for state, (symbol, word) in witness.items():
+        assert nta.horizontal(state, symbol).accepts(word), (state, symbol, word)
+        assert set(word) <= productive
+        assert set(word) <= seen, f"witness for {state!r} references later states"
+        seen.add(state)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_witness_trees_are_accepted(seed):
+    nta = _random_nta(seed)
+    tree = witness_tree(nta, max_nodes=5_000)
+    if tree is None:
+        assert is_empty(nta)
+    else:
+        assert nta.accepts(tree)

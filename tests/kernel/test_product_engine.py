@@ -1,0 +1,74 @@
+"""Unit tests for the shared ProductBFS engine."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.kernel.product import ProductBFS
+
+
+def _grid_successors(width):
+    """A width×width grid graph walked right/down, labels = direction."""
+
+    def successors(node):
+        x, y = node
+        if x + 1 < width:
+            yield (x + 1, y), "right"
+        if y + 1 < width:
+            yield (x, y + 1), "down"
+
+    return successors
+
+
+def test_explores_to_closure_with_shortest_parents():
+    engine = ProductBFS()
+    engine.run([(0, 0)], _grid_successors(4))
+    assert len(engine.parents) == 16
+    # BFS discovery ⇒ the recorded path to (3, 3) has minimal length 6.
+    assert len(engine.path((3, 3))) == 6
+    assert engine.path((0, 0)) == []
+
+
+def test_early_exit_returns_hit_node():
+    engine = ProductBFS()
+    hit = engine.run(
+        [(0, 0)], _grid_successors(5), on_visit=lambda n: n == (2, 1)
+    )
+    assert hit == (2, 1)
+    assert engine.path(hit) == ["right", "right", "down"] or len(engine.path(hit)) == 3
+
+
+def test_early_exit_on_seed():
+    engine = ProductBFS()
+    hit = engine.run([(0, 0)], _grid_successors(3), on_visit=lambda n: True)
+    assert hit == (0, 0)
+
+
+def test_budget_enforced():
+    engine = ProductBFS(max_nodes=5, budget_message="boom after {max_nodes}")
+    with pytest.raises(BudgetExceededError, match="boom after 5"):
+        engine.run([(0, 0)], _grid_successors(10))
+
+
+def test_incremental_push_and_drain():
+    """The persistent-frontier mode used by the forward engine: later pushes
+    continue the same exploration without revisiting old nodes."""
+    engine = ProductBFS()
+    engine.run([(0, 0)], _grid_successors(2))
+    assert len(engine.parents) == 4
+    # Graft a new region on: (5, 5) reachable only via an explicit push.
+    assert engine.push((5, 5), ((1, 1), "jump")) is False  # no early exit
+    visited = []
+    engine.drain(lambda n: iter(()), on_visit=visited.append)
+    assert (5, 5) in engine.parents
+    assert engine.path((5, 5))[-1] == "jump"
+    # Pushing a seen node is a no-op.
+    before = dict(engine.parents)
+    engine.push((0, 0), ((5, 5), "back"))
+    assert engine.parents == before
+
+
+def test_seed_deduplication():
+    engine = ProductBFS()
+    engine.run([(0, 0), (0, 0), (1, 1)], _grid_successors(2))
+    assert engine.parents[(1, 1)] is None
+    assert len(engine.parents) == 4

@@ -177,15 +177,19 @@ class TestHashElimination:
             ("r(#(a #(a b)) b)", True),
             ("r(#(b) a)", False),
             ("r(# # #)", True),  # all hashes eliminate to ε
-            ("#(r(a))", False),  # root hash never accepted
+            # Root hashes: accepted exactly when the elimination is a
+            # *single* accepted tree.
+            ("#(r(a b))", True),
+            ("#(#(r(a b)))", True),
+            ("#(r(a b) r(a b))", False),  # eliminates to a two-tree hedge
+            ("#", False),  # eliminates to the empty hedge
+            ("#(b)", False),  # single tree, but not accepted
         ]
         for text, expected in cases:
             tree = parse_tree(text)
             assert lifted.accepts(tree) is expected, text
-            if tree.label != "#":
-                gamma = eliminate_hashes(tree)
-                assert len(gamma) == 1
-                assert base.accepts(gamma[0]) is expected
+            gamma = eliminate_hashes(tree)
+            assert (len(gamma) == 1 and base.accepts(gamma[0])) is expected, text
 
     def test_lift_rejects_existing_hash(self):
         dtd = DTD({"#": "a"}, start="#")
