@@ -8,13 +8,19 @@ against the interned kernel on the ``workloads/families.py`` scaling
 families plus DFA/NTA micro-workloads, verifies every result, and writes
 ``BENCH_kernel.json`` at the repo root.
 
+The warm-vs-cold *session* family (compiled ``Session`` batches vs fresh
+per-call pipelines, plus the registry-backed one-shot repeat) is measured
+alongside and written to ``BENCH_session.json``.
+
 Usage::
 
     python benchmarks/bench_kernel.py            # full run
     python benchmarks/bench_kernel.py --smoke    # CI guard: fails (exit 1)
                                                  # if the kernel is slower
                                                  # than the baseline on the
-                                                 # smoke family
+                                                 # smoke family, or a warm
+                                                 # session fails to beat
+                                                 # cold setup
 """
 
 from __future__ import annotations
@@ -28,18 +34,28 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.api import typecheck  # noqa: E402
 from repro.core.forward import typecheck_forward  # noqa: E402
+from repro.core.session import Session, clear_registry  # noqa: E402
 from repro.kernel import reference  # noqa: E402
 from repro.schemas.to_nta import dtd_to_nta  # noqa: E402
 from repro.strings.dfa import DFA  # noqa: E402
 from repro.tree_automata.emptiness import productive_states  # noqa: E402
-from repro.workloads.families import filtering_family, nd_bc_family  # noqa: E402
+from repro.workloads.families import (  # noqa: E402
+    filtering_family,
+    nd_bc_batch,
+    nd_bc_family,
+)
 
 SMOKE_FAMILY = ("nd_bc", 16)
 # CI guard threshold: the smoke family runs at ~2x locally; requiring only
 # ≥ 0.8x keeps the gate meaningful (a real regression drops well below)
 # without flaking on noisy shared runners.
 SMOKE_MIN_SPEEDUP = 0.8
+# Warm sessions must beat cold setup.  Local speedups on the smoke batch are
+# ~3x; 1.2x keeps the guard meaningful without flaking on shared runners.
+SESSION_SMOKE_FAMILY = (16, 6)
+SESSION_SMOKE_MIN_SPEEDUP = 1.2
 
 
 def best_of(fn, repeat: int) -> float:
@@ -153,23 +169,81 @@ def bench_nta(results, sizes, repeat: int) -> None:
         )
 
 
+def bench_session(results, sizes, repeat: int) -> None:
+    """Warm session batches vs cold per-call pipelines.
+
+    *Cold* rebuilds the schema pair (fresh DTD objects, as a fresh process
+    would) and runs the full pipeline for every transducer; *warm* compiles
+    one ``Session`` for the pair — session construction included in the
+    timed region — and serves the whole batch from it.  The ``one-shot``
+    variant times the unchanged ``typecheck()`` facade on fresh DTD objects
+    each call: the in-process registry makes repeats warm transparently.
+    """
+    for n, k in sizes:
+        transducers, _, _, expected = nd_bc_batch(n, k)
+
+        def cold():
+            for transducer in transducers:
+                _, din, dout, _ = nd_bc_family(n)
+                result = typecheck_forward(transducer, din, dout)
+                assert result.typechecks == expected
+
+        def warm():
+            _, din, dout, _ = nd_bc_family(n)
+            session = Session(din, dout)
+            for result in session.typecheck_many(transducers, method="forward"):
+                assert result.typechecks == expected
+
+        def one_shot_registry():
+            clear_registry()
+            for transducer in transducers:
+                _, din, dout, _ = nd_bc_family(n)
+                result = typecheck(transducer, din, dout, method="forward")
+                assert result.typechecks == expected
+
+        cold_s = best_of(cold, repeat)
+        warm_s = best_of(warm, repeat)
+        registry_s = best_of(one_shot_registry, repeat)
+        results.append(
+            {
+                "group": "session",
+                "name": f"nd_bc_batch(n={n}, k={k})",
+                "family": "nd_bc_batch",
+                "n": n,
+                "k": k,
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "one_shot_registry_s": registry_s,
+                "per_call_cold_ms": cold_s / k * 1e3,
+                "per_call_warm_ms": warm_s / k * 1e3,
+                "speedup": cold_s / warm_s,
+                "one_shot_registry_speedup": cold_s / registry_s,
+            }
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="small sizes; exit 1 if the kernel is slower "
-                             "than the baseline on the smoke family")
+                             "than the baseline on the smoke family or a "
+                             "warm session fails to beat cold setup")
     parser.add_argument("--repeat", type=int, default=None,
                         help="timing repetitions (default: 5, smoke: 7)")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_kernel.json")
+    parser.add_argument("--output-session", type=Path,
+                        default=REPO_ROOT / "BENCH_session.json")
     args = parser.parse_args(argv)
     repeat = args.repeat or (7 if args.smoke else 5)
 
     results: list = []
+    session_results: list = []
     if args.smoke:
         bench_forward(results, [("nd_bc", nd_bc_family, SMOKE_FAMILY[1])], repeat)
         bench_dfa(results, [16], repeat)
         bench_nta(results, [32], repeat)
+        bench_session(session_results, [SESSION_SMOKE_FAMILY], repeat)
     else:
         bench_forward(
             results,
@@ -184,6 +258,9 @@ def main(argv=None) -> int:
         )
         bench_dfa(results, [16, 48, 96], repeat)
         bench_nta(results, [32, 96, 256], repeat)
+        bench_session(
+            session_results, [(16, 6), (32, 12), (64, 8)], repeat
+        )
 
     forward = [r for r in results if r["group"] == "forward"]
     largest = max(forward, key=lambda r: (r["n"], r["baseline_s"]))
@@ -196,18 +273,39 @@ def main(argv=None) -> int:
     }
     args.output.write_text(json.dumps(summary, indent=2) + "\n")
 
-    width = max(len(r["name"]) for r in results)
+    largest_session = max(session_results, key=lambda r: (r["n"], r["cold_s"]))
+    session_summary = {
+        "mode": "smoke" if args.smoke else "full",
+        "repeat": repeat,
+        "largest_batch": largest_session["name"],
+        "largest_batch_warm_speedup": largest_session["speedup"],
+        "benchmarks": session_results,
+    }
+    args.output_session.write_text(json.dumps(session_summary, indent=2) + "\n")
+
+    width = max(len(r["name"]) for r in results + session_results)
     for r in results:
         print(
             f"{r['name']:<{width}}  baseline {r['baseline_s'] * 1e3:8.2f} ms"
             f"  kernel {r['kernel_s'] * 1e3:8.2f} ms"
             f"  speedup {r['speedup']:6.2f}x"
         )
+    for r in session_results:
+        print(
+            f"{r['name']:<{width}}  cold     {r['cold_s'] * 1e3:8.2f} ms"
+            f"  warm   {r['warm_s'] * 1e3:8.2f} ms"
+            f"  speedup {r['speedup']:6.2f}x"
+            f"  (one-shot registry {r['one_shot_registry_speedup']:.2f}x)"
+        )
     print(f"\nwrote {args.output} "
           f"(largest forward bench: {largest['name']} "
           f"at {largest['speedup']:.2f}x)")
+    print(f"wrote {args.output_session} "
+          f"(largest batch: {largest_session['name']} warm at "
+          f"{largest_session['speedup']:.2f}x over cold)")
 
     if args.smoke:
+        failed = False
         smoke = next(r for r in forward if r["n"] == SMOKE_FAMILY[1])
         if smoke["speedup"] < SMOKE_MIN_SPEEDUP:
             print(
@@ -218,6 +316,20 @@ def main(argv=None) -> int:
                 f"{smoke['speedup']:.2f}x < {SMOKE_MIN_SPEEDUP}x)",
                 file=sys.stderr,
             )
+            failed = True
+        session_smoke = session_results[0]
+        if session_smoke["speedup"] < SESSION_SMOKE_MIN_SPEEDUP:
+            print(
+                f"SMOKE FAILURE: warm session does not beat cold setup on "
+                f"{session_smoke['name']} "
+                f"({session_smoke['warm_s'] * 1e3:.2f} ms vs "
+                f"{session_smoke['cold_s'] * 1e3:.2f} ms; speedup "
+                f"{session_smoke['speedup']:.2f}x < "
+                f"{SESSION_SMOKE_MIN_SPEEDUP}x)",
+                file=sys.stderr,
+            )
+            failed = True
+        if failed:
             return 1
     return 0
 

@@ -9,26 +9,41 @@ with XPath selectors, and — on top — the paper's sound-and-complete
 typechecking algorithms with counterexample generation, plus instance
 generators for every hardness reduction.
 
-Quickstart::
+Quickstart — compile the schema pair once, then typecheck against it::
 
-    from repro import DTD, TreeTransducer, typecheck
+    from repro import DTD, TreeTransducer
+    import repro
 
     din = DTD({"book": "title author+ chapter+",
                "chapter": "title intro section+",
                "section": "title paragraph+ section*"}, start="book")
+    dout = DTD({"book": "title (chapter title*)*"}, start="book")
+
+    session = repro.compile(din, dout)   # warm kernel for the pair
+
     toc = TreeTransducer(
         states={"q"}, alphabet=din.alphabet | {"book"}, initial="q",
         rules={("q", "book"): "book(q)",
                ("q", "chapter"): "chapter q",
                ("q", "title"): "title",
                ("q", "section"): "q"})
-    dout = DTD({"book": "title (chapter title*)*"}, start="book")
-    result = typecheck(toc, din, dout)
+    result = session.typecheck(toc)
     print(result.typechecks, result.counterexample)
+
+    # Many transducers against the same warm pair (the server shape):
+    results = session.typecheck_many([toc, toc])
+
+The one-shot form still works — ``typecheck(T, din, dout)`` — and is now a
+thin wrapper over a registry of compiled sessions keyed by schema content
+hashes, so repeated one-shot calls against equal schemas skip all setup.
+For cross-process reuse pass ``cache_dir=...`` to :func:`repro.compile`
+(see :mod:`repro.cache`).
 """
 
 from repro.core import (
+    Session,
     TypecheckResult,
+    compile,
     counterexample_nta,
     typecheck,
     typecheck_bruteforce,
@@ -44,17 +59,19 @@ from repro.transducers import TreeTransducer, analyze, to_xslt
 from repro.trees import Tree, parse_hedge, parse_tree
 from repro.tree_automata import NTA
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DTD",
     "DFA",
     "NFA",
     "NTA",
+    "Session",
     "Tree",
     "TreeTransducer",
     "TypecheckResult",
     "analyze",
+    "compile",
     "counterexample_nta",
     "dtd_to_dtac",
     "dtd_to_nta",

@@ -1,6 +1,6 @@
-"""Command-line interface: ``python -m repro <spec.py-like file>``.
+"""Command-line interface: ``python -m repro [options] <instance> ...``.
 
-The CLI consumes a simple instance file with three sections separated by
+The CLI consumes simple instance files with three sections separated by
 lines of ``---``:
 
 1. the input DTD: first line ``start <symbol>``, then rules ``a -> regex``;
@@ -24,19 +24,36 @@ Example (the paper's Example 10/11)::
     start book
     book -> title (chapter title+)*
 
-Exit status 0 = typechecks, 1 = fails (a counterexample is printed),
-2 = usage or class error.
+Options::
+
+    --batch            per-instance report lines prefixed by the file name,
+                       plus a summary (implied when several files are given)
+    --method METHOD    algorithm override: auto (default), forward, replus,
+                       replus-witnesses, delrelab, bruteforce
+    --cache-dir DIR    persist/reuse compiled schema artifacts in DIR
+                       (see repro.cache)
+
+Several instance files may be given; all instances sharing a schema pair
+are checked against one warm compiled session (``repro.compile``), so the
+schema-side work is done once per *distinct* pair, not once per file.
+
+Exit status 0 = every instance typechecks, 1 = at least one fails (a
+counterexample is printed), 2 = usage error or any instance errored.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.schemas.dtd import DTD
 from repro.transducers.transducer import TreeTransducer
-from repro.core.api import typecheck
+from repro.core.session import compile as compile_session
+
+_METHODS = (
+    "auto", "forward", "replus", "replus-witnesses", "delrelab", "bruteforce"
+)
 
 
 def parse_dtd_section(lines: List[str]) -> DTD:
@@ -102,26 +119,103 @@ def load_instance(text: str):
     return transducer, din, dout
 
 
+def _parse_args(argv: List[str]):
+    """Manual flag parsing (keeps the seed's exit-code contract: usage
+    problems print the module docstring and return 2)."""
+    files: List[str] = []
+    batch = False
+    method = "auto"
+    cache_dir: Optional[str] = None
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg in ("-h", "--help"):
+            return None
+        if arg == "--batch":
+            batch = True
+        elif arg == "--method":
+            index += 1
+            if index >= len(argv) or argv[index] not in _METHODS:
+                return None
+            method = argv[index]
+        elif arg == "--cache-dir":
+            index += 1
+            if index >= len(argv):
+                return None
+            cache_dir = argv[index]
+        elif arg.startswith("-"):
+            return None
+        else:
+            files.append(arg)
+        index += 1
+    if not files:
+        return None
+    return files, batch or len(files) > 1, method, cache_dir
+
+
+def _check_one(name: str, method: str, cache_dir: Optional[str]):
+    """Load and typecheck one instance file against a (shared) session."""
+    with open(name, encoding="utf-8") as handle:
+        transducer, din, dout = load_instance(handle.read())
+    # The registry inside compile() hands back one warm session per
+    # distinct (din, dout) content hash, so schema artifacts are compiled
+    # once per pair across the whole batch.
+    session = compile_session(din, dout, eager=False, cache_dir=cache_dir)
+    return session, session.typecheck(transducer, method=method)
+
+
 def main(argv: List[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+    parsed = _parse_args(argv)
+    if parsed is None:
         print(__doc__)
         return 2
-    try:
-        with open(argv[0], encoding="utf-8") as handle:
-            transducer, din, dout = load_instance(handle.read())
-        result = typecheck(transducer, din, dout)
-    except (ReproError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    files, batch, method, cache_dir = parsed
+
+    if not batch:
+        # Single-instance mode: the seed's exact output contract.
+        try:
+            _, result = _check_one(files[0], method, cache_dir)
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if result.typechecks:
+            print(f"TYPECHECKS ({result.algorithm})")
+            return 0
+        print(f"FAILS ({result.algorithm}): {result.reason}")
+        if result.counterexample is not None:
+            print(f"counterexample: {result.counterexample}")
+            print(f"its translation: {result.output}")
+        return 1
+
+    passed = failed = errored = 0
+    sessions = set()  # content-hash keys, stable across registry eviction
+    for name in files:
+        try:
+            session, result = _check_one(name, method, cache_dir)
+        except (ReproError, OSError) as exc:
+            print(f"{name}: ERROR: {exc}", file=sys.stderr)
+            errored += 1
+            continue
+        sessions.add(session.key)
+        if result.typechecks:
+            print(f"{name}: TYPECHECKS ({result.algorithm})")
+            passed += 1
+        else:
+            print(f"{name}: FAILS ({result.algorithm}): {result.reason}")
+            if result.counterexample is not None:
+                print(f"{name}: counterexample: {result.counterexample}")
+                print(f"{name}: its translation: {result.output}")
+            failed += 1
+    total = len(files)
+    print(
+        f"checked {total} instance{'s' if total != 1 else ''}: "
+        f"{passed} typechecked, {failed} failed, {errored} errored "
+        f"({len(sessions)} schema pair{'s' if len(sessions) != 1 else ''} compiled)"
+    )
+    if errored:
         return 2
-    if result.typechecks:
-        print(f"TYPECHECKS ({result.algorithm})")
-        return 0
-    print(f"FAILS ({result.algorithm}): {result.reason}")
-    if result.counterexample is not None:
-        print(f"counterexample: {result.counterexample}")
-        print(f"its translation: {result.output}")
-    return 1
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

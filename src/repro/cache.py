@@ -1,0 +1,191 @@
+"""On-disk artifact cache for compiled typechecking sessions.
+
+The second level of the compiled-session cache (the first is the in-process
+registry in :mod:`repro.core.session`): pickled schema-side kernel
+artifacts, keyed by the same schema/option *content hashes*, so a fresh
+process pointed at a populated cache directory skips schema compilation
+entirely::
+
+    session = repro.compile(din, dout, cache_dir="/var/cache/repro")
+    session.stats["source"]   # "artifact-cache" on a hit, "fresh" otherwise
+
+Layout: one ``<key>.session.pkl`` file per ``(sin, sout, options)`` triple,
+where ``<key>`` is the SHA-256 of the schema content hashes, the options
+fingerprint and the versioning pins.  Files are written atomically
+(temp file + rename), so concurrent writers at worst both do the work once.
+
+Versioned invalidation: the key bakes in the library version and the
+cache/kernel format numbers, and every blob carries a header that is
+re-checked on load — a stale or foreign file is treated as a miss, never an
+error.  Blobs are loaded with :mod:`pickle`: point ``cache_dir`` only at
+directories your own processes write (the artifact-cache use case), never
+at untrusted data.
+
+The default directory honors the ``REPRO_CACHE_DIR`` environment variable
+and falls back to ``~/.cache/repro-typecheck``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro import __version__
+from repro.core.session import Session, schema_fingerprint, session_key
+from repro.kernel import serialize
+from repro.util import stable_digest
+
+#: Bump when the artifact payload layout changes shape.
+CACHE_FORMAT = 1
+
+ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory used when none is given explicitly."""
+    configured = os.environ.get(ENV_VAR)
+    if configured:
+        return Path(configured)
+    return Path.home() / ".cache" / "repro-typecheck"
+
+
+def artifact_key(sin, sout, options: Dict[str, object]) -> str:
+    """The content-hash key of a ``(sin, sout, options)`` triple.
+
+    Includes the library version and both format numbers, so upgrading the
+    library (or the kernel layout) invalidates every old artifact by
+    construction — old files simply stop being addressed.
+    """
+    sin_fp, sout_fp, options_fp = session_key(sin, sout, options)
+    return stable_digest(
+        "session-artifact",
+        sin_fp,
+        sout_fp,
+        options_fp,
+        f"cache-format:{CACHE_FORMAT}",
+        f"kernel-format:{serialize.KERNEL_FORMAT}",
+        f"repro:{__version__}",
+    )
+
+
+def artifact_path(cache_dir, key: str) -> Path:
+    return Path(cache_dir) / f"{key}.session.pkl"
+
+
+def save_session(session: Session, cache_dir=None) -> Path:
+    """Persist a session's schema-side artifacts; returns the file path."""
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    key = artifact_key(session.sin, session.sout, session.options)
+    payload = {
+        "cache_format": CACHE_FORMAT,
+        "version": __version__,
+        "key": key,
+        "artifacts": session.export_artifacts(),
+    }
+    blob = serialize.dumps(payload)
+    path = artifact_path(directory, key)
+    # Atomic publish: a reader only ever sees complete files.
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def ensure_saved(session: Session, cache_dir=None) -> Path:
+    """Persist the session's artifacts unless the file already exists.
+
+    The no-op path is what long-lived servers hit on every call after the
+    first; a stale key (version bump, changed schemas) simply addresses a
+    different file, so existence is the only check needed.
+    """
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    key = artifact_key(session.sin, session.sout, session.options)
+    path = artifact_path(cache_dir, key)
+    if path.exists():
+        return path
+    return save_session(session, cache_dir=cache_dir)
+
+
+def load_session(
+    sin,
+    sout,
+    *,
+    options: Dict[str, object],
+    cache_dir=None,
+) -> Optional[Session]:
+    """Rebuild a warm session from the cache; ``None`` on any miss.
+
+    A miss is silent by design — a stale format, a version bump, a torn
+    file or a foreign blob all mean "compile fresh", never an exception.
+    """
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    key = artifact_key(sin, sout, options)
+    path = artifact_path(cache_dir, key)
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        return None
+    payload = serialize.loads(blob)
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("cache_format") != CACHE_FORMAT:
+        return None
+    if payload.get("version") != __version__:
+        return None
+    if payload.get("key") != key:
+        return None
+    artifacts = payload.get("artifacts")
+    if not isinstance(artifacts, dict):
+        return None
+    try:
+        if schema_fingerprint(artifacts["sin"]) != schema_fingerprint(sin):
+            return None
+        if schema_fingerprint(artifacts["sout"]) != schema_fingerprint(sout):
+            return None
+        return Session.from_artifacts(
+            artifacts,
+            use_kernel=bool(options.get("use_kernel", True)),
+            max_product_nodes=int(options.get("max_product_nodes", 500_000)),
+        )
+    except Exception:
+        return None
+
+
+def clear(cache_dir=None) -> int:
+    """Delete every session artifact in ``cache_dir``; returns the count.
+
+    Also sweeps ``*.tmp`` orphans left by a writer killed between
+    ``mkstemp`` and the atomic rename (orphans are not counted).
+    """
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    directory = Path(cache_dir)
+    removed = 0
+    if directory.is_dir():
+        for path in directory.glob("*.session.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in directory.glob("*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    return removed

@@ -15,26 +15,40 @@
   ``TC[T_d,c, DTD(RE+)]`` (Theorem 37): the grammar route and the
   two-witness ``t_min``/``t_vast`` route on DAGs;
 * :mod:`~repro.core.bruteforce` — the enumeration oracle used in tests;
-* :mod:`~repro.core.api` — one-call dispatcher.
+* :mod:`~repro.core.session` — compiled sessions: warm schema pairs, batch
+  typechecking, the in-process session registry;
+* :mod:`~repro.core.api` — one-call dispatcher (a facade over sessions).
 """
 
 from repro.core.problem import TypecheckResult
-from repro.core.forward import typecheck_forward
+from repro.core.forward import ForwardSchema, typecheck_forward
 from repro.core.cex_nta import counterexample_nta
 from repro.core.almost_always import typechecks_almost_always
-from repro.core.delrelab import typecheck_delrelab
-from repro.core.replus import typecheck_replus, typecheck_replus_witnesses
+from repro.core.delrelab import DelrelabSchema, typecheck_delrelab
+from repro.core.replus import (
+    ReplusSchema,
+    typecheck_replus,
+    typecheck_replus_witnesses,
+)
 from repro.core.bruteforce import typecheck_bruteforce
+from repro.core.session import Session, clear_registry, compile, registry_info
 from repro.core.api import typecheck
 
 __all__ = [
+    "DelrelabSchema",
+    "ForwardSchema",
+    "ReplusSchema",
+    "Session",
     "TypecheckResult",
+    "clear_registry",
+    "compile",
+    "counterexample_nta",
+    "registry_info",
     "typecheck",
-    "typecheck_forward",
+    "typecheck_bruteforce",
     "typecheck_delrelab",
+    "typecheck_forward",
     "typecheck_replus",
     "typecheck_replus_witnesses",
-    "typecheck_bruteforce",
-    "counterexample_nta",
     "typechecks_almost_always",
 ]

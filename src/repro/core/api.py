@@ -9,20 +9,27 @@
 * anything else → a :class:`~repro.errors.ClassViolationError` explaining
   which frontier was crossed (that is the paper's message: outside these
   classes, complete typechecking is provably intractable).
+
+Since the compiled-session redesign this module is a thin facade over
+:mod:`repro.core.session`: every call resolves the schema pair through the
+in-process registry (keyed by content hashes), so repeated calls against
+equal schemas — even freshly constructed ones — transparently reuse a warm
+:class:`~repro.core.session.Session` and skip all schema compilation.  Hold
+a session yourself (``repro.compile(sin, sout)``) when checking many
+transducers against one pair.
+
+Unknown per-call options now raise a clear :class:`TypeError` naming the
+offending option instead of being forwarded blindly into the per-method
+functions.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.errors import ClassViolationError
-from repro.core.delrelab import typecheck_delrelab
-from repro.core.forward import typecheck_forward
 from repro.core.problem import TypecheckResult
-from repro.core.replus import typecheck_replus, typecheck_replus_witnesses
-from repro.core.bruteforce import typecheck_bruteforce
+from repro.core.session import compile as compile_session
 from repro.schemas.dtd import DTD
-from repro.transducers.analysis import analyze
 from repro.transducers.transducer import TreeTransducer
 from repro.tree_automata.nta import NTA
 
@@ -41,51 +48,19 @@ def typecheck(
 
     ``method``: ``"auto"`` (default), ``"forward"``, ``"replus"``,
     ``"replus-witnesses"``, ``"delrelab"`` or ``"bruteforce"``.
+
+    The signature and result semantics are unchanged from the seed API; the
+    call is now served by a registry-cached compiled session, so repeated
+    calls with equal schemas skip schema-side setup.
     """
-    if method == "forward":
-        return typecheck_forward(transducer, _dtd(sin), _dtd(sout), max_tuple, **kwargs)
-    if method == "replus":
-        return typecheck_replus(transducer, _dtd(sin), _dtd(sout), **kwargs)
-    if method == "replus-witnesses":
-        return typecheck_replus_witnesses(transducer, _dtd(sin), _dtd(sout), **kwargs)
-    if method == "delrelab":
-        return typecheck_delrelab(transducer, sin, sout, **kwargs)
-    if method == "bruteforce":
-        return typecheck_bruteforce(transducer, _dtd(sin), _dtd(sout), **kwargs)
-    if method != "auto":
-        raise ValueError(f"unknown method {method!r}")
-
-    dtd_schemas = isinstance(sin, DTD) and isinstance(sout, DTD)
-    if dtd_schemas and sin.kind == "RE+" and sout.kind == "RE+":
-        return typecheck_replus(transducer, sin, sout, **kwargs)
-
-    plain = transducer
-    if transducer.uses_calls():
-        from repro.xpath.compile import compile_calls
-
-        plain = compile_calls(transducer)
-    analysis = analyze(plain)
-
-    if dtd_schemas and (analysis.in_trac or max_tuple is not None):
-        return typecheck_forward(plain, sin, sout, max_tuple, **kwargs)
-    if analysis.is_del_relab:
-        return typecheck_delrelab(plain, sin, sout, **kwargs)
-    raise ClassViolationError(
-        "instance crosses the tractability frontier: the transducer has "
-        f"copying width {analysis.copying_width} and "
-        f"{'unbounded' if analysis.deletion_path_width is None else analysis.deletion_path_width} "
-        "deletion path width, and the schemas are "
-        f"{type(sin).__name__}/{type(sout).__name__}. "
-        "Options: restrict the transducer (Theorem 15/20), use DTD(RE+) "
-        "schemas (Theorem 37), or pass max_tuple for a best-effort "
-        "(possibly exponential) run of the forward engine."
+    # A per-call ``max_product_nodes`` kwarg stays in ``kwargs`` and is
+    # forwarded below — it must never become the registry-shared session's
+    # default, or one aborted low-budget call would poison every later
+    # plain call on the same schemas.
+    session = compile_session(
+        sin,
+        sout,
+        use_kernel=bool(kwargs.get("use_kernel", True)),
+        eager=False,
     )
-
-
-def _dtd(schema: Schema) -> DTD:
-    if not isinstance(schema, DTD):
-        raise ClassViolationError(
-            "this method needs DTD schemas (tree automata are supported by "
-            "method='delrelab')"
-        )
-    return schema
+    return session.typecheck(transducer, method=method, max_tuple=max_tuple, **kwargs)

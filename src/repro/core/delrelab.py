@@ -73,14 +73,84 @@ def _as_output_dtac(schema: Schema, check: bool) -> NTA:
     return schema
 
 
+class DelrelabSchema:
+    """Per-``(ain, aout)`` compiled artifacts of the Theorem 20 pipeline.
+
+    Owns the schema-side constructions the pipeline otherwise redoes per
+    call: the DTD→NTA / DTD→DTAc conversions (with the output-class check
+    run exactly once), the productive-state fixpoint of the input
+    automaton, and — per placeholder symbol — the complemented output
+    automaton with its #-elimination lift.  A warm session shares one
+    instance across transducers; standalone calls build a private one.
+    """
+
+    def __init__(self, ain: Schema, aout: Schema, check_output_class: bool = True) -> None:
+        self.ain = ain
+        self.aout = aout
+        self.check_output_class = check_output_class
+        self.input_nta = _as_input_nta(ain)
+        self.output_dtac = _as_output_dtac(aout, check_output_class)
+        self._productive = None
+        self._complement: Optional[NTA] = None
+        self._lift: dict = {}
+        self.compiled = False
+
+    def productive_witness(self):
+        """``(productive states, witness)`` of the input NTA (memoized)."""
+        if self._productive is None:
+            from repro.tree_automata.emptiness import productive_states
+
+            self._productive = productive_states(self.input_nta)
+        return self._productive
+
+    def lifted_complement(self, hash_symbol: str) -> NTA:
+        """``B_out`` of Theorem 20: the #-elimination lift of the
+        complemented output automaton.
+
+        The complement is symbol-independent and memoized once; only the
+        lift is per placeholder symbol (a transducer whose alphabet forces
+        a fresh symbol pays the lift, never the complement again).
+        """
+        cached = self._lift.get(hash_symbol)
+        if cached is None:
+            if self._complement is None:
+                self._complement = complement_dtac(self.output_dtac, check=False)
+            cached = hash_elimination_lift(self._complement, hash_symbol)
+            self._lift[hash_symbol] = cached
+        return cached
+
+    def free_hash_symbol(self, *alphabets) -> str:
+        """A placeholder symbol foreign to both schema alphabets and every
+        extra alphabet given (the lift requires it to be fresh)."""
+        hash_symbol = HASH
+        while (
+            hash_symbol in self.input_nta.alphabet
+            or hash_symbol in self.output_dtac.alphabet
+            or any(hash_symbol in alphabet for alphabet in alphabets)
+        ):
+            hash_symbol += "#"
+        return hash_symbol
+
+    def warm(self) -> "DelrelabSchema":
+        """Eagerly run the conversions, fixpoint and default-# lift."""
+        if self.compiled:
+            return self
+        self.productive_witness()
+        self.lifted_complement(self.free_hash_symbol())
+        self.compiled = True
+        return self
+
+
 def _roots_without_initial_rule(
-    transducer: TreeTransducer, ain: NTA
+    transducer: TreeTransducer, ain: NTA, productive_witness=None
 ) -> Optional[str]:
     """A root symbol realizable by ``ain`` for which ``T`` has no initial
     rule, or ``None``."""
     from repro.tree_automata.emptiness import productive_states
 
-    productive, witness = productive_states(ain)
+    if productive_witness is None:
+        productive_witness = productive_states(ain)
+    productive, witness = productive_witness
     for state in sorted(productive & ain.finals, key=repr):
         symbol, _ = witness[state]
         if (transducer.initial, symbol) not in transducer.rules:
@@ -158,6 +228,7 @@ def typecheck_delrelab(
     ain: Schema,
     aout: Schema,
     check_output_class: bool = True,
+    schema: Optional[DelrelabSchema] = None,
 ) -> TypecheckResult:
     """PTIME typechecking for ``TC[T_del-relab, DTAc(DFA)]`` (Theorem 20).
 
@@ -166,6 +237,10 @@ def typecheck_delrelab(
     *output-side* witness: a tree ``t' ∈ T'(L(A_in))`` with
     ``γ(t') ∉ L(A_out)`` (stats key ``"violating_output"``); input-side
     counterexamples for DTD schemas are available via the forward engine.
+
+    ``schema`` is a :class:`DelrelabSchema` compiled for exactly these
+    schema objects (a warm session passes its own; omitted, one is built
+    here — including the class checks, as before).
     """
     analysis = analyze(transducer)
     if not analysis.is_del_relab:
@@ -173,11 +248,14 @@ def typecheck_delrelab(
             "transducer has an rhs with more than one state (not T_del-relab)"
         )
 
-    input_nta = _as_input_nta(ain)
-    output_dtac = _as_output_dtac(aout, check_output_class)
+    if schema is None:
+        schema = DelrelabSchema(ain, aout, check_output_class)
+    input_nta = schema.input_nta
     stats = {"input_states": len(input_nta.states)}
 
-    bad_root = _roots_without_initial_rule(transducer, input_nta)
+    bad_root = _roots_without_initial_rule(
+        transducer, input_nta, schema.productive_witness()
+    )
     if bad_root is not None:
         witness = _witness_rooted(input_nta, bad_root)
         return TypecheckResult(
@@ -191,13 +269,13 @@ def typecheck_delrelab(
             stats=stats,
         )
 
-    hash_symbol = HASH
-    while hash_symbol in transducer.alphabet or hash_symbol in input_nta.alphabet:
-        hash_symbol += "#"
+    # Foreign to the transducer's alphabet too (the lift additionally
+    # requires freshness w.r.t. the output automaton — the seed raised an
+    # InvalidSchemaError when '#' occurred there).
+    hash_symbol = schema.free_hash_symbol(transducer.alphabet)
     wrapped = wrap_deleting_states(transducer, hash_symbol)
     b_in = image_nta(input_nta, wrapped)
-    complement = complement_dtac(output_dtac, check=False)
-    b_out = hash_elimination_lift(complement, hash_symbol)
+    b_out = schema.lifted_complement(hash_symbol)
     product = intersect(b_in, b_out)
     stats["product_states"] = len(product.states)
 

@@ -164,6 +164,142 @@ class HedgeEntry:
         return self._seeds
 
 
+class ForwardSchema:
+    """Per-``(din, dout)`` compiled artifacts of the forward engine.
+
+    Everything Lemma 14 derives from the *schemas alone* lives here, so a
+    warm :class:`~repro.core.session.Session` can compile it once and share
+    it across every transducer checked against the same pair:
+
+    * the productive-symbol set and the reachability word/usable caches
+      (:func:`repro.core.reachability.reachable_pairs`);
+    * completed output content DFAs (delegated to the DTD-level caches) and
+      the universal DFAs backing σ-independent cells;
+    * interned input content DFAs with useful-state masks and live child
+      symbols;
+    * the *shared* fixpoint cells with an empty behavior tuple — their
+      least fixpoint mentions no transducer state, so the persistent
+      :class:`~repro.kernel.product.ProductBFS` graphs inside them are
+      reusable across engines (kernel path only; the object baseline stays
+      per-engine and per-σ, faithful to the seed).
+
+    Standalone :func:`typecheck_forward` calls build a private instance, so
+    one-shot behavior is unchanged.
+    """
+
+    def __init__(self, din: DTD, dout: DTD) -> None:
+        self.din = din
+        self.dout = dout
+        self.productive = din.productive_symbols()
+        self.base_out_alphabet = frozenset(din.alphabet | dout.alphabet)
+        # Reachability caches (schema-only, see core.reachability).
+        self.usable_cache: Dict[str, frozenset] = {}
+        self.word_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        # Universal output DFAs for σ-independent cells, one per alphabet.
+        self._universal: Dict[frozenset, DFA] = {}
+        # Input content DFA caches (kernel and object forms).
+        self._in_kern: Dict[str, Tuple] = {}
+        self._in_useful: Dict[str, Tuple[DFA, frozenset]] = {}
+        # Shared σ-independent (empty-P) fixpoint cells:
+        # hedge key -> HedgeEntry; tree key -> (vals, int, order, index).
+        self.shared_hedge: Dict[TupleKey, HedgeEntry] = {}
+        self.shared_tree: Dict[TupleKey, Tuple[Dict, Dict, List, Dict]] = {}
+        self.compiled = False
+
+    def universal_dfa(self, alphabet: frozenset) -> DFA:
+        dfa = self._universal.get(alphabet)
+        if dfa is None:
+            dfa = DFA.universal(alphabet)
+            self._universal[alphabet] = dfa
+        return dfa
+
+    def out_dfa(self, sigma: Optional[str], out_alphabet: frozenset) -> DFA:
+        """The completed output content DFA of σ (universal for ``None``)."""
+        if sigma is None:
+            # σ-independent cells (empty behavior tuple) never consult the
+            # output DFA; a universal one keeps the code paths total.
+            return self.universal_dfa(out_alphabet)
+        return self.dout.content_dfa_complete(sigma, out_alphabet)
+
+    def in_kernel_info(self, a: str):
+        """Interned input content DFA of ``a`` with its useful-state mask
+        and the usable child symbols as ``(symbol, symbol_index)`` pairs."""
+        cached = self._in_kern.get(a)
+        if cached is None:
+            dfa_in, useful = self.in_dfa_useful(a)
+            idfa = dfa_in.kernel()
+            # The content DFA (and hence its kernel) is cached on the DTD,
+            # so this memo survives across schema contexts as well.
+            aux_key = ("forward_in", self.productive)
+            cached = idfa.aux.get(aux_key)
+            if cached is None:
+                useful_mask = idfa.states.mask(useful)
+                children = sorted(
+                    {
+                        c
+                        for (state, c), target in dfa_in.transitions.items()
+                        if c in self.productive
+                        and state in useful
+                        and target in useful
+                    },
+                    key=repr,
+                )
+                child_syms = tuple((c, idfa.symbols.index(c)) for c in children)
+                cached = (idfa, useful_mask, child_syms)
+                idfa.aux[aux_key] = cached
+            self._in_kern[a] = cached
+        return cached
+
+    def in_dfa_useful(self, a: str):
+        """The input content DFA of ``a`` with its useful-state set (pruning
+        the completion sink keeps the key fan-out at the *live* alphabet)."""
+        cached = self._in_useful.get(a)
+        if cached is None:
+            dfa_in = self.din.content_dfa(a)
+            useful = dfa_in.to_nfa().useful_states()
+            cached = (dfa_in, useful)
+            self._in_useful[a] = cached
+        return cached
+
+    def reset_shared(self) -> None:
+        """Drop the shared fixpoint cells (they rebuild on next use).
+
+        Called when an engine aborts mid-fixpoint (budget exceeded,
+        interrupt): the delta counters inside a shared cell may then be
+        ahead of the edges actually pushed, and reusing such a cell would
+        silently under-approximate the fixpoint.  The cells are cheap to
+        rebuild; every other artifact in the schema context is append-only
+        and stays valid.
+        """
+        self.shared_hedge.clear()
+        self.shared_tree.clear()
+
+    def warm(self) -> "ForwardSchema":
+        """Eagerly compile every schema-derived artifact.
+
+        After this, typechecking a transducer whose alphabet stays within
+        ``din ∪ dout`` performs no schema-side compilation at all: content
+        DFAs, completions, interned kernels and useful-state masks are all
+        cache hits.
+        """
+        if self.compiled:
+            return self
+        from repro.kernel.serialize import warm_kernels
+
+        automata = []
+        for a in sorted(self.din.alphabet, key=repr):
+            self.din.content_nfa(a)
+            automata.append(self.din.content_dfa(a))
+            self.in_kernel_info(a)
+        out_alpha = self.base_out_alphabet
+        automata.append(self.universal_dfa(out_alpha))
+        for sigma in sorted(self.dout.alphabet, key=repr):
+            automata.append(self.dout.content_dfa_complete(sigma, out_alpha))
+        warm_kernels(automata)
+        self.compiled = True
+        return self
+
+
 class ForwardEngine:
     """Fixpoint engine shared by Theorem 15 typechecking, counterexample
     generation (Cor. 38) and the counterexample-NTA export (Cor. 39)."""
@@ -176,23 +312,32 @@ class ForwardEngine:
         max_tuple: Optional[int] = None,
         max_product_nodes: int = 500_000,
         use_kernel: bool = True,
+        schema: Optional[ForwardSchema] = None,
     ) -> None:
+        if schema is None:
+            schema = ForwardSchema(din, dout)
+        elif schema.din is not din or schema.dout is not dout:
+            raise ValueError(
+                "schema context was compiled for different DTD objects"
+            )
         self.transducer = transducer
         self.din = din
         self.dout = dout
+        self.schema = schema
         self.out_alphabet = frozenset(transducer.alphabet | dout.alphabet)
-        self.productive = din.productive_symbols()
+        self.productive = schema.productive
         self.max_tuple = max_tuple
         self.max_product_nodes = max_product_nodes
         self.use_kernel = use_kernel
+        # Shared empty-P cells apply on the kernel path only: the object
+        # baseline keeps the seed's per-σ keys and per-engine state.
+        self._shared = schema if use_kernel else None
         self.work = 0
 
         self._out_dfa: Dict[str, DFA] = {}
-        self._in_useful: Dict[str, Tuple[DFA, frozenset]] = {}
         self._decomp: Dict[Tuple[str, str], Tuple[Tuple[Tuple[str, ...], ...], Tuple[str, ...]]] = {}
-        # Kernel caches: interned input content DFAs with useful-state masks
-        # and child symbol indices, and per-(σ, state, b) segment-run maps.
-        self._in_kern: Dict[str, Tuple] = {}
+        # Per-(σ, state, b) segment-run maps (σ depends on the transducer's
+        # rhs labels, so these stay per-engine).
         self._seg: Dict[Tuple[str, str, str], Tuple[List[List[int]], int]] = {}
 
         self.tree_vals: Dict[TupleKey, Dict[Tuple[Slot, ...], Tuple[Slot, ...]]] = {}
@@ -218,12 +363,7 @@ class ForwardEngine:
     def out_dfa(self, sigma: Optional[str]) -> DFA:
         dfa = self._out_dfa.get(sigma)
         if dfa is None:
-            if sigma is None:
-                # σ-independent cells (empty behavior tuple) never consult
-                # the output DFA; a universal one keeps the code paths total.
-                dfa = DFA.universal(self.out_alphabet)
-            else:
-                dfa = self.dout.content_dfa_complete(sigma, self.out_alphabet)
+            dfa = self.schema.out_dfa(sigma, self.out_alphabet)
             self._out_dfa[sigma] = dfa
         return dfa
 
@@ -279,13 +419,31 @@ class ForwardEngine:
         if node in self._registered:
             return
         self._registered.add(node)
+        # Cells with an empty behavior tuple mention no transducer state:
+        # their least fixpoint is a function of the schemas alone, so on the
+        # kernel path they live in the schema context and are shared (with
+        # their persistent ProductBFS graphs) across engines.
+        shared = self._shared if not key[2] else None
         if kind == "tree":
-            self.tree_vals[key] = {}
-            self._tree_int[key] = {}
-            self._tree_order[key] = []
-            self._tree_index[key] = {}
+            if shared is not None:
+                cell = shared.shared_tree.get(key)
+                if cell is None:
+                    cell = shared.shared_tree[key] = ({}, {}, [], {})
+            else:
+                cell = ({}, {}, [], {})
+            vals, int_table, order, index = cell
+            self.tree_vals[key] = vals
+            self._tree_int[key] = int_table
+            self._tree_order[key] = order
+            self._tree_index[key] = index
         else:
-            self.hedge_vals[key] = HedgeEntry()
+            if shared is not None:
+                entry = shared.shared_hedge.get(key)
+                if entry is None:
+                    entry = shared.shared_hedge[key] = HedgeEntry()
+            else:
+                entry = HedgeEntry()
+            self.hedge_vals[key] = entry
         self._dirty.append(node)
         self._dirty_set.add(node)
 
@@ -335,34 +493,8 @@ class ForwardEngine:
         return self.out_dfa(sigma).kernel()
 
     def _in_kernel_info(self, a: str):
-        """Interned input content DFA of ``a`` with its useful-state mask
-        and the usable child symbols as ``(symbol, symbol_index)`` pairs."""
-        cached = self._in_kern.get(a)
-        if cached is None:
-            dfa_in = self.din.content_dfa(a)
-            idfa = dfa_in.kernel()
-            # The content DFA (and hence its kernel) is cached on the DTD,
-            # so this memo survives across engine instances.
-            aux_key = ("forward_in", self.productive)
-            cached = idfa.aux.get(aux_key)
-            if cached is None:
-                useful = dfa_in.to_nfa().useful_states()
-                useful_mask = idfa.states.mask(useful)
-                children = sorted(
-                    {
-                        c
-                        for (state, c), target in dfa_in.transitions.items()
-                        if c in self.productive
-                        and state in useful
-                        and target in useful
-                    },
-                    key=repr,
-                )
-                child_syms = tuple((c, idfa.symbols.index(c)) for c in children)
-                cached = (idfa, useful_mask, child_syms)
-                idfa.aux[aux_key] = cached
-            self._in_kern[a] = cached
-        return cached
+        """Interned input content DFA info, compiled once per schema pair."""
+        return self.schema.in_kernel_info(a)
 
     def _segment_maps(self, sigma: str, state: str, b: str):
         """Per-segment end-state arrays: ``maps[j][x]`` is the output DFA
@@ -515,27 +647,28 @@ class ForwardEngine:
         yield from itertools.product(*per_component)
 
     def _in_dfa_useful(self, a: str):
-        """The input content DFA of ``a`` with its useful-state set (pruning
-        the completion sink keeps the key fan-out at the *live* alphabet)."""
-        cached = self._in_useful.get(a)
-        if cached is None:
-            dfa_in = self.din.content_dfa(a)
-            useful = dfa_in.to_nfa().useful_states()
-            cached = (dfa_in, useful)
-            self._in_useful[a] = cached
-        return cached
+        """The input content DFA of ``a`` with its useful-state set,
+        compiled once per schema pair."""
+        return self.schema.in_dfa_useful(a)
 
     # -- hedge cells ----------------------------------------------------
     def _eval_hedge_kernel(self, key: TupleKey) -> bool:
         sigma, a, P = key
         entry = self.hedge_vals[key]
         if entry.engine is not None:
+            # A shared entry may have been created under a different
+            # per-call budget; the current engine's budget governs.
+            entry.engine.max_nodes = self.max_product_nodes
             # Fast no-op exit: nothing new in any child table since the last
-            # evaluation (the chaotic iteration re-enqueues liberally).
+            # evaluation (the chaotic iteration re-enqueues liberally).  A
+            # shared entry may predate this engine, in which case a child
+            # cell can be unregistered here — fall through to the full pass,
+            # which registers the dependencies.
             consumed = entry.consumed
             orders = self._tree_order
             for child_key in entry.child_keys:
-                if consumed.get(child_key, 0) < len(orders[child_key]):
+                order = orders.get(child_key)
+                if order is None or consumed.get(child_key, 0) < len(order):
                     break
             else:
                 return False
@@ -818,6 +951,7 @@ def typecheck_forward(
     max_product_nodes: int = 500_000,
     want_counterexample: bool = True,
     use_kernel: bool = True,
+    schema: Optional[ForwardSchema] = None,
 ) -> TypecheckResult:
     """Sound and complete typechecking of ``T`` w.r.t. DTDs (Theorem 15).
 
@@ -830,11 +964,19 @@ def typecheck_forward(
     ``use_kernel=False`` runs the fixpoint on the seed object-state tables
     instead of the interned kernel — same least fixpoint, kept as the
     differential-testing and benchmarking baseline.
+
+    ``schema`` is a :class:`ForwardSchema` compiled for exactly these DTD
+    objects — a warm :class:`~repro.core.session.Session` passes its own so
+    repeated calls skip all schema-side setup; omitted, a private one is
+    built and the call behaves exactly as before.
     """
     if transducer.uses_calls():
         from repro.xpath.compile import compile_calls
 
         transducer = compile_calls(transducer)
+
+    if schema is None:
+        schema = ForwardSchema(din, dout)
 
     analysis = analyze(transducer)
     if max_tuple is None:
@@ -896,9 +1038,13 @@ def typecheck_forward(
         )
 
     engine = ForwardEngine(
-        transducer, din, dout, max_tuple, max_product_nodes, use_kernel=use_kernel
+        transducer, din, dout, max_tuple, max_product_nodes,
+        use_kernel=use_kernel, schema=schema,
     )
-    pairs = reachable_pairs(transducer, din)
+    pairs = reachable_pairs(
+        transducer, din,
+        usable_cache=schema.usable_cache, word_cache=schema.word_cache,
+    )
     checks: List[Tuple[Pair, Tuple[int, ...], str, Tuple, Tuple[str, ...], TupleKey]] = []
     for (q, a) in pairs:
         rhs = transducer.rules.get((q, a))
@@ -912,7 +1058,15 @@ def typecheck_forward(
             key = engine.request_hedge(node.label, a, P)
             checks.append(((q, a), path, node.label, segments, P, key))
 
-    engine.run()
+    try:
+        engine.run()
+    except BaseException:
+        # A mid-fixpoint abort can leave the schema's shared cells with
+        # delta counters ahead of the edges actually pushed; drop them so
+        # later calls on a warm session rebuild instead of reusing
+        # corrupted state.
+        schema.reset_shared()
+        raise
     stats["product_nodes"] = engine.work
     stats["reachable_pairs"] = len(pairs)
 

@@ -85,11 +85,19 @@ def some_word_containing(
 
 
 def reachable_pairs(
-    transducer: TreeTransducer, din: DTD
+    transducer: TreeTransducer,
+    din: DTD,
+    *,
+    usable_cache: Dict[str, frozenset] | None = None,
+    word_cache: Dict[Tuple[str, str], Tuple[str, ...]] | None = None,
 ) -> Dict[Pair, Optional[Provenance]]:
     """All reachable pairs with provenance (root pair maps to ``None``).
 
-    Returns an empty mapping when ``L(din) = ∅``.
+    Returns an empty mapping when ``L(din) = ∅``.  ``usable_cache`` and
+    ``word_cache`` are schema-only memos (usable children per symbol and
+    shortest containing words per ``(parent, child)``) — a compiled session
+    passes persistent dicts so repeated calls against the same input DTD
+    skip the word searches; omitted, fresh per-call dicts are used.
     """
     productive = din.productive_symbols()
     if din.start not in productive:
@@ -98,8 +106,10 @@ def reachable_pairs(
         (transducer.initial, din.start): None
     }
     frontier = deque(pairs)
-    usable_cache: Dict[str, frozenset] = {}
-    word_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+    if usable_cache is None:
+        usable_cache = {}
+    if word_cache is None:
+        word_cache = {}
     while frontier:
         pair = frontier.popleft()
         q, a = pair

@@ -42,6 +42,50 @@ def _require_replus(dtd: DTD, name: str) -> None:
         )
 
 
+class ReplusSchema:
+    """Per-``(din, dout)`` compiled artifacts for the Section 5 algorithms.
+
+    Validates the RE⁺ class once and owns the schema-only state both routes
+    keep recomputing per call: the reachability caches, the RE⁺ views and
+    output content DFAs, and the §6 witness DAGs ``t_min``/``t_vast``
+    (functions of the input DTD alone).  A warm session shares one instance
+    across every transducer checked against the pair; standalone calls
+    build a private one, so one-shot behavior is unchanged.
+    """
+
+    def __init__(self, din: DTD, dout: DTD) -> None:
+        _require_replus(din, "input schema")
+        _require_replus(dout, "output schema")
+        self.din = din
+        self.dout = dout
+        self.usable_cache: dict = {}
+        self.word_cache: dict = {}
+        self._witness_dags: dict = {}
+        self.compiled = False
+
+    def witness_dag(self, name: str) -> DagTree:
+        """The DAG-compressed §6 witness (``"t_min"`` or ``"t_vast"``)."""
+        dag = self._witness_dags.get(name)
+        if dag is None:
+            builder = t_min_dag if name == "t_min" else t_vast_dag
+            dag = builder(self.din)
+            self._witness_dags[name] = dag
+        return dag
+
+    def warm(self) -> "ReplusSchema":
+        """Eagerly compile the RE⁺ views, output DFAs and witness DAGs."""
+        if self.compiled:
+            return self
+        for symbol in sorted(self.din.alphabet, key=repr):
+            self.din.content_replus(symbol)
+        for symbol in sorted(self.dout.alphabet, key=repr):
+            self.dout.content_dfa(symbol)
+        self.witness_dag("t_min")
+        self.witness_dag("t_vast")
+        self.compiled = True
+        return self
+
+
 def _expand_factors(expr: REPlus, state: str) -> List[ECFGAtom]:
     """Atoms ``⟨state, b₁⟩^{α₁} ⋯ ⟨state, b_m⟩^{α_m}`` for one rhs state."""
     atoms: List[ECFGAtom] = []
@@ -164,15 +208,19 @@ def typecheck_replus(
     din: DTD,
     dout: DTD,
     max_counterexample_nodes: int = 100_000,
+    schema: Optional[ReplusSchema] = None,
 ) -> TypecheckResult:
     """TC[T_d,c, DTD(RE⁺)] in PTIME — Theorem 37 (grammar route).
 
     On rejection, the counterexample is produced by the two-witness check
     (Corollary 38: ``t_min`` or ``t_vast`` is a counterexample), unfolded to
     an explicit tree when it fits ``max_counterexample_nodes``.
+
+    ``schema`` is a :class:`ReplusSchema` compiled for exactly these DTD
+    objects (a warm session passes its own; omitted, one is built here).
     """
-    _require_replus(din, "input schema")
-    _require_replus(dout, "output schema")
+    if schema is None:
+        schema = ReplusSchema(din, dout)
     if transducer.uses_calls():
         from repro.xpath.compile import compile_calls
 
@@ -182,7 +230,10 @@ def typecheck_replus(
     if early is not None:
         return early
 
-    pairs = reachable_pairs(transducer, din)
+    pairs = reachable_pairs(
+        transducer, din,
+        usable_cache=schema.usable_cache, word_cache=schema.word_cache,
+    )
     stats = {"reachable_pairs": len(pairs), "grammars": 0}
     failing = None
     for (q, a) in sorted(pairs):
@@ -219,7 +270,7 @@ def typecheck_replus(
     )
     # Corollary 38: t_min or t_vast is a concrete counterexample.
     witness = _two_witness_counterexample(
-        transducer, din, dout, max_counterexample_nodes
+        transducer, dout, max_counterexample_nodes, schema
     )
     if witness is not None:
         result.counterexample, result.output = witness
@@ -228,12 +279,12 @@ def typecheck_replus(
 
 def _two_witness_counterexample(
     transducer: TreeTransducer,
-    din: DTD,
     dout: DTD,
     max_nodes: int,
+    schema: ReplusSchema,
 ) -> Optional[Tuple[Tree, Optional[Tree]]]:
-    for builder in (t_min_dag, t_vast_dag):
-        dag = builder(din)
+    for name in ("t_min", "t_vast"):
+        dag = schema.witness_dag(name)
         image = transducer.apply_dag(dag)
         if image is not None and validate_output_dag(dout, image):
             continue
@@ -250,11 +301,12 @@ def typecheck_replus_witnesses(
     din: DTD,
     dout: DTD,
     max_counterexample_nodes: int = 100_000,
+    schema: Optional[ReplusSchema] = None,
 ) -> TypecheckResult:
     """The §6 two-witness algorithm: typechecks iff ``T(t_min)`` and
     ``T(t_vast)`` both conform — evaluated on DAGs, hence PTIME."""
-    _require_replus(din, "input schema")
-    _require_replus(dout, "output schema")
+    if schema is None:
+        schema = ReplusSchema(din, dout)
     if transducer.uses_calls():
         from repro.xpath.compile import compile_calls
 
@@ -263,8 +315,8 @@ def typecheck_replus_witnesses(
     if early is not None:
         return early
 
-    for name, builder in (("t_min", t_min_dag), ("t_vast", t_vast_dag)):
-        dag = builder(din)
+    for name in ("t_min", "t_vast"):
+        dag = schema.witness_dag(name)
         image = transducer.apply_dag(dag)
         if image is not None and validate_output_dag(dout, image):
             continue

@@ -113,6 +113,168 @@ class InternedDFA:
 # ----------------------------------------------------------------------
 # Product (intersection-style) construction
 # ----------------------------------------------------------------------
+class PairInterner:
+    """An :class:`Interner` over product pair states, decoded lazily.
+
+    The product BFS works entirely on packed codes ``l * n_right + r``;
+    this interner stores those codes plus the two factors' state
+    *interners* — not their decoded values, so chaining products over lazy
+    factors stays decode-free all the way down — and materializes the
+    object pair ``(left_state, right_state)`` of an index only when someone
+    asks for it.  Deliberately closure-free so kernel-backed products
+    pickle (see :mod:`repro.kernel.serialize`).
+    """
+
+    __slots__ = ("_codes", "_left_states", "_right_states", "_n_right",
+                 "_decoded", "_object_index")
+
+    def __init__(self, codes, left_states, right_states, n_right: int) -> None:
+        self._codes: List[int] = list(codes)
+        self._left_states = left_states  # Interner or PairInterner
+        self._right_states = right_states
+        self._n_right = n_right
+        self._decoded: Dict[int, Tuple] = {}
+        self._object_index: Optional[Dict[Tuple, int]] = None
+
+    def value(self, index: int) -> Tuple:
+        pair = self._decoded.get(index)
+        if pair is None:
+            l, r = divmod(self._codes[index], self._n_right)
+            pair = (self._left_states.value(l), self._right_states.value(r))
+            self._decoded[index] = pair
+        return pair
+
+    @property
+    def values(self) -> Tuple:
+        return tuple(self.value(i) for i in range(len(self._codes)))
+
+    def _index_map(self) -> Dict[Tuple, int]:
+        mapping = self._object_index
+        if mapping is None:
+            mapping = self._object_index = {
+                self.value(i): i for i in range(len(self._codes))
+            }
+        return mapping
+
+    def index(self, value: Tuple) -> int:
+        return self._index_map()[value]
+
+    def get(self, value, default: int = -1) -> int:
+        return self._index_map().get(value, default)
+
+    def intern(self, value) -> int:
+        """Pair interners are fixed at construction — look up only."""
+        index = self._index_map().get(value)
+        if index is None:
+            raise KeyError(f"{value!r} is not a product state")
+        return index
+
+    def mask(self, values) -> int:
+        mapping = self._index_map()
+        mask = 0
+        for value in values:
+            index = mapping.get(value)
+            if index is not None:
+                mask |= 1 << index
+        return mask
+
+    def unmask(self, mask: int) -> frozenset:
+        return frozenset(self.value(i) for i in iter_bits(mask))
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __contains__(self, value) -> bool:
+        return value in self._index_map()
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PairInterner({len(self._codes)} pair states)"
+
+
+def product_kernel(left, right, finals: str = "both") -> InternedDFA:
+    """The reachable product of two DFA-like objects as an interned DFA.
+
+    Unlike :func:`product_components`, nothing is decoded: states are dense
+    ints assigned in BFS discovery order (deterministic — symbols are
+    iterated in repr-sorted order) and the pair objects materialize lazily
+    through the :class:`PairInterner`.  This is what makes small products
+    cheap — the seed path spent its time building object dicts, not
+    exploring the pair graph.
+    """
+    ileft: InternedDFA = left.kernel()
+    iright: InternedDFA = right.kernel()
+    alphabet = sorted(left.alphabet & right.alphabet, key=repr)
+    shared = [
+        (ileft.symbols.index(symbol), iright.symbols.index(symbol))
+        for symbol in alphabet
+    ]
+    n_right = iright.n_states
+    ltab, rtab = ileft.table, iright.table
+    lns, rns = ileft.n_symbols, iright.n_symbols
+    n_shared = len(shared)
+
+    start = ileft.initial * n_right + iright.initial
+    ids: Dict[int, int] = {start: 0}
+    codes: List[int] = [start]
+    table: List[int] = []
+    frontier = deque((start,))
+    while frontier:
+        code = frontier.popleft()
+        l, r = divmod(code, n_right)
+        lbase = l * lns
+        rbase = r * rns
+        for ls, rs in shared:
+            tl = ltab[lbase + ls]
+            if tl < 0:
+                table.append(-1)
+                continue
+            tr = rtab[rbase + rs]
+            if tr < 0:
+                table.append(-1)
+                continue
+            succ = tl * n_right + tr
+            succ_id = ids.get(succ)
+            if succ_id is None:
+                succ_id = ids[succ] = len(codes)
+                codes.append(succ)
+                frontier.append(succ)
+            table.append(succ_id)
+
+    # BFS appended each popped node's row in pop (= id) order, so ``table``
+    # is already the flat ``state * n_symbols + symbol`` layout.
+    lf, rf = ileft.finals_mask, iright.finals_mask
+    finals_mask = 0
+    for index, code in enumerate(codes):
+        l, r = divmod(code, n_right)
+        l_final = bool(lf >> l & 1)
+        r_final = bool(rf >> r & 1)
+        if finals == "both":
+            accept = l_final and r_final
+        elif finals == "left":
+            accept = l_final
+        elif finals == "right":
+            accept = r_final
+        elif finals == "either":
+            accept = l_final or r_final
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown finals mode {finals!r}")
+        if accept:
+            finals_mask |= 1 << index
+    idfa = InternedDFA.__new__(InternedDFA)
+    idfa.states = PairInterner(codes, ileft.states, iright.states, n_right)
+    idfa.symbols = Interner(alphabet)
+    idfa.table = table
+    idfa.initial = 0
+    idfa.finals_mask = finals_mask
+    idfa.n_states = len(codes)
+    idfa.n_symbols = n_shared
+    idfa.aux = {}
+    return idfa
+
+
 def product_components(left, right, finals: str = "both"):
     """Reachable product of two DFA-like objects over the shared alphabet.
 

@@ -1,0 +1,78 @@
+"""Serializable interned-kernel artifacts and the batch warm entry point.
+
+Two small services for the compiled-session layer:
+
+``warm_kernels``
+    The batch interning entry point: force the interned form of a whole
+    collection of automata in one call.  :class:`~repro.core.session.Session`
+    and :class:`~repro.core.forward.ForwardSchema` use it to eagerly compile
+    every schema-derived automaton so later typechecking calls perform no
+    interning at all.
+
+``dumps`` / ``loads``
+    Versioned pickling of kernel-bearing artifacts.  Every interned
+    structure (:class:`~repro.kernel.interning.Interner`,
+    :class:`~repro.kernel.dfa_kernel.InternedDFA`,
+    :class:`~repro.kernel.nfa_kernel.InternedNFA`, the lazy pair interner of
+    ``dfa_kernel``) is closure-free by design, so whole DTDs with their
+    compiled DFA caches — kernels included — round-trip through ``pickle``.
+    A format header guards against loading artifacts written by an
+    incompatible kernel layout; :mod:`repro.cache` builds the on-disk
+    artifact cache on top of this.
+
+Pickled artifacts execute arbitrary code on load (it is ``pickle``): only
+load blobs your own process wrote, which is exactly the artifact-cache use
+case.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Iterable, Optional
+
+#: Bump whenever the layout of any interned structure changes shape —
+#: loads() then rejects stale blobs instead of resurrecting mismatched
+#: tables.
+KERNEL_FORMAT = 1
+
+
+def warm_kernels(automata: Iterable) -> int:
+    """Force the interned kernel form of every automaton in ``automata``.
+
+    Accepts any mix of objects exposing the ``kernel()`` protocol
+    (:class:`~repro.strings.dfa.DFA`, :class:`~repro.strings.nfa.NFA`);
+    ``None`` entries are skipped.  Returns the number of kernels now warm.
+    Interning is idempotent (each automaton caches its kernel), so calling
+    this on an already-warm batch is free.
+    """
+    count = 0
+    for automaton in automata:
+        if automaton is None:
+            continue
+        automaton.kernel()
+        count += 1
+    return count
+
+
+def dumps(payload: object) -> bytes:
+    """Serialize ``payload`` (kernel-bearing artifacts included) with a
+    format header."""
+    return pickle.dumps(
+        {"kernel_format": KERNEL_FORMAT, "payload": payload},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def loads(data: bytes) -> Optional[object]:
+    """Deserialize a :func:`dumps` blob; ``None`` when the blob was written
+    by an incompatible kernel format (stale-cache invalidation, not an
+    error)."""
+    try:
+        envelope = pickle.loads(data)
+    except Exception:
+        return None
+    if not isinstance(envelope, dict):
+        return None
+    if envelope.get("kernel_format") != KERNEL_FORMAT:
+        return None
+    return envelope.get("payload")

@@ -65,6 +65,7 @@ class DTD:
         self._dfa_cache: Dict[str, DFA] = {}
         self._complete_cache: Dict[Tuple[str, FrozenSet[str]], DFA] = {}
         self._productive: FrozenSet[str] | None = None
+        self._content_hash: str | None = None
 
     @staticmethod
     def _model_symbols(model: ContentModel) -> set:
@@ -128,6 +129,41 @@ class DTD:
         """The authored rules (defensive copy)."""
         return dict(self._raw)
 
+    def content_hash(self) -> str:
+        """Stable digest of the DTD's authored representation.
+
+        Hashes the start symbol, the alphabet and every rule's canonical
+        serialization (regex/RE⁺ text, or the canonical automaton form for
+        NFA/DFA content models).  Equal-content DTDs — even ones built as
+        distinct Python objects or in different processes — hash alike, so
+        the digest can key the compiled-session registry and the on-disk
+        artifact cache (ISSUE: stable content hashing).  Representation,
+        not language: two different regexes for the same language hash
+        differently, because the compiled artifacts are derived from the
+        representation.
+        """
+        if self._content_hash is None:
+            from repro.util import stable_digest
+
+            parts = [
+                "dtd",
+                repr(self.start),
+                repr(sorted(self.alphabet, key=repr)),
+            ]
+            for symbol in sorted(self._raw, key=repr):
+                model = self._raw[symbol]
+                if isinstance(model, REPlus):
+                    canonical = f"replus:{model}"
+                elif isinstance(model, Regex):
+                    canonical = f"regex:{model}"
+                elif isinstance(model, DFA):
+                    canonical = f"dfa:{model.content_hash()}"
+                else:
+                    canonical = f"nfa:{model.content_hash()}"
+                parts.append(f"{symbol!r}->{canonical}")
+            self._content_hash = stable_digest(*parts)
+        return self._content_hash
+
     def with_start(self, start: str) -> "DTD":
         """The same rules with a different start symbol — the paper's
         ``(d, a)`` notation."""
@@ -141,6 +177,7 @@ class DTD:
         clone._dfa_cache = self._dfa_cache
         clone._complete_cache = self._complete_cache
         clone._productive = self._productive
+        clone._content_hash = None  # the start symbol is part of the hash
         return clone
 
     # ------------------------------------------------------------------

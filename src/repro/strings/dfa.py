@@ -33,7 +33,7 @@ class DFA:
 
     __slots__ = (
         "states", "alphabet", "transitions", "initial", "finals",
-        "_hash", "_kernel", "_nfa",
+        "_hash", "_kernel", "_nfa", "_content_hash",
     )
 
     def __init__(
@@ -61,6 +61,7 @@ class DFA:
         self._hash: int | None = None
         self._kernel = None
         self._nfa: NFA | None = None
+        self._content_hash: str | None = None
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -105,6 +106,29 @@ class DFA:
     def size(self) -> int:
         """Paper size measure ``|Q| + |Σ| + Σ|δ(q,a)|``."""
         return len(self.states) + len(self.alphabet) + len(self.transitions)
+
+    def content_hash(self) -> str:
+        """Stable digest of the automaton's exact representation.
+
+        Hash-randomization-independent (all sets are serialized in
+        ``repr``-sorted order) and stable across processes, so it can key
+        the compiled-session registry and the on-disk artifact cache.  Two
+        language-equivalent but structurally different DFAs hash
+        differently — the hash identifies the *representation*, which is
+        what the compiled artifacts are derived from.
+        """
+        if self._content_hash is None:
+            from repro.util import stable_digest
+
+            self._content_hash = stable_digest(
+                "dfa",
+                repr(sorted(self.states, key=repr)),
+                repr(sorted(self.alphabet, key=repr)),
+                repr(sorted(self.transitions.items(), key=repr)),
+                repr(self.initial),
+                repr(sorted(self.finals, key=repr)),
+            )
+        return self._content_hash
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -292,15 +316,15 @@ class DFA:
         intersection, ``"left"``/``"right"`` to track one component, or
         ``"either"`` for union (requires both factors complete to be exact).
 
-        The reachable pair space is explored on the interned kernel; states
-        of the result are the usual pairs of original states.
+        Returns a :class:`LazyProductDFA`: the reachable pair space is
+        explored entirely on the interned kernel, and the object-level
+        views — the usual pair states ``(p, q)``, the transitions dict —
+        decode lazily on first access.  Chained products, ``accepts`` and
+        ``contains`` stay on the kernel and never pay the decode.
         """
-        from repro.kernel.dfa_kernel import product_components
+        from repro.kernel.dfa_kernel import product_kernel
 
-        states, transitions, start, accept, alphabet = product_components(
-            self, other, finals
-        )
-        return DFA(states, alphabet, transitions, start, accept)
+        return LazyProductDFA(product_kernel(self, other, finals))
 
     # ------------------------------------------------------------------
     # Minimization (Hopcroft-style partition refinement via Moore)
@@ -319,3 +343,92 @@ class DFA:
         return DFA(
             states, completed.alphabet, transitions, initial, finals
         ).renumber()
+
+
+class LazyProductDFA(DFA):
+    """A product DFA backed by its interned kernel, decoded on demand.
+
+    Construction costs exactly the kernel-side pair BFS (int tuples, flat
+    tables); the seed representation — pair states ``(p, q)``, the
+    transitions dict — is materialized only when an object-level view is
+    first touched (``states``, ``transitions``, ``finals``, ``to_nfa``,
+    equality, ...).  This fixes the decode-bound small-product regime where
+    the kernel used to tie the object baseline: kernel consumers
+    (``accepts``, ``contains``, chained ``product``, the forward engine)
+    never decode at all.
+
+    The decoded view is byte-for-byte the seed representation (same pair
+    states, same transitions), so every downstream consumer — including
+    code that compares against the object-path reference — sees the DFA it
+    always saw.  Instances are immutable and picklable like plain DFAs.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, kernel) -> None:
+        # Deliberately does NOT call DFA.__init__: kernel-built products
+        # are well-formed by construction and the object views stay unbuilt.
+        self._kernel = kernel
+        self._hash = None
+        self._nfa = None
+        self._content_hash = None
+        self._parts = None
+
+    def _materialize(self):
+        parts = self._parts
+        if parts is None:
+            kernel = self._kernel
+            value = kernel.states.value
+            symbols = kernel.symbols.values
+            n_symbols = kernel.n_symbols
+            table = kernel.table
+            transitions: Dict[Tuple[State, Symbol], State] = {}
+            for q in range(kernel.n_states):
+                base = q * n_symbols
+                src = value(q)
+                for a in range(n_symbols):
+                    target = table[base + a]
+                    if target >= 0:
+                        transitions[(src, symbols[a])] = value(target)
+            parts = self._parts = (
+                frozenset(kernel.states.values),
+                frozenset(symbols),
+                transitions,
+                value(kernel.initial),
+                frozenset(kernel.states.unmask(kernel.finals_mask)),
+            )
+        return parts
+
+    # Object-level views (shadow the parent's slot descriptors).
+    states = property(lambda self: self._materialize()[0])
+    transitions = property(lambda self: self._materialize()[2])
+    finals = property(lambda self: self._materialize()[4])
+
+    @property
+    def alphabet(self) -> FrozenSet[Symbol]:
+        # Cheap: the symbol interner is decoded already.
+        return frozenset(self._kernel.symbols.values)
+
+    @property
+    def initial(self) -> State:
+        # O(1): decodes a single pair.
+        return self._kernel.states.value(self._kernel.initial)
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyProductDFA(|Q|={self._kernel.n_states}, "
+            f"|Σ|={self._kernel.n_symbols})"
+        )
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        """Kernel-side run — no decode."""
+        kernel = self._kernel
+        interned = kernel.intern_word(word)
+        if interned is None:
+            return False  # a foreign symbol kills the run
+        return kernel.is_final(kernel.run(interned, kernel.initial))
+
+    def __reduce__(self):
+        # The kernel (including its PairInterner) is closure-free, so the
+        # lazy view pickles as (class, kernel).
+        return (LazyProductDFA, (self._kernel,))

@@ -57,7 +57,7 @@ class NFA:
 
     __slots__ = (
         "states", "alphabet", "transitions", "initial", "finals",
-        "_hash", "_kernel", "_useful",
+        "_hash", "_kernel", "_useful", "_content_hash",
     )
 
     def __init__(
@@ -98,6 +98,7 @@ class NFA:
         self._hash: int | None = None
         self._kernel = None
         self._useful: FrozenSet[State] | None = None
+        self._content_hash: str | None = None
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -153,6 +154,28 @@ class NFA:
             + len(self.alphabet)
             + sum(len(tgts) for row in self.transitions.values() for tgts in row.values())
         )
+
+    def content_hash(self) -> str:
+        """Stable representation digest (see :meth:`DFA.content_hash`)."""
+        if self._content_hash is None:
+            from repro.util import stable_digest
+
+            rows = sorted(
+                (
+                    (repr(src), repr(sym), repr(sorted(tgts, key=repr)))
+                    for src, row in self.transitions.items()
+                    for sym, tgts in row.items()
+                ),
+            )
+            self._content_hash = stable_digest(
+                "nfa",
+                repr(sorted(self.states, key=repr)),
+                repr(sorted(self.alphabet, key=repr)),
+                repr(rows),
+                repr(sorted(self.initial, key=repr)),
+                repr(sorted(self.finals, key=repr)),
+            )
+        return self._content_hash
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -82,6 +82,27 @@ class NTA:
             return NFA.empty_language(self.states)
         return nfa
 
+    def content_hash(self) -> str:
+        """Stable representation digest (see :meth:`DTD.content_hash`);
+        keys the compiled-session registry for automaton schemas."""
+        cached = getattr(self, "_content_hash", None)
+        if cached is None:
+            from repro.util import stable_digest
+
+            rules = sorted(
+                f"{(state, symbol)!r}->{nfa.content_hash()}"
+                for (state, symbol), nfa in self.delta.items()
+            )
+            cached = stable_digest(
+                "nta",
+                repr(sorted(self.states, key=repr)),
+                repr(sorted(self.alphabet, key=repr)),
+                repr(sorted(self.finals, key=repr)),
+                *rules,
+            )
+            self._content_hash = cached
+        return cached
+
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------

@@ -2,10 +2,27 @@
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Hashable, Iterable, Iterator, Mapping, Sequence, TypeVar
 
 T = TypeVar("T")
+
+
+def stable_digest(*parts: str) -> str:
+    """SHA-256 hex digest of a sequence of text parts.
+
+    The digest is stable across processes and Python versions as long as the
+    parts themselves are (callers canonicalize sets by sorting on ``repr``,
+    which does not depend on hash randomization).  Used for the content
+    hashes that key the compiled-session registry and the on-disk artifact
+    cache.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8", "backslashreplace"))
+        h.update(b"\x1f")
+    return h.hexdigest()
 
 
 class FreshNames:

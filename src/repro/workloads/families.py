@@ -41,6 +41,30 @@ def nd_bc_family(n: int, typechecks: bool = True) -> Instance:
     return transducer, din, dout, typechecks
 
 
+def nd_bc_batch(n: int, k: int, typechecks: bool = True):
+    """``k`` distinct transducer variants of :func:`nd_bc_family`, all
+    against one schema pair — the compiled-session batch workload.
+
+    Variant ``j`` renames the single state to ``q{j}``: per-transducer work
+    (reachable pairs, fixpoint tables) is genuinely redone for every
+    variant, while every schema-derived artifact is identical — exactly the
+    server shape ``Session.typecheck_many`` amortizes.
+
+    Returns ``(transducers, din, dout, expected)``.
+    """
+    _, din, dout, expected = nd_bc_family(n, typechecks)
+    alphabet = set(din.alphabet) | {f"t{i}" for i in range(n + 1)}
+    transducers = []
+    for j in range(k):
+        state = f"q{j}"
+        rules = {
+            (state, f"s{i}"): f"t{i}({state})" if i < n else f"t{n}"
+            for i in range(n + 1)
+        }
+        transducers.append(TreeTransducer({state}, alphabet, state, rules))
+    return transducers, din, dout, expected
+
+
 def filtering_family(n: int, typechecks: bool = True) -> Instance:
     """Recursive deletion without copying (the T_trac sweet spot, Thm 15).
 

@@ -109,3 +109,28 @@ def random_output_dtd(
             factors.append(rng.choice(outputs) + rng.choice(["", "?", "*", "+"]))
         rules[name] = " ".join(factors) if factors else "ε"
     return DTD(rules, start=outputs[0], alphabet=transducer.alphabet)
+
+
+def seeded_instance(
+    seed: int, symbols: int = 3, num_states: int = 2
+) -> Tuple[TreeTransducer, DTD, DTD]:
+    """The 200-seed differential-test instance for ``seed``.
+
+    One derivation shared by every suite that cross-validates engines
+    (kernel vs object fixpoint in
+    ``tests/core/test_forward_kernel_equivalence.py``, warm-session vs cold
+    runs in ``tests/core/test_session.py``): a random DTD, a random
+    ``T_trac`` transducer whose deletion/copying mix cycles with the seed,
+    and a random output DTD.
+    """
+    rng = random.Random(seed)
+    din = random_dtd(rng, symbols=symbols)
+    transducer = random_trac_transducer(
+        rng,
+        din,
+        num_states=num_states,
+        allow_deletion=seed % 3 != 0,
+        allow_copying=seed % 2 == 0,
+    )
+    dout = random_output_dtd(rng, transducer)
+    return transducer, din, dout

@@ -11,35 +11,19 @@ Three-way differential over ≥200 seeded random instances from
   the oracle must confirm every accept up to its node budget.
 """
 
-import random
-
 import pytest
 
 from repro.core import typecheck
 from repro.core.forward import typecheck_forward
 from repro.transducers.analysis import analyze
-from repro.workloads.random_instances import (
-    random_dtd,
-    random_output_dtd,
-    random_trac_transducer,
-)
+from repro.workloads.random_instances import seeded_instance
 
 N_SEEDS = 200
 ORACLE_MAX_NODES = 6
 
-
-def _instance(seed: int):
-    rng = random.Random(seed)
-    din = random_dtd(rng, symbols=3)
-    transducer = random_trac_transducer(
-        rng,
-        din,
-        num_states=2,
-        allow_deletion=seed % 3 != 0,
-        allow_copying=seed % 2 == 0,
-    )
-    dout = random_output_dtd(rng, transducer)
-    return transducer, din, dout
+# The generator now lives in repro.workloads.random_instances so the
+# session-reuse suite can replay the exact same 200 instances.
+_instance = seeded_instance
 
 
 def _in_trac(transducer) -> bool:

@@ -122,3 +122,66 @@ def test_equivalence_and_emptiness_consistency(seed):
     minimized = dfa.minimize()
     assert dfa.equivalent(minimized)
     assert dfa.is_empty() == (dfa.some_word() is None)
+
+
+# ----------------------------------------------------------------------
+# Lazy kernel-backed products (the decode-bound small-size fix)
+# ----------------------------------------------------------------------
+class TestLazyProduct:
+    def _mods(self):
+        mod3 = DFA(
+            {0, 1, 2}, {"a"}, {(i, "a"): (i + 1) % 3 for i in range(3)}, 0, {0}
+        )
+        mod2 = DFA({0, 1}, {"a"}, {(0, "a"): 1, (1, "a"): 0}, 0, {0})
+        return mod3, mod2
+
+    def test_product_is_a_lazy_view(self):
+        from repro.strings.dfa import LazyProductDFA
+
+        mod3, mod2 = self._mods()
+        prod = mod3.product(mod2)
+        assert isinstance(prod, LazyProductDFA)
+        assert prod._parts is None  # nothing decoded yet
+
+    def test_accepts_and_chained_products_stay_on_the_kernel(self):
+        mod3, mod2 = self._mods()
+        prod = mod3.product(mod2)
+        assert prod.accepts(["a"] * 6)
+        assert not prod.accepts(["a"] * 3)
+        assert not prod.accepts(["a", "zzz"])  # foreign symbol kills the run
+        chained = prod.product(mod3)
+        assert chained.accepts(["a"] * 6)
+        assert prod._parts is None and chained._parts is None
+        # Chaining decoded no pair state of the intermediate product.
+        assert not prod._kernel.states._decoded
+        # ...and materializing the chain decodes to nested-pair states.
+        assert chained.initial == ((0, 0), 0)
+
+    def test_materialized_view_is_the_seed_representation(self):
+        mod3, mod2 = self._mods()
+        prod = mod3.product(mod2)
+        expected = reference.dfa_product_object(mod3, mod2)
+        assert prod.states == expected.states  # decodes to pair states
+        assert prod.transitions == expected.transitions
+        assert prod.finals == expected.finals
+        assert prod.initial == expected.initial
+        assert prod == expected
+
+    def test_lazy_product_pickles(self):
+        import pickle
+
+        mod3, mod2 = self._mods()
+        prod = mod3.product(mod2)
+        clone = pickle.loads(pickle.dumps(prod))
+        assert clone == prod
+        assert clone.accepts(["a"] * 6)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_lazy_view_agrees_with_reference_everywhere(self, seed):
+        rng = random.Random(seed)
+        left, right = random_dfa(rng), random_dfa(rng)
+        for finals in ("both", "left", "right", "either"):
+            lazy = left.product(right, finals=finals)
+            expected = reference.dfa_product_object(left, right, finals)
+            assert lazy == expected, finals
+            assert lazy.minimize().equivalent(expected.minimize()), finals

@@ -65,3 +65,60 @@ class TestMain:
 
     def test_help(self, capsys):
         assert main(["--help"]) == 2
+
+
+class TestBatchMode:
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_multiple_files_report_per_instance_status(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.txt", GOOD)
+        bad = self._write(tmp_path, "bad.txt", BAD)
+        assert main([good, bad]) == 1  # one failure
+        out = capsys.readouterr().out
+        assert f"{good}: TYPECHECKS" in out
+        assert f"{bad}: FAILS" in out
+        assert f"{bad}: counterexample:" in out
+        assert "checked 2 instances: 1 typechecked, 1 failed, 0 errored" in out
+
+    def test_shared_schema_pairs_compile_once(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.txt", GOOD)
+        again = self._write(tmp_path, "again.txt", GOOD)
+        bad = self._write(tmp_path, "bad.txt", BAD)
+        assert main([good, again, bad]) == 1
+        out = capsys.readouterr().out
+        assert "2 schema pairs compiled" in out  # good/again share a pair
+
+    def test_batch_flag_with_single_file(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.txt", GOOD)
+        assert main(["--batch", good]) == 0
+        out = capsys.readouterr().out
+        assert f"{good}: TYPECHECKS" in out
+        assert "1 schema pair compiled" in out
+
+    def test_method_flag(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.txt", GOOD)
+        assert main(["--method", "forward", good]) == 0
+        assert "TYPECHECKS (forward)" in capsys.readouterr().out
+
+    def test_bad_method_is_a_usage_error(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.txt", GOOD)
+        assert main(["--method", "magic", good]) == 2
+
+    def test_unknown_flag_is_a_usage_error(self, capsys):
+        assert main(["--frobnicate", "x"]) == 2
+
+    def test_missing_file_in_batch_continues_and_exits_2(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.txt", GOOD)
+        assert main([good, "/no/such/file"]) == 2
+        captured = capsys.readouterr()
+        assert f"{good}: TYPECHECKS" in captured.out
+        assert "/no/such/file: ERROR:" in captured.err
+
+    def test_cache_dir_flag(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.txt", GOOD)
+        cache = tmp_path / "cache"
+        assert main(["--cache-dir", str(cache), good]) == 0
+        assert list(cache.glob("*.session.pkl"))
