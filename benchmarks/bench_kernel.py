@@ -12,15 +12,25 @@ The warm-vs-cold *session* family (compiled ``Session`` batches vs fresh
 per-call pipelines, plus the registry-backed one-shot repeat) is measured
 alongside and written to ``BENCH_session.json``.
 
+The *service* family (PR 3) measures the multi-process worker pool on the
+``nd_bc_batch`` workload — batch throughput with 1/2/4 workers against the
+in-process session baseline, the per-transducer table-cache repeat, and a
+sharded single query — and writes ``BENCH_service.json``.  Multi-worker
+speedups are hardware-bound: the file records ``cpu_count`` and the smoke
+gate adapts (on a single-CPU runner it only asserts bounded pool overhead
+and correctness; with >= 2 CPUs it requires a real 2-worker speedup).
+
 Usage::
 
     python benchmarks/bench_kernel.py            # full run
     python benchmarks/bench_kernel.py --smoke    # CI guard: fails (exit 1)
                                                  # if the kernel is slower
                                                  # than the baseline on the
-                                                 # smoke family, or a warm
+                                                 # smoke family, a warm
                                                  # session fails to beat
-                                                 # cold setup
+                                                 # cold setup, or the
+                                                 # worker pool misses its
+                                                 # (cpu-adaptive) gate
 """
 
 from __future__ import annotations
@@ -56,6 +66,10 @@ SMOKE_MIN_SPEEDUP = 0.8
 # ~3x; 1.2x keeps the guard meaningful without flaking on shared runners.
 SESSION_SMOKE_FAMILY = (16, 6)
 SESSION_SMOKE_MIN_SPEEDUP = 1.2
+# Service pool gate: with real CPUs a 2-worker pool must beat 1 worker;
+# time-sliced single-CPU runners can only be held to bounded overhead.
+SERVICE_SMOKE_MIN_SPEEDUP = 1.15
+SERVICE_SMOKE_MIN_RATIO_1CPU = 0.3
 
 
 def best_of(fn, repeat: int) -> float:
@@ -222,6 +236,145 @@ def bench_session(results, sizes, repeat: int) -> None:
         )
 
 
+def _variant_batch(n: int, k: int, offset: int):
+    """``k`` nd_bc transducer variants with globally unique state names.
+
+    Distinct content hashes per repetition defeat the per-transducer table
+    cache on *both* sides of the comparison, so throughput rows measure
+    honest per-item fixpoint work, not cache hits.
+    """
+    from repro.transducers.transducer import TreeTransducer
+
+    _, din, dout, expected = nd_bc_family(n)
+    alphabet = set(din.alphabet) | {f"t{i}" for i in range(n + 1)}
+    transducers = []
+    for j in range(offset, offset + k):
+        state = f"q{j}"
+        rules = {
+            (state, f"s{i}"): f"t{i}({state})" if i < n else f"t{n}"
+            for i in range(n + 1)
+        }
+        transducers.append(TreeTransducer({state}, alphabet, state, rules))
+    return transducers, din, dout, expected
+
+
+def bench_service(results, sizes, repeat: int, worker_counts) -> None:
+    """Worker-pool throughput on the batch workload, vs in-process.
+
+    Every timed run checks its verdicts; the pool is warmed (every worker
+    compiles the pair once, hydrating from a shared artifact-cache dir)
+    before timing, so rows measure steady-state serving.  Each repetition
+    uses a fresh variant batch (see :func:`_variant_batch`); the identical
+    repeat served from the per-transducer table cache is measured
+    separately as ``table_cache_speedup``.
+    """
+    import os
+    import tempfile
+
+    from repro.core.session import clear_registry
+    from repro.service.pool import WorkerPool
+
+    cpu_count = os.cpu_count() or 1
+    for n, k in sizes:
+        batches = [_variant_batch(n, k, offset=r * k) for r in range(repeat + 1)]
+        _, din, dout, expected = batches[0]
+
+        def time_batches(run) -> float:
+            """Best wall time of ``run`` over the distinct timed batches."""
+            times = []
+            for transducers, _din, _dout, _exp in batches[1:]:
+                start = time.perf_counter()
+                run(transducers)
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        clear_registry()
+        session = Session(din, dout)
+
+        def in_process(transducers):
+            for result in session.typecheck_many(transducers, method="forward"):
+                assert result.typechecks == expected
+
+        in_process(batches[0][0])  # warm the schema artifacts
+        base_s = time_batches(in_process)
+        # identical repeat: every item now hits the table cache
+        repeat_s = best_of(lambda: in_process(batches[1][0]), repeat)
+
+        row = {
+            "group": "service",
+            "name": f"nd_bc_batch(n={n}, k={k})",
+            "family": "nd_bc_batch",
+            "n": n,
+            "k": k,
+            "cpu_count": cpu_count,
+            "in_process_s": base_s,
+            "table_cache_repeat_s": repeat_s,
+            "table_cache_speedup": base_s / repeat_s,
+            "workers": {},
+        }
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            for workers in worker_counts:
+                pool = WorkerPool(workers, cache_dir=cache_dir)
+                try:
+                    def served(transducers):
+                        for result in pool.typecheck_batch(
+                            din, dout, transducers, method="forward"
+                        ):
+                            assert result.typechecks == expected
+
+                    served(batches[0][0])  # warm every worker's session
+                    pool_s = time_batches(served)
+                    row["workers"][str(workers)] = {
+                        "batch_s": pool_s,
+                        "throughput_per_s": k / pool_s,
+                        "vs_in_process": base_s / pool_s,
+                    }
+                finally:
+                    pool.close()
+
+        one = row["workers"].get("1")
+        if one is not None:
+            for _workers, data in row["workers"].items():
+                data["speedup_vs_1_worker"] = one["batch_s"] / data["batch_s"]
+        results.append(row)
+
+
+def bench_service_shard(results, n: int, repeat: int, shards: int) -> None:
+    """A single query with its forward fixpoint sharded across the pool."""
+    import os
+
+    from repro.service.pool import WorkerPool
+
+    transducer, din, dout, expected = nd_bc_family(n)
+    unsharded = best_of(
+        lambda: typecheck_forward(transducer, din, dout), repeat
+    )
+    pool = WorkerPool(shards)
+    try:
+        def sharded():
+            result = pool.typecheck_sharded(din, dout, transducer, shards=shards)
+            assert result.typechecks == expected
+
+        sharded()  # warm worker sessions (and the parent merge session)
+        sharded_s = best_of(sharded, repeat)
+    finally:
+        pool.close()
+    results.append(
+        {
+            "group": "service-shard",
+            "name": f"nd_bc({n}) sharded x{shards}",
+            "family": "nd_bc_shard",
+            "n": n,
+            "shards": shards,
+            "cpu_count": os.cpu_count() or 1,
+            "unsharded_s": unsharded,
+            "sharded_s": sharded_s,
+            "speedup": unsharded / sharded_s,
+        }
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -234,16 +387,22 @@ def main(argv=None) -> int:
                         default=REPO_ROOT / "BENCH_kernel.json")
     parser.add_argument("--output-session", type=Path,
                         default=REPO_ROOT / "BENCH_session.json")
+    parser.add_argument("--output-service", type=Path,
+                        default=REPO_ROOT / "BENCH_service.json")
     args = parser.parse_args(argv)
     repeat = args.repeat or (7 if args.smoke else 5)
 
     results: list = []
     session_results: list = []
+    service_results: list = []
     if args.smoke:
         bench_forward(results, [("nd_bc", nd_bc_family, SMOKE_FAMILY[1])], repeat)
         bench_dfa(results, [16], repeat)
         bench_nta(results, [32], repeat)
         bench_session(session_results, [SESSION_SMOKE_FAMILY], repeat)
+        bench_service(
+            service_results, [(16, 12)], min(repeat, 3), worker_counts=(1, 2)
+        )
     else:
         bench_forward(
             results,
@@ -261,6 +420,11 @@ def main(argv=None) -> int:
         bench_session(
             session_results, [(16, 6), (32, 12), (64, 8)], repeat
         )
+        bench_service(
+            service_results, [(24, 24), (48, 16)], min(repeat, 3),
+            worker_counts=(1, 2, 4),
+        )
+        bench_service_shard(service_results, 48, min(repeat, 3), shards=4)
 
     forward = [r for r in results if r["group"] == "forward"]
     largest = max(forward, key=lambda r: (r["n"], r["baseline_s"]))
@@ -283,7 +447,41 @@ def main(argv=None) -> int:
     }
     args.output_session.write_text(json.dumps(session_summary, indent=2) + "\n")
 
-    width = max(len(r["name"]) for r in results + session_results)
+    import os as _os
+
+    cpu_count = _os.cpu_count() or 1
+    service_batches = [r for r in service_results if r["group"] == "service"]
+    best_scaling = None
+    for row in service_batches:
+        for workers, data in row["workers"].items():
+            if workers == "1":
+                continue
+            candidate = (data.get("speedup_vs_1_worker", 0.0), workers, row["name"])
+            if best_scaling is None or candidate > best_scaling:
+                best_scaling = candidate
+    service_summary = {
+        "mode": "smoke" if args.smoke else "full",
+        "repeat": min(repeat, 3),
+        "cpu_count": cpu_count,
+        "note": (
+            "multi-worker speedups are bounded by cpu_count: on a "
+            "single-CPU host the workers time-slice one core and the "
+            "pool can only match (not beat) one worker"
+        ),
+        "best_multi_worker_speedup": (
+            None if best_scaling is None else {
+                "speedup_vs_1_worker": best_scaling[0],
+                "workers": int(best_scaling[1]),
+                "family": best_scaling[2],
+            }
+        ),
+        "benchmarks": service_results,
+    }
+    args.output_service.write_text(json.dumps(service_summary, indent=2) + "\n")
+
+    width = max(
+        len(r["name"]) for r in results + session_results + service_results
+    )
     for r in results:
         print(
             f"{r['name']:<{width}}  baseline {r['baseline_s'] * 1e3:8.2f} ms"
@@ -297,12 +495,34 @@ def main(argv=None) -> int:
             f"  speedup {r['speedup']:6.2f}x"
             f"  (one-shot registry {r['one_shot_registry_speedup']:.2f}x)"
         )
+    for r in service_batches:
+        scaling = "  ".join(
+            f"{workers}w {data['batch_s'] * 1e3:8.2f} ms"
+            f" ({data.get('speedup_vs_1_worker', 1.0):.2f}x)"
+            for workers, data in sorted(r["workers"].items(), key=lambda kv: int(kv[0]))
+        )
+        print(
+            f"{r['name']:<{width}}  in-proc  {r['in_process_s'] * 1e3:8.2f} ms"
+            f"  pool: {scaling}"
+            f"  table-cache repeat {r['table_cache_speedup']:.1f}x"
+        )
+    for r in service_results:
+        if r["group"] != "service-shard":
+            continue
+        print(
+            f"{r['name']:<{width}}  unsharded {r['unsharded_s'] * 1e3:7.2f} ms"
+            f"  sharded {r['sharded_s'] * 1e3:8.2f} ms"
+            f"  speedup {r['speedup']:6.2f}x"
+        )
     print(f"\nwrote {args.output} "
           f"(largest forward bench: {largest['name']} "
           f"at {largest['speedup']:.2f}x)")
     print(f"wrote {args.output_session} "
           f"(largest batch: {largest_session['name']} warm at "
           f"{largest_session['speedup']:.2f}x over cold)")
+    print(f"wrote {args.output_service} "
+          f"(cpu_count={cpu_count}; multi-worker scaling is "
+          f"hardware-bound, see the note in the file)")
 
     if args.smoke:
         failed = False
@@ -326,6 +546,35 @@ def main(argv=None) -> int:
                 f"{session_smoke['cold_s'] * 1e3:.2f} ms; speedup "
                 f"{session_smoke['speedup']:.2f}x < "
                 f"{SESSION_SMOKE_MIN_SPEEDUP}x)",
+                file=sys.stderr,
+            )
+            failed = True
+        service_smoke = service_batches[0]
+        two = service_smoke["workers"]["2"]["speedup_vs_1_worker"]
+        if cpu_count >= 2:
+            # Real cores available: a 2-worker pool must actually scale.
+            if two < SERVICE_SMOKE_MIN_SPEEDUP:
+                print(
+                    f"SMOKE FAILURE: 2-worker pool does not beat 1 worker on "
+                    f"{service_smoke['name']} ({two:.2f}x < "
+                    f"{SERVICE_SMOKE_MIN_SPEEDUP}x with {cpu_count} CPUs)",
+                    file=sys.stderr,
+                )
+                failed = True
+        elif two < SERVICE_SMOKE_MIN_RATIO_1CPU:
+            # One time-sliced CPU cannot scale; only bound the overhead.
+            print(
+                f"SMOKE FAILURE: 2-worker pool overhead out of bounds on "
+                f"{service_smoke['name']} ({two:.2f}x < "
+                f"{SERVICE_SMOKE_MIN_RATIO_1CPU}x on a single CPU)",
+                file=sys.stderr,
+            )
+            failed = True
+        if service_smoke["table_cache_speedup"] < 1.0:
+            print(
+                "SMOKE FAILURE: identical-repeat table-cache serving is "
+                f"slower than recomputing "
+                f"({service_smoke['table_cache_speedup']:.2f}x < 1x)",
                 file=sys.stderr,
             )
             failed = True

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""The typechecking service, end to end.
+
+Spawns ``python -m repro serve`` (2 workers) as a real subprocess, waits
+for its ready line, then drives it with the thin client:
+
+1. ``ping`` / ``stats`` — liveness and pool health;
+2. a mixed 12-transducer batch against one warm schema pair
+   (``typecheck_many`` fans the items out across the workers);
+3. the same query twice — the repeat is served from the worker's
+   per-transducer fixpoint-table cache (watch ``stats.table_cache``);
+4. a single query with its forward fixpoint *sharded* across the pool;
+5. a counterexample, parsed back into a tree.
+
+Run:  python examples/service_demo.py
+"""
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(REPO_SRC))
+
+from repro import DTD, TreeTransducer  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+
+def book_schemas():
+    din = DTD(
+        {
+            "book": "title author+ chapter+",
+            "chapter": "title intro section+",
+            "section": "title paragraph+ section*",
+        },
+        start="book",
+    )
+    dout = DTD(
+        {"book": "title (chapter title+)*"},
+        start="book",
+        alphabet=din.alphabet,
+    )
+    return din, dout
+
+
+def toc_variants(din, count=12):
+    """Table-of-contents variants; every other one leaks ``intro``."""
+    variants = []
+    for j in range(count):
+        state = f"q{j}"
+        rules = {
+            (state, "book"): f"book({state})",
+            (state, "chapter"): f"chapter {state}",
+            (state, "title"): "title",
+            (state, "section"): state,
+        }
+        if j % 2:
+            rules[(state, "intro")] = "intro"
+        variants.append(TreeTransducer({state}, din.alphabet, state, rules))
+    return variants
+
+
+def main() -> int:
+    din, dout = book_schemas()
+    variants = toc_variants(din)
+
+    print("spawning: python -m repro serve --port 0 --workers 2")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+    )
+    try:
+        ready = server.stdout.readline().strip()
+        print(f"  {ready}")
+        port = int(ready.rsplit(":", 1)[1])
+
+        deadline = time.time() + 30
+        while True:
+            try:
+                client = ServiceClient(port=port)
+                break
+            except OSError:
+                if time.time() > deadline:
+                    raise
+                time.sleep(0.2)
+
+        with client:
+            banner = client.ping()
+            print(f"  server {banner['version']}, {banner['workers']} workers\n")
+
+            print(f"batch of {len(variants)} transducer variants:")
+            start = time.perf_counter()
+            verdicts = client.typecheck_many(din, dout, variants)
+            elapsed = (time.perf_counter() - start) * 1e3
+            for j, verdict in enumerate(verdicts):
+                flag = "PASS" if verdict["typechecks"] else "FAIL"
+                print(f"  variant {j:2d}: {flag}  ({verdict['algorithm']})")
+            print(f"  ...{elapsed:.1f} ms total, fanned across the pool\n")
+
+            print("repeat of variant 0 (per-transducer table cache):")
+            for attempt in ("first", "second"):
+                result = client.typecheck(variants[0], din, dout)
+                print(
+                    f"  {attempt}: typechecks={result['typechecks']} "
+                    f"table_cache={result['stats'].get('table_cache')} "
+                    f"({client.last_response['elapsed_ms']} ms)"
+                )
+            print()
+
+            print("sharded single query (fixpoint split across workers):")
+            result = client.typecheck(variants[0], din, dout, shards=2)
+            print(f"  typechecks={result['typechecks']} (shards=2)\n")
+
+            print("counterexample for a leaking variant:")
+            witness = client.counterexample(variants[1], din, dout)
+            print(f"  {witness}\n")
+
+            print("pool stats:", client.stats())
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

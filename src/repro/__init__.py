@@ -38,6 +38,11 @@ thin wrapper over a registry of compiled sessions keyed by schema content
 hashes, so repeated one-shot calls against equal schemas skip all setup.
 For cross-process reuse pass ``cache_dir=...`` to :func:`repro.compile`
 (see :mod:`repro.cache`).
+
+To *serve* typechecking at scale, :mod:`repro.service` wraps sessions in a
+multi-process worker pool behind a JSON-lines TCP server
+(``python -m repro serve``); see :class:`repro.service.WorkerPool` and
+:class:`repro.service.ServiceClient`.
 """
 
 from repro.core import (
@@ -59,7 +64,7 @@ from repro.transducers import TreeTransducer, analyze, to_xslt
 from repro.trees import Tree, parse_hedge, parse_tree
 from repro.tree_automata import NTA
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DTD",

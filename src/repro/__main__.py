@@ -39,84 +39,36 @@ schema-side work is done once per *distinct* pair, not once per file.
 
 Exit status 0 = every instance typechecks, 1 = at least one fails (a
 counterexample is printed), 2 = usage error or any instance errored.
+
+The ``serve`` subcommand starts the multi-process typechecking service
+(:mod:`repro.service`) instead of checking files::
+
+    python -m repro serve [--host H] [--port P] [--workers N]
+                          [--cache-dir DIR] [--max-cache-bytes B]
+
+It speaks the JSON-lines protocol of :mod:`repro.service.protocol`; drive
+it with :class:`repro.service.client.ServiceClient`.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import ReproError
-from repro.schemas.dtd import DTD
-from repro.transducers.transducer import TreeTransducer
 from repro.core.session import compile as compile_session
+
+# The CLI's section format is the service's wire format; the parsers live
+# with the protocol and are re-exported here for backwards compatibility.
+from repro.service.protocol import (  # noqa: F401 - re-exported names
+    load_instance,
+    parse_dtd_section,
+    parse_transducer_section,
+)
 
 _METHODS = (
     "auto", "forward", "replus", "replus-witnesses", "delrelab", "bruteforce"
 )
-
-
-def parse_dtd_section(lines: List[str]) -> DTD:
-    """Parse ``start s`` followed by ``a -> regex`` lines."""
-    if not lines or not lines[0].startswith("start "):
-        raise ReproError("DTD section must begin with 'start <symbol>'")
-    start = lines[0].split(None, 1)[1].strip()
-    rules: Dict[str, str] = {}
-    for line in lines[1:]:
-        head, arrow, body = line.partition("->")
-        if not arrow:
-            raise ReproError(f"bad DTD rule: {line!r}")
-        rules[head.strip()] = body.strip()
-    return DTD(rules, start=start)
-
-
-def parse_transducer_section(lines: List[str], alphabet) -> TreeTransducer:
-    """Parse ``initial q states ...`` plus ``q, a -> rhs`` lines."""
-    if not lines or not lines[0].startswith("initial "):
-        raise ReproError("transducer section must begin with 'initial <state> states ...'")
-    header = lines[0].split()
-    initial = header[1]
-    if "states" in header:
-        states = set(header[header.index("states") + 1 :]) | {initial}
-    else:
-        states = {initial}
-    rules: Dict[Tuple[str, str], str] = {}
-    output_symbols = set()
-    for line in lines[1:]:
-        head, arrow, body = line.partition("->")
-        if not arrow:
-            raise ReproError(f"bad transducer rule: {line!r}")
-        state, comma, symbol = head.partition(",")
-        if not comma:
-            raise ReproError(f"bad transducer rule head: {head!r}")
-        rules[(state.strip(), symbol.strip())] = body.strip()
-        for token in body.replace("(", " ").replace(")", " ").split():
-            if token not in states and not token.startswith("<"):
-                output_symbols.add(token)
-    sigma = set(alphabet) | output_symbols | {symbol for (_q, symbol) in rules}
-    return TreeTransducer(states, sigma, initial, rules)
-
-
-def load_instance(text: str):
-    """Split an instance file into (transducer, din, dout)."""
-    sections: List[List[str]] = [[]]
-    for raw in text.splitlines():
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        if set(line) == {"-"}:
-            sections.append([])
-            continue
-        sections[-1].append(line)
-    if len(sections) != 3:
-        raise ReproError(
-            f"expected 3 sections separated by '---', found {len(sections)}"
-        )
-    din = parse_dtd_section(sections[0])
-    transducer = parse_transducer_section(sections[1], din.alphabet)
-    dout_raw = parse_dtd_section(sections[2])
-    dout = DTD(dout_raw.rules(), start=dout_raw.start, alphabet=transducer.alphabet)
-    return transducer, din, dout
 
 
 def _parse_args(argv: List[str]):
@@ -164,8 +116,75 @@ def _check_one(name: str, method: str, cache_dir: Optional[str]):
     return session, session.typecheck(transducer, method=method)
 
 
+def _parse_serve_args(argv: List[str]):
+    """Flags of the ``serve`` subcommand; ``None`` on usage error."""
+    options = {
+        "host": "127.0.0.1", "port": 8722, "workers": 2,
+        "cache_dir": None, "max_cache_bytes": None,
+    }
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg in ("-h", "--help"):
+            return None
+        if arg in ("--host", "--port", "--workers", "--cache-dir",
+                   "--max-cache-bytes"):
+            index += 1
+            if index >= len(argv):
+                return None
+            value = argv[index]
+            if arg == "--host":
+                options["host"] = value
+            elif arg == "--cache-dir":
+                options["cache_dir"] = value
+            else:
+                try:
+                    options[arg[2:].replace("-", "_")] = int(value)
+                except ValueError:
+                    return None
+        else:
+            return None
+        index += 1
+    # Semantic range checks are usage errors too (exit 2, not a traceback).
+    if not 0 <= int(options["port"]) <= 65535:
+        return None
+    if int(options["workers"]) < 1:
+        return None
+    max_cache = options["max_cache_bytes"]
+    if max_cache is not None and int(max_cache) < 0:
+        return None
+    return options
+
+
+def _serve(argv: List[str]) -> int:
+    options = _parse_serve_args(argv)
+    if options is None:
+        print(__doc__)
+        return 2
+    from repro.service.pool import DEFAULT_CACHE_BYTES
+    from repro.service.server import run_server
+
+    max_cache_bytes = options["max_cache_bytes"]
+    try:
+        return run_server(
+            options["host"],
+            options["port"],
+            workers=options["workers"],
+            cache_dir=options["cache_dir"],
+            cache_max_bytes=(
+                DEFAULT_CACHE_BYTES if max_cache_bytes is None else max_cache_bytes
+            ),
+        )
+    except OSError as exc:
+        # Bind failures (port in use, bad host) are usage errors, not bugs.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: List[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        return _serve(argv[1:])
     parsed = _parse_args(argv)
     if parsed is None:
         print(__doc__)

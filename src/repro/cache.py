@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -37,8 +38,10 @@ from repro.core.session import Session, schema_fingerprint, session_key
 from repro.kernel import serialize
 from repro.util import stable_digest
 
-#: Bump when the artifact payload layout changes shape.
-CACHE_FORMAT = 1
+#: Bump when the artifact payload layout changes shape.  2: forward
+#: artifacts carry the shared fixpoint cells and the per-transducer table
+#: cache (closure-free HedgeEntry).
+CACHE_FORMAT = 2
 
 ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -101,6 +104,8 @@ def save_session(session: Session, cache_dir=None) -> Path:
         except OSError:
             pass
         raise
+    session.stats["published_state"] = _artifact_state(session)
+    session.stats["published_at"] = time.monotonic()
     return path
 
 
@@ -116,6 +121,40 @@ def ensure_saved(session: Session, cache_dir=None) -> Path:
     key = artifact_key(session.sin, session.sout, session.options)
     path = artifact_path(cache_dir, key)
     if path.exists():
+        return path
+    return save_session(session, cache_dir=cache_dir)
+
+
+def _artifact_state(session: Session) -> tuple:
+    """A cheap fingerprint of the session state worth re-publishing for."""
+    forward = session._forward
+    if forward is None:
+        return (0, 0)
+    return (len(forward.transducer_tables), len(forward.shared_hedge))
+
+
+def publish(session: Session, cache_dir=None, min_interval_s: float = 30.0) -> Path:
+    """Persist the session's artifacts, refreshing stale blobs.
+
+    ``ensure_saved`` alone would freeze the blob at its first (usually
+    empty) state forever: sessions accumulate their most valuable
+    artifacts — per-transducer fixpoint tables, converged shared cells —
+    *after* the first save.  ``publish`` rewrites the file when that state
+    grew, throttled to ``min_interval_s`` so a steady request stream is
+    not re-serializing the blob per call.  This is what ``repro.compile``
+    calls on every cache-backed lookup.
+    """
+    path = ensure_saved(session, cache_dir=cache_dir)
+    state = _artifact_state(session)
+    if state == session.stats.get("published_state"):
+        return path
+    published_at = session.stats.get("published_at")
+    now = time.monotonic()
+    if (
+        published_at is not None
+        and min_interval_s > 0
+        and now - float(published_at) < min_interval_s
+    ):
         return path
     return save_session(session, cache_dir=cache_dir)
 
@@ -157,35 +196,76 @@ def load_session(
             return None
         if schema_fingerprint(artifacts["sout"]) != schema_fingerprint(sout):
             return None
-        return Session.from_artifacts(
+        try:
+            # Touch on hit: mtime is the LRU recency signal of clear().
+            os.utime(path)
+        except OSError:
+            pass
+        session = Session.from_artifacts(
             artifacts,
             use_kernel=bool(options.get("use_kernel", True)),
             max_product_nodes=int(options.get("max_product_nodes", 500_000)),
         )
+        # The session's state *is* the blob's state: stamp it so publish()
+        # rewrites only once it actually grows beyond what is on disk.
+        session.stats["published_state"] = _artifact_state(session)
+        session.stats["published_at"] = time.monotonic()
+        return session
     except Exception:
         return None
 
 
-def clear(cache_dir=None) -> int:
-    """Delete every session artifact in ``cache_dir``; returns the count.
+def clear(cache_dir=None, max_bytes: Optional[int] = None) -> int:
+    """Prune session artifacts in ``cache_dir``; returns the removed count.
+
+    With ``max_bytes=None`` every artifact goes (the seed behavior).  With
+    a byte budget the cache is LRU-pruned instead: artifacts are deleted
+    oldest-``mtime``-first until the survivors fit in ``max_bytes`` —
+    writes set the file's mtime and :func:`load_session` touches it on
+    every hit, so mtime order is recency order.  The typechecking service
+    bounds its cache directory this way on startup
+    (:data:`repro.service.pool.DEFAULT_CACHE_BYTES`).
 
     Also sweeps ``*.tmp`` orphans left by a writer killed between
-    ``mkstemp`` and the atomic rename (orphans are not counted).
+    ``mkstemp`` and the atomic rename (orphans are not counted).  Only
+    files older than an hour are treated as orphans: the service prunes
+    its cache directory at every pool startup, and a fresh ``.tmp`` may
+    be a *live* concurrent writer mid-``os.replace``.
     """
     if cache_dir is None:
         cache_dir = default_cache_dir()
     directory = Path(cache_dir)
     removed = 0
     if directory.is_dir():
+        entries = []
         for path in directory.glob("*.session.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        if max_bytes is None:
+            victims = [path for (_mtime, _size, path) in entries]
+        else:
+            entries.sort()  # oldest first
+            total = sum(size for (_mtime, size, _path) in entries)
+            victims = []
+            for _mtime, size, path in entries:
+                if total <= max_bytes:
+                    break
+                victims.append(path)
+                total -= size
+        for path in victims:
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
+        orphan_age = time.time() - 3600
         for path in directory.glob("*.tmp"):
             try:
-                path.unlink()
+                if path.stat().st_mtime < orphan_age:
+                    path.unlink()
             except OSError:
                 pass
     return removed

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.cex_nta import counterexample_nta
+from repro.core.forward import ForwardSchema
 from repro.schemas.dtd import DTD
 from repro.transducers.transducer import TreeTransducer
 from repro.tree_automata.finiteness import is_finite
@@ -23,7 +24,18 @@ def typechecks_almost_always(
     din: DTD,
     dout: DTD,
     max_tuple: Optional[int] = None,
+    *,
+    schema: Optional[ForwardSchema] = None,
+    use_kernel: bool = True,
 ) -> bool:
-    """Whether only finitely many input trees violate the output schema."""
-    automaton = counterexample_nta(transducer, din, dout, max_tuple)
+    """Whether only finitely many input trees violate the output schema.
+
+    ``schema`` threads a warm session's compiled
+    :class:`~repro.core.forward.ForwardSchema` into the underlying
+    counterexample automaton (``session.typechecks_almost_always``), so
+    warm Corollary 39 queries skip all schema-side setup.
+    """
+    automaton = counterexample_nta(
+        transducer, din, dout, max_tuple, schema=schema, use_kernel=use_kernel
+    )
     return is_finite(automaton)

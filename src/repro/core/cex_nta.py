@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.forward import ForwardEngine, _chain_top_level
+from repro.core.forward import ForwardEngine, ForwardSchema, _chain_top_level
 from repro.core.reachability import reachable_pairs
 from repro.schemas.dtd import DTD
 from repro.strings.nfa import NFA
@@ -39,17 +39,29 @@ def counterexample_nta(
     din: DTD,
     dout: DTD,
     max_tuple: Optional[int] = None,
+    *,
+    schema: Optional[ForwardSchema] = None,
+    use_kernel: bool = True,
 ) -> NTA:
     """Build (the reachable part of) Lemma 14's counterexample automaton.
 
     ``L(result) = {t ∈ L(din) : T(t) ∉ L(dout)}``.  Root-level failures (no
     initial rule / wrong output root label) make every valid input a
     counterexample; the automaton then reduces to the input DTD's automaton.
+
+    ``schema`` is a :class:`~repro.core.forward.ForwardSchema` compiled for
+    exactly these DTD objects — a warm :class:`~repro.core.session.Session`
+    passes its own (``session.counterexample_nta``), so the forward engine
+    reuses the shared σ-independent fixpoint cells and reachability caches
+    instead of building a private engine from scratch.
     """
     if transducer.uses_calls():
         from repro.xpath.compile import compile_calls
 
         transducer = compile_calls(transducer)
+
+    if schema is None:
+        schema = ForwardSchema(din, dout)
 
     productive = din.productive_symbols()
     # Plain states exist for every symbol; unproductive ones simply cannot
@@ -90,8 +102,14 @@ def counterexample_nta(
     # ------------------------------------------------------------------
     # Forward tables.
     # ------------------------------------------------------------------
-    engine = ForwardEngine(transducer, din, dout, max_tuple)
-    pairs = reachable_pairs(transducer, din)
+    engine = ForwardEngine(
+        transducer, din, dout, max_tuple,
+        use_kernel=use_kernel, schema=schema,
+    )
+    pairs = reachable_pairs(
+        transducer, din,
+        usable_cache=schema.usable_cache, word_cache=schema.word_cache,
+    )
     checks = []
     for (q, a) in pairs:
         rhs = transducer.rules.get((q, a))
@@ -102,7 +120,13 @@ def counterexample_nta(
                 continue
             key = engine.request_hedge(node.label, a, top_states(node.children))
             checks.append(((q, a), path, node, key))
-    engine.run()
+    try:
+        engine.run()
+    except BaseException:
+        # Same abort hygiene as typecheck_forward: a mid-fixpoint abort
+        # would leave shared cells with counters ahead of pushed edges.
+        schema.reset_shared()
+        raise
 
     # ------------------------------------------------------------------
     # States.

@@ -36,12 +36,13 @@ blows up — that is the paper's intractability frontier showing itself.
 from __future__ import annotations
 
 import itertools
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import BudgetExceededError, ClassViolationError
 from repro.kernel.product import ProductBFS
+from repro.kernel.serialize import HedgeDecoder
 from repro.schemas.dtd import DTD
 from repro.strings.dfa import DFA
 from repro.transducers.analysis import analyze
@@ -54,6 +55,23 @@ from repro.core.reachability import Pair, context_for, reachable_pairs
 
 Slot = Tuple[object, object]  # (A-state, A-state)
 TupleKey = Tuple[str, str, Tuple[str, ...]]  # (σ, input symbol, P)
+
+#: How many per-transducer table snapshots a ForwardSchema retains (LRU).
+TRANSDUCER_TABLE_LIMIT = 64
+
+
+def canonical_cell_key(
+    sigma: Optional[str], symbol: str, P: Tuple[str, ...], use_kernel: bool
+) -> TupleKey:
+    """The one canonicalization of fixpoint cell keys.
+
+    Shared by :meth:`ForwardEngine.key_for` and :func:`forward_check_keys`
+    — the shard partitioner must produce exactly the keys the root-check
+    scan will look up, so the rule lives in one place.
+    """
+    if not P and use_kernel:
+        return (None, symbol, P)
+    return (sigma, symbol, P)
 
 
 @dataclass(frozen=True)
@@ -83,6 +101,14 @@ class HedgeEntry:
     ``nodes`` / ``edges`` / ``seeds`` views are decoded lazily through
     properties — only the counterexample-NTA export ever reads those, so
     typechecking itself never pays the decode.
+
+    Entries are **closure-free** and pickle whole: the decode mapping is a
+    :class:`~repro.kernel.serialize.HedgeDecoder` holding the two state
+    interners as data (the seed captured them in closures, which is why
+    shared ProductBFS cells used to be rebuilt per process).  Interners
+    assign indices deterministically, so a pickled cell's int tables remain
+    valid against the equal automata any other process compiles — the basis
+    of both the per-transducer table cache and the service's shard fan-out.
     """
 
     __slots__ = (
@@ -95,8 +121,7 @@ class HedgeEntry:
         "by_currents",
         "consumed",
         "child_keys",
-        "_decode_node",
-        "_decode_tau",
+        "decoder",
         "_nodes",
         "_edges",
         "_seeds",
@@ -116,15 +141,27 @@ class HedgeEntry:
         self.by_currents: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
         self.consumed: Dict[TupleKey, int] = {}
         self.child_keys: Tuple[TupleKey, ...] = ()
-        self._decode_node = None
-        self._decode_tau = None
+        self.decoder = None  # HedgeDecoder on the kernel path
         self._nodes: Optional[Set[Tuple]] = None
         self._edges: Optional[List[Tuple]] = None
         self._seeds: Optional[Set[Tuple]] = None
 
+    def __getstate__(self):
+        # The lazily decoded views are pure caches — drop them from the
+        # pickle so blobs stay lean and deterministic.
+        return tuple(
+            None if name in ("_nodes", "_edges", "_seeds") and self.decoder is not None
+            else getattr(self, name)
+            for name in self.__slots__
+        )
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
     def reset_object(self) -> None:
         """Start an object-path evaluation: direct object containers."""
-        self._decode_node = self._decode_tau = None
+        self.decoder = None
         self._nodes = set()
         self._edges = []
         self._seeds = set()
@@ -132,21 +169,21 @@ class HedgeEntry:
     @property
     def nodes(self) -> Set[Tuple]:
         """Product nodes ``(content state, π)`` in object form."""
-        if self._decode_node is None:
+        if self.decoder is None:
             return self._nodes if self._nodes is not None else set()
         if self._nodes is None:
-            decode = self._decode_node
+            decode = self.decoder.node
             self._nodes = {decode(node) for node in self.engine.parents}
         return self._nodes
 
     @property
     def edges(self) -> List[Tuple]:
         """Product edges ``(src, c, τ, dst)`` in object form."""
-        if self._decode_node is None:
+        if self.decoder is None:
             return self._edges if self._edges is not None else []
         if self._edges is None:
-            decode_node = self._decode_node
-            decode_tau = self._decode_tau
+            decode_node = self.decoder.node
+            decode_tau = self.decoder.slots
             self._edges = [
                 (decode_node(src), c, decode_tau(tau), decode_node(dst))
                 for (src, c, tau, dst) in self.int_edges
@@ -156,10 +193,10 @@ class HedgeEntry:
     @property
     def seeds(self) -> Set[Tuple]:
         """Seed nodes (identity slot pairs) in object form."""
-        if self._decode_node is None:
+        if self.decoder is None:
             return self._seeds if self._seeds is not None else set()
         if self._seeds is None:
-            decode = self._decode_node
+            decode = self.decoder.node
             self._seeds = {decode(node) for node in self.int_seeds}
         return self._seeds
 
@@ -204,6 +241,13 @@ class ForwardSchema:
         # hedge key -> HedgeEntry; tree key -> (vals, int, order, index).
         self.shared_hedge: Dict[TupleKey, HedgeEntry] = {}
         self.shared_tree: Dict[TupleKey, Tuple[Dict, Dict, List, Dict]] = {}
+        # Per-*transducer* fixpoint tables (kernel path): transducer
+        # content hash -> the complete tables of a successful run, so a
+        # repeated identical query skips the fixpoint entirely.  Bounded
+        # LRU; entries are complete least fixpoints and stay valid even
+        # after reset_shared() (they were snapshotted post-convergence).
+        self.transducer_tables: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self.transducer_table_limit = TRANSDUCER_TABLE_LIMIT
         self.compiled = False
 
     def universal_dfa(self, alphabet: frozenset) -> DFA:
@@ -260,6 +304,21 @@ class ForwardSchema:
             cached = (dfa_in, useful)
             self._in_useful[a] = cached
         return cached
+
+    def cached_tables(self, table_key: str) -> Optional[Dict[str, object]]:
+        """The complete forward tables of a previous run of an equal
+        transducer, or ``None`` (LRU-touched on hit)."""
+        tables = self.transducer_tables.get(table_key)
+        if tables is not None:
+            self.transducer_tables.move_to_end(table_key)
+        return tables
+
+    def store_tables(self, table_key: str, tables: Dict[str, object]) -> None:
+        """Retain a successful run's tables under the transducer's hash."""
+        self.transducer_tables[table_key] = tables
+        self.transducer_tables.move_to_end(table_key)
+        while len(self.transducer_tables) > self.transducer_table_limit:
+            self.transducer_tables.popitem(last=False)
 
     def reset_shared(self) -> None:
         """Drop the shared fixpoint cells (they rebuild on next use).
@@ -378,9 +437,7 @@ class ForwardEngine:
         single chain.  The object path keeps the seed's per-σ keys: it is
         the faithful baseline, not an optimized engine.
         """
-        if not P and self.use_kernel:
-            return (None, symbol, P)
-        return (sigma, symbol, P)
+        return canonical_cell_key(sigma, symbol, P, self.use_kernel)
 
     def decomposition(
         self, state: str, symbol: str
@@ -677,7 +734,6 @@ class ForwardEngine:
         m = len(P)
         n_out = idfa_out.n_states
 
-        in_value = idfa_in.states.value
         decode_slots = self._decode_slots
         int_edges = entry.int_edges
         int_accepted = entry.int_accepted
@@ -703,12 +759,9 @@ class ForwardEngine:
                 max_nodes=self.max_product_nodes,
                 budget_message="hedge product exceeded {max_nodes} nodes",
             )
-
-            def decode_node(node: Tuple[int, ...]):
-                return (in_value(node[0]), decode_slots(idfa_out, node[1:]))
-
-            entry._decode_node = decode_node
-            entry._decode_tau = lambda flat: decode_slots(idfa_out, flat)
+            # Closure-free decode descriptor: interners as data, so the
+            # whole cell pickles (table cache, shard fan-out).
+            entry.decoder = HedgeDecoder(idfa_in.states, idfa_out.states)
 
         parents = engine.parents
         nodes_before = len(parents)
@@ -929,6 +982,163 @@ class ForwardEngine:
         return children
 
 
+# ----------------------------------------------------------------------
+# Fixpoint tables as data: snapshot / hydrate / shard / merge
+# ----------------------------------------------------------------------
+# The engine's least fixpoint is an ordinary value: a map from cell keys to
+# (closure-free, picklable) cell contents.  These helpers move that value
+# around — into the per-transducer table cache, across process boundaries
+# for the service's shard fan-out, and back into a fresh engine whose
+# ``run()`` is then skipped entirely.
+
+
+def export_forward_tables(engine: ForwardEngine) -> Dict[str, object]:
+    """Snapshot every cell the engine materialized, in picklable form.
+
+    The snapshot shares the live cell objects (hedge entries, tree-cell
+    4-tuples) rather than copying: after a converged run they are complete
+    least fixpoints and are never mutated again — later engines for other
+    transducers re-derive nothing new in them.
+    """
+    return {
+        "hedge": dict(engine.hedge_vals),
+        "tree": {
+            key: (
+                engine.tree_vals[key],
+                engine._tree_int[key],
+                engine._tree_order[key],
+                engine._tree_index[key],
+            )
+            for key in engine.tree_vals
+        },
+        "work": engine.work,
+    }
+
+
+def hydrate_forward_tables(engine: ForwardEngine, tables: Dict[str, object]) -> None:
+    """Install snapshotted tables into a fresh engine, replacing ``run()``.
+
+    The engine must not have registered any cells yet; after hydration the
+    root-check scan and the recursive counterexample construction read the
+    tables exactly as they would after a converged ``run()``.  The
+    snapshot's accumulated ``work`` carries over so sharded runs report
+    the product nodes their workers actually explored (table-cache hits
+    reset it to 0 — nothing was computed for *that* call).
+    """
+    engine.hedge_vals.update(tables["hedge"])
+    for key, (vals, int_table, order, index) in tables["tree"].items():
+        engine.tree_vals[key] = vals
+        engine._tree_int[key] = int_table
+        engine._tree_order[key] = order
+        engine._tree_index[key] = index
+    engine.work = int(tables.get("work", 0))
+
+
+def forward_check_keys(
+    transducer: TreeTransducer,
+    din: DTD,
+    schema: ForwardSchema,
+    use_kernel: bool = True,
+) -> List[TupleKey]:
+    """The canonical hedge-cell keys of every root check of ``T``.
+
+    This is the unit of shard partitioning: each key's fixpoint (with its
+    dependency closure) can be computed independently and the resulting
+    cell tables merged — cells are functions of their dependencies alone,
+    so per-shard least fixpoints agree wherever closures overlap.
+    """
+    if transducer.uses_calls():
+        from repro.xpath.compile import compile_calls
+
+        transducer = compile_calls(transducer)
+    pairs = reachable_pairs(
+        transducer, din,
+        usable_cache=schema.usable_cache, word_cache=schema.word_cache,
+    )
+    keys: List[TupleKey] = []
+    seen: Set[TupleKey] = set()
+    for (q, a) in pairs:
+        rhs = transducer.rules.get((q, a))
+        if rhs is None:
+            continue
+        for _path, node in iter_rhs_nodes(rhs):
+            if not isinstance(node, RhsSym):
+                continue
+            P = top_states(node.children)
+            key = canonical_cell_key(node.label, a, P, use_kernel)
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    return keys
+
+
+def compute_forward_tables(
+    transducer: TreeTransducer,
+    din: DTD,
+    dout: DTD,
+    keys: Iterable[TupleKey],
+    *,
+    max_tuple: Optional[int] = None,
+    max_product_nodes: int = 500_000,
+    use_kernel: bool = True,
+    schema: Optional[ForwardSchema] = None,
+) -> Dict[str, object]:
+    """One shard of the forward fixpoint: the cells rooted at ``keys``.
+
+    Runs the chaotic iteration over exactly the dependency closure of the
+    given hedge-cell keys and snapshots the result.  A service worker calls
+    this against its warm session's schema; the parent merges the shards
+    with :func:`merge_forward_tables` and finishes via
+    ``typecheck_forward(..., tables=merged)``.
+    """
+    if transducer.uses_calls():
+        from repro.xpath.compile import compile_calls
+
+        transducer = compile_calls(transducer)
+    if schema is None:
+        schema = ForwardSchema(din, dout)
+    if max_tuple is None:
+        analysis = analyze(transducer)
+        if analysis.deletion_path_width is None:
+            raise ClassViolationError(
+                "transducer has unbounded deletion path width (not in any "
+                "T^{C,K}_trac); pass max_tuple to run the general engine"
+            )
+        max_tuple = max(1, analysis.copying_width * analysis.deletion_path_width)
+    engine = ForwardEngine(
+        transducer, din, dout, max_tuple, max_product_nodes,
+        use_kernel=use_kernel, schema=schema,
+    )
+    for key in keys:
+        engine.request_hedge(*key)
+    try:
+        engine.run()
+    except BaseException:
+        schema.reset_shared()
+        raise
+    return export_forward_tables(engine)
+
+
+def merge_forward_tables(shards: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Union shard snapshots into one table set.
+
+    Every shard evaluated its cells to their complete least fixpoint
+    (dependencies included), so where closures overlap the cells carry the
+    same accepted sets — the merge keeps the first copy and unions at cell
+    granularity.  ``work`` accumulates for stats.
+    """
+    merged: Dict[str, object] = {"hedge": {}, "tree": {}, "work": 0}
+    hedge: Dict = merged["hedge"]
+    tree: Dict = merged["tree"]
+    for shard in shards:
+        merged["work"] = int(merged["work"]) + int(shard.get("work", 0))
+        for key, entry in shard["hedge"].items():
+            hedge.setdefault(key, entry)
+        for key, cell in shard["tree"].items():
+            tree.setdefault(key, cell)
+    return merged
+
+
 def _chain_top_level(
     dfa: DFA, segments, pi: Tuple[Slot, ...]
 ) -> Optional[object]:
@@ -952,6 +1162,7 @@ def typecheck_forward(
     want_counterexample: bool = True,
     use_kernel: bool = True,
     schema: Optional[ForwardSchema] = None,
+    tables: Optional[Dict[str, object]] = None,
 ) -> TypecheckResult:
     """Sound and complete typechecking of ``T`` w.r.t. DTDs (Theorem 15).
 
@@ -968,13 +1179,24 @@ def typecheck_forward(
     ``schema`` is a :class:`ForwardSchema` compiled for exactly these DTD
     objects — a warm :class:`~repro.core.session.Session` passes its own so
     repeated calls skip all schema-side setup; omitted, a private one is
-    built and the call behaves exactly as before.
+    built and the call behaves exactly as before.  With a shared schema the
+    kernel path also consults the per-transducer table cache: an
+    equal-content transducer seen before is answered from its stored least
+    fixpoint without running the engine (complete tables carry the verdict
+    regardless of the per-call budgets, so a hit bypasses
+    ``max_product_nodes``).
+
+    ``tables`` injects precomputed forward tables directly (the merged
+    result of a service shard fan-out, see :func:`compute_forward_tables` /
+    :func:`merge_forward_tables`): the fixpoint is skipped and the
+    root-check scan plus counterexample construction run against them.
     """
     if transducer.uses_calls():
         from repro.xpath.compile import compile_calls
 
         transducer = compile_calls(transducer)
 
+    shared_schema = schema is not None
     if schema is None:
         schema = ForwardSchema(din, dout)
 
@@ -1055,18 +1277,39 @@ def typecheck_forward(
                 continue
             segments = top_decomposition(node.children)
             P = top_states(node.children)
-            key = engine.request_hedge(node.label, a, P)
+            key = engine.key_for(node.label, a, P)
             checks.append(((q, a), path, node.label, segments, P, key))
 
-    try:
-        engine.run()
-    except BaseException:
-        # A mid-fixpoint abort can leave the schema's shared cells with
-        # delta counters ahead of the edges actually pushed; drop them so
-        # later calls on a warm session rebuild instead of reusing
-        # corrupted state.
-        schema.reset_shared()
-        raise
+    # Per-transducer table cache (kernel path, session-shared schema only:
+    # a one-shot private schema is discarded with its cache).  A hit reuses
+    # the complete least fixpoint of a previous run of an equal-content
+    # transducer, so no fixpoint work happens at all.
+    table_key = None
+    if tables is None and use_kernel and shared_schema:
+        table_key = transducer.content_hash()
+        tables = schema.cached_tables(table_key)
+        if tables is not None:
+            stats["table_cache"] = "hit"
+
+    if tables is not None:
+        hydrate_forward_tables(engine, tables)
+        if stats.get("table_cache") == "hit":
+            engine.work = 0  # served from cache: this call computed nothing
+    else:
+        for _pair, _path, _sigma, _segments, _P, key in checks:
+            engine.request_hedge(*key)
+        try:
+            engine.run()
+        except BaseException:
+            # A mid-fixpoint abort can leave the schema's shared cells with
+            # delta counters ahead of the edges actually pushed; drop them
+            # so later calls on a warm session rebuild instead of reusing
+            # corrupted state.
+            schema.reset_shared()
+            raise
+        if table_key is not None:
+            schema.store_tables(table_key, export_forward_tables(engine))
+            stats["table_cache"] = "miss"
     stats["product_nodes"] = engine.work
     stats["reachable_pairs"] = len(pairs)
 

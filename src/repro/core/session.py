@@ -27,10 +27,18 @@ This module is that deployment shape as an API:
   keyed by the same content hashes with versioned invalidation, so a fresh
   process skips schema compilation entirely.
 
-Sessions are not thread-safe; shard by session for parallel serving.  The
-registry is therefore *thread-local* — one-shot ``typecheck()`` callers
-keep the seed API's thread safety (each thread warms its own sessions),
-at the cost of per-thread compilation.
+**Thread safety.**  The registry is *process-global* behind a lock, so
+every thread (and every request handler in a service worker) shares one
+warm session per schema pair instead of silently recompiling per thread —
+the seed's thread-local registry paid a full schema compilation in every
+new thread.  A :class:`Session` itself is thread-safe by coarse
+serialization: each public call (``warm`` / ``typecheck`` /
+``typecheck_many`` / ``counterexample`` / ``analysis`` / the NTA exports)
+holds the session's internal lock for its duration, because the shared
+fixpoint cells mutate during typechecking.  Calls on one session therefore
+never run concurrently — for CPU parallelism use one session per *process*
+(:mod:`repro.service`), not per thread; the GIL makes intra-process
+parallel typechecking a non-goal.
 """
 
 from __future__ import annotations
@@ -88,10 +96,14 @@ _METHOD_FUNCS = {
     "bruteforce": typecheck_bruteforce,
 }
 #: Positional/managed parameters that are not per-call options: the instance
-#: itself, ``max_tuple`` (an explicit ``typecheck`` parameter), and the
-#: session-managed compiled-schema context.
+#: itself, ``max_tuple`` (an explicit ``typecheck`` parameter), the
+#: session-managed compiled-schema context, and injected forward tables
+#: (a service-layer mechanism, not a user option).
 _NON_OPTION_PARAMS = frozenset(
-    {"transducer", "din", "dout", "sin", "sout", "ain", "aout", "max_tuple", "schema"}
+    {
+        "transducer", "din", "dout", "sin", "sout", "ain", "aout",
+        "max_tuple", "schema", "tables",
+    }
 )
 _ALLOWED_KWARGS: Dict[str, frozenset] = {}
 
@@ -184,6 +196,10 @@ class Session:
             "registry_hits": 0,
             "compile_s": 0.0,
         }
+        # Coarse per-session lock: public calls serialize on it, making a
+        # shared session safe to hand to multiple threads (see the module
+        # docstring — the registry is process-global).
+        self._lock = threading.RLock()
         self._dtd_pair_value = (
             (sin, sout) if isinstance(sin, DTD) and isinstance(sout, DTD) else None
         )
@@ -214,18 +230,19 @@ class Session:
     # ------------------------------------------------------------------
     def warm(self) -> "Session":
         """Eagerly compile every artifact applicable to the schema pair."""
-        start = time.perf_counter()
-        if self._dtd_pair_value is not None:
-            self.forward_schema().warm()
-            if self._replus_pair:
-                self.replus_schema().warm()
-        else:
-            # Automaton schemas: Theorem 20 is the only applicable route.
-            self.delrelab_schema(True).warm()
-        self.stats["compile_s"] = float(self.stats["compile_s"]) + (
-            time.perf_counter() - start
-        )
-        return self
+        with self._lock:
+            start = time.perf_counter()
+            if self._dtd_pair_value is not None:
+                self.forward_schema().warm()
+                if self._replus_pair:
+                    self.replus_schema().warm()
+            else:
+                # Automaton schemas: Theorem 20 is the only applicable route.
+                self.delrelab_schema(True).warm()
+            self.stats["compile_s"] = float(self.stats["compile_s"]) + (
+                time.perf_counter() - start
+            )
+            return self
 
     def _dtd_pair(self) -> Tuple[DTD, DTD]:
         if self._dtd_pair_value is None:
@@ -279,7 +296,8 @@ class Session:
 
     def analysis(self, transducer: TreeTransducer) -> TransducerAnalysis:
         """The Proposition 16 analysis of ``T`` (calls compiled away)."""
-        return self._compiled_transducer(transducer)[1]
+        with self._lock:
+            return self._compiled_transducer(transducer)[1]
 
     # ------------------------------------------------------------------
     # Typechecking
@@ -292,7 +310,18 @@ class Session:
         **kwargs,
     ) -> TypecheckResult:
         """Decide ``T(t) ∈ Sout`` for every ``t ∈ Sin`` against the warm
-        pair; same semantics and options as :func:`repro.typecheck`."""
+        pair; same semantics and options as :func:`repro.typecheck`.
+        Thread-safe: the call holds the session lock for its duration."""
+        with self._lock:
+            return self._typecheck(transducer, method, max_tuple, **kwargs)
+
+    def _typecheck(
+        self,
+        transducer: TreeTransducer,
+        method: str = "auto",
+        max_tuple: Optional[int] = None,
+        **kwargs,
+    ) -> TypecheckResult:
         self.stats["calls"] = int(self.stats["calls"]) + 1
         if method == "forward":
             validate_method_kwargs(method, kwargs)
@@ -401,6 +430,126 @@ class Session:
         return self.typecheck(transducer, method=method, **kwargs).counterexample
 
     # ------------------------------------------------------------------
+    # Sharded forward fixpoint (the service's single-query fan-out)
+    # ------------------------------------------------------------------
+    def forward_check_keys(self, transducer: TreeTransducer) -> List[Tuple]:
+        """The hedge-cell keys of ``T``'s root checks (shard units)."""
+        from repro.core.forward import forward_check_keys
+
+        with self._lock:
+            din, _dout = self._dtd_pair()
+            return forward_check_keys(
+                transducer, din, self.forward_schema(), use_kernel=self.use_kernel
+            )
+
+    def compute_forward_tables(
+        self,
+        transducer: TreeTransducer,
+        keys,
+        *,
+        max_tuple: Optional[int] = None,
+        max_product_nodes: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """One shard of ``T``'s forward fixpoint against the warm pair.
+
+        Service workers call this for their partition of
+        :meth:`forward_check_keys`; the returned tables are picklable
+        (closure-free cells) and merge with
+        :func:`repro.core.forward.merge_forward_tables`.
+        """
+        from repro.core.forward import compute_forward_tables
+
+        with self._lock:
+            din, dout = self._dtd_pair()
+            return compute_forward_tables(
+                transducer, din, dout, keys,
+                max_tuple=max_tuple,
+                max_product_nodes=max_product_nodes or self.max_product_nodes,
+                use_kernel=self.use_kernel,
+                schema=self.forward_schema(),
+            )
+
+    def typecheck_sharded(
+        self,
+        transducer: TreeTransducer,
+        compute_shards,
+        shards: int = 2,
+        max_tuple: Optional[int] = None,
+        **kwargs,
+    ) -> TypecheckResult:
+        """Forward-typecheck ``T`` with its fixpoint sharded.
+
+        ``compute_shards(partitions)`` maps a list of key partitions to the
+        list of their table snapshots — the worker pool fans the partitions
+        out across processes (each holding a warm session for this pair);
+        tests pass a sequential implementation.  The merged tables then
+        drive the root-check scan and counterexample construction here, so
+        the verdict is exactly :func:`typecheck_forward`'s — the shards
+        compute complete per-cell least fixpoints and the merge unions the
+        accepted sets.
+        """
+        from repro.core.forward import merge_forward_tables, typecheck_forward
+
+        keys = self.forward_check_keys(transducer)
+        shards = max(1, min(int(shards), max(1, len(keys))))
+        partitions: List[List[Tuple]] = [
+            keys[index::shards] for index in range(shards)
+        ]
+        validate_method_kwargs("forward", kwargs)
+        if "use_kernel" in kwargs and bool(kwargs["use_kernel"]) != self.use_kernel:
+            # Shard keys were canonicalized with the session's engine; an
+            # engine flip here would look the merged cells up under
+            # different keys.  The option is session-level for sharding.
+            raise TypeError(
+                "typecheck_sharded always runs the session's engine "
+                f"(use_kernel={self.use_kernel}); build a "
+                "Session(use_kernel=...) for the other engine"
+            )
+        tables = merge_forward_tables(compute_shards(partitions))
+        with self._lock:
+            self.stats["calls"] = int(self.stats["calls"]) + 1
+            din, dout = self._dtd_pair()
+            self._apply_defaults(kwargs)
+            return typecheck_forward(
+                transducer, din, dout, max_tuple,
+                schema=self.forward_schema(), tables=tables, **kwargs,
+            )
+
+    def counterexample_nta(
+        self, transducer: TreeTransducer, max_tuple: Optional[int] = None
+    ) -> NTA:
+        """Lemma 14's counterexample automaton against the warm pair.
+
+        Threads the session's compiled :class:`ForwardSchema` through
+        :func:`repro.core.cex_nta.counterexample_nta`, so repeated
+        Corollary 38/39 queries reuse the shared fixpoint cells and
+        reachability caches instead of building private engines.
+        """
+        from repro.core.cex_nta import counterexample_nta
+
+        with self._lock:
+            din, dout = self._dtd_pair()
+            plain, _analysis = self._compiled_transducer(transducer)
+            return counterexample_nta(
+                plain, din, dout, max_tuple,
+                schema=self.forward_schema(), use_kernel=self.use_kernel,
+            )
+
+    def typechecks_almost_always(
+        self, transducer: TreeTransducer, max_tuple: Optional[int] = None
+    ) -> bool:
+        """Corollary 39 against the warm pair (finitely many violations)."""
+        from repro.core.almost_always import typechecks_almost_always
+
+        with self._lock:
+            din, dout = self._dtd_pair()
+            plain, _analysis = self._compiled_transducer(transducer)
+            return typechecks_almost_always(
+                plain, din, dout, max_tuple,
+                schema=self.forward_schema(), use_kernel=self.use_kernel,
+            )
+
+    # ------------------------------------------------------------------
     # Artifact export / import (repro.cache)
     # ------------------------------------------------------------------
     def export_artifacts(self) -> Dict[str, object]:
@@ -409,15 +558,30 @@ class Session:
         The heavy lifting is in the schema objects themselves: a DTD carries
         its compiled content NFAs/DFAs, completed DFAs and their interned
         kernels (closure-free by design, see :mod:`repro.kernel.serialize`).
-        The shared ProductBFS cells contain decode closures and are *not*
-        exported — a fresh process rebuilds them on first use, which is
-        cheap once the automata are warm.
+        Since the fixpoint cells went closure-free too (PR 3), the shared
+        σ-independent ProductBFS cells and the per-transducer table cache
+        ship along: a fresh process resumes with the fixpoints already
+        converged, and repeated identical queries are answered from their
+        stored tables without running the engine at all.
+
+        Holds the session lock: with the process-global registry a
+        concurrent thread may be mid-typecheck on this very session, and
+        snapshotting while the shared cells mutate would either crash
+        (dict changed size during iteration) or persist a mid-fixpoint
+        cell as if it were converged.
         """
+        with self._lock:
+            return self._export_artifacts_locked()
+
+    def _export_artifacts_locked(self) -> Dict[str, object]:
         forward = None
         if self._forward is not None:
             forward = {
                 "usable_cache": dict(self._forward.usable_cache),
                 "word_cache": dict(self._forward.word_cache),
+                "shared_hedge": dict(self._forward.shared_hedge),
+                "shared_tree": dict(self._forward.shared_tree),
+                "transducer_tables": dict(self._forward.transducer_tables),
                 "compiled": self._forward.compiled,
             }
         replus = None
@@ -466,6 +630,9 @@ class Session:
             ctx = session.forward_schema()
             ctx.usable_cache.update(forward["usable_cache"])
             ctx.word_cache.update(forward["word_cache"])
+            ctx.shared_hedge.update(forward.get("shared_hedge") or {})
+            ctx.shared_tree.update(forward.get("shared_tree") or {})
+            ctx.transducer_tables.update(forward.get("transducer_tables") or {})
             ctx.compiled = forward["compiled"]
         replus = artifacts.get("replus")
         if replus is not None:
@@ -491,20 +658,18 @@ class Session:
 # ----------------------------------------------------------------------
 # In-process registry
 # ----------------------------------------------------------------------
-# Thread-local: sessions are mutable (shared fixpoint cells grow during
-# typechecking), so handing one to two threads would race.  Each thread
-# warms its own sessions — one-shot ``typecheck()`` callers therefore keep
-# the seed API's thread safety; to share a Session across threads, hold it
-# explicitly and serialize access yourself.
-_REGISTRIES = threading.local()
+# Process-global, lock-guarded.  Sessions are mutable (shared fixpoint
+# cells grow during typechecking) but serialize their own calls, so
+# sharing one across threads is safe — and the alternative, the seed's
+# thread-local registry, recompiled every pair silently in each new
+# thread (a full schema compilation per worker thread in a server).
+_REGISTRY: "OrderedDict[Tuple[str, str, str], Session]" = OrderedDict()
+_REGISTRY_LOCK = threading.RLock()
 _REGISTRY_LIMIT = 32
 
 
 def _registry() -> "OrderedDict[Tuple[str, str, str], Session]":
-    registry = getattr(_REGISTRIES, "sessions", None)
-    if registry is None:
-        registry = _REGISTRIES.sessions = OrderedDict()
-    return registry
+    return _REGISTRY
 
 
 def session_key(sin: Schema, sout: Schema, options: Dict[str, object]):
@@ -517,19 +682,21 @@ def session_key(sin: Schema, sout: Schema, options: Dict[str, object]):
 
 
 def clear_registry() -> None:
-    """Drop this thread's warm sessions (tests and memory-pressure escape
+    """Drop the process's warm sessions (tests and memory-pressure escape
     hatch)."""
-    _registry().clear()
+    with _REGISTRY_LOCK:
+        _registry().clear()
 
 
 def registry_info() -> Dict[str, object]:
     """Registry introspection: size, limit and the cached keys in LRU order."""
-    registry = _registry()
-    return {
-        "size": len(registry),
-        "limit": _REGISTRY_LIMIT,
-        "keys": list(registry),
-    }
+    with _REGISTRY_LOCK:
+        registry = _registry()
+        return {
+            "size": len(registry),
+            "limit": _REGISTRY_LIMIT,
+            "keys": list(registry),
+        }
 
 
 def compile(  # noqa: A001 - the ISSUE mandates the repro.compile spelling
@@ -561,12 +728,15 @@ def compile(  # noqa: A001 - the ISSUE mandates the repro.compile spelling
     session = None
     registry = _registry()
     if reuse:
-        session = registry.get(key)
-        if session is not None:
-            registry.move_to_end(key)
-            session.stats["registry_hits"] = int(session.stats["registry_hits"]) + 1
-            if eager:
-                session.warm()
+        with _REGISTRY_LOCK:
+            session = registry.get(key)
+            if session is not None:
+                registry.move_to_end(key)
+                session.stats["registry_hits"] = (
+                    int(session.stats["registry_hits"]) + 1
+                )
+        if session is not None and eager:
+            session.warm()
     if session is None and cache_dir is not None:
         from repro import cache as artifact_cache
 
@@ -584,11 +754,21 @@ def compile(  # noqa: A001 - the ISSUE mandates the repro.compile spelling
         # no-op on already-compiled (registry- or disk-sourced) sessions.
         session.warm()
         # Publish even registry-sourced sessions: a long-lived process must
-        # still leave artifacts behind for the next one (no-op when the
-        # file already exists).
-        artifact_cache.ensure_saved(session, cache_dir=cache_dir)
+        # still leave artifacts behind for the next one.  publish() also
+        # *refreshes* the blob (throttled) once the session accumulates
+        # per-transducer tables and converged shared cells — the state a
+        # fresh process most wants to inherit.
+        artifact_cache.publish(session, cache_dir=cache_dir)
     if reuse:
-        registry[key] = session
-        while len(registry) > _REGISTRY_LIMIT:
-            registry.popitem(last=False)
+        with _REGISTRY_LOCK:
+            # Another thread may have published the pair while this one was
+            # compiling; prefer the incumbent so every caller converges on
+            # one warm session per pair.
+            existing = registry.get(key)
+            if existing is not None:
+                session = existing
+            registry[key] = session
+            registry.move_to_end(key)
+            while len(registry) > _REGISTRY_LIMIT:
+                registry.popitem(last=False)
     return session

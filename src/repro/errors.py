@@ -51,3 +51,14 @@ class BudgetExceededError(ReproError):
 class NotSupportedError(ReproError):
     """The requested combination of features is outside the implemented
     fragment (mirrors the open problems acknowledged in the paper)."""
+
+
+class ProtocolError(ReproError):
+    """A typechecking-service request or response violates the wire
+    protocol (:mod:`repro.service.protocol`)."""
+
+
+class WorkerCrashError(ReproError):
+    """A service request failed because its worker process died (and the
+    retry budget on healthy workers was exhausted — a request that kills
+    every worker it touches is reported, not retried forever)."""

@@ -51,9 +51,28 @@ class ProductBFS:
     enabled successors with their parent edge and :meth:`drain` again: the
     closure over the grown graph is completed without re-exploring old
     nodes.  One-shot clients just call :meth:`run`.
+
+    Engines also persist *across processes*: provided the node encoding is
+    deterministic (interners assign indices in repr-sorted order), a pickled
+    engine resumes in another process exactly where it stopped.  The
+    explicit pickle form below keeps the on-disk layout independent of the
+    frontier's container type, so artifact blobs stay stable across Python
+    versions; :mod:`repro.core.forward` relies on this to ship whole
+    fixpoint cells between service workers and into the artifact cache.
     """
 
     __slots__ = ("parents", "frontier", "max_nodes", "budget_message")
+
+    def __getstate__(self):
+        return (dict(self.parents), tuple(self.frontier), self.max_nodes,
+                self.budget_message)
+
+    def __setstate__(self, state) -> None:
+        parents, frontier, max_nodes, budget_message = state
+        self.parents = parents
+        self.frontier = deque(frontier)
+        self.max_nodes = max_nodes
+        self.budget_message = budget_message
 
     def __init__(
         self,

@@ -1,6 +1,6 @@
 """Serializable interned-kernel artifacts and the batch warm entry point.
 
-Two small services for the compiled-session layer:
+Three small services for the compiled-session and service layers:
 
 ``warm_kernels``
     The batch interning entry point: force the interned form of a whole
@@ -8,6 +8,19 @@ Two small services for the compiled-session layer:
     and :class:`~repro.core.forward.ForwardSchema` use it to eagerly compile
     every schema-derived automaton so later typechecking calls perform no
     interning at all.
+
+``HedgeDecoder``
+    The picklable decode descriptor of the forward engine's fixpoint cells.
+    A :class:`~repro.core.forward.HedgeEntry` keeps its product graph in
+    interned-int form; decoding an int node back to object form needs the
+    two state interners involved.  The seed kept that mapping as *closures*
+    capturing the interners, which made the cells (and with them the whole
+    per-transducer fixpoint tables) unpicklable — the reason shared
+    ProductBFS cells used to be rebuilt per process.  ``HedgeDecoder`` is
+    the closure replaced by data: it stores the interners as plain
+    attributes, so hedge entries, shard snapshots and per-transducer table
+    caches all round-trip through ``pickle`` and can cross process
+    boundaries (:mod:`repro.service`).
 
 ``dumps`` / ``loads``
     Versioned pickling of kernel-bearing artifacts.  Every interned
@@ -28,12 +41,42 @@ case.
 from __future__ import annotations
 
 import pickle
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 #: Bump whenever the layout of any interned structure changes shape —
 #: loads() then rejects stale blobs instead of resurrecting mismatched
-#: tables.
-KERNEL_FORMAT = 1
+#: tables.  2: HedgeEntry grew the closure-free decoder and fixpoint
+#: tables became part of the persisted artifacts.
+KERNEL_FORMAT = 2
+
+
+class HedgeDecoder:
+    """Decode interned hedge-product configurations back to object form.
+
+    ``in_states`` / ``out_states`` are the state interners of the input
+    content DFA and the (complete) output content DFA a hedge cell was
+    evaluated against.  Interners assign indices in repr-sorted order, so a
+    decoder unpickled in another process agrees with the interners that
+    process builds for the equal automata — int-coded tables are portable
+    across workers by construction.
+    """
+
+    __slots__ = ("in_states", "out_states")
+
+    def __init__(self, in_states, out_states) -> None:
+        self.in_states = in_states
+        self.out_states = out_states
+
+    def slots(self, flat: Tuple[int, ...]) -> Tuple:
+        """Flat int tuple ``(ℓ₁, r₁, …)`` to object slot pairs."""
+        value = self.out_states.value
+        return tuple(
+            (value(flat[i]), value(flat[i + 1])) for i in range(0, len(flat), 2)
+        )
+
+    def node(self, node: Tuple[int, ...]) -> Tuple:
+        """Product node ``(d, ℓ₁, r₁, …)`` to ``(content state, π)``."""
+        return (self.in_states.value(node[0]), self.slots(node[1:]))
 
 
 def warm_kernels(automata: Iterable) -> int:

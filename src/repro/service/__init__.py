@@ -1,0 +1,45 @@
+"""``repro.service`` — the sharded multi-process typechecking service.
+
+The deployment shape the compiled-session API (PR 2) was built for, turned
+into an actual long-lived service: the schema pair is fixed and resident
+(Martens & Neven's fixed-schema observation), while transducers and
+documents arrive as requests.
+
+* :mod:`~repro.service.protocol` — the JSON-lines wire protocol and the
+  instance text codec (the CLI's section format, now bidirectional);
+* :mod:`~repro.service.pool` — a ``multiprocessing`` worker pool: each
+  worker owns warm :class:`~repro.core.session.Session` objects hydrated
+  from the shared artifact cache, requests route by schema-pair content
+  hash, crashed workers are respawned and their in-flight requests retried
+  on healthy ones;
+* single-query **shard fan-out** — the forward fixpoint's hedge cells
+  partitioned across workers and the accepted sets merged
+  (``WorkerPool.typecheck_sharded`` on top of
+  ``Session.typecheck_sharded``; closure-free
+  :class:`~repro.core.forward.HedgeEntry` makes the cells portable);
+* :mod:`~repro.service.server` — an asyncio JSON-lines TCP front-end with
+  backpressure and per-request timing (``python -m repro serve``);
+* :mod:`~repro.service.client` — a thin synchronous client.
+
+Quickstart::
+
+    # terminal 1
+    python -m repro serve --port 8722 --workers 4
+
+    # terminal 2 (or any process)
+    from repro.service.client import ServiceClient
+    with ServiceClient(port=8722) as client:
+        verdict = client.typecheck(transducer, din, dout)
+
+In-process, without a socket::
+
+    from repro.service.pool import WorkerPool
+    with WorkerPool(workers=4) as pool:
+        results = pool.typecheck_batch(din, dout, transducers)
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.pool import WorkerPool
+from repro.service.server import serve
+
+__all__ = ["ServiceClient", "WorkerPool", "serve"]

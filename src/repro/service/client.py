@@ -1,0 +1,168 @@
+"""Thin synchronous client for the typechecking service.
+
+One TCP connection, blocking calls, JSON-lines under the hood.  Accepts
+either library objects (serialized through the protocol's instance text
+codec) or raw section texts — the latter never imports schema parsing on
+the client side, so a deployment can drive the service from trivial
+scripts::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(port=8722) as client:
+        client.ping()
+        verdict = client.typecheck(transducer, din, dout)
+        verdicts = client.typecheck_many(din, dout, transducers)
+
+Counterexamples come back as term-syntax text and are re-parsed to
+:class:`~repro.trees.tree.Tree` on request.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ProtocolError
+from repro.service import protocol
+
+Textable = Union[str, object]  # section text or a library object
+
+
+def _dtd_text(schema) -> str:
+    return schema if isinstance(schema, str) else protocol.dtd_to_text(schema)
+
+
+def _transducer_text(transducer) -> str:
+    if isinstance(transducer, str):
+        return transducer
+    return protocol.transducer_to_text(transducer)
+
+
+class ServiceClient:
+    """A blocking JSON-lines client for one service endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8722,
+        timeout: Optional[float] = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def call(self, op: str, **fields) -> Dict[str, object]:
+        """One raw request/response cycle; returns the response ``result``.
+
+        Transported errors re-raise as their library exception classes;
+        the full response (timing included) is kept on
+        :attr:`last_response`.
+        """
+        req_id = next(self._ids)
+        message = {"id": req_id, "op": op, **fields}
+        self._file.write(protocol.encode(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        response = protocol.decode_line(line)
+        if response.get("id") != req_id:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {req_id!r}"
+            )
+        self.last_response = response
+        if not response.get("ok"):
+            protocol.raise_error(response.get("error") or {})
+        return response.get("result")  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self.call("ping")
+
+    def stats(self) -> Dict[str, object]:
+        return self.call("stats")
+
+    def typecheck(
+        self,
+        transducer: Textable,
+        din: Textable,
+        dout: Textable,
+        method: str = "auto",
+        shards: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Typecheck one instance; returns the JSON verdict dict."""
+        fields: Dict[str, object] = {
+            "din": _dtd_text(din),
+            "transducer": _transducer_text(transducer),
+            "dout": _dtd_text(dout),
+            "method": method,
+        }
+        if shards:
+            fields["shards"] = int(shards)
+        return self.call("typecheck", **fields)
+
+    def typecheck_text(self, text: str, method: str = "auto") -> Dict[str, object]:
+        """Typecheck a whole CLI-format instance file."""
+        return self.call("typecheck", text=text, method=method)
+
+    def typecheck_many(
+        self,
+        din: Textable,
+        dout: Textable,
+        transducers: Sequence[Textable],
+        method: str = "auto",
+    ) -> List[Dict[str, object]]:
+        """Batch against one warm pair; fanned out across the pool."""
+        return self.call(
+            "typecheck_many",
+            din=_dtd_text(din),
+            dout=_dtd_text(dout),
+            transducers=[_transducer_text(item) for item in transducers],
+            method=method,
+        )
+
+    def counterexample(
+        self, transducer: Textable, din: Textable, dout: Textable
+    ):
+        """The counterexample :class:`~repro.trees.tree.Tree` or ``None``."""
+        result = self.call(
+            "counterexample",
+            din=_dtd_text(din),
+            transducer=_transducer_text(transducer),
+            dout=_dtd_text(dout),
+        )
+        text = result.get("counterexample")
+        if text is None:
+            return None
+        from repro.trees.tree import parse_tree
+
+        return parse_tree(text)
+
+    def analysis(
+        self, transducer: Textable, din: Textable, dout: Textable
+    ) -> Dict[str, object]:
+        """The Proposition 16 analysis (widths, class membership)."""
+        return self.call(
+            "analysis",
+            din=_dtd_text(din),
+            transducer=_transducer_text(transducer),
+            dout=_dtd_text(dout),
+        )

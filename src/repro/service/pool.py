@@ -1,0 +1,555 @@
+"""The multi-process worker pool behind the typechecking service.
+
+Each worker is a separate OS process (stdlib ``multiprocessing``, ``spawn``
+start method for clean interpreter state) running :func:`_worker_main`:
+a loop that executes requests against *warm compiled sessions*.  Inside a
+worker, ``repro.compile`` dedups by schema content hash through the
+process-global registry, and the shared on-disk artifact cache
+(``cache_dir``) lets every worker after the first hydrate a pair's kernels
+instead of recompiling them — so a pair's kernels compile at most once per
+worker, usually once per *machine*.
+
+Routing: single-instance requests hash their schema pair onto a fixed
+worker (the pair stays warm in one place); batch requests and shard
+fan-outs round-robin across all workers — the two hot paths that exercise
+true parallelism.
+
+Crash handling: a supervisor thread watches worker liveness while it
+collects results.  A dead worker is respawned with a fresh queue and every
+unresolved request assigned to it is retried on a healthy worker, at most
+``max_retries`` times — a poison request that kills every worker it
+touches surfaces as :class:`~repro.errors.WorkerCrashError` instead of
+cycling forever.
+
+The pool is also the in-process embedding API (no sockets involved)::
+
+    with WorkerPool(workers=4) as pool:
+        results = pool.typecheck_batch(din, dout, transducers)
+        result = pool.typecheck_sharded(din, dout, transducer, shards=4)
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from repro.errors import ProtocolError, ReproError, WorkerCrashError
+from repro.schemas.dtd import DTD
+from repro.service import protocol
+from repro.util import stable_digest
+
+
+def _wire_schema(schema):
+    """A compiled-cache-free clone for the request queue.
+
+    A warm DTD drags its content NFAs/DFAs and interned kernels through
+    every pickle; the worker neither wants nor uses them (it has its own
+    warm session, found by content hash).  The clone shares the authored
+    content models and hashes identically, so routing and registry lookups
+    are unaffected while request payloads stay small.  Non-DTD schemas
+    (NTAs) pass through unchanged.
+    """
+    if isinstance(schema, DTD):
+        return DTD(schema.rules(), start=schema.start, alphabet=schema.alphabet)
+    return schema
+
+#: Default byte bound applied to the service's artifact-cache directory at
+#: pool startup (satellite: the disk cache only grew before PR 3).
+DEFAULT_CACHE_BYTES = 512 * 1024 * 1024
+
+_SENTINEL = None
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_execute(op: str, args, config: Dict[str, object]):
+    """Execute one request inside a worker process."""
+    import repro
+    from repro.service.protocol import (
+        analysis_to_json,
+        parse_instance_payload,
+        result_to_json,
+    )
+
+    cache_dir = config.get("cache_dir")
+    use_kernel = bool(config.get("use_kernel", True))
+
+    def warm_session(sin, sout):
+        return repro.compile(
+            sin, sout, use_kernel=use_kernel, eager=False, cache_dir=cache_dir
+        )
+
+    if op == "ping":
+        return {"pong": True, "pid": os.getpid()}
+    if op == "sleep":  # test/diagnostics aid
+        time.sleep(float(args))
+        return {"slept": float(args)}
+    if op == "crash":  # test aid: die without cleanup, like a real fault
+        os._exit(13)
+    if op == "typecheck":
+        sin, sout, transducer, method, kwargs = args
+        session = warm_session(sin, sout)
+        return session.typecheck(transducer, method=method, **kwargs)
+    if op == "analysis":
+        sin, sout, transducer = args
+        return warm_session(sin, sout).analysis(transducer)
+    if op == "compute_tables":
+        sin, sout, transducer, keys, opts = args
+        session = warm_session(sin, sout)
+        return session.compute_forward_tables(transducer, keys, **opts)
+    if op == "json":
+        payload, json_op = args
+        transducer, din, dout = parse_instance_payload(payload)
+        session = warm_session(din, dout)
+        method = payload.get("method", "auto")
+        if not isinstance(method, str):
+            raise ProtocolError("'method' must be a string")
+        if json_op == "analysis":
+            return analysis_to_json(session.analysis(transducer))
+        result = session.typecheck(transducer, method=method)
+        if json_op == "counterexample":
+            return {
+                "typechecks": result.typechecks,
+                "counterexample": (
+                    None
+                    if result.counterexample is None
+                    else str(result.counterexample)
+                ),
+            }
+        return result_to_json(result)
+    raise ProtocolError(f"unknown worker op {op!r}")
+
+
+def _worker_main(index: int, inq, outq, config: Dict[str, object]) -> None:
+    """Worker process body: execute requests until the sentinel arrives."""
+    while True:
+        item = inq.get()
+        if item is _SENTINEL:
+            break
+        req_id, op, args = item
+        try:
+            value = _worker_execute(op, args, config)
+        except BaseException as exc:  # noqa: BLE001 - transported to parent
+            outq.put((req_id, index, False, protocol.error_info(exc)))
+        else:
+            outq.put((req_id, index, True, value))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class PoolTicket:
+    """Handle for one in-flight pool request."""
+
+    __slots__ = ("request", "slot", "retries", "_event", "_value", "_error")
+
+    def __init__(self, request, slot: int) -> None:
+        self.request = request
+        self.slot = slot
+        self.retries = 0
+        self._event = threading.Event()
+        self._value = None
+        self._error: Optional[Dict[str, str]] = None
+
+    def _resolve(self, ok: bool, value) -> None:
+        if self._event.is_set():
+            return  # duplicate reply after a retry — first answer wins
+        if ok:
+            self._value = value
+        else:
+            self._error = value
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block for the result; re-raises transported errors."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("pool request still in flight")
+        if self._error is not None:
+            protocol.raise_error(self._error)
+        return self._value
+
+
+class _WorkerSlot:
+    __slots__ = ("process", "inq", "generation")
+
+    def __init__(self, process, inq, generation: int) -> None:
+        self.process = process
+        self.inq = inq
+        self.generation = generation
+
+
+class WorkerPool:
+    """A fixed-size pool of typechecking worker processes."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        cache_dir=None,
+        use_kernel: bool = True,
+        max_retries: int = 2,
+        cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.config: Dict[str, object] = {
+            "cache_dir": None if cache_dir is None else str(cache_dir),
+            "use_kernel": use_kernel,
+        }
+        self.max_retries = max_retries
+        self.stats: Dict[str, int] = {
+            "requests": 0, "retries": 0, "respawns": 0, "completed": 0,
+        }
+        if cache_dir is not None and cache_max_bytes is not None:
+            # Bound the service's cache dir before the workers point at it.
+            from repro import cache as artifact_cache
+
+            artifact_cache.clear(cache_dir, max_bytes=cache_max_bytes)
+        self._context = multiprocessing.get_context("spawn")
+        self._outq = self._context.Queue()
+        self._slots: List[_WorkerSlot] = []
+        self._lock = threading.RLock()
+        self._tickets: Dict[int, PoolTicket] = {}
+        self._req_counter = itertools.count(1)
+        self._rr = itertools.count()
+        self._closed = False
+        for index in range(workers):
+            self._slots.append(self._spawn(index))
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int, generation: int = 0) -> _WorkerSlot:
+        inq = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(index, inq, self._outq, self.config),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        return _WorkerSlot(process, inq, generation)
+
+    def close(self) -> None:
+        """Stop the workers and the supervisor; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for slot in self._slots:
+            try:
+                slot.inq.put(_SENTINEL)
+            except (OSError, ValueError):
+                pass
+        for slot in self._slots:
+            slot.process.join(timeout=2)
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=1)
+        self._supervisor.join(timeout=2)
+        for slot in self._slots:
+            slot.inq.cancel_join_thread()
+            slot.inq.close()
+        self._outq.cancel_join_thread()
+        self._outq.close()
+        # Fail anything still unresolved (e.g. requests outstanding at
+        # shutdown) so no caller blocks forever.
+        with self._lock:
+            tickets = list(self._tickets.values())
+            self._tickets.clear()
+        for ticket in tickets:
+            ticket._resolve(
+                False,
+                {"type": "WorkerCrashError", "message": "pool closed"},
+            )
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Supervision: results + liveness
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        import queue as queue_module
+
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+            try:
+                req_id, _index, ok, value = self._outq.get(timeout=0.2)
+            except queue_module.Empty:
+                self._check_liveness()
+                continue
+            except (OSError, ValueError):
+                return  # queue closed during shutdown
+            with self._lock:
+                ticket = self._tickets.pop(req_id, None)
+                if ticket is not None:
+                    self.stats["completed"] += 1
+            if ticket is not None:
+                ticket._resolve(ok, value)
+
+    def _check_liveness(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            dead = [
+                index
+                for index, slot in enumerate(self._slots)
+                if not slot.process.is_alive()
+            ]
+            if not dead:
+                return
+            orphans: List[Tuple[int, PoolTicket]] = []
+            for index in dead:
+                old = self._slots[index]
+                old.inq.cancel_join_thread()
+                old.inq.close()
+                self._slots[index] = self._spawn(index, old.generation + 1)
+                self.stats["respawns"] += 1
+                for req_id, ticket in list(self._tickets.items()):
+                    if ticket.slot == index and not ticket.done():
+                        orphans.append((req_id, ticket))
+            healthy = [
+                index for index in range(self.workers) if index not in dead
+            ] or list(range(self.workers))
+            for req_id, ticket in orphans:
+                ticket.retries += 1
+                if ticket.retries > self.max_retries:
+                    del self._tickets[req_id]
+                    ticket._resolve(
+                        False,
+                        {
+                            "type": "WorkerCrashError",
+                            "message": (
+                                f"request crashed {ticket.retries} worker(s); "
+                                "giving up"
+                            ),
+                        },
+                    )
+                    continue
+                self.stats["retries"] += 1
+                # Prefer a worker that did not just die on this request.
+                target = healthy[req_id % len(healthy)]
+                ticket.slot = target
+                self._slots[target].inq.put((req_id, *ticket.request))
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, op: str, args, slot: Optional[int] = None) -> PoolTicket:
+        """Queue one request; returns a :class:`PoolTicket`."""
+        with self._lock:
+            if self._closed:
+                raise WorkerCrashError("pool is closed")
+            req_id = next(self._req_counter)
+            if slot is None:
+                slot = next(self._rr) % self.workers
+            ticket = PoolTicket((op, args), slot % self.workers)
+            self._tickets[req_id] = ticket
+            self.stats["requests"] += 1
+            self._slots[ticket.slot].inq.put((req_id, op, args))
+        return ticket
+
+    def route_slot(self, sin, sout) -> int:
+        """The worker a schema pair is affine to (content-hash routing)."""
+        digest = stable_digest(
+            "route", sin.content_hash(), sout.content_hash()
+        )
+        return int(digest[:8], 16) % self.workers
+
+    def route_slot_text(self, din_text: str, dout_text: str) -> int:
+        """Content-hash routing without parsing (server fast path): equal
+        section texts imply equal schema content hashes."""
+        digest = stable_digest("route-text", din_text, dout_text)
+        return int(digest[:8], 16) % self.workers
+
+    # ------------------------------------------------------------------
+    # High-level object API
+    # ------------------------------------------------------------------
+    def ping(self) -> List[Dict[str, object]]:
+        """Round-trip every worker once."""
+        tickets = [
+            self.submit("ping", None, slot=index) for index in range(self.workers)
+        ]
+        return [ticket.result(timeout=30) for ticket in tickets]
+
+    def typecheck(
+        self, sin, sout, transducer, method: str = "auto", **kwargs
+    ):
+        """One instance on the pair's affine worker."""
+        ticket = self.submit(
+            "typecheck",
+            (_wire_schema(sin), _wire_schema(sout), transducer, method, kwargs),
+            slot=self.route_slot(sin, sout),
+        )
+        return ticket.result()
+
+    def analysis(self, sin, sout, transducer):
+        ticket = self.submit(
+            "analysis",
+            (_wire_schema(sin), _wire_schema(sout), transducer),
+            slot=self.route_slot(sin, sout),
+        )
+        return ticket.result()
+
+    def typecheck_batch(
+        self,
+        sin,
+        sout,
+        transducers: Sequence,
+        method: str = "auto",
+        return_errors: bool = False,
+        **kwargs,
+    ) -> List[object]:
+        """Fan a batch out across every worker; results in input order.
+
+        With ``return_errors=True`` failed items come back as exception
+        objects in their slot instead of aborting the whole batch.
+        """
+        wire_sin, wire_sout = _wire_schema(sin), _wire_schema(sout)
+        tickets = [
+            self.submit(
+                "typecheck", (wire_sin, wire_sout, transducer, method, kwargs)
+            )
+            for transducer in transducers
+        ]
+        results: List[object] = []
+        for ticket in tickets:
+            if return_errors:
+                try:
+                    results.append(ticket.result())
+                except ReproError as exc:
+                    results.append(exc)
+            else:
+                results.append(ticket.result())
+        return results
+
+    def typecheck_sharded(
+        self,
+        sin,
+        sout,
+        transducer,
+        shards: Optional[int] = None,
+        max_tuple: Optional[int] = None,
+        **kwargs,
+    ):
+        """One instance with its forward fixpoint sharded across workers.
+
+        The parent's warm session partitions the hedge-cell keys; each
+        worker computes its partition's fixpoint closure against its own
+        warm session and ships the (picklable) tables back; the parent
+        merges and finishes.  Verdicts are identical to the unsharded
+        engine — see ``Session.typecheck_sharded``.
+        """
+        import repro
+
+        session = repro.compile(
+            sin, sout, eager=False,
+            use_kernel=bool(self.config["use_kernel"]),
+            cache_dir=self.config["cache_dir"],
+        )
+        opts = {"max_tuple": max_tuple}
+        wire_sin, wire_sout = _wire_schema(sin), _wire_schema(sout)
+
+        def compute_shards(partitions: List[List[Tuple]]):
+            tickets = [
+                self.submit(
+                    "compute_tables",
+                    (wire_sin, wire_sout, transducer, partition, opts),
+                )
+                for partition in partitions
+            ]
+            return [ticket.result() for ticket in tickets]
+
+        return session.typecheck_sharded(
+            transducer,
+            compute_shards,
+            shards=shards or self.workers,
+            max_tuple=max_tuple,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Wire-payload API (used by the server)
+    # ------------------------------------------------------------------
+    def submit_payload(self, payload: Dict[str, object]) -> PoolTicket:
+        """Dispatch one already-validated single-instance request payload."""
+        op = payload.get("op")
+        if op not in ("typecheck", "counterexample", "analysis"):
+            raise ProtocolError(f"op {op!r} is not a single-instance op")
+        din, dout = payload.get("din"), payload.get("dout")
+        if isinstance(din, str) and isinstance(dout, str):
+            slot = self.route_slot_text(din, dout)
+        else:
+            slot = None  # free-form "text" payloads round-robin
+        return self.submit("json", (payload, op), slot=slot)
+
+    def split_payload_many(
+        self, payload: Dict[str, object]
+    ) -> List[Dict[str, object]]:
+        """A ``typecheck_many`` payload as its single-instance payloads."""
+        transducers = payload.get("transducers")
+        if not isinstance(transducers, list) or not all(
+            isinstance(item, str) for item in transducers
+        ):
+            raise ProtocolError(
+                "'typecheck_many' needs 'transducers': [section text, ...]"
+            )
+        base = {
+            key: value
+            for key, value in payload.items()
+            if key in ("din", "dout", "method")
+        }
+        singles = []
+        for item in transducers:
+            single = dict(base)
+            single["transducer"] = item
+            singles.append(single)
+        return singles
+
+    def submit_payload_many(
+        self, payload: Dict[str, object]
+    ) -> List[PoolTicket]:
+        """Split a ``typecheck_many`` payload and fan it out (round-robin).
+
+        Unbounded: every item is queued at once.  The TCP server does NOT
+        use this — it windows the items under its per-connection inflight
+        cap (see ``ServiceServer._dispatch``) so one batch line cannot
+        balloon the queues.
+        """
+        return [
+            self.submit("json", (single, "typecheck"))
+            for single in self.split_payload_many(payload)
+        ]
+
+    def pool_stats(self) -> Dict[str, object]:
+        with self._lock:
+            alive = sum(
+                1 for slot in self._slots if slot.process.is_alive()
+            )
+            return {
+                "workers": self.workers,
+                "alive": alive,
+                **dict(self.stats),
+                "in_flight": len(self._tickets),
+            }

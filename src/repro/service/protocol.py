@@ -1,0 +1,411 @@
+"""Wire protocol of the typechecking service: JSON lines over TCP.
+
+Every request and response is one JSON object on one ``\\n``-terminated
+line.  Requests carry::
+
+    {"id": <any json>, "op": <op>, ...op-specific fields...}
+
+and responses::
+
+    {"id": <same>, "ok": true,  "result": {...}, "elapsed_ms": 1.76,
+     "worker": 2}
+    {"id": <same>, "ok": false, "error": {"type": "ClassViolationError",
+     "message": "..."}}
+
+Ops
+---
+``ping``
+    Liveness probe; result ``{"pong": true, "version": ...}``.
+``stats``
+    Server/pool introspection (workers alive, requests served, retries).
+``typecheck`` / ``counterexample`` / ``analysis``
+    One instance.  The instance travels as text in the CLI's section
+    format — either one ``"text"`` field with ``---`` separators, or the
+    three section fields ``"din"``, ``"transducer"``, ``"dout"``.
+    Optional ``"method"`` and ``"shards"`` (shard the forward fixpoint of
+    this single query across the pool).
+``typecheck_many``
+    ``"din"``/``"dout"`` plus ``"transducers": [text, ...]``; items fan
+    out across the worker pool and the result is a list in input order.
+
+Schemas and transducers travel as *text*, not pickles: the wire format is
+readable, diffable, and language-agnostic, and the server never unpickles
+network data.  The text codec here is the CLI's instance format made
+bidirectional — ``dtd_to_text`` / ``transducer_to_text`` extend the
+section headers with an explicit ``alphabet`` line so content hashes (the
+session routing keys) survive the round trip.
+
+This module also owns the section *parsers*; ``repro.__main__`` re-exports
+them, so the CLI and the service consume the same format by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+import repro
+from repro.errors import (
+    BudgetExceededError,
+    ClassViolationError,
+    InvalidSchemaError,
+    InvalidTransducerError,
+    NotSupportedError,
+    ParseError,
+    ProtocolError,
+    ReproError,
+    WorkerCrashError,
+)
+from repro.core.problem import TypecheckResult
+from repro.schemas.dtd import DTD
+from repro.strings.dfa import DFA
+from repro.strings.regex import Regex
+from repro.strings.replus import REPlus
+from repro.transducers.rhs import RhsCall, iter_rhs_nodes, rhs_str
+from repro.transducers.transducer import TreeTransducer
+
+PROTOCOL_VERSION = 1
+
+#: Ops a server accepts.
+OPS = frozenset(
+    {"ping", "stats", "typecheck", "typecheck_many", "counterexample", "analysis"}
+)
+
+_ERROR_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        ReproError,
+        ParseError,
+        InvalidSchemaError,
+        InvalidTransducerError,
+        ClassViolationError,
+        BudgetExceededError,
+        NotSupportedError,
+        ProtocolError,
+        WorkerCrashError,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Instance text codec (the CLI's section format, bidirectional)
+# ----------------------------------------------------------------------
+def split_sections(text: str) -> List[List[str]]:
+    """Split instance text into sections of stripped, comment-free lines."""
+    sections: List[List[str]] = [[]]
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if set(line) == {"-"}:
+            sections.append([])
+            continue
+        sections[-1].append(line)
+    return sections
+
+
+def _is_alphabet_line(line: str) -> bool:
+    """An ``alphabet a b ...`` declaration — *not* a rule for a symbol that
+    happens to be called ``alphabet`` (rules carry ``->``)."""
+    return line.split()[0] == "alphabet" and "->" not in line
+
+
+def parse_dtd_section(lines: List[str]) -> DTD:
+    """Parse ``start s`` (+ optional ``alphabet a b ...``) and rule lines."""
+    if not lines or not lines[0].startswith("start "):
+        raise ParseError("DTD section must begin with 'start <symbol>'")
+    start = lines[0].split(None, 1)[1].strip()
+    body = lines[1:]
+    alphabet: Tuple[str, ...] = ()
+    if body and _is_alphabet_line(body[0]):
+        alphabet = tuple(body[0].split()[1:])
+        body = body[1:]
+    rules: Dict[str, str] = {}
+    for line in body:
+        head, arrow, model = line.partition("->")
+        if not arrow:
+            raise ParseError(f"bad DTD rule: {line!r}")
+        rules[head.strip()] = model.strip()
+    return DTD(rules, start=start, alphabet=alphabet)
+
+
+def parse_transducer_section(lines: List[str], alphabet) -> TreeTransducer:
+    """Parse ``initial q states ...`` (+ optional ``alphabet``) and rules."""
+    if not lines or not lines[0].startswith("initial "):
+        raise ParseError(
+            "transducer section must begin with 'initial <state> states ...'"
+        )
+    header = lines[0].split()
+    initial = header[1]
+    if "states" in header:
+        states = set(header[header.index("states") + 1 :]) | {initial}
+    else:
+        states = {initial}
+    body = lines[1:]
+    explicit_alphabet: Optional[Tuple[str, ...]] = None
+    if body and _is_alphabet_line(body[0]):
+        explicit_alphabet = tuple(body[0].split()[1:])
+        body = body[1:]
+    rules: Dict[Tuple[str, str], str] = {}
+    output_symbols = set()
+    for line in body:
+        head, arrow, rhs = line.partition("->")
+        if not arrow:
+            raise ParseError(f"bad transducer rule: {line!r}")
+        state, comma, symbol = head.partition(",")
+        if not comma:
+            raise ParseError(f"bad transducer rule head: {head!r}")
+        rules[(state.strip(), symbol.strip())] = rhs.strip()
+        for token in rhs.replace("(", " ").replace(")", " ").split():
+            if token not in states and not token.startswith("<"):
+                output_symbols.add(token)
+    if explicit_alphabet is not None:
+        sigma = set(explicit_alphabet)
+    else:
+        sigma = set(alphabet) | output_symbols | {symbol for (_q, symbol) in rules}
+    return TreeTransducer(states, sigma, initial, rules)
+
+
+def load_instance(text: str):
+    """Split an instance file into ``(transducer, din, dout)``.
+
+    The CLI's loader: exactly three sections; the output DTD's alphabet is
+    widened to the transducer's (its content models usually mention only a
+    fragment), unless the section pins one explicitly.
+    """
+    sections = split_sections(text)
+    if len(sections) != 3:
+        raise ParseError(
+            f"expected 3 sections separated by '---', found {len(sections)}"
+        )
+    din = parse_dtd_section(sections[0])
+    transducer = parse_transducer_section(sections[1], din.alphabet)
+    dout_raw = parse_dtd_section(sections[2])
+    if len(sections[2]) > 1 and _is_alphabet_line(sections[2][1]):
+        dout = dout_raw
+    else:
+        dout = DTD(
+            dout_raw.rules(), start=dout_raw.start, alphabet=transducer.alphabet
+        )
+    return transducer, din, dout
+
+
+def dtd_to_text(dtd: DTD) -> str:
+    """Serialize a regex-kind DTD to its section text, round-trippable.
+
+    The explicit ``alphabet`` line pins symbols that appear in no rule, so
+    ``parse_dtd_section(dtd_to_text(d))`` reproduces ``d.content_hash()``
+    — the property the session routing relies on.  Automata-backed content
+    models have no canonical text; shipping those needs the artifact
+    cache, not the wire format.
+    """
+    lines = [f"start {dtd.start}", "alphabet " + " ".join(sorted(dtd.alphabet))]
+    rules = dtd.rules()  # rules() copies defensively — take the copy once
+    for symbol in sorted(rules):
+        model = rules[symbol]
+        if not isinstance(model, (Regex, REPlus)):
+            raise ProtocolError(
+                f"content model of {symbol!r} is a compiled automaton; "
+                "only regex/RE+ DTDs serialize to instance text"
+            )
+        lines.append(f"{symbol} -> {model}")
+    return "\n".join(lines)
+
+
+def transducer_to_text(transducer: TreeTransducer) -> str:
+    """Serialize a transducer to its section text, round-trippable.
+
+    XPath-pattern calls serialize through their term syntax; selecting-DFA
+    calls have no canonical text and are rejected.
+    """
+    for (state, symbol), rhs in transducer.rules.items():
+        for _path, node in iter_rhs_nodes(rhs):
+            if isinstance(node, RhsCall) and isinstance(node.selector, DFA):
+                raise ProtocolError(
+                    f"rule ({state!r}, {symbol!r}) calls a selecting DFA; "
+                    "only XPath-pattern calls serialize to instance text"
+                )
+    lines = [
+        "initial "
+        + transducer.initial
+        + " states "
+        + " ".join(sorted(transducer.states)),
+        "alphabet " + " ".join(sorted(transducer.alphabet)),
+    ]
+    for (state, symbol) in sorted(transducer.rules):
+        lines.append(
+            f"{state}, {symbol} -> {rhs_str(transducer.rules[(state, symbol)])}"
+        )
+    return "\n".join(lines)
+
+
+def instance_to_text(transducer: TreeTransducer, din: DTD, dout: DTD) -> str:
+    """One CLI-format instance file for the triple."""
+    return "\n---\n".join(
+        [dtd_to_text(din), transducer_to_text(transducer), dtd_to_text(dout)]
+    )
+
+
+def instance_payload(
+    transducer: TreeTransducer, din: DTD, dout: DTD
+) -> Dict[str, str]:
+    """The request fields carrying one instance (section form)."""
+    return {
+        "din": dtd_to_text(din),
+        "transducer": transducer_to_text(transducer),
+        "dout": dtd_to_text(dout),
+    }
+
+
+def parse_instance_payload(payload: Dict[str, object]):
+    """``(transducer, din, dout)`` from a request's instance fields.
+
+    The section-field form applies exactly :func:`load_instance`'s
+    semantics — in particular the output DTD's alphabet is widened to the
+    transducer's unless pinned by an explicit ``alphabet`` line — so the
+    same logical instance hashes (and therefore routes and warms)
+    identically whether it travels as one ``text`` blob or three fields.
+    """
+    text = payload.get("text")
+    if text is not None:
+        if not isinstance(text, str):
+            raise ProtocolError("'text' must be a string")
+        return load_instance(text)
+    din_text = payload.get("din")
+    dout_text = payload.get("dout")
+    transducer_text = payload.get("transducer")
+    if (
+        not isinstance(din_text, str)
+        or not isinstance(dout_text, str)
+        or not isinstance(transducer_text, str)
+    ):
+        raise ProtocolError("request needs 'text' or 'din'/'transducer'/'dout'")
+    din = parse_dtd_section(split_sections(din_text)[0])
+    transducer = parse_transducer_section(
+        split_sections(transducer_text)[0], din.alphabet
+    )
+    dout_lines = split_sections(dout_text)[0]
+    dout = parse_dtd_section(dout_lines)
+    if not (len(dout_lines) > 1 and _is_alphabet_line(dout_lines[1])):
+        dout = DTD(
+            dout.rules(), start=dout.start, alphabet=transducer.alphabet
+        )
+    return transducer, din, dout
+
+
+# ----------------------------------------------------------------------
+# Wire framing
+# ----------------------------------------------------------------------
+def encode(message: Dict[str, object]) -> bytes:
+    """One JSON line, UTF-8, ``\\n``-terminated."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line) -> Dict[str, object]:
+    """Parse one wire line into a message dict."""
+    if isinstance(line, (bytes, bytearray)):
+        line = line.decode("utf-8", "replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"not a JSON line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("a message must be a JSON object")
+    return message
+
+
+def ok_response(
+    req_id,
+    result,
+    elapsed_ms: Optional[float] = None,
+    worker: Optional[int] = None,
+) -> Dict[str, object]:
+    response: Dict[str, object] = {"id": req_id, "ok": True, "result": result}
+    if elapsed_ms is not None:
+        response["elapsed_ms"] = round(elapsed_ms, 3)
+    if worker is not None:
+        response["worker"] = worker
+    return response
+
+
+def error_response(req_id, exc: BaseException) -> Dict[str, object]:
+    return {"id": req_id, "ok": False, "error": error_info(exc)}
+
+
+def error_info(exc: BaseException) -> Dict[str, str]:
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def raise_error(info: Dict[str, object]) -> None:
+    """Re-raise a transported error as its library exception class.
+
+    Unknown types (including arbitrary server-side crashes) surface as
+    :class:`ProtocolError` so clients still get one exception hierarchy.
+    """
+    name = str(info.get("type", "ProtocolError"))
+    message = str(info.get("message", ""))
+    cls = _ERROR_TYPES.get(name)
+    if cls is None:
+        raise ProtocolError(f"{name}: {message}")
+    raise cls(message)
+
+
+# ----------------------------------------------------------------------
+# Result serialization
+# ----------------------------------------------------------------------
+def result_to_json(result: TypecheckResult) -> Dict[str, object]:
+    """A :class:`TypecheckResult` as a JSON-safe dict.
+
+    Trees travel in term syntax (``repro.parse_tree`` round-trips them);
+    stats are passed through with non-JSON values stringified.
+    """
+    stats = {
+        key: (value if isinstance(value, (int, float, str, bool)) else repr(value))
+        for key, value in result.stats.items()
+    }
+    return {
+        "typechecks": result.typechecks,
+        "algorithm": result.algorithm,
+        "reason": result.reason,
+        "counterexample": (
+            None if result.counterexample is None else str(result.counterexample)
+        ),
+        "output": None if result.output is None else str(result.output),
+        "stats": stats,
+    }
+
+
+def analysis_to_json(analysis) -> Dict[str, object]:
+    """A Proposition 16 :class:`TransducerAnalysis` as a JSON-safe dict."""
+    return {
+        "copying_width": analysis.copying_width,
+        "deletion_path_width": analysis.deletion_path_width,
+        "is_del_relab": analysis.is_del_relab,
+        "in_trac": analysis.in_trac,
+    }
+
+
+def _require_version_supported(message: Dict[str, object]) -> None:
+    version = message.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} not supported "
+            f"(this server speaks {PROTOCOL_VERSION})"
+        )
+
+
+def validate_request(message: Dict[str, object]) -> str:
+    """Check a decoded request; returns its op."""
+    _require_version_supported(message)
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; valid: {', '.join(sorted(OPS))}")
+    return op
+
+
+def server_version_banner() -> Dict[str, object]:
+    return {
+        "pong": True,
+        "version": repro.__version__,
+        "protocol": PROTOCOL_VERSION,
+    }

@@ -1,0 +1,226 @@
+"""Asyncio JSON-lines TCP front-end of the typechecking service.
+
+One connection may pipeline many requests; responses carry the request's
+``id`` and may arrive out of order (workers run in parallel).  Two layers
+of backpressure keep a flooding client from ballooning memory:
+
+* a per-connection semaphore bounds the requests in flight in the pool
+  (``max_inflight``; further lines simply are not read until a slot
+  frees, which TCP propagates to the sender), and
+* response writes honor ``writer.drain()``, so a slow-reading client
+  throttles its own result stream.
+
+Every response records ``elapsed_ms`` (queue wait + worker time) — the
+per-request timing the ops story needs — and ``stats`` exposes pool
+health (alive workers, retries, respawns).
+
+Entry points: ``python -m repro serve`` (CLI), :func:`run_server`
+(blocking), :func:`serve` (async, yields the listening server).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.service import protocol
+from repro.service.pool import DEFAULT_CACHE_BYTES, WorkerPool
+
+#: Default number of requests one connection may have in flight.
+DEFAULT_MAX_INFLIGHT = 32
+
+#: Hard cap on one request line (a parse bomb guard).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ServiceServer:
+    """The pool plus its TCP front-end."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    ) -> None:
+        self.pool = pool
+        self.max_inflight = max_inflight
+        self.requests_served = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0):
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=MAX_LINE_BYTES
+        )
+        return self._server
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        gate = asyncio.Semaphore(self.max_inflight)
+        write_lock = asyncio.Lock()
+        tasks = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # oversized line or peer reset
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await gate.acquire()  # backpressure: stop reading when full
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock, gate)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            for task in tasks:
+                task.cancel()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, line, writer, write_lock, gate) -> None:
+        start = time.perf_counter()
+        req_id = None
+        try:
+            try:
+                message = protocol.decode_line(line)
+                req_id = message.get("id")
+                op = protocol.validate_request(message)
+                result = await self._dispatch(op, message)
+            except Exception as exc:  # noqa: BLE001 - reported on the wire
+                response = protocol.error_response(req_id, exc)
+            else:
+                elapsed_ms = (time.perf_counter() - start) * 1e3
+                response = protocol.ok_response(req_id, result, elapsed_ms)
+            self.requests_served += 1
+            async with write_lock:
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-response
+        finally:
+            gate.release()
+
+    async def _dispatch(self, op: str, message: Dict[str, object]):
+        loop = asyncio.get_running_loop()
+        if op == "ping":
+            banner = protocol.server_version_banner()
+            banner["workers"] = self.pool.workers
+            return banner
+        if op == "stats":
+            return {
+                "requests_served": self.requests_served,
+                **self.pool.pool_stats(),
+            }
+        if op == "typecheck_many":
+            # Window the fan-out under the same inflight cap that throttles
+            # single-op pipelining: one batch line may only occupy
+            # max_inflight pool slots at a time, so a flooding client
+            # cannot balloon the queues through the batch op.
+            singles = self.pool.split_payload_many(message)
+            results = []
+            window = max(1, self.max_inflight)
+            for start in range(0, len(singles), window):
+                tickets = [
+                    self.pool.submit("json", (single, "typecheck"))
+                    for single in singles[start : start + window]
+                ]
+                for ticket in tickets:
+                    results.append(
+                        await loop.run_in_executor(None, ticket.result)
+                    )
+            return results
+        shards = message.get("shards")
+        if op == "typecheck" and shards:
+            return await loop.run_in_executor(
+                None, self._typecheck_sharded, message, int(shards)  # type: ignore[arg-type]
+            )
+        ticket = self.pool.submit_payload(message)
+        return await loop.run_in_executor(None, ticket.result)
+
+    def _typecheck_sharded(self, message: Dict[str, object], shards: int):
+        transducer, din, dout = protocol.parse_instance_payload(message)
+        result = self.pool.typecheck_sharded(
+            din, dout, transducer, shards=shards
+        )
+        return protocol.result_to_json(result)
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 8722,
+    *,
+    workers: int = 2,
+    cache_dir=None,
+    use_kernel: bool = True,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+    ready_message: bool = False,
+):
+    """Start pool + server; returns ``(service, pool)`` once listening."""
+    pool = WorkerPool(
+        workers,
+        cache_dir=cache_dir,
+        use_kernel=use_kernel,
+        cache_max_bytes=cache_max_bytes,
+    )
+    service = ServiceServer(pool, max_inflight=max_inflight)
+    await service.start(host, port)
+    if ready_message:
+        # One parseable line for process supervisors and the demo script.
+        print(f"repro-service listening on {host}:{service.port}", flush=True)
+    return service, pool
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8722,
+    *,
+    workers: int = 2,
+    cache_dir=None,
+    use_kernel: bool = True,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+) -> int:
+    """Blocking entry point behind ``python -m repro serve``."""
+
+    async def main() -> None:
+        service, pool = await serve(
+            host,
+            port,
+            workers=workers,
+            cache_dir=cache_dir,
+            use_kernel=use_kernel,
+            max_inflight=max_inflight,
+            cache_max_bytes=cache_max_bytes,
+            ready_message=True,
+        )
+        try:
+            await asyncio.Event().wait()  # serve forever
+        finally:
+            await service.close()
+            pool.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -33,6 +33,30 @@ from repro.transducers.rhs import (
 )
 
 
+def _canonical_rhs(hedge: RhsHedge) -> str:
+    """Canonical text of an rhs hedge for content hashing.
+
+    ``rhs_str`` is almost right but renders call selectors via ``str``,
+    which is not canonical for selecting DFAs — those hash by their own
+    content hash here.
+    """
+    parts: List[str] = []
+    for node in hedge:
+        if isinstance(node, RhsSym):
+            parts.append(f"{node.label!r}({_canonical_rhs(node.children)})")
+        elif isinstance(node, RhsState):
+            parts.append(f"state:{node.state!r}")
+        else:
+            assert isinstance(node, RhsCall)
+            selector = node.selector
+            if isinstance(selector, DFA):
+                sel = f"dfa:{selector.content_hash()}"
+            else:
+                sel = f"xpath:{selector}"
+            parts.append(f"call:{node.state!r}:{sel}")
+    return " ".join(parts)
+
+
 class TreeTransducer:
     """A deterministic top–down tree transducer.
 
@@ -117,6 +141,36 @@ class TreeTransducer:
     def rhs(self, state: str, symbol: str) -> RhsHedge | None:
         """``rhs(q, a)`` or ``None`` when there is no rule."""
         return self.rules.get((state, symbol))
+
+    def content_hash(self) -> str:
+        """Stable digest of the transducer's authored representation.
+
+        Hashes the initial state, the state set, the alphabet and every
+        rule's canonical rhs serialization (call selectors hash by their
+        own canonical form), so equal-content transducers — distinct
+        Python objects, different processes — hash alike.  Keys the
+        per-transducer forward-table cache
+        (:class:`repro.core.forward.ForwardSchema`) and the service
+        layer's request routing, exactly as
+        :meth:`repro.schemas.dtd.DTD.content_hash` keys the session
+        registry.  Representation, not semantics: renaming a state changes
+        the hash.
+        """
+        cached = getattr(self, "_content_hash", None)
+        if cached is None:
+            from repro.util import stable_digest
+
+            parts = [
+                "transducer",
+                repr(self.initial),
+                repr(sorted(self.states, key=repr)),
+                repr(sorted(self.alphabet, key=repr)),
+            ]
+            for (state, symbol) in sorted(self.rules):
+                rhs = self.rules[(state, symbol)]
+                parts.append(f"({state!r}, {symbol!r})->{_canonical_rhs(rhs)}")
+            cached = self._content_hash = stable_digest(*parts)
+        return cached
 
     def uses_calls(self) -> bool:
         """Whether any rhs contains an XPath/DFA call."""

@@ -1,0 +1,333 @@
+"""Closure-free fixpoint tables: pickling, the per-transducer table cache,
+session-aware NTA exports, global-registry thread sharing, cache pruning."""
+
+import pickle
+import threading
+
+import pytest
+
+import repro
+from repro import cache as artifact_cache
+from repro.core.almost_always import typechecks_almost_always
+from repro.core.cex_nta import counterexample_nta
+from repro.core.forward import ForwardEngine, ForwardSchema, typecheck_forward
+from repro.core.session import Session, clear_registry, compile as compile_session
+from repro.tree_automata.emptiness import is_empty
+from repro.workloads.families import filtering_family, nd_bc_batch, nd_bc_family
+from repro.workloads.random_instances import seeded_instance
+
+
+def _rename_state(hedge, old, new):
+    """An rhs hedge with state leaves renamed (content-hash perturbation)."""
+    from repro.transducers.rhs import RhsState, RhsSym
+
+    out = []
+    for node in hedge:
+        if isinstance(node, RhsState) and node.state == old:
+            out.append(RhsState(new))
+        elif isinstance(node, RhsSym):
+            out.append(RhsSym(node.label, _rename_state(node.children, old, new)))
+        else:
+            out.append(node)
+    return tuple(out)
+
+
+class TestClosureFreePickling:
+    def test_hedge_entries_round_trip_through_pickle(self):
+        """The acceptance property: HedgeEntry (ProductBFS graph included)
+        pickles — no closures anywhere in the fixpoint tables."""
+        transducer, din, dout, _ = nd_bc_family(6)
+        schema = ForwardSchema(din, dout)
+        typecheck_forward(transducer, din, dout, schema=schema)
+        tables = schema.transducer_tables[transducer.content_hash()]
+        assert tables["hedge"], "no hedge cells were snapshotted"
+        restored = pickle.loads(pickle.dumps(tables))
+        for key, entry in tables["hedge"].items():
+            other = restored["hedge"][key]
+            assert set(other.accepted) == set(entry.accepted)
+            assert other.int_accepted == entry.int_accepted
+            # the decoded views still work after the round trip
+            assert other.nodes == entry.nodes
+            assert other.seeds == entry.seeds
+            assert other.edges == entry.edges
+
+    def test_shared_cells_round_trip_through_pickle(self):
+        transducer, din, dout, _ = filtering_family(5)
+        schema = ForwardSchema(din, dout)
+        typecheck_forward(transducer, din, dout, schema=schema)
+        assert schema.shared_hedge
+        restored = pickle.loads(pickle.dumps(schema.shared_hedge))
+        for key, entry in schema.shared_hedge.items():
+            assert set(restored[key].accepted) == set(entry.accepted)
+
+    def test_object_path_entries_still_pickle(self):
+        transducer, din, dout, _ = nd_bc_family(4)
+        engine_schema = ForwardSchema(din, dout)
+        result = typecheck_forward(
+            transducer, din, dout, use_kernel=False, schema=engine_schema
+        )
+        assert result.typechecks
+
+
+class TestTransducerTableCache:
+    def test_hit_skips_the_fixpoint_entirely(self):
+        transducer, din, dout, expected = nd_bc_family(8)
+        session = Session(din, dout)
+        first = session.typecheck(transducer, method="forward")
+        assert first.stats.get("table_cache") == "miss"
+        assert first.stats["product_nodes"] > 0
+        second = session.typecheck(transducer, method="forward")
+        assert second.typechecks == first.typechecks == expected
+        assert second.stats.get("table_cache") == "hit"
+        assert second.stats["product_nodes"] == 0
+
+    def test_hit_for_equal_content_distinct_objects(self):
+        """The cache keys by content hash, not identity — a fresh parse of
+        the same transducer hits."""
+        transducer, din, dout, _ = nd_bc_family(6, typechecks=False)
+        session = Session(din, dout)
+        session.typecheck(transducer, method="forward")
+        clone, _din, _dout, _ = nd_bc_family(6, typechecks=False)
+        assert clone is not transducer
+        result = session.typecheck(clone, method="forward")
+        assert result.stats.get("table_cache") == "hit"
+        assert not result.typechecks
+        assert result.verify(clone, din.accepts, dout.accepts)
+
+    def test_distinct_transducers_do_not_collide(self):
+        transducers, din, dout, expected = nd_bc_batch(6, 4)
+        session = Session(din, dout)
+        for transducer in transducers:
+            result = session.typecheck(transducer, method="forward")
+            assert result.stats.get("table_cache") == "miss"
+            assert result.typechecks == expected
+
+    def test_cache_is_lru_bounded(self):
+        transducer, din, dout, _ = nd_bc_family(5)
+        schema = ForwardSchema(din, dout)
+        schema.transducer_table_limit = 2
+        for index in range(4):
+            schema.store_tables(f"hash{index}", {"hedge": {}, "tree": {}})
+        assert len(schema.transducer_tables) == 2
+        assert "hash3" in schema.transducer_tables
+
+    def test_one_shot_calls_do_not_pay_for_hashing(self):
+        """Standalone typecheck_forward (private schema) skips the cache
+        machinery — no stats key, same verdict."""
+        transducer, din, dout, expected = nd_bc_family(5)
+        result = typecheck_forward(transducer, din, dout)
+        assert "table_cache" not in result.stats
+        assert result.typechecks == expected
+
+    def test_cached_tables_survive_a_budget_abort_of_another_call(self):
+        from repro.errors import BudgetExceededError
+
+        from repro.transducers.transducer import TreeTransducer
+
+        transducer, din, dout, expected = filtering_family(6)
+        session = Session(din, dout)
+        session.typecheck(transducer, method="forward")
+        # same pair, different transducer content (renamed state) so the
+        # aborting call cannot be served from the table cache
+        renamed = TreeTransducer(
+            {"z"},
+            transducer.alphabet,
+            "z",
+            {
+                ("z", symbol): _rename_state(rhs, "q", "z")
+                for (_state, symbol), rhs in transducer.rules.items()
+            },
+        )
+        with pytest.raises(BudgetExceededError):
+            session.typecheck(renamed, method="forward", max_product_nodes=1)
+        # the shared cells were reset, but the snapshot stays serviceable
+        result = session.typecheck(transducer, method="forward")
+        assert result.stats.get("table_cache") == "hit"
+        assert result.typechecks == expected
+
+
+class TestArtifactCacheCarriesTables:
+    def test_cold_process_inherits_tables_and_shared_cells(self, tmp_path):
+        """The *production* path: compile(cache_dir=...) publishes, a later
+        compile() after the throttle window refreshes the blob with the
+        accrued tables, and a session rebuilt from it answers a repeated
+        transducer from its table cache — no fixpoint in the new process."""
+        transducer, din, dout, expected = nd_bc_family(7)
+        clear_registry()
+        session = compile_session(din, dout, cache_dir=tmp_path)
+        session.typecheck(transducer, method="forward")
+        # age the last publish past the throttle window, then take the
+        # production refresh path (compile -> cache.publish)
+        session.stats["published_at"] = float(session.stats["published_at"]) - 60
+        compile_session(din, dout, cache_dir=tmp_path)
+
+        clear_registry()
+        _, din2, dout2, _ = nd_bc_family(7)
+        rebuilt = artifact_cache.load_session(
+            din2, dout2, options={"use_kernel": True}, cache_dir=tmp_path
+        )
+        assert rebuilt is not None
+        assert rebuilt.stats["source"] == "artifact-cache"
+        assert rebuilt.forward_schema().shared_hedge  # shared cells shipped
+        clone, _, _, _ = nd_bc_family(7)
+        result = rebuilt.typecheck(clone, method="forward")
+        assert result.typechecks == expected
+        assert result.stats.get("table_cache") == "hit"
+        assert result.stats["product_nodes"] == 0
+
+    def test_publish_throttles_and_detects_growth(self, tmp_path):
+        transducer, din, dout, _ = nd_bc_family(5)
+        clear_registry()
+        session = compile_session(din, dout, cache_dir=tmp_path)
+        path = artifact_cache.ensure_saved(session, cache_dir=tmp_path)
+        stamp = path.stat().st_mtime
+        # no new state: publish is a no-op even with the throttle disabled
+        artifact_cache.publish(session, cache_dir=tmp_path, min_interval_s=0)
+        assert path.stat().st_mtime == stamp
+        # new state + throttle window still open: skipped
+        session.typecheck(transducer, method="forward")
+        artifact_cache.publish(session, cache_dir=tmp_path)
+        assert path.stat().st_mtime == stamp
+        # new state + throttle disabled: rewritten
+        artifact_cache.publish(session, cache_dir=tmp_path, min_interval_s=0)
+        assert path.stat().st_mtime >= stamp
+        rebuilt = artifact_cache.load_session(
+            din, dout, options={"use_kernel": True}, cache_dir=tmp_path
+        )
+        assert rebuilt.forward_schema().transducer_tables
+
+
+class TestSessionAwareNtaExports:
+    @pytest.mark.parametrize("seed", [1, 2, 5, 8, 11, 14])
+    def test_counterexample_nta_matches_standalone(self, seed):
+        from repro.errors import ClassViolationError
+
+        transducer, din, dout = seeded_instance(seed)
+        try:
+            standalone = counterexample_nta(transducer, din, dout)
+        except ClassViolationError:
+            pytest.skip("instance outside the forward fragment")
+        session = Session(din, dout, eager=False)
+        warm = session.counterexample_nta(transducer)
+        again = session.counterexample_nta(transducer)
+        for automaton in (warm, again):
+            assert is_empty(automaton) == is_empty(standalone), f"seed {seed}"
+
+    def test_typechecks_almost_always_matches_standalone(self):
+        checked = 0
+        for seed in range(30):
+            transducer, din, dout = seeded_instance(seed)
+            from repro.errors import ClassViolationError
+
+            try:
+                standalone = typechecks_almost_always(transducer, din, dout)
+            except ClassViolationError:
+                continue
+            session = Session(din, dout, eager=False)
+            assert session.typechecks_almost_always(transducer) == standalone, (
+                f"seed {seed}"
+            )
+            checked += 1
+        assert checked >= 5
+
+    def test_warm_nta_reuses_schema_caches(self):
+        transducer, din, dout, _ = filtering_family(5)
+        session = Session(din, dout)
+        session.typecheck(transducer, method="forward")
+        words_before = dict(session.forward_schema().word_cache)
+        session.counterexample_nta(transducer)
+        # the export consumed the session's reachability caches in place
+        assert session.forward_schema().word_cache.keys() >= words_before.keys()
+
+
+class TestGlobalRegistry:
+    def test_threads_share_one_session(self):
+        clear_registry()
+        _, din, dout, _ = nd_bc_family(5)
+        sessions = []
+
+        def worker():
+            _, a, b, _ = nd_bc_family(5)
+            sessions.append(compile_session(a, b, eager=False))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(session) for session in sessions}) == 1
+
+    def test_concurrent_typechecks_on_one_session_are_correct(self):
+        clear_registry()
+        transducers, din, dout, expected = nd_bc_batch(7, 8)
+        session = compile_session(din, dout)
+        results = [None] * len(transducers)
+
+        def worker(index):
+            results[index] = session.typecheck(
+                transducers[index], method="forward"
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(len(transducers))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(result.typechecks == expected for result in results)
+
+
+class TestCachePruning:
+    def _populate(self, tmp_path, count):
+        paths = []
+        for index in range(count):
+            clear_registry()
+            _, din, dout, _ = nd_bc_family(3 + index)
+            session = compile_session(din, dout, cache_dir=tmp_path, reuse=False)
+            path = artifact_cache.ensure_saved(session, cache_dir=tmp_path)
+            paths.append(path)
+        return paths
+
+    def test_max_bytes_prunes_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        paths = self._populate(tmp_path, 3)
+        # make mtime order unambiguous regardless of filesystem resolution
+        now = time.time()
+        for index, path in enumerate(paths):
+            os.utime(path, (now + index, now + index))
+        sizes = [path.stat().st_size for path in paths]
+        budget = sizes[1] + sizes[2]
+        removed = artifact_cache.clear(tmp_path, max_bytes=budget)
+        assert removed == 1
+        assert not paths[0].exists()
+        assert paths[1].exists() and paths[2].exists()
+
+    def test_zero_budget_clears_everything(self, tmp_path):
+        paths = self._populate(tmp_path, 2)
+        removed = artifact_cache.clear(tmp_path, max_bytes=0)
+        assert removed == 2
+        assert not any(path.exists() for path in paths)
+
+    def test_default_clear_unchanged(self, tmp_path):
+        paths = self._populate(tmp_path, 2)
+        assert artifact_cache.clear(tmp_path) == 2
+        assert not any(path.exists() for path in paths)
+
+    def test_load_touches_mtime_for_lru(self, tmp_path):
+        import os
+        import time
+
+        paths = self._populate(tmp_path, 1)
+        old = time.time() - 3600
+        os.utime(paths[0], (old, old))
+        clear_registry()
+        _, din, dout, _ = nd_bc_family(3)
+        loaded = artifact_cache.load_session(
+            din, dout, options={"use_kernel": True}, cache_dir=tmp_path
+        )
+        assert loaded is not None
+        assert paths[0].stat().st_mtime > old + 1800

@@ -136,11 +136,22 @@ class TestInvalidation:
         assert session.stats["source"] == "fresh"
 
     def test_clear_removes_artifacts_and_orphaned_temp_files(self, tmp_path):
+        import os
+        import time
+
         _populate(tmp_path)
-        (Path(tmp_path) / "orphan123.tmp").write_bytes(b"torn write")
+        # a genuinely orphaned temp file (writer died an age ago)...
+        orphan = Path(tmp_path) / "orphan123.tmp"
+        orphan.write_bytes(b"torn write")
+        stale = time.time() - 7200
+        os.utime(orphan, (stale, stale))
+        # ...and a live concurrent writer's fresh temp file
+        live = Path(tmp_path) / "live456.tmp"
+        live.write_bytes(b"mid-write")
         assert artifact_cache.clear(tmp_path) == 1
         assert not list(Path(tmp_path).glob("*.session.pkl"))
-        assert not list(Path(tmp_path).glob("*.tmp"))
+        assert not orphan.exists()
+        assert live.exists()  # never sweep a possibly-live writer
 
 
 _SUBPROCESS_SCRIPT = """

@@ -1,0 +1,18 @@
+"""Shared fixtures for the service suite.
+
+One module-scoped 2-worker pool serves every test that does not
+deliberately kill workers; crash tests build their own disposable pools.
+"""
+
+import pytest
+
+from repro.service.pool import WorkerPool
+
+
+@pytest.fixture(scope="session")
+def shared_pool():
+    pool = WorkerPool(2, cache_max_bytes=None)
+    try:
+        yield pool
+    finally:
+        pool.close()

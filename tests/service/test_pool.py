@@ -1,0 +1,113 @@
+"""Worker pool: N-worker vs in-process equivalence, routing, crash retry."""
+
+import time
+
+import pytest
+
+import repro
+from repro.core.session import clear_registry
+from repro.errors import ClassViolationError, ReproError, WorkerCrashError
+from repro.service.pool import WorkerPool
+from repro.workloads.families import nd_bc_batch, nd_bc_family
+from repro.workloads.random_instances import seeded_instance
+
+N_SEEDS = 100
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("chunk", range(5))
+    def test_pool_matches_in_process_on_seeded_instances(
+        self, shared_pool, chunk
+    ):
+        """Verdicts served by pool workers are identical to in-process
+        runs over the shared seeded-instance generator — including which
+        instances cross the tractability frontier (ClassViolationError)."""
+        chunk_size = N_SEEDS // 5
+        for seed in range(chunk * chunk_size, (chunk + 1) * chunk_size):
+            transducer, din, dout = seeded_instance(seed)
+            try:
+                local = repro.typecheck(transducer, din, dout)
+            except ClassViolationError:
+                with pytest.raises(ClassViolationError):
+                    shared_pool.typecheck(din, dout, transducer)
+                continue
+            remote = shared_pool.typecheck(din, dout, transducer)
+            assert remote.typechecks == local.typechecks, f"seed {seed}"
+            assert remote.algorithm == local.algorithm, f"seed {seed}"
+            if not remote.typechecks:
+                assert remote.verify(transducer, din.accepts, dout.accepts), (
+                    f"seed {seed}: pool counterexample does not verify"
+                )
+
+    def test_batch_fans_out_and_preserves_order(self, shared_pool):
+        transducers, din, dout, expected = nd_bc_batch(8, 7)
+        results = shared_pool.typecheck_batch(
+            din, dout, transducers, method="forward"
+        )
+        assert [r.typechecks for r in results] == [expected] * 7
+        # order: result i belongs to transducer i (distinct state names)
+        for transducer, result in zip(transducers, results):
+            assert result.verify(transducer, din.accepts, dout.accepts) or (
+                result.typechecks
+            )
+
+    def test_batch_return_errors_carries_per_item_failures(self, shared_pool):
+        transducers, din, dout, _ = nd_bc_batch(6, 3)
+        results = shared_pool.typecheck_batch(
+            din, dout, transducers, method="bogus-method", return_errors=True
+        )
+        assert len(results) == 3
+        assert all(isinstance(item, ReproError) for item in results)
+
+    def test_analysis_op(self, shared_pool):
+        transducer, din, dout, _ = nd_bc_family(5)
+        info = shared_pool.analysis(din, dout, transducer)
+        assert info.in_trac
+
+    def test_routing_is_stable_per_pair(self, shared_pool):
+        _, din, dout, _ = nd_bc_family(6)
+        slot = shared_pool.route_slot(din, dout)
+        # equal-content schemas route identically across distinct objects
+        _, din2, dout2, _ = nd_bc_family(6)
+        assert shared_pool.route_slot(din2, dout2) == slot
+
+
+class TestCrashRecovery:
+    def test_in_flight_request_retried_on_worker_death(self):
+        with WorkerPool(2, cache_max_bytes=None) as pool:
+            ticket = pool.submit("sleep", 2.0, slot=0)
+            time.sleep(0.3)
+            pool._slots[0].process.terminate()
+            assert ticket.result(timeout=30) == {"slept": 2.0}
+            stats = pool.pool_stats()
+            assert stats["respawns"] >= 1 and stats["retries"] >= 1
+            # the pool stays fully serviceable afterwards
+            assert [p["pong"] for p in pool.ping()] == [True, True]
+
+    def test_poison_request_gives_up_cleanly(self):
+        with WorkerPool(2, max_retries=2, cache_max_bytes=None) as pool:
+            with pytest.raises(WorkerCrashError, match="giving up"):
+                pool.submit("crash", None).result(timeout=60)
+            # ...and did not take the pool down with it
+            transducer, din, dout, expected = nd_bc_family(4)
+            result = pool.typecheck(din, dout, transducer, method="forward")
+            assert result.typechecks == expected
+
+    def test_closed_pool_rejects_submissions(self):
+        pool = WorkerPool(1, cache_max_bytes=None)
+        pool.close()
+        with pytest.raises(WorkerCrashError, match="closed"):
+            pool.submit("ping", None)
+
+
+class TestWarmSessionsInWorkers:
+    def test_repeat_pair_hits_worker_registry(self, shared_pool):
+        """Second call for the same pair lands on the same worker and is
+        served from its warm session (registry hit observable as a
+        table-cache hit for an identical transducer)."""
+        transducer, din, dout, expected = nd_bc_family(7)
+        first = shared_pool.typecheck(din, dout, transducer, method="forward")
+        second = shared_pool.typecheck(din, dout, transducer, method="forward")
+        assert first.typechecks == second.typechecks == expected
+        assert second.stats.get("table_cache") == "hit"
+        assert second.stats.get("product_nodes") == 0

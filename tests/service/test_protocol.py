@@ -1,0 +1,164 @@
+"""Wire protocol: framing, instance text codec, error transport."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    ClassViolationError,
+    ProtocolError,
+)
+from repro.schemas.dtd import DTD
+from repro.service import protocol
+from repro.transducers.transducer import TreeTransducer
+from repro.workloads.families import nd_bc_family
+from repro.workloads.random_instances import seeded_instance
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        message = {"id": 7, "op": "ping", "nested": {"x": [1, 2]}}
+        line = protocol.encode(message)
+        assert line.endswith(b"\n")
+        assert protocol.decode_line(line) == message
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"{not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"[1, 2]\n")
+
+    def test_validate_request_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            protocol.validate_request({"op": "explode"})
+
+    def test_validate_request_version_gate(self):
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.validate_request({"op": "ping", "v": 99})
+
+
+class TestInstanceCodec:
+    @pytest.mark.parametrize("seed", range(0, 60, 7))
+    def test_payload_roundtrip_preserves_content_hashes(self, seed):
+        """The routing keys (schema and transducer content hashes) must
+        survive text serialization — the property session dedup relies on."""
+        transducer, din, dout = seeded_instance(seed)
+        payload = protocol.instance_payload(transducer, din, dout)
+        transducer2, din2, dout2 = protocol.parse_instance_payload(payload)
+        assert din2.content_hash() == din.content_hash()
+        assert dout2.content_hash() == dout.content_hash()
+        assert transducer2.content_hash() == transducer.content_hash()
+
+    def test_instance_text_roundtrip(self):
+        transducer, din, dout, _ = nd_bc_family(4)
+        text = protocol.instance_to_text(transducer, din, dout)
+        transducer2, din2, dout2 = protocol.load_instance(text)
+        assert din2.content_hash() == din.content_hash()
+        assert dout2.content_hash() == dout.content_hash()
+        assert transducer2.content_hash() == transducer.content_hash()
+
+    def test_cli_format_without_alphabet_line_still_parses(self):
+        """The seed CLI format (no alphabet lines) keeps its semantics:
+        the output DTD's alphabet is widened to the transducer's."""
+        text = """
+        start r
+        r -> a*
+        ---
+        initial q states q
+        q, r -> r(q)
+        q, a -> b
+        ---
+        start r
+        r -> b*
+        """
+        transducer, din, dout = protocol.load_instance(text)
+        assert "b" in dout.alphabet and "a" in dout.alphabet
+
+    def test_alphabet_named_rule_is_not_an_alphabet_line(self):
+        dtd = protocol.parse_dtd_section(["start alphabet", "alphabet -> x*"])
+        assert dtd.start == "alphabet"
+        assert "x" in dtd.alphabet
+
+    def test_automaton_dtd_rejected(self):
+        from repro.strings.regex import parse_regex
+        from repro.strings.dfa import DFA
+
+        dfa = DFA({0}, {"a"}, {}, 0, {0})
+        dtd = DTD({"r": dfa}, start="r")
+        with pytest.raises(ProtocolError, match="automaton"):
+            protocol.dtd_to_text(dtd)
+        # regex DTDs serialize fine
+        assert "start r" in protocol.dtd_to_text(
+            DTD({"r": parse_regex("a b*")}, start="r")
+        )
+
+    def test_dfa_call_selector_rejected(self):
+        from repro.strings.dfa import DFA
+        from repro.transducers.rhs import RhsCall, RhsSym
+
+        selector = DFA({0, 1}, {"a"}, {(0, "a"): 1}, 0, {1})
+        transducer = TreeTransducer(
+            {"q"},
+            {"r", "a", "out"},
+            "q",
+            {("q", "r"): (RhsSym("out", (RhsCall("q", selector),)),)},
+        )
+        with pytest.raises(ProtocolError, match="selecting DFA"):
+            protocol.transducer_to_text(transducer)
+
+    def test_text_and_section_payloads_hash_identically(self):
+        """One logical instance must warm ONE session no matter how it
+        travels: the section-field form applies the same dout-alphabet
+        widening as the text form (regression test)."""
+        din_text = "start r\nr -> a*"
+        transducer_text = "initial q states q\nq, r -> r(q)\nq, a -> c"
+        dout_text = "start r\nr -> c*"  # no alphabet line: widened
+        from_sections = protocol.parse_instance_payload(
+            {"din": din_text, "transducer": transducer_text, "dout": dout_text}
+        )
+        from_text = protocol.parse_instance_payload(
+            {"text": f"{din_text}\n---\n{transducer_text}\n---\n{dout_text}"}
+        )
+        for left, right in zip(from_sections, from_text):
+            assert left.content_hash() == right.content_hash()
+
+    def test_payload_requires_sections_or_text(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_instance_payload({"din": "start r"})
+
+
+class TestErrorTransport:
+    def test_library_errors_round_trip_by_type(self):
+        for exc in (
+            ClassViolationError("outside the frontier"),
+            BudgetExceededError("too big"),
+            ProtocolError("bad line"),
+        ):
+            info = protocol.error_info(exc)
+            with pytest.raises(type(exc), match=str(exc)):
+                protocol.raise_error(info)
+
+    def test_unknown_error_type_becomes_protocol_error(self):
+        with pytest.raises(ProtocolError, match="ZeroDivisionError: boom"):
+            protocol.raise_error({"type": "ZeroDivisionError", "message": "boom"})
+
+
+class TestResultSerialization:
+    def test_result_to_json_is_json_safe_and_faithful(self):
+        import json
+
+        import repro
+        from repro.workloads.families import nd_bc_family
+
+        transducer, din, dout, _ = nd_bc_family(4, typechecks=False)
+        result = repro.typecheck(transducer, din, dout, method="forward")
+        data = protocol.result_to_json(result)
+        json.dumps(data)  # must not raise
+        assert data["typechecks"] is False
+        assert data["algorithm"] == "forward"
+        # the counterexample travels in parseable term syntax
+        from repro.trees.tree import parse_tree
+
+        tree = parse_tree(data["counterexample"])
+        assert din.accepts(tree)

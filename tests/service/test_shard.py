@@ -1,0 +1,144 @@
+"""Sharded forward fixpoint: merged shard tables equal the unsharded run."""
+
+import pickle
+
+import pytest
+
+from repro.core.forward import (
+    compute_forward_tables,
+    forward_check_keys,
+    merge_forward_tables,
+    typecheck_forward,
+    ForwardSchema,
+)
+from repro.core.session import Session
+from repro.transducers.analysis import analyze
+from repro.workloads.families import filtering_family, nd_bc_family
+from repro.workloads.random_instances import seeded_instance
+
+
+def _in_trac(transducer) -> bool:
+    return analyze(transducer).deletion_path_width is not None
+
+
+def _sequential_shards(session):
+    """An in-process stand-in for the pool's fan-out: each partition is
+    computed against a *fresh* schema context and shipped through pickle,
+    exactly as a worker would."""
+
+    def compute(partitions):
+        shards = []
+        for partition in partitions:
+            din, dout = session.sin, session.sout
+            shard = compute_forward_tables(
+                transducer=compute._transducer,
+                din=din,
+                dout=dout,
+                keys=partition,
+                schema=ForwardSchema(din, dout),
+            )
+            shards.append(pickle.loads(pickle.dumps(shard)))
+        return shards
+
+    return compute
+
+
+class TestShardMergeEqualsUnsharded:
+    @pytest.mark.parametrize("family,n", [
+        ("nd_bc_ok", 8), ("nd_bc_bad", 8), ("filtering_ok", 6),
+        ("filtering_bad", 6),
+    ])
+    def test_known_families(self, family, n):
+        base, ok = family.rsplit("_", 1)
+        maker = nd_bc_family if base == "nd_bc" else filtering_family
+        transducer, din, dout, expected = maker(n, typechecks=(ok == "ok"))
+        session = Session(din, dout, eager=False)
+        compute = _sequential_shards(session)
+        compute._transducer = transducer
+        sharded = session.typecheck_sharded(transducer, compute, shards=3)
+        unsharded = typecheck_forward(transducer, din, dout)
+        assert sharded.typechecks == unsharded.typechecks == expected
+        if not sharded.typechecks:
+            assert sharded.verify(transducer, din.accepts, dout.accepts)
+
+    @pytest.mark.parametrize("chunk", range(4))
+    def test_seeded_instances_verdicts_bit_identical(self, chunk):
+        """Sharded verdicts equal unsharded across the shared 200-seed
+        equivalence generator (the in-trac slice)."""
+        for seed in range(chunk * 50, (chunk + 1) * 50):
+            transducer, din, dout = seeded_instance(seed)
+            if not _in_trac(transducer):
+                continue
+            unsharded = typecheck_forward(transducer, din, dout)
+            session = Session(din, dout, eager=False)
+            compute = _sequential_shards(session)
+            compute._transducer = transducer
+            sharded = session.typecheck_sharded(transducer, compute, shards=2)
+            assert sharded.typechecks == unsharded.typechecks, f"seed {seed}"
+            assert sharded.stats.get("violations") == unsharded.stats.get(
+                "violations"
+            ), f"seed {seed}"
+            if not sharded.typechecks:
+                assert sharded.verify(transducer, din.accepts, dout.accepts), (
+                    f"seed {seed}: sharded counterexample does not verify"
+                )
+
+    def test_merged_tables_equal_unsharded_tables(self):
+        """Cell-level check: the merged accepted sets are exactly the
+        unsharded engine's accepted sets, key by key."""
+        transducer, din, dout, _ = nd_bc_family(6, typechecks=False)
+        schema = ForwardSchema(din, dout)
+        keys = forward_check_keys(transducer, din, schema)
+        assert len(keys) >= 2
+        shards = [
+            compute_forward_tables(
+                transducer, din, dout, keys[index::2],
+                schema=ForwardSchema(din, dout),
+            )
+            for index in range(2)
+        ]
+        merged = merge_forward_tables(shards)
+
+        reference = compute_forward_tables(
+            transducer, din, dout, keys, schema=ForwardSchema(din, dout)
+        )
+        assert set(merged["hedge"]) == set(reference["hedge"])
+        for key, entry in reference["hedge"].items():
+            assert set(merged["hedge"][key].accepted) == set(entry.accepted), key
+        assert set(merged["tree"]) == set(reference["tree"])
+        for key, (vals, _i, _o, _x) in reference["tree"].items():
+            assert set(merged["tree"][key][0]) == set(vals), key
+
+
+class TestShardOptionGuards:
+    def test_use_kernel_flip_rejected(self):
+        """Shard keys are canonicalized with the session's engine; a
+        per-call engine flip would hydrate under mismatched keys, so it is
+        rejected up front (regression test)."""
+        transducer, din, dout, _ = nd_bc_family(4)
+        session = Session(din, dout, eager=False)
+        with pytest.raises(TypeError, match="session's engine"):
+            session.typecheck_sharded(
+                transducer, lambda partitions: [], use_kernel=False
+            )
+
+    def test_sharded_stats_carry_worker_product_nodes(self):
+        transducer, din, dout, _ = nd_bc_family(6)
+        session = Session(din, dout, eager=False)
+        compute = _sequential_shards(session)
+        compute._transducer = transducer
+        sharded = session.typecheck_sharded(transducer, compute, shards=2)
+        assert sharded.stats["product_nodes"] > 0  # workers' work, summed
+
+
+class TestPoolSharding:
+    def test_pool_sharded_matches_unsharded(self, shared_pool):
+        transducer, din, dout, expected = nd_bc_family(10, typechecks=False)
+        result = shared_pool.typecheck_sharded(din, dout, transducer, shards=2)
+        assert result.typechecks == expected is False
+        assert result.verify(transducer, din.accepts, dout.accepts)
+
+    def test_pool_sharded_on_passing_family(self, shared_pool):
+        transducer, din, dout, expected = filtering_family(8)
+        result = shared_pool.typecheck_sharded(din, dout, transducer, shards=2)
+        assert result.typechecks == expected is True
