@@ -70,6 +70,10 @@ SESSION_SMOKE_MIN_SPEEDUP = 1.2
 # time-sliced single-CPU runners can only be held to bounded overhead.
 SERVICE_SMOKE_MIN_SPEEDUP = 1.15
 SERVICE_SMOKE_MIN_RATIO_1CPU = 0.3
+# Sticky-pair gate: request bytes are deterministic, so the bound is firm —
+# pinning the pair must cut the total request bytes of a 10-item run well
+# below v1 framing (locally ~0.2x).
+STICKY_SMOKE_MAX_BYTES_RATIO = 0.8
 
 
 def best_of(fn, repeat: int) -> float:
@@ -340,6 +344,202 @@ def bench_service(results, sizes, repeat: int, worker_counts) -> None:
         results.append(row)
 
 
+def bench_service_sticky(results, n: int, k: int, repeat: int) -> None:
+    """Protocol v2 sticky pairs vs v1 framing: request bytes and latency.
+
+    One TCP server, one pair, ``k`` transducers.  The v1 loop ships the
+    full instance per request; the sticky loop pins the pair once and
+    ships bare transducer payloads.  Each loop runs over the same warmed
+    transducers (table-cache hits), so the timing difference is the wire
+    and parse overhead the sticky mode exists to remove.
+    """
+    import asyncio
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.pool import WorkerPool
+    from repro.service.server import ServiceServer
+
+    class CountingFile:
+        def __init__(self, inner):
+            self._inner = inner
+            self.sent = 0
+
+        def write(self, data):
+            self.sent += len(data)
+            return self._inner.write(data)
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+    transducers, din, dout, expected = _variant_batch(n, k, offset=900_000)
+    pool = WorkerPool(2)
+    service = ServiceServer(pool)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+
+        async def go():
+            await service.start("127.0.0.1", 0)
+            started.set()
+
+        loop.run_until_complete(go())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10)
+    try:
+        def v1_pass():
+            with ServiceClient(port=service.port) as client:
+                client._file = CountingFile(client._file)
+                for transducer in transducers:
+                    result = client.typecheck(
+                        transducer, din, dout, method="forward"
+                    )
+                    assert result["typechecks"] == expected
+                return client._file.sent
+
+        def sticky_pass():
+            with ServiceClient(port=service.port) as client:
+                client._file = CountingFile(client._file)
+                handle = client.pair(din, dout)
+                for transducer in transducers:
+                    result = handle.typecheck(transducer, method="forward")
+                    assert result["typechecks"] == expected
+                return client._file.sent
+
+        v1_bytes = v1_pass()  # also warms every routed worker
+        sticky_bytes = sticky_pass()
+        v1_s = best_of(v1_pass, repeat)
+        sticky_s = best_of(sticky_pass, repeat)
+    finally:
+        async def shutdown():
+            await service.close()
+            pending = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+
+        asyncio.run_coroutine_threadsafe(shutdown(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        pool.close()
+    results.append(
+        {
+            "group": "service-sticky",
+            "name": f"sticky_vs_v1(n={n}, k={k})",
+            "family": "sticky_vs_v1",
+            "n": n,
+            "k": k,
+            "v1_request_bytes": v1_bytes,
+            "sticky_request_bytes": sticky_bytes,
+            "bytes_ratio": sticky_bytes / v1_bytes,
+            "v1_s": v1_s,
+            "sticky_s": sticky_s,
+            "latency_speedup": v1_s / sticky_s,
+        }
+    )
+
+
+def _skewed_shard_instance(width: int, arms: int):
+    """An instance whose root-check cells have wildly uneven seed counts.
+
+    Input symbols ``a_i`` map to output nodes carrying 3 copies of the
+    state for even ``i`` and 1 copy for odd ``i`` — predicted cell costs
+    ``n_out^3`` vs ``n_out^1`` — so a blind round-robin split clusters the
+    heavy cells while the LPT planner spreads them.
+    """
+    from repro.schemas.dtd import DTD
+    from repro.transducers.transducer import TreeTransducer
+
+    chain = " ".join(f"c{j}" for j in range(width))
+    din_rules = {"root": " ".join(f"a{i}" for i in range(arms)), "b": ""}
+    dout_rules = {"root": "t*", "t": chain}
+    for i in range(arms):
+        din_rules[f"a{i}"] = "b b*"
+    for j in range(width):
+        dout_rules[f"c{j}"] = ""
+    din = DTD(din_rules, start="root")
+    dout = DTD(dout_rules, start="root")
+    rules = {("q", "root"): "root(" + " ".join("q" for _ in range(1)) + ")"}
+    for i in range(arms):
+        copies = 3 if i % 2 == 0 else 1
+        rules[("q", f"a{i}")] = "t(" + " ".join("q" for _ in range(copies)) + ")"
+    rules[("q", "b")] = " ".join(f"c{j}" for j in range(width))
+    alphabet = set(din.alphabet) | set(dout.alphabet)
+    transducer = TreeTransducer({"q"}, alphabet, "q", rules)
+    return transducer, din, dout
+
+
+def bench_shard_plan(results, width: int, arms: int, repeat: int, shards: int) -> None:
+    """Planned (LPT) vs round-robin shard balance on a skewed instance.
+
+    Sequential in-process shard execution (no pool), so the recorded
+    per-shard wall times measure *work per shard*, not scheduling noise —
+    the spread (max/min) is the planner's figure of merit.
+    """
+    transducer, din, dout = _skewed_shard_instance(width, arms)
+
+    def spread_of(planner: str):
+        best = None
+        for _ in range(repeat):
+            session = Session(din, dout, eager=False)
+
+            def compute(partitions):
+                from repro.core.forward import (
+                    compute_forward_tables,
+                    ForwardSchema,
+                )
+
+                return [
+                    compute_forward_tables(
+                        transducer, din, dout, partition,
+                        schema=ForwardSchema(din, dout),
+                    )
+                    for partition in partitions
+                ]
+
+            result = session.typecheck_sharded(
+                transducer, compute, shards=shards, planner=planner
+            )
+            walls = result.stats["shard_wall_s"]
+            row = {
+                "wall_s": walls,
+                "spread": max(walls) / max(min(walls), 1e-9),
+                "costs": result.stats.get("shard_costs"),
+            }
+            # keep the fastest (least noisy) round, judged by total wall —
+            # picking by min spread would flatter the blind partitioner
+            if best is None or sum(walls) < sum(best["wall_s"]):
+                best = row
+        return best
+
+    planned = spread_of("cost")
+    rr = spread_of("round-robin")
+    results.append(
+        {
+            "group": "service-shard-plan",
+            "name": f"shard_plan(width={width}, arms={arms}, shards={shards})",
+            "family": "shard_plan",
+            "width": width,
+            "arms": arms,
+            "shards": shards,
+            "planned_wall_s": planned["wall_s"],
+            "planned_spread_max_over_min": planned["spread"],
+            "planned_costs": planned["costs"],
+            "round_robin_wall_s": rr["wall_s"],
+            "round_robin_spread_max_over_min": rr["spread"],
+        }
+    )
+
+
 def bench_service_shard(results, n: int, repeat: int, shards: int) -> None:
     """A single query with its forward fixpoint sharded across the pool."""
     import os
@@ -403,6 +603,8 @@ def main(argv=None) -> int:
         bench_service(
             service_results, [(16, 12)], min(repeat, 3), worker_counts=(1, 2)
         )
+        bench_service_sticky(service_results, 12, 10, min(repeat, 3))
+        bench_shard_plan(service_results, width=16, arms=8, repeat=2, shards=2)
     else:
         bench_forward(
             results,
@@ -425,6 +627,9 @@ def main(argv=None) -> int:
             worker_counts=(1, 2, 4),
         )
         bench_service_shard(service_results, 48, min(repeat, 3), shards=4)
+        bench_service_sticky(service_results, 24, 24, min(repeat, 3))
+        bench_shard_plan(service_results, width=16, arms=8, repeat=3, shards=2)
+        bench_shard_plan(service_results, width=16, arms=8, repeat=3, shards=4)
 
     forward = [r for r in results if r["group"] == "forward"]
     largest = max(forward, key=lambda r: (r["n"], r["baseline_s"]))
@@ -514,6 +719,21 @@ def main(argv=None) -> int:
             f"  sharded {r['sharded_s'] * 1e3:8.2f} ms"
             f"  speedup {r['speedup']:6.2f}x"
         )
+    for r in service_results:
+        if r["group"] == "service-sticky":
+            print(
+                f"{r['name']:<{width}}  v1 {r['v1_request_bytes']:>9} B"
+                f"  sticky {r['sticky_request_bytes']:>9} B"
+                f"  ({r['bytes_ratio']:.2f}x bytes,"
+                f" {r['latency_speedup']:.2f}x latency)"
+            )
+        elif r["group"] == "service-shard-plan":
+            print(
+                f"{r['name']:<{width}}"
+                f"  planned spread {r['planned_spread_max_over_min']:6.2f}"
+                f"  round-robin spread"
+                f" {r['round_robin_spread_max_over_min']:6.2f}"
+            )
     print(f"\nwrote {args.output} "
           f"(largest forward bench: {largest['name']} "
           f"at {largest['speedup']:.2f}x)")
@@ -575,6 +795,19 @@ def main(argv=None) -> int:
                 "SMOKE FAILURE: identical-repeat table-cache serving is "
                 f"slower than recomputing "
                 f"({service_smoke['table_cache_speedup']:.2f}x < 1x)",
+                file=sys.stderr,
+            )
+            failed = True
+        sticky = next(
+            r for r in service_results if r["group"] == "service-sticky"
+        )
+        if sticky["bytes_ratio"] >= STICKY_SMOKE_MAX_BYTES_RATIO:
+            # Byte accounting is deterministic: sticky mode must actually
+            # stop re-shipping schema text.
+            print(
+                f"SMOKE FAILURE: sticky mode does not shrink request bytes "
+                f"on {sticky['name']} ({sticky['bytes_ratio']:.2f}x >= "
+                f"{STICKY_SMOKE_MAX_BYTES_RATIO}x of v1)",
                 file=sys.stderr,
             )
             failed = True

@@ -4,12 +4,16 @@
 Spawns ``python -m repro serve`` (2 workers) as a real subprocess, waits
 for its ready line, then drives it with the thin client:
 
-1. ``ping`` / ``stats`` — liveness and pool health;
-2. a mixed 12-transducer batch against one warm schema pair
-   (``typecheck_many`` fans the items out across the workers);
+1. ``ping`` / ``stats`` — liveness, pool health and per-worker
+   session-registry detail (resident pairs, footprints, eviction
+   counters);
+2. a *sticky pair* (protocol v2): ``client.pair(din, dout)`` pins the
+   schema pair once, then a mixed 12-transducer batch ships bare
+   transducer payloads fanned out across the workers;
 3. the same query twice — the repeat is served from the worker's
    per-transducer fixpoint-table cache (watch ``stats.table_cache``);
-4. a single query with its forward fixpoint *sharded* across the pool;
+4. a single query with its forward fixpoint *sharded* across the pool
+   (partitioned by the LPT cost planner);
 5. a counterexample, parsed back into a tree.
 
 Run:  python examples/service_demo.py
@@ -89,20 +93,28 @@ def main() -> int:
 
         with client:
             banner = client.ping()
-            print(f"  server {banner['version']}, {banner['workers']} workers\n")
+            print(
+                f"  server {banner['version']} (protocol "
+                f"{banner['protocol']}), {banner['workers']} workers\n"
+            )
 
-            print(f"batch of {len(variants)} transducer variants:")
+            print("pinning the schema pair (protocol v2 sticky mode):")
+            pair = client.pair(din, dout)
+            print(f"batch of {len(variants)} transducer variants, bare payloads:")
             start = time.perf_counter()
-            verdicts = client.typecheck_many(din, dout, variants)
+            verdicts = pair.typecheck_many(variants)
             elapsed = (time.perf_counter() - start) * 1e3
             for j, verdict in enumerate(verdicts):
                 flag = "PASS" if verdict["typechecks"] else "FAIL"
                 print(f"  variant {j:2d}: {flag}  ({verdict['algorithm']})")
-            print(f"  ...{elapsed:.1f} ms total, fanned across the pool\n")
+            print(
+                f"  ...{elapsed:.1f} ms total, fanned across the pool "
+                f"(pair {pair.pair_id[:12]}… pinned once)\n"
+            )
 
             print("repeat of variant 0 (per-transducer table cache):")
             for attempt in ("first", "second"):
-                result = client.typecheck(variants[0], din, dout)
+                result = pair.typecheck(variants[0])
                 print(
                     f"  {attempt}: typechecks={result['typechecks']} "
                     f"table_cache={result['stats'].get('table_cache')} "
@@ -111,14 +123,26 @@ def main() -> int:
             print()
 
             print("sharded single query (fixpoint split across workers):")
-            result = client.typecheck(variants[0], din, dout, shards=2)
+            result = pair.typecheck(variants[0], shards=2)
             print(f"  typechecks={result['typechecks']} (shards=2)\n")
 
             print("counterexample for a leaking variant:")
-            witness = client.counterexample(variants[1], din, dout)
+            witness = pair.counterexample(variants[1])
             print(f"  {witness}\n")
 
-            print("pool stats:", client.stats())
+            stats = client.stats()
+            detail = stats.pop("workers_detail")
+            print("pool stats:", stats)
+            for entry in detail:
+                registry = entry["registry"]
+                print(
+                    f"  worker {entry['worker']}: "
+                    f"{registry['size']} resident pair(s), "
+                    f"{registry['total_bytes']} B, "
+                    f"hits={registry['hits']} misses={registry['misses']} "
+                    f"evictions={registry['evictions']}, "
+                    f"{len(entry['pinned_pairs'])} pinned"
+                )
         return 0
     finally:
         server.terminate()

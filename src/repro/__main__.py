@@ -45,9 +45,15 @@ The ``serve`` subcommand starts the multi-process typechecking service
 
     python -m repro serve [--host H] [--port P] [--workers N]
                           [--cache-dir DIR] [--max-cache-bytes B]
+                          [--max-inflight N] [--max-inflight-total N]
+                          [--worker-registry-bytes B]
 
-It speaks the JSON-lines protocol of :mod:`repro.service.protocol`; drive
-it with :class:`repro.service.client.ServiceClient`.
+``--max-inflight`` bounds one connection's in-flight requests,
+``--max-inflight-total`` the aggregate across all connections, and
+``--worker-registry-bytes`` sets each worker's session-registry byte
+budget (size-aware eviction of warm schema pairs).  It speaks the
+JSON-lines protocol of :mod:`repro.service.protocol` (v2 sticky pairs
+included); drive it with :class:`repro.service.client.ServiceClient`.
 """
 
 from __future__ import annotations
@@ -121,6 +127,8 @@ def _parse_serve_args(argv: List[str]):
     options = {
         "host": "127.0.0.1", "port": 8722, "workers": 2,
         "cache_dir": None, "max_cache_bytes": None,
+        "max_inflight": None, "max_inflight_total": None,
+        "worker_registry_bytes": None,
     }
     index = 0
     while index < len(argv):
@@ -128,7 +136,8 @@ def _parse_serve_args(argv: List[str]):
         if arg in ("-h", "--help"):
             return None
         if arg in ("--host", "--port", "--workers", "--cache-dir",
-                   "--max-cache-bytes"):
+                   "--max-cache-bytes", "--max-inflight",
+                   "--max-inflight-total", "--worker-registry-bytes"):
             index += 1
             if index >= len(argv):
                 return None
@@ -153,6 +162,10 @@ def _parse_serve_args(argv: List[str]):
     max_cache = options["max_cache_bytes"]
     if max_cache is not None and int(max_cache) < 0:
         return None
+    for flag in ("max_inflight", "max_inflight_total", "worker_registry_bytes"):
+        value = options[flag]
+        if value is not None and int(value) < 1:
+            return None
     return options
 
 
@@ -162,9 +175,15 @@ def _serve(argv: List[str]) -> int:
         print(__doc__)
         return 2
     from repro.service.pool import DEFAULT_CACHE_BYTES
-    from repro.service.server import run_server
+    from repro.service.server import (
+        DEFAULT_MAX_INFLIGHT,
+        DEFAULT_MAX_INFLIGHT_TOTAL,
+        run_server,
+    )
 
     max_cache_bytes = options["max_cache_bytes"]
+    max_inflight = options["max_inflight"]
+    max_inflight_total = options["max_inflight_total"]
     try:
         return run_server(
             options["host"],
@@ -174,6 +193,15 @@ def _serve(argv: List[str]) -> int:
             cache_max_bytes=(
                 DEFAULT_CACHE_BYTES if max_cache_bytes is None else max_cache_bytes
             ),
+            max_inflight=(
+                DEFAULT_MAX_INFLIGHT if max_inflight is None else max_inflight
+            ),
+            max_inflight_total=(
+                DEFAULT_MAX_INFLIGHT_TOTAL
+                if max_inflight_total is None
+                else max_inflight_total
+            ),
+            worker_registry_bytes=options["worker_registry_bytes"],
         )
     except OSError as exc:
         # Bind failures (port in use, bad host) are usage errors, not bugs.

@@ -11,8 +11,17 @@ entirely::
 
 Layout: one ``<key>.session.pkl`` file per ``(sin, sout, options)`` triple,
 where ``<key>`` is the SHA-256 of the schema content hashes, the options
-fingerprint and the versioning pins.  Files are written atomically
-(temp file + rename), so concurrent writers at worst both do the work once.
+fingerprint and the versioning pins.  Per-transducer fixpoint-table
+snapshots live in *side files* ``<key>.tables.<transducer_hash>.pkl`` next
+to the schema blob: tables are what actually grows over a service's
+lifetime (one complete least fixpoint per distinct transducer), so keeping
+them out of the schema blob means ``publish`` never has to rewrite the
+whole session as tables accrue, and :func:`clear` can prune table
+snapshots independently of (and before) the schema artifacts they
+accompany.  Blobs from the embedded-tables era still load — embedded
+tables are simply hydrated alongside any side files.  All files are
+written atomically (temp file + rename), so concurrent writers at worst
+both do the work once.
 
 Versioned invalidation: the key bakes in the library version and the
 cache/kernel format numbers, and every blob carries a header that is
@@ -77,22 +86,13 @@ def artifact_path(cache_dir, key: str) -> Path:
     return Path(cache_dir) / f"{key}.session.pkl"
 
 
-def save_session(session: Session, cache_dir=None) -> Path:
-    """Persist a session's schema-side artifacts; returns the file path."""
-    if cache_dir is None:
-        cache_dir = default_cache_dir()
-    directory = Path(cache_dir)
-    directory.mkdir(parents=True, exist_ok=True)
-    key = artifact_key(session.sin, session.sout, session.options)
-    payload = {
-        "cache_format": CACHE_FORMAT,
-        "version": __version__,
-        "key": key,
-        "artifacts": session.export_artifacts(),
-    }
-    blob = serialize.dumps(payload)
-    path = artifact_path(directory, key)
-    # Atomic publish: a reader only ever sees complete files.
+def tables_path(cache_dir, key: str, transducer_hash: str) -> Path:
+    """The side file holding one transducer's fixpoint-table snapshot."""
+    return Path(cache_dir) / f"{key}.tables.{transducer_hash}.pkl"
+
+
+def _write_atomic(directory: Path, path: Path, blob: bytes) -> None:
+    """Atomic publish: a reader only ever sees complete files."""
     fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
@@ -104,9 +104,120 @@ def save_session(session: Session, cache_dir=None) -> Path:
         except OSError:
             pass
         raise
+
+
+def save_session(session: Session, cache_dir=None) -> Path:
+    """Persist a session's schema-side artifacts; returns the file path.
+
+    Per-transducer tables are *not* embedded — they go to side files (see
+    :func:`_publish_tables`, called by :func:`publish`), so the schema blob
+    stays at its compiled-artifacts size no matter how many transducers
+    the session has served.
+    """
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    key = artifact_key(session.sin, session.sout, session.options)
+    artifacts = session.export_artifacts()
+    forward = artifacts.get("forward")
+    if forward is not None and forward.get("transducer_tables"):
+        forward = dict(forward)
+        forward["transducer_tables"] = {}
+        artifacts = {**artifacts, "forward": forward}
+    payload = {
+        "cache_format": CACHE_FORMAT,
+        "version": __version__,
+        "key": key,
+        "artifacts": artifacts,
+    }
+    path = artifact_path(directory, key)
+    _write_atomic(directory, path, serialize.dumps(payload))
     session.stats["published_state"] = _artifact_state(session)
     session.stats["published_at"] = time.monotonic()
     return path
+
+
+def _publish_tables(session: Session, cache_dir) -> int:
+    """Write side files for table snapshots not yet on disk; returns the
+    number written.
+
+    Snapshots are complete least fixpoints and never mutate, so each side
+    file is write-once — existence is the only check.  Un-throttled by
+    design: one small side file per *new* transducer is exactly the growth
+    the blob-splitting exists to absorb.
+    """
+    forward = session._forward
+    if forward is None:
+        return 0
+    with session._lock:
+        snapshots = list(forward.transducer_tables.items())
+    if not snapshots:
+        return 0
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    key = artifact_key(session.sin, session.sout, session.options)
+    written = 0
+    for transducer_hash, tables in snapshots:
+        path = tables_path(directory, key, transducer_hash)
+        if path.exists():
+            continue
+        payload = {
+            "cache_format": CACHE_FORMAT,
+            "key": key,
+            "transducer": transducer_hash,
+            "tables": tables,
+        }
+        _write_atomic(directory, path, serialize.dumps(payload))
+        written += 1
+    return written
+
+
+def _load_tables(session: Session, cache_dir, key: str) -> int:
+    """Hydrate table side files into a freshly loaded session.
+
+    Newest-mtime first, bounded by the schema's own table LRU limit so a
+    directory holding years of snapshots cannot balloon one session.
+    """
+    directory = Path(cache_dir)
+    prefix = f"{key}.tables."
+    entries = []
+    try:
+        names = list(os.scandir(directory))
+    except OSError:
+        return 0
+    for entry in names:
+        if not (entry.name.startswith(prefix) and entry.name.endswith(".pkl")):
+            continue
+        try:
+            entries.append((entry.stat().st_mtime, entry.path))
+        except OSError:
+            continue  # pruned concurrently — not our snapshot anymore
+    entries.sort(reverse=True)  # newest first (they win the LRU budget)
+    ctx = session.forward_schema()
+    selected = []
+    for _mtime, path in entries:
+        if len(selected) >= ctx.transducer_table_limit:
+            break
+        try:
+            payload = serialize.loads(Path(path).read_bytes())
+        except OSError:
+            continue
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            continue
+        if payload.get("cache_format") != CACHE_FORMAT:
+            continue
+        transducer_hash = payload.get("transducer")
+        tables = payload.get("tables")
+        if not isinstance(transducer_hash, str) or not isinstance(tables, dict):
+            continue
+        if transducer_hash not in ctx.transducer_tables:
+            selected.append((transducer_hash, tables))
+    # Insert oldest-first: the in-memory cache evicts from the front, so
+    # the newest snapshots must land at the recently-used end.
+    for transducer_hash, tables in reversed(selected):
+        ctx.transducer_tables.setdefault(transducer_hash, tables)
+    return len(selected)
 
 
 def ensure_saved(session: Session, cache_dir=None) -> Path:
@@ -126,11 +237,16 @@ def ensure_saved(session: Session, cache_dir=None) -> Path:
 
 
 def _artifact_state(session: Session) -> tuple:
-    """A cheap fingerprint of the session state worth re-publishing for."""
+    """A cheap fingerprint of the *blob* state worth re-publishing for.
+
+    Per-transducer tables are deliberately absent: they live in side files
+    (written un-throttled by :func:`publish`), so a session that only
+    accrues tables never rewrites its schema blob.
+    """
     forward = session._forward
     if forward is None:
         return (0, 0)
-    return (len(forward.transducer_tables), len(forward.shared_hedge))
+    return (len(forward.shared_hedge), len(forward.shared_tree))
 
 
 def publish(session: Session, cache_dir=None, min_interval_s: float = 30.0) -> Path:
@@ -138,13 +254,18 @@ def publish(session: Session, cache_dir=None, min_interval_s: float = 30.0) -> P
 
     ``ensure_saved`` alone would freeze the blob at its first (usually
     empty) state forever: sessions accumulate their most valuable
-    artifacts — per-transducer fixpoint tables, converged shared cells —
-    *after* the first save.  ``publish`` rewrites the file when that state
-    grew, throttled to ``min_interval_s`` so a steady request stream is
-    not re-serializing the blob per call.  This is what ``repro.compile``
-    calls on every cache-backed lookup.
+    artifacts — converged shared cells, per-transducer fixpoint tables —
+    *after* the first save.  ``publish`` rewrites the blob when the
+    schema-side state grew, throttled to ``min_interval_s`` so a steady
+    request stream is not re-serializing it per call, and writes a
+    (write-once, un-throttled) side file for every table snapshot not yet
+    on disk.  This is what ``repro.compile`` calls on every cache-backed
+    lookup.
     """
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
     path = ensure_saved(session, cache_dir=cache_dir)
+    _publish_tables(session, cache_dir)
     state = _artifact_state(session)
     if state == session.stats.get("published_state"):
         return path
@@ -206,6 +327,11 @@ def load_session(
             use_kernel=bool(options.get("use_kernel", True)),
             max_product_nodes=int(options.get("max_product_nodes", 500_000)),
         )
+        # Tables come from side files; blobs from the embedded-tables era
+        # carry them inline (already hydrated by from_artifacts) and the
+        # side files merge on top — the migration path is "both work".
+        if artifacts.get("forward") is not None:
+            _load_tables(session, cache_dir, key)
         # The session's state *is* the blob's state: stamp it so publish()
         # rewrites only once it actually grows beyond what is on disk.
         session.stats["published_state"] = _artifact_state(session)
@@ -216,56 +342,76 @@ def load_session(
 
 
 def clear(cache_dir=None, max_bytes: Optional[int] = None) -> int:
-    """Prune session artifacts in ``cache_dir``; returns the removed count.
+    """Prune artifacts in ``cache_dir``; returns the count actually removed.
 
     With ``max_bytes=None`` every artifact goes (the seed behavior).  With
-    a byte budget the cache is LRU-pruned instead: artifacts are deleted
+    a byte budget the cache is LRU-pruned instead: files are deleted
     oldest-``mtime``-first until the survivors fit in ``max_bytes`` —
-    writes set the file's mtime and :func:`load_session` touches it on
-    every hit, so mtime order is recency order.  The typechecking service
-    bounds its cache directory this way on startup
-    (:data:`repro.service.pool.DEFAULT_CACHE_BYTES`).
+    writes set the file's mtime and :func:`load_session` touches blobs on
+    every hit, so mtime order is recency order.  Schema blobs
+    (``*.session.pkl``) and table side files (``*.tables.*.pkl``) are
+    independent LRU entries: cold table snapshots are pruned without
+    touching the (much smaller, dearly recompiled) schema artifacts next
+    to them.  The typechecking service bounds its cache directory this way
+    on startup (:data:`repro.service.pool.DEFAULT_CACHE_BYTES`).
+
+    Concurrency: the service prunes while other processes publish and
+    load, so every per-file step tolerates the file vanishing between the
+    directory scan and ``stat``/``unlink`` — a racing deletion is someone
+    else doing this function's job, never an error — and the return value
+    counts only deletions *this* call performed.
 
     Also sweeps ``*.tmp`` orphans left by a writer killed between
     ``mkstemp`` and the atomic rename (orphans are not counted).  Only
-    files older than an hour are treated as orphans: the service prunes
-    its cache directory at every pool startup, and a fresh ``.tmp`` may
+    files older than an hour are treated as orphans: a fresh ``.tmp`` may
     be a *live* concurrent writer mid-``os.replace``.
     """
     if cache_dir is None:
         cache_dir = default_cache_dir()
     directory = Path(cache_dir)
+    try:
+        listing = list(os.scandir(directory))
+    except OSError:
+        return 0  # no directory (or it vanished) — nothing to prune
+    entries = []
+    tmp_files = []
+    for entry in listing:
+        name = entry.name
+        if name.endswith(".tmp"):
+            tmp_files.append(entry)
+            continue
+        if not name.endswith(".pkl"):
+            continue
+        if not (name.endswith(".session.pkl") or ".tables." in name):
+            continue
+        try:
+            stat = entry.stat()
+        except OSError:
+            continue  # deleted by a concurrent pruner mid-scan
+        entries.append((stat.st_mtime, stat.st_size, entry.path))
+    if max_bytes is None:
+        victims = [path for (_mtime, _size, path) in entries]
+    else:
+        entries.sort()  # oldest first
+        total = sum(size for (_mtime, size, _path) in entries)
+        victims = []
+        for _mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            victims.append(path)
+            total -= size
     removed = 0
-    if directory.is_dir():
-        entries = []
-        for path in directory.glob("*.session.pkl"):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
-        if max_bytes is None:
-            victims = [path for (_mtime, _size, path) in entries]
-        else:
-            entries.sort()  # oldest first
-            total = sum(size for (_mtime, size, _path) in entries)
-            victims = []
-            for _mtime, size, path in entries:
-                if total <= max_bytes:
-                    break
-                victims.append(path)
-                total -= size
-        for path in victims:
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        orphan_age = time.time() - 3600
-        for path in directory.glob("*.tmp"):
-            try:
-                if path.stat().st_mtime < orphan_age:
-                    path.unlink()
-            except OSError:
-                pass
+    for path in victims:
+        try:
+            os.unlink(path)
+            removed += 1
+        except OSError:
+            pass  # already gone — only count our own deletions
+    orphan_age = time.time() - 3600
+    for entry in tmp_files:
+        try:
+            if entry.stat().st_mtime < orphan_age:
+                os.unlink(entry.path)
+        except OSError:
+            pass
     return removed

@@ -36,9 +36,10 @@ blows up — that is the paper's intractability frontier showing itself.
 from __future__ import annotations
 
 import itertools
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import BudgetExceededError, ClassViolationError
 from repro.kernel.product import ProductBFS
@@ -1072,6 +1073,69 @@ def forward_check_keys(
     return keys
 
 
+# The shard planner's cost model
+# ------------------------------
+# A hedge cell ``(σ, a, P)`` explores the product of the input content DFA
+# of ``a`` with one copy of the (complete) output content DFA of σ per
+# behavior slot: its BFS is seeded with ``n_out^m`` identity vectors, where
+# ``n_out`` is the output DFA's state count and ``m = |P|`` — the very
+# quantity the engine's seed-count guard compares against
+# ``max_product_nodes`` (see ``_eval_hedge_kernel``).  That seed count is
+# the dominant, schema-predictable factor of a cell's fixpoint cost: the
+# σ-independent ``P = ()`` cells (canonicalized to ``σ = None`` on the
+# kernel path) run against a 1-state universal DFA and cost ~1, while a
+# root-check cell with copying width ``m`` pays exponentially in ``m``.
+# ``forward_key_costs`` evaluates the model per key and
+# ``plan_forward_shards`` LPT-packs the keys into balanced shards —
+# replacing the blind round-robin split whose shard wall times were only
+# as balanced as the key *order* happened to be.
+
+
+def forward_key_costs(
+    keys: Sequence[TupleKey],
+    schema: ForwardSchema,
+    out_alphabet: frozenset,
+) -> List[int]:
+    """Predicted fixpoint cost ``n_out^m`` of each hedge-cell key.
+
+    ``out_alphabet`` is the engine's output alphabet for the transducer
+    being sharded (``transducer.alphabet | dout.alphabet``) — the alphabet
+    the completed output content DFAs are built over.
+    """
+    costs: List[int] = []
+    for (sigma, _a, P) in keys:
+        if not P:
+            costs.append(1)
+            continue
+        n_out = len(schema.out_dfa(sigma, out_alphabet).states)
+        costs.append(max(1, n_out) ** len(P))
+    return costs
+
+
+def plan_forward_shards(
+    keys: Sequence[TupleKey],
+    costs: Sequence[int],
+    shards: int,
+) -> Tuple[List[List[TupleKey]], List[int]]:
+    """LPT bin-packing of check keys into ``shards`` balanced partitions.
+
+    Longest-processing-time-first: keys are placed heaviest-first onto the
+    currently lightest shard (ties broken by shard index, so the plan is
+    deterministic).  Returns ``(partitions, loads)`` — every partition is
+    non-empty when ``len(keys) >= shards``, and the loads are the predicted
+    per-shard cost sums recorded in the sharded call's stats.
+    """
+    shards = max(1, min(int(shards), max(1, len(keys))))
+    order = sorted(range(len(keys)), key=lambda i: (-costs[i], i))
+    partitions: List[List[TupleKey]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    for i in order:
+        target = min(range(shards), key=lambda b: (loads[b], b))
+        partitions[target].append(keys[i])
+        loads[target] += costs[i]
+    return partitions, loads
+
+
 def compute_forward_tables(
     transducer: TreeTransducer,
     din: DTD,
@@ -1109,6 +1173,7 @@ def compute_forward_tables(
         transducer, din, dout, max_tuple, max_product_nodes,
         use_kernel=use_kernel, schema=schema,
     )
+    start = time.perf_counter()
     for key in keys:
         engine.request_hedge(*key)
     try:
@@ -1116,7 +1181,11 @@ def compute_forward_tables(
     except BaseException:
         schema.reset_shared()
         raise
-    return export_forward_tables(engine)
+    tables = export_forward_tables(engine)
+    # Shard wall time, measured where the work actually ran (a service
+    # worker) — the shard planner's balance is judged on these.
+    tables["elapsed_s"] = time.perf_counter() - start
+    return tables
 
 
 def merge_forward_tables(shards: Iterable[Dict[str, object]]) -> Dict[str, object]:
@@ -1130,12 +1199,17 @@ def merge_forward_tables(shards: Iterable[Dict[str, object]]) -> Dict[str, objec
     merged: Dict[str, object] = {"hedge": {}, "tree": {}, "work": 0}
     hedge: Dict = merged["hedge"]
     tree: Dict = merged["tree"]
+    elapsed: List[float] = []
     for shard in shards:
         merged["work"] = int(merged["work"]) + int(shard.get("work", 0))
+        if "elapsed_s" in shard:
+            elapsed.append(float(shard["elapsed_s"]))
         for key, entry in shard["hedge"].items():
             hedge.setdefault(key, entry)
         for key, cell in shard["tree"].items():
             tree.setdefault(key, cell)
+    if elapsed:
+        merged["shard_elapsed_s"] = elapsed
     return merged
 
 

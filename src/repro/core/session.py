@@ -44,6 +44,7 @@ parallel typechecking a non-goal.
 from __future__ import annotations
 
 import inspect
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -216,6 +217,9 @@ class Session:
         self._analyses: "WeakKeyDictionary[TreeTransducer, Tuple[TreeTransducer, TransducerAnalysis]]" = (
             WeakKeyDictionary()
         )
+        # (state fingerprint, measured_at, bytes) of the last footprint
+        # measurement — see footprint_bytes().
+        self._footprint: Optional[Tuple[Tuple, float, int]] = None
         if eager:
             self.warm()
 
@@ -475,6 +479,7 @@ class Session:
         compute_shards,
         shards: int = 2,
         max_tuple: Optional[int] = None,
+        planner: str = "cost",
         **kwargs,
     ) -> TypecheckResult:
         """Forward-typecheck ``T`` with its fixpoint sharded.
@@ -486,15 +491,45 @@ class Session:
         drive the root-check scan and counterexample construction here, so
         the verdict is exactly :func:`typecheck_forward`'s — the shards
         compute complete per-cell least fixpoints and the merge unions the
-        accepted sets.
+        accepted sets.  Partitioning never affects the verdict, only the
+        balance, so the planner choice is a pure scheduling knob.
+
+        ``planner`` selects the partitioner: ``"cost"`` (default) LPT-packs
+        keys by their predicted cell cost ``n_out^m`` (see the cost-model
+        note next to :func:`repro.core.forward.forward_check_keys`);
+        ``"round-robin"`` is the blind positional split, kept for
+        benchmarking the planner against.  Per-shard wall times (measured
+        inside :func:`~repro.core.forward.compute_forward_tables`, i.e. on
+        the worker) come back in ``result.stats["shard_wall_s"]`` with the
+        planner's predicted loads in ``stats["shard_costs"]``, so the
+        balance is observable.
         """
-        from repro.core.forward import merge_forward_tables, typecheck_forward
+        from repro.core.forward import (
+            forward_key_costs,
+            merge_forward_tables,
+            plan_forward_shards,
+            typecheck_forward,
+        )
 
         keys = self.forward_check_keys(transducer)
         shards = max(1, min(int(shards), max(1, len(keys))))
-        partitions: List[List[Tuple]] = [
-            keys[index::shards] for index in range(shards)
-        ]
+        loads: Optional[List[int]] = None
+        if planner == "round-robin":
+            partitions: List[List[Tuple]] = [
+                keys[index::shards] for index in range(shards)
+            ]
+        elif planner == "cost":
+            with self._lock:
+                _din, dout = self._dtd_pair()
+                out_alphabet = frozenset(transducer.alphabet | dout.alphabet)
+                costs = forward_key_costs(
+                    keys, self.forward_schema(), out_alphabet
+                )
+            partitions, loads = plan_forward_shards(keys, costs, shards)
+        else:
+            raise ValueError(
+                f"unknown shard planner {planner!r}; valid: cost, round-robin"
+            )
         validate_method_kwargs("forward", kwargs)
         if "use_kernel" in kwargs and bool(kwargs["use_kernel"]) != self.use_kernel:
             # Shard keys were canonicalized with the session's engine; an
@@ -506,14 +541,25 @@ class Session:
                 "Session(use_kernel=...) for the other engine"
             )
         tables = merge_forward_tables(compute_shards(partitions))
+        shard_wall = tables.pop("shard_elapsed_s", None)
         with self._lock:
             self.stats["calls"] = int(self.stats["calls"]) + 1
             din, dout = self._dtd_pair()
             self._apply_defaults(kwargs)
-            return typecheck_forward(
+            result = typecheck_forward(
                 transducer, din, dout, max_tuple,
                 schema=self.forward_schema(), tables=tables, **kwargs,
             )
+        result.stats["shards"] = len(partitions)
+        result.stats["shard_planner"] = planner
+        if loads is not None:
+            result.stats["shard_costs"] = list(loads)
+        if shard_wall:
+            result.stats["shard_wall_s"] = [round(s, 6) for s in shard_wall]
+            result.stats["shard_spread"] = round(
+                max(shard_wall) / max(min(shard_wall), 1e-9), 3
+            )
+        return result
 
     def counterexample_nta(
         self, transducer: TreeTransducer, max_tuple: Optional[int] = None
@@ -548,6 +594,49 @@ class Session:
                 plain, din, dout, max_tuple,
                 schema=self.forward_schema(), use_kernel=self.use_kernel,
             )
+
+    # ------------------------------------------------------------------
+    # Footprint (size-aware registry eviction)
+    # ------------------------------------------------------------------
+    #: Minimum seconds between footprint re-measurements of one session.
+    FOOTPRINT_REFRESH_S = 5.0
+
+    def _footprint_state(self) -> Tuple:
+        """Cheap fingerprint of the state that makes the footprint grow."""
+        forward = self._forward
+        replus = self._replus
+        return (
+            0 if forward is None else len(forward.transducer_tables),
+            0 if forward is None else len(forward.shared_hedge),
+            0 if forward is None else len(forward.shared_tree),
+            0 if replus is None else len(replus._witness_dags),
+            len(self._delrelab),
+        )
+
+    def footprint_bytes(self) -> int:
+        """Approximate resident bytes of this session's compiled artifacts.
+
+        Measured as the pickled size of :meth:`export_artifacts` (see
+        :func:`repro.kernel.serialize.approx_bytes`) — kernels, shared
+        fixpoint cells and per-transducer tables included.  Re-measured
+        only when the artifact state grew *and* the last measurement is
+        older than :data:`FOOTPRINT_REFRESH_S`, so a hot request stream is
+        not re-pickling the session per call; the registry's byte-budget
+        eviction runs on these (deliberately approximate) numbers.
+        """
+        with self._lock:
+            state = self._footprint_state()
+            now = time.monotonic()
+            cached = self._footprint
+            if cached is not None and (
+                cached[0] == state or now - cached[1] < self.FOOTPRINT_REFRESH_S
+            ):
+                return cached[2]
+            from repro.kernel import serialize
+
+            size = serialize.approx_bytes(self._export_artifacts_locked())
+            self._footprint = (state, now, size)
+            return size
 
     # ------------------------------------------------------------------
     # Artifact export / import (repro.cache)
@@ -663,13 +752,72 @@ class Session:
 # sharing one across threads is safe — and the alternative, the seed's
 # thread-local registry, recompiled every pair silently in each new
 # thread (a full schema compilation per worker thread in a server).
+#
+# Eviction is *size-aware*: each resident session reports an approximate
+# byte footprint (:meth:`Session.footprint_bytes` — kernels, shared cells
+# and per-transducer tables, measured as pickled size) and the registry
+# LRU-evicts until the total fits ``_REGISTRY_MAX_BYTES``.  The old
+# count-only LRU bound is kept as a backstop, but bytes are what a worker
+# pinned to thousands of pairs actually runs out of.  Hit/miss/eviction
+# counters and the resident footprints are exposed via
+# :func:`registry_info` (and through the service's ``stats`` op).
 _REGISTRY: "OrderedDict[Tuple[str, str, str], Session]" = OrderedDict()
 _REGISTRY_LOCK = threading.RLock()
 _REGISTRY_LIMIT = 32
+_DEFAULT_REGISTRY_BYTES = 256 * 1024 * 1024
+
+
+def _registry_bytes_from_env() -> Optional[int]:
+    """``REPRO_REGISTRY_MAX_BYTES``: an int, or ``none``/``off`` to
+    disable byte eviction.  A malformed value falls back to the default —
+    an env typo must never make ``import repro`` raise."""
+    raw = os.environ.get("REPRO_REGISTRY_MAX_BYTES")
+    if raw is None:
+        return _DEFAULT_REGISTRY_BYTES
+    raw = raw.strip().lower()
+    if raw in ("none", "off", ""):
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return _DEFAULT_REGISTRY_BYTES
+
+
+#: Byte budget of the registry (``REPRO_REGISTRY_MAX_BYTES`` overrides;
+#: ``None`` disables byte-based eviction).
+_REGISTRY_MAX_BYTES: Optional[int] = _registry_bytes_from_env()
+_REGISTRY_STATS: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def _registry() -> "OrderedDict[Tuple[str, str, str], Session]":
     return _REGISTRY
+
+
+def set_registry_budget(
+    max_bytes: Optional[int], max_sessions: Optional[int] = None
+) -> None:
+    """Configure registry eviction: byte budget (``None`` disables) and,
+    optionally, the count backstop.  Service workers call this with the
+    pool's ``worker_registry_bytes`` at startup."""
+    global _REGISTRY_MAX_BYTES, _REGISTRY_LIMIT
+    with _REGISTRY_LOCK:
+        _REGISTRY_MAX_BYTES = None if max_bytes is None else int(max_bytes)
+        if max_sessions is not None:
+            _REGISTRY_LIMIT = int(max_sessions)
+
+
+def _evict_over_budget(registry: "OrderedDict") -> None:
+    """LRU-evict until count and byte budgets hold (lock already held)."""
+    while len(registry) > _REGISTRY_LIMIT:
+        registry.popitem(last=False)
+        _REGISTRY_STATS["evictions"] += 1
+    if _REGISTRY_MAX_BYTES is None:
+        return
+    total = sum(session.footprint_bytes() for session in registry.values())
+    while total > _REGISTRY_MAX_BYTES and len(registry) > 1:
+        _key, victim = registry.popitem(last=False)
+        total -= victim.footprint_bytes()
+        _REGISTRY_STATS["evictions"] += 1
 
 
 def session_key(sin: Schema, sout: Schema, options: Dict[str, object]):
@@ -683,19 +831,35 @@ def session_key(sin: Schema, sout: Schema, options: Dict[str, object]):
 
 def clear_registry() -> None:
     """Drop the process's warm sessions (tests and memory-pressure escape
-    hatch)."""
+    hatch).  Counters reset with the contents."""
     with _REGISTRY_LOCK:
         _registry().clear()
+        for counter in _REGISTRY_STATS:
+            _REGISTRY_STATS[counter] = 0
 
 
 def registry_info() -> Dict[str, object]:
-    """Registry introspection: size, limit and the cached keys in LRU order."""
+    """Registry introspection: size, budgets, hit/miss/eviction counters,
+    the cached keys in LRU order and the per-pair byte footprints."""
     with _REGISTRY_LOCK:
         registry = _registry()
+        pairs = [
+            {
+                "sin": key[0],
+                "sout": key[1],
+                "bytes": session.footprint_bytes(),
+                "calls": int(session.stats["calls"]),
+            }
+            for key, session in registry.items()
+        ]
         return {
             "size": len(registry),
             "limit": _REGISTRY_LIMIT,
+            "max_bytes": _REGISTRY_MAX_BYTES,
+            "total_bytes": sum(pair["bytes"] for pair in pairs),
+            **dict(_REGISTRY_STATS),
             "keys": list(registry),
+            "pairs": pairs,
         }
 
 
@@ -735,6 +899,9 @@ def compile(  # noqa: A001 - the ISSUE mandates the repro.compile spelling
                 session.stats["registry_hits"] = (
                     int(session.stats["registry_hits"]) + 1
                 )
+                _REGISTRY_STATS["hits"] += 1
+            else:
+                _REGISTRY_STATS["misses"] += 1
         if session is not None and eager:
             session.warm()
     if session is None and cache_dir is not None:
@@ -769,6 +936,11 @@ def compile(  # noqa: A001 - the ISSUE mandates the repro.compile spelling
                 session = existing
             registry[key] = session
             registry.move_to_end(key)
-            while len(registry) > _REGISTRY_LIMIT:
-                registry.popitem(last=False)
+            if existing is None:
+                # Budgets are enforced at *admission*: the sweep measures
+                # footprints (pickled size) under the registry lock, which
+                # is fine next to a compile but not on the per-request hit
+                # path.  A resident session growing past the budget is
+                # reclaimed at the next admission.
+                _evict_over_budget(registry)
     return session

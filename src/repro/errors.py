@@ -62,3 +62,10 @@ class WorkerCrashError(ReproError):
     """A service request failed because its worker process died (and the
     retry budget on healthy workers was exhausted — a request that kills
     every worker it touches is reported, not retried forever)."""
+
+
+class UnknownPairError(ProtocolError):
+    """A protocol-v2 pinned request named a schema pair the worker does not
+    hold (the worker was respawned, or a crash retry moved the request to a
+    worker that never saw the pin).  The server catches this, re-pins the
+    connection's pair and retries — clients normally never see it."""

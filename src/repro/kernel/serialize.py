@@ -97,6 +97,20 @@ def warm_kernels(automata: Iterable) -> int:
     return count
 
 
+def approx_bytes(payload: object) -> int:
+    """Approximate resident byte footprint of a kernel-bearing artifact.
+
+    Measured as the pickled size of the payload — the same serialization
+    the artifact cache persists, so the number tracks exactly the state
+    that eviction would reclaim (interned kernels, fixpoint cells,
+    per-transducer tables).  Pickled size under-counts Python object
+    overhead by a constant-ish factor, which is fine for *relative*
+    eviction decisions (the registry's byte budget,
+    :func:`repro.core.session.set_registry_budget`).
+    """
+    return len(dumps(payload))
+
+
 def dumps(payload: object) -> bytes:
     """Serialize ``payload`` (kernel-bearing artifacts included) with a
     format header."""

@@ -38,8 +38,8 @@ In-process, without a socket::
         results = pool.typecheck_batch(din, dout, transducers)
 """
 
-from repro.service.client import ServiceClient
+from repro.service.client import PairHandle, ServiceClient
 from repro.service.pool import WorkerPool
 from repro.service.server import serve
 
-__all__ = ["ServiceClient", "WorkerPool", "serve"]
+__all__ = ["PairHandle", "ServiceClient", "WorkerPool", "serve"]

@@ -13,6 +13,19 @@ scripts::
         verdict = client.typecheck(transducer, din, dout)
         verdicts = client.typecheck_many(din, dout, transducers)
 
+For a fixed schema pair served many transducers — the service's actual
+deployment shape — use a sticky :class:`PairHandle` (protocol v2)::
+
+    with ServiceClient(port=8722) as client:
+        pair = client.pair(din, dout)          # nothing sent yet
+        verdict = pair.typecheck(transducer)   # pins on first use
+        verdicts = pair.typecheck_many(transducers)
+
+The handle sends the schema text exactly once per (connection, pair)
+(``set_pair``); every later request ships only the transducer and
+options.  Against a pre-v2 server the pin is rejected and the handle
+transparently falls back to v1 framing — same results, fatter payloads.
+
 Counterexamples come back as term-syntax text and are re-parsed to
 :class:`~repro.trees.tree.Tree` on request.
 """
@@ -53,6 +66,9 @@ class ServiceClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = itertools.count(1)
+        # The PairHandle currently pinned on this connection (the server
+        # tracks one pair per connection; handles re-pin when they lost it).
+        self._pinned_handle: Optional["PairHandle"] = None
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -99,6 +115,15 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, object]:
         return self.call("stats")
+
+    def pair(self, din: Textable, dout: Textable) -> "PairHandle":
+        """A sticky handle for one schema pair (protocol v2).
+
+        Nothing is sent until the first request; the handle then pins the
+        pair once (``set_pair``) and ships only transducer text per call —
+        or falls back to v1 framing when the server predates v2.
+        """
+        return PairHandle(self, din, dout)
 
     def typecheck(
         self,
@@ -165,4 +190,115 @@ class ServiceClient:
             din=_dtd_text(din),
             transducer=_transducer_text(transducer),
             dout=_dtd_text(dout),
+        )
+
+
+class PairHandle:
+    """Sticky-pair view of a :class:`ServiceClient` connection.
+
+    Pins its schema pair on first use (protocol v2 ``set_pair``) and then
+    frames every request *bare* — transducer text plus options, no schema
+    fields.  Fallback: a server that rejects the v2 pin (a pre-v2
+    deployment) flips the handle into v1 framing permanently, where every
+    call carries the full instance — behavior is identical either way.
+
+    One connection holds one pinned pair at a time (server-side state);
+    multiple handles on one client cooperate by re-pinning whenever
+    another handle pinned in between, so interleaving them is correct,
+    just chattier.
+    """
+
+    def __init__(self, client: ServiceClient, din: Textable, dout: Textable) -> None:
+        self._client = client
+        self._din_text = _dtd_text(din)
+        self._dout_text = _dtd_text(dout)
+        #: The server-assigned pair digest (None until pinned).
+        self.pair_id: Optional[str] = None
+        #: True once the handle fell back to v1 framing.
+        self.v1_fallback = False
+
+    # ------------------------------------------------------------------
+    def _ensure_pinned(self) -> None:
+        if self.v1_fallback:
+            return
+        if self._client._pinned_handle is self and self.pair_id is not None:
+            return
+        try:
+            result = self._client.call(
+                "set_pair", v=2, din=self._din_text, dout=self._dout_text
+            )
+        except ProtocolError:
+            # Old server: it rejects either the version or the op.  Framing
+            # falls back to v1; results are identical.
+            self.v1_fallback = True
+            return
+        self.pair_id = str(result["pair"])
+        self._client._pinned_handle = self
+
+    # ------------------------------------------------------------------
+    def typecheck(
+        self,
+        transducer: Textable,
+        method: str = "auto",
+        shards: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Typecheck one transducer against the pinned pair."""
+        self._ensure_pinned()
+        if self.v1_fallback:
+            return self._client.typecheck(
+                transducer, self._din_text, self._dout_text,
+                method=method, shards=shards,
+            )
+        fields: Dict[str, object] = {
+            "transducer": _transducer_text(transducer),
+            "method": method,
+        }
+        if shards:
+            fields["shards"] = int(shards)
+        return self._client.call("typecheck", v=2, **fields)
+
+    def typecheck_many(
+        self, transducers: Sequence[Textable], method: str = "auto"
+    ) -> List[Dict[str, object]]:
+        """Batch against the pinned pair; fanned out across the pool."""
+        self._ensure_pinned()
+        if self.v1_fallback:
+            return self._client.typecheck_many(
+                self._din_text, self._dout_text, transducers, method=method
+            )
+        return self._client.call(
+            "typecheck_many",
+            v=2,
+            transducers=[_transducer_text(item) for item in transducers],
+            method=method,
+        )
+
+    def counterexample(self, transducer: Textable):
+        """The counterexample :class:`~repro.trees.tree.Tree` or ``None``."""
+        self._ensure_pinned()
+        if self.v1_fallback:
+            return self._client.counterexample(
+                transducer, self._din_text, self._dout_text
+            )
+        result = self._client.call(
+            "counterexample",
+            v=2,
+            transducer=_transducer_text(transducer),
+        )
+        text = result.get("counterexample")
+        if text is None:
+            return None
+        from repro.trees.tree import parse_tree
+
+        return parse_tree(text)
+
+    def analysis(self, transducer: Textable) -> Dict[str, object]:
+        """The Proposition 16 analysis against the pinned pair."""
+        self._ensure_pinned()
+        if self.v1_fallback:
+            return self._client.analysis(
+                transducer, self._din_text, self._dout_text
+            )
+        return self._client.call(
+            "analysis", v=2, transducer=_transducer_text(transducer)
         )

@@ -15,7 +15,11 @@ fan-outs round-robin across all workers — the two hot paths that exercise
 true parallelism.
 
 Crash handling: a supervisor thread watches worker liveness while it
-collects results.  A dead worker is respawned with a fresh queue and every
+collects results (``multiprocessing.connection.wait`` over *per-worker*
+result queues — a worker killed mid-reply can then only poison its own
+queue, which is discarded at respawn; a single shared result queue would
+let a corpse keep the shared write lock and wedge every healthy worker's
+replies).  A dead worker is respawned with fresh queues and every
 unresolved request assigned to it is retried on a healthy worker, at most
 ``max_retries`` times — a poison request that kills every worker it
 touches surfaces as :class:`~repro.errors.WorkerCrashError` instead of
@@ -34,14 +38,18 @@ import itertools
 import os
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
 
-from repro.errors import ProtocolError, ReproError, WorkerCrashError
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    UnknownPairError,
+    WorkerCrashError,
+)
 from repro.schemas.dtd import DTD
 from repro.service import protocol
-from repro.util import stable_digest
 
 
 def _wire_schema(schema):
@@ -68,14 +76,40 @@ _SENTINEL = None
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
+#: Protocol-v2 pair registry of *this worker process*: pair digest →
+#: ``(sin, sout)``.  A pin ships the schemas to the worker once; pinned
+#: requests then carry only the digest (plus transducer text).  Entries
+#: are tiny wire clones — the heavy compiled state lives in the session
+#: registry, which evicts by bytes independently of the pins.
+_WORKER_PAIRS: Dict[str, Tuple[object, object]] = {}
+
+
+def _json_result(session, transducer, json_op: str, method):
+    """Run one JSON-shaped request against a warm session."""
+    from repro.service.protocol import analysis_to_json, result_to_json
+
+    if not isinstance(method, str):
+        raise ProtocolError("'method' must be a string")
+    if json_op == "analysis":
+        return analysis_to_json(session.analysis(transducer))
+    result = session.typecheck(transducer, method=method)
+    if json_op == "counterexample":
+        return {
+            "typechecks": result.typechecks,
+            "counterexample": (
+                None
+                if result.counterexample is None
+                else str(result.counterexample)
+            ),
+        }
+    return result_to_json(result)
+
+
 def _worker_execute(op: str, args, config: Dict[str, object]):
     """Execute one request inside a worker process."""
     import repro
-    from repro.service.protocol import (
-        analysis_to_json,
-        parse_instance_payload,
-        result_to_json,
-    )
+    from repro.core.session import registry_info
+    from repro.service.protocol import parse_transducer_section, split_sections
 
     cache_dir = config.get("cache_dir")
     use_kernel = bool(config.get("use_kernel", True))
@@ -87,6 +121,12 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
 
     if op == "ping":
         return {"pong": True, "pid": os.getpid()}
+    if op == "worker_stats":
+        return {
+            "pid": os.getpid(),
+            "registry": registry_info(),
+            "pinned_pairs": sorted(_WORKER_PAIRS),
+        }
     if op == "sleep":  # test/diagnostics aid
         time.sleep(float(args))
         return {"slept": float(args)}
@@ -103,31 +143,47 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
         sin, sout, transducer, keys, opts = args
         session = warm_session(sin, sout)
         return session.compute_forward_tables(transducer, keys, **opts)
-    if op == "json":
-        payload, json_op = args
-        transducer, din, dout = parse_instance_payload(payload)
-        session = warm_session(din, dout)
-        method = payload.get("method", "auto")
-        if not isinstance(method, str):
-            raise ProtocolError("'method' must be a string")
-        if json_op == "analysis":
-            return analysis_to_json(session.analysis(transducer))
-        result = session.typecheck(transducer, method=method)
-        if json_op == "counterexample":
-            return {
-                "typechecks": result.typechecks,
-                "counterexample": (
-                    None
-                    if result.counterexample is None
-                    else str(result.counterexample)
-                ),
-            }
-        return result_to_json(result)
+    if op == "pin":
+        pair_key, sin, sout = args
+        _WORKER_PAIRS[pair_key] = (sin, sout)
+        warm_session(sin, sout)  # pay the compile on the pin, not the query
+        return {"pinned": pair_key}
+    if op == "pinned":
+        pair_key, json_op, payload = args
+        pair = _WORKER_PAIRS.get(pair_key)
+        if pair is None:
+            raise UnknownPairError(
+                f"pair {pair_key[:12]}… is not pinned in this worker "
+                "(respawned, or the request was retried elsewhere)"
+            )
+        sin, sout = pair
+        transducer_text = payload.get("transducer")
+        if not isinstance(transducer_text, str):
+            raise ProtocolError("a pinned request needs 'transducer' text")
+        transducer = parse_transducer_section(
+            split_sections(transducer_text)[0], sin.alphabet
+        )
+        return _json_result(
+            warm_session(sin, sout),
+            transducer,
+            json_op,
+            payload.get("method", "auto"),
+        )
+    if op == "json_parsed":
+        sin, sout, transducer, method, json_op = args
+        return _json_result(warm_session(sin, sout), transducer, json_op, method)
     raise ProtocolError(f"unknown worker op {op!r}")
 
 
 def _worker_main(index: int, inq, outq, config: Dict[str, object]) -> None:
     """Worker process body: execute requests until the sentinel arrives."""
+    registry_bytes = config.get("registry_max_bytes")
+    if registry_bytes is not None:
+        from repro.core.session import set_registry_budget
+
+        # Size-aware eviction inside this worker: the budget bounds the
+        # resident compiled pairs by bytes, not count.
+        set_registry_budget(int(registry_bytes))  # type: ignore[arg-type]
     while True:
         item = inq.get()
         if item is _SENTINEL:
@@ -179,11 +235,12 @@ class PoolTicket:
 
 
 class _WorkerSlot:
-    __slots__ = ("process", "inq", "generation")
+    __slots__ = ("process", "inq", "outq", "generation")
 
-    def __init__(self, process, inq, generation: int) -> None:
+    def __init__(self, process, inq, outq, generation: int) -> None:
         self.process = process
         self.inq = inq
+        self.outq = outq
         self.generation = generation
 
 
@@ -198,6 +255,7 @@ class WorkerPool:
         use_kernel: bool = True,
         max_retries: int = 2,
         cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+        worker_registry_bytes: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -206,6 +264,10 @@ class WorkerPool:
         self.config: Dict[str, object] = {
             "cache_dir": None if cache_dir is None else str(cache_dir),
             "use_kernel": use_kernel,
+            # Per-worker session-registry byte budget (None = the library
+            # default): size-aware eviction for services pinned to many
+            # pairs, observable via worker_stats().
+            "registry_max_bytes": worker_registry_bytes,
         }
         self.max_retries = max_retries
         self.stats: Dict[str, int] = {
@@ -217,7 +279,6 @@ class WorkerPool:
 
             artifact_cache.clear(cache_dir, max_bytes=cache_max_bytes)
         self._context = multiprocessing.get_context("spawn")
-        self._outq = self._context.Queue()
         self._slots: List[_WorkerSlot] = []
         self._lock = threading.RLock()
         self._tickets: Dict[int, PoolTicket] = {}
@@ -235,15 +296,27 @@ class WorkerPool:
     # Lifecycle
     # ------------------------------------------------------------------
     def _spawn(self, index: int, generation: int = 0) -> _WorkerSlot:
+        # One result queue PER worker: a worker killed mid-reply can then
+        # only poison its own queue (discarded at respawn), never a lock
+        # shared with healthy workers.  The first design shared one outq,
+        # and a SIGTERM landing between a feeder's send and its write-lock
+        # release wedged every other worker's replies permanently.
         inq = self._context.Queue()
+        outq = self._context.Queue()
         process = self._context.Process(
             target=_worker_main,
-            args=(index, inq, self._outq, self.config),
+            args=(index, inq, outq, self.config),
             name=f"repro-worker-{index}",
             daemon=True,
         )
         process.start()
-        return _WorkerSlot(process, inq, generation)
+        # The parent never writes to outq; dropping its write end makes
+        # the worker the *only* writer, so a worker death turns a pending
+        # read into a clean EOF instead of an indefinite block.  (The
+        # spawn reduction duplicated the fd at start(), so the child's
+        # copy is unaffected.)
+        outq._writer.close()
+        return _WorkerSlot(process, inq, outq, generation)
 
     def close(self) -> None:
         """Stop the workers and the supervisor; idempotent."""
@@ -265,8 +338,8 @@ class WorkerPool:
         for slot in self._slots:
             slot.inq.cancel_join_thread()
             slot.inq.close()
-        self._outq.cancel_join_thread()
-        self._outq.close()
+            slot.outq.cancel_join_thread()
+            slot.outq.close()
         # Fail anything still unresolved (e.g. requests outstanding at
         # shutdown) so no caller blocks forever.
         with self._lock:
@@ -289,24 +362,40 @@ class WorkerPool:
     # ------------------------------------------------------------------
     def _supervise(self) -> None:
         import queue as queue_module
+        from multiprocessing.connection import wait as connection_wait
 
         while True:
             with self._lock:
                 if self._closed:
                     return
+                readers = {
+                    slot.outq._reader: slot.outq for slot in self._slots
+                }
             try:
-                req_id, _index, ok, value = self._outq.get(timeout=0.2)
-            except queue_module.Empty:
+                ready = connection_wait(list(readers), timeout=0.2)
+            except (OSError, ValueError):
+                continue  # a queue closed mid-wait (respawn/shutdown)
+            if not ready:
                 self._check_liveness()
                 continue
-            except (OSError, ValueError):
-                return  # queue closed during shutdown
-            with self._lock:
-                ticket = self._tickets.pop(req_id, None)
+            for reader in ready:
+                try:
+                    req_id, _index, ok, value = readers[reader].get_nowait()
+                except queue_module.Empty:
+                    continue  # spurious wakeup / raced another consumer
+                except (OSError, ValueError, EOFError):
+                    # EOF: the worker died (possibly mid-reply).  Respawn
+                    # and retry its tickets now — waiting for the idle
+                    # branch would spin on the permanently-ready reader.
+                    self._check_liveness()
+                    time.sleep(0.01)  # let a just-killed process reap
+                    continue
+                with self._lock:
+                    ticket = self._tickets.pop(req_id, None)
+                    if ticket is not None:
+                        self.stats["completed"] += 1
                 if ticket is not None:
-                    self.stats["completed"] += 1
-            if ticket is not None:
-                ticket._resolve(ok, value)
+                    ticket._resolve(ok, value)
 
     def _check_liveness(self) -> None:
         with self._lock:
@@ -324,6 +413,7 @@ class WorkerPool:
                 old = self._slots[index]
                 old.inq.cancel_join_thread()
                 old.inq.close()
+                old.outq.close()  # with it goes any lock the corpse held
                 self._slots[index] = self._spawn(index, old.generation + 1)
                 self.stats["respawns"] += 1
                 for req_id, ticket in list(self._tickets.items()):
@@ -370,18 +460,48 @@ class WorkerPool:
             self._slots[ticket.slot].inq.put((req_id, op, args))
         return ticket
 
-    def route_slot(self, sin, sout) -> int:
-        """The worker a schema pair is affine to (content-hash routing)."""
-        digest = stable_digest(
-            "route", sin.content_hash(), sout.content_hash()
-        )
-        return int(digest[:8], 16) % self.workers
+    def slot_for(self, pair_digest: str) -> int:
+        """The worker a routing digest is affine to."""
+        return int(pair_digest[:8], 16) % self.workers
 
-    def route_slot_text(self, din_text: str, dout_text: str) -> int:
-        """Content-hash routing without parsing (server fast path): equal
-        section texts imply equal schema content hashes."""
-        digest = stable_digest("route-text", din_text, dout_text)
-        return int(digest[:8], 16) % self.workers
+    def route_slot(self, sin, sout) -> int:
+        """The worker a schema pair is affine to.
+
+        Routing goes through the one canonical digest
+        (:func:`repro.service.protocol.pair_digest`) for objects and text
+        payloads alike — the seed's separate raw-text hash could send the
+        same logical pair to two different workers depending on how a
+        request was framed.
+        """
+        return self.slot_for(protocol.pair_digest(sin, sout))
+
+    # ------------------------------------------------------------------
+    # Protocol-v2 pins
+    # ------------------------------------------------------------------
+    def pin_pair(
+        self,
+        pair_key: str,
+        sin,
+        sout,
+        slot: Optional[int] = None,
+        timeout: Optional[float] = 120.0,
+    ) -> None:
+        """Register a schema pair in worker pair registries.
+
+        With ``slot`` given, pins that worker (the pair's affine slot —
+        the v2 ``set_pair`` path) and waits so the pin's compile errors
+        surface on the ``set_pair`` response.  Without ``slot``,
+        *broadcasts* to every worker — the batch fan-out and
+        crash-recovery path, where any worker may receive pinned
+        requests.
+        """
+        wire = (_wire_schema(sin), _wire_schema(sout))
+        slots = range(self.workers) if slot is None else (slot,)
+        tickets = [
+            self.submit("pin", (pair_key, *wire), slot=index) for index in slots
+        ]
+        for ticket in tickets:
+            ticket.result(timeout=timeout)
 
     # ------------------------------------------------------------------
     # High-level object API
@@ -451,15 +571,18 @@ class WorkerPool:
         transducer,
         shards: Optional[int] = None,
         max_tuple: Optional[int] = None,
+        planner: str = "cost",
         **kwargs,
     ):
         """One instance with its forward fixpoint sharded across workers.
 
-        The parent's warm session partitions the hedge-cell keys; each
-        worker computes its partition's fixpoint closure against its own
-        warm session and ships the (picklable) tables back; the parent
-        merges and finishes.  Verdicts are identical to the unsharded
-        engine — see ``Session.typecheck_sharded``.
+        The parent's warm session plans the hedge-cell key partitions
+        (LPT over predicted cell costs by default — see
+        ``Session.typecheck_sharded``); each worker computes its
+        partition's fixpoint closure against its own warm session and
+        ships the (picklable) tables back; the parent merges and finishes.
+        Verdicts are identical to the unsharded engine, and the result's
+        stats carry per-shard worker wall times.
         """
         import repro
 
@@ -486,6 +609,7 @@ class WorkerPool:
             compute_shards,
             shards=shards or self.workers,
             max_tuple=max_tuple,
+            planner=planner,
             **kwargs,
         )
 
@@ -493,16 +617,38 @@ class WorkerPool:
     # Wire-payload API (used by the server)
     # ------------------------------------------------------------------
     def submit_payload(self, payload: Dict[str, object]) -> PoolTicket:
-        """Dispatch one already-validated single-instance request payload."""
+        """Dispatch one already-validated single-instance request payload.
+
+        The instance is parsed *here* (so parse errors surface before a
+        worker is involved) and routed by the canonical pair digest —
+        text-blob and section-field payloads of one logical pair land on
+        the same worker as equivalent object-API calls.  The parsed,
+        wire-clean objects ship to the worker, which therefore never
+        re-parses.
+        """
         op = payload.get("op")
         if op not in ("typecheck", "counterexample", "analysis"):
             raise ProtocolError(f"op {op!r} is not a single-instance op")
-        din, dout = payload.get("din"), payload.get("dout")
-        if isinstance(din, str) and isinstance(dout, str):
-            slot = self.route_slot_text(din, dout)
-        else:
-            slot = None  # free-form "text" payloads round-robin
-        return self.submit("json", (payload, op), slot=slot)
+        return self.submit_single(payload, str(op))
+
+    def submit_single(
+        self, payload: Dict[str, object], json_op: str, fanout: bool = False
+    ) -> PoolTicket:
+        """Parse, route and queue one instance payload as ``json_op``.
+
+        ``fanout=True`` round-robins instead of pinning to the pair's
+        affine worker — the batch path, where the same warm pair exists in
+        every worker and parallelism is the point.
+        """
+        transducer, din, dout = protocol.parse_instance_payload(payload)
+        method = payload.get("method", "auto")
+        if not isinstance(method, str):
+            raise ProtocolError("'method' must be a string")
+        return self.submit(
+            "json_parsed",
+            (_wire_schema(din), _wire_schema(dout), transducer, method, json_op),
+            slot=None if fanout else self.route_slot(din, dout),
+        )
 
     def split_payload_many(
         self, payload: Dict[str, object]
@@ -533,23 +679,52 @@ class WorkerPool:
         """Split a ``typecheck_many`` payload and fan it out (round-robin).
 
         Unbounded: every item is queued at once.  The TCP server does NOT
-        use this — it windows the items under its per-connection inflight
-        cap (see ``ServiceServer._dispatch``) so one batch line cannot
-        balloon the queues.
+        use this — it windows the items under its global inflight gate
+        (see ``ServiceServer._dispatch``) so one batch line cannot balloon
+        the queues.
         """
         return [
-            self.submit("json", (single, "typecheck"))
+            self.submit_single(single, "typecheck", fanout=True)
             for single in self.split_payload_many(payload)
         ]
 
-    def pool_stats(self) -> Dict[str, object]:
+    def worker_stats(self, timeout: Optional[float] = 30.0) -> List[Dict[str, object]]:
+        """Per-worker introspection round trip: session-registry detail
+        (resident pairs, byte footprints, hit/miss/eviction counters) and
+        the pinned protocol-v2 pairs.  A worker that is busy past
+        ``timeout`` reports as unavailable instead of blocking the call.
+        """
+        tickets = [
+            (index, self.submit("worker_stats", None, slot=index))
+            for index in range(self.workers)
+        ]
+        stats: List[Dict[str, object]] = []
+        for index, ticket in tickets:
+            entry: Dict[str, object] = {"worker": index}
+            try:
+                entry.update(ticket.result(timeout=timeout))
+            except TimeoutError:
+                entry["unavailable"] = True
+            except ReproError as exc:
+                entry["unavailable"] = True
+                entry["error"] = str(exc)
+            stats.append(entry)
+        return stats
+
+    def pool_stats(self, workers: bool = False) -> Dict[str, object]:
+        """Pool health counters; ``workers=True`` adds the per-worker
+        registry/eviction detail (a round trip into every worker — the
+        ``stats`` op's view, not for hot paths)."""
         with self._lock:
             alive = sum(
                 1 for slot in self._slots if slot.process.is_alive()
             )
-            return {
+            stats: Dict[str, object] = {
                 "workers": self.workers,
                 "alive": alive,
                 **dict(self.stats),
                 "in_flight": len(self._tickets),
             }
+        if workers:
+            stats["workers_detail"] = self.worker_stats()
+        return stats

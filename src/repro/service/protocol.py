@@ -17,7 +17,9 @@ Ops
 ``ping``
     Liveness probe; result ``{"pong": true, "version": ...}``.
 ``stats``
-    Server/pool introspection (workers alive, requests served, retries).
+    Server/pool introspection: workers alive, requests served, retries,
+    and per-worker session-registry detail (resident pairs with byte
+    footprints, hit/miss/eviction counters, pinned pairs).
 ``typecheck`` / ``counterexample`` / ``analysis``
     One instance.  The instance travels as text in the CLI's section
     format — either one ``"text"`` field with ``---`` separators, or the
@@ -27,6 +29,30 @@ Ops
 ``typecheck_many``
     ``"din"``/``"dout"`` plus ``"transducers": [text, ...]``; items fan
     out across the worker pool and the result is a list in input order.
+
+Protocol v2: sticky pairs
+-------------------------
+Schema pairs are long-lived while transducers churn (Martens–Neven's
+fixed-schema regime), so v2 lets a connection pin its pair once:
+
+``set_pair`` (v2)
+    ``{"op": "set_pair", "v": 2, "din": text, "dout": text}`` parses and
+    hashes the pair *once*, pins it to the connection, pre-pins it in the
+    pair's affine worker, and returns ``{"pair": digest, "worker": slot}``.
+    The dout section must pin its alphabet with an explicit ``alphabet``
+    line (:func:`dtd_to_text` always emits one): per-instance
+    dout-widening needs a transducer, so an ambiguous pair is rejected
+    rather than silently meaning something different than v1 framing.
+``typecheck`` / ``counterexample`` / ``analysis`` / ``typecheck_many``
+    *bare* form (v2): no ``text``/``din``/``dout`` fields — just
+    ``transducer`` (or ``transducers``) plus options.  The server routes
+    on the pinned digest without re-hashing, and the payload is the
+    transducer text alone: schema text crosses the wire exactly once per
+    (connection, pair).
+
+A v1 client on a v2 server is unchanged (full payloads keep working); a
+v2 client probes with ``set_pair`` and falls back to v1 framing when the
+server rejects the version (see ``client.PairHandle``).
 
 Schemas and transducers travel as *text*, not pickles: the wire format is
 readable, diffable, and language-agnostic, and the server never unpickles
@@ -54,6 +80,7 @@ from repro.errors import (
     ParseError,
     ProtocolError,
     ReproError,
+    UnknownPairError,
     WorkerCrashError,
 )
 from repro.core.problem import TypecheckResult
@@ -63,12 +90,25 @@ from repro.strings.regex import Regex
 from repro.strings.replus import REPlus
 from repro.transducers.rhs import RhsCall, iter_rhs_nodes, rhs_str
 from repro.transducers.transducer import TreeTransducer
+from repro.util import stable_digest
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
-#: Ops a server accepts.
+#: Versions this server still speaks; v1 requests are served unchanged.
+SUPPORTED_VERSIONS = frozenset({1, 2})
+
+#: Ops a server accepts (``set_pair`` is v2-only in practice — a v1
+#: message never carries it).
 OPS = frozenset(
-    {"ping", "stats", "typecheck", "typecheck_many", "counterexample", "analysis"}
+    {
+        "ping",
+        "stats",
+        "set_pair",
+        "typecheck",
+        "typecheck_many",
+        "counterexample",
+        "analysis",
+    }
 )
 
 _ERROR_TYPES = {
@@ -82,6 +122,7 @@ _ERROR_TYPES = {
         BudgetExceededError,
         NotSupportedError,
         ProtocolError,
+        UnknownPairError,
         WorkerCrashError,
     )
 }
@@ -257,6 +298,51 @@ def instance_payload(
     }
 
 
+def pair_digest(sin, sout) -> str:
+    """The canonical routing digest of a schema pair.
+
+    *Every* routing decision — the pool's object API, text payloads
+    (parsed first, so the ``load_instance`` dout-widening normalization is
+    applied identically), and v2 ``set_pair`` pins — goes through this one
+    helper, built on the schemas' content hashes.  Equal logical pairs
+    therefore land on the same worker no matter how they arrived; the seed
+    hashed raw section text on one path and content hashes on the other,
+    which could split one warm pair across two workers.
+    """
+    from repro.core.session import schema_fingerprint
+
+    return stable_digest(
+        "route", schema_fingerprint(sin), schema_fingerprint(sout)
+    )
+
+
+def parse_pair_payload(payload: Dict[str, object]) -> Tuple[DTD, DTD]:
+    """``(din, dout)`` from a ``set_pair`` request.
+
+    No transducer is in play yet, so the per-instance dout-widening of
+    :func:`load_instance` cannot be applied — and silently skipping it
+    would let the same raw texts typecheck differently through v2 than
+    through v1 framing.  The dout section must therefore pin its alphabet
+    explicitly (an un-widened pair means the same thing on both paths);
+    :func:`dtd_to_text` always does, so client-object pins are unaffected.
+    """
+    din_text = payload.get("din")
+    dout_text = payload.get("dout")
+    if not isinstance(din_text, str) or not isinstance(dout_text, str):
+        raise ProtocolError("'set_pair' needs 'din' and 'dout' section texts")
+    din = parse_dtd_section(split_sections(din_text)[0])
+    dout_lines = split_sections(dout_text)[0]
+    if not (len(dout_lines) > 1 and _is_alphabet_line(dout_lines[1])):
+        raise ProtocolError(
+            "'set_pair' needs an explicit 'alphabet ...' line in the output "
+            "DTD section: without a transducer the per-instance alphabet "
+            "widening of v1 requests cannot be applied, so the pair must be "
+            "pinned unambiguously (dtd_to_text emits the line automatically)"
+        )
+    dout = parse_dtd_section(dout_lines)
+    return din, dout
+
+
 def parse_instance_payload(payload: Dict[str, object]):
     """``(transducer, din, dout)`` from a request's instance fields.
 
@@ -386,11 +472,12 @@ def analysis_to_json(analysis) -> Dict[str, object]:
 
 
 def _require_version_supported(message: Dict[str, object]) -> None:
-    version = message.get("v", PROTOCOL_VERSION)
-    if version != PROTOCOL_VERSION:
+    # Messages without an explicit "v" are v1 (the seed wire format).
+    version = message.get("v", 1)
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
-            f"protocol version {version!r} not supported "
-            f"(this server speaks {PROTOCOL_VERSION})"
+            f"protocol version {version!r} not supported (this server "
+            f"speaks {', '.join(str(v) for v in sorted(SUPPORTED_VERSIONS))})"
         )
 
 

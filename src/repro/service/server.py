@@ -1,18 +1,32 @@
 """Asyncio JSON-lines TCP front-end of the typechecking service.
 
 One connection may pipeline many requests; responses carry the request's
-``id`` and may arrive out of order (workers run in parallel).  Two layers
-of backpressure keep a flooding client from ballooning memory:
+``id`` and may arrive out of order (workers run in parallel).  Three
+layers of backpressure keep flooding clients from ballooning memory:
 
-* a per-connection semaphore bounds the requests in flight in the pool
+* a per-connection semaphore bounds the requests in flight per connection
   (``max_inflight``; further lines simply are not read until a slot
-  frees, which TCP propagates to the sender), and
+  frees, which TCP propagates to the sender),
+* a **server-global** gate bounds the aggregate work submitted to the
+  pool across *all* connections (``max_inflight_total``) — with only the
+  per-connection gate, N connections could put N×``max_inflight``
+  requests into the pool at once, and
 * response writes honor ``writer.drain()``, so a slow-reading client
   throttles its own result stream.
 
+Protocol v2 (sticky pairs): a connection may pin its schema pair once
+with ``set_pair``; the server parses and hashes the pair at the pin,
+pre-pins the pair's affine worker, and routes every subsequent *bare*
+request (transducer + options, no schema text) without re-hashing.  A
+worker that lost its pins (respawn, crash retry onto a different worker)
+raises ``UnknownPairError``; the server transparently re-pins every
+worker and retries once.  ``set_pair`` is handled inline in the read
+loop — a pipelined bare request behind it always observes the pin.
+
 Every response records ``elapsed_ms`` (queue wait + worker time) — the
 per-request timing the ops story needs — and ``stats`` exposes pool
-health (alive workers, retries, respawns).
+health plus per-worker session-registry detail (resident pairs, byte
+footprints, hit/miss/eviction counters).
 
 Entry points: ``python -m repro serve`` (CLI), :func:`run_server`
 (blocking), :func:`serve` (async, yields the listening server).
@@ -24,15 +38,52 @@ import asyncio
 import time
 from typing import Dict, Optional
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, UnknownPairError
 from repro.service import protocol
 from repro.service.pool import DEFAULT_CACHE_BYTES, WorkerPool
 
 #: Default number of requests one connection may have in flight.
 DEFAULT_MAX_INFLIGHT = 32
 
+#: Default aggregate in-flight bound across every connection.
+DEFAULT_MAX_INFLIGHT_TOTAL = 128
+
 #: Hard cap on one request line (a parse bomb guard).
 MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class _Pin:
+    """One immutable pinned-pair snapshot.
+
+    Dispatch paths capture the snapshot *before* their first ``await``: a
+    pipelined ``set_pair`` (handled inline in the read loop) swaps the
+    connection's pin while earlier requests may still be parked on the
+    inflight gate, and those requests must keep targeting the pair that
+    was pinned when they were read off the stream.
+    """
+
+    __slots__ = ("pair", "din", "dout", "slot", "broadcast_pinned")
+
+    def __init__(self, pair: str, din, dout, slot: int) -> None:
+        self.pair = pair
+        self.din = din
+        self.dout = dout
+        self.slot = slot
+        self.broadcast_pinned = False
+
+
+class _Connection:
+    """Per-connection protocol state: the pinned schema pair (v2)."""
+
+    __slots__ = ("pin",)
+
+    def __init__(self) -> None:
+        self.pin: Optional[_Pin] = None
+
+
+def _has_instance_fields(message: Dict[str, object]) -> bool:
+    """Does the request carry its own schemas (v1 framing)?"""
+    return any(key in message for key in ("text", "din", "dout"))
 
 
 class ServiceServer:
@@ -43,14 +94,19 @@ class ServiceServer:
         pool: WorkerPool,
         *,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_inflight_total: int = DEFAULT_MAX_INFLIGHT_TOTAL,
     ) -> None:
         self.pool = pool
         self.max_inflight = max_inflight
+        self.max_inflight_total = max(1, max_inflight_total)
         self.requests_served = 0
         self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight_gate: Optional[asyncio.Semaphore] = None
 
     # ------------------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0):
+        # Created here so the semaphore binds to the serving loop.
+        self._inflight_gate = asyncio.Semaphore(self.max_inflight_total)
         self._server = await asyncio.start_server(
             self._handle_connection, host, port, limit=MAX_LINE_BYTES
         )
@@ -68,43 +124,71 @@ class ServiceServer:
 
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
+        conn = _Connection()
         gate = asyncio.Semaphore(self.max_inflight)
         write_lock = asyncio.Lock()
         tasks = set()
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ValueError, ConnectionError):
-                    break  # oversized line or peer reset
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                await gate.acquire()  # backpressure: stop reading when full
-                task = asyncio.ensure_future(
-                    self._handle_line(line, writer, write_lock, gate)
-                )
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
+            await self._read_loop(reader, conn, writer, write_lock, gate, tasks)
+        except asyncio.CancelledError:
+            pass  # server shutdown cancels connection handlers; that's clean
         finally:
             for task in tasks:
                 task.cancel()
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            except (ConnectionError, OSError, RuntimeError):
+                pass  # RuntimeError: the loop itself is shutting down
 
-    async def _handle_line(self, line, writer, write_lock, gate) -> None:
-        start = time.perf_counter()
+    async def _read_loop(self, reader, conn, writer, write_lock, gate, tasks):
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, ConnectionError):
+                break  # oversized line or peer reset
+            if not line:
+                break
+            if not line.strip():
+                continue
+            await gate.acquire()  # backpressure: stop reading when full
+            start = time.perf_counter()
+            try:
+                message: Optional[Dict[str, object]] = (
+                    protocol.decode_line(line)
+                )
+            except ProtocolError as exc:
+                message = None
+                decode_error: Optional[BaseException] = exc
+            else:
+                decode_error = None
+            if message is not None and message.get("op") == "set_pair":
+                # Pinning mutates connection state: handle it inline so
+                # pipelined bare requests behind it see the pin.
+                await self._handle_message(
+                    message, None, conn, writer, write_lock, gate, start
+                )
+                continue
+            task = asyncio.ensure_future(
+                self._handle_message(
+                    message, decode_error, conn, writer, write_lock,
+                    gate, start,
+                )
+            )
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+
+    async def _handle_message(
+        self, message, decode_error, conn, writer, write_lock, gate, start
+    ) -> None:
         req_id = None
         try:
             try:
-                message = protocol.decode_line(line)
+                if decode_error is not None:
+                    raise decode_error
                 req_id = message.get("id")
                 op = protocol.validate_request(message)
-                result = await self._dispatch(op, message)
+                result = await self._dispatch(op, message, conn)
             except Exception as exc:  # noqa: BLE001 - reported on the wire
                 response = protocol.error_response(req_id, exc)
             else:
@@ -119,49 +203,217 @@ class ServiceServer:
         finally:
             gate.release()
 
-    async def _dispatch(self, op: str, message: Dict[str, object]):
+    # ------------------------------------------------------------------
+    async def _pool_result(self, submit):
+        """Submit one pool request under the server-global inflight gate.
+
+        The gate is acquired *before* the request enters the pool, so the
+        aggregate queued work is bounded no matter how many connections
+        are flooding — each then also bounded by its own ``max_inflight``.
+        ``submit()`` itself runs in the executor: payload submission
+        parses instance text (``submit_single``), and the event loop
+        thread must never block on parsing large schemas.
+        """
+        loop = asyncio.get_running_loop()
+        async with self._inflight_gate:
+            return await loop.run_in_executor(
+                None, lambda: submit().result()
+            )
+
+    async def _pinned_call(self, pin: _Pin, json_op: str, payload: Dict[str, object]):
+        """One pinned (bare v2) request, re-pinning once on a stale pair."""
+        loop = asyncio.get_running_loop()
+        for attempt in (0, 1):
+            try:
+                return await self._pool_result(
+                    lambda: self.pool.submit(
+                        "pinned", (pin.pair, json_op, payload), slot=pin.slot
+                    )
+                )
+            except UnknownPairError:
+                if attempt:
+                    raise
+                # The worker respawned or a crash retry moved the request:
+                # re-pin everywhere (idempotent, queues FIFO ahead of the
+                # retried request) and go again.
+                await loop.run_in_executor(
+                    None,
+                    lambda: self.pool.pin_pair(pin.pair, pin.din, pin.dout),
+                )
+                pin.broadcast_pinned = True
+
+    def _bare_payload(self, message: Dict[str, object]) -> Dict[str, object]:
+        transducer = message.get("transducer")
+        if not isinstance(transducer, str):
+            raise ProtocolError(
+                "a bare request needs 'transducer' section text "
+                "(or full 'din'/'transducer'/'dout' v1 framing)"
+            )
+        payload: Dict[str, object] = {"transducer": transducer}
+        method = message.get("method")
+        if method is not None:
+            payload["method"] = method
+        return payload
+
+    def _require_pin(self, conn) -> _Pin:
+        # Snapshot, taken before the caller's first await: requests keep
+        # the pin they were read under even if a later inline set_pair
+        # swaps the connection state while they wait on the gate.
+        pin = conn.pin
+        if pin is None:
+            raise ProtocolError(
+                "no schema pair pinned on this connection; send "
+                "'set_pair' first or include the schema fields"
+            )
+        return pin
+
+    async def _dispatch(self, op: str, message: Dict[str, object], conn):
         loop = asyncio.get_running_loop()
         if op == "ping":
             banner = protocol.server_version_banner()
             banner["workers"] = self.pool.workers
             return banner
         if op == "stats":
-            return {
-                "requests_served": self.requests_served,
-                **self.pool.pool_stats(),
-            }
+            def gather() -> Dict[str, object]:
+                return {
+                    "requests_served": self.requests_served,
+                    "max_inflight": self.max_inflight,
+                    "max_inflight_total": self.max_inflight_total,
+                    **self.pool.pool_stats(workers=True),
+                }
+
+            return await loop.run_in_executor(None, gather)
+        if op == "set_pair":
+            return await self._set_pair(message, conn)
         if op == "typecheck_many":
-            # Window the fan-out under the same inflight cap that throttles
-            # single-op pipelining: one batch line may only occupy
-            # max_inflight pool slots at a time, so a flooding client
-            # cannot balloon the queues through the batch op.
-            singles = self.pool.split_payload_many(message)
-            results = []
-            window = max(1, self.max_inflight)
-            for start in range(0, len(singles), window):
-                tickets = [
-                    self.pool.submit("json", (single, "typecheck"))
-                    for single in singles[start : start + window]
-                ]
-                for ticket in tickets:
-                    results.append(
-                        await loop.run_in_executor(None, ticket.result)
-                    )
-            return results
+            return await self._typecheck_many(message, conn)
+        # Single-instance ops: v1 framing carries its schemas; bare v2
+        # requests ride the connection's pinned pair.
+        bare = not _has_instance_fields(message)
+        pin = self._require_pin(conn) if bare else None
         shards = message.get("shards")
         if op == "typecheck" and shards:
-            return await loop.run_in_executor(
-                None, self._typecheck_sharded, message, int(shards)  # type: ignore[arg-type]
+            return await self._pool_result(
+                lambda: _SyncTicket(
+                    self._typecheck_sharded, message, int(shards), pin  # type: ignore[arg-type]
+                )
             )
-        ticket = self.pool.submit_payload(message)
-        return await loop.run_in_executor(None, ticket.result)
+        if bare:
+            return await self._pinned_call(pin, op, self._bare_payload(message))
+        return await self._pool_result(lambda: self.pool.submit_payload(message))
 
-    def _typecheck_sharded(self, message: Dict[str, object], shards: int):
-        transducer, din, dout = protocol.parse_instance_payload(message)
+    async def _set_pair(self, message: Dict[str, object], conn):
+        loop = asyncio.get_running_loop()
+
+        def pin():
+            din, dout = protocol.parse_pair_payload(message)
+            pair = protocol.pair_digest(din, dout)
+            slot = self.pool.slot_for(pair)
+            # Pre-pin the affine worker now (and wait): compile errors
+            # belong on the set_pair response, and the first bare request
+            # finds the pair warm.
+            self.pool.pin_pair(pair, din, dout, slot=slot)
+            return din, dout, pair, slot
+
+        din, dout, pair, slot = await loop.run_in_executor(None, pin)
+        conn.pin = _Pin(pair, din, dout, slot)
+        return {"pair": pair, "worker": slot, "protocol": protocol.PROTOCOL_VERSION}
+
+    async def _typecheck_many(self, message: Dict[str, object], conn):
+        loop = asyncio.get_running_loop()
+        if _has_instance_fields(message):
+            singles = self.pool.split_payload_many(message)
+            results = []
+            # The global gate bounds aggregate pool work; the window only
+            # bounds how many tasks this one batch line materializes.
+            window = max(1, self.max_inflight)
+            for start in range(0, len(singles), window):
+                chunk = [
+                    self._pool_result(
+                        lambda single=single: self.pool.submit_single(
+                            single, "typecheck", fanout=True
+                        )
+                    )
+                    for single in singles[start : start + window]
+                ]
+                results.extend(await asyncio.gather(*chunk))
+            return results
+        # Bare batch (v2): fan pinned singles across every worker.
+        pin = self._require_pin(conn)
+        transducers = message.get("transducers")
+        if not isinstance(transducers, list) or not all(
+            isinstance(item, str) for item in transducers
+        ):
+            raise ProtocolError(
+                "'typecheck_many' needs 'transducers': [section text, ...]"
+            )
+        if not pin.broadcast_pinned:
+            await loop.run_in_executor(
+                None,
+                lambda: self.pool.pin_pair(pin.pair, pin.din, pin.dout),
+            )
+            pin.broadcast_pinned = True
+        method = message.get("method")
+        results = []
+        window = max(1, self.max_inflight)
+        for start in range(0, len(transducers), window):
+            chunk = []
+            for item in transducers[start : start + window]:
+                payload: Dict[str, object] = {"transducer": item}
+                if method is not None:
+                    payload["method"] = method
+                chunk.append(self._pinned_fanout(pin, payload))
+            results.extend(await asyncio.gather(*chunk))
+        return results
+
+    async def _pinned_fanout(self, pin: _Pin, payload: Dict[str, object]):
+        """One bare batch item, round-robined across the (pinned) workers."""
+        for attempt in (0, 1):
+            try:
+                return await self._pool_result(
+                    lambda: self.pool.submit(
+                        "pinned", (pin.pair, "typecheck", payload)
+                    )
+                )
+            except UnknownPairError:
+                if attempt:
+                    raise
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(
+                    None,
+                    lambda: self.pool.pin_pair(pin.pair, pin.din, pin.dout),
+                )
+
+    def _typecheck_sharded(
+        self, message: Dict[str, object], shards: int, pin: Optional[_Pin]
+    ):
+        if pin is not None:
+            transducer_text = self._bare_payload(message)["transducer"]
+            transducer = protocol.parse_transducer_section(
+                protocol.split_sections(transducer_text)[0], pin.din.alphabet
+            )
+            din, dout = pin.din, pin.dout
+        else:
+            transducer, din, dout = protocol.parse_instance_payload(message)
         result = self.pool.typecheck_sharded(
             din, dout, transducer, shards=shards
         )
         return protocol.result_to_json(result)
+
+
+class _SyncTicket:
+    """Adapter: run a callable on ``ticket.result()`` so heavyweight
+    synchronous paths (the sharded fan-out) flow through the same
+    global-gate plumbing as real pool tickets."""
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, fn, *args) -> None:
+        self._fn = fn
+        self._args = args
+
+    def result(self, timeout=None):
+        return self._fn(*self._args)
 
 
 async def serve(
@@ -172,7 +424,9 @@ async def serve(
     cache_dir=None,
     use_kernel: bool = True,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    max_inflight_total: int = DEFAULT_MAX_INFLIGHT_TOTAL,
     cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+    worker_registry_bytes: Optional[int] = None,
     ready_message: bool = False,
 ):
     """Start pool + server; returns ``(service, pool)`` once listening."""
@@ -181,8 +435,11 @@ async def serve(
         cache_dir=cache_dir,
         use_kernel=use_kernel,
         cache_max_bytes=cache_max_bytes,
+        worker_registry_bytes=worker_registry_bytes,
     )
-    service = ServiceServer(pool, max_inflight=max_inflight)
+    service = ServiceServer(
+        pool, max_inflight=max_inflight, max_inflight_total=max_inflight_total
+    )
     await service.start(host, port)
     if ready_message:
         # One parseable line for process supervisors and the demo script.
@@ -198,7 +455,9 @@ def run_server(
     cache_dir=None,
     use_kernel: bool = True,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    max_inflight_total: int = DEFAULT_MAX_INFLIGHT_TOTAL,
     cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+    worker_registry_bytes: Optional[int] = None,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``."""
 
@@ -210,7 +469,9 @@ def run_server(
             cache_dir=cache_dir,
             use_kernel=use_kernel,
             max_inflight=max_inflight,
+            max_inflight_total=max_inflight_total,
             cache_max_bytes=cache_max_bytes,
+            worker_registry_bytes=worker_registry_bytes,
             ready_message=True,
         )
         try:

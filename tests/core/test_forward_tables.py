@@ -331,3 +331,188 @@ class TestCachePruning:
         )
         assert loaded is not None
         assert paths[0].stat().st_mtime > old + 1800
+
+
+class TestTableSideFiles:
+    """Per-transducer table snapshots live in side files, not the blob."""
+
+    def _warm_published(self, tmp_path, n=6, count=3):
+        """A published session that served ``count`` distinct transducers."""
+        from repro.transducers.transducer import TreeTransducer
+
+        clear_registry()
+        transducer, din, dout, expected = nd_bc_family(n)
+        session = compile_session(din, dout, cache_dir=tmp_path)
+        transducers = [transducer]
+        for j in range(1, count):
+            renamed = TreeTransducer(
+                {f"z{j}"},
+                transducer.alphabet,
+                f"z{j}",
+                {
+                    (f"z{j}", symbol): _rename_state(rhs, "q", f"z{j}")
+                    for (_state, symbol), rhs in transducer.rules.items()
+                },
+            )
+            transducers.append(renamed)
+        for item in transducers:
+            assert session.typecheck(item, method="forward").typechecks == expected
+        artifact_cache.publish(session, cache_dir=tmp_path, min_interval_s=0)
+        return session, din, dout, transducers, expected
+
+    def test_publish_writes_one_side_file_per_transducer(self, tmp_path):
+        import pathlib
+
+        _session, _din, _dout, transducers, _e = self._warm_published(tmp_path)
+        side = list(pathlib.Path(tmp_path).glob("*.tables.*.pkl"))
+        assert len(side) == len(transducers)
+        hashes = {t.content_hash() for t in transducers}
+        assert {p.name.split(".tables.")[1].removesuffix(".pkl") for p in side} == hashes
+
+    def test_blob_stays_small_as_tables_accrue(self, tmp_path):
+        """The ROADMAP open item: the schema blob must not grow per served
+        transducer — tables go to side files."""
+        import pathlib
+
+        session, din, dout, _ts, _e = self._warm_published(tmp_path, count=1)
+        (blob,) = pathlib.Path(tmp_path).glob("*.session.pkl")
+        size_one = blob.stat().st_size
+        self._warm_published(tmp_path, count=4)
+        size_four = blob.stat().st_size
+        # identical shared-cell state, more tables: blob within a hair
+        assert abs(size_four - size_one) < max(256, size_one // 20)
+
+    def test_fresh_process_hydrates_tables_from_side_files(self, tmp_path):
+        _s, din, dout, transducers, expected = self._warm_published(tmp_path)
+        clear_registry()
+        rebuilt = artifact_cache.load_session(
+            din, dout, options={"use_kernel": True}, cache_dir=tmp_path
+        )
+        assert rebuilt is not None
+        schema = rebuilt.forward_schema()
+        assert len(schema.transducer_tables) == len(transducers)
+        result = rebuilt.typecheck(transducers[-1], method="forward")
+        assert result.typechecks == expected
+        assert result.stats.get("table_cache") == "hit"
+        assert result.stats["product_nodes"] == 0
+
+    def test_v2_blob_with_embedded_tables_still_loads(self, tmp_path):
+        """Migration: a blob written by the embedded-tables format (the
+        whole export_artifacts dict, tables inline) must load, tables
+        included — old caches survive the side-file split."""
+        from pathlib import Path
+
+        from repro.kernel import serialize
+
+        clear_registry()
+        transducer, din, dout, expected = nd_bc_family(5)
+        session = Session(din, dout, eager=False)
+        session.typecheck(transducer, method="forward")
+        assert session.forward_schema().transducer_tables
+        key = artifact_cache.artifact_key(din, dout, session.options)
+        payload = {
+            "cache_format": artifact_cache.CACHE_FORMAT,
+            "version": repro.__version__,
+            "key": key,
+            "artifacts": session.export_artifacts(),  # tables embedded
+        }
+        Path(tmp_path, f"{key}.session.pkl").write_bytes(
+            serialize.dumps(payload)
+        )
+        clear_registry()
+        rebuilt = artifact_cache.load_session(
+            din, dout, options={"use_kernel": True}, cache_dir=tmp_path
+        )
+        assert rebuilt is not None
+        assert rebuilt.forward_schema().transducer_tables
+        result = rebuilt.typecheck(transducer, method="forward")
+        assert result.typechecks == expected
+        assert result.stats.get("table_cache") == "hit"
+
+    def test_clear_prunes_side_files_independently(self, tmp_path):
+        """Old table snapshots fall to the byte budget while the (newer)
+        schema blob survives."""
+        import os
+        import pathlib
+        import time as time_module
+
+        self._warm_published(tmp_path)
+        directory = pathlib.Path(tmp_path)
+        (blob,) = directory.glob("*.session.pkl")
+        side = sorted(directory.glob("*.tables.*.pkl"))
+        now = time_module.time()
+        for index, path in enumerate(side):
+            os.utime(path, (now - 3600 + index, now - 3600 + index))
+        os.utime(blob, (now, now))  # the blob is the most recent entry
+        keep = blob.stat().st_size + side[-1].stat().st_size
+        removed = artifact_cache.clear(tmp_path, max_bytes=keep)
+        assert removed == len(side) - 1
+        assert blob.exists() and side[-1].exists()
+        assert not any(path.exists() for path in side[:-1])
+
+
+class TestClearConcurrencySafety:
+    """`clear` races other pruners/publishers by design (satellite bugfix)."""
+
+    def test_vanished_victims_are_tolerated_and_not_counted(
+        self, tmp_path, monkeypatch
+    ):
+        import os as os_module
+        import pathlib
+
+        self._make_blobs(tmp_path, 3)
+        victims = sorted(pathlib.Path(tmp_path).glob("*.session.pkl"))
+        real_unlink = os_module.unlink
+        stolen = str(victims[0])
+
+        def racing_unlink(path, *args, **kwargs):
+            # another process "wins the race" for the first victim
+            if str(path) == stolen:
+                real_unlink(path)  # it is gone...
+                real_unlink(path)  # ...so ours raises FileNotFoundError
+            return real_unlink(path, *args, **kwargs)
+
+        monkeypatch.setattr(artifact_cache.os, "unlink", racing_unlink)
+        removed = artifact_cache.clear(tmp_path)
+        assert removed == 2  # only the deletions this call performed
+        assert not any(path.exists() for path in victims)
+
+    def test_missing_directory_is_zero_not_an_error(self, tmp_path):
+        assert artifact_cache.clear(tmp_path / "never-created") == 0
+
+    def test_file_vanishing_between_scan_and_stat(self, tmp_path, monkeypatch):
+        import pathlib
+
+        self._make_blobs(tmp_path, 2)
+        paths = sorted(pathlib.Path(tmp_path).glob("*.session.pkl"))
+        real_scandir = artifact_cache.os.scandir
+
+        class _VanishingEntry:
+            def __init__(self, entry):
+                self._entry = entry
+                self.name = entry.name
+                self.path = entry.path
+
+            def stat(self):
+                raise FileNotFoundError(self.path)
+
+        def scan(directory):
+            entries = list(real_scandir(directory))
+            return [
+                _VanishingEntry(e) if e.path == str(paths[0]) else e
+                for e in entries
+            ]
+
+        monkeypatch.setattr(artifact_cache.os, "scandir", scan)
+        removed = artifact_cache.clear(tmp_path)
+        assert removed == 1  # the vanished entry is skipped, not fatal
+        assert not paths[1].exists()
+
+    def _make_blobs(self, tmp_path, count):
+        clear_registry()
+        for index in range(count):
+            _t, din, dout, _e = nd_bc_family(3 + index)
+            session = compile_session(
+                din, dout, cache_dir=tmp_path, reuse=False
+            )
+            artifact_cache.ensure_saved(session, cache_dir=tmp_path)

@@ -315,3 +315,85 @@ class TestKwargValidation:
         transducer, din, dout, _ = nd_bc_family(3)
         with pytest.raises(ValueError):
             repro.typecheck(transducer, din, dout, method="magic")
+
+
+class TestRegistryByteEviction:
+    """Size-aware registry eviction: budgets in bytes, counters observable."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_budget(self):
+        from repro.core import session as session_module
+
+        before_bytes = session_module._REGISTRY_MAX_BYTES
+        before_limit = session_module._REGISTRY_LIMIT
+        yield
+        session_module.set_registry_budget(before_bytes, before_limit)
+        clear_registry()
+
+    def test_footprint_bytes_grows_with_tables(self):
+        transducer, din, dout, _ = nd_bc_family(5)
+        session = Session(din, dout, eager=False)
+        empty = session.footprint_bytes()
+        assert empty > 0
+        session.typecheck(transducer, method="forward")
+        session.FOOTPRINT_REFRESH_S = 0.0  # disable the throttle
+        warm = session.footprint_bytes()
+        assert warm > empty  # tables + shared cells got measured
+
+    def test_footprint_throttles_remeasurement(self):
+        transducer, din, dout, _ = nd_bc_family(4)
+        session = Session(din, dout, eager=False)
+        first = session.footprint_bytes()
+        # grow the state; within the refresh window the stale value persists
+        # (the hot-path guarantee: no per-call re-pickling)
+        session.typecheck(transducer, method="forward")
+        assert session.footprint_bytes() == first
+
+    def test_byte_budget_evicts_and_counts(self):
+        from repro.core.session import set_registry_budget
+
+        clear_registry()
+        set_registry_budget(1)  # nothing fits: keep only the newest pair
+        pairs = [nd_bc_family(n) for n in (3, 4, 5)]
+        for _t, din, dout, _e in pairs:
+            compile_session(din, dout, eager=False)
+        info = registry_info()
+        assert info["size"] == 1
+        assert info["max_bytes"] == 1
+        assert info["evictions"] >= 2
+        assert info["misses"] >= 3
+        assert info["hits"] == 0
+        (resident,) = info["pairs"]
+        assert resident["bytes"] > 0
+        assert info["total_bytes"] == resident["bytes"]
+        # the evicted first pair recompiles: a miss, not a hit
+        _t, din0, dout0, _e = pairs[0]
+        compile_session(din0, dout0, eager=False)
+        assert registry_info()["misses"] >= 4
+
+    def test_generous_budget_keeps_everything_and_counts_hits(self):
+        from repro.core.session import set_registry_budget
+
+        clear_registry()
+        set_registry_budget(1 << 30)
+        pairs = [nd_bc_family(n) for n in (3, 4)]
+        for _t, din, dout, _e in pairs:
+            compile_session(din, dout, eager=False)
+            compile_session(din, dout, eager=False)  # immediate re-hit
+        info = registry_info()
+        assert info["size"] == 2
+        assert info["evictions"] == 0
+        assert info["hits"] >= 2
+        assert info["total_bytes"] == sum(p["bytes"] for p in info["pairs"])
+
+    def test_count_backstop_still_applies(self):
+        from repro.core.session import set_registry_budget
+
+        clear_registry()
+        set_registry_budget(1 << 30, max_sessions=2)
+        for n in (3, 4, 5):
+            _t, din, dout, _e = nd_bc_family(n)
+            compile_session(din, dout, eager=False)
+        info = registry_info()
+        assert info["size"] == 2
+        assert info["evictions"] >= 1

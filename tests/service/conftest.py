@@ -1,18 +1,56 @@
 """Shared fixtures for the service suite.
 
-One module-scoped 2-worker pool serves every test that does not
-deliberately kill workers; crash tests build their own disposable pools.
+One module-scoped pool serves every test that does not deliberately kill
+workers; crash tests build their own disposable pools.
+
+Environment knobs (the CI service matrix sets both):
+
+``REPRO_TEST_POOL_WORKERS``
+    Worker count of the shared pool (default 2), so the suite can be run
+    against real process fan-out instead of the 1-CPU degenerate case.
+``REPRO_TEST_TIMEOUT``
+    Per-test wall-clock timeout in seconds (0 disables; POSIX only).
+    Implemented with ``SIGALRM`` so no extra pytest plugin is needed —
+    a hung pool/server test fails with a TimeoutError instead of wedging
+    the whole job.
 """
+
+import os
+import signal
 
 import pytest
 
 from repro.service.pool import WorkerPool
 
+POOL_WORKERS = max(1, int(os.environ.get("REPRO_TEST_POOL_WORKERS", "2")))
+TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "0"))
+
 
 @pytest.fixture(scope="session")
 def shared_pool():
-    pool = WorkerPool(2, cache_max_bytes=None)
+    pool = WorkerPool(POOL_WORKERS, cache_max_bytes=None)
     try:
         yield pool
     finally:
         pool.close()
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout():
+    if TEST_TIMEOUT_S <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_timeout(_signum, _frame):
+        raise TimeoutError(
+            f"service test exceeded {TEST_TIMEOUT_S:.0f}s "
+            "(REPRO_TEST_TIMEOUT)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

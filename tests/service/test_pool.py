@@ -84,6 +84,40 @@ class TestCrashRecovery:
             # the pool stays fully serviceable afterwards
             assert [p["pong"] for p in pool.ping()] == [True, True]
 
+    def test_shard_retries_on_healthy_worker_mid_typecheck_sharded(self):
+        """Kill a worker while its shard of a ``typecheck_sharded`` fan-out
+        is queued behind a sleeper: the shard must retry on the healthy
+        worker and the verdict stay bit-identical to unsharded (previously
+        only whole-request retry was exercised)."""
+        from repro.core.forward import typecheck_forward
+
+        transducer, din, dout, expected = nd_bc_family(8, typechecks=False)
+        unsharded = typecheck_forward(transducer, din, dout)
+        with WorkerPool(2, cache_max_bytes=None) as pool:
+            # Occupy worker 0 so the shard submitted to it sits in its
+            # queue, then kill worker 0 while the fan-out is in flight.
+            sleeper = pool.submit("sleep", 2.0, slot=0)
+            killer = None
+
+            def kill_soon():
+                time.sleep(0.4)
+                pool._slots[0].process.terminate()
+
+            import threading
+
+            killer = threading.Thread(target=kill_soon, daemon=True)
+            killer.start()
+            result = pool.typecheck_sharded(din, dout, transducer, shards=2)
+            killer.join(timeout=10)
+            # the sleeper retried too (proves worker 0 really died busy)
+            assert sleeper.result(timeout=30) == {"slept": 2.0}
+            stats = pool.pool_stats()
+            assert stats["respawns"] >= 1 and stats["retries"] >= 1
+        assert result.typechecks == unsharded.typechecks == expected
+        assert result.stats.get("violations") == unsharded.stats.get("violations")
+        assert result.counterexample == unsharded.counterexample
+        assert result.verify(transducer, din.accepts, dout.accepts)
+
     def test_poison_request_gives_up_cleanly(self):
         with WorkerPool(2, max_retries=2, cache_max_bytes=None) as pool:
             with pytest.raises(WorkerCrashError, match="giving up"):

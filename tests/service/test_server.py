@@ -50,11 +50,11 @@ def client(server):
 
 
 class TestOps:
-    def test_ping_and_stats(self, client):
+    def test_ping_and_stats(self, server, client):
         banner = client.ping()
-        assert banner["pong"] and banner["workers"] == 2
+        assert banner["pong"] and banner["workers"] == server.pool.workers
         stats = client.stats()
-        assert stats["alive"] == 2
+        assert stats["alive"] == server.pool.workers
 
     def test_typecheck_with_timing(self, client):
         transducer, din, dout, expected = nd_bc_family(5)

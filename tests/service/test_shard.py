@@ -7,7 +7,9 @@ import pytest
 from repro.core.forward import (
     compute_forward_tables,
     forward_check_keys,
+    forward_key_costs,
     merge_forward_tables,
+    plan_forward_shards,
     typecheck_forward,
     ForwardSchema,
 )
@@ -64,7 +66,9 @@ class TestShardMergeEqualsUnsharded:
     @pytest.mark.parametrize("chunk", range(4))
     def test_seeded_instances_verdicts_bit_identical(self, chunk):
         """Sharded verdicts equal unsharded across the shared 200-seed
-        equivalence generator (the in-trac slice)."""
+        equivalence generator (the in-trac slice) — under the LPT cost
+        planner, with the round-robin partitioner spot-checked alongside
+        (partitioning must never affect the verdict)."""
         for seed in range(chunk * 50, (chunk + 1) * 50):
             transducer, din, dout = seeded_instance(seed)
             if not _in_trac(transducer):
@@ -74,6 +78,7 @@ class TestShardMergeEqualsUnsharded:
             compute = _sequential_shards(session)
             compute._transducer = transducer
             sharded = session.typecheck_sharded(transducer, compute, shards=2)
+            assert sharded.stats.get("shard_planner") == "cost", f"seed {seed}"
             assert sharded.typechecks == unsharded.typechecks, f"seed {seed}"
             assert sharded.stats.get("violations") == unsharded.stats.get(
                 "violations"
@@ -82,6 +87,14 @@ class TestShardMergeEqualsUnsharded:
                 assert sharded.verify(transducer, din.accepts, dout.accepts), (
                     f"seed {seed}: sharded counterexample does not verify"
                 )
+            if seed % 10 == 0:
+                rr = session.typecheck_sharded(
+                    transducer, compute, shards=2, planner="round-robin"
+                )
+                assert rr.typechecks == unsharded.typechecks, f"seed {seed}"
+                assert rr.stats.get("violations") == unsharded.stats.get(
+                    "violations"
+                ), f"seed {seed}"
 
     def test_merged_tables_equal_unsharded_tables(self):
         """Cell-level check: the merged accepted sets are exactly the
@@ -108,6 +121,65 @@ class TestShardMergeEqualsUnsharded:
         assert set(merged["tree"]) == set(reference["tree"])
         for key, (vals, _i, _o, _x) in reference["tree"].items():
             assert set(merged["tree"][key][0]) == set(vals), key
+
+
+class TestShardPlanner:
+    def test_costs_follow_the_seed_count_model(self):
+        """``forward_key_costs`` is ``n_out^m``: shared σ-independent cells
+        cost 1, root-check cells pay per output-DFA state and slot."""
+        transducer, din, dout, _ = nd_bc_family(6)
+        schema = ForwardSchema(din, dout)
+        keys = forward_check_keys(transducer, din, schema)
+        out_alphabet = frozenset(transducer.alphabet | dout.alphabet)
+        costs = forward_key_costs(keys, schema, out_alphabet)
+        assert len(costs) == len(keys)
+        for (sigma, _a, P), cost in zip(keys, costs):
+            if not P:
+                assert cost == 1
+            else:
+                n_out = len(schema.out_dfa(sigma, out_alphabet).states)
+                assert cost == max(1, n_out) ** len(P)
+
+    def test_lpt_is_deterministic_and_balanced(self):
+        keys = [("s", "a", ("q",) * i) for i in range(8)]
+        costs = [3 ** i for i in range(8)]
+        partitions, loads = plan_forward_shards(keys, costs, 3)
+        again, loads2 = plan_forward_shards(keys, costs, 3)
+        assert partitions == again and loads == loads2  # deterministic
+        assert sorted(key for part in partitions for key in part) == sorted(keys)
+        assert all(partitions), "LPT must not produce empty shards"
+        # LPT bound: no shard exceeds the ideal average by more than the
+        # largest single item (the classic 4/3-ish guarantee, loosely)
+        assert max(loads) <= sum(costs) / 3 + max(costs)
+        # and it strictly beats the round-robin split on this skew
+        rr_loads = [sum(costs[index::3]) for index in range(3)]
+        assert max(loads) < max(rr_loads)
+
+    def test_more_shards_than_keys_collapses(self):
+        keys = [("s", "a", ())]
+        partitions, loads = plan_forward_shards(keys, [1], 4)
+        assert partitions == [keys] and loads == [1]
+
+    def test_sharded_stats_expose_planner_balance(self):
+        transducer, din, dout, _ = nd_bc_family(8)
+        session = Session(din, dout, eager=False)
+        compute = _sequential_shards(session)
+        compute._transducer = transducer
+        result = session.typecheck_sharded(transducer, compute, shards=3)
+        assert result.stats["shards"] == 3
+        assert result.stats["shard_planner"] == "cost"
+        assert len(result.stats["shard_costs"]) == 3
+        assert len(result.stats["shard_wall_s"]) == 3
+        assert all(wall >= 0 for wall in result.stats["shard_wall_s"])
+        assert result.stats["shard_spread"] >= 1.0
+
+    def test_unknown_planner_rejected(self):
+        transducer, din, dout, _ = nd_bc_family(4)
+        session = Session(din, dout, eager=False)
+        with pytest.raises(ValueError, match="unknown shard planner"):
+            session.typecheck_sharded(
+                transducer, lambda partitions: [], planner="magic"
+            )
 
 
 class TestShardOptionGuards:
