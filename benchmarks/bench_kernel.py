@@ -12,6 +12,14 @@ The warm-vs-cold *session* family (compiled ``Session`` batches vs fresh
 per-call pipelines, plus the registry-backed one-shot repeat) is measured
 alongside and written to ``BENCH_session.json``.
 
+The *backward* family (PR 5) races the inverse-type-inference engine
+(``repro.backward``, ``method="backward"``) against the forward engine on
+the same workload families plus the wide-copy/small-output family built
+for it, asserting verdict parity on both polarities of every row, and
+writes ``BENCH_backward.json``; the smoke gate bounds the backward
+engine's slowdown on the forward-friendly family and requires it to beat
+forward on the wide-copy family.
+
 The *service* family (PR 3) measures the multi-process worker pool on the
 ``nd_bc_batch`` workload — batch throughput with 1/2/4 workers against the
 in-process session baseline, the per-transducer table-cache repeat, and a
@@ -44,6 +52,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.backward import typecheck_backward  # noqa: E402
 from repro.core.api import typecheck  # noqa: E402
 from repro.core.forward import typecheck_forward  # noqa: E402
 from repro.core.session import Session, clear_registry  # noqa: E402
@@ -55,6 +64,7 @@ from repro.workloads.families import (  # noqa: E402
     filtering_family,
     nd_bc_batch,
     nd_bc_family,
+    wide_copy_family,
 )
 
 SMOKE_FAMILY = ("nd_bc", 16)
@@ -74,6 +84,14 @@ SERVICE_SMOKE_MIN_RATIO_1CPU = 0.3
 # pinning the pair must cut the total request bytes of a 10-item run well
 # below v1 framing (locally ~0.2x).
 STICKY_SMOKE_MAX_BYTES_RATIO = 0.8
+# Backward-engine gates: verdict parity with forward is asserted on every
+# row; the timing gates bound the inverse-type-inference engine at a
+# generous slowdown on the forward-friendly smoke family (locally ~0.3x,
+# i.e. backward actually wins there too) and require it to *beat* the
+# forward engine on the wide-copy/small-output family built for it
+# (locally ~0.002x).
+BACKWARD_SMOKE_MAX_RATIO = 3.0
+BACKWARD_WIDE_COPY_MAX_RATIO = 0.5
 
 
 def best_of(fn, repeat: int) -> float:
@@ -121,6 +139,50 @@ def bench_forward(results, sizes, repeat: int) -> None:
                 "baseline_s": old,
                 "kernel_s": new,
                 "speedup": old / new,
+            }
+        )
+
+
+def bench_backward(results, sizes, repeat: int) -> None:
+    """Forward vs backward engine across the workload families.
+
+    Every row checks verdict parity on *both* polarities of the family
+    (passing and failing variants) before timing — the backward engine's
+    reason to exist is being an independent oracle, so a disagreement is
+    a benchmark failure, not a data point.  The parity checks skip
+    counterexample materialization: on failing nd_bc-style variants the
+    forward engine's witness is a full binary tree of the instance depth
+    (2^n nodes, built unshared), which is the *instance's* blow-up, not
+    the decision procedure's.
+    """
+    for name, family, n in sizes:
+        transducer, din, dout, expected = family(n)
+        for typechecks in (True, False):
+            t_v, din_v, dout_v, exp_v = family(n, typechecks)
+            forward_v = typecheck_forward(
+                t_v, din_v, dout_v, want_counterexample=False
+            )
+            backward_v = typecheck_backward(
+                t_v, din_v, dout_v, want_counterexample=False
+            )
+            assert forward_v.typechecks == backward_v.typechecks == exp_v, (
+                name, n, typechecks,
+            )
+        forward_s = best_of(
+            lambda: typecheck_forward(transducer, din, dout), repeat
+        )
+        backward_s = best_of(
+            lambda: typecheck_backward(transducer, din, dout), repeat
+        )
+        results.append(
+            {
+                "group": "backward",
+                "name": f"{name}({n})",
+                "family": name,
+                "n": n,
+                "forward_s": forward_s,
+                "backward_s": backward_s,
+                "backward_over_forward": backward_s / forward_s,
             }
         )
 
@@ -589,14 +651,23 @@ def main(argv=None) -> int:
                         default=REPO_ROOT / "BENCH_session.json")
     parser.add_argument("--output-service", type=Path,
                         default=REPO_ROOT / "BENCH_service.json")
+    parser.add_argument("--output-backward", type=Path,
+                        default=REPO_ROOT / "BENCH_backward.json")
     args = parser.parse_args(argv)
     repeat = args.repeat or (7 if args.smoke else 5)
 
     results: list = []
     session_results: list = []
     service_results: list = []
+    backward_results: list = []
     if args.smoke:
         bench_forward(results, [("nd_bc", nd_bc_family, SMOKE_FAMILY[1])], repeat)
+        bench_backward(
+            backward_results,
+            [("nd_bc", nd_bc_family, SMOKE_FAMILY[1]),
+             ("wide_copy", wide_copy_family, 8)],
+            repeat,
+        )
         bench_dfa(results, [16], repeat)
         bench_nta(results, [32], repeat)
         bench_session(session_results, [SESSION_SMOKE_FAMILY], repeat)
@@ -614,6 +685,17 @@ def main(argv=None) -> int:
                 ("nd_bc", nd_bc_family, 64),
                 ("filtering", filtering_family, 32),
                 ("filtering", filtering_family, 48),
+            ],
+            repeat,
+        )
+        bench_backward(
+            backward_results,
+            [
+                ("nd_bc", nd_bc_family, 16),
+                ("nd_bc", nd_bc_family, 64),
+                ("filtering", filtering_family, 32),
+                ("wide_copy", wide_copy_family, 8),
+                ("wide_copy", wide_copy_family, 16),
             ],
             repeat,
         )
@@ -684,14 +766,41 @@ def main(argv=None) -> int:
     }
     args.output_service.write_text(json.dumps(service_summary, indent=2) + "\n")
 
+    best_backward = min(
+        backward_results, key=lambda r: r["backward_over_forward"]
+    )
+    backward_summary = {
+        "mode": "smoke" if args.smoke else "full",
+        "repeat": repeat,
+        "note": (
+            "backward_over_forward < 1 means the inverse-type-inference "
+            "engine beats the Lemma 14 forward engine on the family; "
+            "verdicts are asserted identical on every row (both "
+            "polarities) before timing"
+        ),
+        "best_family": best_backward["name"],
+        "best_backward_over_forward": best_backward["backward_over_forward"],
+        "benchmarks": backward_results,
+    }
+    args.output_backward.write_text(
+        json.dumps(backward_summary, indent=2) + "\n"
+    )
+
     width = max(
-        len(r["name"]) for r in results + session_results + service_results
+        len(r["name"])
+        for r in results + session_results + service_results + backward_results
     )
     for r in results:
         print(
             f"{r['name']:<{width}}  baseline {r['baseline_s'] * 1e3:8.2f} ms"
             f"  kernel {r['kernel_s'] * 1e3:8.2f} ms"
             f"  speedup {r['speedup']:6.2f}x"
+        )
+    for r in backward_results:
+        print(
+            f"{r['name']:<{width}}  forward  {r['forward_s'] * 1e3:8.2f} ms"
+            f"  bwd    {r['backward_s'] * 1e3:8.2f} ms"
+            f"  b/f    {r['backward_over_forward']:6.2f}x"
         )
     for r in session_results:
         print(
@@ -743,6 +852,9 @@ def main(argv=None) -> int:
     print(f"wrote {args.output_service} "
           f"(cpu_count={cpu_count}; multi-worker scaling is "
           f"hardware-bound, see the note in the file)")
+    print(f"wrote {args.output_backward} "
+          f"(best backward family: {best_backward['name']} at "
+          f"{best_backward['backward_over_forward']:.3f}x of forward)")
 
     if args.smoke:
         failed = False
@@ -795,6 +907,33 @@ def main(argv=None) -> int:
                 "SMOKE FAILURE: identical-repeat table-cache serving is "
                 f"slower than recomputing "
                 f"({service_smoke['table_cache_speedup']:.2f}x < 1x)",
+                file=sys.stderr,
+            )
+            failed = True
+        backward_smoke = next(
+            r for r in backward_results
+            if r["family"] == "nd_bc" and r["n"] == SMOKE_FAMILY[1]
+        )
+        if backward_smoke["backward_over_forward"] > BACKWARD_SMOKE_MAX_RATIO:
+            print(
+                f"SMOKE FAILURE: backward engine too slow on "
+                f"{backward_smoke['name']} "
+                f"({backward_smoke['backward_s'] * 1e3:.2f} ms vs forward "
+                f"{backward_smoke['forward_s'] * 1e3:.2f} ms; ratio "
+                f"{backward_smoke['backward_over_forward']:.2f}x > "
+                f"{BACKWARD_SMOKE_MAX_RATIO}x)",
+                file=sys.stderr,
+            )
+            failed = True
+        wide_copy = next(
+            r for r in backward_results if r["family"] == "wide_copy"
+        )
+        if wide_copy["backward_over_forward"] > BACKWARD_WIDE_COPY_MAX_RATIO:
+            print(
+                f"SMOKE FAILURE: backward engine does not beat forward on "
+                f"its own family {wide_copy['name']} "
+                f"({wide_copy['backward_over_forward']:.3f}x > "
+                f"{BACKWARD_WIDE_COPY_MAX_RATIO}x)",
                 file=sys.stderr,
             )
             failed = True

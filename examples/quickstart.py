@@ -92,7 +92,21 @@ def main() -> None:
     print(f"\none-shot repeat (served by the warm session): {again.typechecks}")
 
     # ------------------------------------------------------------------
-    # 4. The transducer as an XSLT program (Fig. 1).
+    # 4. The second engine: ``method="backward"`` re-decides both verdicts
+    #    by inverse type inference (pre-image of the bad-output language
+    #    ∩ din) — an independent oracle for the forward results above,
+    #    served from the same warm sessions.
+    # ------------------------------------------------------------------
+    loose = session.typecheck(toc, method="backward")
+    strict = strict_session.typecheck(toc, method="backward")
+    print(
+        f"\nbackward engine agrees: loose={loose.typechecks} "
+        f"strict={strict.typechecks}"
+    )
+    assert loose.typechecks and not strict.typechecks
+
+    # ------------------------------------------------------------------
+    # 5. The transducer as an XSLT program (Fig. 1).
     # ------------------------------------------------------------------
     print("\nXSLT export:")
     print(to_xslt(toc))

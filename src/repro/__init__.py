@@ -51,6 +51,7 @@ from repro.core import (
     compile,
     counterexample_nta,
     typecheck,
+    typecheck_backward,
     typecheck_bruteforce,
     typecheck_delrelab,
     typecheck_forward,
@@ -64,7 +65,7 @@ from repro.transducers import TreeTransducer, analyze, to_xslt
 from repro.trees import Tree, parse_hedge, parse_tree
 from repro.tree_automata import NTA
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DTD",
@@ -87,6 +88,7 @@ __all__ = [
     "regex_to_dfa",
     "to_xslt",
     "typecheck",
+    "typecheck_backward",
     "typecheck_bruteforce",
     "typecheck_delrelab",
     "typecheck_forward",

@@ -28,8 +28,9 @@ Options::
 
     --batch            per-instance report lines prefixed by the file name,
                        plus a summary (implied when several files are given)
-    --method METHOD    algorithm override: auto (default), forward, replus,
-                       replus-witnesses, delrelab, bruteforce
+    --method METHOD    algorithm override: auto (default), forward, backward
+                       (inverse type inference — the cross-checking second
+                       engine), replus, replus-witnesses, delrelab, bruteforce
     --cache-dir DIR    persist/reuse compiled schema artifacts in DIR
                        (see repro.cache)
 
@@ -47,11 +48,14 @@ The ``serve`` subcommand starts the multi-process typechecking service
                           [--cache-dir DIR] [--max-cache-bytes B]
                           [--max-inflight N] [--max-inflight-total N]
                           [--worker-registry-bytes B]
+                          [--worker-pair-limit N]
 
 ``--max-inflight`` bounds one connection's in-flight requests,
-``--max-inflight-total`` the aggregate across all connections, and
+``--max-inflight-total`` the aggregate across all connections,
 ``--worker-registry-bytes`` sets each worker's session-registry byte
-budget (size-aware eviction of warm schema pairs).  It speaks the
+budget (size-aware eviction of warm schema pairs), and
+``--worker-pair-limit`` bounds each worker's protocol-v2 pinned-pair
+registry (evicted pins re-establish transparently on next use).  It speaks the
 JSON-lines protocol of :mod:`repro.service.protocol` (v2 sticky pairs
 included); drive it with :class:`repro.service.client.ServiceClient`.
 """
@@ -73,7 +77,8 @@ from repro.service.protocol import (  # noqa: F401 - re-exported names
 )
 
 _METHODS = (
-    "auto", "forward", "replus", "replus-witnesses", "delrelab", "bruteforce"
+    "auto", "forward", "backward", "replus", "replus-witnesses", "delrelab",
+    "bruteforce",
 )
 
 
@@ -128,7 +133,7 @@ def _parse_serve_args(argv: List[str]):
         "host": "127.0.0.1", "port": 8722, "workers": 2,
         "cache_dir": None, "max_cache_bytes": None,
         "max_inflight": None, "max_inflight_total": None,
-        "worker_registry_bytes": None,
+        "worker_registry_bytes": None, "worker_pair_limit": None,
     }
     index = 0
     while index < len(argv):
@@ -137,7 +142,8 @@ def _parse_serve_args(argv: List[str]):
             return None
         if arg in ("--host", "--port", "--workers", "--cache-dir",
                    "--max-cache-bytes", "--max-inflight",
-                   "--max-inflight-total", "--worker-registry-bytes"):
+                   "--max-inflight-total", "--worker-registry-bytes",
+                   "--worker-pair-limit"):
             index += 1
             if index >= len(argv):
                 return None
@@ -162,7 +168,8 @@ def _parse_serve_args(argv: List[str]):
     max_cache = options["max_cache_bytes"]
     if max_cache is not None and int(max_cache) < 0:
         return None
-    for flag in ("max_inflight", "max_inflight_total", "worker_registry_bytes"):
+    for flag in ("max_inflight", "max_inflight_total", "worker_registry_bytes",
+                 "worker_pair_limit"):
         value = options[flag]
         if value is not None and int(value) < 1:
             return None
@@ -202,6 +209,7 @@ def _serve(argv: List[str]) -> int:
                 else max_inflight_total
             ),
             worker_registry_bytes=options["worker_registry_bytes"],
+            worker_pair_limit=options["worker_pair_limit"],
         )
     except OSError as exc:
         # Bind failures (port in use, bad host) are usage errors, not bugs.

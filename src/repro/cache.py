@@ -12,8 +12,10 @@ entirely::
 Layout: one ``<key>.session.pkl`` file per ``(sin, sout, options)`` triple,
 where ``<key>`` is the SHA-256 of the schema content hashes, the options
 fingerprint and the versioning pins.  Per-transducer fixpoint-table
-snapshots live in *side files* ``<key>.tables.<transducer_hash>.pkl`` next
-to the schema blob: tables are what actually grows over a service's
+snapshots live in *side files* ``<key>.tables.<transducer_hash>.pkl``
+(and backward-engine result snapshots in
+``<key>.btables.<transducer_hash>.pkl``) next to the schema blob: they
+are what actually grows over a service's
 lifetime (one complete least fixpoint per distinct transducer), so keeping
 them out of the schema blob means ``publish`` never has to rewrite the
 whole session as tables accrue, and :func:`clear` can prune table
@@ -44,6 +46,7 @@ from typing import Dict, Optional
 
 from repro import __version__
 from repro.core.session import Session, schema_fingerprint, session_key
+from repro.schemas.dtd import DTD
 from repro.kernel import serialize
 from repro.util import stable_digest
 
@@ -91,6 +94,11 @@ def tables_path(cache_dir, key: str, transducer_hash: str) -> Path:
     return Path(cache_dir) / f"{key}.tables.{transducer_hash}.pkl"
 
 
+def backward_result_path(cache_dir, key: str, transducer_hash: str) -> Path:
+    """The side file holding one transducer's backward result snapshot."""
+    return Path(cache_dir) / f"{key}.btables.{transducer_hash}.pkl"
+
+
 def _write_atomic(directory: Path, path: Path, blob: bytes) -> None:
     """Atomic publish: a reader only ever sees complete files."""
     fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -125,6 +133,14 @@ def save_session(session: Session, cache_dir=None) -> Path:
         forward = dict(forward)
         forward["transducer_tables"] = {}
         artifacts = {**artifacts, "forward": forward}
+    backward = artifacts.get("backward")
+    if backward is not None and backward.get("transducer_results"):
+        # Like the forward tables, per-transducer backward snapshots go to
+        # write-once side files so the schema blob never grows per served
+        # transducer.
+        backward = dict(backward)
+        backward["transducer_results"] = {}
+        artifacts = {**artifacts, "backward": backward}
     payload = {
         "cache_format": CACHE_FORMAT,
         "version": __version__,
@@ -148,11 +164,15 @@ def _publish_tables(session: Session, cache_dir) -> int:
     the blob-splitting exists to absorb.
     """
     forward = session._forward
-    if forward is None:
-        return 0
+    backward = session._backward
     with session._lock:
-        snapshots = list(forward.transducer_tables.items())
-    if not snapshots:
+        snapshots = [] if forward is None else list(
+            forward.transducer_tables.items()
+        )
+        results = [] if backward is None else list(
+            backward.transducer_results.items()
+        )
+    if not snapshots and not results:
         return 0
     directory = Path(cache_dir)
     directory.mkdir(parents=True, exist_ok=True)
@@ -170,34 +190,36 @@ def _publish_tables(session: Session, cache_dir) -> int:
         }
         _write_atomic(directory, path, serialize.dumps(payload))
         written += 1
+    for transducer_hash, snapshot in results:
+        path = backward_result_path(directory, key, transducer_hash)
+        if path.exists():
+            continue
+        payload = {
+            "cache_format": CACHE_FORMAT,
+            "key": key,
+            "transducer": transducer_hash,
+            "result": snapshot,
+        }
+        _write_atomic(directory, path, serialize.dumps(payload))
+        written += 1
     return written
 
 
-def _load_tables(session: Session, cache_dir, key: str) -> int:
-    """Hydrate table side files into a freshly loaded session.
+def _hydrate_kind(
+    entries, key: str, field: str, store: dict, limit: int
+) -> int:
+    """Select and install one kind of side-file payload into ``store``.
 
-    Newest-mtime first, bounded by the schema's own table LRU limit so a
-    directory holding years of snapshots cannot balloon one session.
+    ``entries`` are pre-scanned ``(mtime, path)`` pairs of one prefix
+    kind.  Newest-mtime first — they win the LRU budget — bounded by the
+    owning schema's ``limit`` so a directory holding years of snapshots
+    cannot balloon one session, tolerant of concurrent pruners (vanished
+    files are simply skipped).
     """
-    directory = Path(cache_dir)
-    prefix = f"{key}.tables."
-    entries = []
-    try:
-        names = list(os.scandir(directory))
-    except OSError:
-        return 0
-    for entry in names:
-        if not (entry.name.startswith(prefix) and entry.name.endswith(".pkl")):
-            continue
-        try:
-            entries.append((entry.stat().st_mtime, entry.path))
-        except OSError:
-            continue  # pruned concurrently — not our snapshot anymore
-    entries.sort(reverse=True)  # newest first (they win the LRU budget)
-    ctx = session.forward_schema()
+    entries.sort(reverse=True)  # newest first
     selected = []
     for _mtime, path in entries:
-        if len(selected) >= ctx.transducer_table_limit:
+        if len(selected) >= limit:
             break
         try:
             payload = serialize.loads(Path(path).read_bytes())
@@ -208,16 +230,62 @@ def _load_tables(session: Session, cache_dir, key: str) -> int:
         if payload.get("cache_format") != CACHE_FORMAT:
             continue
         transducer_hash = payload.get("transducer")
-        tables = payload.get("tables")
-        if not isinstance(transducer_hash, str) or not isinstance(tables, dict):
+        value = payload.get(field)
+        if not isinstance(transducer_hash, str) or not isinstance(value, dict):
             continue
-        if transducer_hash not in ctx.transducer_tables:
-            selected.append((transducer_hash, tables))
+        if transducer_hash not in store:
+            selected.append((transducer_hash, value))
     # Insert oldest-first: the in-memory cache evicts from the front, so
     # the newest snapshots must land at the recently-used end.
-    for transducer_hash, tables in reversed(selected):
-        ctx.transducer_tables.setdefault(transducer_hash, tables)
+    for transducer_hash, value in reversed(selected):
+        store.setdefault(transducer_hash, value)
     return len(selected)
+
+
+def _load_side_files(
+    session: Session, cache_dir, key: str, *, tables: bool, btables: bool
+) -> int:
+    """Hydrate per-transducer side files into a freshly loaded session.
+
+    One directory scan buckets forward table snapshots (``.tables.``)
+    and backward result snapshots (``.btables.``); each bucket then
+    hydrates through :func:`_hydrate_kind`.
+    """
+    kinds = []
+    if tables:
+        kinds.append(("tables", "tables"))
+    if btables:
+        kinds.append(("btables", "result"))
+    if not kinds:
+        return 0
+    try:
+        names = list(os.scandir(Path(cache_dir)))
+    except OSError:
+        return 0
+    buckets: Dict[str, list] = {kind: [] for kind, _field in kinds}
+    prefixes = [(kind, f"{key}.{kind}.") for kind, _field in kinds]
+    for entry in names:
+        if not entry.name.endswith(".pkl"):
+            continue
+        for kind, prefix in prefixes:
+            if entry.name.startswith(prefix):
+                try:
+                    buckets[kind].append((entry.stat().st_mtime, entry.path))
+                except OSError:
+                    pass  # pruned concurrently — not our snapshot anymore
+                break
+    loaded = 0
+    for kind, field in kinds:
+        if not buckets[kind]:
+            continue
+        if kind == "tables":
+            ctx = session.forward_schema()
+            store, limit = ctx.transducer_tables, ctx.transducer_table_limit
+        else:
+            bctx = session.backward_schema()
+            store, limit = bctx.transducer_results, bctx.transducer_result_limit
+        loaded += _hydrate_kind(buckets[kind], key, field, store, limit)
+    return loaded
 
 
 def ensure_saved(session: Session, cache_dir=None) -> Path:
@@ -239,14 +307,23 @@ def ensure_saved(session: Session, cache_dir=None) -> Path:
 def _artifact_state(session: Session) -> tuple:
     """A cheap fingerprint of the *blob* state worth re-publishing for.
 
-    Per-transducer tables are deliberately absent: they live in side files
-    (written un-throttled by :func:`publish`), so a session that only
-    accrues tables never rewrites its schema blob.
+    Per-transducer tables and backward result snapshots are deliberately
+    absent: they live in side files (written un-throttled by
+    :func:`publish`), so a session that only accrues them never rewrites
+    its schema blob.  Shard profiles *are* blob state (they ship inside
+    the forward artifacts), so recording one — including re-measuring a
+    resident profile, which keeps ``len()`` constant — must trigger a
+    refresh: the schema's monotone ``shard_profile_version`` counter
+    captures that.
     """
     forward = session._forward
     if forward is None:
-        return (0, 0)
-    return (len(forward.shared_hedge), len(forward.shared_tree))
+        return (0, 0, 0)
+    return (
+        len(forward.shared_hedge),
+        len(forward.shared_tree),
+        forward.shard_profile_version,
+    )
 
 
 def publish(session: Session, cache_dir=None, min_interval_s: float = 30.0) -> Path:
@@ -330,8 +407,14 @@ def load_session(
         # Tables come from side files; blobs from the embedded-tables era
         # carry them inline (already hydrated by from_artifacts) and the
         # side files merge on top — the migration path is "both work".
-        if artifacts.get("forward") is not None:
-            _load_tables(session, cache_dir, key)
+        dtd_pair = isinstance(artifacts.get("sin"), DTD) and isinstance(
+            artifacts.get("sout"), DTD
+        )
+        _load_side_files(
+            session, cache_dir, key,
+            tables=artifacts.get("forward") is not None,
+            btables=dtd_pair,
+        )
         # The session's state *is* the blob's state: stamp it so publish()
         # rewrites only once it actually grows beyond what is on disk.
         session.stats["published_state"] = _artifact_state(session)
@@ -349,7 +432,8 @@ def clear(cache_dir=None, max_bytes: Optional[int] = None) -> int:
     oldest-``mtime``-first until the survivors fit in ``max_bytes`` —
     writes set the file's mtime and :func:`load_session` touches blobs on
     every hit, so mtime order is recency order.  Schema blobs
-    (``*.session.pkl``) and table side files (``*.tables.*.pkl``) are
+    (``*.session.pkl``) and per-transducer side files (``*.tables.*.pkl``
+    forward tables, ``*.btables.*.pkl`` backward results) are
     independent LRU entries: cold table snapshots are pruned without
     touching the (much smaller, dearly recompiled) schema artifacts next
     to them.  The typechecking service bounds its cache directory this way
@@ -382,7 +466,11 @@ def clear(cache_dir=None, max_bytes: Optional[int] = None) -> int:
             continue
         if not name.endswith(".pkl"):
             continue
-        if not (name.endswith(".session.pkl") or ".tables." in name):
+        if not (
+            name.endswith(".session.pkl")
+            or ".tables." in name
+            or ".btables." in name
+        ):
             continue
         try:
             stat = entry.stat()

@@ -15,6 +15,10 @@
   ``TC[T_d,c, DTD(RE+)]`` (Theorem 37): the grammar route and the
   two-witness ``t_min``/``t_vast`` route on DAGs;
 * :mod:`~repro.core.bruteforce` — the enumeration oracle used in tests;
+* :mod:`repro.backward` (re-exported here) — the classical *backward*
+  route: inverse type inference of the bad-output pre-image, decided as
+  kernel product-emptiness against the input schema — an independent
+  oracle for every forward verdict (``method="backward"``);
 * :mod:`~repro.core.session` — compiled sessions: warm schema pairs, batch
   typechecking, the in-process session registry;
 * :mod:`~repro.core.api` — one-call dispatcher (a facade over sessions).
@@ -34,7 +38,12 @@ from repro.core.bruteforce import typecheck_bruteforce
 from repro.core.session import Session, clear_registry, compile, registry_info
 from repro.core.api import typecheck
 
+# Imported last: repro.backward reads repro.core.problem, which the lines
+# above have fully initialized by now (session itself binds it lazily).
+from repro.backward import BackwardSchema, typecheck_backward
+
 __all__ = [
+    "BackwardSchema",
     "DelrelabSchema",
     "ForwardSchema",
     "ReplusSchema",
@@ -45,6 +54,7 @@ __all__ = [
     "counterexample_nta",
     "registry_info",
     "typecheck",
+    "typecheck_backward",
     "typecheck_bruteforce",
     "typecheck_delrelab",
     "typecheck_forward",

@@ -46,8 +46,10 @@ def typecheck(
 ) -> TypecheckResult:
     """Decide whether ``T(t) ∈ Sout`` for every ``t ∈ Sin`` (Definition 9).
 
-    ``method``: ``"auto"`` (default), ``"forward"``, ``"replus"``,
-    ``"replus-witnesses"``, ``"delrelab"`` or ``"bruteforce"``.
+    ``method``: ``"auto"`` (default), ``"forward"``, ``"backward"`` (the
+    inverse-type-inference engine — complete for any deterministic
+    top-down transducer over DTDs), ``"replus"``, ``"replus-witnesses"``,
+    ``"delrelab"`` or ``"bruteforce"``.
 
     The signature and result semantics are unchanged from the seed API; the
     call is now served by a registry-cached compiled session, so repeated

@@ -43,6 +43,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from repro.errors import BudgetExceededError, ClassViolationError
 from repro.kernel.product import ProductBFS
+from repro.util import lru_get, lru_store
 from repro.kernel.serialize import HedgeDecoder
 from repro.schemas.dtd import DTD
 from repro.strings.dfa import DFA
@@ -73,6 +74,59 @@ def canonical_cell_key(
     if not P and use_kernel:
         return (None, symbol, P)
     return (sigma, symbol, P)
+
+
+def input_dfa_useful(din: DTD, a: str, cache: Dict[str, Tuple]) -> Tuple:
+    """The input content DFA of ``a`` with its useful-state set (pruning
+    the completion sink keeps the key fan-out at the *live* alphabet).
+
+    ``cache`` is the owning schema context's per-symbol memo.
+    """
+    cached = cache.get(a)
+    if cached is None:
+        dfa_in = din.content_dfa(a)
+        useful = dfa_in.to_nfa().useful_states()
+        cached = cache[a] = (dfa_in, useful)
+    return cached
+
+
+def input_kernel_info(
+    din: DTD,
+    productive: frozenset,
+    a: str,
+    kern_cache: Dict[str, Tuple],
+    useful_cache: Dict[str, Tuple],
+) -> Tuple:
+    """Interned input content DFA of ``a`` with its useful-state mask and
+    the usable child symbols as ``(symbol, symbol_index)`` pairs.
+
+    The one construction behind both engines' input-side compilation —
+    :class:`ForwardSchema` and :class:`~repro.backward.BackwardSchema`
+    delegate here, so the shape cached under the kernel-level ``aux``
+    memo (keyed ``("forward_in", productive)``, shared across schema
+    contexts via the DTD-level DFA cache) has a single author.
+    """
+    cached = kern_cache.get(a)
+    if cached is None:
+        dfa_in, useful = input_dfa_useful(din, a, useful_cache)
+        idfa = dfa_in.kernel()
+        aux_key = ("forward_in", productive)
+        cached = idfa.aux.get(aux_key)
+        if cached is None:
+            useful_mask = idfa.states.mask(useful)
+            children = sorted(
+                {
+                    c
+                    for (state, c), target in dfa_in.transitions.items()
+                    if c in productive and state in useful and target in useful
+                },
+                key=repr,
+            )
+            child_syms = tuple((c, idfa.symbols.index(c)) for c in children)
+            cached = (idfa, useful_mask, child_syms)
+            idfa.aux[aux_key] = cached
+        kern_cache[a] = cached
+    return cached
 
 
 @dataclass(frozen=True)
@@ -249,6 +303,14 @@ class ForwardSchema:
         # after reset_shared() (they were snapshotted post-convergence).
         self.transducer_tables: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self.transducer_table_limit = TRANSDUCER_TABLE_LIMIT
+        # Measured per-key shard costs of previous sharded runs
+        # (transducer content hash -> {check key: attributed seconds}).
+        # ``planner="profile"`` plans repeated pairs on these instead of
+        # the n_out^m model; see Session.typecheck_sharded.  The version
+        # counter bumps on every recording (including re-measurements of
+        # a resident profile) for the blob-publish fingerprint.
+        self.shard_profiles: "OrderedDict[str, Dict[TupleKey, float]]" = OrderedDict()
+        self.shard_profile_version = 0
         self.compiled = False
 
     def universal_dfa(self, alphabet: frozenset) -> DFA:
@@ -267,59 +329,41 @@ class ForwardSchema:
         return self.dout.content_dfa_complete(sigma, out_alphabet)
 
     def in_kernel_info(self, a: str):
-        """Interned input content DFA of ``a`` with its useful-state mask
-        and the usable child symbols as ``(symbol, symbol_index)`` pairs."""
-        cached = self._in_kern.get(a)
-        if cached is None:
-            dfa_in, useful = self.in_dfa_useful(a)
-            idfa = dfa_in.kernel()
-            # The content DFA (and hence its kernel) is cached on the DTD,
-            # so this memo survives across schema contexts as well.
-            aux_key = ("forward_in", self.productive)
-            cached = idfa.aux.get(aux_key)
-            if cached is None:
-                useful_mask = idfa.states.mask(useful)
-                children = sorted(
-                    {
-                        c
-                        for (state, c), target in dfa_in.transitions.items()
-                        if c in self.productive
-                        and state in useful
-                        and target in useful
-                    },
-                    key=repr,
-                )
-                child_syms = tuple((c, idfa.symbols.index(c)) for c in children)
-                cached = (idfa, useful_mask, child_syms)
-                idfa.aux[aux_key] = cached
-            self._in_kern[a] = cached
-        return cached
+        """Interned input content DFA info (see :func:`input_kernel_info`;
+        the kernel-level memo survives across schema contexts)."""
+        return input_kernel_info(
+            self.din, self.productive, a, self._in_kern, self._in_useful
+        )
 
     def in_dfa_useful(self, a: str):
-        """The input content DFA of ``a`` with its useful-state set (pruning
-        the completion sink keeps the key fan-out at the *live* alphabet)."""
-        cached = self._in_useful.get(a)
-        if cached is None:
-            dfa_in = self.din.content_dfa(a)
-            useful = dfa_in.to_nfa().useful_states()
-            cached = (dfa_in, useful)
-            self._in_useful[a] = cached
-        return cached
+        """The input content DFA of ``a`` with its useful-state set."""
+        return input_dfa_useful(self.din, a, self._in_useful)
 
     def cached_tables(self, table_key: str) -> Optional[Dict[str, object]]:
         """The complete forward tables of a previous run of an equal
         transducer, or ``None`` (LRU-touched on hit)."""
-        tables = self.transducer_tables.get(table_key)
-        if tables is not None:
-            self.transducer_tables.move_to_end(table_key)
-        return tables
+        return lru_get(self.transducer_tables, table_key)
 
     def store_tables(self, table_key: str, tables: Dict[str, object]) -> None:
         """Retain a successful run's tables under the transducer's hash."""
-        self.transducer_tables[table_key] = tables
-        self.transducer_tables.move_to_end(table_key)
-        while len(self.transducer_tables) > self.transducer_table_limit:
-            self.transducer_tables.popitem(last=False)
+        lru_store(self.transducer_tables, table_key, tables,
+                  self.transducer_table_limit)
+
+    def shard_profile(self, table_key: str) -> Optional[Dict[TupleKey, float]]:
+        """The measured per-key costs of a previous sharded run of an
+        equal transducer, or ``None`` (LRU-touched on hit)."""
+        return lru_get(self.shard_profiles, table_key)
+
+    def record_shard_profile(
+        self, table_key: str, profile: Dict[TupleKey, float]
+    ) -> None:
+        """Retain the measured per-key costs of a sharded run (LRU)."""
+        lru_store(self.shard_profiles, table_key, profile,
+                  self.transducer_table_limit)
+        # Monotone version stamp: re-measuring an existing profile keeps
+        # len() constant, so the artifact-publish fingerprint reads this
+        # counter instead (see repro.cache._artifact_state).
+        self.shard_profile_version += 1
 
     def reset_shared(self) -> None:
         """Drop the shared fixpoint cells (they rebuild on next use).

@@ -72,6 +72,23 @@ Schema = Union[DTD, NTA]
 #: Default node budget of the forward engine (mirrors ``typecheck_forward``).
 DEFAULT_MAX_PRODUCT_NODES = 500_000
 
+# ----------------------------------------------------------------------
+# Structural footprint weights (bytes per unit)
+# ----------------------------------------------------------------------
+# Rough pickled-size-per-unit constants behind Session._structural_bytes:
+# the structural estimate replaces the old throttled re-pickling of whole
+# sessions on the eviction path (ROADMAP open item).  The absolute scale
+# only needs to be right within a small factor — eviction decisions are
+# *relative* — and the base is periodically re-calibrated against the
+# true pickled size (see Session.footprint_bytes).
+_NODE_BYTES = 90          # one interned product node (small int tuple)
+_EDGE_BYTES = 150         # one recorded product edge (2 nodes + label)
+_ACCEPT_BYTES = 220       # one accepted π with its witness child word
+_TAU_BYTES = 120          # one tree-cell τ entry (table + order + index)
+_SNAPSHOT_BYTES = 400     # per-transducer snapshot bookkeeping
+_WITNESS_DAG_BYTES = 2000  # one RE+ witness DAG pair
+_DELRELAB_BYTES = 4000    # one compiled del-relab context
+
 
 def schema_fingerprint(schema: Schema) -> str:
     """Stable content hash of a schema, prefixed by its representation."""
@@ -96,6 +113,25 @@ _METHOD_FUNCS = {
     "delrelab": typecheck_delrelab,
     "bruteforce": typecheck_bruteforce,
 }
+
+
+def _method_func(method: str):
+    """The per-method function, resolving lazily-imported engines.
+
+    ``repro.backward`` imports :mod:`repro.core.problem`, so the session
+    module must not import it at module level (it is itself imported by
+    ``repro.core``); the binding happens on first use instead.
+    """
+    func = _METHOD_FUNCS.get(method)
+    if func is None and method == "backward":
+        from repro.backward import typecheck_backward
+
+        func = _METHOD_FUNCS["backward"] = typecheck_backward
+    if func is None:
+        raise KeyError(method)
+    return func
+
+
 #: Positional/managed parameters that are not per-call options: the instance
 #: itself, ``max_tuple`` (an explicit ``typecheck`` parameter), the
 #: session-managed compiled-schema context, and injected forward tables
@@ -113,7 +149,7 @@ def allowed_kwargs(method: str) -> frozenset:
     """The per-call option names ``typecheck(method=...)`` accepts."""
     allowed = _ALLOWED_KWARGS.get(method)
     if allowed is None:
-        params = inspect.signature(_METHOD_FUNCS[method]).parameters
+        params = inspect.signature(_method_func(method)).parameters
         allowed = frozenset(name for name in params if name not in _NON_OPTION_PARAMS)
         _ALLOWED_KWARGS[method] = allowed
     return allowed
@@ -210,6 +246,7 @@ class Session:
             and sout.kind == "RE+"
         )
         self._forward: Optional[ForwardSchema] = None
+        self._backward = None  # BackwardSchema, imported lazily
         self._replus: Optional[ReplusSchema] = None
         self._delrelab: Dict[bool, DelrelabSchema] = {}
         # Per-transducer memo: T -> (call-compiled T, analysis).  Weak keys
@@ -217,9 +254,9 @@ class Session:
         self._analyses: "WeakKeyDictionary[TreeTransducer, Tuple[TreeTransducer, TransducerAnalysis]]" = (
             WeakKeyDictionary()
         )
-        # (state fingerprint, measured_at, bytes) of the last footprint
-        # measurement — see footprint_bytes().
-        self._footprint: Optional[Tuple[Tuple, float, int]] = None
+        # (calibrated base bytes, structural estimate at calibration) —
+        # see footprint_bytes().
+        self._footprint: Optional[Tuple[int, int]] = None
         if eager:
             self.warm()
 
@@ -238,6 +275,9 @@ class Session:
             start = time.perf_counter()
             if self._dtd_pair_value is not None:
                 self.forward_schema().warm()
+                # Backward shares its automata with the forward artifacts
+                # (DTD-level caches), so this warm-up is near-free.
+                self.backward_schema().warm()
                 if self._replus_pair:
                     self.replus_schema().warm()
             else:
@@ -262,6 +302,17 @@ class Session:
         if ctx is None:
             din, dout = self._dtd_pair()
             ctx = self._forward = ForwardSchema(din, dout)
+        return ctx
+
+    def backward_schema(self):
+        """The compiled :class:`~repro.backward.BackwardSchema` (built on
+        first use)."""
+        ctx = self._backward
+        if ctx is None:
+            from repro.backward import BackwardSchema
+
+            din, dout = self._dtd_pair()
+            ctx = self._backward = BackwardSchema(din, dout)
         return ctx
 
     def replus_schema(self) -> ReplusSchema:
@@ -335,6 +386,15 @@ class Session:
                 transducer, din, dout, max_tuple,
                 schema=self.forward_schema(), **kwargs,
             )
+        if method == "backward":
+            validate_method_kwargs(method, kwargs)
+            _reject_max_tuple(method, max_tuple)
+            din, dout = self._dtd_pair()
+            kwargs.setdefault("max_product_nodes", self.max_product_nodes)
+            plain, _analysis = self._compiled_transducer(transducer)
+            return _method_func("backward")(
+                plain, din, dout, schema=self.backward_schema(), **kwargs
+            )
         if method == "replus":
             validate_method_kwargs(method, kwargs)
             _reject_max_tuple(method, max_tuple)
@@ -398,9 +458,11 @@ class Session:
             f"{'unbounded' if analysis.deletion_path_width is None else analysis.deletion_path_width} "
             "deletion path width, and the schemas are "
             f"{type(self.sin).__name__}/{type(self.sout).__name__}. "
-            "Options: restrict the transducer (Theorem 15/20), use DTD(RE+) "
-            "schemas (Theorem 37), or pass max_tuple for a best-effort "
-            "(possibly exponential) run of the forward engine."
+            "Options: use method='backward' (inverse type inference — "
+            "complete for any deterministic top-down transducer over DTDs, "
+            "budget-guarded), restrict the transducer (Theorem 15/20), use "
+            "DTD(RE+) schemas (Theorem 37), or pass max_tuple for a "
+            "best-effort (possibly exponential) run of the forward engine."
         )
 
     def _apply_defaults(self, kwargs: Dict[str, object]) -> None:
@@ -497,12 +559,20 @@ class Session:
         ``planner`` selects the partitioner: ``"cost"`` (default) LPT-packs
         keys by their predicted cell cost ``n_out^m`` (see the cost-model
         note next to :func:`repro.core.forward.forward_check_keys`);
-        ``"round-robin"`` is the blind positional split, kept for
-        benchmarking the planner against.  Per-shard wall times (measured
-        inside :func:`~repro.core.forward.compute_forward_tables`, i.e. on
-        the worker) come back in ``result.stats["shard_wall_s"]`` with the
+        ``"profile"`` LPT-packs by *measured* per-key costs fed back from
+        the previous sharded run of an equal-content transducer on this
+        warm pair (each shard's worker wall time attributed to its keys
+        proportionally to the model), falling back to the cost model on
+        first sight — ``stats["shard_profile"]`` records which source
+        planned the run; ``"round-robin"`` is the blind positional split,
+        kept for benchmarking the planners against.  Per-shard wall times
+        (measured inside
+        :func:`~repro.core.forward.compute_forward_tables`, i.e. on the
+        worker) come back in ``result.stats["shard_wall_s"]`` with the
         planner's predicted loads in ``stats["shard_costs"]``, so the
-        balance is observable.
+        balance is observable; cost/profile runs record the measured
+        per-key costs for the next ``"profile"`` plan of the same
+        transducer.
         """
         from repro.core.forward import (
             forward_key_costs,
@@ -514,21 +584,39 @@ class Session:
         keys = self.forward_check_keys(transducer)
         shards = max(1, min(int(shards), max(1, len(keys))))
         loads: Optional[List[int]] = None
+        plan_costs: Optional[List[float]] = None
+        profile_source: Optional[str] = None
         if planner == "round-robin":
             partitions: List[List[Tuple]] = [
                 keys[index::shards] for index in range(shards)
             ]
-        elif planner == "cost":
+        elif planner in ("cost", "profile"):
             with self._lock:
                 _din, dout = self._dtd_pair()
                 out_alphabet = frozenset(transducer.alphabet | dout.alphabet)
-                costs = forward_key_costs(
-                    keys, self.forward_schema(), out_alphabet
+                plan_costs = list(
+                    forward_key_costs(keys, self.forward_schema(), out_alphabet)
                 )
-            partitions, loads = plan_forward_shards(keys, costs, shards)
+                if planner == "profile":
+                    profile = self.forward_schema().shard_profile(
+                        transducer.content_hash()
+                    )
+                    if profile is not None:
+                        # Measured costs for the keys seen last time; the
+                        # model covers any key the profile has not (the
+                        # LPT only needs relative weights).
+                        plan_costs = [
+                            profile.get(key, cost)
+                            for key, cost in zip(keys, plan_costs)
+                        ]
+                        profile_source = "measured"
+                    else:
+                        profile_source = "model"
+            partitions, loads = plan_forward_shards(keys, plan_costs, shards)
         else:
             raise ValueError(
-                f"unknown shard planner {planner!r}; valid: cost, round-robin"
+                f"unknown shard planner {planner!r}; "
+                "valid: cost, profile, round-robin"
             )
         validate_method_kwargs("forward", kwargs)
         if "use_kernel" in kwargs and bool(kwargs["use_kernel"]) != self.use_kernel:
@@ -552,6 +640,8 @@ class Session:
             )
         result.stats["shards"] = len(partitions)
         result.stats["shard_planner"] = planner
+        if profile_source is not None:
+            result.stats["shard_profile"] = profile_source
         if loads is not None:
             result.stats["shard_costs"] = list(loads)
         if shard_wall:
@@ -559,6 +649,26 @@ class Session:
             result.stats["shard_spread"] = round(
                 max(shard_wall) / max(min(shard_wall), 1e-9), 3
             )
+            if plan_costs is not None and len(shard_wall) == len(partitions):
+                # Feed the measurement back: attribute each shard's worker
+                # wall time to its keys proportionally to the weights that
+                # planned it, and store under the transducer's hash for
+                # the next planner="profile" run of this pair.
+                cost_by_key = dict(zip(keys, plan_costs))
+                profile_out: Dict[Tuple, float] = {}
+                for wall, partition in zip(shard_wall, partitions):
+                    total = sum(cost_by_key[key] for key in partition)
+                    if total <= 0:
+                        total = len(partition) or 1
+                        weights = {key: 1 for key in partition}
+                    else:
+                        weights = cost_by_key
+                    for key in partition:
+                        profile_out[key] = wall * weights[key] / total
+                with self._lock:
+                    self.forward_schema().record_shard_profile(
+                        transducer.content_hash(), profile_out
+                    )
         return result
 
     def counterexample_nta(
@@ -598,45 +708,103 @@ class Session:
     # ------------------------------------------------------------------
     # Footprint (size-aware registry eviction)
     # ------------------------------------------------------------------
-    #: Minimum seconds between footprint re-measurements of one session.
-    FOOTPRINT_REFRESH_S = 5.0
+    #: Structural growth below this many bytes never triggers a pickled
+    #: re-calibration (jitter floor for freshly compiled sessions).
+    CALIBRATION_FLOOR_BYTES = 64 * 1024
 
-    def _footprint_state(self) -> Tuple:
-        """Cheap fingerprint of the state that makes the footprint grow."""
+    def _structural_bytes(self) -> int:
+        """Structural estimate of the *variable* artifact state, in bytes.
+
+        Counts fixpoint-cell nodes/edges/accepted tuples and
+        per-transducer snapshots, weighted by per-unit byte constants (see
+        the module-level ``_*_BYTES`` weights) — no serialization, so the
+        walk is cheap enough for the per-request eviction path.  Cells
+        aliased between the shared tables and per-transducer snapshots
+        (exports share live objects) are counted once, matching how
+        pickling would memo them; tree cells dedupe on their
+        insertion-order *list* because ``export_forward_tables`` re-packs
+        the shared containers into a fresh 4-tuple per snapshot.
+        """
+        units = 0
         forward = self._forward
+        if forward is not None:
+            seen: set = set()
+            hedge_entries: List = []
+            tree_cells: List = []
+
+            def collect(hedge_map, tree_map) -> None:
+                for entry in hedge_map.values():
+                    if id(entry) not in seen:
+                        seen.add(id(entry))
+                        hedge_entries.append(entry)
+                for cell in tree_map.values():
+                    order = cell[2]
+                    if id(order) not in seen:
+                        seen.add(id(order))
+                        tree_cells.append(cell)
+
+            collect(forward.shared_hedge, forward.shared_tree)
+            for tables in forward.transducer_tables.values():
+                collect(tables.get("hedge") or {}, tables.get("tree") or {})
+            for entry in hedge_entries:
+                nodes = (
+                    len(entry.engine.parents)
+                    if entry.engine is not None
+                    else len(entry.accepted)
+                )
+                units += (
+                    _NODE_BYTES * nodes
+                    + _EDGE_BYTES * len(entry.int_edges)
+                    + _ACCEPT_BYTES * len(entry.int_accepted_list)
+                )
+            for cell in tree_cells:
+                units += _TAU_BYTES * len(cell[2])  # insertion-order list
+            units += _SNAPSHOT_BYTES * len(forward.transducer_tables)
+        backward = self._backward
+        if backward is not None:
+            for snapshot in backward.transducer_results.values():
+                units += _SNAPSHOT_BYTES
+                # Failing verdicts embed a counterexample tree; its node
+                # count is bounded by the run's derived pairs, recorded in
+                # the snapshot — no tree traversal needed here.
+                stats = snapshot.get("stats")
+                if snapshot.get("counterexample") is not None and stats:
+                    units += _NODE_BYTES * int(stats.get("derived_pairs", 0))
         replus = self._replus
-        return (
-            0 if forward is None else len(forward.transducer_tables),
-            0 if forward is None else len(forward.shared_hedge),
-            0 if forward is None else len(forward.shared_tree),
-            0 if replus is None else len(replus._witness_dags),
-            len(self._delrelab),
-        )
+        if replus is not None:
+            units += _WITNESS_DAG_BYTES * len(replus._witness_dags)
+        units += _DELRELAB_BYTES * len(self._delrelab)
+        return units
 
     def footprint_bytes(self) -> int:
         """Approximate resident bytes of this session's compiled artifacts.
 
-        Measured as the pickled size of :meth:`export_artifacts` (see
-        :func:`repro.kernel.serialize.approx_bytes`) — kernels, shared
-        fixpoint cells and per-transducer tables included.  Re-measured
-        only when the artifact state grew *and* the last measurement is
-        older than :data:`FOOTPRINT_REFRESH_S`, so a hot request stream is
-        not re-pickling the session per call; the registry's byte-budget
+        The *base* — schemas, kernels, compiled automata — is measured as
+        the pickled size of :meth:`export_artifacts`
+        (:func:`repro.kernel.serialize.approx_bytes`, the calibration
+        path); *growth* — fixpoint cells, per-transducer tables and result
+        snapshots — is tracked by the structural estimate
+        (:meth:`_structural_bytes`), so a hot request stream never
+        re-pickles the session: the returned value is
+        ``base + structural growth since calibration``, updated per call
+        from plain container lengths.  The base is re-calibrated (one
+        pickle) only when the structural estimate has doubled since the
+        last calibration, bounding the residual cost at O(log growth)
+        measurements over a session's lifetime; the registry's byte-budget
         eviction runs on these (deliberately approximate) numbers.
         """
         with self._lock:
-            state = self._footprint_state()
-            now = time.monotonic()
+            structural = self._structural_bytes()
             cached = self._footprint
-            if cached is not None and (
-                cached[0] == state or now - cached[1] < self.FOOTPRINT_REFRESH_S
+            if cached is not None and structural <= 2 * max(
+                cached[1], self.CALIBRATION_FLOOR_BYTES
             ):
-                return cached[2]
+                return cached[0] + max(0, structural - cached[1])
             from repro.kernel import serialize
 
-            size = serialize.approx_bytes(self._export_artifacts_locked())
-            self._footprint = (state, now, size)
-            return size
+            base = serialize.approx_bytes(self._export_artifacts_locked())
+            self._footprint = (base, structural)
+            return base
 
     # ------------------------------------------------------------------
     # Artifact export / import (repro.cache)
@@ -671,7 +839,14 @@ class Session:
                 "shared_hedge": dict(self._forward.shared_hedge),
                 "shared_tree": dict(self._forward.shared_tree),
                 "transducer_tables": dict(self._forward.transducer_tables),
+                "shard_profiles": dict(self._forward.shard_profiles),
                 "compiled": self._forward.compiled,
+            }
+        backward = None
+        if self._backward is not None:
+            backward = {
+                "transducer_results": dict(self._backward.transducer_results),
+                "compiled": self._backward.compiled,
             }
         replus = None
         if self._replus is not None:
@@ -694,6 +869,7 @@ class Session:
             "sin": self.sin,
             "sout": self.sout,
             "forward": forward,
+            "backward": backward,
             "replus": replus,
             "delrelab": delrelab,
         }
@@ -722,7 +898,15 @@ class Session:
             ctx.shared_hedge.update(forward.get("shared_hedge") or {})
             ctx.shared_tree.update(forward.get("shared_tree") or {})
             ctx.transducer_tables.update(forward.get("transducer_tables") or {})
+            ctx.shard_profiles.update(forward.get("shard_profiles") or {})
             ctx.compiled = forward["compiled"]
+        backward = artifacts.get("backward")
+        if backward is not None:
+            ctx = session.backward_schema()
+            ctx.transducer_results.update(
+                backward.get("transducer_results") or {}
+            )
+            ctx.compiled = backward["compiled"]
         replus = artifacts.get("replus")
         if replus is not None:
             ctx = session.replus_schema()
@@ -754,8 +938,8 @@ class Session:
 # thread (a full schema compilation per worker thread in a server).
 #
 # Eviction is *size-aware*: each resident session reports an approximate
-# byte footprint (:meth:`Session.footprint_bytes` — kernels, shared cells
-# and per-transducer tables, measured as pickled size) and the registry
+# byte footprint (:meth:`Session.footprint_bytes` — a pickled-size base
+# plus a structural cell/edge-count growth estimate) and the registry
 # LRU-evicts until the total fits ``_REGISTRY_MAX_BYTES``.  The old
 # count-only LRU bound is kept as a backstop, but bytes are what a worker
 # pinned to thousands of pairs actually runs out of.  Hit/miss/eviction
@@ -937,10 +1121,11 @@ def compile(  # noqa: A001 - the ISSUE mandates the repro.compile spelling
             registry[key] = session
             registry.move_to_end(key)
             if existing is None:
-                # Budgets are enforced at *admission*: the sweep measures
-                # footprints (pickled size) under the registry lock, which
-                # is fine next to a compile but not on the per-request hit
-                # path.  A resident session growing past the budget is
-                # reclaimed at the next admission.
+                # Budgets are enforced at *admission*: the sweep reads
+                # footprints (structural estimates; at worst one pickled
+                # calibration) under the registry lock, which is fine next
+                # to a compile but not on the per-request hit path.  A
+                # resident session growing past the budget is reclaimed at
+                # the next admission.
                 _evict_over_budget(registry)
     return session

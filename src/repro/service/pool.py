@@ -38,6 +38,7 @@ import itertools
 import os
 import threading
 import time
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
@@ -80,8 +81,28 @@ _SENTINEL = None
 #: ``(sin, sout)``.  A pin ships the schemas to the worker once; pinned
 #: requests then carry only the digest (plus transducer text).  Entries
 #: are tiny wire clones — the heavy compiled state lives in the session
-#: registry, which evicts by bytes independently of the pins.
-_WORKER_PAIRS: Dict[str, Tuple[object, object]] = {}
+#: registry, which evicts by bytes independently of the pins — but a
+#: service pinned to millions of pairs must not grow this without bound
+#: either, so the registry is a small LRU (``worker_pair_limit`` pool
+#: knob): pins touch on every pinned request, and an evicted pair is
+#: *coordinated with the server's connection state* through the existing
+#: re-pin protocol — the worker answers :class:`UnknownPairError`, the
+#: server re-pins from its per-connection ``_Pin`` snapshot and retries,
+#: exactly as after a worker respawn.
+_WORKER_PAIRS: "OrderedDict[str, Tuple[object, object]]" = OrderedDict()
+
+#: Default bound on pinned pairs per worker (overridden per pool via the
+#: ``worker_pair_limit`` knob, transported in the worker config).
+DEFAULT_WORKER_PAIR_LIMIT = 512
+
+_WORKER_PAIR_LIMIT = DEFAULT_WORKER_PAIR_LIMIT
+
+
+def _pin_pair(pair_key: str, sin, sout) -> None:
+    """Register (or refresh) a pinned pair, LRU-evicting over the limit."""
+    from repro.util import lru_store
+
+    lru_store(_WORKER_PAIRS, pair_key, (sin, sout), _WORKER_PAIR_LIMIT)
 
 
 def _json_result(session, transducer, json_op: str, method):
@@ -145,7 +166,7 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
         return session.compute_forward_tables(transducer, keys, **opts)
     if op == "pin":
         pair_key, sin, sout = args
-        _WORKER_PAIRS[pair_key] = (sin, sout)
+        _pin_pair(pair_key, sin, sout)
         warm_session(sin, sout)  # pay the compile on the pin, not the query
         return {"pinned": pair_key}
     if op == "pinned":
@@ -154,8 +175,10 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
         if pair is None:
             raise UnknownPairError(
                 f"pair {pair_key[:12]}… is not pinned in this worker "
-                "(respawned, or the request was retried elsewhere)"
+                "(respawned, evicted from the pair LRU, or the request "
+                "was retried elsewhere)"
             )
+        _WORKER_PAIRS.move_to_end(pair_key)  # pinned traffic keeps it warm
         sin, sout = pair
         transducer_text = payload.get("transducer")
         if not isinstance(transducer_text, str):
@@ -184,6 +207,10 @@ def _worker_main(index: int, inq, outq, config: Dict[str, object]) -> None:
         # Size-aware eviction inside this worker: the budget bounds the
         # resident compiled pairs by bytes, not count.
         set_registry_budget(int(registry_bytes))  # type: ignore[arg-type]
+    pair_limit = config.get("worker_pair_limit")
+    if pair_limit is not None:
+        global _WORKER_PAIR_LIMIT
+        _WORKER_PAIR_LIMIT = max(1, int(pair_limit))  # type: ignore[arg-type]
     while True:
         item = inq.get()
         if item is _SENTINEL:
@@ -256,6 +283,7 @@ class WorkerPool:
         max_retries: int = 2,
         cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
         worker_registry_bytes: Optional[int] = None,
+        worker_pair_limit: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -268,6 +296,10 @@ class WorkerPool:
             # default): size-aware eviction for services pinned to many
             # pairs, observable via worker_stats().
             "registry_max_bytes": worker_registry_bytes,
+            # Bound on each worker's protocol-v2 pair registry (None = the
+            # library default, DEFAULT_WORKER_PAIR_LIMIT).  Evicted pins
+            # resurrect transparently through the server's re-pin path.
+            "worker_pair_limit": worker_pair_limit,
         }
         self.max_retries = max_retries
         self.stats: Dict[str, int] = {

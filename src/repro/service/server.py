@@ -220,10 +220,18 @@ class ServiceServer:
                 None, lambda: submit().result()
             )
 
+    #: How often a bare request is retried after re-pinning its pair.
+    #: One retry covered worker respawns; with the bounded worker pair
+    #: LRU an aggressively small ``worker_pair_limit`` can evict the
+    #: freshly re-established pin again before the retry is served
+    #: (another connection's pin lands in between), so a few rounds are
+    #: allowed before the error surfaces to the client.
+    PIN_RETRIES = 3
+
     async def _pinned_call(self, pin: _Pin, json_op: str, payload: Dict[str, object]):
-        """One pinned (bare v2) request, re-pinning once on a stale pair."""
+        """One pinned (bare v2) request, re-pinning on a stale pair."""
         loop = asyncio.get_running_loop()
-        for attempt in (0, 1):
+        for attempt in range(self.PIN_RETRIES + 1):
             try:
                 return await self._pool_result(
                     lambda: self.pool.submit(
@@ -231,11 +239,12 @@ class ServiceServer:
                     )
                 )
             except UnknownPairError:
-                if attempt:
+                if attempt >= self.PIN_RETRIES:
                     raise
-                # The worker respawned or a crash retry moved the request:
-                # re-pin everywhere (idempotent, queues FIFO ahead of the
-                # retried request) and go again.
+                # The worker respawned, a crash retry moved the request,
+                # or the pair LRU evicted the pin: re-pin everywhere
+                # (idempotent, queues FIFO ahead of the retried request)
+                # and go again.
                 await loop.run_in_executor(
                     None,
                     lambda: self.pool.pin_pair(pin.pair, pin.din, pin.dout),
@@ -368,7 +377,7 @@ class ServiceServer:
 
     async def _pinned_fanout(self, pin: _Pin, payload: Dict[str, object]):
         """One bare batch item, round-robined across the (pinned) workers."""
-        for attempt in (0, 1):
+        for attempt in range(self.PIN_RETRIES + 1):
             try:
                 return await self._pool_result(
                     lambda: self.pool.submit(
@@ -376,7 +385,7 @@ class ServiceServer:
                     )
                 )
             except UnknownPairError:
-                if attempt:
+                if attempt >= self.PIN_RETRIES:
                     raise
                 loop = asyncio.get_running_loop()
                 await loop.run_in_executor(
@@ -427,6 +436,7 @@ async def serve(
     max_inflight_total: int = DEFAULT_MAX_INFLIGHT_TOTAL,
     cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
     worker_registry_bytes: Optional[int] = None,
+    worker_pair_limit: Optional[int] = None,
     ready_message: bool = False,
 ):
     """Start pool + server; returns ``(service, pool)`` once listening."""
@@ -436,6 +446,7 @@ async def serve(
         use_kernel=use_kernel,
         cache_max_bytes=cache_max_bytes,
         worker_registry_bytes=worker_registry_bytes,
+        worker_pair_limit=worker_pair_limit,
     )
     service = ServiceServer(
         pool, max_inflight=max_inflight, max_inflight_total=max_inflight_total
@@ -458,6 +469,7 @@ def run_server(
     max_inflight_total: int = DEFAULT_MAX_INFLIGHT_TOTAL,
     cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
     worker_registry_bytes: Optional[int] = None,
+    worker_pair_limit: Optional[int] = None,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``."""
 
@@ -472,6 +484,7 @@ def run_server(
             max_inflight_total=max_inflight_total,
             cache_max_bytes=cache_max_bytes,
             worker_registry_bytes=worker_registry_bytes,
+            worker_pair_limit=worker_pair_limit,
             ready_message=True,
         )
         try:

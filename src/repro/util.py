@@ -47,6 +47,29 @@ class FreshNames:
                 return candidate
 
 
+def lru_store(mapping, key: Hashable, value, limit: int) -> None:
+    """Insert (or refresh) ``key`` in an ``OrderedDict``-backed LRU.
+
+    The one bounded-LRU-with-touch idiom used by the per-transducer
+    caches (forward tables, shard profiles, backward result snapshots)
+    and the service workers' pinned-pair registry: newest entries live at
+    the end, eviction pops from the front once ``limit`` is exceeded.
+    """
+    mapping[key] = value
+    mapping.move_to_end(key)
+    while len(mapping) > limit:
+        mapping.popitem(last=False)
+
+
+def lru_get(mapping, key: Hashable):
+    """Read ``key`` from an ``OrderedDict``-backed LRU, touching on hit
+    (``None`` on miss) — the companion of :func:`lru_store`."""
+    value = mapping.get(key)
+    if value is not None:
+        mapping.move_to_end(key)
+    return value
+
+
 def fresh_symbol(stem: str, reserved: Iterable[Hashable]) -> str:
     """Return ``stem`` or ``stem_0``, ``stem_1``, ... — whichever first avoids
     every name in ``reserved``."""

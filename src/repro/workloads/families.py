@@ -123,6 +123,31 @@ def replus_family(n: int, typechecks: bool = True) -> Instance:
     return transducer, din, dout, typechecks
 
 
+def wide_copy_family(n: int, typechecks: bool = True) -> Instance:
+    """Copying width 4 over a unary input chain, exact-arity output models.
+
+    The forward engine's hedge cells pay ``n_out^4`` behavior seeds per
+    level (Lemma 14's ``|dout|^{2M}`` factor), while the backward
+    engine's behavior monoid over the same content DFAs stays near-linear
+    in the depth — the workload shape where inverse type inference beats
+    the forward accumulation (see ``BENCH_backward.json``).
+    """
+    rules_in = {f"s{i}": f"s{i + 1}" for i in range(n)}
+    din = DTD(rules_in, start="s0", alphabet={f"s{n}"})
+    alphabet = set(din.alphabet) | {f"t{i}" for i in range(n + 1)}
+    t_rules = {
+        ("q", f"s{i}"): f"t{i}(q q q q)" if i < n else f"t{n}"
+        for i in range(n + 1)
+    }
+    transducer = TreeTransducer({"q"}, alphabet, "q", t_rules)
+    arity = 4 if typechecks else 3  # the real output has exactly 4 copies
+    rules_out = {
+        f"t{i}": " ".join([f"t{i + 1}"] * arity) for i in range(n)
+    }
+    dout = DTD(rules_out, start="t0", alphabet={f"t{n}"})
+    return transducer, din, dout, typechecks
+
+
 def relabeling_family(n: int, typechecks: bool = True) -> Instance:
     """T_del-relab instances over growing alphabets (Theorem 20)."""
     symbols = [f"c{i}" for i in range(n)]

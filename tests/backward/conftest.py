@@ -1,0 +1,18 @@
+"""Shared fixtures for the backward suite (a small real worker pool)."""
+
+import os
+
+import pytest
+
+from repro.service.pool import WorkerPool
+
+POOL_WORKERS = max(1, int(os.environ.get("REPRO_TEST_POOL_WORKERS", "2")))
+
+
+@pytest.fixture(scope="module")
+def backward_pool():
+    pool = WorkerPool(POOL_WORKERS, cache_max_bytes=None)
+    try:
+        yield pool
+    finally:
+        pool.close()

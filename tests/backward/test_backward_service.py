@@ -1,0 +1,84 @@
+"""``method="backward"`` through the service layers: the worker pool's
+object API, wire payloads (protocol pass-through), and the CLI."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.backward import typecheck_backward
+from repro.service import protocol
+from repro.workloads.families import nd_bc_family
+from repro.workloads.random_instances import seeded_instance
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestPool:
+    def test_single_and_batch_match_in_process(self, backward_pool):
+        for seed in range(20):
+            transducer, din, dout = seeded_instance(seed)
+            local = typecheck_backward(transducer, din, dout)
+            served = backward_pool.typecheck(
+                din, dout, transducer, method="backward"
+            )
+            assert served.typechecks == local.typechecks, f"seed {seed}"
+            assert served.algorithm == "backward"
+        transducer, din, dout, expected = nd_bc_family(6, False)
+        results = backward_pool.typecheck_batch(
+            din, dout, [transducer] * 4, method="backward"
+        )
+        assert all(r.typechecks is False for r in results)
+        assert all(r.algorithm == "backward" for r in results)
+
+    def test_wire_payload_passes_method_through(self, backward_pool):
+        transducer, din, dout, expected = nd_bc_family(5, False)
+        payload = {
+            "op": "typecheck",
+            "method": "backward",
+            **protocol.instance_payload(transducer, din, dout),
+        }
+        result = backward_pool.submit_payload(payload).result(timeout=60)
+        assert result["typechecks"] is False
+        assert result["algorithm"] == "backward"
+        assert result["counterexample"] is not None
+
+    def test_counterexample_op(self, backward_pool):
+        transducer, din, dout, _ = nd_bc_family(5, False)
+        payload = {
+            "op": "counterexample",
+            "method": "backward",
+            **protocol.instance_payload(transducer, din, dout),
+        }
+        ticket = backward_pool.submit_single(payload, "counterexample")
+        result = ticket.result(timeout=60)
+        assert result["typechecks"] is False
+        assert result["counterexample"] is not None
+
+
+class TestCLI:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            timeout=120,
+        )
+
+    def test_method_backward_agrees_with_forward(self, tmp_path):
+        names = []
+        for index, expected in ((0, True), (1, False)):
+            transducer, din, dout, _ = nd_bc_family(4, expected)
+            text = protocol.instance_to_text(transducer, din, dout)
+            path = tmp_path / f"instance{index}.txt"
+            path.write_text(text, encoding="utf-8")
+            names.append(str(path))
+        forward = self._run("--batch", "--method", "forward", *names)
+        backward = self._run("--batch", "--method", "backward", *names)
+        assert forward.returncode == backward.returncode == 1
+        assert "FAILS (backward)" in backward.stdout
+        assert "TYPECHECKS (backward)" in backward.stdout
+        assert "counterexample:" in backward.stdout

@@ -1,0 +1,153 @@
+"""The bounded worker pair registry (protocol-v2 pins as a small LRU).
+
+Worker-side ``_WORKER_PAIRS`` is now an LRU bounded by the pool's
+``worker_pair_limit`` knob.  Eviction must stay *coordinated with server
+connection state*: a pinned request for an evicted pair answers
+``UnknownPairError``, which the server's existing re-pin path turns into
+a transparent retry — the same protocol that already covers worker
+respawns.
+"""
+
+import asyncio
+import contextlib
+import threading
+
+import pytest
+
+from repro.errors import UnknownPairError
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.pool import WorkerPool
+from repro.service.server import ServiceServer
+from repro.workloads.families import nd_bc_family
+
+
+def _pair(n, typechecks=True):
+    transducer, din, dout, expected = nd_bc_family(n, typechecks)
+    return transducer, din, dout, expected
+
+
+@contextlib.contextmanager
+def _serving(pool, **server_kwargs):
+    """A ServiceServer for ``pool`` on an OS-chosen port (test_server.py
+    pattern)."""
+    loop = asyncio.new_event_loop()
+    service = ServiceServer(pool, **server_kwargs)
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+
+        async def go():
+            await service.start("127.0.0.1", 0)
+            started.set()
+
+        loop.run_until_complete(go())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10)
+    try:
+        yield service
+    finally:
+        async def shutdown():
+            await service.close()
+            pending = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+
+        asyncio.run_coroutine_threadsafe(shutdown(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+
+
+class TestWorkerPairLRU:
+    def test_pins_evict_beyond_the_limit(self):
+        with WorkerPool(
+            1, cache_max_bytes=None, worker_pair_limit=2
+        ) as pool:
+            digests = []
+            for n in (3, 4, 5):
+                transducer, din, dout, _ = _pair(n)
+                digest = protocol.pair_digest(din, dout)
+                digests.append(digest)
+                pool.pin_pair(digest, din, dout, slot=0)
+            stats = pool.worker_stats()[0]
+            assert len(stats["pinned_pairs"]) == 2
+            assert digests[0] not in stats["pinned_pairs"]  # oldest evicted
+            assert set(digests[1:]) == set(stats["pinned_pairs"])
+
+    def test_evicted_pair_raises_unknown_pair(self):
+        with WorkerPool(
+            1, cache_max_bytes=None, worker_pair_limit=1
+        ) as pool:
+            first_t, first_din, first_dout, _ = _pair(3)
+            second_t, second_din, second_dout, _ = _pair(4)
+            first = protocol.pair_digest(first_din, first_dout)
+            second = protocol.pair_digest(second_din, second_dout)
+            pool.pin_pair(first, first_din, first_dout, slot=0)
+            pool.pin_pair(second, second_din, second_dout, slot=0)
+            payload = {
+                "transducer": protocol.transducer_to_text(first_t),
+                "method": "forward",
+            }
+            ticket = pool.submit("pinned", (first, "typecheck", payload), slot=0)
+            with pytest.raises(UnknownPairError):
+                ticket.result(timeout=60)
+            # Re-pinning resurrects the pair — the server's retry path.
+            pool.pin_pair(first, first_din, first_dout, slot=0)
+            ticket = pool.submit("pinned", (first, "typecheck", payload), slot=0)
+            assert ticket.result(timeout=60)["typechecks"] is True
+
+    def test_pinned_requests_keep_a_pair_warm(self):
+        """LRU order follows pinned *traffic*, not just pin order."""
+        with WorkerPool(
+            1, cache_max_bytes=None, worker_pair_limit=2
+        ) as pool:
+            pairs = [_pair(n) for n in (3, 4, 5)]
+            digests = [
+                protocol.pair_digest(din, dout) for _t, din, dout, _e in pairs
+            ]
+            pool.pin_pair(digests[0], pairs[0][1], pairs[0][2], slot=0)
+            pool.pin_pair(digests[1], pairs[1][1], pairs[1][2], slot=0)
+            # Touch the older pair with a pinned request, then pin a third:
+            # the *untouched* middle pair is the LRU victim.
+            payload = {
+                "transducer": protocol.transducer_to_text(pairs[0][0]),
+                "method": "forward",
+            }
+            pool.submit(
+                "pinned", (digests[0], "typecheck", payload), slot=0
+            ).result(timeout=60)
+            pool.pin_pair(digests[2], pairs[2][1], pairs[2][2], slot=0)
+            stats = pool.worker_stats()[0]
+            assert set(stats["pinned_pairs"]) == {digests[0], digests[2]}
+
+    def test_server_transparently_repins_evicted_pairs(self):
+        """Two connections, two pairs, a 1-entry worker LRU: each bare
+        request after the other connection's pin must still succeed via
+        the server's UnknownPairError re-pin."""
+        pool = WorkerPool(1, cache_max_bytes=None, worker_pair_limit=1)
+        try:
+            with _serving(pool) as service:
+                t_a, din_a, dout_a, _ = _pair(3)
+                t_b, din_b, dout_b, _ = _pair(4, typechecks=False)
+                with ServiceClient(port=service.port) as alice, ServiceClient(
+                    port=service.port
+                ) as bob:
+                    pair_a = alice.pair(din_a, dout_a)
+                    assert pair_a.typecheck(t_a)["typechecks"] is True
+                    pair_b = bob.pair(din_b, dout_b)  # evicts A's pin
+                    assert pair_b.typecheck(t_b)["typechecks"] is False
+                    # A's pin was evicted; the server re-pins and retries.
+                    assert pair_a.typecheck(t_a)["typechecks"] is True
+                    # And back again the other way.
+                    assert pair_b.typecheck(t_b)["typechecks"] is False
+        finally:
+            pool.close()
