@@ -20,6 +20,13 @@ writes ``BENCH_backward.json``; the smoke gate bounds the backward
 engine's slowdown on the forward-friendly family and requires it to beat
 forward on the wide-copy family.
 
+The *auto* family (PR 6) scores the ``method="auto"`` router: the
+calibrated cost comparison resolves forward vs backward per instance and
+the routed engine races both explicit engines; ``BENCH_auto.json``
+records the predictions and the over-best ratio, and the smoke gate
+fails if auto loses more than ~1.2x to the better engine on ``nd_bc`` or
+``wide_copy``.
+
 The *service* family (PR 3) measures the multi-process worker pool on the
 ``nd_bc_batch`` workload — batch throughput with 1/2/4 workers against the
 in-process session baseline, the per-transducer table-cache repeat, and a
@@ -92,6 +99,11 @@ STICKY_SMOKE_MAX_BYTES_RATIO = 0.8
 # (locally ~0.002x).
 BACKWARD_SMOKE_MAX_RATIO = 3.0
 BACKWARD_WIDE_COPY_MAX_RATIO = 0.5
+# Auto-routing gate: the routed engine must land within this factor of the
+# faster explicit engine on every gated family — the router may pay a
+# (memoized, ~µs) decision, but it must never pick badly enough to lose
+# the engine race.
+AUTO_SMOKE_MAX_OVER_BEST = 1.2
 
 
 def best_of(fn, repeat: int) -> float:
@@ -150,10 +162,9 @@ def bench_backward(results, sizes, repeat: int) -> None:
     (passing and failing variants) before timing — the backward engine's
     reason to exist is being an independent oracle, so a disagreement is
     a benchmark failure, not a data point.  The parity checks skip
-    counterexample materialization: on failing nd_bc-style variants the
-    forward engine's witness is a full binary tree of the instance depth
-    (2^n nodes, built unshared), which is the *instance's* blow-up, not
-    the decision procedure's.
+    counterexample materialization so both engines time the bare decision
+    procedure (witnesses are shared DAGs now — linear-size even on the
+    copying families — but building one is still not the engines' race).
     """
     for name, family, n in sizes:
         transducer, din, dout, expected = family(n)
@@ -183,6 +194,65 @@ def bench_backward(results, sizes, repeat: int) -> None:
                 "forward_s": forward_s,
                 "backward_s": backward_s,
                 "backward_over_forward": backward_s / forward_s,
+            }
+        )
+
+
+def bench_auto(results, sizes, repeat: int) -> None:
+    """The ``method="auto"`` forward/backward router vs both engines.
+
+    For each family the session's calibrated cost comparison (the one
+    ``typecheck_sharded(method="auto")`` and the in-trac branch of the
+    one-shot facade run) resolves an engine; the row records the
+    prediction, the actual wall time of both explicit engines, and the
+    routed engine's time.  ``auto_over_best`` is the router's figure of
+    merit: 1.0 means it picked the winner, and the smoke gate bounds it
+    at :data:`AUTO_SMOKE_MAX_OVER_BEST` on both gated families.  The
+    decision itself is memoized per transducer (``routing_cold_s`` is the
+    one-time two-key-scan price, ``routing_warm_s`` the steady state).
+
+    Timings race the *raw* engines on purpose: a session's per-transducer
+    table cache would serve every repeat in ~40µs and flatter whichever
+    path went through it.
+    """
+    for name, family, n in sizes:
+        transducer, din, dout, expected = family(n)
+        session = Session(din, dout, eager=False)
+        routing_cold = time.perf_counter()
+        chosen = session.shard_method(transducer)
+        routing_cold_s = time.perf_counter() - routing_cold
+        routing_warm_s = best_of(
+            lambda: session.shard_method(transducer), repeat
+        )
+        plain, _analysis = session._compiled_transducer(transducer)
+        _choice, fcost_ms, bcost_ms = session._auto_choice(plain)
+        forward_r = typecheck_forward(transducer, din, dout)
+        backward_r = typecheck_backward(transducer, din, dout)
+        assert forward_r.typechecks == backward_r.typechecks == expected, (
+            name, n,
+        )
+        forward_s = best_of(
+            lambda: typecheck_forward(transducer, din, dout), repeat
+        )
+        backward_s = best_of(
+            lambda: typecheck_backward(transducer, din, dout), repeat
+        )
+        auto_s = forward_s if chosen == "forward" else backward_s
+        results.append(
+            {
+                "group": "auto",
+                "name": f"{name}({n})",
+                "family": name,
+                "n": n,
+                "chosen": chosen,
+                "predicted_forward_ms": fcost_ms,
+                "predicted_backward_ms": bcost_ms,
+                "routing_cold_s": routing_cold_s,
+                "routing_warm_s": routing_warm_s,
+                "forward_s": forward_s,
+                "backward_s": backward_s,
+                "auto_s": auto_s,
+                "auto_over_best": auto_s / min(forward_s, backward_s),
             }
         )
 
@@ -653,6 +723,8 @@ def main(argv=None) -> int:
                         default=REPO_ROOT / "BENCH_service.json")
     parser.add_argument("--output-backward", type=Path,
                         default=REPO_ROOT / "BENCH_backward.json")
+    parser.add_argument("--output-auto", type=Path,
+                        default=REPO_ROOT / "BENCH_auto.json")
     args = parser.parse_args(argv)
     repeat = args.repeat or (7 if args.smoke else 5)
 
@@ -660,10 +732,17 @@ def main(argv=None) -> int:
     session_results: list = []
     service_results: list = []
     backward_results: list = []
+    auto_results: list = []
     if args.smoke:
         bench_forward(results, [("nd_bc", nd_bc_family, SMOKE_FAMILY[1])], repeat)
         bench_backward(
             backward_results,
+            [("nd_bc", nd_bc_family, SMOKE_FAMILY[1]),
+             ("wide_copy", wide_copy_family, 8)],
+            repeat,
+        )
+        bench_auto(
+            auto_results,
             [("nd_bc", nd_bc_family, SMOKE_FAMILY[1]),
              ("wide_copy", wide_copy_family, 8)],
             repeat,
@@ -690,6 +769,17 @@ def main(argv=None) -> int:
         )
         bench_backward(
             backward_results,
+            [
+                ("nd_bc", nd_bc_family, 16),
+                ("nd_bc", nd_bc_family, 64),
+                ("filtering", filtering_family, 32),
+                ("wide_copy", wide_copy_family, 8),
+                ("wide_copy", wide_copy_family, 16),
+            ],
+            repeat,
+        )
+        bench_auto(
+            auto_results,
             [
                 ("nd_bc", nd_bc_family, 16),
                 ("nd_bc", nd_bc_family, 64),
@@ -786,9 +876,28 @@ def main(argv=None) -> int:
         json.dumps(backward_summary, indent=2) + "\n"
     )
 
+    worst_auto = max(auto_results, key=lambda r: r["auto_over_best"])
+    auto_summary = {
+        "mode": "smoke" if args.smoke else "full",
+        "repeat": repeat,
+        "note": (
+            "auto_over_best is the routed engine's wall time over the "
+            "faster explicit engine's: 1.0 means the calibrated cost "
+            "comparison picked the winner; the smoke gate bounds it at "
+            f"{AUTO_SMOKE_MAX_OVER_BEST}x on nd_bc and wide_copy.  The "
+            "routing decision itself is memoized per transducer "
+            "(routing_warm_s is the steady-state price)"
+        ),
+        "worst_family": worst_auto["name"],
+        "worst_auto_over_best": worst_auto["auto_over_best"],
+        "benchmarks": auto_results,
+    }
+    args.output_auto.write_text(json.dumps(auto_summary, indent=2) + "\n")
+
     width = max(
         len(r["name"])
-        for r in results + session_results + service_results + backward_results
+        for r in results + session_results + service_results
+        + backward_results + auto_results
     )
     for r in results:
         print(
@@ -801,6 +910,13 @@ def main(argv=None) -> int:
             f"{r['name']:<{width}}  forward  {r['forward_s'] * 1e3:8.2f} ms"
             f"  bwd    {r['backward_s'] * 1e3:8.2f} ms"
             f"  b/f    {r['backward_over_forward']:6.2f}x"
+        )
+    for r in auto_results:
+        print(
+            f"{r['name']:<{width}}  auto={r['chosen']:<8s}"
+            f"  routed {r['auto_s'] * 1e3:8.2f} ms"
+            f"  best {min(r['forward_s'], r['backward_s']) * 1e3:8.2f} ms"
+            f"  over-best {r['auto_over_best']:5.2f}x"
         )
     for r in session_results:
         print(
@@ -855,6 +971,9 @@ def main(argv=None) -> int:
     print(f"wrote {args.output_backward} "
           f"(best backward family: {best_backward['name']} at "
           f"{best_backward['backward_over_forward']:.3f}x of forward)")
+    print(f"wrote {args.output_auto} "
+          f"(worst auto routing: {worst_auto['name']} at "
+          f"{worst_auto['auto_over_best']:.2f}x of the better engine)")
 
     if args.smoke:
         failed = False
@@ -925,6 +1044,18 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             failed = True
+        for row in auto_results:
+            if row["auto_over_best"] > AUTO_SMOKE_MAX_OVER_BEST:
+                print(
+                    f"SMOKE FAILURE: auto routed {row['name']} to "
+                    f"{row['chosen']} at {row['auto_s'] * 1e3:.2f} ms vs the "
+                    f"better engine's "
+                    f"{min(row['forward_s'], row['backward_s']) * 1e3:.2f} ms "
+                    f"({row['auto_over_best']:.2f}x > "
+                    f"{AUTO_SMOKE_MAX_OVER_BEST}x)",
+                    file=sys.stderr,
+                )
+                failed = True
         wide_copy = next(
             r for r in backward_results if r["family"] == "wide_copy"
         )

@@ -30,7 +30,14 @@ Options::
                        plus a summary (implied when several files are given)
     --method METHOD    algorithm override: auto (default), forward, backward
                        (inverse type inference — the cross-checking second
-                       engine), replus, replus-witnesses, delrelab, bruteforce
+                       engine), replus, replus-witnesses, delrelab, bruteforce.
+                       auto routes DTD instances between the forward and
+                       backward engines by their predicted key costs
+                       (compiled schema shape only — output content-DFA
+                       sizes × copying width) and falls back to backward
+                       where the forward engine would refuse the instance
+                       as out of every tractable class; the report line
+                       names the engine that ran
     --cache-dir DIR    persist/reuse compiled schema artifacts in DIR
                        (see repro.cache)
 

@@ -15,6 +15,12 @@ from repro.backward.engine import (
     BACKWARD_TABLE_LIMIT,
     BackwardEngine,
     BackwardSchema,
+    WitnessCycleError,
+    backward_check_keys,
+    backward_key_costs,
+    compute_backward_tables,
+    hydrate_backward_tables,
+    merge_backward_tables,
     typecheck_backward,
 )
 from repro.backward.preimage import preimage_product_nta
@@ -23,6 +29,12 @@ __all__ = [
     "BACKWARD_TABLE_LIMIT",
     "BackwardEngine",
     "BackwardSchema",
+    "WitnessCycleError",
+    "backward_check_keys",
+    "backward_key_costs",
+    "compute_backward_tables",
+    "hydrate_backward_tables",
+    "merge_backward_tables",
     "preimage_product_nta",
     "typecheck_backward",
 ]

@@ -311,18 +311,18 @@ def _artifact_state(session: Session) -> tuple:
     absent: they live in side files (written un-throttled by
     :func:`publish`), so a session that only accrues them never rewrites
     its schema blob.  Shard profiles *are* blob state (they ship inside
-    the forward artifacts), so recording one — including re-measuring a
-    resident profile, which keeps ``len()`` constant — must trigger a
-    refresh: the schema's monotone ``shard_profile_version`` counter
-    captures that.
+    the forward/backward artifacts), so recording one — including
+    re-measuring a resident profile, which keeps ``len()`` constant —
+    must trigger a refresh: each schema's monotone
+    ``shard_profile_version`` counter captures that.
     """
     forward = session._forward
-    if forward is None:
-        return (0, 0, 0)
+    backward = session._backward
     return (
-        len(forward.shared_hedge),
-        len(forward.shared_tree),
-        forward.shard_profile_version,
+        0 if forward is None else len(forward.shared_hedge),
+        0 if forward is None else len(forward.shared_tree),
+        0 if forward is None else forward.shard_profile_version,
+        0 if backward is None else backward.shard_profile_version,
     )
 
 

@@ -50,6 +50,7 @@ from repro.strings.dfa import DFA
 from repro.transducers.analysis import analyze
 from repro.transducers.rhs import RhsState, RhsSym, iter_rhs_nodes, top_decomposition, top_states
 from repro.transducers.transducer import TreeTransducer
+from repro.trees.dag import DagHedge, DagTree
 from repro.trees.generate import minimal_tree
 from repro.trees.tree import Tree
 from repro.core.problem import TypecheckResult
@@ -1026,6 +1027,46 @@ class ForwardEngine:
             children.append(self.build_tree(sigma, c, P, tau))
         return children
 
+    def build_dag_tree(
+        self, sigma: str, b: str, P: Tuple[str, ...], tau, _memo=None
+    ) -> DagTree:
+        """The :meth:`build_tree` witness with subtree sharing.
+
+        The construction is a function of the *canonical* cell key and the
+        realized tuple alone (empty-``P`` cells canonicalize σ away and
+        keep their deferred tuple empty), so one memo entry per
+        ``(key, τ)`` makes repeated configurations share a single
+        :class:`DagTree` node — a failing copying instance's witness stays
+        linear in the fixpoint size instead of exponential in the depth.
+        """
+        memo: Dict[Tuple, object] = {} if _memo is None else _memo
+        key = self.key_for(sigma, b, P)
+        mkey = ("t", key, tau)
+        cached = memo.get(mkey)
+        if cached is None:
+            pi = self.tree_vals[key][tau]
+            deferred = self.deferred_tuple(P, b)
+            cached = DagTree(
+                b, self.build_dag_hedge(sigma, b, deferred, pi, memo)
+            )
+            memo[mkey] = cached
+        return cached
+
+    def build_dag_hedge(
+        self, sigma: str, a: str, P: Tuple[str, ...], pi, _memo=None
+    ) -> DagHedge:
+        memo: Dict[Tuple, object] = {} if _memo is None else _memo
+        key = self.key_for(sigma, a, P)
+        mkey = ("h", key, pi)
+        cached = memo.get(mkey)
+        if cached is None:
+            cached = DagHedge(
+                self.build_dag_tree(sigma, c, P, tau, memo)
+                for c, tau in self.hedge_witness(key, pi)
+            )
+            memo[mkey] = cached
+        return cached
+
 
 # ----------------------------------------------------------------------
 # Fixpoint tables as data: snapshot / hydrate / shard / merge
@@ -1124,12 +1165,15 @@ def forward_check_keys(
 # behavior slot: its BFS is seeded with ``n_out^m`` identity vectors, where
 # ``n_out`` is the output DFA's state count and ``m = |P|`` — the very
 # quantity the engine's seed-count guard compares against
-# ``max_product_nodes`` (see ``_eval_hedge_kernel``).  That seed count is
-# the dominant, schema-predictable factor of a cell's fixpoint cost: the
-# σ-independent ``P = ()`` cells (canonicalized to ``σ = None`` on the
-# kernel path) run against a 1-state universal DFA and cost ~1, while a
-# root-check cell with copying width ``m`` pays exponentially in ``m``.
-# ``forward_key_costs`` evaluates the model per key and
+# ``max_product_nodes`` (see ``_eval_hedge_kernel``).  The seed count is
+# the dominant *per-key* factor, but a shard does not evaluate its keys in
+# isolation: each key's fixpoint pulls in the whole σ-independent
+# dependency closure below its input symbol (the shared ``P = ()`` chain
+# cells), and a plan that prices those closures at zero systematically
+# underloads the shards that have to build them.  ``forward_key_costs``
+# therefore charges ``seeds + closure``, with each closure cell's weight
+# (its input content DFA size) amortized across every key in the batch
+# whose closure contains it — shards that share a closure split its bill.
 # ``plan_forward_shards`` LPT-packs the keys into balanced shards —
 # replacing the blind round-robin split whose shard wall times were only
 # as balanced as the key *order* happened to be.
@@ -1139,20 +1183,52 @@ def forward_key_costs(
     keys: Sequence[TupleKey],
     schema: ForwardSchema,
     out_alphabet: frozenset,
-) -> List[int]:
-    """Predicted fixpoint cost ``n_out^m`` of each hedge-cell key.
+) -> List[float]:
+    """Predicted fixpoint cost of each hedge-cell key.
+
+    ``seeds + closure``: the ``n_out^m`` behavior-seed count of the key's
+    own product BFS, plus the input-DFA sizes of the σ-independent cells
+    in the key's downward dependency closure, each amortized over the
+    keys of this batch that share it (see the model note above).
 
     ``out_alphabet`` is the engine's output alphabet for the transducer
     being sharded (``transducer.alphabet | dout.alphabet``) — the alphabet
     the completed output content DFAs are built over.
     """
-    costs: List[int] = []
-    for (sigma, _a, P) in keys:
-        if not P:
-            costs.append(1)
-            continue
-        n_out = len(schema.out_dfa(sigma, out_alphabet).states)
-        costs.append(max(1, n_out) ** len(P))
+    closure_memo: Dict[str, frozenset] = {}
+
+    def closure(a: str) -> frozenset:
+        cached = closure_memo.get(a)
+        if cached is None:
+            seen = {a}
+            stack = [a]
+            while stack:
+                _idfa, _mask, child_syms = schema.in_kernel_info(stack.pop())
+                for c, _index in child_syms:
+                    if c not in seen:
+                        seen.add(c)
+                        stack.append(c)
+            cached = frozenset(seen)
+            closure_memo[a] = cached
+        return cached
+
+    closures = [closure(a) for (_sigma, a, _P) in keys]
+    refcount: Dict[str, int] = {}
+    for symbols in closures:
+        for c in symbols:
+            refcount[c] = refcount.get(c, 0) + 1
+    costs: List[float] = []
+    for (sigma, _a, P), symbols in zip(keys, closures):
+        if P:
+            n_out = len(schema.out_dfa(sigma, out_alphabet).states)
+            seeds = float(max(1, n_out) ** len(P))
+        else:
+            seeds = 0.0
+        shared = sum(
+            len(schema.in_dfa_useful(c)[0].states) / refcount[c]
+            for c in symbols
+        )
+        costs.append(max(1.0, seeds + shared))
     return costs
 
 
@@ -1218,10 +1294,22 @@ def compute_forward_tables(
         use_kernel=use_kernel, schema=schema,
     )
     start = time.perf_counter()
-    for key in keys:
-        engine.request_hedge(*key)
+    # Keys are evaluated one at a time to their (incremental) fixpoint so
+    # each key's wall time can be measured separately: dependency work is
+    # attributed to the first key that pulls it in — measured truth, which
+    # is exactly what ``planner="profile"`` needs to stop smearing one
+    # shard wall time across co-scheduled keys.  The final tables are the
+    # same least fixpoint as an all-at-once run (chaotic iteration is
+    # confluent; later requests only add cells and re-drain dependents).
+    key_elapsed: Dict[TupleKey, float] = {}
+    last = start
     try:
-        engine.run()
+        for key in keys:
+            engine.request_hedge(*key)
+            engine.run()
+            now = time.perf_counter()
+            key_elapsed[tuple(key)] = now - last
+            last = now
     except BaseException:
         schema.reset_shared()
         raise
@@ -1229,6 +1317,7 @@ def compute_forward_tables(
     # Shard wall time, measured where the work actually ran (a service
     # worker) — the shard planner's balance is judged on these.
     tables["elapsed_s"] = time.perf_counter() - start
+    tables["key_elapsed_s"] = key_elapsed
     return tables
 
 
@@ -1244,16 +1333,20 @@ def merge_forward_tables(shards: Iterable[Dict[str, object]]) -> Dict[str, objec
     hedge: Dict = merged["hedge"]
     tree: Dict = merged["tree"]
     elapsed: List[float] = []
+    key_elapsed: Dict[TupleKey, float] = {}
     for shard in shards:
         merged["work"] = int(merged["work"]) + int(shard.get("work", 0))
         if "elapsed_s" in shard:
             elapsed.append(float(shard["elapsed_s"]))
+        key_elapsed.update(shard.get("key_elapsed_s") or {})
         for key, entry in shard["hedge"].items():
             hedge.setdefault(key, entry)
         for key, cell in shard["tree"].items():
             tree.setdefault(key, cell)
     if elapsed:
         merged["shard_elapsed_s"] = elapsed
+    if key_elapsed:
+        merged["key_elapsed_s"] = key_elapsed
     return merged
 
 
@@ -1455,15 +1548,52 @@ def typecheck_forward(
         violation = violations[0]
         (q, a) = violation.pair
         deferred_key = (violation.sigma, a, _pi_states(transducer, q, a, violation.rhs_path))
-        subtree_children = engine.build_hedge(
-            violation.sigma, a, deferred_key[2], violation.pi
+        # Witnesses are built with subtree sharing: repeated (cell, τ)
+        # configurations become one shared DagTree node, so the failing
+        # copying families' counterexamples stay linear in the fixpoint
+        # size (their unfoldings are exponential).
+        subtree = DagTree(
+            a,
+            engine.build_dag_hedge(
+                violation.sigma, a, deferred_key[2], violation.pi
+            ),
         )
-        subtree = Tree(a, subtree_children)
         context, hole = context_for(violation.pair, pairs, din)
-        counterexample = context.replace(hole, subtree)
+        counterexample = _graft_dag(context, hole, subtree)
         result.counterexample = counterexample
-        result.output = transducer.apply(counterexample)
+        result.output = transducer.apply_dag(counterexample)
     return result
+
+
+def _graft_dag(context: Tree, hole: Tuple[int, ...], subtree: DagTree) -> DagTree:
+    """Replace the hole of an explicit context tree by a DAG subtree.
+
+    The context's filler trees are shared objects (``context_for`` caches
+    one minimal tree per symbol), so the conversion memoizes on node
+    identity and the grafted counterexample stays DAG-small.
+    """
+    memo: Dict[int, DagTree] = {}
+
+    def convert(node: Tree) -> DagTree:
+        cached = memo.get(id(node))
+        if cached is None:
+            cached = DagTree(
+                node.label, DagHedge(convert(c) for c in node.children)
+            )
+            memo[id(node)] = cached
+        return cached
+
+    def build(node: Tree, path: Tuple[int, ...]) -> DagTree:
+        if not path:
+            return subtree
+        index, rest = path[0], path[1:]
+        parts = [
+            build(child, rest) if i == index else convert(child)
+            for i, child in enumerate(node.children)
+        ]
+        return DagTree(node.label, DagHedge(parts))
+
+    return build(context, hole)
 
 
 def _pi_states(transducer, q, a, path) -> Tuple[str, ...]:

@@ -34,12 +34,28 @@ class TypecheckResult:
         ``din.accepts`` / ``dout.accepts``).  A failing instance must carry a
         tree of the input schema whose translation violates the output
         schema; ``None`` translations (empty output) always violate.
+
+        Shared :class:`~repro.trees.dag.DagTree` counterexamples are
+        verified in DAG size: the translation runs sharing-preserving
+        (``transducer.apply_dag``) and ``DTD.accepts`` validates dags
+        without unfolding.  Transducers whose rules apply_dag cannot run
+        (XPath selector calls need positional context) fall back to the
+        unfolded tree.
         """
+        from repro.errors import InvalidTransducerError
+        from repro.trees.dag import DagTree, unfold_tree
+
         if self.typechecks:
             return self.counterexample is None
         if self.counterexample is None:
             return False
         if not sin_accepts(self.counterexample):
             return False
-        image = transducer.apply(self.counterexample)
+        if isinstance(self.counterexample, DagTree):
+            try:
+                image = transducer.apply_dag(self.counterexample)
+            except InvalidTransducerError:
+                image = transducer.apply(unfold_tree(self.counterexample))
+        else:
+            image = transducer.apply(self.counterexample)
         return image is None or not sout_accepts(image)

@@ -173,6 +173,30 @@ def validate_method_kwargs(method: str, kwargs: Dict[str, object]) -> None:
             )
 
 
+def _call_compute_shards(compute_shards, partitions, method: str):
+    """Invoke a shard fan-out callback, new- or old-style.
+
+    Callbacks that can take a second positional argument receive the
+    resolved engine (``compute_shards(partitions, method)``) — what a
+    ``method="auto"`` caller needs to compute the right engine's tables;
+    the classic single-parameter forward callbacks are called unchanged.
+    """
+    try:
+        params = list(inspect.signature(compute_shards).parameters.values())
+    except (TypeError, ValueError):  # builtins/C callables: assume classic
+        return compute_shards(partitions)
+    positional = [
+        p
+        for p in params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if len(positional) >= 2 or any(
+        p.kind is p.VAR_POSITIONAL for p in params
+    ):
+        return compute_shards(partitions, method)
+    return compute_shards(partitions)
+
+
 def _reject_max_tuple(method: str, max_tuple: Optional[int]) -> None:
     if max_tuple is not None:
         raise TypeError(
@@ -254,6 +278,10 @@ class Session:
         self._analyses: "WeakKeyDictionary[TreeTransducer, Tuple[TreeTransducer, TransducerAnalysis]]" = (
             WeakKeyDictionary()
         )
+        # Auto-route memo: content hash -> (choice, fwd ms, bwd ms).  The
+        # decision is deterministic given the (fixed) schema pair, so a
+        # serving session pays the two key scans once per transducer.
+        self._auto_routes: Dict[str, Tuple[str, float, float]] = {}
         # (calibrated base bytes, structural estimate at calibration) —
         # see footprint_bytes().
         self._footprint: Optional[Tuple[int, int]] = None
@@ -431,39 +459,140 @@ class Session:
         if self._replus_pair:
             validate_method_kwargs("replus", kwargs)
             din, dout = self._dtd_pair_value
-            return typecheck_replus(
+            result = typecheck_replus(
                 transducer, din, dout, schema=self.replus_schema(), **kwargs
             )
+            result.stats["auto_method"] = "replus"
+            return result
         plain, analysis = self._compiled_transducer(transducer)
-        if self._dtd_pair_value is not None and (
-            analysis.in_trac or max_tuple is not None
-        ):
+        if self._dtd_pair_value is not None and max_tuple is not None:
+            # The escape hatch always means the forward engine: a caller
+            # bounding the tuple width is asking for the (possibly
+            # exponential) forward run, never a routed alternative.
             validate_method_kwargs("forward", kwargs)
             din, dout = self._dtd_pair_value
             self._apply_defaults(kwargs)
-            return typecheck_forward(
+            result = typecheck_forward(
                 plain, din, dout, max_tuple,
                 schema=self.forward_schema(), **kwargs,
             )
+            result.stats["auto_method"] = "forward"
+            return result
+        if self._dtd_pair_value is not None and analysis.in_trac:
+            # Both complete engines apply: route by measurable schema
+            # shape.  Each engine's shard cost model (seeds + closure DFA
+            # sizes forward, content-DFA × behavior-monoid backward) is
+            # summed over its check keys and the cheaper engine runs; a
+            # forward-only per-call option (use_kernel, max_tuple above)
+            # pins the route to forward.
+            choice, fcost, bcost = self._auto_choice(plain)
+            if choice == "backward" and any(
+                name not in allowed_kwargs("backward") for name in kwargs
+            ):
+                choice = "forward"
+            din, dout = self._dtd_pair_value
+            if choice == "forward":
+                validate_method_kwargs("forward", kwargs)
+                self._apply_defaults(kwargs)
+                result = typecheck_forward(
+                    plain, din, dout, None,
+                    schema=self.forward_schema(), **kwargs,
+                )
+            else:
+                validate_method_kwargs("backward", kwargs)
+                kwargs.setdefault("max_product_nodes", self.max_product_nodes)
+                result = _method_func("backward")(
+                    plain, din, dout, schema=self.backward_schema(), **kwargs
+                )
+            result.stats["auto_method"] = choice
+            result.stats["auto_forward_cost"] = round(fcost, 3)
+            result.stats["auto_backward_cost"] = round(bcost, 3)
+            return result
         if analysis.is_del_relab:
             validate_method_kwargs("delrelab", kwargs)
             check = bool(kwargs.pop("check_output_class", True))
-            return typecheck_delrelab(
+            result = typecheck_delrelab(
                 plain, self.sin, self.sout,
                 schema=self.delrelab_schema(check), **kwargs,
             )
+            result.stats["auto_method"] = "delrelab"
+            return result
+        if self._dtd_pair_value is not None:
+            # Out of every T^{C,K}_trac over DTDs: the forward engine
+            # would raise ClassViolationError, but inverse type inference
+            # is complete for any deterministic top-down transducer over
+            # DTDs (budget-guarded), so auto falls back to it instead of
+            # refusing the instance.
+            validate_method_kwargs("backward", kwargs)
+            din, dout = self._dtd_pair_value
+            kwargs.setdefault("max_product_nodes", self.max_product_nodes)
+            result = _method_func("backward")(
+                plain, din, dout, schema=self.backward_schema(), **kwargs
+            )
+            result.stats["auto_method"] = "backward"
+            return result
         raise ClassViolationError(
             "instance crosses the tractability frontier: the transducer has "
             f"copying width {analysis.copying_width} and "
             f"{'unbounded' if analysis.deletion_path_width is None else analysis.deletion_path_width} "
             "deletion path width, and the schemas are "
             f"{type(self.sin).__name__}/{type(self.sout).__name__}. "
-            "Options: use method='backward' (inverse type inference — "
-            "complete for any deterministic top-down transducer over DTDs, "
-            "budget-guarded), restrict the transducer (Theorem 15/20), use "
-            "DTD(RE+) schemas (Theorem 37), or pass max_tuple for a "
-            "best-effort (possibly exponential) run of the forward engine."
+            "Options: restrict the transducer (Theorem 15/20), use "
+            "DTD(RE+) schemas (Theorem 37), use DTD schemas to enable "
+            "method='backward' (inverse type inference — complete for any "
+            "deterministic top-down transducer over DTDs, budget-guarded), "
+            "or pass max_tuple for a best-effort (possibly exponential) "
+            "run of the forward engine."
         )
+
+    # Per-unit wall-clock weights for the two shard cost models, in
+    # milliseconds.  The models count engine-local work items (forward: DFA
+    # cells of the tuple fixpoint; backward: product-automaton cells) whose
+    # per-item runtimes differ by ~two orders of magnitude, so comparing
+    # the raw sums would route almost everything to the forward engine.
+    # The constants are measured on the workload families (BENCH_auto.json
+    # re-derives them every run): ~33µs per forward cost unit, ~0.2µs per
+    # backward product cell, stable across family sizes.
+    FORWARD_MS_PER_UNIT = 0.033
+    BACKWARD_MS_PER_UNIT = 0.0002
+
+    def _auto_choice(self, plain: TreeTransducer) -> Tuple[str, float, float]:
+        """``("forward"|"backward", forward_ms, backward_ms)`` for the
+        auto policy on an in-tractability DTD-pair instance.
+
+        Sums each engine's shard cost model over its own check keys — the
+        forward ``n_out^m`` tuple seeds plus amortized dependency-closure
+        DFA sizes, against the backward per-symbol
+        ``n_in_states × behavior-monoid`` products — weighs each total by
+        its measured per-unit runtime (class constants above), and picks
+        the smaller predicted wall time (ties go forward, the paper's
+        engine).  Both models read *compiled schema shape only*, so the
+        choice costs two key scans, never a fixpoint.
+        """
+        from repro.backward import backward_check_keys, backward_key_costs
+        from repro.core.forward import forward_check_keys, forward_key_costs
+
+        memo_key = plain.content_hash()
+        cached = self._auto_routes.get(memo_key)
+        if cached is not None:
+            return cached
+        din, dout = self._dtd_pair_value
+        fschema = self.forward_schema()
+        out_alphabet = frozenset(plain.alphabet | dout.alphabet)
+        fkeys = forward_check_keys(
+            plain, din, fschema, use_kernel=self.use_kernel
+        )
+        fcost = self.FORWARD_MS_PER_UNIT * sum(
+            forward_key_costs(fkeys, fschema, out_alphabet)
+        )
+        bschema = self.backward_schema()
+        bkeys = backward_check_keys(plain, din, bschema)
+        bcost = self.BACKWARD_MS_PER_UNIT * sum(
+            backward_key_costs(bkeys, bschema, plain)
+        )
+        route = ("forward" if fcost <= bcost else "backward"), fcost, bcost
+        self._auto_routes[memo_key] = route
+        return route
 
     def _apply_defaults(self, kwargs: Dict[str, object]) -> None:
         kwargs.setdefault("use_kernel", self.use_kernel)
@@ -535,6 +664,75 @@ class Session:
                 schema=self.forward_schema(),
             )
 
+    def backward_check_keys(self, transducer: TreeTransducer) -> List[str]:
+        """The input symbols of ``T``'s backward product cells (shard
+        units — one per reachable input symbol)."""
+        from repro.backward import backward_check_keys
+
+        with self._lock:
+            din, _dout = self._dtd_pair()
+            plain, _analysis = self._compiled_transducer(transducer)
+            return backward_check_keys(plain, din, self.backward_schema())
+
+    def compute_backward_tables(
+        self,
+        transducer: TreeTransducer,
+        keys,
+        *,
+        max_product_nodes: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """One shard of ``T``'s backward fixpoint against the warm pair.
+
+        Service workers call this for their partition of
+        :meth:`backward_check_keys`; the returned tables are picklable
+        (externalized behavior maps) and merge with
+        :func:`repro.backward.merge_backward_tables`.
+        """
+        from repro.backward import compute_backward_tables
+
+        with self._lock:
+            din, dout = self._dtd_pair()
+            plain, _analysis = self._compiled_transducer(transducer)
+            return compute_backward_tables(
+                plain, din, dout, keys,
+                max_product_nodes=max_product_nodes or self.max_product_nodes,
+                schema=self.backward_schema(),
+            )
+
+    def shard_method(
+        self,
+        transducer: TreeTransducer,
+        method: str = "auto",
+        max_tuple: Optional[int] = None,
+    ) -> str:
+        """The engine a sharded run of ``T`` resolves to.
+
+        ``"forward"`` and ``"backward"`` pass through; ``"auto"`` applies
+        :meth:`typecheck`'s routing policy restricted to the two shardable
+        engines — ``max_tuple`` forces forward (the escape hatch),
+        out-of-tractability instances go backward (the forward engine
+        would raise :class:`~repro.errors.ClassViolationError`), and
+        in-tractability instances compare the two key-cost models.  The
+        worker pool resolves the method here *before* fanning out, so
+        every worker computes the right engine's tables.
+        """
+        if method in ("forward", "backward"):
+            return method
+        if method != "auto":
+            raise ValueError(
+                f"unknown shard method {method!r}; valid: auto, forward, "
+                "backward"
+            )
+        with self._lock:
+            self._dtd_pair()  # sharding needs a DTD pair either way
+            plain, analysis = self._compiled_transducer(transducer)
+            if max_tuple is not None:
+                return "forward"
+            if not analysis.in_trac:
+                return "backward"
+            choice, _fcost, _bcost = self._auto_choice(plain)
+            return choice
+
     def typecheck_sharded(
         self,
         transducer: TreeTransducer,
@@ -542,37 +740,48 @@ class Session:
         shards: int = 2,
         max_tuple: Optional[int] = None,
         planner: str = "cost",
+        method: str = "forward",
         **kwargs,
     ) -> TypecheckResult:
-        """Forward-typecheck ``T`` with its fixpoint sharded.
+        """Typecheck ``T`` with its fixpoint sharded across workers.
 
-        ``compute_shards(partitions)`` maps a list of key partitions to the
-        list of their table snapshots — the worker pool fans the partitions
-        out across processes (each holding a warm session for this pair);
-        tests pass a sequential implementation.  The merged tables then
-        drive the root-check scan and counterexample construction here, so
-        the verdict is exactly :func:`typecheck_forward`'s — the shards
-        compute complete per-cell least fixpoints and the merge unions the
-        accepted sets.  Partitioning never affects the verdict, only the
-        balance, so the planner choice is a pure scheduling knob.
+        ``method`` picks the engine to shard: ``"forward"`` (default, the
+        original fan-out) partitions the hedge-cell check keys,
+        ``"backward"`` partitions the per-input-symbol product cells, and
+        ``"auto"`` resolves through :meth:`shard_method` (the cost-model
+        routing).  ``compute_shards(partitions)`` maps a list of key
+        partitions to the list of their table snapshots — the worker pool
+        fans the partitions out across processes (each holding a warm
+        session for this pair); tests pass a sequential implementation.
+        A callback taking a second positional parameter receives the
+        *resolved* method too (``compute_shards(partitions, method)``),
+        which ``method="auto"`` callers need to compute the right engine's
+        tables.  The merged tables then drive the root-check scan and
+        counterexample construction here, so the verdict is exactly the
+        unsharded engine's — the shards compute complete per-cell least
+        fixpoints and the merge unions disjoint cells.  Partitioning never
+        affects the verdict, only the balance, so the planner choice is a
+        pure scheduling knob.
 
-        ``planner`` selects the partitioner: ``"cost"`` (default) LPT-packs
-        keys by their predicted cell cost ``n_out^m`` (see the cost-model
-        note next to :func:`repro.core.forward.forward_check_keys`);
-        ``"profile"`` LPT-packs by *measured* per-key costs fed back from
-        the previous sharded run of an equal-content transducer on this
-        warm pair (each shard's worker wall time attributed to its keys
-        proportionally to the model), falling back to the cost model on
-        first sight — ``stats["shard_profile"]`` records which source
-        planned the run; ``"round-robin"`` is the blind positional split,
-        kept for benchmarking the planners against.  Per-shard wall times
-        (measured inside
-        :func:`~repro.core.forward.compute_forward_tables`, i.e. on the
-        worker) come back in ``result.stats["shard_wall_s"]`` with the
-        planner's predicted loads in ``stats["shard_costs"]``, so the
-        balance is observable; cost/profile runs record the measured
-        per-key costs for the next ``"profile"`` plan of the same
-        transducer.
+        ``planner`` selects the partitioner: ``"cost"`` (default)
+        LPT-packs keys by their predicted cell cost (forward: tuple seeds
+        plus amortized closure DFA sizes, see
+        :func:`repro.core.forward.forward_key_costs`; backward:
+        ``n_in_states × behavior-monoid``, see
+        :func:`repro.backward.backward_key_costs`); ``"profile"``
+        LPT-packs by *measured* per-key worker seconds fed back from the
+        previous sharded run of an equal-content transducer on this warm
+        pair, falling back to the cost model on first sight —
+        ``stats["shard_profile"]`` records which source planned the run;
+        ``"round-robin"`` is the blind positional split, kept for
+        benchmarking the planners against.  Per-shard wall times come back
+        in ``result.stats["shard_wall_s"]`` with the planner's predicted
+        loads in ``stats["shard_costs"]``, so the balance is observable.
+        Sharded runs record each key's *measured* fixpoint seconds
+        (``key_elapsed_s``, timed per cell on the worker) for the next
+        ``planner="profile"`` plan; when a snapshot predates per-key
+        timing, the shard wall time is attributed to its keys
+        proportionally to the model as before.
         """
         from repro.core.forward import (
             forward_key_costs,
@@ -581,24 +790,45 @@ class Session:
             typecheck_forward,
         )
 
-        keys = self.forward_check_keys(transducer)
+        method = self.shard_method(transducer, method, max_tuple)
+        if method == "backward":
+            from repro.backward import backward_key_costs, merge_backward_tables
+
+            _reject_max_tuple("backward", max_tuple)
+            keys = self.backward_check_keys(transducer)
+        else:
+            keys = self.forward_check_keys(transducer)
         shards = max(1, min(int(shards), max(1, len(keys))))
-        loads: Optional[List[int]] = None
+        loads: Optional[List[float]] = None
         plan_costs: Optional[List[float]] = None
         profile_source: Optional[str] = None
         if planner == "round-robin":
-            partitions: List[List[Tuple]] = [
+            partitions: List[List] = [
                 keys[index::shards] for index in range(shards)
             ]
         elif planner in ("cost", "profile"):
             with self._lock:
                 _din, dout = self._dtd_pair()
-                out_alphabet = frozenset(transducer.alphabet | dout.alphabet)
-                plan_costs = list(
-                    forward_key_costs(keys, self.forward_schema(), out_alphabet)
-                )
+                if method == "backward":
+                    plain, _analysis = self._compiled_transducer(transducer)
+                    plan_costs = list(
+                        backward_key_costs(
+                            keys, self.backward_schema(), plain
+                        )
+                    )
+                    plan_schema = self.backward_schema()
+                else:
+                    out_alphabet = frozenset(
+                        transducer.alphabet | dout.alphabet
+                    )
+                    plan_costs = list(
+                        forward_key_costs(
+                            keys, self.forward_schema(), out_alphabet
+                        )
+                    )
+                    plan_schema = self.forward_schema()
                 if planner == "profile":
-                    profile = self.forward_schema().shard_profile(
+                    profile = plan_schema.shard_profile(
                         transducer.content_hash()
                     )
                     if profile is not None:
@@ -618,8 +848,11 @@ class Session:
                 f"unknown shard planner {planner!r}; "
                 "valid: cost, profile, round-robin"
             )
-        validate_method_kwargs("forward", kwargs)
-        if "use_kernel" in kwargs and bool(kwargs["use_kernel"]) != self.use_kernel:
+        validate_method_kwargs(method, kwargs)
+        if method == "forward" and (
+            "use_kernel" in kwargs
+            and bool(kwargs["use_kernel"]) != self.use_kernel
+        ):
             # Shard keys were canonicalized with the session's engine; an
             # engine flip here would look the merged cells up under
             # different keys.  The option is session-level for sharding.
@@ -628,18 +861,32 @@ class Session:
                 f"(use_kernel={self.use_kernel}); build a "
                 "Session(use_kernel=...) for the other engine"
             )
-        tables = merge_forward_tables(compute_shards(partitions))
+        snapshots = _call_compute_shards(compute_shards, partitions, method)
+        if method == "backward":
+            tables = merge_backward_tables(snapshots)
+        else:
+            tables = merge_forward_tables(snapshots)
         shard_wall = tables.pop("shard_elapsed_s", None)
+        key_elapsed = tables.pop("key_elapsed_s", None)
         with self._lock:
             self.stats["calls"] = int(self.stats["calls"]) + 1
             din, dout = self._dtd_pair()
-            self._apply_defaults(kwargs)
-            result = typecheck_forward(
-                transducer, din, dout, max_tuple,
-                schema=self.forward_schema(), tables=tables, **kwargs,
-            )
+            if method == "backward":
+                plain, _analysis = self._compiled_transducer(transducer)
+                kwargs.setdefault("max_product_nodes", self.max_product_nodes)
+                result = _method_func("backward")(
+                    plain, din, dout,
+                    schema=self.backward_schema(), tables=tables, **kwargs,
+                )
+            else:
+                self._apply_defaults(kwargs)
+                result = typecheck_forward(
+                    transducer, din, dout, max_tuple,
+                    schema=self.forward_schema(), tables=tables, **kwargs,
+                )
         result.stats["shards"] = len(partitions)
         result.stats["shard_planner"] = planner
+        result.stats["shard_method"] = method
         if profile_source is not None:
             result.stats["shard_profile"] = profile_source
         if loads is not None:
@@ -649,26 +896,44 @@ class Session:
             result.stats["shard_spread"] = round(
                 max(shard_wall) / max(min(shard_wall), 1e-9), 3
             )
-            if plan_costs is not None and len(shard_wall) == len(partitions):
-                # Feed the measurement back: attribute each shard's worker
-                # wall time to its keys proportionally to the weights that
-                # planned it, and store under the transducer's hash for
-                # the next planner="profile" run of this pair.
-                cost_by_key = dict(zip(keys, plan_costs))
-                profile_out: Dict[Tuple, float] = {}
-                for wall, partition in zip(shard_wall, partitions):
-                    total = sum(cost_by_key[key] for key in partition)
-                    if total <= 0:
-                        total = len(partition) or 1
-                        weights = {key: 1 for key in partition}
-                    else:
-                        weights = cost_by_key
-                    for key in partition:
-                        profile_out[key] = wall * weights[key] / total
-                with self._lock:
-                    self.forward_schema().record_shard_profile(
-                        transducer.content_hash(), profile_out
-                    )
+        # Feed the measurement back for the next planner="profile" run of
+        # this transducer on this pair.  Workers time each key's fixpoint
+        # individually now, so the profile is measured truth per key; the
+        # proportional smear over the shard wall time survives only as the
+        # fallback for snapshots that predate per-key timing.
+        profile_out: Dict[object, float] = {}
+        if key_elapsed:
+            assigned = set(keys)
+            profile_out = {
+                key: float(elapsed)
+                for key, elapsed in key_elapsed.items()
+                if key in assigned
+            }
+        elif (
+            shard_wall
+            and plan_costs is not None
+            and len(shard_wall) == len(partitions)
+        ):
+            cost_by_key = dict(zip(keys, plan_costs))
+            for wall, partition in zip(shard_wall, partitions):
+                total = sum(cost_by_key[key] for key in partition)
+                if total <= 0:
+                    total = len(partition) or 1
+                    weights = {key: 1 for key in partition}
+                else:
+                    weights = cost_by_key
+                for key in partition:
+                    profile_out[key] = wall * weights[key] / total
+        if profile_out:
+            with self._lock:
+                record_schema = (
+                    self.backward_schema()
+                    if method == "backward"
+                    else self.forward_schema()
+                )
+                record_schema.record_shard_profile(
+                    transducer.content_hash(), profile_out
+                )
         return result
 
     def counterexample_nta(
@@ -846,6 +1111,7 @@ class Session:
         if self._backward is not None:
             backward = {
                 "transducer_results": dict(self._backward.transducer_results),
+                "shard_profiles": dict(self._backward.shard_profiles),
                 "compiled": self._backward.compiled,
             }
         replus = None
@@ -906,6 +1172,7 @@ class Session:
             ctx.transducer_results.update(
                 backward.get("transducer_results") or {}
             )
+            ctx.shard_profiles.update(backward.get("shard_profiles") or {})
             ctx.compiled = backward["compiled"]
         replus = artifacts.get("replus")
         if replus is not None:

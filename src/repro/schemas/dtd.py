@@ -268,10 +268,40 @@ class DTD:
     # ------------------------------------------------------------------
     # Validation (Definition 1: tree satisfaction)
     # ------------------------------------------------------------------
-    def accepts(self, tree: Tree) -> bool:
+    def accepts(self, tree) -> bool:
         """Whether ``tree`` satisfies the DTD (root = start and every node's
-        child word is in its content model)."""
+        child word is in its content model).
+
+        Accepts explicit :class:`Tree` nodes and shared
+        :class:`~repro.trees.dag.DagTree` witnesses alike; dags are
+        validated in DAG size via memoized DFA transfer maps, never
+        unfolded.
+        """
+        from repro.trees.dag import DagTree
+
+        if isinstance(tree, DagTree):
+            return self._accepts_dag(tree)
         return tree.label == self.start and self.partly_satisfies((tree,))
+
+    def _accepts_dag(self, dag) -> bool:
+        from repro.trees.dag import TransferTable, distinct_tree_nodes
+
+        if dag.label != self.start:
+            return False
+        alphabet = frozenset(self.alphabet) | {self.start}
+        tables: Dict[str, TransferTable] = {}
+        for node in distinct_tree_nodes(dag):
+            if node.label not in alphabet:
+                return False
+            table = tables.get(node.label)
+            if table is None:
+                table = TransferTable(
+                    self.content_dfa_complete(node.label, alphabet)
+                )
+                tables[node.label] = table
+            if not table.accepts_top(node.children):
+                return False
+        return True
 
     def partly_satisfies(self, hedge: Hedge) -> bool:
         """The paper's *partly satisfies*: every node's child word conforms,

@@ -52,6 +52,25 @@ def _transducer_text(transducer) -> str:
     return protocol.transducer_to_text(transducer)
 
 
+def _parse_counterexample(text: Optional[str]):
+    """Re-parse a served counterexample, tolerating DAG placeholders.
+
+    A shared (DAG) counterexample whose unfolding exceeds the rendering
+    budget ships as its ``<dag label: N unfolded nodes, d distinct>``
+    summary (see :meth:`repro.trees.dag.DagTree.__str__`) — there is no
+    term text to parse, so the summary string comes back verbatim; callers
+    needing the tree itself should query in-process, where the shared
+    structure survives.
+    """
+    if text is None:
+        return None
+    if text.startswith("<dag "):
+        return text
+    from repro.trees.tree import parse_tree
+
+    return parse_tree(text)
+
+
 class ServiceClient:
     """A blocking JSON-lines client for one service endpoint."""
 
@@ -174,12 +193,7 @@ class ServiceClient:
             transducer=_transducer_text(transducer),
             dout=_dtd_text(dout),
         )
-        text = result.get("counterexample")
-        if text is None:
-            return None
-        from repro.trees.tree import parse_tree
-
-        return parse_tree(text)
+        return _parse_counterexample(result.get("counterexample"))
 
     def analysis(
         self, transducer: Textable, din: Textable, dout: Textable
@@ -285,12 +299,7 @@ class PairHandle:
             v=2,
             transducer=_transducer_text(transducer),
         )
-        text = result.get("counterexample")
-        if text is None:
-            return None
-        from repro.trees.tree import parse_tree
-
-        return parse_tree(text)
+        return _parse_counterexample(result.get("counterexample"))
 
     def analysis(self, transducer: Textable) -> Dict[str, object]:
         """The Proposition 16 analysis against the pinned pair."""

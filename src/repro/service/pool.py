@@ -162,7 +162,10 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
         return warm_session(sin, sout).analysis(transducer)
     if op == "compute_tables":
         sin, sout, transducer, keys, opts = args
+        opts = dict(opts)
         session = warm_session(sin, sout)
+        if opts.pop("method", "forward") == "backward":
+            return session.compute_backward_tables(transducer, keys, **opts)
         return session.compute_forward_tables(transducer, keys, **opts)
     if op == "pin":
         pair_key, sin, sout = args
@@ -604,17 +607,21 @@ class WorkerPool:
         shards: Optional[int] = None,
         max_tuple: Optional[int] = None,
         planner: str = "cost",
+        method: str = "auto",
         **kwargs,
     ):
-        """One instance with its forward fixpoint sharded across workers.
+        """One instance with its fixpoint sharded across workers.
 
-        The parent's warm session plans the hedge-cell key partitions
-        (LPT over predicted cell costs by default — see
-        ``Session.typecheck_sharded``); each worker computes its
-        partition's fixpoint closure against its own warm session and
-        ships the (picklable) tables back; the parent merges and finishes.
-        Verdicts are identical to the unsharded engine, and the result's
-        stats carry per-shard worker wall times.
+        The parent's warm session resolves the engine
+        (``Session.shard_method`` — ``"auto"`` routes by the cost models,
+        forced backward when the forward engine would refuse the
+        instance) and plans the key partitions (LPT over predicted cell
+        costs by default — see ``Session.typecheck_sharded``); each
+        worker computes its partition's fixpoint closure against its own
+        warm session and ships the (picklable) tables back; the parent
+        merges and finishes.  Verdicts are identical to the unsharded
+        engine, and the result's stats carry per-shard worker wall times
+        plus the chosen engine (``stats["shard_method"]``).
         """
         import repro
 
@@ -623,7 +630,11 @@ class WorkerPool:
             use_kernel=bool(self.config["use_kernel"]),
             cache_dir=self.config["cache_dir"],
         )
-        opts = {"max_tuple": max_tuple}
+        method = session.shard_method(transducer, method, max_tuple)
+        if method == "backward":
+            opts: Dict[str, object] = {"method": "backward"}
+        else:
+            opts = {"max_tuple": max_tuple}
         wire_sin, wire_sout = _wire_schema(sin), _wire_schema(sout)
 
         def compute_shards(partitions: List[List[Tuple]]):
@@ -642,6 +653,7 @@ class WorkerPool:
             shards=shards or self.workers,
             max_tuple=max_tuple,
             planner=planner,
+            method=method,
             **kwargs,
         )
 

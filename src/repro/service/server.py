@@ -404,8 +404,11 @@ class ServiceServer:
             din, dout = pin.din, pin.dout
         else:
             transducer, din, dout = protocol.parse_instance_payload(message)
+        method = message.get("method", "auto")
+        if not isinstance(method, str):
+            raise ProtocolError("'method' must be a string")
         result = self.pool.typecheck_sharded(
-            din, dout, transducer, shards=shards
+            din, dout, transducer, shards=shards, method=method
         )
         return protocol.result_to_json(result)
 

@@ -27,8 +27,20 @@ from repro.trees.tree import Tree
 DagPart = Union["DagTree", "DagHedge"]
 
 
+#: Unfoldings at most this large render as explicit term syntax in ``str()``.
+STR_UNFOLD_BUDGET = 10_000
+
+
 class DagTree:
-    """A tree node in the DAG: label plus a (shared) child hedge."""
+    """A tree node in the DAG: label plus a (shared) child hedge.
+
+    Equality is *structural on the unfolding*: two dags (or a dag and an
+    explicit :class:`Tree`) compare equal iff their unfolded trees are
+    equal, memoized on node-identity pairs so aligned shared subdags are
+    compared once.  Note that hashes are **not** compatible with
+    :class:`Tree` hashes — do not mix dags and explicit trees as keys of
+    one dict.
+    """
 
     __slots__ = ("label", "children")
 
@@ -38,6 +50,34 @@ class DagTree:
 
     def __repr__(self) -> str:
         return f"DagTree({self.label!r})"
+
+    def __str__(self) -> str:
+        size = unfolded_size(self)
+        if size <= STR_UNFOLD_BUDGET:
+            return str(unfold_tree(self, STR_UNFOLD_BUDGET))
+        distinct = len(distinct_tree_nodes(self))
+        return (
+            f"<dag {self.label}: {size} unfolded nodes, "
+            f"{distinct} distinct>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (DagTree, Tree)):
+            return NotImplemented
+        return dag_equal(self, other)
+
+    def __hash__(self) -> int:
+        return hash((self.label, unfolded_size(self)))
+
+    @property
+    def size(self) -> int:
+        """Number of nodes of the unfolding (exact, possibly huge)."""
+        return unfolded_size(self)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the unfolding (paper convention: single node is 1)."""
+        return dag_depth(self)
 
 
 class DagHedge:
@@ -211,6 +251,47 @@ class TransferTable:
         """Whether the DFA accepts ``top`` of the unfolded hedge."""
         final = self.transfer(hedge).get(self.dfa.initial)
         return final in self.dfa.finals
+
+
+def dag_equal(a: "DagTree | Tree", b: "DagTree | Tree") -> bool:
+    """Structural equality of the *unfoldings* of two dags (or plain trees).
+
+    Memoized on identity pairs: aligned shared subdags are compared once,
+    so same-construction dags (e.g. sharded vs unsharded witnesses over
+    identical cells) compare in DAG size, not unfolded size.
+    """
+    proven: set[Tuple[int, int]] = set()
+
+    def top_trees(node) -> list:
+        if isinstance(node, Tree):
+            return list(node.children)
+        out: list = []
+        stack: list[DagPart] = list(reversed(node.children.parts))
+        while stack:
+            part = stack.pop()
+            if isinstance(part, DagTree):
+                out.append(part)
+            else:
+                stack.extend(reversed(part.parts))
+        return out
+
+    def trees_eq(x, y) -> bool:
+        if x is y:
+            return True
+        key = (id(x), id(y))
+        if key in proven:
+            return True
+        if x.label != y.label:
+            return False
+        xs, ys = top_trees(x), top_trees(y)
+        if len(xs) != len(ys):
+            return False
+        if not all(trees_eq(cx, cy) for cx, cy in zip(xs, ys)):
+            return False
+        proven.add(key)
+        return True
+
+    return trees_eq(a, b)
 
 
 def distinct_tree_nodes(node: DagPart) -> list[DagTree]:

@@ -1,0 +1,250 @@
+"""Sharded backward fixpoint: merged shard tables equal the unsharded run.
+
+Mirrors ``tests/service/test_shard.py`` for the backward engine: each
+partition of the per-input-symbol product cells is computed against a
+*fresh* :class:`~repro.backward.BackwardSchema` and shipped through
+pickle, exactly as a pool worker would, and the merged tables must
+reproduce the unsharded engine's verdict bit for bit.
+"""
+
+import pickle
+
+import pytest
+
+from repro.backward import (
+    BackwardSchema,
+    backward_check_keys,
+    backward_key_costs,
+    compute_backward_tables,
+    merge_backward_tables,
+    typecheck_backward,
+)
+from repro.core.session import Session
+from repro.workloads.families import (
+    filtering_family,
+    nd_bc_family,
+    wide_copy_family,
+)
+from repro.workloads.random_instances import seeded_instance
+
+N_SEEDS = 200
+
+
+def _sequential_shards(transducer, din, dout):
+    """An in-process stand-in for the pool's fan-out (fresh schema per
+    partition + a pickle round trip)."""
+
+    def compute(partitions, method="backward"):
+        assert method == "backward"
+        shards = []
+        for partition in partitions:
+            shard = compute_backward_tables(
+                transducer, din, dout, partition,
+                schema=BackwardSchema(din, dout),
+            )
+            shards.append(pickle.loads(pickle.dumps(shard)))
+        return shards
+
+    return compute
+
+
+class TestShardMergeEqualsUnsharded:
+    @pytest.mark.parametrize("family,n", [
+        ("nd_bc_ok", 8), ("nd_bc_bad", 8), ("filtering_ok", 6),
+        ("filtering_bad", 6), ("wide_copy_ok", 5), ("wide_copy_bad", 5),
+    ])
+    def test_known_families(self, family, n):
+        base, ok = family.rsplit("_", 1)
+        maker = {
+            "nd_bc": nd_bc_family,
+            "filtering": filtering_family,
+            "wide_copy": wide_copy_family,
+        }[base]
+        transducer, din, dout, expected = maker(n, typechecks=(ok == "ok"))
+        session = Session(din, dout, eager=False)
+        sharded = session.typecheck_sharded(
+            transducer, _sequential_shards(transducer, din, dout),
+            shards=3, method="backward",
+        )
+        unsharded = typecheck_backward(transducer, din, dout)
+        assert sharded.typechecks == unsharded.typechecks == expected
+        assert sharded.stats["shard_method"] == "backward"
+        if not sharded.typechecks:
+            assert sharded.verify(transducer, din.accepts, dout.accepts)
+
+    @pytest.mark.parametrize("chunk", range(10))
+    def test_seeded_instances_verdicts_bit_identical(self, chunk):
+        """Sharded backward verdicts equal unsharded across the shared
+        200-seed equivalence generator — including the out-of-trac slice
+        the forward fan-out cannot touch."""
+        chunk_size = N_SEEDS // 10
+        for seed in range(chunk * chunk_size, (chunk + 1) * chunk_size):
+            transducer, din, dout = seeded_instance(seed)
+            unsharded = typecheck_backward(transducer, din, dout)
+            session = Session(din, dout, eager=False)
+            sharded = session.typecheck_sharded(
+                transducer, _sequential_shards(transducer, din, dout),
+                shards=2, method="backward",
+            )
+            assert sharded.typechecks == unsharded.typechecks, f"seed {seed}"
+            if not sharded.typechecks:
+                assert sharded.verify(transducer, din.accepts, dout.accepts), (
+                    f"seed {seed}: sharded counterexample does not verify"
+                )
+            if seed % 10 == 0:
+                rr = session.typecheck_sharded(
+                    transducer, _sequential_shards(transducer, din, dout),
+                    shards=2, method="backward", planner="round-robin",
+                )
+                assert rr.typechecks == unsharded.typechecks, f"seed {seed}"
+
+    def test_merged_tables_equal_unsharded_tables(self):
+        """Cell-level check: per-symbol derived Φ sets of the disjoint
+        merge are exactly the one-shard (full-key) snapshot's."""
+        transducer, din, dout, _ = nd_bc_family(6, typechecks=False)
+        keys = backward_check_keys(transducer, din)
+        assert len(keys) >= 2
+        shards = [
+            compute_backward_tables(
+                transducer, din, dout, keys[index::2],
+                schema=BackwardSchema(din, dout),
+            )
+            for index in range(2)
+        ]
+        merged = merge_backward_tables(shards)
+        reference = compute_backward_tables(
+            transducer, din, dout, keys, schema=BackwardSchema(din, dout)
+        )
+        assert set(merged["derived"]) == set(reference["derived"])
+        for a, phis in reference["derived"].items():
+            assert set(merged["derived"][a]) == set(phis), a
+        assert set(merged["witness"]) == set(reference["witness"])
+
+
+class TestShardPlanner:
+    def test_costs_are_positive_and_planned(self):
+        transducer, din, dout, _ = nd_bc_family(6)
+        keys = backward_check_keys(transducer, din)
+        costs = backward_key_costs(
+            keys, BackwardSchema(din, dout), transducer
+        )
+        assert len(costs) == len(keys)
+        assert all(cost >= 1 for cost in costs)
+
+    def test_profile_planner_feeds_back_measured_key_times(self):
+        transducer, din, dout, expected = nd_bc_family(8)
+        session = Session(din, dout, eager=False)
+        first = session.typecheck_sharded(
+            transducer, _sequential_shards(transducer, din, dout),
+            shards=2, method="backward", planner="profile",
+        )
+        assert first.typechecks == expected
+        assert first.stats["shard_profile"] == "model"
+        # The recorded profile is the workers' measured per-key seconds.
+        profile = session.backward_schema().shard_profile(
+            transducer.content_hash()
+        )
+        assert profile is not None
+        assert set(profile) <= set(backward_check_keys(transducer, din))
+        assert all(elapsed >= 0.0 for elapsed in profile.values())
+        second = session.typecheck_sharded(
+            transducer, _sequential_shards(transducer, din, dout),
+            shards=2, method="backward", planner="profile",
+        )
+        assert second.stats["shard_profile"] == "measured"
+        assert second.typechecks == expected
+
+    def test_backward_profiles_survive_artifact_roundtrip(self):
+        transducer, din, dout, expected = nd_bc_family(6)
+        session = Session(din, dout, eager=False)
+        session.typecheck_sharded(
+            transducer, _sequential_shards(transducer, din, dout),
+            shards=2, method="backward", planner="profile",
+        )
+        restored = Session.from_artifacts(session.export_artifacts())
+        result = restored.typecheck_sharded(
+            transducer, _sequential_shards(transducer, din, dout),
+            shards=2, method="backward", planner="profile",
+        )
+        assert result.stats["shard_profile"] == "measured"
+        assert result.typechecks == expected
+
+
+class TestAutoResolution:
+    def test_auto_resolves_per_cost_model(self):
+        """``shard_method("auto")`` follows the calibrated cost models:
+        both workload families predict (and measure) cheaper backward
+        runs, and a huge input-content DFA against a huge tracked output
+        alphabet blows the backward product up enough to route forward."""
+        transducer, din, dout, _ = nd_bc_family(8)
+        session = Session(din, dout, eager=False)
+        assert session.shard_method(transducer) == "backward"
+        # The escape hatch overrides the comparison.
+        assert session.shard_method(transducer, max_tuple=4) == "forward"
+
+        wide_t, wide_din, wide_dout, _ = wide_copy_family(6)
+        wide_session = Session(wide_din, wide_dout, eager=False)
+        assert wide_session.shard_method(wide_t) == "backward"
+        assert wide_session.shard_method(wide_t, max_tuple=4) == "forward"
+        with pytest.raises(ValueError, match="unknown shard method"):
+            wide_session.shard_method(wide_t, method="magic")
+
+    def test_large_product_prediction_routes_forward(self):
+        """The comparison goes both ways: a long input chain × a long
+        tracked output chain makes every backward product cell count
+        ``n_in_states × n_out_states`` while the copy-free forward
+        fixpoint stays linear, so auto picks forward."""
+        from repro.schemas.dtd import DTD
+        from repro.transducers.transducer import TreeTransducer
+
+        width = 400
+        chain = " ".join(f"a{i}" for i in range(width))
+        rules = {"r": chain}
+        for i in range(width):
+            rules[f"a{i}"] = ""
+        din = DTD(rules, start="r")
+        transducer = TreeTransducer(
+            {"q"}, set(din.alphabet), "q",
+            dict(
+                [(("q", "r"), "r(q)")]
+                + [(("q", f"a{i}"), f"a{i}") for i in range(width)]
+            ),
+        )
+        session = Session(din, din, eager=False)
+        assert session.shard_method(transducer) == "forward"
+
+    def test_auto_sharded_run_reports_resolved_method(self):
+        import repro
+        from repro.core.forward import ForwardSchema, compute_forward_tables
+
+        transducer, din, dout, expected = wide_copy_family(
+            5, typechecks=False
+        )
+
+        def compute(partitions, method):
+            if method == "backward":
+                return _sequential_shards(transducer, din, dout)(partitions)
+            return [
+                compute_forward_tables(
+                    transducer, din, dout, partition,
+                    schema=ForwardSchema(din, dout),
+                )
+                for partition in partitions
+            ]
+
+        session = Session(din, dout, eager=False)
+        result = session.typecheck_sharded(
+            transducer, compute, shards=2, method="auto"
+        )
+        assert result.stats["shard_method"] == "backward"
+        assert result.typechecks == expected
+        assert result.verify(transducer, din.accepts, dout.accepts)
+
+    def test_backward_sharding_rejects_max_tuple(self):
+        transducer, din, dout, _ = nd_bc_family(4)
+        session = Session(din, dout, eager=False)
+        with pytest.raises(TypeError, match="max_tuple"):
+            session.typecheck_sharded(
+                transducer, lambda partitions: [],
+                method="backward", max_tuple=3,
+            )

@@ -31,10 +31,24 @@ class TestDispatch:
         assert not result.typechecks
         assert result.verify(t, din.accepts, dout.accepts)
 
-    def test_auto_picks_forward_for_trac(self):
+    def test_auto_routes_trac_by_predicted_cost(self):
+        # In-tractability DTD pair: both complete engines apply and the
+        # route is a recorded cost comparison (predicted milliseconds),
+        # not a hardcoded rule.  On the book/toc pair the backward
+        # product is tiny, so the calibrated model picks backward; the
+        # paper's forward engine stays one explicit `method=` away.
         result = typecheck(toc_transducer(), book_dtd(), toc_output_dtd())
-        assert result.algorithm == "forward"
         assert result.typechecks
+        assert result.algorithm == result.stats["auto_method"] == "backward"
+        assert (
+            result.stats["auto_backward_cost"]
+            <= result.stats["auto_forward_cost"]
+        )
+        explicit = typecheck(
+            toc_transducer(), book_dtd(), toc_output_dtd(), method="forward"
+        )
+        assert explicit.algorithm == "forward"
+        assert explicit.typechecks == result.typechecks
 
     def test_auto_picks_delrelab_for_automata(self):
         din = DTD({"r": "x*"}, start="r")
@@ -46,8 +60,11 @@ class TestDispatch:
         assert result.algorithm == "delrelab"
         assert result.typechecks
 
-    def test_frontier_violation_raises(self):
-        # Copying + unbounded deletion with general DTDs: provably hard.
+    def test_frontier_instance_falls_back_to_backward(self):
+        # Copying + unbounded deletion with general DTDs: provably hard
+        # for the forward engine (it refuses the class), but inverse type
+        # inference is complete over DTDs — auto degrades to it instead
+        # of raising.
         din = DTD({"r": "a | b", "a": "(a | b)?"}, start="r")
         t = TreeTransducer(
             {"q0", "q"},
@@ -56,7 +73,14 @@ class TestDispatch:
             {("q0", "r"): "r(q)", ("q", "a"): "q q", ("q", "b"): "b"},
         )
         with pytest.raises(ClassViolationError):
-            typecheck(t, din, din)
+            typecheck(t, din, din, method="forward")
+        result = typecheck(t, din, din)
+        assert result.algorithm == "backward"
+        assert result.stats["auto_method"] == "backward"
+        explicit = typecheck(t, din, din, method="backward")
+        assert result.typechecks == explicit.typechecks
+        if not result.typechecks:
+            assert result.verify(t, din.accepts, din.accepts)
 
     def test_explicit_method_override(self):
         result = typecheck(

@@ -1,0 +1,75 @@
+"""Forward counterexamples come back as shared DAGs on copying chains.
+
+The nd_bc family's failing instances have minimal counterexamples of
+``2^n - 1`` unfolded nodes (a full binary copy chain); the engine must
+hand them back as :class:`~repro.trees.dag.DagTree` values whose
+*distinct* node count stays linear in ``n``, so the witness is
+inspectable even where its unfolding could never be materialized.
+"""
+
+import pytest
+
+import repro
+from repro.trees.dag import DagTree, distinct_tree_nodes
+from repro.workloads.families import nd_bc_family, wide_copy_family
+
+
+class TestNdBcCounterexample:
+    def test_counterexample_is_a_linear_size_dag(self):
+        n = 12
+        transducer, din, dout, expected = nd_bc_family(n, typechecks=False)
+        result = repro.typecheck(transducer, din, dout, method="forward")
+        assert not result.typechecks and not expected
+        witness = result.counterexample
+        assert isinstance(witness, DagTree)
+        # Exponential unfolding, linear sharing: one distinct node per
+        # chain level plus a constant fringe.
+        assert witness.size >= 2 ** n - 1
+        assert len(distinct_tree_nodes(witness)) <= 3 * n
+        assert witness.depth <= n + 2
+
+    def test_dag_witness_verifies_without_unfolding(self):
+        transducer, din, dout, _ = nd_bc_family(12, typechecks=False)
+        result = repro.typecheck(transducer, din, dout, method="forward")
+        # verify() runs membership + transduction directly on the DAG.
+        assert result.verify(transducer, din.accepts, dout.accepts)
+
+    def test_over_budget_dag_str_is_a_summary(self):
+        transducer, din, dout, _ = nd_bc_family(16, typechecks=False)
+        result = repro.typecheck(transducer, din, dout, method="forward")
+        witness = result.counterexample
+        assert isinstance(witness, DagTree)
+        assert witness.size > 10_000
+        assert str(witness).startswith("<dag ")
+
+    def test_small_witness_str_is_a_plain_term(self):
+        transducer, din, dout, _ = nd_bc_family(4, typechecks=False)
+        result = repro.typecheck(transducer, din, dout, method="forward")
+        witness = result.counterexample
+        text = str(witness)
+        assert not text.startswith("<dag ")
+        from repro.trees.tree import parse_tree
+        assert din.accepts(parse_tree(text))
+
+
+class TestWideCopyCounterexample:
+    def test_wide_output_stays_shared(self):
+        n = 8
+        transducer, din, dout, _ = wide_copy_family(n, typechecks=False)
+        result = repro.typecheck(transducer, din, dout, method="forward")
+        assert not result.typechecks
+        assert result.verify(transducer, din.accepts, dout.accepts)
+        witness = result.counterexample
+        assert isinstance(witness, DagTree)
+        assert len(distinct_tree_nodes(witness)) <= 3 * n
+
+
+class TestBackwardAgreesOnDagInstances:
+    def test_backward_rejects_the_same_instances(self):
+        for n in (6, 10):
+            transducer, din, dout, _ = nd_bc_family(n, typechecks=False)
+            backward = repro.typecheck(
+                transducer, din, dout, method="backward"
+            )
+            assert not backward.typechecks
+            assert backward.verify(transducer, din.accepts, dout.accepts)

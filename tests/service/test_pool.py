@@ -107,7 +107,11 @@ class TestCrashRecovery:
 
             killer = threading.Thread(target=kill_soon, daemon=True)
             killer.start()
-            result = pool.typecheck_sharded(din, dout, transducer, shards=2)
+            # pin the forward fan-out: the unsharded baseline above is the
+            # forward engine (auto would route this family backward)
+            result = pool.typecheck_sharded(
+                din, dout, transducer, shards=2, method="forward"
+            )
             killer.join(timeout=10)
             # the sleeper retried too (proves worker 0 really died busy)
             assert sleeper.result(timeout=30) == {"slept": 2.0}

@@ -84,15 +84,17 @@ class TestOps:
         assert result["typechecks"] == expected
 
     def test_error_transport(self, client):
-        # a transducer outside every T^{C,K}_trac with DTD(DFA)-ish regex
-        # schemas: copying + recursive deletion
+        # A transducer outside every T^{C,K}_trac with DTD(DFA)-ish regex
+        # schemas (copying + recursive deletion): auto now degrades such
+        # instances to the backward engine, so the explicit forward method
+        # is what still crosses the frontier — the error must transport.
         for seed in range(60):
             transducer, din, dout = seeded_instance(seed)
             try:
-                repro.typecheck(transducer, din, dout)
+                repro.typecheck(transducer, din, dout, method="forward")
             except ClassViolationError:
                 with pytest.raises(ClassViolationError):
-                    client.typecheck(transducer, din, dout)
+                    client.typecheck(transducer, din, dout, method="forward")
                 return
         pytest.skip("no seed crossed the frontier")
 

@@ -124,21 +124,42 @@ class TestShardMergeEqualsUnsharded:
 
 
 class TestShardPlanner:
-    def test_costs_follow_the_seed_count_model(self):
-        """``forward_key_costs`` is ``n_out^m``: shared σ-independent cells
-        cost 1, root-check cells pay per output-DFA state and slot."""
+    def test_costs_follow_the_amortized_closure_model(self):
+        """``forward_key_costs`` charges each key its ``n_out^m`` tuple
+        seeds plus the σ-independent shared cells of its dependency
+        closure, amortized over the batch keys sharing them — the batch
+        as a whole pays every shared cell exactly once (the old model
+        ignored the closure entirely, starving shards whose cheap-looking
+        keys drag the whole kernel in)."""
         transducer, din, dout, _ = nd_bc_family(6)
         schema = ForwardSchema(din, dout)
         keys = forward_check_keys(transducer, din, schema)
         out_alphabet = frozenset(transducer.alphabet | dout.alphabet)
         costs = forward_key_costs(keys, schema, out_alphabet)
         assert len(costs) == len(keys)
-        for (sigma, _a, P), cost in zip(keys, costs):
+        assert all(cost >= 1 for cost in costs)
+        # Seeds are a floor: a root check with tuple slots never predicts
+        # cheaper than its behavior-seed count alone.
+        def seeds(key):
+            sigma, _a, P = key
             if not P:
-                assert cost == 1
-            else:
-                n_out = len(schema.out_dfa(sigma, out_alphabet).states)
-                assert cost == max(1, n_out) ** len(P)
+                return 0.0
+            n_out = len(schema.out_dfa(sigma, out_alphabet).states)
+            return float(max(1, n_out) ** len(P))
+
+        for key, cost in zip(keys, costs):
+            assert cost >= seeds(key), key
+        # The closure term is real: a singleton batch pays its whole
+        # dependency closure on top of the seeds.
+        single = forward_key_costs(keys[:1], schema, out_alphabet)[0]
+        closure_cost = single - seeds(keys[0])
+        assert closure_cost > 0
+        # Amortization: duplicating the key splits the shared closure
+        # between the two copies — the batch total still pays each shared
+        # cell once, so the model is sum-preserving under fan-out.
+        pair = forward_key_costs([keys[0], keys[0]], schema, out_alphabet)
+        assert pair[0] == pair[1]
+        assert sum(pair) == pytest.approx(2 * seeds(keys[0]) + closure_cost)
 
     def test_lpt_is_deterministic_and_balanced(self):
         keys = [("s", "a", ("q",) * i) for i in range(8)]
@@ -214,3 +235,27 @@ class TestPoolSharding:
         transducer, din, dout, expected = filtering_family(8)
         result = shared_pool.typecheck_sharded(din, dout, transducer, shards=2)
         assert result.typechecks == expected is True
+
+    def test_pool_sharded_backward_method(self, shared_pool):
+        """The pool fans the backward engine's product cells out to real
+        worker processes and the merged verdict matches the family."""
+        transducer, din, dout, expected = nd_bc_family(8, typechecks=False)
+        result = shared_pool.typecheck_sharded(
+            din, dout, transducer, shards=2, method="backward"
+        )
+        assert result.typechecks == expected is False
+        assert result.stats["shard_method"] == "backward"
+        assert result.verify(transducer, din.accepts, dout.accepts)
+
+    def test_pool_sharded_auto_resolves_before_fan_out(self, shared_pool):
+        """``method="auto"`` resolves against the session cost models
+        before building worker batches, and the resolved engine lands in
+        the stats."""
+        from repro.workloads.families import wide_copy_family
+
+        transducer, din, dout, expected = wide_copy_family(5)
+        result = shared_pool.typecheck_sharded(
+            din, dout, transducer, shards=2, method="auto"
+        )
+        assert result.typechecks == expected is True
+        assert result.stats["shard_method"] in ("forward", "backward")
