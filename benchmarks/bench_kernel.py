@@ -35,17 +35,36 @@ speedups are hardware-bound: the file records ``cpu_count`` and the smoke
 gate adapts (on a single-CPU runner it only asserts bounded pool overhead
 and correctness; with >= 2 CPUs it requires a real 2-worker speedup).
 
+The *incremental* family (PR 7) races ``Session.retypecheck`` — the
+incremental re-check behind the ``repro.updates`` edit-script workloads —
+against from-scratch re-checks of the same single-rule edits on the
+edit-arm family, asserting verdict parity with a cold session on both
+polarities of every edit, and writes ``BENCH_incremental.json``; the
+smoke gate requires the incremental path to beat the from-scratch
+re-check by a real margin.
+
+``--only FAMILY`` (repeatable, comma-separated) restricts a run to the
+named families.  Output files are merged *in place*: only the row groups
+that actually re-ran replace their old sections, so a partial run
+refreshes stale BENCH_*.json sections without truncating the rest.
+
 Usage::
 
     python benchmarks/bench_kernel.py            # full run
+    python benchmarks/bench_kernel.py --only incremental,session
+                                                 # refresh two families,
+                                                 # keep other sections
     python benchmarks/bench_kernel.py --smoke    # CI guard: fails (exit 1)
                                                  # if the kernel is slower
                                                  # than the baseline on the
                                                  # smoke family, a warm
                                                  # session fails to beat
-                                                 # cold setup, or the
-                                                 # worker pool misses its
-                                                 # (cpu-adaptive) gate
+                                                 # cold setup, the worker
+                                                 # pool misses its
+                                                 # (cpu-adaptive) gate, or
+                                                 # incremental re-checking
+                                                 # fails to beat
+                                                 # from-scratch
 """
 
 from __future__ import annotations
@@ -104,6 +123,19 @@ BACKWARD_WIDE_COPY_MAX_RATIO = 0.5
 # (memoized, ~µs) decision, but it must never pick badly enough to lose
 # the engine race.
 AUTO_SMOKE_MAX_OVER_BEST = 1.2
+# Incremental re-check gate: after a single-rule edit the retypecheck path
+# must beat a from-scratch re-check of the edited transducer on an
+# equally schema-warmed session.  Locally the edit-arm family re-checks at
+# ~0.3x of from-scratch; 0.8x keeps the gate meaningful without flaking.
+INCREMENTAL_SMOKE_MAX_RATIO = 0.8
+
+# ``--only`` choices; each family owns the BENCH_*.json row groups it
+# re-runs (forward/dfa/nta share BENCH_kernel.json, service covers every
+# service-* group).
+FAMILIES = (
+    "forward", "dfa", "nta", "backward", "auto", "session", "service",
+    "incremental",
+)
 
 
 def best_of(fn, repeat: int) -> float:
@@ -707,12 +739,136 @@ def bench_service_shard(results, n: int, repeat: int, shards: int) -> None:
     )
 
 
+def bench_incremental(results, sizes, repeat: int) -> None:
+    """``Session.retypecheck`` vs from-scratch on single-rule edits.
+
+    The edit-arm family isolates one arm per edit: the incremental path
+    diffs the edited rule set against the base, keeps every fixpoint cell
+    independent of the touched arm, and recomputes only the rest.  Before
+    any timing, every edit (both polarities) is re-checked incrementally
+    *and* by a cold session, and the verdicts must agree — an incremental
+    path that drifts from from-scratch is a correctness failure, not a
+    data point.
+
+    Each timing repetition re-checks a *distinct* edited transducer
+    (fresh content hash, different arm) so neither side is served by the
+    per-transducer table cache.  ``scratch_s`` is the honest baseline: a
+    full re-check on an equally schema-warmed session; ``cold_s`` also
+    pays fresh session construction.  ``method="forward"`` is pinned —
+    auto routes this family to the backward engine, and the gate scores
+    the forward incremental path specifically.
+    """
+    from repro.workloads.updates import edit_arm_pair, edit_arm_transducer
+
+    for arms in sizes:
+        din, dout = edit_arm_pair(arms)
+        base = edit_arm_transducer(arms)
+
+        parity = Session(din, dout)
+        assert parity.typecheck(base, method="forward").typechecks
+        modes = set()
+        for i in range(arms):
+            for variant, expected in (("safe", True), ("unsafe", False)):
+                edited = edit_arm_transducer(arms, edited=i, variant=variant)
+                inc = parity.retypecheck(edited, base, method="forward")
+                cold = Session(din, dout).typecheck(edited, method="forward")
+                assert inc.typechecks == cold.typechecks == expected, (
+                    arms, i, variant,
+                )
+                modes.add(inc.stats["retypecheck_mode"])
+        assert "incremental" in modes, modes
+
+        # Fresh sessions for timing: ``parity`` has every edit's tables
+        # cached, which would turn the timed re-checks into cache hits.
+        warm = Session(din, dout)
+        assert warm.typecheck(base, method="forward").typechecks
+        scratch = Session(din, dout)
+        assert scratch.typecheck(base, method="forward").typechecks
+        variants = [
+            edit_arm_transducer(arms, edited=i % arms, variant="safe")
+            for i in range(min(repeat, arms))
+        ]
+
+        def timed(run) -> float:
+            times = []
+            for edited in variants:
+                start = time.perf_counter()
+                run(edited)
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        incremental_s = timed(
+            lambda e: warm.retypecheck(e, base, method="forward")
+        )
+        scratch_s = timed(lambda e: scratch.typecheck(e, method="forward"))
+        cold_s = timed(
+            lambda e: Session(din, dout).typecheck(e, method="forward")
+        )
+        detail = warm.retypecheck(
+            edit_arm_transducer(arms, edited=0, variant="unsafe"), base,
+            method="forward",
+        ).stats.get("retypecheck", {})
+        results.append(
+            {
+                "group": "incremental",
+                "name": f"edit_arm({arms})",
+                "family": "edit_arm",
+                "n": arms,
+                "incremental_s": incremental_s,
+                "scratch_s": scratch_s,
+                "cold_s": cold_s,
+                "incremental_over_scratch": incremental_s / scratch_s,
+                "incremental_over_cold": incremental_s / cold_s,
+                "modes": sorted(modes),
+                "reuse": {
+                    key: detail.get(key)
+                    for key in (
+                        "changed_states", "dirty_states", "reused_hedge",
+                        "reachable_hedge", "reused_tree", "reachable_tree",
+                    )
+                },
+            }
+        )
+
+
+def _merge_bench(path: Path, new_rows, mode: str, repeat: int, summarize) -> None:
+    """Write ``path``, replacing only the row groups that re-ran.
+
+    Groups present in ``new_rows`` overwrite their old sections; rows of
+    groups a ``--only`` run skipped survive from the existing file, so a
+    partial run refreshes stale sections in place instead of truncating
+    the file to whatever it happened to run.  Summary fields are
+    recomputed over the *merged* rows, keeping them consistent with the
+    file's contents rather than the last run's subset.
+    """
+    existing = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text()).get("benchmarks", [])
+        except (json.JSONDecodeError, OSError):
+            existing = []
+    ran_groups = {row["group"] for row in new_rows}
+    merged = [row for row in existing if row.get("group") not in ran_groups]
+    merged += new_rows
+    summary = {"mode": mode, "repeat": repeat}
+    summary.update(summarize(merged))
+    summary["benchmarks"] = merged
+    path.write_text(json.dumps(summary, indent=2) + "\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="small sizes; exit 1 if the kernel is slower "
-                             "than the baseline on the smoke family or a "
-                             "warm session fails to beat cold setup")
+                             "than the baseline on the smoke family, a "
+                             "warm session fails to beat cold setup, or "
+                             "incremental re-checking fails to beat "
+                             "from-scratch")
+    parser.add_argument("--only", action="append", metavar="FAMILY",
+                        help="run only these bench families (repeatable or "
+                             f"comma-separated; choices: {', '.join(FAMILIES)}"
+                             "); BENCH_*.json sections owned by families "
+                             "not selected are preserved in place")
     parser.add_argument("--repeat", type=int, default=None,
                         help="timing repetitions (default: 5, smoke: 7)")
     parser.add_argument("--output", type=Path,
@@ -725,180 +881,242 @@ def main(argv=None) -> int:
                         default=REPO_ROOT / "BENCH_backward.json")
     parser.add_argument("--output-auto", type=Path,
                         default=REPO_ROOT / "BENCH_auto.json")
+    parser.add_argument("--output-incremental", type=Path,
+                        default=REPO_ROOT / "BENCH_incremental.json")
     args = parser.parse_args(argv)
     repeat = args.repeat or (7 if args.smoke else 5)
+    only = set()
+    for spec in args.only or ():
+        only.update(part.strip() for part in spec.split(",") if part.strip())
+    unknown = only - set(FAMILIES)
+    if unknown:
+        parser.error(
+            f"unknown --only families: {', '.join(sorted(unknown))} "
+            f"(choices: {', '.join(FAMILIES)})"
+        )
+
+    def want(family: str) -> bool:
+        return not only or family in only
 
     results: list = []
     session_results: list = []
     service_results: list = []
     backward_results: list = []
     auto_results: list = []
+    incremental_results: list = []
     if args.smoke:
-        bench_forward(results, [("nd_bc", nd_bc_family, SMOKE_FAMILY[1])], repeat)
-        bench_backward(
-            backward_results,
-            [("nd_bc", nd_bc_family, SMOKE_FAMILY[1]),
-             ("wide_copy", wide_copy_family, 8)],
-            repeat,
-        )
-        bench_auto(
-            auto_results,
-            [("nd_bc", nd_bc_family, SMOKE_FAMILY[1]),
-             ("wide_copy", wide_copy_family, 8)],
-            repeat,
-        )
-        bench_dfa(results, [16], repeat)
-        bench_nta(results, [32], repeat)
-        bench_session(session_results, [SESSION_SMOKE_FAMILY], repeat)
-        bench_service(
-            service_results, [(16, 12)], min(repeat, 3), worker_counts=(1, 2)
-        )
-        bench_service_sticky(service_results, 12, 10, min(repeat, 3))
-        bench_shard_plan(service_results, width=16, arms=8, repeat=2, shards=2)
+        if want("forward"):
+            bench_forward(
+                results, [("nd_bc", nd_bc_family, SMOKE_FAMILY[1])], repeat
+            )
+        if want("backward"):
+            bench_backward(
+                backward_results,
+                [("nd_bc", nd_bc_family, SMOKE_FAMILY[1]),
+                 ("wide_copy", wide_copy_family, 8)],
+                repeat,
+            )
+        if want("auto"):
+            bench_auto(
+                auto_results,
+                [("nd_bc", nd_bc_family, SMOKE_FAMILY[1]),
+                 ("wide_copy", wide_copy_family, 8)],
+                repeat,
+            )
+        if want("dfa"):
+            bench_dfa(results, [16], repeat)
+        if want("nta"):
+            bench_nta(results, [32], repeat)
+        if want("session"):
+            bench_session(session_results, [SESSION_SMOKE_FAMILY], repeat)
+        if want("service"):
+            bench_service(
+                service_results, [(16, 12)], min(repeat, 3),
+                worker_counts=(1, 2),
+            )
+            bench_service_sticky(service_results, 12, 10, min(repeat, 3))
+            bench_shard_plan(
+                service_results, width=16, arms=8, repeat=2, shards=2
+            )
+        if want("incremental"):
+            bench_incremental(incremental_results, [8], repeat)
     else:
-        bench_forward(
-            results,
-            [
-                ("nd_bc", nd_bc_family, 16),
-                ("nd_bc", nd_bc_family, 32),
-                ("nd_bc", nd_bc_family, 64),
-                ("filtering", filtering_family, 32),
-                ("filtering", filtering_family, 48),
-            ],
-            repeat,
-        )
-        bench_backward(
-            backward_results,
-            [
-                ("nd_bc", nd_bc_family, 16),
-                ("nd_bc", nd_bc_family, 64),
-                ("filtering", filtering_family, 32),
-                ("wide_copy", wide_copy_family, 8),
-                ("wide_copy", wide_copy_family, 16),
-            ],
-            repeat,
-        )
-        bench_auto(
-            auto_results,
-            [
-                ("nd_bc", nd_bc_family, 16),
-                ("nd_bc", nd_bc_family, 64),
-                ("filtering", filtering_family, 32),
-                ("wide_copy", wide_copy_family, 8),
-                ("wide_copy", wide_copy_family, 16),
-            ],
-            repeat,
-        )
-        bench_dfa(results, [16, 48, 96], repeat)
-        bench_nta(results, [32, 96, 256], repeat)
-        bench_session(
-            session_results, [(16, 6), (32, 12), (64, 8)], repeat
-        )
-        bench_service(
-            service_results, [(24, 24), (48, 16)], min(repeat, 3),
-            worker_counts=(1, 2, 4),
-        )
-        bench_service_shard(service_results, 48, min(repeat, 3), shards=4)
-        bench_service_sticky(service_results, 24, 24, min(repeat, 3))
-        bench_shard_plan(service_results, width=16, arms=8, repeat=3, shards=2)
-        bench_shard_plan(service_results, width=16, arms=8, repeat=3, shards=4)
-
-    forward = [r for r in results if r["group"] == "forward"]
-    largest = max(forward, key=lambda r: (r["n"], r["baseline_s"]))
-    summary = {
-        "mode": "smoke" if args.smoke else "full",
-        "repeat": repeat,
-        "largest_forward": largest["name"],
-        "largest_forward_speedup": largest["speedup"],
-        "benchmarks": results,
-    }
-    args.output.write_text(json.dumps(summary, indent=2) + "\n")
-
-    largest_session = max(session_results, key=lambda r: (r["n"], r["cold_s"]))
-    session_summary = {
-        "mode": "smoke" if args.smoke else "full",
-        "repeat": repeat,
-        "largest_batch": largest_session["name"],
-        "largest_batch_warm_speedup": largest_session["speedup"],
-        "benchmarks": session_results,
-    }
-    args.output_session.write_text(json.dumps(session_summary, indent=2) + "\n")
+        if want("forward"):
+            bench_forward(
+                results,
+                [
+                    ("nd_bc", nd_bc_family, 16),
+                    ("nd_bc", nd_bc_family, 32),
+                    ("nd_bc", nd_bc_family, 64),
+                    ("filtering", filtering_family, 32),
+                    ("filtering", filtering_family, 48),
+                ],
+                repeat,
+            )
+        if want("backward"):
+            bench_backward(
+                backward_results,
+                [
+                    ("nd_bc", nd_bc_family, 16),
+                    ("nd_bc", nd_bc_family, 64),
+                    ("filtering", filtering_family, 32),
+                    ("wide_copy", wide_copy_family, 8),
+                    ("wide_copy", wide_copy_family, 16),
+                ],
+                repeat,
+            )
+        if want("auto"):
+            bench_auto(
+                auto_results,
+                [
+                    ("nd_bc", nd_bc_family, 16),
+                    ("nd_bc", nd_bc_family, 64),
+                    ("filtering", filtering_family, 32),
+                    ("wide_copy", wide_copy_family, 8),
+                    ("wide_copy", wide_copy_family, 16),
+                ],
+                repeat,
+            )
+        if want("dfa"):
+            bench_dfa(results, [16, 48, 96], repeat)
+        if want("nta"):
+            bench_nta(results, [32, 96, 256], repeat)
+        if want("session"):
+            bench_session(
+                session_results, [(16, 6), (32, 12), (64, 8)], repeat
+            )
+        if want("service"):
+            bench_service(
+                service_results, [(24, 24), (48, 16)], min(repeat, 3),
+                worker_counts=(1, 2, 4),
+            )
+            bench_service_shard(service_results, 48, min(repeat, 3), shards=4)
+            bench_service_sticky(service_results, 24, 24, min(repeat, 3))
+            bench_shard_plan(
+                service_results, width=16, arms=8, repeat=3, shards=2
+            )
+            bench_shard_plan(
+                service_results, width=16, arms=8, repeat=3, shards=4
+            )
+        if want("incremental"):
+            bench_incremental(incremental_results, [8, 16], repeat)
 
     import os as _os
 
+    mode = "smoke" if args.smoke else "full"
     cpu_count = _os.cpu_count() or 1
-    service_batches = [r for r in service_results if r["group"] == "service"]
-    best_scaling = None
-    for row in service_batches:
-        for workers, data in row["workers"].items():
-            if workers == "1":
+    written = []
+
+    def kernel_summary(rows):
+        forward = [r for r in rows if r["group"] == "forward"]
+        if not forward:
+            return {}
+        largest = max(forward, key=lambda r: (r["n"], r["baseline_s"]))
+        return {
+            "largest_forward": largest["name"],
+            "largest_forward_speedup": largest["speedup"],
+        }
+
+    def session_summary(rows):
+        largest = max(rows, key=lambda r: (r["n"], r["cold_s"]))
+        return {
+            "largest_batch": largest["name"],
+            "largest_batch_warm_speedup": largest["speedup"],
+        }
+
+    def service_summary(rows):
+        best_scaling = None
+        for row in rows:
+            if row["group"] != "service":
                 continue
-            candidate = (data.get("speedup_vs_1_worker", 0.0), workers, row["name"])
-            if best_scaling is None or candidate > best_scaling:
-                best_scaling = candidate
-    service_summary = {
-        "mode": "smoke" if args.smoke else "full",
-        "repeat": min(repeat, 3),
-        "cpu_count": cpu_count,
-        "note": (
-            "multi-worker speedups are bounded by cpu_count: on a "
-            "single-CPU host the workers time-slice one core and the "
-            "pool can only match (not beat) one worker"
-        ),
-        "best_multi_worker_speedup": (
-            None if best_scaling is None else {
-                "speedup_vs_1_worker": best_scaling[0],
-                "workers": int(best_scaling[1]),
-                "family": best_scaling[2],
-            }
-        ),
-        "benchmarks": service_results,
-    }
-    args.output_service.write_text(json.dumps(service_summary, indent=2) + "\n")
+            for workers, data in row["workers"].items():
+                if workers == "1":
+                    continue
+                candidate = (
+                    data.get("speedup_vs_1_worker", 0.0), workers, row["name"]
+                )
+                if best_scaling is None or candidate > best_scaling:
+                    best_scaling = candidate
+        return {
+            "cpu_count": cpu_count,
+            "note": (
+                "multi-worker speedups are bounded by cpu_count: on a "
+                "single-CPU host the workers time-slice one core and the "
+                "pool can only match (not beat) one worker"
+            ),
+            "best_multi_worker_speedup": (
+                None if best_scaling is None else {
+                    "speedup_vs_1_worker": best_scaling[0],
+                    "workers": int(best_scaling[1]),
+                    "family": best_scaling[2],
+                }
+            ),
+        }
 
-    best_backward = min(
-        backward_results, key=lambda r: r["backward_over_forward"]
-    )
-    backward_summary = {
-        "mode": "smoke" if args.smoke else "full",
-        "repeat": repeat,
-        "note": (
-            "backward_over_forward < 1 means the inverse-type-inference "
-            "engine beats the Lemma 14 forward engine on the family; "
-            "verdicts are asserted identical on every row (both "
-            "polarities) before timing"
-        ),
-        "best_family": best_backward["name"],
-        "best_backward_over_forward": best_backward["backward_over_forward"],
-        "benchmarks": backward_results,
-    }
-    args.output_backward.write_text(
-        json.dumps(backward_summary, indent=2) + "\n"
-    )
+    def backward_summary(rows):
+        best = min(rows, key=lambda r: r["backward_over_forward"])
+        return {
+            "note": (
+                "backward_over_forward < 1 means the inverse-type-inference "
+                "engine beats the Lemma 14 forward engine on the family; "
+                "verdicts are asserted identical on every row (both "
+                "polarities) before timing"
+            ),
+            "best_family": best["name"],
+            "best_backward_over_forward": best["backward_over_forward"],
+        }
 
-    worst_auto = max(auto_results, key=lambda r: r["auto_over_best"])
-    auto_summary = {
-        "mode": "smoke" if args.smoke else "full",
-        "repeat": repeat,
-        "note": (
-            "auto_over_best is the routed engine's wall time over the "
-            "faster explicit engine's: 1.0 means the calibrated cost "
-            "comparison picked the winner; the smoke gate bounds it at "
-            f"{AUTO_SMOKE_MAX_OVER_BEST}x on nd_bc and wide_copy.  The "
-            "routing decision itself is memoized per transducer "
-            "(routing_warm_s is the steady-state price)"
-        ),
-        "worst_family": worst_auto["name"],
-        "worst_auto_over_best": worst_auto["auto_over_best"],
-        "benchmarks": auto_results,
-    }
-    args.output_auto.write_text(json.dumps(auto_summary, indent=2) + "\n")
+    def auto_summary(rows):
+        worst = max(rows, key=lambda r: r["auto_over_best"])
+        return {
+            "note": (
+                "auto_over_best is the routed engine's wall time over the "
+                "faster explicit engine's: 1.0 means the calibrated cost "
+                "comparison picked the winner; the smoke gate bounds it at "
+                f"{AUTO_SMOKE_MAX_OVER_BEST}x on nd_bc and wide_copy.  The "
+                "routing decision itself is memoized per transducer "
+                "(routing_warm_s is the steady-state price)"
+            ),
+            "worst_family": worst["name"],
+            "worst_auto_over_best": worst["auto_over_best"],
+        }
 
-    width = max(
-        len(r["name"])
-        for r in results + session_results + service_results
-        + backward_results + auto_results
+    def incremental_summary(rows):
+        worst = max(rows, key=lambda r: r["incremental_over_scratch"])
+        return {
+            "note": (
+                "incremental_over_scratch is Session.retypecheck's wall "
+                "time over a from-scratch re-check of the same single-rule "
+                "edit on an equally schema-warmed session "
+                "(incremental_over_cold races a fresh session instead); "
+                "verdict parity with a cold session is asserted on both "
+                "polarities of every edit before timing; the smoke gate "
+                f"bounds the worst ratio at {INCREMENTAL_SMOKE_MAX_RATIO}x"
+            ),
+            "worst_family": worst["name"],
+            "worst_incremental_over_scratch": worst["incremental_over_scratch"],
+        }
+
+    for path, rows, file_repeat, summarize in (
+        (args.output, results, repeat, kernel_summary),
+        (args.output_session, session_results, repeat, session_summary),
+        (args.output_service, service_results, min(repeat, 3),
+         service_summary),
+        (args.output_backward, backward_results, repeat, backward_summary),
+        (args.output_auto, auto_results, repeat, auto_summary),
+        (args.output_incremental, incremental_results, repeat,
+         incremental_summary),
+    ):
+        if rows:
+            _merge_bench(path, rows, mode, file_repeat, summarize)
+            written.append(path)
+
+    service_batches = [r for r in service_results if r["group"] == "service"]
+    all_rows = (
+        results + session_results + service_results + backward_results
+        + auto_results + incremental_results
     )
+    width = max((len(r["name"]) for r in all_rows), default=0)
     for r in results:
         print(
             f"{r['name']:<{width}}  baseline {r['baseline_s'] * 1e3:8.2f} ms"
@@ -959,26 +1177,24 @@ def main(argv=None) -> int:
                 f"  round-robin spread"
                 f" {r['round_robin_spread_max_over_min']:6.2f}"
             )
-    print(f"\nwrote {args.output} "
-          f"(largest forward bench: {largest['name']} "
-          f"at {largest['speedup']:.2f}x)")
-    print(f"wrote {args.output_session} "
-          f"(largest batch: {largest_session['name']} warm at "
-          f"{largest_session['speedup']:.2f}x over cold)")
-    print(f"wrote {args.output_service} "
-          f"(cpu_count={cpu_count}; multi-worker scaling is "
-          f"hardware-bound, see the note in the file)")
-    print(f"wrote {args.output_backward} "
-          f"(best backward family: {best_backward['name']} at "
-          f"{best_backward['backward_over_forward']:.3f}x of forward)")
-    print(f"wrote {args.output_auto} "
-          f"(worst auto routing: {worst_auto['name']} at "
-          f"{worst_auto['auto_over_best']:.2f}x of the better engine)")
+    for r in incremental_results:
+        print(
+            f"{r['name']:<{width}}  scratch  {r['scratch_s'] * 1e3:8.2f} ms"
+            f"  incr   {r['incremental_s'] * 1e3:8.2f} ms"
+            f"  ratio  {r['incremental_over_scratch']:6.2f}x"
+            f"  (vs cold {r['incremental_over_cold']:.2f}x)"
+        )
+    print()
+    for path in written:
+        print(f"wrote {path}")
 
     if args.smoke:
         failed = False
-        smoke = next(r for r in forward if r["n"] == SMOKE_FAMILY[1])
-        if smoke["speedup"] < SMOKE_MIN_SPEEDUP:
+        forward = [r for r in results if r["group"] == "forward"]
+        smoke = next(
+            (r for r in forward if r["n"] == SMOKE_FAMILY[1]), None
+        )
+        if smoke is not None and smoke["speedup"] < SMOKE_MIN_SPEEDUP:
             print(
                 f"SMOKE FAILURE: interned kernel slower than the object-state "
                 f"baseline on {smoke['name']} "
@@ -988,8 +1204,11 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             failed = True
-        session_smoke = session_results[0]
-        if session_smoke["speedup"] < SESSION_SMOKE_MIN_SPEEDUP:
+        session_smoke = session_results[0] if session_results else None
+        if (
+            session_smoke is not None
+            and session_smoke["speedup"] < SESSION_SMOKE_MIN_SPEEDUP
+        ):
             print(
                 f"SMOKE FAILURE: warm session does not beat cold setup on "
                 f"{session_smoke['name']} "
@@ -1000,9 +1219,14 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             failed = True
-        service_smoke = service_batches[0]
-        two = service_smoke["workers"]["2"]["speedup_vs_1_worker"]
-        if cpu_count >= 2:
+        service_smoke = service_batches[0] if service_batches else None
+        two = (
+            None if service_smoke is None
+            else service_smoke["workers"]["2"]["speedup_vs_1_worker"]
+        )
+        if two is None:
+            pass
+        elif cpu_count >= 2:
             # Real cores available: a 2-worker pool must actually scale.
             if two < SERVICE_SMOKE_MIN_SPEEDUP:
                 print(
@@ -1021,7 +1245,10 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             failed = True
-        if service_smoke["table_cache_speedup"] < 1.0:
+        if (
+            service_smoke is not None
+            and service_smoke["table_cache_speedup"] < 1.0
+        ):
             print(
                 "SMOKE FAILURE: identical-repeat table-cache serving is "
                 f"slower than recomputing "
@@ -1030,10 +1257,15 @@ def main(argv=None) -> int:
             )
             failed = True
         backward_smoke = next(
-            r for r in backward_results
-            if r["family"] == "nd_bc" and r["n"] == SMOKE_FAMILY[1]
+            (r for r in backward_results
+             if r["family"] == "nd_bc" and r["n"] == SMOKE_FAMILY[1]),
+            None,
         )
-        if backward_smoke["backward_over_forward"] > BACKWARD_SMOKE_MAX_RATIO:
+        if (
+            backward_smoke is not None
+            and backward_smoke["backward_over_forward"]
+            > BACKWARD_SMOKE_MAX_RATIO
+        ):
             print(
                 f"SMOKE FAILURE: backward engine too slow on "
                 f"{backward_smoke['name']} "
@@ -1057,9 +1289,14 @@ def main(argv=None) -> int:
                 )
                 failed = True
         wide_copy = next(
-            r for r in backward_results if r["family"] == "wide_copy"
+            (r for r in backward_results if r["family"] == "wide_copy"),
+            None,
         )
-        if wide_copy["backward_over_forward"] > BACKWARD_WIDE_COPY_MAX_RATIO:
+        if (
+            wide_copy is not None
+            and wide_copy["backward_over_forward"]
+            > BACKWARD_WIDE_COPY_MAX_RATIO
+        ):
             print(
                 f"SMOKE FAILURE: backward engine does not beat forward on "
                 f"its own family {wide_copy['name']} "
@@ -1069,9 +1306,13 @@ def main(argv=None) -> int:
             )
             failed = True
         sticky = next(
-            r for r in service_results if r["group"] == "service-sticky"
+            (r for r in service_results if r["group"] == "service-sticky"),
+            None,
         )
-        if sticky["bytes_ratio"] >= STICKY_SMOKE_MAX_BYTES_RATIO:
+        if (
+            sticky is not None
+            and sticky["bytes_ratio"] >= STICKY_SMOKE_MAX_BYTES_RATIO
+        ):
             # Byte accounting is deterministic: sticky mode must actually
             # stop re-shipping schema text.
             print(
@@ -1081,6 +1322,18 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             failed = True
+        for row in incremental_results:
+            if row["incremental_over_scratch"] > INCREMENTAL_SMOKE_MAX_RATIO:
+                print(
+                    f"SMOKE FAILURE: incremental re-check does not beat "
+                    f"from-scratch on {row['name']} "
+                    f"({row['incremental_s'] * 1e3:.2f} ms vs "
+                    f"{row['scratch_s'] * 1e3:.2f} ms; ratio "
+                    f"{row['incremental_over_scratch']:.2f}x > "
+                    f"{INCREMENTAL_SMOKE_MAX_RATIO}x)",
+                    file=sys.stderr,
+                )
+                failed = True
         if failed:
             return 1
     return 0

@@ -40,6 +40,13 @@ Options::
                        names the engine that ran
     --cache-dir DIR    persist/reuse compiled schema artifacts in DIR
                        (see repro.cache)
+    --update FILE      update-validation mode: FILE is an XML edit script
+                       (one ``rename a -> b`` / ``delete-node a`` /
+                       ``insert-after a x`` / ``wrap a w`` op per line, see
+                       repro.updates); each instance file then carries just
+                       TWO sections — input DTD ``---`` output DTD — and
+                       the checked transducer is the script compiled over
+                       the input alphabet
 
 Several instance files may be given; all instances sharing a schema pair
 are checked against one warm compiled session (``repro.compile``), so the
@@ -96,6 +103,7 @@ def _parse_args(argv: List[str]):
     batch = False
     method = "auto"
     cache_dir: Optional[str] = None
+    update: Optional[str] = None
     index = 0
     while index < len(argv):
         arg = argv[index]
@@ -113,6 +121,11 @@ def _parse_args(argv: List[str]):
             if index >= len(argv):
                 return None
             cache_dir = argv[index]
+        elif arg == "--update":
+            index += 1
+            if index >= len(argv):
+                return None
+            update = argv[index]
         elif arg.startswith("-"):
             return None
         else:
@@ -120,13 +133,45 @@ def _parse_args(argv: List[str]):
         index += 1
     if not files:
         return None
-    return files, batch or len(files) > 1, method, cache_dir
+    return files, batch or len(files) > 1, method, cache_dir, update
 
 
-def _check_one(name: str, method: str, cache_dir: Optional[str]):
-    """Load and typecheck one instance file against a (shared) session."""
+def _load_update_pair(name: str, script):
+    """Update-validation mode: a two-section DTD pair file plus the
+    compiled edit script (the transducer is derived, not authored)."""
+    from repro.schemas.dtd import DTD
+    from repro.service.protocol import _is_alphabet_line, split_sections
+    from repro.updates import compile_script
+
     with open(name, encoding="utf-8") as handle:
-        transducer, din, dout = load_instance(handle.read())
+        sections = split_sections(handle.read())
+    if len(sections) != 2:
+        from repro.errors import ParseError
+
+        raise ParseError(
+            "--update instances carry 2 sections (input DTD --- output "
+            f"DTD), found {len(sections)}"
+        )
+    din = parse_dtd_section(sections[0])
+    transducer = compile_script(script, din.alphabet)
+    dout = parse_dtd_section(sections[1])
+    if not (len(sections[1]) > 1 and _is_alphabet_line(sections[1][1])):
+        # Same per-instance widening convention as load_instance: the
+        # output DTD's content models usually mention only a fragment of
+        # the labels the edited documents may carry.
+        dout = DTD(dout.rules(), start=dout.start, alphabet=transducer.alphabet)
+    return transducer, din, dout
+
+
+def _check_one(
+    name: str, method: str, cache_dir: Optional[str], script=None
+):
+    """Load and typecheck one instance file against a (shared) session."""
+    if script is not None:
+        transducer, din, dout = _load_update_pair(name, script)
+    else:
+        with open(name, encoding="utf-8") as handle:
+            transducer, din, dout = load_instance(handle.read())
     # The registry inside compile() hands back one warm session per
     # distinct (din, dout) content hash, so schema artifacts are compiled
     # once per pair across the whole batch.
@@ -232,12 +277,22 @@ def main(argv: List[str] | None = None) -> int:
     if parsed is None:
         print(__doc__)
         return 2
-    files, batch, method, cache_dir = parsed
+    files, batch, method, cache_dir, update = parsed
+    script = None
+    if update is not None:
+        from repro.updates import parse_update_script
+
+        try:
+            with open(update, encoding="utf-8") as handle:
+                script = parse_update_script(handle.read())
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if not batch:
         # Single-instance mode: the seed's exact output contract.
         try:
-            _, result = _check_one(files[0], method, cache_dir)
+            _, result = _check_one(files[0], method, cache_dir, script)
         except (ReproError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -254,7 +309,7 @@ def main(argv: List[str] | None = None) -> int:
     sessions = set()  # content-hash keys, stable across registry eviction
     for name in files:
         try:
-            session, result = _check_one(name, method, cache_dir)
+            session, result = _check_one(name, method, cache_dir, script)
         except (ReproError, OSError) as exc:
             print(f"{name}: ERROR: {exc}", file=sys.stderr)
             errored += 1

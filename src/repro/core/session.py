@@ -51,7 +51,7 @@ from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 from weakref import WeakKeyDictionary
 
-from repro.errors import ClassViolationError
+from repro.errors import BudgetExceededError, ClassViolationError
 from repro.core.bruteforce import typecheck_bruteforce
 from repro.core.delrelab import DelrelabSchema, typecheck_delrelab
 from repro.core.forward import ForwardSchema, typecheck_forward
@@ -63,6 +63,7 @@ from repro.core.replus import (
 )
 from repro.schemas.dtd import DTD
 from repro.transducers.analysis import TransducerAnalysis, analyze
+from repro.transducers.rhs import RhsSym
 from repro.transducers.transducer import TreeTransducer
 from repro.tree_automata.nta import NTA
 from repro.trees.tree import Tree
@@ -598,6 +599,176 @@ class Session:
         kwargs.setdefault("use_kernel", self.use_kernel)
         kwargs.setdefault("max_product_nodes", self.max_product_nodes)
 
+    # ------------------------------------------------------------------
+    # Incremental re-typechecking (edit chains)
+    # ------------------------------------------------------------------
+    def retypecheck(
+        self,
+        transducer: TreeTransducer,
+        base: TreeTransducer,
+        method: str = "auto",
+        max_tuple: Optional[int] = None,
+        **kwargs,
+    ) -> TypecheckResult:
+        """Typecheck ``transducer`` as an *edit* of ``base``.
+
+        Same verdict, counterexample semantics, and exceptions as
+        :meth:`typecheck` of ``transducer`` alone — the differential
+        suites enforce bit-identical results — but when ``base``'s
+        fixpoint tables are warm in this session, only the cells whose
+        dependency closure touches the edited rules are recomputed; the
+        surviving cells (and their persisted kernel ``ProductBFS``
+        frontiers) carry over.  The new tables are stored under the
+        edited transducer's content hash, so chains of edits stay warm
+        link to link.  ``method`` accepts ``auto`` (the usual routing,
+        restricted to the two complete engines), ``forward``, or
+        ``backward``; anything that the delta path cannot serve (cold
+        base, non-DTD pair, ``use_kernel=False``, blown budgets, XPath
+        calls, alphabet/behavior-shape changes) falls back to a plain
+        cold check, reported in ``stats["retypecheck_mode"]``.
+        """
+        with self._lock:
+            return self._retypecheck(transducer, base, method, max_tuple, **kwargs)
+
+    def _retypecheck(
+        self,
+        transducer: TreeTransducer,
+        base: TreeTransducer,
+        method: str,
+        max_tuple: Optional[int],
+        **kwargs,
+    ) -> TypecheckResult:
+        if method not in ("auto", "forward", "backward"):
+            raise ValueError(
+                f"unknown retypecheck method {method!r}; valid: auto, "
+                "forward, backward"
+            )
+
+        def cold(reason: str, resolved: Optional[str] = None) -> TypecheckResult:
+            result = self._typecheck(transducer, method, max_tuple, **dict(kwargs))
+            result.stats["retypecheck_mode"] = "cold"
+            result.stats["retypecheck"] = {
+                "mode": "cold",
+                "method": resolved or method,
+                "reason": reason,
+            }
+            return result
+
+        if self._dtd_pair_value is None or self._replus_pair:
+            return cold("not a DTD pair")
+        if kwargs.get("use_kernel") is False:
+            return cold("object path requested")
+        din, dout = self._dtd_pair_value
+        plain, analysis = self._compiled_transducer(transducer)
+        base_plain, _base_analysis = self._compiled_transducer(base)
+
+        # Resolve auto exactly as a sharded run would (the cost-model
+        # routing, restricted to the two complete engines).
+        if method == "auto":
+            if max_tuple is not None:
+                resolved = "forward"
+            elif not analysis.in_trac:
+                resolved = "backward"
+            else:
+                resolved, _fcost, _bcost = self._auto_choice(plain)
+        else:
+            resolved = method
+
+        # The engines' preambles (empty input language, missing/ill-formed
+        # root rule, wrong output root) answer before any fixpoint — a
+        # cold call is free there and keeps exception parity exactly.
+        root_rule = plain.rules.get((plain.initial, din.start))
+        if (
+            din.is_empty()
+            or root_rule is None
+            or len(root_rule) != 1
+            or not isinstance(root_rule[0], RhsSym)
+            or root_rule[0].label != dout.start
+        ):
+            return cold("preamble case", resolved)
+
+        base_key = base_plain.content_hash()
+        new_key = plain.content_hash()
+        max_nodes = int(kwargs.get("max_product_nodes", self.max_product_nodes))
+
+        if resolved == "forward":
+            validate_method_kwargs("forward", kwargs)
+            fschema = self.forward_schema()
+            base_tables = fschema.cached_tables(base_key)
+            if base_tables is None:
+                # The cold run itself stores tables under the new hash,
+                # so the *next* link of the chain is warm.
+                return cold("no base tables", resolved)
+            from repro.core.forward import incremental_forward_tables
+
+            try:
+                out = incremental_forward_tables(
+                    plain, base_plain, din, dout, base_tables,
+                    max_tuple=max_tuple, max_product_nodes=max_nodes,
+                    schema=fschema,
+                )
+            except BudgetExceededError:
+                return cold("incremental budget exceeded", resolved)
+            if out is None:
+                return cold("delta path not applicable", resolved)
+            tables, info = out
+            fschema.store_tables(new_key, tables)
+            self.stats["calls"] = int(self.stats["calls"]) + 1
+            self._apply_defaults(kwargs)
+            result = typecheck_forward(
+                plain, din, dout, max_tuple,
+                schema=fschema, tables=tables, **kwargs,
+            )
+        else:
+            validate_method_kwargs("backward", kwargs)
+            _reject_max_tuple("backward", max_tuple)
+            bschema = self.backward_schema()
+            base_tables = bschema.cached_tables(base_key)
+            from repro.backward.engine import (
+                backward_check_keys,
+                compute_backward_tables,
+                incremental_backward_tables,
+            )
+
+            info = None
+            if base_tables is not None:
+                try:
+                    out = incremental_backward_tables(
+                        plain, base_plain, din, dout, base_tables,
+                        max_product_nodes=max_nodes, schema=bschema,
+                    )
+                except BudgetExceededError:
+                    return cold("incremental budget exceeded", resolved)
+                if out is not None:
+                    tables, info = out
+            if info is None:
+                # Cold link: saturate once (the plain cold run is
+                # early-exit and stores no tables) so the next edit in
+                # the chain has a base to diff against.
+                try:
+                    tables = compute_backward_tables(
+                        plain, din, dout,
+                        backward_check_keys(plain, din, bschema),
+                        max_product_nodes=max_nodes, schema=bschema,
+                    )
+                except BudgetExceededError:
+                    return cold("saturation budget exceeded", resolved)
+            bschema.store_tables(new_key, tables)
+            self.stats["calls"] = int(self.stats["calls"]) + 1
+            kwargs.setdefault("max_product_nodes", self.max_product_nodes)
+            result = _method_func("backward")(
+                plain, din, dout, schema=bschema, tables=tables, **kwargs
+            )
+        if info is not None:
+            result.stats["retypecheck_mode"] = "incremental"
+            result.stats["retypecheck"] = dict(info, mode="incremental", method=resolved)
+        else:
+            result.stats["retypecheck_mode"] = "warmed"
+            result.stats["retypecheck"] = {"mode": "warmed", "method": resolved}
+        if method == "auto":
+            result.stats.setdefault("auto_method", resolved)
+        return result
+
     def typecheck_many(
         self,
         transducers: Iterable[TreeTransducer],
@@ -1035,6 +1206,12 @@ class Session:
                 stats = snapshot.get("stats")
                 if snapshot.get("counterexample") is not None and stats:
                     units += _NODE_BYTES * int(stats.get("derived_pairs", 0))
+            for tables in backward.transducer_tables.values():
+                units += _SNAPSHOT_BYTES
+                derived = tables.get("derived") or {}
+                units += _ACCEPT_BYTES * sum(
+                    len(phis) for phis in derived.values()
+                )
         replus = self._replus
         if replus is not None:
             units += _WITNESS_DAG_BYTES * len(replus._witness_dags)

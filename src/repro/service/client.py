@@ -183,6 +183,26 @@ class ServiceClient:
             method=method,
         )
 
+    def retypecheck(
+        self,
+        transducer: Textable,
+        base: Textable,
+        din: Textable,
+        dout: Textable,
+        method: str = "auto",
+    ) -> Dict[str, object]:
+        """Typecheck ``transducer`` as an edit of ``base`` (incremental
+        when the serving worker holds ``base``'s warm tables); the verdict
+        dict is identical to :meth:`typecheck` of ``transducer`` alone."""
+        return self.call(
+            "retypecheck",
+            din=_dtd_text(din),
+            transducer=_transducer_text(transducer),
+            base=_transducer_text(base),
+            dout=_dtd_text(dout),
+            method=method,
+        )
+
     def counterexample(
         self, transducer: Textable, din: Textable, dout: Textable
     ):
@@ -284,6 +304,29 @@ class PairHandle:
             "typecheck_many",
             v=2,
             transducers=[_transducer_text(item) for item in transducers],
+            method=method,
+        )
+
+    def retypecheck(
+        self, transducer: Textable, base: Textable, method: str = "auto"
+    ) -> Dict[str, object]:
+        """Typecheck an edit of ``base`` against the pinned pair.
+
+        Bare framing ships only the two transducer sections; the pair's
+        affine worker holds the warm tables of any ``base`` it already
+        checked, so sticky edit chains stay on the incremental path.
+        """
+        self._ensure_pinned()
+        if self.v1_fallback:
+            return self._client.retypecheck(
+                transducer, base, self._din_text, self._dout_text,
+                method=method,
+            )
+        return self._client.call(
+            "retypecheck",
+            v=2,
+            transducer=_transducer_text(transducer),
+            base=_transducer_text(base),
             method=method,
         )
 

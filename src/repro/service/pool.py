@@ -105,7 +105,7 @@ def _pin_pair(pair_key: str, sin, sout) -> None:
     lru_store(_WORKER_PAIRS, pair_key, (sin, sout), _WORKER_PAIR_LIMIT)
 
 
-def _json_result(session, transducer, json_op: str, method):
+def _json_result(session, transducer, json_op: str, method, base=None):
     """Run one JSON-shaped request against a warm session."""
     from repro.service.protocol import analysis_to_json, result_to_json
 
@@ -113,6 +113,12 @@ def _json_result(session, transducer, json_op: str, method):
         raise ProtocolError("'method' must be a string")
     if json_op == "analysis":
         return analysis_to_json(session.analysis(transducer))
+    if json_op == "retypecheck":
+        if base is None:
+            raise ProtocolError("'retypecheck' needs a 'base' transducer section")
+        return result_to_json(
+            session.retypecheck(transducer, base, method=method)
+        )
     result = session.typecheck(transducer, method=method)
     if json_op == "counterexample":
         return {
@@ -157,6 +163,10 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
         sin, sout, transducer, method, kwargs = args
         session = warm_session(sin, sout)
         return session.typecheck(transducer, method=method, **kwargs)
+    if op == "retypecheck":
+        sin, sout, transducer, base, method, kwargs = args
+        session = warm_session(sin, sout)
+        return session.retypecheck(transducer, base, method=method, **kwargs)
     if op == "analysis":
         sin, sout, transducer = args
         return warm_session(sin, sout).analysis(transducer)
@@ -189,15 +199,26 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
         transducer = parse_transducer_section(
             split_sections(transducer_text)[0], sin.alphabet
         )
+        base = None
+        base_text = payload.get("base")
+        if base_text is not None:
+            if not isinstance(base_text, str):
+                raise ProtocolError("'base' must be transducer section text")
+            base = parse_transducer_section(
+                split_sections(base_text)[0], sin.alphabet
+            )
         return _json_result(
             warm_session(sin, sout),
             transducer,
             json_op,
             payload.get("method", "auto"),
+            base=base,
         )
     if op == "json_parsed":
-        sin, sout, transducer, method, json_op = args
-        return _json_result(warm_session(sin, sout), transducer, json_op, method)
+        sin, sout, transducer, method, json_op, base = args
+        return _json_result(
+            warm_session(sin, sout), transducer, json_op, method, base=base
+        )
     raise ProtocolError(f"unknown worker op {op!r}")
 
 
@@ -559,6 +580,26 @@ class WorkerPool:
         )
         return ticket.result()
 
+    def retypecheck(
+        self, sin, sout, transducer, base, method: str = "auto", **kwargs
+    ):
+        """One edited instance on the pair's affine worker — that worker
+        holds ``base``'s warm tables whenever it checked ``base``, so the
+        incremental path engages exactly when routing kept the pair hot."""
+        ticket = self.submit(
+            "retypecheck",
+            (
+                _wire_schema(sin),
+                _wire_schema(sout),
+                transducer,
+                base,
+                method,
+                kwargs,
+            ),
+            slot=self.route_slot(sin, sout),
+        )
+        return ticket.result()
+
     def analysis(self, sin, sout, transducer):
         ticket = self.submit(
             "analysis",
@@ -671,7 +712,7 @@ class WorkerPool:
         re-parses.
         """
         op = payload.get("op")
-        if op not in ("typecheck", "counterexample", "analysis"):
+        if op not in ("typecheck", "counterexample", "analysis", "retypecheck"):
             raise ProtocolError(f"op {op!r} is not a single-instance op")
         return self.submit_single(payload, str(op))
 
@@ -688,9 +729,26 @@ class WorkerPool:
         method = payload.get("method", "auto")
         if not isinstance(method, str):
             raise ProtocolError("'method' must be a string")
+        base = None
+        base_text = payload.get("base")
+        if base_text is not None:
+            if not isinstance(base_text, str):
+                raise ProtocolError("'base' must be transducer section text")
+            base = protocol.parse_transducer_section(
+                protocol.split_sections(base_text)[0], din.alphabet
+            )
+        if json_op == "retypecheck" and base is None:
+            raise ProtocolError("'retypecheck' needs a 'base' transducer section")
         return self.submit(
             "json_parsed",
-            (_wire_schema(din), _wire_schema(dout), transducer, method, json_op),
+            (
+                _wire_schema(din),
+                _wire_schema(dout),
+                transducer,
+                method,
+                json_op,
+                base,
+            ),
             slot=None if fanout else self.route_slot(din, dout),
         )
 

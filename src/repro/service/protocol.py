@@ -29,6 +29,11 @@ Ops
 ``typecheck_many``
     ``"din"``/``"dout"`` plus ``"transducers": [text, ...]``; items fan
     out across the worker pool and the result is a list in input order.
+``retypecheck``
+    Like ``typecheck`` plus a ``"base"`` transducer section: the edited
+    ``"transducer"`` is checked incrementally against ``base``'s warm
+    fixpoint tables (``Session.retypecheck``) — same verdict as a cold
+    ``typecheck``, and the result's stats carry the reuse detail.
 
 Protocol v2: sticky pairs
 -------------------------
@@ -108,6 +113,7 @@ OPS = frozenset(
         "typecheck_many",
         "counterexample",
         "analysis",
+        "retypecheck",
     }
 )
 

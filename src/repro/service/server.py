@@ -262,6 +262,9 @@ class ServiceServer:
         method = message.get("method")
         if method is not None:
             payload["method"] = method
+        base = message.get("base")
+        if base is not None:
+            payload["base"] = base
         return payload
 
     def _require_pin(self, conn) -> _Pin:

@@ -1,0 +1,123 @@
+"""Compile edit scripts to deterministic top-down tree transducers.
+
+The construction tracks exactly enough context to decide guards: one
+state per *guarded* parent label plus one generic state for every other
+context.  A node labeled ``a`` is processed in the state of its parent's
+label (``u_in_a`` when some op guards on ``under=a``, the generic state
+otherwise), so a rule ``(state, label)`` knows both the node's label and
+whether its input parent carries a guard label — the first matching op
+in script order picks the right-hand side, and unmatched nodes get the
+identity rule.
+
+Every produced transducer is non-copying (each child state occurs once
+per rule), so the result sits comfortably inside ``T^{1,K}_trac`` and
+all engines apply.  One caveat inherited from the transducer model:
+scripts whose op matches the *root* with a destructive/splicing op
+(``DeleteNode``/``DeleteTree``/``InsertBefore``/...) produce a root rule
+that is not a single tree, which the typecheckers reject with
+``ClassViolationError`` — guard root-reaching ops with ``under=`` or
+keep the root label out of the script, exactly as :func:`apply_script`
+returns ``None`` for such inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.transducers.rhs import RhsNode, RhsState, RhsSym
+from repro.transducers.transducer import TreeTransducer
+from repro.updates.ops import (
+    DeleteNode,
+    DeleteTree,
+    EditOp,
+    EditScript,
+    InsertAfter,
+    InsertBefore,
+    InsertInto,
+    Rename,
+    Wrap,
+    script_labels,
+)
+
+__all__ = ["compile_script"]
+
+
+def _rhs_for(op: Optional[EditOp], label: str, child_state: str) -> Tuple[RhsNode, ...]:
+    keep = RhsSym(label, (RhsState(child_state),))
+    if op is None:
+        return (keep,)
+    if isinstance(op, Rename):
+        return (RhsSym(op.to, (RhsState(child_state),)),)
+    if isinstance(op, DeleteNode):
+        return (RhsState(child_state),)
+    if isinstance(op, DeleteTree):
+        return ()
+    if isinstance(op, InsertBefore):
+        return (RhsSym(op.new), keep)
+    if isinstance(op, InsertAfter):
+        return (keep, RhsSym(op.new))
+    if isinstance(op, InsertInto):
+        if op.position == "first":
+            return (RhsSym(label, (RhsSym(op.new), RhsState(child_state))),)
+        return (RhsSym(label, (RhsState(child_state), RhsSym(op.new))),)
+    if isinstance(op, Wrap):
+        return (RhsSym(op.wrapper, (RhsSym(label, (RhsState(child_state),)),)),)
+    raise TypeError(f"unknown edit op {op!r}")
+
+
+def compile_script(
+    script: EditScript,
+    alphabet: Iterable[str],
+    *,
+    state_prefix: str = "u",
+) -> TreeTransducer:
+    """Compile ``script`` over an input ``alphabet`` to a :class:`TreeTransducer`.
+
+    ``alphabet`` is the set of labels input trees may use (typically
+    ``din.alphabet``); the transducer's alphabet additionally includes
+    every label the script introduces.  For all trees over ``alphabet``,
+    ``transducer.apply(t) == apply_script(t, script)`` (both ``None``
+    when the script does not map the root to a single tree).
+    """
+    in_alphabet = frozenset(alphabet)
+    _, introduced = script_labels(script)
+    guards = {op.under for op in script if op.under is not None}
+    reserved = in_alphabet | introduced
+
+    def fresh(base: str) -> str:
+        name = base
+        while name in reserved:
+            name += "_"
+        return name
+
+    generic = fresh(f"{state_prefix}_any")
+    guard_state = {g: fresh(f"{state_prefix}_in_{g}") for g in sorted(guards)}
+
+    def ctx_state(label: str) -> str:
+        return guard_state.get(label, generic)
+
+    # Rules for every (context, input label): the generic state also
+    # serves the root (no parent == no guard can match, same as an
+    # unguarded parent), so it doubles as the initial state.
+    contexts: Dict[str, Optional[str]] = {generic: None}
+    for g, state in guard_state.items():
+        contexts[state] = g
+
+    rules: Dict[Tuple[str, str], Tuple[RhsNode, ...]] = {}
+    for state, parent in contexts.items():
+        for label in sorted(in_alphabet):
+            op = None
+            for candidate in script:
+                if candidate.label != label:
+                    continue
+                if candidate.under is None or candidate.under == parent:
+                    op = candidate
+                    break
+            rules[(state, label)] = _rhs_for(op, label, ctx_state(label))
+
+    return TreeTransducer(
+        states=frozenset(contexts),
+        alphabet=in_alphabet | introduced,
+        initial=generic,
+        rules=rules,
+    )

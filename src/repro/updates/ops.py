@@ -1,0 +1,272 @@
+"""Edit operations over unranked XML trees, and their reference semantics.
+
+An *edit script* is a tuple of operations, each matching input nodes by
+label and (optionally) by the label of their parent (``under=``).  For a
+given node the **first** matching operation in script order applies; a
+node no operation matches is copied unchanged.  Guards always refer to
+the *input* tree — a node whose parent is deleted by ``DeleteNode`` is
+still "under" the deleted label for guard purposes, because matching
+happens before any rewriting.
+
+The module gives the script language its reference semantics
+(:func:`apply_script`, structural recursion over plain
+:class:`~repro.trees.tree.Tree` values) plus a line-oriented text format
+(:func:`parse_update_script` / :func:`script_str`).  The compiled,
+engine-facing semantics live in :mod:`repro.updates.compile`; the two are
+pinned against each other by a randomized differential in
+``tests/updates/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.trees.tree import Tree
+
+__all__ = [
+    "Rename",
+    "DeleteNode",
+    "DeleteTree",
+    "InsertBefore",
+    "InsertAfter",
+    "InsertInto",
+    "Wrap",
+    "EditOp",
+    "EditScript",
+    "apply_script",
+    "parse_update_script",
+    "script_labels",
+    "script_str",
+]
+
+
+@dataclass(frozen=True)
+class Rename:
+    """Relabel matching nodes ``label`` -> ``to``, keeping their children."""
+
+    label: str
+    to: str
+    under: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DeleteNode:
+    """Delete matching nodes but splice their children into the parent."""
+
+    label: str
+    under: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DeleteTree:
+    """Delete matching nodes together with their whole subtree."""
+
+    label: str
+    under: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class InsertBefore:
+    """Insert a fresh leaf ``new`` as the left sibling of matching nodes."""
+
+    label: str
+    new: str
+    under: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class InsertAfter:
+    """Insert a fresh leaf ``new`` as the right sibling of matching nodes."""
+
+    label: str
+    new: str
+    under: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class InsertInto:
+    """Insert a fresh leaf ``new`` as the first/last child of matching nodes."""
+
+    label: str
+    new: str
+    position: str = "first"
+    under: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.position not in ("first", "last"):
+            raise ValueError(
+                f"InsertInto position must be 'first' or 'last', got {self.position!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Wrap:
+    """Wrap matching nodes in a fresh ``wrapper`` node."""
+
+    label: str
+    wrapper: str
+    under: Optional[str] = None
+
+
+EditOp = Union[Rename, DeleteNode, DeleteTree, InsertBefore, InsertAfter, InsertInto, Wrap]
+EditScript = Tuple[EditOp, ...]
+
+
+def _match(script: EditScript, label: str, parent: Optional[str]) -> Optional[EditOp]:
+    """First op matching a node ``label`` whose input parent is ``parent``.
+
+    ``parent is None`` means the root — only unguarded ops can match it.
+    """
+    for op in script:
+        if op.label != label:
+            continue
+        if op.under is None or op.under == parent:
+            return op
+    return None
+
+
+def _apply(node: Tree, parent: Optional[str], script: EditScript) -> Tuple[Tree, ...]:
+    kids: List[Tree] = []
+    for child in node.children:
+        kids.extend(_apply(child, node.label, script))
+    hedge = tuple(kids)
+    op = _match(script, node.label, parent)
+    if op is None:
+        return (Tree(node.label, hedge),)
+    if isinstance(op, Rename):
+        return (Tree(op.to, hedge),)
+    if isinstance(op, DeleteNode):
+        return hedge
+    if isinstance(op, DeleteTree):
+        return ()
+    if isinstance(op, InsertBefore):
+        return (Tree(op.new), Tree(node.label, hedge))
+    if isinstance(op, InsertAfter):
+        return (Tree(node.label, hedge), Tree(op.new))
+    if isinstance(op, InsertInto):
+        if op.position == "first":
+            return (Tree(node.label, (Tree(op.new),) + hedge),)
+        return (Tree(node.label, hedge + (Tree(op.new),)),)
+    if isinstance(op, Wrap):
+        return (Tree(op.wrapper, (Tree(node.label, hedge),)),)
+    raise TypeError(f"unknown edit op {op!r}")
+
+
+def apply_script(tree: Tree, script: EditScript) -> Optional[Tree]:
+    """Apply an edit script to a tree; reference semantics.
+
+    Returns the edited tree, or ``None`` when the result is not a single
+    tree (the root was deleted, spliced into several siblings, or gained
+    an inserted sibling) — the same partiality as
+    :meth:`TreeTransducer.apply`, which the compiled form inherits.
+    """
+    out = _apply(tree, None, script)
+    if len(out) != 1:
+        return None
+    return out[0]
+
+
+def script_labels(script: EditScript) -> Tuple[frozenset, frozenset]:
+    """``(matched, introduced)`` label sets of a script.
+
+    ``matched`` holds every label the script tests (targets and guards);
+    ``introduced`` holds labels the script can create in its output —
+    rename targets, inserted leaves, wrappers.
+    """
+    matched = set()
+    introduced = set()
+    for op in script:
+        matched.add(op.label)
+        if op.under is not None:
+            matched.add(op.under)
+        if isinstance(op, Rename):
+            introduced.add(op.to)
+        elif isinstance(op, (InsertBefore, InsertAfter, InsertInto)):
+            introduced.add(op.new)
+        elif isinstance(op, Wrap):
+            introduced.add(op.wrapper)
+    return frozenset(matched), frozenset(introduced)
+
+
+# --- text format ----------------------------------------------------------
+#
+#   rename a -> b            rename every a to b
+#   delete-node a under p    splice a's children into p (guard optional)
+#   delete-tree a            drop the whole subtree
+#   insert-before a x        fresh leaf x as left sibling of a
+#   insert-after a x         fresh leaf x as right sibling of a
+#   insert-first a x         fresh leaf x as first child of a
+#   insert-last a x          fresh leaf x as last child of a
+#   wrap a w                 wrap a in a fresh w node
+#
+# One op per line; blank lines and '#' comments are ignored; any op may
+# end with 'under LABEL'.
+
+
+def _split_guard(tokens: List[str], line: str) -> Tuple[List[str], Optional[str]]:
+    if len(tokens) >= 2 and tokens[-2] == "under":
+        return tokens[:-2], tokens[-1]
+    if "under" in tokens:
+        raise ParseError(f"malformed 'under' guard in update line: {line!r}")
+    return tokens, None
+
+
+def parse_update_script(text: str) -> EditScript:
+    """Parse the line-oriented edit-script format into an :data:`EditScript`."""
+    ops: List[EditOp] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        head, rest = tokens[0], tokens[1:]
+        rest, under = _split_guard(rest, line)
+        if head == "rename" and len(rest) == 3 and rest[1] == "->":
+            ops.append(Rename(rest[0], rest[2], under=under))
+        elif head == "delete-node" and len(rest) == 1:
+            ops.append(DeleteNode(rest[0], under=under))
+        elif head == "delete-tree" and len(rest) == 1:
+            ops.append(DeleteTree(rest[0], under=under))
+        elif head == "insert-before" and len(rest) == 2:
+            ops.append(InsertBefore(rest[0], rest[1], under=under))
+        elif head == "insert-after" and len(rest) == 2:
+            ops.append(InsertAfter(rest[0], rest[1], under=under))
+        elif head == "insert-first" and len(rest) == 2:
+            ops.append(InsertInto(rest[0], rest[1], position="first", under=under))
+        elif head == "insert-last" and len(rest) == 2:
+            ops.append(InsertInto(rest[0], rest[1], position="last", under=under))
+        elif head == "wrap" and len(rest) == 2:
+            ops.append(Wrap(rest[0], rest[1], under=under))
+        else:
+            raise ParseError(f"unrecognized update line: {line!r}")
+    return tuple(ops)
+
+
+def _op_str(op: EditOp) -> str:
+    if isinstance(op, Rename):
+        body = f"rename {op.label} -> {op.to}"
+    elif isinstance(op, DeleteNode):
+        body = f"delete-node {op.label}"
+    elif isinstance(op, DeleteTree):
+        body = f"delete-tree {op.label}"
+    elif isinstance(op, InsertBefore):
+        body = f"insert-before {op.label} {op.new}"
+    elif isinstance(op, InsertAfter):
+        body = f"insert-after {op.label} {op.new}"
+    elif isinstance(op, InsertInto):
+        word = "insert-first" if op.position == "first" else "insert-last"
+        body = f"{word} {op.label} {op.new}"
+    elif isinstance(op, Wrap):
+        body = f"wrap {op.label} {op.wrapper}"
+    else:
+        raise TypeError(f"unknown edit op {op!r}")
+    if op.under is not None:
+        body += f" under {op.under}"
+    return body
+
+
+def script_str(script: EditScript) -> str:
+    """Render a script in the text format (inverse of :func:`parse_update_script`)."""
+    return "\n".join(_op_str(op) for op in script)

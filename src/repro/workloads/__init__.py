@@ -24,6 +24,14 @@ from repro.workloads.random_instances import (
     random_dtd,
     random_trac_transducer,
 )
+from repro.workloads.updates import (
+    document_pair,
+    edit_arm_pair,
+    edit_arm_transducer,
+    random_edit_chain,
+    safe_script,
+    unsafe_script,
+)
 
 __all__ = [
     "book_dtd",
@@ -41,4 +49,10 @@ __all__ = [
     "relabeling_family",
     "random_dtd",
     "random_trac_transducer",
+    "document_pair",
+    "safe_script",
+    "unsafe_script",
+    "edit_arm_pair",
+    "edit_arm_transducer",
+    "random_edit_chain",
 ]

@@ -1,0 +1,81 @@
+"""Artifact-cache behavior of retypecheck chains (satellite: the cache
+must not grow a blob per edit, and side files prune independently)."""
+
+import os
+
+import pytest
+
+import repro
+from repro import cache
+from repro.workloads.updates import edit_arm_pair, edit_arm_transducer
+
+ARMS = 5
+
+
+@pytest.fixture()
+def warm_session(tmp_path):
+    din, dout = edit_arm_pair(ARMS)
+    session = repro.compile(
+        din, dout, eager=False, cache_dir=tmp_path, reuse=False
+    )
+    return session, tmp_path
+
+
+def _edit_chain(session):
+    """One base check + a fan of distinct single-arm edits."""
+    base = edit_arm_transducer(ARMS)
+    assert session.typecheck(base, method="forward").typechecks
+    edits = [
+        edit_arm_transducer(ARMS, edited=i, variant=variant)
+        for i in range(ARMS)
+        for variant in ("safe", "unsafe")
+    ]
+    for edited in edits:
+        session.retypecheck(edited, base, method="forward")
+    return edits
+
+
+def test_one_blob_bounded_side_files(warm_session):
+    session, cache_dir = warm_session
+    edits = _edit_chain(session)
+    cache.publish(session, cache_dir=cache_dir, min_interval_s=0)
+
+    blobs = sorted(cache_dir.glob("*.session.pkl"))
+    sides = sorted(cache_dir.glob("*.tables.*.pkl"))
+    # However many edits were re-checked, the schema artifacts stay in
+    # exactly one blob; per-transducer snapshots go to side files, bounded
+    # by the in-memory table LRU.
+    assert len(blobs) == 1
+    limit = session.forward_schema().transducer_table_limit
+    assert 1 <= len(sides) <= min(limit, len(edits) + 1)
+
+    # Re-publishing after more retypechecks must not mint a second blob.
+    base = edit_arm_transducer(ARMS)
+    session.retypecheck(
+        edit_arm_transducer(ARMS, edited=0, variant="safe"), base,
+        method="forward",
+    )
+    cache.publish(session, cache_dir=cache_dir, min_interval_s=0)
+    assert len(sorted(cache_dir.glob("*.session.pkl"))) == 1
+
+
+def test_clear_prunes_side_files_independently(warm_session):
+    session, cache_dir = warm_session
+    _edit_chain(session)
+    cache.publish(session, cache_dir=cache_dir, min_interval_s=0)
+    blob = next(iter(cache_dir.glob("*.session.pkl")))
+    sides = sorted(cache_dir.glob("*.tables.*.pkl"))
+    assert sides
+
+    # A load hit touches the blob (recency signal); emulate one so the
+    # schema artifacts are the newest entries in LRU order.
+    os.utime(blob)
+    removed = cache.clear(cache_dir, max_bytes=blob.stat().st_size)
+    assert removed == len(sides)
+    assert blob.exists()
+    assert not list(cache_dir.glob("*.tables.*.pkl"))
+
+    # And a budget below the blob's own size takes the blob too.
+    removed = cache.clear(cache_dir, max_bytes=0)
+    assert removed == 1
+    assert not blob.exists()

@@ -1,0 +1,180 @@
+"""repro.updates: edit-script parsing, tree application, and the
+script→transducer compiler (Jacquemard–Rusinowitch-style update ops)."""
+
+import random
+
+import pytest
+
+from repro.errors import ClassViolationError, ParseError
+from repro.trees.tree import Tree
+from repro.updates import (
+    DeleteNode,
+    DeleteTree,
+    InsertAfter,
+    InsertBefore,
+    InsertInto,
+    Rename,
+    Wrap,
+    apply_script,
+    compile_script,
+    parse_update_script,
+    script_labels,
+    script_str,
+)
+from repro.workloads.updates import document_pair, safe_script, unsafe_script
+
+ALL_OPS_TEXT = """
+# every op kind, guarded and not
+rename a -> b under p
+rename a -> c
+delete-node d
+delete-tree e under p
+insert-before f x
+insert-after f y under p
+insert-first g x
+insert-last g y
+wrap h w
+"""
+
+
+def test_parse_format_round_trip():
+    script = parse_update_script(ALL_OPS_TEXT)
+    assert script == (
+        Rename("a", "b", under="p"),
+        Rename("a", "c"),
+        DeleteNode("d"),
+        DeleteTree("e", under="p"),
+        InsertBefore("f", "x"),
+        InsertAfter("f", "y", under="p"),
+        InsertInto("g", "x", position="first"),
+        InsertInto("g", "y", position="last"),
+        Wrap("h", "w"),
+    )
+    assert parse_update_script(script_str(script)) == script
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_update_script("explode a")
+    with pytest.raises(ParseError):
+        parse_update_script("rename a b")  # missing ->
+    with pytest.raises(ParseError):
+        parse_update_script("delete-node")  # missing label
+    with pytest.raises(ValueError):
+        InsertInto("a", "x", position="middle")
+
+
+def test_script_labels():
+    matched, introduced = script_labels(parse_update_script(ALL_OPS_TEXT))
+    assert matched == frozenset("adefghp")  # targets and guards
+    assert introduced == frozenset({"b", "c", "w", "x", "y"})
+
+
+def test_apply_each_op():
+    t = Tree("r", (Tree("a"), Tree("b", (Tree("a"),))))
+    assert apply_script(t, (Rename("a", "z"),)) == Tree(
+        "r", (Tree("z"), Tree("b", (Tree("z"),)))
+    )
+    # delete-node splices children into the parent's hedge
+    t2 = Tree("r", (Tree("a", (Tree("c"), Tree("c"))), Tree("b")))
+    assert apply_script(t2, (DeleteNode("a"),)) == Tree(
+        "r", (Tree("c"), Tree("c"), Tree("b"))
+    )
+    assert apply_script(t2, (DeleteTree("a"),)) == Tree("r", (Tree("b"),))
+    assert apply_script(t, (InsertBefore("b", "n"),)) == Tree(
+        "r", (Tree("a"), Tree("n"), Tree("b", (Tree("a"),)))
+    )
+    assert apply_script(t, (InsertAfter("b", "n"),)) == Tree(
+        "r", (Tree("a"), Tree("b", (Tree("a"),)), Tree("n"))
+    )
+    assert apply_script(t, (InsertInto("b", "n", position="first"),)) == Tree(
+        "r", (Tree("a"), Tree("b", (Tree("n"), Tree("a"))))
+    )
+    assert apply_script(t, (InsertInto("b", "n", position="last"),)) == Tree(
+        "r", (Tree("a"), Tree("b", (Tree("a"), Tree("n"))))
+    )
+    assert apply_script(t, (Wrap("b", "w"),)) == Tree(
+        "r", (Tree("a"), Tree("w", (Tree("b", (Tree("a"),)),)))
+    )
+
+
+def test_guards_refer_to_input_parent():
+    t = Tree("r", (Tree("p", (Tree("a"),)), Tree("q", (Tree("a"),))))
+    out = apply_script(t, (Rename("a", "z", under="p"),))
+    assert out == Tree("r", (Tree("p", (Tree("z"),)), Tree("q", (Tree("a"),))))
+    # A wrap does not change what the *input* parent was: guards keep
+    # matching against the original structure on deeper nodes.
+    t3 = Tree("p", (Tree("a", (Tree("a"),)),))
+    out = apply_script(t3, (Rename("a", "z", under="a"),))
+    assert out == Tree("p", (Tree("a", (Tree("z"),)),))
+
+
+def test_first_matching_op_wins():
+    t = Tree("r", (Tree("a"),))
+    script = (Rename("a", "x"), Rename("a", "y"))
+    assert apply_script(t, script) == Tree("r", (Tree("x"),))
+    # A guarded earlier op that does not match falls through to later ops.
+    script = (Rename("a", "x", under="zzz"), Rename("a", "y"))
+    assert apply_script(t, script) == Tree("r", (Tree("y"),))
+
+
+def test_root_semantics():
+    t = Tree("r", (Tree("a"),))
+    # Unguarded ops match the root; destructive root ops yield None.
+    assert apply_script(t, (Rename("r", "s"),)) == Tree("s", (Tree("a"),))
+    assert apply_script(t, (DeleteTree("r"),)) is None
+    assert apply_script(t, (DeleteNode("r"),)) == Tree("a")  # one child: ok
+    assert apply_script(Tree("r", (Tree("a"), Tree("a"))), (DeleteNode("r"),)) is None
+    # Guarded ops never match the root (it has no parent).
+    assert apply_script(t, (DeleteTree("r", under="p"),)) == t
+
+
+def test_compile_matches_apply_on_random_trees():
+    rng = random.Random(7)
+    alphabet = ["a", "b", "c", "p"]
+    script = parse_update_script(
+        """
+        rename a -> z under p
+        delete-node b
+        wrap c w
+        insert-after a n
+        """
+    )
+    transducer = compile_script(script, alphabet)
+    assert "z" in transducer.alphabet and "w" in transducer.alphabet
+
+    def rand_tree(depth):
+        label = rng.choice(alphabet)
+        if depth == 0:
+            return Tree(label)
+        kids = tuple(
+            rand_tree(depth - 1) for _ in range(rng.randint(0, 3))
+        )
+        return Tree(label, kids)
+
+    for _ in range(300):
+        t = rand_tree(rng.randint(1, 4))
+        assert transducer.apply(t) == apply_script(t, script)
+
+
+def test_root_destructive_script_is_class_violation():
+    from repro.core.session import Session
+
+    din, dout = document_pair()
+    transducer = compile_script(
+        parse_update_script("delete-node doc"), din.alphabet
+    )
+    with pytest.raises(ClassViolationError):
+        Session(din, dout).typecheck(transducer)
+
+
+def test_document_family_scripts():
+    from repro.core.session import Session
+
+    din, dout = document_pair()
+    session = Session(din, dout)
+    ok = session.typecheck(compile_script(safe_script(), din.alphabet))
+    assert ok.typechecks
+    bad = session.typecheck(compile_script(unsafe_script(), din.alphabet))
+    assert not bad.typechecks
+    assert bad.counterexample is not None
