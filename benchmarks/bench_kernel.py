@@ -43,6 +43,15 @@ polarities of every edit, and writes ``BENCH_incremental.json``; the
 smoke gate requires the incremental path to beat the from-scratch
 re-check by a real margin.
 
+The *obs* family (PR 8) prices the ``repro.obs`` telemetry layer on the
+``nd_bc`` forward family: ``plain_s`` patches the span seam out entirely
+(no instrumentation at all), ``off_s`` runs the shipped disabled path
+(null-span check, unmetered kernel drain), and ``on_s`` runs with a live
+JSON-lines trace sink plus the metered kernel drain.  The rows land in
+``BENCH_obs.json``; the smoke gate bounds ``off_over_plain`` — what
+every untelemetered caller pays for the hooks existing — at
+:data:`OBS_SMOKE_MAX_OVERHEAD`, while ``on_over_off`` is informational.
+
 ``--only FAMILY`` (repeatable, comma-separated) restricts a run to the
 named families.  Output files are merged *in place*: only the row groups
 that actually re-ran replace their old sections, so a partial run
@@ -123,6 +132,11 @@ BACKWARD_WIDE_COPY_MAX_RATIO = 0.5
 # (memoized, ~µs) decision, but it must never pick badly enough to lose
 # the engine race.
 AUTO_SMOKE_MAX_OVER_BEST = 1.2
+# Observability gate: the disabled telemetry path (null-span check plus
+# the unmetered kernel drain) must cost no more than 5% over a build with
+# the span seam patched out entirely — the hooks are supposed to be free
+# when nobody turned them on.  Locally the ratio is ~1.0x.
+OBS_SMOKE_MAX_OVERHEAD = 1.05
 # Incremental re-check gate: after a single-rule edit the retypecheck path
 # must beat a from-scratch re-check of the edited transducer on an
 # equally schema-warmed session.  Locally the edit-arm family re-checks at
@@ -134,7 +148,7 @@ INCREMENTAL_SMOKE_MAX_RATIO = 0.8
 # service-* group).
 FAMILIES = (
     "forward", "dfa", "nta", "backward", "auto", "session", "service",
-    "incremental",
+    "incremental", "obs",
 )
 
 
@@ -831,6 +845,102 @@ def bench_incremental(results, sizes, repeat: int) -> None:
         )
 
 
+def bench_obs(results, sizes, repeat: int) -> None:
+    """Telemetry overhead on the forward engine: patched-out vs off vs on.
+
+    ``plain_s`` monkeypatches ``repro.obs.trace.span`` to a constant
+    null-span factory, removing even the shipped disabled-path check —
+    the closest honest stand-in for a build with no hooks at all.
+    ``off_s`` is the real disabled path every untelemetered caller runs
+    (null-span lookup, unmetered kernel drain, counter increments);
+    the smoke gate holds ``off_s / plain_s`` to
+    :data:`OBS_SMOKE_MAX_OVERHEAD`.  ``on_s`` enables the JSON-lines
+    trace sink and the metered kernel drain; its ratio over ``off_s`` is
+    recorded but not gated — turning telemetry on is allowed to cost.
+
+    Bare ``typecheck_forward`` calls are timed on purpose: each builds a
+    private schema, so no table cache flattens the engine work the
+    instrumentation is amortised against.  The three variants are
+    interleaved round-robin within every repetition — phase-sequential
+    timing lets host-load drift masquerade as a telemetry cost (or
+    credit) several times larger than the real sub-1% delta.
+    """
+    import contextlib
+    import tempfile
+
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    null_span = obs_trace._NULL_SPAN
+    real_span = obs_trace.span
+
+    @contextlib.contextmanager
+    def patched_out():
+        obs_trace.span = lambda *args, **attrs: null_span
+        try:
+            yield
+        finally:
+            obs_trace.span = real_span
+
+    @contextlib.contextmanager
+    def disabled():
+        assert not obs_trace.enabled()
+        assert not obs_metrics.kernel_metrics_enabled()
+        yield
+
+    @contextlib.contextmanager
+    def enabled(sink_path):
+        obs_trace.trace_to(sink_path)
+        obs_metrics.enable_kernel_metrics()
+        try:
+            yield
+        finally:
+            obs_metrics.disable_kernel_metrics()
+            obs_trace.trace_to(None)
+            obs_trace._LOCAL.trace_id = None
+            obs_trace._LOCAL.span_id = None
+
+    for name, family, n in sizes:
+        transducer, din, dout, expected = family(n)
+        result = typecheck_forward(transducer, din, dout)
+        assert result.typechecks == expected, (name, n)
+
+        def run():
+            typecheck_forward(transducer, din, dout)
+
+        times = {"plain": [], "off": [], "on": []}
+        with tempfile.TemporaryDirectory() as sink_dir:
+            sink_path = str(Path(sink_dir) / "bench_trace.jsonl")
+            variants = (
+                ("plain", patched_out),
+                ("off", disabled),
+                ("on", lambda: enabled(sink_path)),
+            )
+            for _ in range(repeat):
+                for variant, seam in variants:
+                    with seam():
+                        start = time.perf_counter()
+                        run()
+                        times[variant].append(time.perf_counter() - start)
+        plain_s = min(times["plain"])
+        off_s = min(times["off"])
+        on_s = min(times["on"])
+
+        results.append(
+            {
+                "group": "obs",
+                "name": f"{name}({n})",
+                "family": name,
+                "n": n,
+                "plain_s": plain_s,
+                "off_s": off_s,
+                "on_s": on_s,
+                "off_over_plain": off_s / plain_s,
+                "on_over_off": on_s / off_s,
+            }
+        )
+
+
 def _merge_bench(path: Path, new_rows, mode: str, repeat: int, summarize) -> None:
     """Write ``path``, replacing only the row groups that re-ran.
 
@@ -883,6 +993,8 @@ def main(argv=None) -> int:
                         default=REPO_ROOT / "BENCH_auto.json")
     parser.add_argument("--output-incremental", type=Path,
                         default=REPO_ROOT / "BENCH_incremental.json")
+    parser.add_argument("--output-obs", type=Path,
+                        default=REPO_ROOT / "BENCH_obs.json")
     args = parser.parse_args(argv)
     repeat = args.repeat or (7 if args.smoke else 5)
     only = set()
@@ -904,6 +1016,7 @@ def main(argv=None) -> int:
     backward_results: list = []
     auto_results: list = []
     incremental_results: list = []
+    obs_results: list = []
     if args.smoke:
         if want("forward"):
             bench_forward(
@@ -940,6 +1053,10 @@ def main(argv=None) -> int:
             )
         if want("incremental"):
             bench_incremental(incremental_results, [8], repeat)
+        if want("obs"):
+            bench_obs(
+                obs_results, [("nd_bc", nd_bc_family, SMOKE_FAMILY[1])], repeat
+            )
     else:
         if want("forward"):
             bench_forward(
@@ -1000,6 +1117,12 @@ def main(argv=None) -> int:
             )
         if want("incremental"):
             bench_incremental(incremental_results, [8, 16], repeat)
+        if want("obs"):
+            bench_obs(
+                obs_results,
+                [("nd_bc", nd_bc_family, 16), ("nd_bc", nd_bc_family, 32)],
+                repeat,
+            )
 
     import os as _os
 
@@ -1097,6 +1220,22 @@ def main(argv=None) -> int:
             "worst_incremental_over_scratch": worst["incremental_over_scratch"],
         }
 
+    def obs_summary(rows):
+        worst = max(rows, key=lambda r: r["off_over_plain"])
+        return {
+            "note": (
+                "off_over_plain is the shipped disabled telemetry path "
+                "(null spans, unmetered kernel drain) over a run with the "
+                "span seam patched out entirely — the price of the hooks "
+                "existing, which the smoke gate bounds at "
+                f"{OBS_SMOKE_MAX_OVERHEAD}x; on_over_off is what enabling "
+                "the trace sink and metered kernel drain actually costs "
+                "and is informational"
+            ),
+            "worst_family": worst["name"],
+            "worst_off_over_plain": worst["off_over_plain"],
+        }
+
     for path, rows, file_repeat, summarize in (
         (args.output, results, repeat, kernel_summary),
         (args.output_session, session_results, repeat, session_summary),
@@ -1106,6 +1245,7 @@ def main(argv=None) -> int:
         (args.output_auto, auto_results, repeat, auto_summary),
         (args.output_incremental, incremental_results, repeat,
          incremental_summary),
+        (args.output_obs, obs_results, repeat, obs_summary),
     ):
         if rows:
             _merge_bench(path, rows, mode, file_repeat, summarize)
@@ -1114,7 +1254,7 @@ def main(argv=None) -> int:
     service_batches = [r for r in service_results if r["group"] == "service"]
     all_rows = (
         results + session_results + service_results + backward_results
-        + auto_results + incremental_results
+        + auto_results + incremental_results + obs_results
     )
     width = max((len(r["name"]) for r in all_rows), default=0)
     for r in results:
@@ -1183,6 +1323,13 @@ def main(argv=None) -> int:
             f"  incr   {r['incremental_s'] * 1e3:8.2f} ms"
             f"  ratio  {r['incremental_over_scratch']:6.2f}x"
             f"  (vs cold {r['incremental_over_cold']:.2f}x)"
+        )
+    for r in obs_results:
+        print(
+            f"{r['name']:<{width}}  plain    {r['plain_s'] * 1e3:8.2f} ms"
+            f"  off    {r['off_s'] * 1e3:8.2f} ms"
+            f"  off/plain {r['off_over_plain']:5.2f}x"
+            f"  (on/off {r['on_over_off']:.2f}x)"
         )
     print()
     for path in written:
@@ -1322,6 +1469,17 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             failed = True
+        for row in obs_results:
+            if row["off_over_plain"] > OBS_SMOKE_MAX_OVERHEAD:
+                print(
+                    f"SMOKE FAILURE: disabled telemetry path is not free on "
+                    f"{row['name']} ({row['off_s'] * 1e3:.2f} ms vs "
+                    f"{row['plain_s'] * 1e3:.2f} ms with the span seam "
+                    f"patched out; ratio {row['off_over_plain']:.3f}x > "
+                    f"{OBS_SMOKE_MAX_OVERHEAD}x)",
+                    file=sys.stderr,
+                )
+                failed = True
         for row in incremental_results:
             if row["incremental_over_scratch"] > INCREMENTAL_SMOKE_MAX_RATIO:
                 print(

@@ -47,6 +47,9 @@ Options::
                        TWO sections — input DTD ``---`` output DTD — and
                        the checked transducer is the script compiled over
                        the input alphabet
+    --trace FILE       append JSON-lines trace spans (compile, fixpoint,
+                       shard_plan, merge, ...) to FILE; each instance is
+                       checked under its own trace ID (see repro.obs.trace)
 
 Several instance files may be given; all instances sharing a schema pair
 are checked against one warm compiled session (``repro.compile``), so the
@@ -63,15 +66,20 @@ The ``serve`` subcommand starts the multi-process typechecking service
                           [--max-inflight N] [--max-inflight-total N]
                           [--worker-registry-bytes B]
                           [--worker-pair-limit N]
+                          [--trace FILE] [--metrics-port P]
 
 ``--max-inflight`` bounds one connection's in-flight requests,
 ``--max-inflight-total`` the aggregate across all connections,
 ``--worker-registry-bytes`` sets each worker's session-registry byte
 budget (size-aware eviction of warm schema pairs), and
 ``--worker-pair-limit`` bounds each worker's protocol-v2 pinned-pair
-registry (evicted pins re-establish transparently on next use).  It speaks the
-JSON-lines protocol of :mod:`repro.service.protocol` (v2 sticky pairs
-included); drive it with :class:`repro.service.client.ServiceClient`.
+registry (evicted pins re-establish transparently on next use).
+``--trace FILE`` appends JSON-lines trace spans from the server and every
+worker to FILE; ``--metrics-port P`` serves the merged metrics registry
+in Prometheus text format on a second port (and turns on the kernel
+counters).  It speaks the JSON-lines protocol of
+:mod:`repro.service.protocol` (v2 sticky pairs included); drive it with
+:class:`repro.service.client.ServiceClient`.
 """
 
 from __future__ import annotations
@@ -104,6 +112,7 @@ def _parse_args(argv: List[str]):
     method = "auto"
     cache_dir: Optional[str] = None
     update: Optional[str] = None
+    trace: Optional[str] = None
     index = 0
     while index < len(argv):
         arg = argv[index]
@@ -126,6 +135,11 @@ def _parse_args(argv: List[str]):
             if index >= len(argv):
                 return None
             update = argv[index]
+        elif arg == "--trace":
+            index += 1
+            if index >= len(argv):
+                return None
+            trace = argv[index]
         elif arg.startswith("-"):
             return None
         else:
@@ -133,7 +147,7 @@ def _parse_args(argv: List[str]):
         index += 1
     if not files:
         return None
-    return files, batch or len(files) > 1, method, cache_dir, update
+    return files, batch or len(files) > 1, method, cache_dir, update, trace
 
 
 def _load_update_pair(name: str, script):
@@ -166,7 +180,22 @@ def _load_update_pair(name: str, script):
 def _check_one(
     name: str, method: str, cache_dir: Optional[str], script=None
 ):
-    """Load and typecheck one instance file against a (shared) session."""
+    """Load and typecheck one instance file against a (shared) session.
+
+    With ``--trace`` active each instance runs under its own fresh trace
+    ID, so one slow file's spans are separable from its batch-mates'.
+    """
+    from repro.obs import trace as trace_mod
+
+    if not trace_mod.enabled():
+        return _check_one_inner(name, method, cache_dir, script)
+    with trace_mod.root():
+        return _check_one_inner(name, method, cache_dir, script)
+
+
+def _check_one_inner(
+    name: str, method: str, cache_dir: Optional[str], script=None
+):
     if script is not None:
         transducer, din, dout = _load_update_pair(name, script)
     else:
@@ -186,6 +215,7 @@ def _parse_serve_args(argv: List[str]):
         "cache_dir": None, "max_cache_bytes": None,
         "max_inflight": None, "max_inflight_total": None,
         "worker_registry_bytes": None, "worker_pair_limit": None,
+        "trace": None, "metrics_port": None,
     }
     index = 0
     while index < len(argv):
@@ -195,7 +225,7 @@ def _parse_serve_args(argv: List[str]):
         if arg in ("--host", "--port", "--workers", "--cache-dir",
                    "--max-cache-bytes", "--max-inflight",
                    "--max-inflight-total", "--worker-registry-bytes",
-                   "--worker-pair-limit"):
+                   "--worker-pair-limit", "--trace", "--metrics-port"):
             index += 1
             if index >= len(argv):
                 return None
@@ -204,6 +234,8 @@ def _parse_serve_args(argv: List[str]):
                 options["host"] = value
             elif arg == "--cache-dir":
                 options["cache_dir"] = value
+            elif arg == "--trace":
+                options["trace"] = value
             else:
                 try:
                     options[arg[2:].replace("-", "_")] = int(value)
@@ -216,6 +248,9 @@ def _parse_serve_args(argv: List[str]):
     if not 0 <= int(options["port"]) <= 65535:
         return None
     if int(options["workers"]) < 1:
+        return None
+    metrics_port = options["metrics_port"]
+    if metrics_port is not None and not 0 <= int(metrics_port) <= 65535:
         return None
     max_cache = options["max_cache_bytes"]
     if max_cache is not None and int(max_cache) < 0:
@@ -262,6 +297,8 @@ def _serve(argv: List[str]) -> int:
             ),
             worker_registry_bytes=options["worker_registry_bytes"],
             worker_pair_limit=options["worker_pair_limit"],
+            trace_path=options["trace"],
+            metrics_port=options["metrics_port"],
         )
     except OSError as exc:
         # Bind failures (port in use, bad host) are usage errors, not bugs.
@@ -277,7 +314,15 @@ def main(argv: List[str] | None = None) -> int:
     if parsed is None:
         print(__doc__)
         return 2
-    files, batch, method, cache_dir, update = parsed
+    files, batch, method, cache_dir, update, trace = parsed
+    if trace is not None:
+        from repro.obs import trace as trace_mod
+
+        try:
+            trace_mod.trace_to(trace)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     script = None
     if update is not None:
         from repro.updates import parse_update_script

@@ -76,6 +76,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.errors import BudgetExceededError, ClassViolationError
 from repro.kernel.interning import Interner
 from repro.kernel.product import ProductBFS
+from repro.obs import trace as _trace
 from repro.core.problem import TypecheckResult
 from repro.schemas.dtd import DTD
 from repro.transducers.rhs import RhsCall, RhsState, RhsSym, iter_rhs_nodes
@@ -846,7 +847,15 @@ def compute_backward_tables(
         schema=schema, early_exit=False,
     )
     start = time.perf_counter()
-    engine.run(symbols=keys)
+    with _trace.span("fixpoint", engine="backward") as fix_span:
+        engine.run(symbols=keys)
+        fix_span.set(
+            keys=len(keys),
+            work=engine.work,
+            key_elapsed_s={
+                a: round(engine.cell_elapsed.get(a, 0.0), 6) for a in keys
+            },
+        )
     assigned = set(keys)
     ext_memo: Dict[int, Tuple] = {}
 
@@ -1224,6 +1233,9 @@ def typecheck_backward(
         snapshot = schema.cached_result(table_key)
         if snapshot is not None:
             stats["table_cache"] = "hit"
+            from repro.obs import metrics as _metrics
+
+            _metrics.counter("repro.backward.table_cache.hits").inc()
             return _result_from_snapshot(
                 snapshot, transducer, stats, want_counterexample
             )
@@ -1232,7 +1244,9 @@ def typecheck_backward(
         transducer, din, dout, max_product_nodes, schema=schema
     )
     if tables is None:
-        engine.run()
+        with _trace.span("fixpoint", engine="backward") as fix_span:
+            engine.run()
+            fix_span.set(work=engine.work)
     else:
         hydrate_backward_tables(engine, tables)
     stats["product_nodes"] = engine.work

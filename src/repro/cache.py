@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from repro import __version__
+from repro.obs import metrics as _metrics
 from repro.core.session import Session, schema_fingerprint, session_key
 from repro.schemas.dtd import DTD
 from repro.kernel import serialize
@@ -149,6 +150,7 @@ def save_session(session: Session, cache_dir=None) -> Path:
     }
     path = artifact_path(directory, key)
     _write_atomic(directory, path, serialize.dumps(payload))
+    _metrics.counter("repro.cache.publishes").inc()
     session.stats["published_state"] = _artifact_state(session)
     session.stats["published_at"] = time.monotonic()
     return path
@@ -369,6 +371,20 @@ def load_session(
     A miss is silent by design — a stale format, a version bump, a torn
     file or a foreign blob all mean "compile fresh", never an exception.
     """
+    session = _load_session(sin, sout, options=options, cache_dir=cache_dir)
+    _metrics.counter(
+        "repro.cache.hits" if session is not None else "repro.cache.misses"
+    ).inc()
+    return session
+
+
+def _load_session(
+    sin,
+    sout,
+    *,
+    options: Dict[str, object],
+    cache_dir=None,
+) -> Optional[Session]:
     if cache_dir is None:
         cache_dir = default_cache_dir()
     key = artifact_key(sin, sout, options)
@@ -502,4 +518,6 @@ def clear(cache_dir=None, max_bytes: Optional[int] = None) -> int:
                 os.unlink(entry.path)
         except OSError:
             pass
+    if removed:
+        _metrics.counter("repro.cache.prunes").inc(removed)
     return removed

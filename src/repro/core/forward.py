@@ -43,6 +43,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from repro.errors import BudgetExceededError, ClassViolationError
 from repro.kernel.product import ProductBFS
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.util import lru_get, lru_store
 from repro.kernel.serialize import HedgeDecoder
 from repro.schemas.dtd import DTD
@@ -1314,16 +1316,25 @@ def compute_forward_tables(
     # confluent; later requests only add cells and re-drain dependents).
     key_elapsed: Dict[TupleKey, float] = {}
     last = start
-    try:
-        for key in keys:
-            engine.request_hedge(*key)
-            engine.run()
-            now = time.perf_counter()
-            key_elapsed[tuple(key)] = now - last
-            last = now
-    except BaseException:
-        schema.reset_shared()
-        raise
+    with _trace.span("fixpoint", engine="forward") as fix_span:
+        try:
+            for key in keys:
+                engine.request_hedge(*key)
+                engine.run()
+                now = time.perf_counter()
+                key_elapsed[tuple(key)] = now - last
+                last = now
+        except BaseException:
+            schema.reset_shared()
+            raise
+        fix_span.set(
+            keys=len(key_elapsed),
+            work=engine.work,
+            key_elapsed_s={
+                str(key): round(elapsed, 6)
+                for key, elapsed in key_elapsed.items()
+            },
+        )
     tables = export_forward_tables(engine)
     # Shard wall time, measured where the work actually ran (a service
     # worker) — the shard planner's balance is judged on these.
@@ -1741,26 +1752,30 @@ def typecheck_forward(
         tables = schema.cached_tables(table_key)
         if tables is not None:
             stats["table_cache"] = "hit"
+            _metrics.counter("repro.forward.table_cache.hits").inc()
 
     if tables is not None:
         hydrate_forward_tables(engine, tables)
         if stats.get("table_cache") == "hit":
             engine.work = 0  # served from cache: this call computed nothing
     else:
-        for _pair, _path, _sigma, _segments, _P, key in checks:
-            engine.request_hedge(*key)
-        try:
-            engine.run()
-        except BaseException:
-            # A mid-fixpoint abort can leave the schema's shared cells with
-            # delta counters ahead of the edges actually pushed; drop them
-            # so later calls on a warm session rebuild instead of reusing
-            # corrupted state.
-            schema.reset_shared()
-            raise
+        with _trace.span("fixpoint", engine="forward") as fix_span:
+            for _pair, _path, _sigma, _segments, _P, key in checks:
+                engine.request_hedge(*key)
+            try:
+                engine.run()
+            except BaseException:
+                # A mid-fixpoint abort can leave the schema's shared cells
+                # with delta counters ahead of the edges actually pushed;
+                # drop them so later calls on a warm session rebuild
+                # instead of reusing corrupted state.
+                schema.reset_shared()
+                raise
+            fix_span.set(work=engine.work)
         if table_key is not None:
             schema.store_tables(table_key, export_forward_tables(engine))
             stats["table_cache"] = "miss"
+            _metrics.counter("repro.forward.table_cache.misses").inc()
     stats["product_nodes"] = engine.work
     stats["reachable_pairs"] = len(pairs)
 

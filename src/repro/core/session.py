@@ -52,6 +52,9 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from weakref import WeakKeyDictionary
 
 from repro.errors import BudgetExceededError, ClassViolationError
+from repro.obs import metrics as _metrics
+from repro.obs import record_router_decision
+from repro.obs import trace as _trace
 from repro.core.bruteforce import typecheck_bruteforce
 from repro.core.delrelab import DelrelabSchema, typecheck_delrelab
 from repro.core.forward import ForwardSchema, typecheck_forward
@@ -300,7 +303,9 @@ class Session:
     # ------------------------------------------------------------------
     def warm(self) -> "Session":
         """Eagerly compile every artifact applicable to the schema pair."""
-        with self._lock:
+        with self._lock, _trace.span(
+            "compile", source=str(self.stats["source"])
+        ):
             start = time.perf_counter()
             if self._dtd_pair_value is not None:
                 self.forward_schema().warm()
@@ -492,6 +497,7 @@ class Session:
             ):
                 choice = "forward"
             din, dout = self._dtd_pair_value
+            route_start = time.perf_counter()
             if choice == "forward":
                 validate_method_kwargs("forward", kwargs)
                 self._apply_defaults(kwargs)
@@ -505,6 +511,13 @@ class Session:
                 result = _method_func("backward")(
                     plain, din, dout, schema=self.backward_schema(), **kwargs
                 )
+            # Router audit: predicted vs. measured cost of this decision —
+            # the data needed to re-fit the *_MS_PER_UNIT constants.
+            record_router_decision(
+                choice, round(fcost, 3), round(bcost, 3),
+                round((time.perf_counter() - route_start) * 1e3, 3),
+                transducer=plain.content_hash()[:12],
+            )
             result.stats["auto_method"] = choice
             result.stats["auto_forward_cost"] = round(fcost, 3)
             result.stats["auto_backward_cost"] = round(bcost, 3)
@@ -701,17 +714,19 @@ class Session:
                 return cold("no base tables", resolved)
             from repro.core.forward import incremental_forward_tables
 
-            try:
-                out = incremental_forward_tables(
-                    plain, base_plain, din, dout, base_tables,
-                    max_tuple=max_tuple, max_product_nodes=max_nodes,
-                    schema=fschema,
-                )
-            except BudgetExceededError:
-                return cold("incremental budget exceeded", resolved)
-            if out is None:
-                return cold("delta path not applicable", resolved)
-            tables, info = out
+            with _trace.span("retypecheck_diff", engine="forward") as diff_span:
+                try:
+                    out = incremental_forward_tables(
+                        plain, base_plain, din, dout, base_tables,
+                        max_tuple=max_tuple, max_product_nodes=max_nodes,
+                        schema=fschema,
+                    )
+                except BudgetExceededError:
+                    return cold("incremental budget exceeded", resolved)
+                if out is None:
+                    return cold("delta path not applicable", resolved)
+                tables, info = out
+                diff_span.set(**{k: v for k, v in info.items() if k != "mode"})
             fschema.store_tables(new_key, tables)
             self.stats["calls"] = int(self.stats["calls"]) + 1
             self._apply_defaults(kwargs)
@@ -732,15 +747,21 @@ class Session:
 
             info = None
             if base_tables is not None:
-                try:
-                    out = incremental_backward_tables(
-                        plain, base_plain, din, dout, base_tables,
-                        max_product_nodes=max_nodes, schema=bschema,
-                    )
-                except BudgetExceededError:
-                    return cold("incremental budget exceeded", resolved)
-                if out is not None:
-                    tables, info = out
+                with _trace.span(
+                    "retypecheck_diff", engine="backward"
+                ) as diff_span:
+                    try:
+                        out = incremental_backward_tables(
+                            plain, base_plain, din, dout, base_tables,
+                            max_product_nodes=max_nodes, schema=bschema,
+                        )
+                    except BudgetExceededError:
+                        return cold("incremental budget exceeded", resolved)
+                    if out is not None:
+                        tables, info = out
+                        diff_span.set(
+                            **{k: v for k, v in info.items() if k != "mode"}
+                        )
             if info is None:
                 # Cold link: saturate once (the plain cold run is
                 # early-exit and stores no tables) so the next edit in
@@ -961,64 +982,73 @@ class Session:
             typecheck_forward,
         )
 
-        method = self.shard_method(transducer, method, max_tuple)
-        if method == "backward":
-            from repro.backward import backward_key_costs, merge_backward_tables
+        with _trace.span("shard_plan", planner=planner) as plan_span:
+            method = self.shard_method(transducer, method, max_tuple)
+            if method == "backward":
+                from repro.backward import (
+                    backward_key_costs,
+                    merge_backward_tables,
+                )
 
-            _reject_max_tuple("backward", max_tuple)
-            keys = self.backward_check_keys(transducer)
-        else:
-            keys = self.forward_check_keys(transducer)
-        shards = max(1, min(int(shards), max(1, len(keys))))
-        loads: Optional[List[float]] = None
-        plan_costs: Optional[List[float]] = None
-        profile_source: Optional[str] = None
-        if planner == "round-robin":
-            partitions: List[List] = [
-                keys[index::shards] for index in range(shards)
-            ]
-        elif planner in ("cost", "profile"):
-            with self._lock:
-                _din, dout = self._dtd_pair()
-                if method == "backward":
-                    plain, _analysis = self._compiled_transducer(transducer)
-                    plan_costs = list(
-                        backward_key_costs(
-                            keys, self.backward_schema(), plain
+                _reject_max_tuple("backward", max_tuple)
+                keys = self.backward_check_keys(transducer)
+            else:
+                keys = self.forward_check_keys(transducer)
+            shards = max(1, min(int(shards), max(1, len(keys))))
+            loads: Optional[List[float]] = None
+            plan_costs: Optional[List[float]] = None
+            profile_source: Optional[str] = None
+            if planner == "round-robin":
+                partitions: List[List] = [
+                    keys[index::shards] for index in range(shards)
+                ]
+            elif planner in ("cost", "profile"):
+                with self._lock:
+                    _din, dout = self._dtd_pair()
+                    if method == "backward":
+                        plain, _analysis = self._compiled_transducer(
+                            transducer
                         )
-                    )
-                    plan_schema = self.backward_schema()
-                else:
-                    out_alphabet = frozenset(
-                        transducer.alphabet | dout.alphabet
-                    )
-                    plan_costs = list(
-                        forward_key_costs(
-                            keys, self.forward_schema(), out_alphabet
+                        plan_costs = list(
+                            backward_key_costs(
+                                keys, self.backward_schema(), plain
+                            )
                         )
-                    )
-                    plan_schema = self.forward_schema()
-                if planner == "profile":
-                    profile = plan_schema.shard_profile(
-                        transducer.content_hash()
-                    )
-                    if profile is not None:
-                        # Measured costs for the keys seen last time; the
-                        # model covers any key the profile has not (the
-                        # LPT only needs relative weights).
-                        plan_costs = [
-                            profile.get(key, cost)
-                            for key, cost in zip(keys, plan_costs)
-                        ]
-                        profile_source = "measured"
+                        plan_schema = self.backward_schema()
                     else:
-                        profile_source = "model"
-            partitions, loads = plan_forward_shards(keys, plan_costs, shards)
-        else:
-            raise ValueError(
-                f"unknown shard planner {planner!r}; "
-                "valid: cost, profile, round-robin"
-            )
+                        out_alphabet = frozenset(
+                            transducer.alphabet | dout.alphabet
+                        )
+                        plan_costs = list(
+                            forward_key_costs(
+                                keys, self.forward_schema(), out_alphabet
+                            )
+                        )
+                        plan_schema = self.forward_schema()
+                    if planner == "profile":
+                        profile = plan_schema.shard_profile(
+                            transducer.content_hash()
+                        )
+                        if profile is not None:
+                            # Measured costs for the keys seen last time;
+                            # the model covers any key the profile has not
+                            # (the LPT only needs relative weights).
+                            plan_costs = [
+                                profile.get(key, cost)
+                                for key, cost in zip(keys, plan_costs)
+                            ]
+                            profile_source = "measured"
+                        else:
+                            profile_source = "model"
+                partitions, loads = plan_forward_shards(
+                    keys, plan_costs, shards
+                )
+            else:
+                raise ValueError(
+                    f"unknown shard planner {planner!r}; "
+                    "valid: cost, profile, round-robin"
+                )
+            plan_span.set(method=method, keys=len(keys), shards=len(partitions))
         validate_method_kwargs(method, kwargs)
         if method == "forward" and (
             "use_kernel" in kwargs
@@ -1033,28 +1063,41 @@ class Session:
                 "Session(use_kernel=...) for the other engine"
             )
         snapshots = _call_compute_shards(compute_shards, partitions, method)
-        if method == "backward":
-            tables = merge_backward_tables(snapshots)
-        else:
-            tables = merge_forward_tables(snapshots)
-        shard_wall = tables.pop("shard_elapsed_s", None)
-        key_elapsed = tables.pop("key_elapsed_s", None)
-        with self._lock:
-            self.stats["calls"] = int(self.stats["calls"]) + 1
-            din, dout = self._dtd_pair()
+        with _trace.span("merge", method=method) as merge_span:
             if method == "backward":
-                plain, _analysis = self._compiled_transducer(transducer)
-                kwargs.setdefault("max_product_nodes", self.max_product_nodes)
-                result = _method_func("backward")(
-                    plain, din, dout,
-                    schema=self.backward_schema(), tables=tables, **kwargs,
-                )
+                tables = merge_backward_tables(snapshots)
             else:
-                self._apply_defaults(kwargs)
-                result = typecheck_forward(
-                    transducer, din, dout, max_tuple,
-                    schema=self.forward_schema(), tables=tables, **kwargs,
+                tables = merge_forward_tables(snapshots)
+            shard_wall = tables.pop("shard_elapsed_s", None)
+            key_elapsed = tables.pop("key_elapsed_s", None)
+            merge_span.set(shards=len(partitions))
+            if key_elapsed:
+                # Per-key measured fixpoint seconds — previously popped and
+                # visible only to the profile planner; now on the span too.
+                merge_span.set(
+                    key_elapsed_s={
+                        str(key): round(float(elapsed), 6)
+                        for key, elapsed in key_elapsed.items()
+                    }
                 )
+            with self._lock:
+                self.stats["calls"] = int(self.stats["calls"]) + 1
+                din, dout = self._dtd_pair()
+                if method == "backward":
+                    plain, _analysis = self._compiled_transducer(transducer)
+                    kwargs.setdefault(
+                        "max_product_nodes", self.max_product_nodes
+                    )
+                    result = _method_func("backward")(
+                        plain, din, dout,
+                        schema=self.backward_schema(), tables=tables, **kwargs,
+                    )
+                else:
+                    self._apply_defaults(kwargs)
+                    result = typecheck_forward(
+                        transducer, din, dout, max_tuple,
+                        schema=self.forward_schema(), tables=tables, **kwargs,
+                    )
         result.stats["shards"] = len(partitions)
         result.stats["shard_planner"] = planner
         result.stats["shard_method"] = method
@@ -1439,6 +1482,7 @@ def _evict_over_budget(registry: "OrderedDict") -> None:
     while len(registry) > _REGISTRY_LIMIT:
         registry.popitem(last=False)
         _REGISTRY_STATS["evictions"] += 1
+        _metrics.counter("repro.session.registry.evictions").inc()
     if _REGISTRY_MAX_BYTES is None:
         return
     total = sum(session.footprint_bytes() for session in registry.values())
@@ -1446,6 +1490,8 @@ def _evict_over_budget(registry: "OrderedDict") -> None:
         _key, victim = registry.popitem(last=False)
         total -= victim.footprint_bytes()
         _REGISTRY_STATS["evictions"] += 1
+        _metrics.counter("repro.session.registry.evictions").inc()
+    _metrics.gauge("repro.session.registry.bytes").set(total)
 
 
 def session_key(sin: Schema, sout: Schema, options: Dict[str, object]):
@@ -1480,11 +1526,13 @@ def registry_info() -> Dict[str, object]:
             }
             for key, session in registry.items()
         ]
+        total_bytes = sum(pair["bytes"] for pair in pairs)
+        _metrics.gauge("repro.session.registry.bytes").set(total_bytes)
         return {
             "size": len(registry),
             "limit": _REGISTRY_LIMIT,
             "max_bytes": _REGISTRY_MAX_BYTES,
-            "total_bytes": sum(pair["bytes"] for pair in pairs),
+            "total_bytes": total_bytes,
             **dict(_REGISTRY_STATS),
             "keys": list(registry),
             "pairs": pairs,
@@ -1528,8 +1576,10 @@ def compile(  # noqa: A001 - the ISSUE mandates the repro.compile spelling
                     int(session.stats["registry_hits"]) + 1
                 )
                 _REGISTRY_STATS["hits"] += 1
+                _metrics.counter("repro.session.registry.hits").inc()
             else:
                 _REGISTRY_STATS["misses"] += 1
+                _metrics.counter("repro.session.registry.misses").inc()
         if session is not None and eager:
             session.warm()
     if session is None and cache_dir is not None:

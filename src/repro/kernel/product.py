@@ -133,6 +133,54 @@ class ProductBFS:
                 frontier.append(successor)
         return None
 
+    # ``repro.obs.metrics.enable_kernel_metrics`` swaps ``drain`` between
+    # these two class attributes, so the disabled path *is* the original
+    # tight loop — not a flag check inside it.
+    _drain_plain = drain
+
+    def _drain_metered(
+        self,
+        successors: Callable[[Node], Iterable[Tuple[Node, Label]]],
+        on_visit: Optional[Callable[[Node], bool]] = None,
+    ) -> Optional[Node]:
+        """``drain`` plus kernel counters: cells created, node expansions,
+        frontier high-water mark (flushed to ``repro.obs.metrics``)."""
+        from repro.obs import metrics as _metrics
+
+        parents = self.parents
+        max_nodes = self.max_nodes
+        frontier = self.frontier
+        expansions = 0
+        created = 0
+        high_water = len(frontier)
+        result = None
+        try:
+            while frontier:
+                node = frontier.popleft()
+                expansions += 1
+                for successor, label in successors(node):
+                    if successor in parents:
+                        continue
+                    parents[successor] = (node, label)
+                    created += 1
+                    if max_nodes is not None and len(parents) > max_nodes:
+                        raise BudgetExceededError(
+                            self.budget_message.format(max_nodes=max_nodes)
+                        )
+                    if on_visit is not None and on_visit(successor):
+                        result = successor
+                        return result
+                    frontier.append(successor)
+                if len(frontier) > high_water:
+                    high_water = len(frontier)
+            return None
+        finally:
+            if expansions:
+                _metrics.counter("repro.kernel.node_expansions").inc(expansions)
+            if created:
+                _metrics.counter("repro.kernel.cells_created").inc(created)
+            _metrics.gauge("repro.kernel.frontier_hwm").set_max(high_water)
+
     def run(
         self,
         seeds: Iterable[Node],

@@ -1,0 +1,318 @@
+"""Process-local metrics registry: counters, gauges, log-bucket histograms.
+
+One module-level :class:`MetricsRegistry` per process unifies the counters
+that previously lived in scattered ``stats`` dicts (session registry,
+worker pool, artifact cache, table cache) plus the ``ProductBFS`` kernel
+counters.  Low-rate instruments (one event per request or per cache
+probe) are always live — recording is a single integer add.  The *hot*
+kernel counters are off by default and enabled by swapping the metered
+``drain`` method onto ``ProductBFS`` (:func:`enable_kernel_metrics`), so
+the disabled path costs literally nothing.
+
+Snapshots are plain JSON-safe dicts; snapshots from several processes
+(server + each pool worker) merge by summing counters and histogram
+buckets.  :func:`render_prometheus` emits Prometheus text exposition
+format for the ``--metrics-port`` listener.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_BUCKETS",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "merge_snapshots",
+    "render_prometheus",
+    "histogram_summary",
+    "kernel_metrics_enabled",
+    "enable_kernel_metrics",
+    "disable_kernel_metrics",
+    "reset",
+]
+
+# Quarter-decade log-scale bucket upper bounds, ~10µs .. ~100s when the
+# recorded unit is milliseconds.  Fixed for every histogram so snapshots
+# from different processes merge bucket-by-bucket.
+HISTOGRAM_BUCKETS: Tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 4.0), 6) for exponent in range(-8, 21)
+)
+
+
+class Counter:
+    """Monotonic counter.  ``inc`` is one integer add — always cheap."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (``set``) with a ``set_max`` helper."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def set_max(self, value) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed log-scale-bucket histogram (counts per bucket + sum + count)."""
+
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(HISTOGRAM_BUCKETS) + 1)  # +1 = overflow
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(HISTOGRAM_BUCKETS):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bucket bound where the cumulative count crosses ``q``."""
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(HISTOGRAM_BUCKETS):
+                    return HISTOGRAM_BUCKETS[index]
+                return HISTOGRAM_BUCKETS[-1]
+        return HISTOGRAM_BUCKETS[-1]
+
+
+def _flat_name(name: str, labels: Mapping[str, str]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Name → instrument map with JSON-safe snapshot/merge."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = _flat_name(name, labels)
+        instrument = self.counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self.counters.setdefault(key, Counter())
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = _flat_name(name, labels)
+        instrument = self.gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self.gauges.setdefault(key, Gauge())
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = _flat_name(name, labels)
+        instrument = self.histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self.histograms.setdefault(key, Histogram())
+        return instrument
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "gauges": {name: g.value for name, g in self.gauges.items()},
+            "histograms": {
+                name: {"counts": list(h.counts), "sum": h.total, "count": h.count}
+                for name, h in self.histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+
+
+#: The process-global registry every instrumented module records into.
+registry = MetricsRegistry()
+
+counter = registry.counter
+gauge = registry.gauge
+histogram = registry.histogram
+snapshot = registry.snapshot
+reset = registry.reset
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, dict]]) -> Dict[str, dict]:
+    """Merge per-process snapshots: counters/histograms sum, gauges take max."""
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            if name not in gauges or value > gauges[name]:
+                gauges[name] = value
+        for name, data in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "counts": list(data["counts"]),
+                    "sum": data["sum"],
+                    "count": data["count"],
+                }
+            else:
+                merged["counts"] = [
+                    a + b for a, b in zip(merged["counts"], data["counts"])
+                ]
+                merged["sum"] += data["sum"]
+                merged["count"] += data["count"]
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def histogram_summary(data: Mapping[str, object]) -> Dict[str, Optional[float]]:
+    """Compact summary (count/sum/mean/p50/p95) of one snapshot histogram."""
+    count = data["count"]  # type: ignore[index]
+    total = data["sum"]  # type: ignore[index]
+    counts: Sequence[int] = data["counts"]  # type: ignore[assignment]
+
+    def _quantile(q: float) -> Optional[float]:
+        if not count:
+            return None
+        target = q * count
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                return HISTOGRAM_BUCKETS[min(index, len(HISTOGRAM_BUCKETS) - 1)]
+        return HISTOGRAM_BUCKETS[-1]
+
+    return {
+        "count": count,
+        "sum": total,
+        "mean": (total / count) if count else None,
+        "p50": _quantile(0.50),
+        "p95": _quantile(0.95),
+    }
+
+
+def _prometheus_name(flat: str) -> Tuple[str, str]:
+    """Split a flat key into a sanitized metric name and a label suffix."""
+    if "{" in flat:
+        base, _, rest = flat.partition("{")
+        labels = rest.rstrip("}")
+        pairs = []
+        for item in labels.split(","):
+            key, _, value = item.partition("=")
+            pairs.append(f'{key}="{value}"')
+        suffix = "{" + ",".join(pairs) + "}"
+    else:
+        base, suffix = flat, ""
+    return base.replace(".", "_").replace("-", "_"), suffix
+
+
+def render_prometheus(snap: Mapping[str, dict]) -> str:
+    """Render a (merged) snapshot in Prometheus text exposition format."""
+    lines: List[str] = []
+    typed = set()
+    for name, value in sorted(snap.get("counters", {}).items()):
+        base, suffix = _prometheus_name(name)
+        if base not in typed:
+            lines.append(f"# TYPE {base} counter")
+            typed.add(base)
+        lines.append(f"{base}{suffix} {value}")
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        base, suffix = _prometheus_name(name)
+        if base not in typed:
+            lines.append(f"# TYPE {base} gauge")
+            typed.add(base)
+        lines.append(f"{base}{suffix} {value}")
+    for name, data in sorted(snap.get("histograms", {}).items()):
+        base, suffix = _prometheus_name(name)
+        if base not in typed:
+            lines.append(f"# TYPE {base} histogram")
+            typed.add(base)
+        labels = suffix[1:-1] if suffix else ""
+        cumulative = 0
+        for index, bucket_count in enumerate(data["counts"]):
+            cumulative += bucket_count
+            bound = (
+                repr(HISTOGRAM_BUCKETS[index])
+                if index < len(HISTOGRAM_BUCKETS)
+                else "+Inf"
+            )
+            pair = f'le="{bound}"'
+            joined = f"{labels},{pair}" if labels else pair
+            lines.append(f"{base}_bucket{{{joined}}} {cumulative}")
+        lines.append(f"{base}_sum{suffix} {data['sum']}")
+        lines.append(f"{base}_count{suffix} {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------
+# Kernel counter seam.  Disabled by default: ``ProductBFS.drain`` stays the
+# original tight loop and pays zero overhead.  Enabling swaps in the metered
+# drain (kernel/product.py defines it); disabling restores the original.
+
+_KERNEL_ENABLED = False
+
+
+def kernel_metrics_enabled() -> bool:
+    return _KERNEL_ENABLED
+
+
+def enable_kernel_metrics() -> None:
+    global _KERNEL_ENABLED
+    if _KERNEL_ENABLED:
+        return
+    from repro.kernel import product
+
+    product.ProductBFS.drain = product.ProductBFS._drain_metered  # type: ignore[method-assign]
+    _KERNEL_ENABLED = True
+
+
+def disable_kernel_metrics() -> None:
+    global _KERNEL_ENABLED
+    if not _KERNEL_ENABLED:
+        return
+    from repro.kernel import product
+
+    product.ProductBFS.drain = product.ProductBFS._drain_plain  # type: ignore[method-assign]
+    _KERNEL_ENABLED = False

@@ -37,6 +37,7 @@ import socket
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ProtocolError
+from repro.obs import trace as _trace
 from repro.service import protocol
 
 Textable = Union[str, object]  # section text or a library object
@@ -109,9 +110,24 @@ class ServiceClient:
         Transported errors re-raise as their library exception classes;
         the full response (timing included) is kept on
         :attr:`last_response`.
+
+        With tracing enabled the request carries a ``trace_id`` (minted
+        here unless the calling thread already has one) — old servers
+        ignore the unknown field — and the round trip is recorded as a
+        ``wire`` span under that ID.
         """
         req_id = next(self._ids)
         message = {"id": req_id, "op": op, **fields}
+        if _trace.enabled():
+            # Reuse the caller's trace (and span parent) when one is
+            # active on this thread; mint a fresh trace ID otherwise.
+            context = _trace.wire_context() or {"trace_id": _trace.new_trace_id()}
+            message["trace_id"] = context["trace_id"]
+            with _trace.activate(context), _trace.span("wire", op=op):
+                return self._roundtrip(req_id, message)
+        return self._roundtrip(req_id, message)
+
+    def _roundtrip(self, req_id: int, message: Dict[str, object]):
         self._file.write(protocol.encode(message))
         self._file.flush()
         line = self._file.readline()
@@ -134,6 +150,16 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, object]:
         return self.call("stats")
+
+    def metrics(self) -> Dict[str, object]:
+        """The service's metrics registry, merged across processes.
+
+        Returns ``{"merged": snapshot, "parent": snapshot, "workers":
+        [{"worker": i, "snapshot": ...}, ...]}`` where each snapshot is a
+        JSON-safe ``{"counters", "gauges", "histograms"}`` dict (see
+        :mod:`repro.obs.metrics`).
+        """
+        return self.call("metrics")
 
     def pair(self, din: Textable, dout: Textable) -> "PairHandle":
         """A sticky handle for one schema pair (protocol v2).

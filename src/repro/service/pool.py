@@ -49,6 +49,8 @@ from repro.errors import (
     UnknownPairError,
     WorkerCrashError,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.schemas.dtd import DTD
 from repro.service import protocol
 
@@ -102,7 +104,11 @@ def _pin_pair(pair_key: str, sin, sout) -> None:
     """Register (or refresh) a pinned pair, LRU-evicting over the limit."""
     from repro.util import lru_store
 
+    before = len(_WORKER_PAIRS) + (0 if pair_key in _WORKER_PAIRS else 1)
     lru_store(_WORKER_PAIRS, pair_key, (sin, sout), _WORKER_PAIR_LIMIT)
+    evicted = before - len(_WORKER_PAIRS)
+    if evicted > 0:
+        _metrics.counter("repro.worker.pair_evictions").inc(evicted)
 
 
 def _json_result(session, transducer, json_op: str, method, base=None):
@@ -148,6 +154,8 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
 
     if op == "ping":
         return {"pong": True, "pid": os.getpid()}
+    if op == "metrics":
+        return _metrics.snapshot()
     if op == "worker_stats":
         return {
             "pid": os.getpid(),
@@ -222,6 +230,10 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
     raise ProtocolError(f"unknown worker op {op!r}")
 
 
+#: Worker-side span names per pool op (anything else spans as the op name).
+_WORKER_SPAN_NAMES = {"compute_tables": "shard_exec"}
+
+
 def _worker_main(index: int, inq, outq, config: Dict[str, object]) -> None:
     """Worker process body: execute requests until the sentinel arrives."""
     registry_bytes = config.get("registry_max_bytes")
@@ -235,13 +247,31 @@ def _worker_main(index: int, inq, outq, config: Dict[str, object]) -> None:
     if pair_limit is not None:
         global _WORKER_PAIR_LIMIT
         _WORKER_PAIR_LIMIT = max(1, int(pair_limit))  # type: ignore[arg-type]
+    trace_path = config.get("trace_path")
+    if trace_path is not None:
+        # Every worker appends whole JSON lines to the same sink file the
+        # server uses, so one query's spans interleave but never tear.
+        _trace.trace_to(str(trace_path))
+    if config.get("metrics"):
+        from repro.obs import enable_kernel_metrics
+
+        enable_kernel_metrics()
     while True:
         item = inq.get()
         if item is _SENTINEL:
             break
-        req_id, op, args = item
+        req_id, op, args, trace = item
         try:
-            value = _worker_execute(op, args, config)
+            if trace is not None and _trace.enabled():
+                attrs = {"op": op, "worker": index}
+                if trace.get("retry"):
+                    attrs["retry"] = trace["retry"]
+                with _trace.activate(trace), _trace.span(
+                    _WORKER_SPAN_NAMES.get(op, op), **attrs
+                ):
+                    value = _worker_execute(op, args, config)
+            else:
+                value = _worker_execute(op, args, config)
         except BaseException as exc:  # noqa: BLE001 - transported to parent
             outq.put((req_id, index, False, protocol.error_info(exc)))
         else:
@@ -254,12 +284,15 @@ def _worker_main(index: int, inq, outq, config: Dict[str, object]) -> None:
 class PoolTicket:
     """Handle for one in-flight pool request."""
 
-    __slots__ = ("request", "slot", "retries", "_event", "_value", "_error")
+    __slots__ = (
+        "request", "slot", "retries", "trace", "_event", "_value", "_error",
+    )
 
-    def __init__(self, request, slot: int) -> None:
+    def __init__(self, request, slot: int, trace=None) -> None:
         self.request = request
         self.slot = slot
         self.retries = 0
+        self.trace: Optional[Dict[str, object]] = trace
         self._event = threading.Event()
         self._value = None
         self._error: Optional[Dict[str, str]] = None
@@ -308,6 +341,8 @@ class WorkerPool:
         cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
         worker_registry_bytes: Optional[int] = None,
         worker_pair_limit: Optional[int] = None,
+        trace_path=None,
+        metrics: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -324,6 +359,11 @@ class WorkerPool:
             # library default, DEFAULT_WORKER_PAIR_LIMIT).  Evicted pins
             # resurrect transparently through the server's re-pin path.
             "worker_pair_limit": worker_pair_limit,
+            # Observability: workers append span records to this shared
+            # JSON-lines sink and, with metrics=True, run the metered
+            # ProductBFS drain (kernel counters).
+            "trace_path": None if trace_path is None else str(trace_path),
+            "metrics": bool(metrics),
         }
         self.max_retries = max_retries
         self.stats: Dict[str, int] = {
@@ -450,6 +490,7 @@ class WorkerPool:
                     ticket = self._tickets.pop(req_id, None)
                     if ticket is not None:
                         self.stats["completed"] += 1
+                        _metrics.counter("repro.pool.completed").inc()
                 if ticket is not None:
                     ticket._resolve(ok, value)
 
@@ -472,6 +513,7 @@ class WorkerPool:
                 old.outq.close()  # with it goes any lock the corpse held
                 self._slots[index] = self._spawn(index, old.generation + 1)
                 self.stats["respawns"] += 1
+                _metrics.counter("repro.pool.respawns").inc()
                 for req_id, ticket in list(self._tickets.items()):
                     if ticket.slot == index and not ticket.done():
                         orphans.append((req_id, ticket))
@@ -494,26 +536,49 @@ class WorkerPool:
                     )
                     continue
                 self.stats["retries"] += 1
+                _metrics.counter("repro.pool.retries").inc()
                 # Prefer a worker that did not just die on this request.
                 target = healthy[req_id % len(healthy)]
                 ticket.slot = target
-                self._slots[target].inq.put((req_id, *ticket.request))
+                # The retry re-ships the original trace context with the
+                # attempt count, so the healthy worker re-emits its spans
+                # under the same trace ID with a visible retry=N attribute.
+                trace = ticket.trace
+                if trace is not None:
+                    trace = dict(trace, retry=ticket.retries)
+                    ticket.trace = trace
+                self._slots[target].inq.put((req_id, *ticket.request, trace))
 
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, op: str, args, slot: Optional[int] = None) -> PoolTicket:
-        """Queue one request; returns a :class:`PoolTicket`."""
+    def submit(
+        self,
+        op: str,
+        args,
+        slot: Optional[int] = None,
+        trace: Optional[Dict[str, object]] = None,
+    ) -> PoolTicket:
+        """Queue one request; returns a :class:`PoolTicket`.
+
+        ``trace`` is a transported trace context
+        (:func:`repro.obs.trace.wire_context`-shaped); when omitted, the
+        submitting thread's active trace rides along, so worker spans join
+        the caller's trace across the process boundary.
+        """
+        if trace is None:
+            trace = _trace.wire_context()
         with self._lock:
             if self._closed:
                 raise WorkerCrashError("pool is closed")
             req_id = next(self._req_counter)
             if slot is None:
                 slot = next(self._rr) % self.workers
-            ticket = PoolTicket((op, args), slot % self.workers)
+            ticket = PoolTicket((op, args), slot % self.workers, trace=trace)
             self._tickets[req_id] = ticket
             self.stats["requests"] += 1
-            self._slots[ticket.slot].inq.put((req_id, op, args))
+            _metrics.counter("repro.pool.requests").inc()
+            self._slots[ticket.slot].inq.put((req_id, op, args, trace))
         return ticket
 
     def slot_for(self, pair_digest: str) -> int:
@@ -812,6 +877,31 @@ class WorkerPool:
                 entry["error"] = str(exc)
             stats.append(entry)
         return stats
+
+    def metrics(self, timeout: Optional[float] = 30.0) -> Dict[str, object]:
+        """Merged metrics across this process and every worker.
+
+        Returns ``{"merged": ..., "parent": ..., "workers": [...]}`` —
+        per-process :func:`repro.obs.metrics.snapshot` dicts plus their
+        sum (counters and histogram buckets add; gauges take the max).  A
+        worker busy past ``timeout`` is skipped rather than blocking.
+        """
+        tickets = [
+            (index, self.submit("metrics", None, slot=index))
+            for index in range(self.workers)
+        ]
+        workers: List[Dict[str, object]] = []
+        for index, ticket in tickets:
+            try:
+                snap = ticket.result(timeout=timeout)
+            except (TimeoutError, ReproError):
+                snap = {}
+            workers.append({"worker": index, "snapshot": snap})
+        parent = _metrics.snapshot()
+        merged = _metrics.merge_snapshots(
+            [parent] + [entry["snapshot"] for entry in workers]
+        )
+        return {"merged": merged, "parent": parent, "workers": workers}
 
     def pool_stats(self, workers: bool = False) -> Dict[str, object]:
         """Pool health counters; ``workers=True`` adds the per-worker

@@ -34,6 +34,19 @@ Ops
     ``"transducer"`` is checked incrementally against ``base``'s warm
     fixpoint tables (``Session.retypecheck``) — same verdict as a cold
     ``typecheck``, and the result's stats carry the reuse detail.
+``metrics``
+    The merged :mod:`repro.obs` metrics registry across the server
+    process and every pool worker (counters, gauges, histograms), plus
+    the per-process snapshots (see ``WorkerPool.metrics``).
+
+Tracing (optional ``trace_id`` field)
+-------------------------------------
+Any request may carry ``"trace_id": "<hex>"``: the server threads it
+through dispatch and pool fan-out so worker span records
+(:mod:`repro.obs.trace`) share the client's trace ID.  Unknown fields are
+ignored by design (``validate_request`` checks only ``v`` and ``op``), so
+old servers accept traced requests unchanged — the field is pure opt-in
+telemetry with no semantic effect.
 
 Protocol v2: sticky pairs
 -------------------------
@@ -108,6 +121,7 @@ OPS = frozenset(
     {
         "ping",
         "stats",
+        "metrics",
         "set_pair",
         "typecheck",
         "typecheck_many",

@@ -39,6 +39,8 @@ import time
 from typing import Dict, Optional
 
 from repro.errors import ProtocolError, UnknownPairError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.service import protocol
 from repro.service.pool import DEFAULT_CACHE_BYTES, WorkerPool
 
@@ -100,7 +102,12 @@ class ServiceServer:
         self.max_inflight = max_inflight
         self.max_inflight_total = max(1, max_inflight_total)
         self.requests_served = 0
+        # Server-level gauges (event-loop thread only, so plain ints):
+        # open connections and requests currently being handled.
+        self.connections = 0
+        self.inflight = 0
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._inflight_gate: Optional[asyncio.Semaphore] = None
 
     # ------------------------------------------------------------------
@@ -121,6 +128,58 @@ class ServiceServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Prometheus text exposition (``serve --metrics-port``)
+    # ------------------------------------------------------------------
+    async def start_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Listen on a second port answering any HTTP GET with the merged
+        registry in Prometheus text exposition format."""
+        self._metrics_server = await asyncio.start_server(
+            self._handle_metrics_http, host, port
+        )
+        return self._metrics_server
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        if self._metrics_server is None or not self._metrics_server.sockets:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    async def _handle_metrics_http(self, reader, writer) -> None:
+        try:
+            # Minimal HTTP/1.0 server: read the request head, ignore it —
+            # every path scrapes the same registry.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=10)
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            loop = asyncio.get_running_loop()
+            snapshot = await loop.run_in_executor(None, self._merged_metrics)
+            body = _metrics.render_prometheus(snapshot["merged"]).encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    def _merged_metrics(self) -> Dict[str, object]:
+        _metrics.gauge("repro.server.connections").set(self.connections)
+        _metrics.gauge("repro.server.inflight").set(self.inflight)
+        return self.pool.metrics()
 
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
@@ -128,11 +187,13 @@ class ServiceServer:
         gate = asyncio.Semaphore(self.max_inflight)
         write_lock = asyncio.Lock()
         tasks = set()
+        self.connections += 1
         try:
             await self._read_loop(reader, conn, writer, write_lock, gate, tasks)
         except asyncio.CancelledError:
             pass  # server shutdown cancels connection handlers; that's clean
         finally:
+            self.connections -= 1
             for task in tasks:
                 task.cancel()
             try:
@@ -182,29 +243,51 @@ class ServiceServer:
         self, message, decode_error, conn, writer, write_lock, gate, start
     ) -> None:
         req_id = None
+        op: Optional[str] = None
+        trace_id: Optional[str] = None
+        wall_start = time.time()
+        self.inflight += 1
         try:
             try:
                 if decode_error is not None:
                     raise decode_error
                 req_id = message.get("id")
+                raw_trace = message.get("trace_id")
+                if isinstance(raw_trace, str) and raw_trace:
+                    trace_id = raw_trace
                 op = protocol.validate_request(message)
-                result = await self._dispatch(op, message, conn)
+                result = await self._dispatch(op, message, conn, trace_id)
             except Exception as exc:  # noqa: BLE001 - reported on the wire
+                elapsed_ms = (time.perf_counter() - start) * 1e3
                 response = protocol.error_response(req_id, exc)
             else:
                 elapsed_ms = (time.perf_counter() - start) * 1e3
                 response = protocol.ok_response(req_id, result, elapsed_ms)
             self.requests_served += 1
+            _metrics.histogram(
+                "repro.server.latency_ms", op=op or "invalid"
+            ).observe(elapsed_ms)
+            if trace_id is not None and _trace.enabled():
+                # Emitted explicitly: thread-local span context is unsafe
+                # across awaits, so the dispatch span carries its trace ID.
+                _trace.emit_span(
+                    "dispatch",
+                    trace_id,
+                    wall_start,
+                    elapsed_ms,
+                    attrs={"op": op or "invalid"},
+                )
             async with write_lock:
                 writer.write(protocol.encode(response))
                 await writer.drain()
         except (ConnectionError, OSError):
             pass  # client went away mid-response
         finally:
+            self.inflight -= 1
             gate.release()
 
     # ------------------------------------------------------------------
-    async def _pool_result(self, submit):
+    async def _pool_result(self, submit, trace=None):
         """Submit one pool request under the server-global inflight gate.
 
         The gate is acquired *before* the request enters the pool, so the
@@ -213,12 +296,20 @@ class ServiceServer:
         ``submit()`` itself runs in the executor: payload submission
         parses instance text (``submit_single``), and the event loop
         thread must never block on parsing large schemas.
+
+        ``trace`` activates the request's trace context on the executor
+        thread before ``submit()`` runs, so pool submissions (which read
+        the thread-local via ``wire_context``) and any session-level
+        spans on the synchronous path inherit the wire trace ID.
         """
         loop = asyncio.get_running_loop()
+
+        def run():
+            with _trace.activate(trace):
+                return submit().result()
+
         async with self._inflight_gate:
-            return await loop.run_in_executor(
-                None, lambda: submit().result()
-            )
+            return await loop.run_in_executor(None, run)
 
     #: How often a bare request is retried after re-pinning its pair.
     #: One retry covered worker respawns; with the bounded worker pair
@@ -228,7 +319,9 @@ class ServiceServer:
     #: allowed before the error surfaces to the client.
     PIN_RETRIES = 3
 
-    async def _pinned_call(self, pin: _Pin, json_op: str, payload: Dict[str, object]):
+    async def _pinned_call(
+        self, pin: _Pin, json_op: str, payload: Dict[str, object], trace=None
+    ):
         """One pinned (bare v2) request, re-pinning on a stale pair."""
         loop = asyncio.get_running_loop()
         for attempt in range(self.PIN_RETRIES + 1):
@@ -236,7 +329,8 @@ class ServiceServer:
                 return await self._pool_result(
                     lambda: self.pool.submit(
                         "pinned", (pin.pair, json_op, payload), slot=pin.slot
-                    )
+                    ),
+                    trace=trace,
                 )
             except UnknownPairError:
                 if attempt >= self.PIN_RETRIES:
@@ -279,26 +373,38 @@ class ServiceServer:
             )
         return pin
 
-    async def _dispatch(self, op: str, message: Dict[str, object], conn):
+    async def _dispatch(
+        self,
+        op: str,
+        message: Dict[str, object],
+        conn,
+        trace_id: Optional[str] = None,
+    ):
         loop = asyncio.get_running_loop()
+        trace = {"trace_id": trace_id} if trace_id is not None else None
         if op == "ping":
             banner = protocol.server_version_banner()
             banner["workers"] = self.pool.workers
             return banner
         if op == "stats":
+            connections, inflight = self.connections, self.inflight
+
             def gather() -> Dict[str, object]:
                 return {
                     "requests_served": self.requests_served,
                     "max_inflight": self.max_inflight,
                     "max_inflight_total": self.max_inflight_total,
+                    "server": self._server_stats(connections, inflight),
                     **self.pool.pool_stats(workers=True),
                 }
 
             return await loop.run_in_executor(None, gather)
+        if op == "metrics":
+            return await loop.run_in_executor(None, self._merged_metrics)
         if op == "set_pair":
             return await self._set_pair(message, conn)
         if op == "typecheck_many":
-            return await self._typecheck_many(message, conn)
+            return await self._typecheck_many(message, conn, trace)
         # Single-instance ops: v1 framing carries its schemas; bare v2
         # requests ride the connection's pinned pair.
         bare = not _has_instance_fields(message)
@@ -308,11 +414,31 @@ class ServiceServer:
             return await self._pool_result(
                 lambda: _SyncTicket(
                     self._typecheck_sharded, message, int(shards), pin  # type: ignore[arg-type]
-                )
+                ),
+                trace=trace,
             )
         if bare:
-            return await self._pinned_call(pin, op, self._bare_payload(message))
-        return await self._pool_result(lambda: self.pool.submit_payload(message))
+            return await self._pinned_call(
+                pin, op, self._bare_payload(message), trace
+            )
+        return await self._pool_result(
+            lambda: self.pool.submit_payload(message), trace=trace
+        )
+
+    def _server_stats(self, connections: int, inflight: int) -> Dict[str, object]:
+        """Server-level section of the ``stats`` op: connection/inflight
+        gauges plus the per-op latency histogram summaries (satellite fix:
+        per-request ``elapsed_ms`` used to be computed and discarded)."""
+        latency: Dict[str, object] = {}
+        prefix = "repro.server.latency_ms{op="
+        for name, data in _metrics.snapshot()["histograms"].items():
+            if name.startswith(prefix):
+                latency[name[len(prefix):-1]] = _metrics.histogram_summary(data)
+        return {
+            "connections": connections,
+            "inflight": inflight,
+            "latency_ms": latency,
+        }
 
     async def _set_pair(self, message: Dict[str, object], conn):
         loop = asyncio.get_running_loop()
@@ -331,7 +457,7 @@ class ServiceServer:
         conn.pin = _Pin(pair, din, dout, slot)
         return {"pair": pair, "worker": slot, "protocol": protocol.PROTOCOL_VERSION}
 
-    async def _typecheck_many(self, message: Dict[str, object], conn):
+    async def _typecheck_many(self, message: Dict[str, object], conn, trace=None):
         loop = asyncio.get_running_loop()
         if _has_instance_fields(message):
             singles = self.pool.split_payload_many(message)
@@ -344,7 +470,8 @@ class ServiceServer:
                     self._pool_result(
                         lambda single=single: self.pool.submit_single(
                             single, "typecheck", fanout=True
-                        )
+                        ),
+                        trace=trace,
                     )
                     for single in singles[start : start + window]
                 ]
@@ -374,18 +501,19 @@ class ServiceServer:
                 payload: Dict[str, object] = {"transducer": item}
                 if method is not None:
                     payload["method"] = method
-                chunk.append(self._pinned_fanout(pin, payload))
+                chunk.append(self._pinned_fanout(pin, payload, trace))
             results.extend(await asyncio.gather(*chunk))
         return results
 
-    async def _pinned_fanout(self, pin: _Pin, payload: Dict[str, object]):
+    async def _pinned_fanout(self, pin: _Pin, payload: Dict[str, object], trace=None):
         """One bare batch item, round-robined across the (pinned) workers."""
         for attempt in range(self.PIN_RETRIES + 1):
             try:
                 return await self._pool_result(
                     lambda: self.pool.submit(
                         "pinned", (pin.pair, "typecheck", payload)
-                    )
+                    ),
+                    trace=trace,
                 )
             except UnknownPairError:
                 if attempt >= self.PIN_RETRIES:
@@ -444,8 +572,20 @@ async def serve(
     worker_registry_bytes: Optional[int] = None,
     worker_pair_limit: Optional[int] = None,
     ready_message: bool = False,
+    trace_path: Optional[str] = None,
+    metrics_port: Optional[int] = None,
 ):
-    """Start pool + server; returns ``(service, pool)`` once listening."""
+    """Start pool + server; returns ``(service, pool)`` once listening.
+
+    ``trace_path`` turns on the JSON-lines span sink in the server *and*
+    every pool worker (all appending to the same file).  ``metrics_port``
+    opens a second listener serving Prometheus text exposition of the
+    merged server+worker registry, and enables the hot kernel counters.
+    """
+    if trace_path is not None:
+        _trace.trace_to(str(trace_path))
+    if metrics_port is not None:
+        _metrics.enable_kernel_metrics()
     pool = WorkerPool(
         workers,
         cache_dir=cache_dir,
@@ -453,14 +593,23 @@ async def serve(
         cache_max_bytes=cache_max_bytes,
         worker_registry_bytes=worker_registry_bytes,
         worker_pair_limit=worker_pair_limit,
+        trace_path=str(trace_path) if trace_path is not None else None,
+        metrics=metrics_port is not None,
     )
     service = ServiceServer(
         pool, max_inflight=max_inflight, max_inflight_total=max_inflight_total
     )
     await service.start(host, port)
+    if metrics_port is not None:
+        await service.start_metrics(host, metrics_port)
     if ready_message:
         # One parseable line for process supervisors and the demo script.
         print(f"repro-service listening on {host}:{service.port}", flush=True)
+        if metrics_port is not None:
+            print(
+                f"repro-service metrics on {host}:{service.metrics_port}",
+                flush=True,
+            )
     return service, pool
 
 
@@ -476,6 +625,8 @@ def run_server(
     cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
     worker_registry_bytes: Optional[int] = None,
     worker_pair_limit: Optional[int] = None,
+    trace_path: Optional[str] = None,
+    metrics_port: Optional[int] = None,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``."""
 
@@ -492,6 +643,8 @@ def run_server(
             worker_registry_bytes=worker_registry_bytes,
             worker_pair_limit=worker_pair_limit,
             ready_message=True,
+            trace_path=trace_path,
+            metrics_port=metrics_port,
         )
         try:
             await asyncio.Event().wait()  # serve forever

@@ -122,3 +122,34 @@ class TestBatchMode:
         cache = tmp_path / "cache"
         assert main(["--cache-dir", str(cache), good]) == 0
         assert list(cache.glob("*.session.pkl"))
+
+    def test_trace_flag_writes_spans_per_instance(self, tmp_path, capsys):
+        import json
+
+        from repro.core.session import clear_registry
+        from repro.obs import trace as obs_trace
+
+        clear_registry()  # cold compiles guarantee compile/fixpoint spans
+        good = self._write(tmp_path, "good.txt", GOOD)
+        bad = self._write(tmp_path, "bad.txt", BAD)  # a second schema pair
+        trace_file = tmp_path / "trace.jsonl"
+        cache = tmp_path / "cache"  # cache_dir forces warm() -> compile span
+        try:
+            assert main(
+                ["--trace", str(trace_file), "--cache-dir", str(cache),
+                 good, bad]
+            ) == 1
+        finally:
+            obs_trace.trace_to(None)
+        spans = [
+            json.loads(line)
+            for line in trace_file.read_text().splitlines()
+            if '"name"' in line
+        ]
+        assert any(span["name"] == "compile" for span in spans)
+        assert any(span["name"] == "fixpoint" for span in spans)
+        # each instance file runs under its own trace ID
+        assert len({span["trace"] for span in spans}) >= 2
+
+    def test_trace_flag_needs_a_path(self, capsys):
+        assert main(["--trace"]) == 2
