@@ -6,8 +6,6 @@
 * Fig. 4 / Example 17: the deletion-path graph analysis (C = 3, K = 6).
 """
 
-import pytest
-
 from repro.transducers import analyze, to_xslt
 from repro.transducers.analysis import deletion_path_graph, deletion_path_width
 from repro.workloads.books import (

@@ -271,7 +271,9 @@ def bench_auto(results, sizes, repeat: int) -> None:
             lambda: session.shard_method(transducer), repeat
         )
         plain, _analysis = session._compiled_transducer(transducer)
-        _choice, fcost_ms, bcost_ms = session._auto_choice(plain)
+        _choice, costs_ms = session._auto_choice(plain)
+        fcost_ms = costs_ms.get("forward", 0.0)
+        bcost_ms = costs_ms.get("backward", 0.0)
         forward_r = typecheck_forward(transducer, din, dout)
         backward_r = typecheck_backward(transducer, din, dout)
         assert forward_r.typechecks == backward_r.typechecks == expected, (

@@ -1,8 +1,5 @@
 """Shared benchmark helpers."""
 
-import pytest
-
-
 def assert_result(result, expected: bool) -> None:
     """Benchmarks still verify correctness: a fast wrong answer is no
     reproduction."""

@@ -16,7 +16,7 @@ Run:  python examples/schema_frontier.py
 
 import time
 
-from repro import DTD, TreeTransducer, analyze, typecheck
+from repro import analyze
 from repro.core import typecheck_forward, typecheck_replus_witnesses
 from repro.hardness import cnf_to_unary_dfas, random_cnf3, satisfiable
 from repro.hardness.dfa_intersection import theorem18_instance

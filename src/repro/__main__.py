@@ -87,6 +87,7 @@ from __future__ import annotations
 import sys
 from typing import List, Optional
 
+from repro.engines import engine_names
 from repro.errors import ReproError
 from repro.core.session import compile as compile_session
 
@@ -98,10 +99,7 @@ from repro.service.protocol import (  # noqa: F401 - re-exported names
     parse_transducer_section,
 )
 
-_METHODS = (
-    "auto", "forward", "backward", "replus", "replus-witnesses", "delrelab",
-    "bruteforce",
-)
+_METHODS = ("auto", *engine_names())
 
 
 def _parse_args(argv: List[str]):

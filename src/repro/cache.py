@@ -47,7 +47,8 @@ from typing import Dict, Optional
 from repro import __version__
 from repro.obs import metrics as _metrics
 from repro.core.session import Session, schema_fingerprint, session_key
-from repro.schemas.dtd import DTD
+from repro.engines import engines as registered_engines
+from repro.engines import persistent_engines
 from repro.kernel import serialize
 from repro.util import stable_digest
 
@@ -90,13 +91,29 @@ def artifact_path(cache_dir, key: str) -> Path:
     return Path(cache_dir) / f"{key}.session.pkl"
 
 
+def side_file_path(
+    cache_dir, key: str, engine_name: str, transducer_hash: str
+) -> Path:
+    """The side file holding one transducer's snapshot for one engine.
+
+    Engine names carry non-hex characters, so the engine segment can
+    never be confused with a legacy ``<key>.tables.<hash>.pkl`` hash
+    segment (see :func:`_load_side_files` for the legacy mapping).
+    """
+    return (
+        Path(cache_dir) / f"{key}.tables.{engine_name}.{transducer_hash}.pkl"
+    )
+
+
 def tables_path(cache_dir, key: str, transducer_hash: str) -> Path:
-    """The side file holding one transducer's fixpoint-table snapshot."""
+    """The *legacy* (pre-registry) forward-table side-file name; new
+    files are written by :func:`side_file_path`, old ones still load."""
     return Path(cache_dir) / f"{key}.tables.{transducer_hash}.pkl"
 
 
 def backward_result_path(cache_dir, key: str, transducer_hash: str) -> Path:
-    """The side file holding one transducer's backward result snapshot."""
+    """The *legacy* (pre-registry) backward-result side-file name; new
+    files are written by :func:`side_file_path`, old ones still load."""
     return Path(cache_dir) / f"{key}.btables.{transducer_hash}.pkl"
 
 
@@ -129,19 +146,21 @@ def save_session(session: Session, cache_dir=None) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
     key = artifact_key(session.sin, session.sout, session.options)
     artifacts = session.export_artifacts()
-    forward = artifacts.get("forward")
-    if forward is not None and forward.get("transducer_tables"):
-        forward = dict(forward)
-        forward["transducer_tables"] = {}
-        artifacts = {**artifacts, "forward": forward}
-    backward = artifacts.get("backward")
-    if backward is not None and backward.get("transducer_results"):
-        # Like the forward tables, per-transducer backward snapshots go to
-        # write-once side files so the schema blob never grows per served
-        # transducer.
-        backward = dict(backward)
-        backward["transducer_results"] = {}
-        artifacts = {**artifacts, "backward": backward}
+    # Per-transducer snapshots go to write-once side files so the schema
+    # blob never grows per served transducer — each engine declares which
+    # of its state fields are side-file material (``side_strip_fields``).
+    for engine in persistent_engines():
+        section = artifacts.get(engine.name)
+        if not isinstance(section, dict):
+            continue
+        stripped = None
+        for field in engine.side_strip_fields:
+            if section.get(field):
+                if stripped is None:
+                    stripped = dict(section)
+                stripped[field] = {}
+        if stripped is not None:
+            artifacts = {**artifacts, engine.name: stripped}
     payload = {
         "cache_format": CACHE_FORMAT,
         "version": __version__,
@@ -165,45 +184,37 @@ def _publish_tables(session: Session, cache_dir) -> int:
     design: one small side file per *new* transducer is exactly the growth
     the blob-splitting exists to absorb.
     """
-    forward = session._forward
-    backward = session._backward
+    pending = []
     with session._lock:
-        snapshots = [] if forward is None else list(
-            forward.transducer_tables.items()
-        )
-        results = [] if backward is None else list(
-            backward.transducer_results.items()
-        )
-    if not snapshots and not results:
+        for engine in registered_engines():
+            if engine.side_field is None:
+                continue
+            store_pair = engine.side_store(session)
+            if store_pair is None:
+                continue
+            store, _limit = store_pair
+            if store:
+                pending.append((engine, list(store.items())))
+    if not pending:
         return 0
     directory = Path(cache_dir)
     directory.mkdir(parents=True, exist_ok=True)
     key = artifact_key(session.sin, session.sout, session.options)
     written = 0
-    for transducer_hash, tables in snapshots:
-        path = tables_path(directory, key, transducer_hash)
-        if path.exists():
-            continue
-        payload = {
-            "cache_format": CACHE_FORMAT,
-            "key": key,
-            "transducer": transducer_hash,
-            "tables": tables,
-        }
-        _write_atomic(directory, path, serialize.dumps(payload))
-        written += 1
-    for transducer_hash, snapshot in results:
-        path = backward_result_path(directory, key, transducer_hash)
-        if path.exists():
-            continue
-        payload = {
-            "cache_format": CACHE_FORMAT,
-            "key": key,
-            "transducer": transducer_hash,
-            "result": snapshot,
-        }
-        _write_atomic(directory, path, serialize.dumps(payload))
-        written += 1
+    for engine, items in pending:
+        for transducer_hash, snapshot in items:
+            path = side_file_path(directory, key, engine.name, transducer_hash)
+            if path.exists():
+                continue
+            payload = {
+                "cache_format": CACHE_FORMAT,
+                "key": key,
+                "engine": engine.name,
+                "transducer": transducer_hash,
+                engine.side_field: snapshot,
+            }
+            _write_atomic(directory, path, serialize.dumps(payload))
+            written += 1
     return written
 
 
@@ -244,49 +255,73 @@ def _hydrate_kind(
     return len(selected)
 
 
-def _load_side_files(
-    session: Session, cache_dir, key: str, *, tables: bool, btables: bool
-) -> int:
+def _load_side_files(session: Session, cache_dir, key: str) -> int:
     """Hydrate per-transducer side files into a freshly loaded session.
 
-    One directory scan buckets forward table snapshots (``.tables.``)
-    and backward result snapshots (``.btables.``); each bucket then
-    hydrates through :func:`_hydrate_kind`.
+    One directory scan buckets snapshots by owning engine.  New-format
+    names carry the engine explicitly
+    (``<key>.tables.<engine>.<hash>.pkl``); legacy pre-registry names map
+    through each engine's declared ``legacy_side_kind``
+    (``<key>.tables.<hash>.pkl`` → forward,
+    ``<key>.btables.<hash>.pkl`` → backward).  Buckets for engines the
+    schema pair does not support are skipped — foreign leftovers, never
+    an error.  Each bucket then hydrates through :func:`_hydrate_kind`
+    into the store :meth:`~repro.engines.Engine.side_store` names.
     """
-    kinds = []
-    if tables:
-        kinds.append(("tables", "tables"))
-    if btables:
-        kinds.append(("btables", "result"))
-    if not kinds:
+    side_engines = [
+        engine for engine in registered_engines()
+        if engine.side_field is not None
+    ]
+    if not side_engines:
         return 0
     try:
         names = list(os.scandir(Path(cache_dir)))
     except OSError:
         return 0
-    buckets: Dict[str, list] = {kind: [] for kind, _field in kinds}
-    prefixes = [(kind, f"{key}.{kind}.") for kind, _field in kinds]
+    by_name = {engine.name: engine for engine in side_engines}
+    legacy = {
+        engine.legacy_side_kind: engine
+        for engine in side_engines
+        if engine.legacy_side_kind is not None
+    }
+    tables_prefix = f"{key}.tables."
+    buckets: Dict[str, list] = {engine.name: [] for engine in side_engines}
     for entry in names:
         if not entry.name.endswith(".pkl"):
             continue
-        for kind, prefix in prefixes:
-            if entry.name.startswith(prefix):
-                try:
-                    buckets[kind].append((entry.stat().st_mtime, entry.path))
-                except OSError:
-                    pass  # pruned concurrently — not our snapshot anymore
-                break
-    loaded = 0
-    for kind, field in kinds:
-        if not buckets[kind]:
-            continue
-        if kind == "tables":
-            ctx = session.forward_schema()
-            store, limit = ctx.transducer_tables, ctx.transducer_table_limit
+        engine = None
+        if entry.name.startswith(tables_prefix):
+            rest = entry.name[len(tables_prefix):]
+            engine = by_name.get(rest.split(".", 1)[0])
+            if engine is None:
+                # No engine segment: a legacy `.tables.<hash>` name.
+                engine = legacy.get("tables")
         else:
-            bctx = session.backward_schema()
-            store, limit = bctx.transducer_results, bctx.transducer_result_limit
-        loaded += _hydrate_kind(buckets[kind], key, field, store, limit)
+            for kind, kind_engine in legacy.items():
+                if kind != "tables" and entry.name.startswith(
+                    f"{key}.{kind}."
+                ):
+                    engine = kind_engine
+                    break
+        if engine is None:
+            continue
+        try:
+            buckets[engine.name].append((entry.stat().st_mtime, entry.path))
+        except OSError:
+            pass  # pruned concurrently — not our snapshot anymore
+    loaded = 0
+    for engine in side_engines:
+        if not buckets[engine.name]:
+            continue
+        if engine.supports(session.sin, session.sout) is not True:
+            continue  # foreign leftovers for a pair this engine rejects
+        store_pair = engine.side_store(session, build=True)
+        if store_pair is None:
+            continue
+        store, limit = store_pair
+        loaded += _hydrate_kind(
+            buckets[engine.name], key, engine.side_field, store, limit
+        )
     return loaded
 
 
@@ -318,14 +353,10 @@ def _artifact_state(session: Session) -> tuple:
     must trigger a refresh: each schema's monotone
     ``shard_profile_version`` counter captures that.
     """
-    forward = session._forward
-    backward = session._backward
-    return (
-        0 if forward is None else len(forward.shared_hedge),
-        0 if forward is None else len(forward.shared_tree),
-        0 if forward is None else forward.shard_profile_version,
-        0 if backward is None else backward.shard_profile_version,
-    )
+    state: list = []
+    for engine in persistent_engines():
+        state.extend(engine.publish_state(session))
+    return tuple(state)
 
 
 def publish(session: Session, cache_dir=None, min_interval_s: float = 30.0) -> Path:
@@ -423,14 +454,7 @@ def _load_session(
         # Tables come from side files; blobs from the embedded-tables era
         # carry them inline (already hydrated by from_artifacts) and the
         # side files merge on top — the migration path is "both work".
-        dtd_pair = isinstance(artifacts.get("sin"), DTD) and isinstance(
-            artifacts.get("sout"), DTD
-        )
-        _load_side_files(
-            session, cache_dir, key,
-            tables=artifacts.get("forward") is not None,
-            btables=dtd_pair,
-        )
+        _load_side_files(session, cache_dir, key)
         # The session's state *is* the blob's state: stamp it so publish()
         # rewrites only once it actually grows beyond what is on disk.
         session.stats["published_state"] = _artifact_state(session)

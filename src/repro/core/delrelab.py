@@ -41,13 +41,24 @@ Schema = Union[DTD, NTA]
 def wrap_deleting_states(
     transducer: TreeTransducer, hash_symbol: str = HASH
 ) -> TreeTransducer:
-    """``T'`` of Theorem 20: every top-level state ``q`` becomes ``#(q)``."""
+    """``T'`` of Theorem 20: every top-level state ``q`` becomes ``#(q)``.
+
+    An *initial* rhs that is not exactly one tree (the empty hedge, or two
+    or more trees) is additionally rooted under ``#`` so that ``T'`` maps
+    every input to a single tree — the image automaton of Lemma 19 accepts
+    trees, so a hedge-shaped root output is otherwise unrepresentable.
+    ``γ`` splices the wrapper away again, so the elimination semantics the
+    lift and the non-tree detector reason about are unchanged.
+    """
     new_rules = {}
     for key, rhs in transducer.rules.items():
-        new_rules[key] = tuple(
+        wrapped = tuple(
             RhsSym(hash_symbol, (node,)) if isinstance(node, RhsState) else node
             for node in rhs
         )
+        if key[0] == transducer.initial and len(wrapped) != 1:
+            wrapped = (RhsSym(hash_symbol, wrapped),)
+        new_rules[key] = wrapped
     return TreeTransducer(
         transducer.states,
         transducer.alphabet | {hash_symbol},
@@ -117,6 +128,10 @@ class DelrelabSchema:
                 self._complement = complement_dtac(self.output_dtac, check=False)
             cached = hash_elimination_lift(self._complement, hash_symbol)
             self._lift[hash_symbol] = cached
+        if self._productive is not None:
+            # Every schema-side artifact of the pipeline now exists; lazy
+            # first calls warm the context just like an explicit warm().
+            self.compiled = True
         return cached
 
     def free_hash_symbol(self, *alphabets) -> str:

@@ -39,7 +39,7 @@ import itertools
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import BudgetExceededError, ClassViolationError
 from repro.kernel.product import ProductBFS
@@ -50,7 +50,7 @@ from repro.kernel.serialize import HedgeDecoder
 from repro.schemas.dtd import DTD
 from repro.strings.dfa import DFA
 from repro.transducers.analysis import analyze
-from repro.transducers.rhs import RhsState, RhsSym, iter_rhs_nodes, top_decomposition, top_states
+from repro.transducers.rhs import RhsSym, iter_rhs_nodes, top_decomposition, top_states
 from repro.transducers.transducer import TreeTransducer
 from repro.trees.dag import DagHedge, DagTree
 from repro.trees.generate import minimal_tree

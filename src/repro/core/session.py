@@ -55,15 +55,15 @@ from repro.errors import BudgetExceededError, ClassViolationError
 from repro.obs import metrics as _metrics
 from repro.obs import record_router_decision
 from repro.obs import trace as _trace
-from repro.core.bruteforce import typecheck_bruteforce
-from repro.core.delrelab import DelrelabSchema, typecheck_delrelab
-from repro.core.forward import ForwardSchema, typecheck_forward
 from repro.core.problem import TypecheckResult
-from repro.core.replus import (
-    ReplusSchema,
-    typecheck_replus,
-    typecheck_replus_witnesses,
+from repro.engines import (
+    Engine,
+    get_engine,
+    persistent_engines,
+    routable_engines,
+    shardable_engines,
 )
+from repro.engines import engines as registered_engines
 from repro.schemas.dtd import DTD
 from repro.transducers.analysis import TransducerAnalysis, analyze
 from repro.transducers.rhs import RhsSym
@@ -108,55 +108,16 @@ def _options_fingerprint(options: Dict[str, object]) -> str:
 
 
 # ----------------------------------------------------------------------
-# Per-method kwarg validation
+# Per-method kwarg validation (delegated to the engine registry)
 # ----------------------------------------------------------------------
-_METHOD_FUNCS = {
-    "forward": typecheck_forward,
-    "replus": typecheck_replus,
-    "replus-witnesses": typecheck_replus_witnesses,
-    "delrelab": typecheck_delrelab,
-    "bruteforce": typecheck_bruteforce,
-}
-
-
-def _method_func(method: str):
-    """The per-method function, resolving lazily-imported engines.
-
-    ``repro.backward`` imports :mod:`repro.core.problem`, so the session
-    module must not import it at module level (it is itself imported by
-    ``repro.core``); the binding happens on first use instead.
-    """
-    func = _METHOD_FUNCS.get(method)
-    if func is None and method == "backward":
-        from repro.backward import typecheck_backward
-
-        func = _METHOD_FUNCS["backward"] = typecheck_backward
-    if func is None:
-        raise KeyError(method)
-    return func
-
-
-#: Positional/managed parameters that are not per-call options: the instance
-#: itself, ``max_tuple`` (an explicit ``typecheck`` parameter), the
-#: session-managed compiled-schema context, and injected forward tables
-#: (a service-layer mechanism, not a user option).
-_NON_OPTION_PARAMS = frozenset(
-    {
-        "transducer", "din", "dout", "sin", "sout", "ain", "aout",
-        "max_tuple", "schema", "tables",
-    }
-)
-_ALLOWED_KWARGS: Dict[str, frozenset] = {}
-
-
 def allowed_kwargs(method: str) -> frozenset:
-    """The per-call option names ``typecheck(method=...)`` accepts."""
-    allowed = _ALLOWED_KWARGS.get(method)
-    if allowed is None:
-        params = inspect.signature(_method_func(method)).parameters
-        allowed = frozenset(name for name in params if name not in _NON_OPTION_PARAMS)
-        _ALLOWED_KWARGS[method] = allowed
-    return allowed
+    """The per-call option names ``typecheck(method=...)`` accepts.
+
+    Delegates to the engine registry, which memoizes the signature
+    inspection *per engine* — one ``inspect.signature`` call per process,
+    never one per typecheck.
+    """
+    return get_engine(method).allowed_kwargs()
 
 
 def validate_method_kwargs(method: str, kwargs: Dict[str, object]) -> None:
@@ -167,14 +128,7 @@ def validate_method_kwargs(method: str, kwargs: Dict[str, object]) -> None:
     worse, a typo'd option being dropped by a dispatch branch that never
     forwarded it).  This names the offending option and lists the valid ones.
     """
-    allowed = allowed_kwargs(method)
-    for name in kwargs:
-        if name not in allowed:
-            raise TypeError(
-                f"typecheck(method={method!r}) got an unexpected option "
-                f"{name!r}; valid options for this method: "
-                f"{', '.join(sorted(allowed)) or '(none)'}"
-            )
+    get_engine(method).validate_kwargs(kwargs)
 
 
 def _call_compute_shards(compute_shards, partitions, method: str):
@@ -273,19 +227,21 @@ class Session:
             and sin.kind == "RE+"
             and sout.kind == "RE+"
         )
-        self._forward: Optional[ForwardSchema] = None
-        self._backward = None  # BackwardSchema, imported lazily
-        self._replus: Optional[ReplusSchema] = None
-        self._delrelab: Dict[bool, DelrelabSchema] = {}
+        # Compiled per-engine schema contexts, keyed by the engine's
+        # registry ``schema_slot`` and per-call variant (the del-relab
+        # class-check flag; ``None`` for single-variant engines).  One
+        # generic store instead of one attribute per engine: a new
+        # registered engine needs no session change at all.
+        self._schemas: Dict[Tuple[str, object], object] = {}
         # Per-transducer memo: T -> (call-compiled T, analysis).  Weak keys
         # so a session never pins a client's transducers in memory.
         self._analyses: "WeakKeyDictionary[TreeTransducer, Tuple[TreeTransducer, TransducerAnalysis]]" = (
             WeakKeyDictionary()
         )
-        # Auto-route memo: content hash -> (choice, fwd ms, bwd ms).  The
-        # decision is deterministic given the (fixed) schema pair, so a
-        # serving session pays the two key scans once per transducer.
-        self._auto_routes: Dict[str, Tuple[str, float, float]] = {}
+        # Auto-route memo: content hash -> (choice, {engine: cost ms}).
+        # The decision is deterministic given the (fixed) schema pair, so
+        # a serving session pays the key scans once per transducer.
+        self._auto_routes: Dict[str, Tuple[str, Dict[str, float]]] = {}
         # (calibrated base bytes, structural estimate at calibration) —
         # see footprint_bytes().
         self._footprint: Optional[Tuple[int, int]] = None
@@ -302,21 +258,21 @@ class Session:
     # Compilation
     # ------------------------------------------------------------------
     def warm(self) -> "Session":
-        """Eagerly compile every artifact applicable to the schema pair."""
+        """Eagerly compile every artifact applicable to the schema pair.
+
+        Iterates the engine registry in registration order — ``forward``
+        before ``backward`` matters (the backward warm-up is near-free
+        once the shared DTD-level automata are compiled), and each
+        engine's ``should_warm`` gates on the pair (``replus`` only on
+        RE⁺ pairs; ``delrelab`` only where Theorem 20 is the sole route).
+        """
         with self._lock, _trace.span(
             "compile", source=str(self.stats["source"])
         ):
             start = time.perf_counter()
-            if self._dtd_pair_value is not None:
-                self.forward_schema().warm()
-                # Backward shares its automata with the forward artifacts
-                # (DTD-level caches), so this warm-up is near-free.
-                self.backward_schema().warm()
-                if self._replus_pair:
-                    self.replus_schema().warm()
-            else:
-                # Automaton schemas: Theorem 20 is the only applicable route.
-                self.delrelab_schema(True).warm()
+            for engine in registered_engines():
+                if engine.should_warm(self):
+                    engine.schema(self).warm()
             self.stats["compile_s"] = float(self.stats["compile_s"]) + (
                 time.perf_counter() - start
             )
@@ -330,41 +286,58 @@ class Session:
             )
         return self._dtd_pair_value
 
-    def forward_schema(self) -> ForwardSchema:
-        """The compiled :class:`ForwardSchema` (built on first use)."""
-        ctx = self._forward
+    def engine_schema(self, engine: Engine, variant=None):
+        """The compiled schema context of ``engine`` for this pair (built
+        on first use, cached per ``(schema_slot, variant)``)."""
+        slot = (engine.schema_slot, variant)
+        ctx = self._schemas.get(slot)
         if ctx is None:
-            din, dout = self._dtd_pair()
-            ctx = self._forward = ForwardSchema(din, dout)
+            ctx = engine.build_schema(self, variant)
+            self._schemas[slot] = ctx
         return ctx
+
+    def forward_schema(self):
+        """The compiled :class:`~repro.core.forward.ForwardSchema` (built
+        on first use)."""
+        return self.engine_schema(get_engine("forward"))
 
     def backward_schema(self):
         """The compiled :class:`~repro.backward.BackwardSchema` (built on
         first use)."""
-        ctx = self._backward
-        if ctx is None:
-            from repro.backward import BackwardSchema
+        return self.engine_schema(get_engine("backward"))
 
-            din, dout = self._dtd_pair()
-            ctx = self._backward = BackwardSchema(din, dout)
-        return ctx
+    def replus_schema(self):
+        """The compiled :class:`~repro.core.replus.ReplusSchema` (built on
+        first use)."""
+        return self.engine_schema(get_engine("replus"))
 
-    def replus_schema(self) -> ReplusSchema:
-        """The compiled :class:`ReplusSchema` (built on first use)."""
-        ctx = self._replus
-        if ctx is None:
-            din, dout = self._dtd_pair()
-            ctx = self._replus = ReplusSchema(din, dout)
-        return ctx
+    def delrelab_schema(self, check_output_class: bool = True):
+        """The compiled :class:`~repro.core.delrelab.DelrelabSchema`
+        (built on first use, cached per class-check flag)."""
+        return self.engine_schema(
+            get_engine("delrelab"), bool(check_output_class)
+        )
 
-    def delrelab_schema(self, check_output_class: bool = True) -> DelrelabSchema:
-        """The compiled :class:`DelrelabSchema` (built on first use, cached
-        per class-check flag)."""
-        ctx = self._delrelab.get(check_output_class)
-        if ctx is None:
-            ctx = DelrelabSchema(self.sin, self.sout, check_output_class)
-            self._delrelab[check_output_class] = ctx
-        return ctx
+    # Structural-footprint / cache views of the generic schema store.
+    @property
+    def _forward(self):
+        return self._schemas.get(("forward", None))
+
+    @property
+    def _backward(self):
+        return self._schemas.get(("backward", None))
+
+    @property
+    def _replus(self):
+        return self._schemas.get(("replus", None))
+
+    @property
+    def _delrelab(self) -> Dict[bool, object]:
+        return {
+            variant: ctx
+            for (slot, variant), ctx in self._schemas.items()
+            if slot == "delrelab"
+        }
 
     # ------------------------------------------------------------------
     # Transducer-side memo
@@ -412,139 +385,67 @@ class Session:
         **kwargs,
     ) -> TypecheckResult:
         self.stats["calls"] = int(self.stats["calls"]) + 1
-        if method == "forward":
-            validate_method_kwargs(method, kwargs)
-            din, dout = self._dtd_pair()
-            self._apply_defaults(kwargs)
-            return typecheck_forward(
-                transducer, din, dout, max_tuple,
-                schema=self.forward_schema(), **kwargs,
-            )
-        if method == "backward":
-            validate_method_kwargs(method, kwargs)
-            _reject_max_tuple(method, max_tuple)
-            din, dout = self._dtd_pair()
-            kwargs.setdefault("max_product_nodes", self.max_product_nodes)
-            plain, _analysis = self._compiled_transducer(transducer)
-            return _method_func("backward")(
-                plain, din, dout, schema=self.backward_schema(), **kwargs
-            )
-        if method == "replus":
-            validate_method_kwargs(method, kwargs)
-            _reject_max_tuple(method, max_tuple)
-            din, dout = self._dtd_pair()
-            return typecheck_replus(
-                transducer, din, dout, schema=self.replus_schema(), **kwargs
-            )
-        if method == "replus-witnesses":
-            validate_method_kwargs(method, kwargs)
-            _reject_max_tuple(method, max_tuple)
-            din, dout = self._dtd_pair()
-            return typecheck_replus_witnesses(
-                transducer, din, dout, schema=self.replus_schema(), **kwargs
-            )
-        if method == "delrelab":
-            validate_method_kwargs(method, kwargs)
-            _reject_max_tuple(method, max_tuple)
-            check = bool(kwargs.pop("check_output_class", True))
-            return typecheck_delrelab(
-                transducer, self.sin, self.sout,
-                schema=self.delrelab_schema(check), **kwargs,
-            )
-        if method == "bruteforce":
-            validate_method_kwargs(method, kwargs)
-            _reject_max_tuple(method, max_tuple)
-            din, dout = self._dtd_pair()
-            return typecheck_bruteforce(transducer, din, dout, **kwargs)
         if method != "auto":
-            raise ValueError(f"unknown method {method!r}")
+            # Explicit methods dispatch straight through the registry —
+            # there is no per-engine branch here: a newly registered
+            # engine is callable by name immediately.
+            engine = get_engine(method)
+            engine.validate_kwargs(kwargs)
+            if not engine.accepts_max_tuple:
+                _reject_max_tuple(method, max_tuple)
+            return engine.typecheck(self, transducer, max_tuple, kwargs)
 
         # "auto": the paper's algorithm selection (api module docstring).
         # ``max_tuple`` is auto's "force the forward engine" escape hatch,
         # so it is not rejected here — only explicit methods are strict.
         if self._replus_pair:
-            validate_method_kwargs("replus", kwargs)
-            din, dout = self._dtd_pair_value
-            result = typecheck_replus(
-                transducer, din, dout, schema=self.replus_schema(), **kwargs
-            )
-            result.stats["auto_method"] = "replus"
+            result = self._run_auto("replus", transducer, None, kwargs)
             return result
         plain, analysis = self._compiled_transducer(transducer)
         if self._dtd_pair_value is not None and max_tuple is not None:
             # The escape hatch always means the forward engine: a caller
             # bounding the tuple width is asking for the (possibly
             # exponential) forward run, never a routed alternative.
-            validate_method_kwargs("forward", kwargs)
-            din, dout = self._dtd_pair_value
-            self._apply_defaults(kwargs)
-            result = typecheck_forward(
-                plain, din, dout, max_tuple,
-                schema=self.forward_schema(), **kwargs,
-            )
-            result.stats["auto_method"] = "forward"
-            return result
+            return self._run_auto("forward", plain, max_tuple, kwargs)
         if self._dtd_pair_value is not None and analysis.in_trac:
-            # Both complete engines apply: route by measurable schema
-            # shape.  Each engine's shard cost model (seeds + closure DFA
-            # sizes forward, content-DFA × behavior-monoid backward) is
-            # summed over its check keys and the cheaper engine runs; a
-            # forward-only per-call option (use_kernel, max_tuple above)
-            # pins the route to forward.
-            choice, fcost, bcost = self._auto_choice(plain)
-            if choice == "backward" and any(
-                name not in allowed_kwargs("backward") for name in kwargs
+            # Every routable (complete, cost-modelled) engine applies:
+            # route by measurable schema shape.  Each engine's shard cost
+            # model is summed over its own check keys, weighed by its
+            # calibrated per-unit runtime, and the cheapest predicted
+            # wall time runs; an option foreign to the chosen engine
+            # (use_kernel, max_tuple above) pins the route to forward.
+            choice, costs = self._auto_choice(plain)
+            if choice != "forward" and any(
+                name not in get_engine(choice).allowed_kwargs()
+                for name in kwargs
             ):
                 choice = "forward"
-            din, dout = self._dtd_pair_value
             route_start = time.perf_counter()
-            if choice == "forward":
-                validate_method_kwargs("forward", kwargs)
-                self._apply_defaults(kwargs)
-                result = typecheck_forward(
-                    plain, din, dout, None,
-                    schema=self.forward_schema(), **kwargs,
-                )
-            else:
-                validate_method_kwargs("backward", kwargs)
-                kwargs.setdefault("max_product_nodes", self.max_product_nodes)
-                result = _method_func("backward")(
-                    plain, din, dout, schema=self.backward_schema(), **kwargs
-                )
+            result = self._run_auto(choice, plain, None, kwargs)
             # Router audit: predicted vs. measured cost of this decision —
-            # the data needed to re-fit the *_MS_PER_UNIT constants.
+            # the data needed to re-fit the engines' ms_per_unit weights.
             record_router_decision(
-                choice, round(fcost, 3), round(bcost, 3),
-                round((time.perf_counter() - route_start) * 1e3, 3),
+                choice,
+                actual_ms=round(
+                    (time.perf_counter() - route_start) * 1e3, 3
+                ),
+                predicted_ms={
+                    name: round(cost, 3) for name, cost in costs.items()
+                },
                 transducer=plain.content_hash()[:12],
             )
-            result.stats["auto_method"] = choice
-            result.stats["auto_forward_cost"] = round(fcost, 3)
-            result.stats["auto_backward_cost"] = round(bcost, 3)
+            for name, cost in costs.items():
+                result.stats[f"auto_{name}_cost"] = round(cost, 3)
             return result
         if analysis.is_del_relab:
-            validate_method_kwargs("delrelab", kwargs)
-            check = bool(kwargs.pop("check_output_class", True))
-            result = typecheck_delrelab(
-                plain, self.sin, self.sout,
-                schema=self.delrelab_schema(check), **kwargs,
-            )
-            result.stats["auto_method"] = "delrelab"
-            return result
+            return self._run_auto("delrelab", plain, None, kwargs)
         if self._dtd_pair_value is not None:
             # Out of every T^{C,K}_trac over DTDs: the forward engine
             # would raise ClassViolationError, but inverse type inference
             # is complete for any deterministic top-down transducer over
             # DTDs (budget-guarded), so auto falls back to it instead of
             # refusing the instance.
-            validate_method_kwargs("backward", kwargs)
-            din, dout = self._dtd_pair_value
-            kwargs.setdefault("max_product_nodes", self.max_product_nodes)
-            result = _method_func("backward")(
-                plain, din, dout, schema=self.backward_schema(), **kwargs
-            )
-            result.stats["auto_method"] = "backward"
-            return result
+            return self._run_auto("backward", plain, None, kwargs)
         raise ClassViolationError(
             "instance crosses the tractability frontier: the transducer has "
             f"copying width {analysis.copying_width} and "
@@ -559,52 +460,49 @@ class Session:
             "run of the forward engine."
         )
 
-    # Per-unit wall-clock weights for the two shard cost models, in
-    # milliseconds.  The models count engine-local work items (forward: DFA
-    # cells of the tuple fixpoint; backward: product-automaton cells) whose
-    # per-item runtimes differ by ~two orders of magnitude, so comparing
-    # the raw sums would route almost everything to the forward engine.
-    # The constants are measured on the workload families (BENCH_auto.json
-    # re-derives them every run): ~33µs per forward cost unit, ~0.2µs per
-    # backward product cell, stable across family sizes.
-    FORWARD_MS_PER_UNIT = 0.033
-    BACKWARD_MS_PER_UNIT = 0.0002
+    def _run_auto(
+        self,
+        choice: str,
+        transducer: TreeTransducer,
+        max_tuple: Optional[int],
+        kwargs: Dict[str, object],
+    ) -> TypecheckResult:
+        """Run the engine the auto policy picked, stamping the choice."""
+        engine = get_engine(choice)
+        engine.validate_kwargs(kwargs)
+        result = engine.typecheck(self, transducer, max_tuple, kwargs)
+        result.stats["auto_method"] = choice
+        return result
 
-    def _auto_choice(self, plain: TreeTransducer) -> Tuple[str, float, float]:
-        """``("forward"|"backward", forward_ms, backward_ms)`` for the
-        auto policy on an in-tractability DTD-pair instance.
+    def _auto_choice(
+        self, plain: TreeTransducer
+    ) -> Tuple[str, Dict[str, float]]:
+        """``(engine name, {engine: predicted ms})`` for the auto policy
+        on an in-tractability DTD-pair instance.
 
-        Sums each engine's shard cost model over its own check keys — the
-        forward ``n_out^m`` tuple seeds plus amortized dependency-closure
-        DFA sizes, against the backward per-symbol
+        Sums each *routable* engine's shard cost model over its own check
+        keys — the forward ``n_out^m`` tuple seeds plus amortized
+        dependency-closure DFA sizes, against the backward per-symbol
         ``n_in_states × behavior-monoid`` products — weighs each total by
-        its measured per-unit runtime (class constants above), and picks
-        the smaller predicted wall time (ties go forward, the paper's
-        engine).  Both models read *compiled schema shape only*, so the
-        choice costs two key scans, never a fixpoint.
+        its calibrated per-unit runtime (``Engine.ms_per_unit``, measured
+        on the workload families; BENCH_auto.json re-derives the weights
+        every run), and picks the smallest predicted wall time (ties go
+        to the earliest registrant — forward, the paper's engine).  The
+        models read *compiled schema shape only*, so the choice costs one
+        key scan per engine, never a fixpoint.
         """
-        from repro.backward import backward_check_keys, backward_key_costs
-        from repro.core.forward import forward_check_keys, forward_key_costs
-
         memo_key = plain.content_hash()
         cached = self._auto_routes.get(memo_key)
         if cached is not None:
             return cached
-        din, dout = self._dtd_pair_value
-        fschema = self.forward_schema()
-        out_alphabet = frozenset(plain.alphabet | dout.alphabet)
-        fkeys = forward_check_keys(
-            plain, din, fschema, use_kernel=self.use_kernel
-        )
-        fcost = self.FORWARD_MS_PER_UNIT * sum(
-            forward_key_costs(fkeys, fschema, out_alphabet)
-        )
-        bschema = self.backward_schema()
-        bkeys = backward_check_keys(plain, din, bschema)
-        bcost = self.BACKWARD_MS_PER_UNIT * sum(
-            backward_key_costs(bkeys, bschema, plain)
-        )
-        route = ("forward" if fcost <= bcost else "backward"), fcost, bcost
+        costs: Dict[str, float] = {}
+        best: Optional[str] = None
+        for engine in routable_engines():
+            cost = float(engine.predict_cost_ms(self, plain))
+            costs[engine.name] = cost
+            if best is None or cost < costs[best]:
+                best = engine.name
+        route = (best, costs)
         self._auto_routes[memo_key] = route
         return route
 
@@ -651,11 +549,8 @@ class Session:
         max_tuple: Optional[int],
         **kwargs,
     ) -> TypecheckResult:
-        if method not in ("auto", "forward", "backward"):
-            raise ValueError(
-                f"unknown retypecheck method {method!r}; valid: auto, "
-                "forward, backward"
-            )
+        if method != "auto":
+            get_engine(method)  # unknown-method ValueError, same as typecheck
 
         def cold(reason: str, resolved: Optional[str] = None) -> TypecheckResult:
             result = self._typecheck(transducer, method, max_tuple, **dict(kwargs))
@@ -667,25 +562,57 @@ class Session:
             }
             return result
 
-        if self._dtd_pair_value is None or self._replus_pair:
-            return cold("not a DTD pair")
         if kwargs.get("use_kernel") is False:
             return cold("object path requested")
-        din, dout = self._dtd_pair_value
         plain, analysis = self._compiled_transducer(transducer)
-        base_plain, _base_analysis = self._compiled_transducer(base)
 
-        # Resolve auto exactly as a sharded run would (the cost-model
-        # routing, restricted to the two complete engines).
+        # Resolve auto exactly as _typecheck's policy would, so the
+        # resolved engine (and hence the reported mode) matches the run.
         if method == "auto":
-            if max_tuple is not None:
-                resolved = "forward"
-            elif not analysis.in_trac:
-                resolved = "backward"
-            else:
-                resolved, _fcost, _bcost = self._auto_choice(plain)
+            resolved = self._resolve_auto(plain, analysis, max_tuple, kwargs)
+            if resolved is None:
+                # Frontier-crossing instance: the cold call raises the
+                # same ClassViolationError a plain typecheck would.
+                return cold("instance crosses the tractability frontier")
         else:
             resolved = method
+        engine = get_engine(resolved)
+
+        if not engine.incremental:
+            # No diffable tables for this engine — but the compiled schema
+            # context (grammar views, witness DAGs, lifted automata) is
+            # reusable when only the transducer changed: re-run against it
+            # and report the schema-warm mode with the fallback reason.
+            reason = engine.no_incremental_reason
+            ctx = (
+                engine.peek_schema(self, engine.schema_variant(kwargs))
+                if engine.has_schema
+                else None
+            )
+            if ctx is None or not getattr(ctx, "compiled", False):
+                return cold(
+                    reason if not engine.has_schema else "schema not compiled",
+                    resolved,
+                )
+            result = self._typecheck(
+                transducer, method, max_tuple, **dict(kwargs)
+            )
+            result.stats["retypecheck_mode"] = "warmed"
+            result.stats["retypecheck"] = {
+                "mode": "warmed",
+                "method": resolved,
+                "reason": reason,
+            }
+            return result
+
+        # Incremental engines (forward/backward): diff the base snapshot.
+        if self._dtd_pair_value is None or self._replus_pair:
+            return cold("not a DTD pair", resolved)
+        engine.validate_kwargs(kwargs)
+        if not engine.accepts_max_tuple:
+            _reject_max_tuple(resolved, max_tuple)
+        din, dout = self._dtd_pair_value
+        base_plain, _base_analysis = self._compiled_transducer(base)
 
         # The engines' preambles (empty input language, missing/ill-formed
         # root rule, wrong output root) answer before any fixpoint — a
@@ -704,82 +631,46 @@ class Session:
         new_key = plain.content_hash()
         max_nodes = int(kwargs.get("max_product_nodes", self.max_product_nodes))
 
-        if resolved == "forward":
-            validate_method_kwargs("forward", kwargs)
-            fschema = self.forward_schema()
-            base_tables = fschema.cached_tables(base_key)
-            if base_tables is None:
-                # The cold run itself stores tables under the new hash,
-                # so the *next* link of the chain is warm.
-                return cold("no base tables", resolved)
-            from repro.core.forward import incremental_forward_tables
-
-            with _trace.span("retypecheck_diff", engine="forward") as diff_span:
+        base_tables = engine.cached_tables(self, base_key)
+        tables = None
+        info = None
+        if base_tables is not None:
+            with _trace.span(
+                "retypecheck_diff", engine=resolved
+            ) as diff_span:
                 try:
-                    out = incremental_forward_tables(
-                        plain, base_plain, din, dout, base_tables,
+                    out = engine.incremental_tables(
+                        self, plain, base_plain, base_tables,
                         max_tuple=max_tuple, max_product_nodes=max_nodes,
-                        schema=fschema,
                     )
                 except BudgetExceededError:
                     return cold("incremental budget exceeded", resolved)
-                if out is None:
-                    return cold("delta path not applicable", resolved)
-                tables, info = out
-                diff_span.set(**{k: v for k, v in info.items() if k != "mode"})
-            fschema.store_tables(new_key, tables)
-            self.stats["calls"] = int(self.stats["calls"]) + 1
-            self._apply_defaults(kwargs)
-            result = typecheck_forward(
-                plain, din, dout, max_tuple,
-                schema=fschema, tables=tables, **kwargs,
-            )
-        else:
-            validate_method_kwargs("backward", kwargs)
-            _reject_max_tuple("backward", max_tuple)
-            bschema = self.backward_schema()
-            base_tables = bschema.cached_tables(base_key)
-            from repro.backward.engine import (
-                backward_check_keys,
-                compute_backward_tables,
-                incremental_backward_tables,
-            )
-
-            info = None
-            if base_tables is not None:
-                with _trace.span(
-                    "retypecheck_diff", engine="backward"
-                ) as diff_span:
-                    try:
-                        out = incremental_backward_tables(
-                            plain, base_plain, din, dout, base_tables,
-                            max_product_nodes=max_nodes, schema=bschema,
-                        )
-                    except BudgetExceededError:
-                        return cold("incremental budget exceeded", resolved)
-                    if out is not None:
-                        tables, info = out
-                        diff_span.set(
-                            **{k: v for k, v in info.items() if k != "mode"}
-                        )
-            if info is None:
-                # Cold link: saturate once (the plain cold run is
-                # early-exit and stores no tables) so the next edit in
-                # the chain has a base to diff against.
-                try:
-                    tables = compute_backward_tables(
-                        plain, din, dout,
-                        backward_check_keys(plain, din, bschema),
-                        max_product_nodes=max_nodes, schema=bschema,
+                if out is not None:
+                    tables, info = out
+                    diff_span.set(
+                        **{k: v for k, v in info.items() if k != "mode"}
                     )
-                except BudgetExceededError:
-                    return cold("saturation budget exceeded", resolved)
-            bschema.store_tables(new_key, tables)
-            self.stats["calls"] = int(self.stats["calls"]) + 1
-            kwargs.setdefault("max_product_nodes", self.max_product_nodes)
-            result = _method_func("backward")(
-                plain, din, dout, schema=bschema, tables=tables, **kwargs
-            )
+        if tables is None:
+            # Cold link: engines whose plain run stores no tables (the
+            # backward early-exit) saturate once so the next edit in the
+            # chain has a base to diff against; for the others the cold
+            # run itself stores tables under the new hash, warming the
+            # *next* link by construction.
+            try:
+                tables = engine.saturate_tables(
+                    self, plain, max_product_nodes=max_nodes
+                )
+            except BudgetExceededError:
+                return cold("saturation budget exceeded", resolved)
+            if tables is None:
+                return cold(
+                    "no base tables" if base_tables is None
+                    else "delta path not applicable",
+                    resolved,
+                )
+        engine.store_tables(self, new_key, tables)
+        self.stats["calls"] = int(self.stats["calls"]) + 1
+        result = engine.typecheck(self, plain, max_tuple, kwargs, tables=tables)
         if info is not None:
             result.stats["retypecheck_mode"] = "incremental"
             result.stats["retypecheck"] = dict(info, mode="incremental", method=resolved)
@@ -789,6 +680,34 @@ class Session:
         if method == "auto":
             result.stats.setdefault("auto_method", resolved)
         return result
+
+    def _resolve_auto(
+        self,
+        plain: TreeTransducer,
+        analysis: TransducerAnalysis,
+        max_tuple: Optional[int],
+        kwargs: Dict[str, object],
+    ) -> Optional[str]:
+        """The engine ``method="auto"`` resolves to for this instance
+        (mirrors ``_typecheck``'s ladder), or ``None`` when auto would
+        refuse it (the tractability frontier)."""
+        if self._replus_pair:
+            return "replus"
+        if self._dtd_pair_value is not None and max_tuple is not None:
+            return "forward"
+        if self._dtd_pair_value is not None and analysis.in_trac:
+            choice, _costs = self._auto_choice(plain)
+            if choice != "forward" and any(
+                name not in get_engine(choice).allowed_kwargs()
+                for name in kwargs
+            ):
+                choice = "forward"
+            return choice
+        if analysis.is_del_relab:
+            return "delrelab"
+        if self._dtd_pair_value is not None:
+            return "backward"
+        return None
 
     def typecheck_many(
         self,
@@ -819,15 +738,42 @@ class Session:
     # ------------------------------------------------------------------
     # Sharded forward fixpoint (the service's single-query fan-out)
     # ------------------------------------------------------------------
+    def check_keys(
+        self, transducer: TreeTransducer, method: str = "forward"
+    ) -> List:
+        """The shard units of ``T`` under ``method``'s engine (the keys
+        the planners partition across workers)."""
+        engine = get_engine(method)
+        with self._lock:
+            return engine.check_keys(self, transducer)
+
+    def compute_shard_tables(
+        self,
+        transducer: TreeTransducer,
+        keys,
+        method: str = "forward",
+        *,
+        max_tuple: Optional[int] = None,
+        max_product_nodes: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """One shard of ``T``'s fixpoint under ``method``'s engine.
+
+        Service workers call this for their partition of
+        :meth:`check_keys`; the returned tables are picklable and merge
+        with the engine's ``merge_tables``.  This is the single worker
+        entry point for every shardable engine — the pool never branches
+        on the method.
+        """
+        engine = get_engine(method)
+        with self._lock:
+            return engine.compute_tables(
+                self, transducer, keys,
+                max_tuple=max_tuple, max_product_nodes=max_product_nodes,
+            )
+
     def forward_check_keys(self, transducer: TreeTransducer) -> List[Tuple]:
         """The hedge-cell keys of ``T``'s root checks (shard units)."""
-        from repro.core.forward import forward_check_keys
-
-        with self._lock:
-            din, _dout = self._dtd_pair()
-            return forward_check_keys(
-                transducer, din, self.forward_schema(), use_kernel=self.use_kernel
-            )
+        return self.check_keys(transducer, "forward")
 
     def compute_forward_tables(
         self,
@@ -837,34 +783,17 @@ class Session:
         max_tuple: Optional[int] = None,
         max_product_nodes: Optional[int] = None,
     ) -> Dict[str, object]:
-        """One shard of ``T``'s forward fixpoint against the warm pair.
-
-        Service workers call this for their partition of
-        :meth:`forward_check_keys`; the returned tables are picklable
-        (closure-free cells) and merge with
-        :func:`repro.core.forward.merge_forward_tables`.
-        """
-        from repro.core.forward import compute_forward_tables
-
-        with self._lock:
-            din, dout = self._dtd_pair()
-            return compute_forward_tables(
-                transducer, din, dout, keys,
-                max_tuple=max_tuple,
-                max_product_nodes=max_product_nodes or self.max_product_nodes,
-                use_kernel=self.use_kernel,
-                schema=self.forward_schema(),
-            )
+        """One shard of ``T``'s forward fixpoint against the warm pair
+        (see :meth:`compute_shard_tables`)."""
+        return self.compute_shard_tables(
+            transducer, keys, "forward",
+            max_tuple=max_tuple, max_product_nodes=max_product_nodes,
+        )
 
     def backward_check_keys(self, transducer: TreeTransducer) -> List[str]:
         """The input symbols of ``T``'s backward product cells (shard
         units — one per reachable input symbol)."""
-        from repro.backward import backward_check_keys
-
-        with self._lock:
-            din, _dout = self._dtd_pair()
-            plain, _analysis = self._compiled_transducer(transducer)
-            return backward_check_keys(plain, din, self.backward_schema())
+        return self.check_keys(transducer, "backward")
 
     def compute_backward_tables(
         self,
@@ -873,23 +802,12 @@ class Session:
         *,
         max_product_nodes: Optional[int] = None,
     ) -> Dict[str, object]:
-        """One shard of ``T``'s backward fixpoint against the warm pair.
-
-        Service workers call this for their partition of
-        :meth:`backward_check_keys`; the returned tables are picklable
-        (externalized behavior maps) and merge with
-        :func:`repro.backward.merge_backward_tables`.
-        """
-        from repro.backward import compute_backward_tables
-
-        with self._lock:
-            din, dout = self._dtd_pair()
-            plain, _analysis = self._compiled_transducer(transducer)
-            return compute_backward_tables(
-                plain, din, dout, keys,
-                max_product_nodes=max_product_nodes or self.max_product_nodes,
-                schema=self.backward_schema(),
-            )
+        """One shard of ``T``'s backward fixpoint against the warm pair
+        (see :meth:`compute_shard_tables`)."""
+        return self.compute_shard_tables(
+            transducer, keys, "backward",
+            max_product_nodes=max_product_nodes,
+        )
 
     def shard_method(
         self,
@@ -908,13 +826,14 @@ class Session:
         worker pool resolves the method here *before* fanning out, so
         every worker computes the right engine's tables.
         """
-        if method in ("forward", "backward"):
-            return method
+        shardable = [engine.name for engine in shardable_engines()]
         if method != "auto":
-            raise ValueError(
-                f"unknown shard method {method!r}; valid: auto, forward, "
-                "backward"
-            )
+            if method not in shardable:
+                raise ValueError(
+                    f"unknown shard method {method!r}; valid: auto, "
+                    + ", ".join(shardable)
+                )
+            return method
         with self._lock:
             self._dtd_pair()  # sharding needs a DTD pair either way
             plain, analysis = self._compiled_transducer(transducer)
@@ -922,7 +841,7 @@ class Session:
                 return "forward"
             if not analysis.in_trac:
                 return "backward"
-            choice, _fcost, _bcost = self._auto_choice(plain)
+            choice, _costs = self._auto_choice(plain)
             return choice
 
     def typecheck_sharded(
@@ -975,25 +894,14 @@ class Session:
         timing, the shard wall time is attributed to its keys
         proportionally to the model as before.
         """
-        from repro.core.forward import (
-            forward_key_costs,
-            merge_forward_tables,
-            plan_forward_shards,
-            typecheck_forward,
-        )
+        from repro.core.forward import plan_forward_shards
 
         with _trace.span("shard_plan", planner=planner) as plan_span:
             method = self.shard_method(transducer, method, max_tuple)
-            if method == "backward":
-                from repro.backward import (
-                    backward_key_costs,
-                    merge_backward_tables,
-                )
-
-                _reject_max_tuple("backward", max_tuple)
-                keys = self.backward_check_keys(transducer)
-            else:
-                keys = self.forward_check_keys(transducer)
+            engine = get_engine(method)
+            if not engine.accepts_max_tuple:
+                _reject_max_tuple(method, max_tuple)
+            keys = self.check_keys(transducer, method)
             shards = max(1, min(int(shards), max(1, len(keys))))
             loads: Optional[List[float]] = None
             plan_costs: Optional[List[float]] = None
@@ -1004,27 +912,10 @@ class Session:
                 ]
             elif planner in ("cost", "profile"):
                 with self._lock:
-                    _din, dout = self._dtd_pair()
-                    if method == "backward":
-                        plain, _analysis = self._compiled_transducer(
-                            transducer
-                        )
-                        plan_costs = list(
-                            backward_key_costs(
-                                keys, self.backward_schema(), plain
-                            )
-                        )
-                        plan_schema = self.backward_schema()
-                    else:
-                        out_alphabet = frozenset(
-                            transducer.alphabet | dout.alphabet
-                        )
-                        plan_costs = list(
-                            forward_key_costs(
-                                keys, self.forward_schema(), out_alphabet
-                            )
-                        )
-                        plan_schema = self.forward_schema()
+                    plan_costs = list(
+                        engine.key_costs(self, transducer, keys)
+                    )
+                    plan_schema = engine.schema(self)
                     if planner == "profile":
                         profile = plan_schema.shard_profile(
                             transducer.content_hash()
@@ -1049,8 +940,8 @@ class Session:
                     "valid: cost, profile, round-robin"
                 )
             plan_span.set(method=method, keys=len(keys), shards=len(partitions))
-        validate_method_kwargs(method, kwargs)
-        if method == "forward" and (
+        engine.validate_kwargs(kwargs)
+        if engine.kernel_sensitive and (
             "use_kernel" in kwargs
             and bool(kwargs["use_kernel"]) != self.use_kernel
         ):
@@ -1064,10 +955,7 @@ class Session:
             )
         snapshots = _call_compute_shards(compute_shards, partitions, method)
         with _trace.span("merge", method=method) as merge_span:
-            if method == "backward":
-                tables = merge_backward_tables(snapshots)
-            else:
-                tables = merge_forward_tables(snapshots)
+            tables = engine.merge_tables(snapshots)
             shard_wall = tables.pop("shard_elapsed_s", None)
             key_elapsed = tables.pop("key_elapsed_s", None)
             merge_span.set(shards=len(partitions))
@@ -1082,22 +970,9 @@ class Session:
                 )
             with self._lock:
                 self.stats["calls"] = int(self.stats["calls"]) + 1
-                din, dout = self._dtd_pair()
-                if method == "backward":
-                    plain, _analysis = self._compiled_transducer(transducer)
-                    kwargs.setdefault(
-                        "max_product_nodes", self.max_product_nodes
-                    )
-                    result = _method_func("backward")(
-                        plain, din, dout,
-                        schema=self.backward_schema(), tables=tables, **kwargs,
-                    )
-                else:
-                    self._apply_defaults(kwargs)
-                    result = typecheck_forward(
-                        transducer, din, dout, max_tuple,
-                        schema=self.forward_schema(), tables=tables, **kwargs,
-                    )
+                result = engine.typecheck(
+                    self, transducer, max_tuple, kwargs, tables=tables
+                )
         result.stats["shards"] = len(partitions)
         result.stats["shard_planner"] = planner
         result.stats["shard_method"] = method
@@ -1140,12 +1015,7 @@ class Session:
                     profile_out[key] = wall * weights[key] / total
         if profile_out:
             with self._lock:
-                record_schema = (
-                    self.backward_schema()
-                    if method == "backward"
-                    else self.forward_schema()
-                )
-                record_schema.record_shard_profile(
+                engine.schema(self).record_shard_profile(
                     transducer.content_hash(), profile_out
                 )
         return result
@@ -1316,49 +1186,14 @@ class Session:
             return self._export_artifacts_locked()
 
     def _export_artifacts_locked(self) -> Dict[str, object]:
-        forward = None
-        if self._forward is not None:
-            forward = {
-                "usable_cache": dict(self._forward.usable_cache),
-                "word_cache": dict(self._forward.word_cache),
-                "shared_hedge": dict(self._forward.shared_hedge),
-                "shared_tree": dict(self._forward.shared_tree),
-                "transducer_tables": dict(self._forward.transducer_tables),
-                "shard_profiles": dict(self._forward.shard_profiles),
-                "compiled": self._forward.compiled,
-            }
-        backward = None
-        if self._backward is not None:
-            backward = {
-                "transducer_results": dict(self._backward.transducer_results),
-                "shard_profiles": dict(self._backward.shard_profiles),
-                "compiled": self._backward.compiled,
-            }
-        replus = None
-        if self._replus is not None:
-            replus = {
-                "witness_dags": dict(self._replus._witness_dags),
-                "compiled": self._replus.compiled,
-            }
-        delrelab = {
-            flag: {
-                "input_nta": ctx.input_nta,
-                "output_dtac": ctx.output_dtac,
-                "productive": ctx._productive,
-                "complement": ctx._complement,
-                "lift": dict(ctx._lift),
-                "compiled": ctx.compiled,
-            }
-            for flag, ctx in self._delrelab.items()
-        }
-        return {
-            "sin": self.sin,
-            "sout": self.sout,
-            "forward": forward,
-            "backward": backward,
-            "replus": replus,
-            "delrelab": delrelab,
-        }
+        # One blob section per persistent engine, in registration order —
+        # {"sin", "sout", "forward", "backward", "replus", "delrelab"} for
+        # the built-ins, byte-identical to the pre-registry layout (the
+        # cache's artifact keys bake the section names in).
+        artifacts: Dict[str, object] = {"sin": self.sin, "sout": self.sout}
+        for engine in persistent_engines():
+            artifacts[engine.name] = engine.export_state(self)
+        return artifacts
 
     @classmethod
     def from_artifacts(
@@ -1376,41 +1211,10 @@ class Session:
             max_product_nodes=max_product_nodes,
             eager=False,
         )
-        forward = artifacts.get("forward")
-        if forward is not None:
-            ctx = session.forward_schema()
-            ctx.usable_cache.update(forward["usable_cache"])
-            ctx.word_cache.update(forward["word_cache"])
-            ctx.shared_hedge.update(forward.get("shared_hedge") or {})
-            ctx.shared_tree.update(forward.get("shared_tree") or {})
-            ctx.transducer_tables.update(forward.get("transducer_tables") or {})
-            ctx.shard_profiles.update(forward.get("shard_profiles") or {})
-            ctx.compiled = forward["compiled"]
-        backward = artifacts.get("backward")
-        if backward is not None:
-            ctx = session.backward_schema()
-            ctx.transducer_results.update(
-                backward.get("transducer_results") or {}
-            )
-            ctx.shard_profiles.update(backward.get("shard_profiles") or {})
-            ctx.compiled = backward["compiled"]
-        replus = artifacts.get("replus")
-        if replus is not None:
-            ctx = session.replus_schema()
-            ctx._witness_dags.update(replus["witness_dags"])
-            ctx.compiled = replus["compiled"]
-        for flag, data in (artifacts.get("delrelab") or {}).items():
-            ctx = DelrelabSchema.__new__(DelrelabSchema)
-            ctx.ain = artifacts["sin"]
-            ctx.aout = artifacts["sout"]
-            ctx.check_output_class = flag
-            ctx.input_nta = data["input_nta"]
-            ctx.output_dtac = data["output_dtac"]
-            ctx._productive = data["productive"]
-            ctx._complement = data.get("complement")
-            ctx._lift = dict(data["lift"])
-            ctx.compiled = data["compiled"]
-            session._delrelab[flag] = ctx
+        for engine in persistent_engines():
+            data = artifacts.get(engine.name)
+            if data is not None:
+                engine.restore_state(session, data)
         session.stats["source"] = "artifact-cache"
         return session
 

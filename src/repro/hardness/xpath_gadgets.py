@@ -20,7 +20,6 @@ from repro.schemas.dtd import DTD
 from repro.strings.dfa import DFA
 from repro.transducers.rhs import RhsCall, RhsState, RhsSym
 from repro.transducers.transducer import TreeTransducer
-from repro.trees.tree import Tree
 from repro.xpath.ast import Pattern
 from repro.xpath.literals import marker_dtd, rewrite_with_marker
 from repro.xpath.semantics import evaluate
@@ -95,7 +94,6 @@ def theorem28_2_instance(
     from repro.xpath.parser import parse_pattern
 
     machines = [dfa.complete({symbol}) for dfa in dfas]
-    n = len(machines)
     sigma = {"r", "#", "$", symbol}
     din = DTD({"r": "#", "#": "# | $", "$": f"{symbol}*"}, start="r", alphabet=sigma)
 

@@ -16,7 +16,7 @@ codebase (kernel, core, backward, service) can import this package:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.obs import metrics, trace
 from repro.obs.metrics import (
@@ -50,18 +50,31 @@ _ROUTER_AUDIT: Deque[Dict[str, Any]] = deque(maxlen=ROUTER_AUDIT_LIMIT)
 
 def record_router_decision(
     choice: str,
-    predicted_forward_ms: float,
-    predicted_backward_ms: float,
-    actual_ms: float,
+    predicted_forward_ms: Optional[float] = None,
+    predicted_backward_ms: Optional[float] = None,
+    actual_ms: float = 0.0,
+    predicted_ms: Optional[Dict[str, float]] = None,
     **extra: Any,
 ) -> None:
-    """Log one ``auto`` routing decision: predicted vs. measured cost."""
-    entry: Dict[str, Any] = {
-        "choice": choice,
-        "predicted_forward_ms": predicted_forward_ms,
-        "predicted_backward_ms": predicted_backward_ms,
-        "actual_ms": actual_ms,
-    }
+    """Log one ``auto`` routing decision: predicted vs. measured cost.
+
+    ``predicted_ms`` maps engine names to their predicted costs — the
+    registry-era form, open to any routable engine.  The legacy
+    positional pair is still accepted, and the legacy keys are always
+    backfilled (``predicted_<engine>_ms``) so existing audit consumers
+    keep working either way.
+    """
+    entry: Dict[str, Any] = {"choice": choice}
+    if predicted_ms:
+        for name, cost in predicted_ms.items():
+            entry[f"predicted_{name}_ms"] = cost
+    if predicted_forward_ms is not None:
+        entry["predicted_forward_ms"] = predicted_forward_ms
+    if predicted_backward_ms is not None:
+        entry["predicted_backward_ms"] = predicted_backward_ms
+    entry.setdefault("predicted_forward_ms", 0.0)
+    entry.setdefault("predicted_backward_ms", 0.0)
+    entry["actual_ms"] = actual_ms
     entry.update(extra)
     _ROUTER_AUDIT.append(entry)
     metrics.counter("repro.router.decisions", choice=choice).inc()

@@ -49,6 +49,7 @@ from repro.errors import (
     UnknownPairError,
     WorkerCrashError,
 )
+from repro.engines import get_engine
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.schemas.dtd import DTD
@@ -182,9 +183,8 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
         sin, sout, transducer, keys, opts = args
         opts = dict(opts)
         session = warm_session(sin, sout)
-        if opts.pop("method", "forward") == "backward":
-            return session.compute_backward_tables(transducer, keys, **opts)
-        return session.compute_forward_tables(transducer, keys, **opts)
+        method = opts.pop("method", "forward")
+        return session.compute_shard_tables(transducer, keys, method, **opts)
     if op == "pin":
         pair_key, sin, sout = args
         _pin_pair(pair_key, sin, sout)
@@ -737,10 +737,9 @@ class WorkerPool:
             cache_dir=self.config["cache_dir"],
         )
         method = session.shard_method(transducer, method, max_tuple)
-        if method == "backward":
-            opts: Dict[str, object] = {"method": "backward"}
-        else:
-            opts = {"max_tuple": max_tuple}
+        opts: Dict[str, object] = {"method": method}
+        if get_engine(method).accepts_max_tuple:
+            opts["max_tuple"] = max_tuple
         wire_sin, wire_sout = _wire_schema(sin), _wire_schema(sout)
 
         def compute_shards(partitions: List[List[Tuple]]):

@@ -16,7 +16,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Sequence, Tuple
 
 from repro.errors import InvalidSchemaError
 from repro.strings.dfa import DFA

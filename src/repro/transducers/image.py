@@ -39,6 +39,12 @@ BState = Tuple[str, Hashable, str, Tuple[int, ...]]
 
 def _check_lemma19_shape(transducer: TreeTransducer) -> None:
     for (state, symbol), rhs in transducer.rules.items():
+        if state == transducer.initial and len(rhs) > 1:
+            raise InvalidTransducerError(
+                f"initial rhs of ({state!r}, {symbol!r}) is a hedge of "
+                f"{len(rhs)} trees, so the image contains non-trees; wrap "
+                "the rhs under # first (Theorem 20)"
+            )
         count = 0
         for path, node in iter_rhs_nodes(rhs):
             if isinstance(node, RhsCall):

@@ -8,7 +8,7 @@ brute-force oracle.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.schemas.dtd import DTD
 from repro.transducers.rhs import RhsHedge, RhsState, RhsSym

@@ -14,7 +14,7 @@ Examples: ``./a//b``, ``.//title``, ``./(a|b)//c[.//e]/*``.
 from __future__ import annotations
 
 import re as _stdlib_re
-from typing import List, Tuple
+from typing import List
 
 from repro.errors import ParseError
 from repro.xpath.ast import Child, Desc, Disj, Filter, Pattern, Phi, Test, Wildcard

@@ -25,7 +25,6 @@ from repro.strings.regex import (
     Star,
     Sym,
     Union,
-    regex_to_dfa,
     regex_to_nfa,
 )
 from repro.xpath.ast import Child, Desc, Disj, Filter, Pattern, Phi, Test, Wildcard

@@ -5,7 +5,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 from repro.backward import typecheck_backward
 from repro.service import protocol

@@ -1,7 +1,6 @@
 """Additional Corollary 39 scenarios: the boundary between finitely and
 infinitely many counterexamples, exercised across algorithmic regimes."""
 
-import pytest
 
 from repro.core import typecheck_forward, typechecks_almost_always
 from repro.schemas import DTD

@@ -10,7 +10,7 @@ from repro.schemas import DTD
 from repro.transducers import TreeTransducer
 from repro.trees import parse_tree
 from repro.trees.generate import enumerate_trees
-from repro.tree_automata import is_empty, is_finite, witness_tree
+from repro.tree_automata import is_empty, witness_tree
 from repro.workloads.books import book_dtd, toc_output_dtd, toc_transducer
 
 

@@ -7,7 +7,6 @@ hand them back as :class:`~repro.trees.dag.DagTree` values whose
 inspectable even where its unfolding could never be materialized.
 """
 
-import pytest
 
 import repro
 from repro.trees.dag import DagTree, distinct_tree_nodes

@@ -11,7 +11,7 @@ from repro.core.forward import ForwardEngine
 from repro.schemas import DTD
 from repro.transducers import TreeTransducer
 from repro.trees.generate import enumerate_trees
-from repro.trees.tree import Tree, hedge_top
+from repro.trees.tree import hedge_top
 
 
 @pytest.fixture
@@ -35,7 +35,7 @@ def engine_setup():
 class TestBehaviorTables:
     def test_tree_table_soundness_and_completeness(self, engine_setup):
         engine, transducer, din, dout = engine_setup
-        key = engine.request_hedge("out", "r", ("p", "p"))
+        engine.request_hedge("out", "r", ("p", "p"))
         engine.run()
 
         dfa = engine.out_dfa("out")

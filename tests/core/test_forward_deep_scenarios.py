@@ -2,7 +2,6 @@
 filtering transformations (Section 3): mixed recursion, multiple output
 symbols, interleaved deleting/copying states, and schema-boundary cases."""
 
-import pytest
 
 from repro.core import typecheck_bruteforce, typecheck_forward
 from repro.schemas import DTD

@@ -10,7 +10,7 @@ import repro
 from repro import cache as artifact_cache
 from repro.core.almost_always import typechecks_almost_always
 from repro.core.cex_nta import counterexample_nta
-from repro.core.forward import ForwardEngine, ForwardSchema, typecheck_forward
+from repro.core.forward import ForwardSchema, typecheck_forward
 from repro.core.session import Session, clear_registry, compile as compile_session
 from repro.tree_automata.emptiness import is_empty
 from repro.workloads.families import filtering_family, nd_bc_batch, nd_bc_family
@@ -367,7 +367,10 @@ class TestTableSideFiles:
         side = list(pathlib.Path(tmp_path).glob("*.tables.*.pkl"))
         assert len(side) == len(transducers)
         hashes = {t.content_hash() for t in transducers}
-        assert {p.name.split(".tables.")[1].removesuffix(".pkl") for p in side} == hashes
+        # New-format side files carry the owning engine's name.
+        assert {
+            p.name.split(".tables.")[1].removesuffix(".pkl") for p in side
+        } == {f"forward.{h}" for h in hashes}
 
     def test_blob_stays_small_as_tables_accrue(self, tmp_path):
         """The ROADMAP open item: the schema blob must not grow per served

@@ -4,7 +4,6 @@ Each test cites the statement it verifies.  These are the repository's
 "does it actually reproduce the paper" checks.
 """
 
-import pytest
 
 from repro import DTD, TreeTransducer, analyze, typecheck
 from repro.core import (

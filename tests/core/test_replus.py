@@ -3,9 +3,9 @@
 import pytest
 
 from repro.errors import ClassViolationError
-from repro.core import typecheck_bruteforce, typecheck_replus, typecheck_replus_witnesses
+from repro.core import typecheck_replus, typecheck_replus_witnesses
 from repro.core.replus import build_grammar, validate_output_dag
-from repro.schemas import DTD, t_vast_dag
+from repro.schemas import DTD
 from repro.transducers import TreeTransducer
 from repro.trees import parse_tree
 

@@ -17,7 +17,7 @@ import pytest
 
 import repro
 import repro.cache as artifact_cache
-from repro.core.session import Session, clear_registry, compile as compile_session
+from repro.core.session import clear_registry, compile as compile_session
 from repro.strings.nfa import NFA
 from repro.workloads.families import filtering_family, nd_bc_batch
 

@@ -2,11 +2,8 @@
 
 import random
 
-import pytest
 
 from repro.kernel.interning import Interner, iter_bits, mask_of, popcount
-from repro.kernel.dfa_kernel import InternedDFA
-from repro.kernel.nfa_kernel import InternedNFA
 from repro.strings.dfa import DFA
 from repro.strings.nfa import NFA
 

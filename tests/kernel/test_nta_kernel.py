@@ -7,7 +7,6 @@ import pytest
 
 from repro.kernel import reference
 from repro.kernel.nta_kernel import productive_states as kernel_productive
-from repro.schemas.dtd import DTD
 from repro.schemas.to_nta import dtd_to_nta
 from repro.tree_automata.emptiness import is_empty, productive_states, witness_tree
 from repro.workloads.random_instances import random_dtd

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import InvalidSchemaError
 from repro.schemas import DTD
-from repro.strings import DFA, NFA, parse_regex, parse_replus, regex_to_dfa
+from repro.strings import DFA, NFA, parse_replus, regex_to_dfa
 from repro.trees import parse_tree
 
 

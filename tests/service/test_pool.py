@@ -5,7 +5,6 @@ import time
 import pytest
 
 import repro
-from repro.core.session import clear_registry
 from repro.errors import ClassViolationError, ReproError, WorkerCrashError
 from repro.service.pool import WorkerPool
 from repro.workloads.families import nd_bc_batch, nd_bc_family

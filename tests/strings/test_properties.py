@@ -7,7 +7,7 @@ antisymmetric up to equivalence, determinization preserves language).
 
 from hypothesis import given, settings, strategies as st
 
-from repro.strings import NFA, regex_to_dfa, regex_to_nfa
+from repro.strings import regex_to_dfa, regex_to_nfa
 from repro.strings.regex import Concat, Epsilon, Optional, Plus, Star, Sym, Union
 
 _symbols = st.sampled_from(["a", "b"])

@@ -1,7 +1,6 @@
 """Tests for the structural analysis: Examples 12/13/17 (Fig. 4),
 Proposition 16, class predicates."""
 
-import pytest
 
 from repro.transducers import TreeTransducer, analyze
 from repro.transducers.analysis import (

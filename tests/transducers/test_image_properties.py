@@ -18,7 +18,6 @@ from repro.trees.tree import Tree
 
 def _random_delrelab(rng: random.Random):
     """A random T_del-relab transducer + small input DTD."""
-    symbols = ["r", "a", "b"]
     models = {
         "r": rng.choice(["a*", "a b?", "(a | b)*", "a? b?"]),
         "a": rng.choice(["ε", "b?", "a?"]),

@@ -16,7 +16,7 @@ from repro.transducers.rhs import (
     top_states,
 )
 from repro.trees import parse_tree
-from repro.trees.dag import from_tree, unfold_hedge, unfold_tree
+from repro.trees.dag import from_tree, unfold_tree
 from repro.workloads.examples_paper import (
     example6_transducer,
     example7_expected_output,

@@ -12,7 +12,6 @@ from repro.tree_automata import (
     determinize,
     hash_elimination_lift,
     intersect,
-    is_bottom_up_deterministic,
     is_empty,
     witness_tree,
 )

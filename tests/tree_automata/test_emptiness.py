@@ -1,9 +1,8 @@
 """Tests for emptiness, witnesses (Prop. 4, Fig. A.1) and finiteness."""
 
-import pytest
 
 from repro.schemas import DTD, dtd_to_nta
-from repro.strings import NFA, regex_to_nfa
+from repro.strings import regex_to_nfa
 from repro.trees.dag import unfolded_size
 from repro.tree_automata import (
     NTA,
