@@ -942,6 +942,52 @@ def bench_obs(results, sizes, repeat: int) -> None:
             }
         )
 
+    # The explain seam (PR 10): ``Session.typecheck(explain=False)`` must
+    # cost no more than calling the unwrapped check directly.  ``plain``
+    # bypasses the wrapper (lock + inner ``_typecheck``, exactly what the
+    # wrapper runs when explain is off); ``off`` is the shipped default
+    # path; ``on`` builds the full QueryReport (delta-scoped kernel
+    # counters, predicted costs) and is informational.  Warm sessions are
+    # timed on purpose — table-cache hits are the fastest queries, so the
+    # per-call wrapper overhead is largest relative to them.
+    for name, family, n in sizes:
+        transducer, din, dout, expected = family(n)
+        session = Session(din, dout, eager=False)
+        assert session.typecheck(transducer).typechecks == expected, (name, n)
+
+        def plain_run():
+            with session._lock:
+                session._typecheck(transducer, "auto", None)
+
+        variants = (
+            ("plain", plain_run),
+            ("off", lambda: session.typecheck(transducer)),
+            ("on", lambda: session.typecheck(transducer, explain=True)),
+        )
+        times = {"plain": [], "off": [], "on": []}
+        for _ in range(repeat):
+            for variant, run in variants:
+                start = time.perf_counter()
+                run()
+                times[variant].append(time.perf_counter() - start)
+        plain_s = min(times["plain"])
+        off_s = min(times["off"])
+        on_s = min(times["on"])
+
+        results.append(
+            {
+                "group": "obs",
+                "name": f"{name}_explain({n})",
+                "family": name,
+                "n": n,
+                "plain_s": plain_s,
+                "off_s": off_s,
+                "on_s": on_s,
+                "off_over_plain": off_s / plain_s,
+                "on_over_off": on_s / off_s,
+            }
+        )
+
 
 def _merge_bench(path: Path, new_rows, mode: str, repeat: int, summarize) -> None:
     """Write ``path``, replacing only the row groups that re-ran.
@@ -1232,7 +1278,9 @@ def main(argv=None) -> int:
                 "existing, which the smoke gate bounds at "
                 f"{OBS_SMOKE_MAX_OVERHEAD}x; on_over_off is what enabling "
                 "the trace sink and metered kernel drain actually costs "
-                "and is informational"
+                "and is informational; *_explain rows price the "
+                "Session.typecheck explain seam the same way (off = "
+                "explain=False default path, on = full QueryReport)"
             ),
             "worst_family": worst["name"],
             "worst_off_over_plain": worst["off_over_plain"],

@@ -50,6 +50,10 @@ Options::
     --trace FILE       append JSON-lines trace spans (compile, fixpoint,
                        shard_plan, merge, ...) to FILE; each instance is
                        checked under its own trace ID (see repro.obs.trace)
+    --explain          print each instance's query attribution report after
+                       its verdict: the engine that ran with every routable
+                       engine's predicted vs. measured ms, cache provenance,
+                       and the query's own kernel counters (repro.obs.explain)
 
 Several instance files may be given; all instances sharing a schema pair
 are checked against one warm compiled session (``repro.compile``), so the
@@ -66,7 +70,9 @@ The ``serve`` subcommand starts the multi-process typechecking service
                           [--max-inflight N] [--max-inflight-total N]
                           [--worker-registry-bytes B]
                           [--worker-pair-limit N]
-                          [--trace FILE] [--metrics-port P]
+                          [--trace FILE] [--trace-max-bytes B]
+                          [--metrics-port P]
+                          [--slow-query-log FILE] [--slow-ms N]
 
 ``--max-inflight`` bounds one connection's in-flight requests,
 ``--max-inflight-total`` the aggregate across all connections,
@@ -75,11 +81,29 @@ budget (size-aware eviction of warm schema pairs), and
 ``--worker-pair-limit`` bounds each worker's protocol-v2 pinned-pair
 registry (evicted pins re-establish transparently on next use).
 ``--trace FILE`` appends JSON-lines trace spans from the server and every
-worker to FILE; ``--metrics-port P`` serves the merged metrics registry
-in Prometheus text format on a second port (and turns on the kernel
-counters).  It speaks the JSON-lines protocol of
-:mod:`repro.service.protocol` (v2 sticky pairs included); drive it with
+worker to FILE (``--trace-max-bytes B`` bounds the file with a
+one-segment ``.1`` rotation); ``--metrics-port P`` serves the merged
+metrics registry in Prometheus text format on a second port — with
+``/healthz`` (liveness) and ``/readyz`` (all workers alive) views — and
+turns on the kernel counters.  ``--slow-query-log FILE`` appends one
+JSON line per single-instance request slower than ``--slow-ms N``
+(default 100): wire identifiers, trace ID, and the query's full explain
+report, so one log entry reconstructs a slow sharded query; loggable ops
+then always run with explain on (the log's documented overhead).  It
+speaks the JSON-lines protocol of :mod:`repro.service.protocol` (v2
+sticky pairs included); drive it with
 :class:`repro.service.client.ServiceClient`.
+
+The ``calibrate`` subcommand re-fits the auto router's cost models from
+recorded telemetry::
+
+    python -m repro calibrate FILE [FILE ...]
+
+FILEs are JSON-lines telemetry: ``--trace`` files (their
+``router_audit`` records) and/or ``--slow-query-log`` files (their
+``explain`` sections).  For each engine it reports the measured/predicted
+ratio distribution and the ``ms_per_unit`` the median ratio implies —
+apply by overriding the engine's ``ms_per_unit``.
 """
 
 from __future__ import annotations
@@ -111,6 +135,7 @@ def _parse_args(argv: List[str]):
     cache_dir: Optional[str] = None
     update: Optional[str] = None
     trace: Optional[str] = None
+    explain = False
     index = 0
     while index < len(argv):
         arg = argv[index]
@@ -118,6 +143,8 @@ def _parse_args(argv: List[str]):
             return None
         if arg == "--batch":
             batch = True
+        elif arg == "--explain":
+            explain = True
         elif arg == "--method":
             index += 1
             if index >= len(argv) or argv[index] not in _METHODS:
@@ -145,7 +172,10 @@ def _parse_args(argv: List[str]):
         index += 1
     if not files:
         return None
-    return files, batch or len(files) > 1, method, cache_dir, update, trace
+    return (
+        files, batch or len(files) > 1, method, cache_dir, update, trace,
+        explain,
+    )
 
 
 def _load_update_pair(name: str, script):
@@ -176,7 +206,8 @@ def _load_update_pair(name: str, script):
 
 
 def _check_one(
-    name: str, method: str, cache_dir: Optional[str], script=None
+    name: str, method: str, cache_dir: Optional[str], script=None,
+    explain: bool = False,
 ):
     """Load and typecheck one instance file against a (shared) session.
 
@@ -186,13 +217,14 @@ def _check_one(
     from repro.obs import trace as trace_mod
 
     if not trace_mod.enabled():
-        return _check_one_inner(name, method, cache_dir, script)
+        return _check_one_inner(name, method, cache_dir, script, explain)
     with trace_mod.root():
-        return _check_one_inner(name, method, cache_dir, script)
+        return _check_one_inner(name, method, cache_dir, script, explain)
 
 
 def _check_one_inner(
-    name: str, method: str, cache_dir: Optional[str], script=None
+    name: str, method: str, cache_dir: Optional[str], script=None,
+    explain: bool = False,
 ):
     if script is not None:
         transducer, din, dout = _load_update_pair(name, script)
@@ -203,7 +235,7 @@ def _check_one_inner(
     # distinct (din, dout) content hash, so schema artifacts are compiled
     # once per pair across the whole batch.
     session = compile_session(din, dout, eager=False, cache_dir=cache_dir)
-    return session, session.typecheck(transducer, method=method)
+    return session, session.typecheck(transducer, method=method, explain=explain)
 
 
 def _parse_serve_args(argv: List[str]):
@@ -213,7 +245,8 @@ def _parse_serve_args(argv: List[str]):
         "cache_dir": None, "max_cache_bytes": None,
         "max_inflight": None, "max_inflight_total": None,
         "worker_registry_bytes": None, "worker_pair_limit": None,
-        "trace": None, "metrics_port": None,
+        "trace": None, "trace_max_bytes": None, "metrics_port": None,
+        "slow_query_log": None, "slow_ms": None,
     }
     index = 0
     while index < len(argv):
@@ -223,7 +256,8 @@ def _parse_serve_args(argv: List[str]):
         if arg in ("--host", "--port", "--workers", "--cache-dir",
                    "--max-cache-bytes", "--max-inflight",
                    "--max-inflight-total", "--worker-registry-bytes",
-                   "--worker-pair-limit", "--trace", "--metrics-port"):
+                   "--worker-pair-limit", "--trace", "--trace-max-bytes",
+                   "--metrics-port", "--slow-query-log", "--slow-ms"):
             index += 1
             if index >= len(argv):
                 return None
@@ -234,6 +268,13 @@ def _parse_serve_args(argv: List[str]):
                 options["cache_dir"] = value
             elif arg == "--trace":
                 options["trace"] = value
+            elif arg == "--slow-query-log":
+                options["slow_query_log"] = value
+            elif arg == "--slow-ms":
+                try:
+                    options["slow_ms"] = float(value)
+                except ValueError:
+                    return None
             else:
                 try:
                     options[arg[2:].replace("-", "_")] = int(value)
@@ -254,10 +295,13 @@ def _parse_serve_args(argv: List[str]):
     if max_cache is not None and int(max_cache) < 0:
         return None
     for flag in ("max_inflight", "max_inflight_total", "worker_registry_bytes",
-                 "worker_pair_limit"):
+                 "worker_pair_limit", "trace_max_bytes"):
         value = options[flag]
         if value is not None and int(value) < 1:
             return None
+    slow_ms = options["slow_ms"]
+    if slow_ms is not None and not slow_ms >= 0:
+        return None
     return options
 
 
@@ -270,6 +314,7 @@ def _serve(argv: List[str]) -> int:
     from repro.service.server import (
         DEFAULT_MAX_INFLIGHT,
         DEFAULT_MAX_INFLIGHT_TOTAL,
+        DEFAULT_SLOW_MS,
         run_server,
     )
 
@@ -296,7 +341,14 @@ def _serve(argv: List[str]) -> int:
             worker_registry_bytes=options["worker_registry_bytes"],
             worker_pair_limit=options["worker_pair_limit"],
             trace_path=options["trace"],
+            trace_max_bytes=options["trace_max_bytes"],
             metrics_port=options["metrics_port"],
+            slow_query_log=options["slow_query_log"],
+            slow_ms=(
+                DEFAULT_SLOW_MS
+                if options["slow_ms"] is None
+                else options["slow_ms"]
+            ),
         )
     except OSError as exc:
         # Bind failures (port in use, bad host) are usage errors, not bugs.
@@ -304,15 +356,106 @@ def _serve(argv: List[str]) -> int:
         return 2
 
 
+def _calibration_samples(path: str):
+    """Yield ``(engine, actual_ms, predicted_ms)`` from one telemetry file.
+
+    Understands both JSON-lines shapes the serving plane writes:
+    ``router_audit`` records in ``--trace`` files and slow-query-log
+    entries carrying an ``explain`` report.  Unparseable lines and
+    records of other kinds are skipped — telemetry files interleave many
+    record types.
+    """
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if record.get("kind") == "router_audit":
+                engine = record.get("choice")
+                actual = record.get("actual_ms")
+                predicted = record.get(f"predicted_{engine}_ms")
+                if engine and actual and predicted:
+                    yield str(engine), float(actual), float(predicted)
+                continue
+            explain = record.get("explain")
+            if isinstance(explain, dict):
+                engine = explain.get("engine")
+                values = (explain.get("engines") or {}).get(engine) or {}
+                actual = values.get("measured_ms")
+                predicted = values.get("predicted_ms")
+                if engine and actual and predicted:
+                    yield str(engine), float(actual), float(predicted)
+
+
+def _calibrate(argv: List[str]) -> int:
+    """``python -m repro calibrate FILE...`` — re-fit router cost models.
+
+    For every routable engine with samples: the distribution of
+    measured/predicted ratios and the ``ms_per_unit`` the median ratio
+    implies (current × median — a multiplicative residual correction,
+    robust to the heavy right tail cold compiles produce).
+    """
+    from statistics import median
+
+    from repro.engines import get_engine, routable_engines
+
+    if not argv or any(arg in ("-h", "--help") for arg in argv):
+        print(__doc__)
+        return 2
+    ratios: dict = {}
+    try:
+        for path in argv:
+            for engine, actual, predicted in _calibration_samples(path):
+                ratios.setdefault(engine, []).append(actual / predicted)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not ratios:
+        print("no calibration samples found (need router_audit records "
+              "from --trace or explain entries from --slow-query-log)")
+        return 1
+    print("engine calibration (measured/predicted ratio; ratio 1.0 = "
+          "perfectly calibrated):")
+    routable = {engine.name for engine in routable_engines()}
+    for engine in sorted(ratios):
+        samples = sorted(ratios[engine])
+        mid = median(samples)
+        line = (
+            f"  {engine}: n={len(samples)} median={mid:.3f} "
+            f"p10={samples[int(0.1 * (len(samples) - 1))]:.3f} "
+            f"p90={samples[int(0.9 * (len(samples) - 1))]:.3f}"
+        )
+        current = None
+        if engine in routable:
+            current = get_engine(engine).ms_per_unit
+        if current:
+            line += (
+                f" ms_per_unit: current={current:g} "
+                f"proposed={current * mid:.6g}"
+            )
+        print(line)
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "serve":
         return _serve(argv[1:])
+    if argv and argv[0] == "calibrate":
+        return _calibrate(argv[1:])
     parsed = _parse_args(argv)
     if parsed is None:
         print(__doc__)
         return 2
-    files, batch, method, cache_dir, update, trace = parsed
+    files, batch, method, cache_dir, update, trace, explain = parsed
     if trace is not None:
         from repro.obs import trace as trace_mod
 
@@ -333,26 +476,31 @@ def main(argv: List[str] | None = None) -> int:
             return 2
 
     if not batch:
-        # Single-instance mode: the seed's exact output contract.
+        # Single-instance mode: the seed's exact output contract
+        # (--explain appends its report after the verdict lines).
         try:
-            _, result = _check_one(files[0], method, cache_dir, script)
+            _, result = _check_one(files[0], method, cache_dir, script, explain)
         except (ReproError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         if result.typechecks:
             print(f"TYPECHECKS ({result.algorithm})")
+            if result.report is not None:
+                print(result.report.render())
             return 0
         print(f"FAILS ({result.algorithm}): {result.reason}")
         if result.counterexample is not None:
             print(f"counterexample: {result.counterexample}")
             print(f"its translation: {result.output}")
+        if result.report is not None:
+            print(result.report.render())
         return 1
 
     passed = failed = errored = 0
     sessions = set()  # content-hash keys, stable across registry eviction
     for name in files:
         try:
-            session, result = _check_one(name, method, cache_dir, script)
+            session, result = _check_one(name, method, cache_dir, script, explain)
         except (ReproError, OSError) as exc:
             print(f"{name}: ERROR: {exc}", file=sys.stderr)
             errored += 1
@@ -367,6 +515,9 @@ def main(argv: List[str] | None = None) -> int:
                 print(f"{name}: counterexample: {result.counterexample}")
                 print(f"{name}: its translation: {result.output}")
             failed += 1
+        if result.report is not None:
+            for line in result.report.render().splitlines():
+                print(f"{name}: {line}")
     total = len(files)
     print(
         f"checked {total} instance{'s' if total != 1 else ''}: "

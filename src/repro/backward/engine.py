@@ -85,6 +85,14 @@ from repro.trees.generate import minimal_tree
 from repro.trees.tree import Tree
 from repro.util import lru_get, lru_store
 
+
+def _table_cache_metric(outcome: str) -> None:
+    """Count a per-transducer table-cache probe under the registry's
+    per-engine label (plus the legacy PR 8 name, kept for one release)."""
+    from repro.engines import get_engine
+
+    get_engine('backward').record_table_cache(outcome)
+
 #: A derived pre-image product state: ``(input symbol, interned Φ)``.
 PairKey = Tuple[str, int]
 
@@ -1233,9 +1241,7 @@ def typecheck_backward(
         snapshot = schema.cached_result(table_key)
         if snapshot is not None:
             stats["table_cache"] = "hit"
-            from repro.obs import metrics as _metrics
-
-            _metrics.counter("repro.backward.table_cache.hits").inc()
+            _table_cache_metric("hit")
             return _result_from_snapshot(
                 snapshot, transducer, stats, want_counterexample
             )
@@ -1298,4 +1304,5 @@ def typecheck_backward(
     if table_key is not None:
         schema.store_result(table_key, snapshot)
         stats["table_cache"] = "miss"
+        _table_cache_metric("miss")
     return result

@@ -43,7 +43,6 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import BudgetExceededError, ClassViolationError
 from repro.kernel.product import ProductBFS
-from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.util import lru_get, lru_store
 from repro.kernel.serialize import HedgeDecoder
@@ -57,6 +56,14 @@ from repro.trees.generate import minimal_tree
 from repro.trees.tree import Tree
 from repro.core.problem import TypecheckResult
 from repro.core.reachability import Pair, context_for, reachable_pairs
+
+
+def _table_cache_metric(outcome: str) -> None:
+    """Count a per-transducer table-cache probe under the registry's
+    per-engine label (plus the legacy PR 8 name, kept for one release)."""
+    from repro.engines import get_engine
+
+    get_engine('forward').record_table_cache(outcome)
 
 Slot = Tuple[object, object]  # (A-state, A-state)
 TupleKey = Tuple[str, str, Tuple[str, ...]]  # (σ, input symbol, P)
@@ -1752,7 +1759,7 @@ def typecheck_forward(
         tables = schema.cached_tables(table_key)
         if tables is not None:
             stats["table_cache"] = "hit"
-            _metrics.counter("repro.forward.table_cache.hits").inc()
+            _table_cache_metric("hit")
 
     if tables is not None:
         hydrate_forward_tables(engine, tables)
@@ -1775,7 +1782,7 @@ def typecheck_forward(
         if table_key is not None:
             schema.store_tables(table_key, export_forward_tables(engine))
             stats["table_cache"] = "miss"
-            _metrics.counter("repro.forward.table_cache.misses").inc()
+            _table_cache_metric("miss")
     stats["product_nodes"] = engine.work
     stats["reachable_pairs"] = len(pairs)
 

@@ -23,6 +23,10 @@ class TypecheckResult:
     output: Optional[Tree] = None
     reason: str = ""
     stats: Dict[str, object] = field(default_factory=dict)
+    #: Optional :class:`repro.obs.explain.QueryReport` attached when the
+    #: query ran with ``explain=True`` (typed loosely to keep this module
+    #: free of obs imports).
+    report: Optional[object] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.typechecks

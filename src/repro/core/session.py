@@ -52,6 +52,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from weakref import WeakKeyDictionary
 
 from repro.errors import BudgetExceededError, ClassViolationError
+from repro.obs import explain as _explain
 from repro.obs import metrics as _metrics
 from repro.obs import record_router_decision
 from repro.obs import trace as _trace
@@ -369,13 +370,50 @@ class Session:
         transducer: TreeTransducer,
         method: str = "auto",
         max_tuple: Optional[int] = None,
+        explain: bool = False,
         **kwargs,
     ) -> TypecheckResult:
         """Decide ``T(t) ∈ Sout`` for every ``t ∈ Sin`` against the warm
         pair; same semantics and options as :func:`repro.typecheck`.
-        Thread-safe: the call holds the session lock for its duration."""
+        Thread-safe: the call holds the session lock for its duration.
+
+        ``explain=True`` additionally attaches a
+        :class:`repro.obs.explain.QueryReport` as ``result.report``:
+        engine routing with every predicted cost, cache provenance, and
+        this query's own kernel counters (delta-scoped around the run).
+        The verdict is identical either way.
+        """
         with self._lock:
-            return self._typecheck(transducer, method, max_tuple, **kwargs)
+            if not explain:
+                return self._typecheck(transducer, method, max_tuple, **kwargs)
+            with _explain.query_scope() as scope:
+                start = time.perf_counter()
+                result = self._typecheck(transducer, method, max_tuple, **kwargs)
+                measured_ms = (time.perf_counter() - start) * 1e3
+            result.report = _explain.build_report(
+                "typecheck",
+                method=method,
+                result=result,
+                measured_ms=measured_ms,
+                scope=scope,
+                predicted_ms=self._predicted_costs(transducer),
+                session_source=str(self.stats.get("source", "")) or None,
+            )
+            return result
+
+    def _predicted_costs(self, transducer: TreeTransducer) -> Dict[str, float]:
+        """Every routable engine's predicted ms for ``T`` (the auto
+        router's memoized view), or ``{}`` off the routable plane."""
+        try:
+            if self._dtd_pair_value is None or self._replus_pair:
+                return {}
+            plain, analysis = self._compiled_transducer(transducer)
+            if not analysis.in_trac:
+                return {}
+            _choice, costs = self._auto_choice(plain)
+            return dict(costs)
+        except Exception:  # noqa: BLE001 - explain must never fail a query
+            return {}
 
     def _typecheck(
         self,
@@ -537,9 +575,33 @@ class Session:
         base, non-DTD pair, ``use_kernel=False``, blown budgets, XPath
         calls, alphabet/behavior-shape changes) falls back to a plain
         cold check, reported in ``stats["retypecheck_mode"]``.
+
+        ``explain=True`` attaches a :class:`repro.obs.explain.QueryReport`
+        (including the retypecheck mode and reuse counters) as
+        ``result.report``, exactly as :meth:`typecheck` does.
         """
+        explain = bool(kwargs.pop("explain", False))
         with self._lock:
-            return self._retypecheck(transducer, base, method, max_tuple, **kwargs)
+            if not explain:
+                return self._retypecheck(
+                    transducer, base, method, max_tuple, **kwargs
+                )
+            with _explain.query_scope() as scope:
+                start = time.perf_counter()
+                result = self._retypecheck(
+                    transducer, base, method, max_tuple, **kwargs
+                )
+                measured_ms = (time.perf_counter() - start) * 1e3
+            result.report = _explain.build_report(
+                "retypecheck",
+                method=method,
+                result=result,
+                measured_ms=measured_ms,
+                scope=scope,
+                predicted_ms=self._predicted_costs(transducer),
+                session_source=str(self.stats.get("source", "")) or None,
+            )
+            return result
 
     def _retypecheck(
         self,
@@ -763,13 +825,28 @@ class Session:
         with the engine's ``merge_tables``.  This is the single worker
         entry point for every shardable engine — the pool never branches
         on the method.
+
+        When kernel metrics are enabled in this process the shard's own
+        kernel counters ride back as ``tables["kernel_counters"]`` — the
+        mergers ignore unknown keys, and ``typecheck_sharded`` pops them
+        into the explain report's per-shard kernel section.
         """
         engine = get_engine(method)
         with self._lock:
-            return engine.compute_tables(
-                self, transducer, keys,
-                max_tuple=max_tuple, max_product_nodes=max_product_nodes,
+            if not _metrics.kernel_metrics_enabled():
+                return engine.compute_tables(
+                    self, transducer, keys,
+                    max_tuple=max_tuple, max_product_nodes=max_product_nodes,
+                )
+            with _metrics.registry.delta_scope() as scope:
+                tables = engine.compute_tables(
+                    self, transducer, keys,
+                    max_tuple=max_tuple, max_product_nodes=max_product_nodes,
+                )
+            tables["kernel_counters"] = _explain.kernel_section(
+                scope.counters, scope.gauges
             )
+            return tables
 
     def forward_check_keys(self, transducer: TreeTransducer) -> List[Tuple]:
         """The hedge-cell keys of ``T``'s root checks (shard units)."""
@@ -852,9 +929,17 @@ class Session:
         max_tuple: Optional[int] = None,
         planner: str = "cost",
         method: str = "forward",
+        explain: bool = False,
         **kwargs,
     ) -> TypecheckResult:
         """Typecheck ``T`` with its fixpoint sharded across workers.
+
+        ``explain=True`` attaches a :class:`repro.obs.explain.QueryReport`
+        as ``result.report`` — the shard section carries the plan
+        (planner, predicted loads, measured per-shard walls, spread) and,
+        when the workers run with kernel metrics enabled, each shard's
+        own kernel counters (``shard_kernel``); the top-level kernel
+        section covers the serving process (plan + merge + final scan).
 
         ``method`` picks the engine to shard: ``"forward"`` (default, the
         original fan-out) partitions the hedge-cell check keys,
@@ -894,6 +979,42 @@ class Session:
         timing, the shard wall time is attributed to its keys
         proportionally to the model as before.
         """
+        if not explain:
+            return self._typecheck_sharded_impl(
+                transducer, compute_shards, shards, max_tuple, planner,
+                method, **kwargs
+            )
+        with _explain.query_scope() as scope:
+            start = time.perf_counter()
+            result = self._typecheck_sharded_impl(
+                transducer, compute_shards, shards, max_tuple, planner,
+                method, **kwargs
+            )
+            measured_ms = (time.perf_counter() - start) * 1e3
+        with self._lock:
+            predicted = self._predicted_costs(transducer)
+            source = str(self.stats.get("source", "")) or None
+        result.report = _explain.build_report(
+            "typecheck_sharded",
+            method=method,
+            result=result,
+            measured_ms=measured_ms,
+            scope=scope,
+            predicted_ms=predicted,
+            session_source=source,
+        )
+        return result
+
+    def _typecheck_sharded_impl(
+        self,
+        transducer: TreeTransducer,
+        compute_shards,
+        shards: int = 2,
+        max_tuple: Optional[int] = None,
+        planner: str = "cost",
+        method: str = "forward",
+        **kwargs,
+    ) -> TypecheckResult:
         from repro.core.forward import plan_forward_shards
 
         with _trace.span("shard_plan", planner=planner) as plan_span:
@@ -954,6 +1075,14 @@ class Session:
                 "Session(use_kernel=...) for the other engine"
             )
         snapshots = _call_compute_shards(compute_shards, partitions, method)
+        # Per-shard kernel counters ride the snapshots under a key the
+        # mergers ignore; pop them before merging so the explain report
+        # can attribute work shard by shard.
+        shard_kernel = [
+            snapshot.pop("kernel_counters", None)
+            for snapshot in snapshots
+            if isinstance(snapshot, dict)
+        ]
         with _trace.span("merge", method=method) as merge_span:
             tables = engine.merge_tables(snapshots)
             shard_wall = tables.pop("shard_elapsed_s", None)
@@ -985,6 +1114,10 @@ class Session:
             result.stats["shard_spread"] = round(
                 max(shard_wall) / max(min(shard_wall), 1e-9), 3
             )
+        if any(shard_kernel):
+            result.stats["shard_kernel"] = [
+                counters or {} for counters in shard_kernel
+            ]
         # Feed the measurement back for the next planner="profile" run of
         # this transducer on this pair.  Workers time each key's fixpoint
         # individually now, so the profile is measured truth per key; the
@@ -1295,7 +1428,7 @@ def _evict_over_budget(registry: "OrderedDict") -> None:
         total -= victim.footprint_bytes()
         _REGISTRY_STATS["evictions"] += 1
         _metrics.counter("repro.session.registry.evictions").inc()
-    _metrics.gauge("repro.session.registry.bytes").set(total)
+    _metrics.gauge("repro.session.registry.bytes", policy="sum").set(total)
 
 
 def session_key(sin: Schema, sout: Schema, options: Dict[str, object]):
@@ -1331,7 +1464,7 @@ def registry_info() -> Dict[str, object]:
             for key, session in registry.items()
         ]
         total_bytes = sum(pair["bytes"] for pair in pairs)
-        _metrics.gauge("repro.session.registry.bytes").set(total_bytes)
+        _metrics.gauge("repro.session.registry.bytes", policy="sum").set(total_bytes)
         return {
             "size": len(registry),
             "limit": _REGISTRY_LIMIT,

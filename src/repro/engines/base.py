@@ -151,9 +151,35 @@ class Engine:
     # ------------------------------------------------------------------
     # Obs
     # ------------------------------------------------------------------
+    #: Result-stats keys this engine's runs produce that belong in an
+    #: explain report's per-engine section (subclasses extend).
+    explain_stat_keys: tuple = ("product_nodes", "work", "budget")
+
     def metric_name(self, suffix: str) -> str:
         """The canonical metric name ``repro.<engine>.<suffix>``."""
         return f"repro.{self.name}.{suffix}"
+
+    def explain_stats(self, stats) -> dict:
+        """The engine-specific slice of a result's stats for the explain
+        report (``repro.obs.explain``) — registration is all it takes for
+        a new engine's numbers to show up in ``--explain`` output."""
+        return {
+            key: stats[key] for key in self.explain_stat_keys if key in stats
+        }
+
+    def record_table_cache(self, outcome: str) -> None:
+        """Count one per-transducer table-cache probe (``hit``/``miss``).
+
+        Emits the registry-driven per-engine label
+        ``repro.table_cache.{hits,misses}{engine=<name>}`` plus, for one
+        release, the legacy hardcoded name
+        ``repro.<engine>.table_cache.{hits,misses}`` PR 8 shipped.
+        """
+        from repro.obs import metrics as _metrics
+
+        suffix = "hits" if outcome == "hit" else "misses"
+        _metrics.counter(f"repro.table_cache.{suffix}", engine=self.name).inc()
+        _metrics.counter(self.metric_name(f"table_cache.{suffix}")).inc()
 
     # ------------------------------------------------------------------
     # Applicability and compilation

@@ -48,6 +48,9 @@ class ForwardEngineDef(Engine):
     # (BENCH_auto.json re-derives it every run): ~33µs per unit, stable
     # across family sizes.
     ms_per_unit = 0.033
+    explain_stat_keys = (
+        "product_nodes", "reachable_pairs", "violations", "table_cache",
+    )
 
     def func(self):
         from repro.core.forward import typecheck_forward
@@ -191,6 +194,10 @@ class BackwardEngineDef(Engine):
     # ~0.2µs per backward product cell (input content-DFA states ×
     # behavior monoid) — see the forward constant above.
     ms_per_unit = 0.0002
+    explain_stat_keys = (
+        "product_nodes", "derived_pairs", "behaviors", "tracked_sigmas",
+        "tracked_states", "witness_fallback", "table_cache",
+    )
 
     def func(self):
         from repro.backward import typecheck_backward
@@ -319,6 +326,7 @@ class ReplusEngineDef(Engine):
     algorithm = "the Section 5 grammar algorithm (Theorem 37)"
     applies_to = "DTD(RE⁺), any transducer"
     persistent = True
+    explain_stat_keys = ("grammars",)
 
     def func(self):
         from repro.core.replus import typecheck_replus
@@ -387,6 +395,7 @@ class DelrelabEngineDef(Engine):
     algorithm = "the Theorem 20 image/complement pipeline"
     applies_to = "`T_del-relab` + DTAc or DTDs"
     persistent = True
+    explain_stat_keys = ("product_states", "violating_output")
     no_incremental_reason = (
         "engine has no incremental tables (Theorem 20 recomputes the "
         "image automaton per transducer)"

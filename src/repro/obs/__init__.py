@@ -78,6 +78,14 @@ def record_router_decision(
     entry.update(extra)
     _ROUTER_AUDIT.append(entry)
     metrics.counter("repro.router.decisions", choice=choice).inc()
+    predicted_choice = entry.get(f"predicted_{choice}_ms")
+    if predicted_choice and actual_ms > 0:
+        # Residual of the routing model for the engine that actually ran:
+        # ratio 1.0 = perfectly calibrated ms_per_unit, >1 = model too
+        # optimistic.  `python -m repro calibrate` summarizes these.
+        metrics.histogram("repro.router.calibration_ratio", engine=choice).observe(
+            actual_ms / predicted_choice
+        )
     trace.emit_record({"kind": "router_audit", **entry})
 
 

@@ -23,8 +23,10 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 __all__ = [
     "Counter",
     "Gauge",
+    "GAUGE_POLICIES",
     "Histogram",
     "HISTOGRAM_BUCKETS",
+    "DeltaScope",
     "MetricsRegistry",
     "registry",
     "counter",
@@ -60,13 +62,27 @@ class Counter:
         self.value += amount
 
 
+#: Valid cross-process merge policies for gauges.  ``max`` suits
+#: high-water marks, ``sum`` suits point-in-time quantities that are
+#: disjoint per process (inflight requests, registry bytes), ``last``
+#: suits values only one process owns (the later snapshot wins).
+GAUGE_POLICIES = ("max", "sum", "last")
+
+
 class Gauge:
-    """Last-write-wins instantaneous value (``set``) with a ``set_max`` helper."""
+    """Last-write-wins instantaneous value (``set``) with a ``set_max`` helper.
 
-    __slots__ = ("value",)
+    ``policy`` declares how snapshots of this gauge merge across
+    processes (see :data:`GAUGE_POLICIES`); it is fixed at registration
+    and travels inside snapshots so the merging process needs no shared
+    registry.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("value", "policy")
+
+    def __init__(self, policy: str = "max") -> None:
         self.value = 0
+        self.policy = policy
 
     def set(self, value) -> None:
         self.value = value
@@ -134,12 +150,14 @@ class MetricsRegistry:
                 instrument = self.counters.setdefault(key, Counter())
         return instrument
 
-    def gauge(self, name: str, **labels: str) -> Gauge:
+    def gauge(self, name: str, policy: Optional[str] = None, **labels: str) -> Gauge:
         key = _flat_name(name, labels)
         instrument = self.gauges.get(key)
         if instrument is None:
+            if policy is not None and policy not in GAUGE_POLICIES:
+                raise ValueError(f"unknown gauge merge policy: {policy!r}")
             with self._lock:
-                instrument = self.gauges.setdefault(key, Gauge())
+                instrument = self.gauges.setdefault(key, Gauge(policy or "max"))
         return instrument
 
     def histogram(self, name: str, **labels: str) -> Histogram:
@@ -151,7 +169,7 @@ class MetricsRegistry:
         return instrument
 
     def snapshot(self) -> Dict[str, dict]:
-        return {
+        snap = {
             "counters": {name: c.value for name, c in self.counters.items()},
             "gauges": {name: g.value for name, g in self.gauges.items()},
             "histograms": {
@@ -159,12 +177,95 @@ class MetricsRegistry:
                 for name, h in self.histograms.items()
             },
         }
+        policies = {
+            name: g.policy for name, g in self.gauges.items() if g.policy != "max"
+        }
+        if policies:
+            snap["gauge_policies"] = policies
+        return snap
+
+    def delta_scope(
+        self,
+        prefixes: Sequence[str] = ("repro.kernel.",),
+        hwm_gauges: Sequence[str] = ("repro.kernel.frontier_hwm",),
+    ) -> "DeltaScope":
+        """Scope that attributes counter increments to one query.
+
+        See :class:`DeltaScope`.
+        """
+        return DeltaScope(self, prefixes, hwm_gauges)
 
     def reset(self) -> None:
         with self._lock:
             self.counters.clear()
             self.gauges.clear()
             self.histograms.clear()
+
+
+class DeltaScope:
+    """Snapshot global counters around one query without double-metering.
+
+    The PR 8 kernel counters are process-cumulative; a query's share is
+    the difference between the counter values at scope entry and exit —
+    the instruments themselves are never forked or reset, so global
+    aggregates stay exact.  High-water gauges cannot be differenced:
+    for each name in ``hwm_gauges`` the scope zeroes the gauge on entry
+    and restores ``max(saved, observed)`` on exit, so the per-query
+    high-water is captured while the process-lifetime maximum survives.
+
+    Deltas are attributed to *this* query only while no other thread
+    runs kernel work inside the scope; ``Session`` holds its lock for
+    the duration, so per-session queries are exact and concurrent
+    sessions in one process blur into each other's reports (documented,
+    not detected).
+    """
+
+    __slots__ = ("_registry", "_prefixes", "_hwm_names", "_before", "_saved_hwm",
+                 "counters", "gauges")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        prefixes: Sequence[str],
+        hwm_gauges: Sequence[str],
+    ) -> None:
+        self._registry = registry
+        self._prefixes = tuple(prefixes)
+        self._hwm_names = tuple(hwm_gauges)
+        self._before: Dict[str, int] = {}
+        self._saved_hwm: Dict[str, float] = {}
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+
+    def _matching_counters(self) -> Dict[str, int]:
+        return {
+            name: instrument.value
+            for name, instrument in self._registry.counters.items()
+            if name.startswith(self._prefixes)
+        }
+
+    def __enter__(self) -> "DeltaScope":
+        self._before = self._matching_counters()
+        self._saved_hwm = {}
+        for name in self._hwm_names:
+            instrument = self._registry.gauge(name)  # created if first query
+            self._saved_hwm[name] = instrument.value
+            instrument.value = 0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        before = self._before
+        for name, value in self._matching_counters().items():
+            delta = value - before.get(name, 0)
+            if delta:
+                self.counters[name] = delta
+        for name, saved in self._saved_hwm.items():
+            instrument = self._registry.gauges.get(name)
+            if instrument is None:
+                continue
+            self.gauges[name] = instrument.value
+            if saved > instrument.value:
+                instrument.value = saved
 
 
 #: The process-global registry every instrumented module records into.
@@ -178,17 +279,34 @@ reset = registry.reset
 
 
 def merge_snapshots(snapshots: Iterable[Mapping[str, dict]]) -> Dict[str, dict]:
-    """Merge per-process snapshots: counters/histograms sum, gauges take max."""
+    """Merge per-process snapshots: counters/histograms sum, gauges by policy.
+
+    Each snapshot carries the non-default merge policies of its gauges
+    (``gauge_policies``); absent entries merge with ``max`` — the PR 8
+    behaviour, correct for high-water marks but wrong for point-in-time
+    values like inflight or registry bytes, which declare ``sum``.
+    """
     counters: Dict[str, int] = {}
     gauges: Dict[str, float] = {}
+    policies: Dict[str, str] = {}
     histograms: Dict[str, dict] = {}
     for snap in snapshots:
         if not snap:
             continue
         for name, value in snap.get("counters", {}).items():
             counters[name] = counters.get(name, 0) + value
+        snap_policies = snap.get("gauge_policies", {})
         for name, value in snap.get("gauges", {}).items():
-            if name not in gauges or value > gauges[name]:
+            policy = snap_policies.get(name, "max")
+            if policy != "max":
+                policies[name] = policy
+            if name not in gauges:
+                gauges[name] = value
+            elif policy == "sum":
+                gauges[name] += value
+            elif policy == "last":
+                gauges[name] = value
+            elif value > gauges[name]:
                 gauges[name] = value
         for name, data in snap.get("histograms", {}).items():
             merged = histograms.get(name)
@@ -204,7 +322,10 @@ def merge_snapshots(snapshots: Iterable[Mapping[str, dict]]) -> Dict[str, dict]:
                 ]
                 merged["sum"] += data["sum"]
                 merged["count"] += data["count"]
-    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+    merged_snap = {"counters": counters, "gauges": gauges, "histograms": histograms}
+    if policies:  # keep policies so merged snapshots re-merge correctly
+        merged_snap["gauge_policies"] = policies
+    return merged_snap
 
 
 def histogram_summary(data: Mapping[str, object]) -> Dict[str, Optional[float]]:

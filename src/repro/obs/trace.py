@@ -31,6 +31,7 @@ import uuid
 from typing import Any, Dict, Optional
 
 __all__ = [
+    "LineSink",
     "trace_to",
     "trace_path",
     "enabled",
@@ -44,33 +45,113 @@ __all__ = [
     "emit_record",
 ]
 
-_SINK_PATH: Optional[str] = None
-_SINK_FD: Optional[int] = None
-_SINK_LOCK = threading.Lock()
 _LOCAL = threading.local()
 
 
-def trace_to(path: Optional[str]) -> None:
-    """Configure (or, with ``None``, tear down) the JSON-lines span sink."""
-    global _SINK_PATH, _SINK_FD
-    with _SINK_LOCK:
-        if _SINK_FD is not None:
+class LineSink:
+    """Append-only JSON-lines file shared by concurrent writers.
+
+    Each record goes out as one ``os.write`` loop on an ``O_APPEND``
+    descriptor — pipes and full disks can return partial writes, so the
+    loop resumes mid-buffer rather than dropping the tail of a line.
+    With ``max_bytes`` set the sink rotates: when the file would exceed
+    the budget it is renamed to ``<path>.1`` (replacing any previous
+    segment) and a fresh file is opened, so ``path`` plus ``path.1``
+    together hold at most ~2×``max_bytes``.  Rotation re-checks the
+    inode before renaming, so concurrent *processes* sharing the path
+    rotate it once, not once each.
+    """
+
+    __slots__ = ("path", "max_bytes", "_fd", "_lock")
+
+    def __init__(self, path: str, max_bytes: Optional[int] = None) -> None:
+        self.path = path
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                try:
+                    os.close(self._fd)
+                except OSError:
+                    pass
+                self._fd = None
+
+    def _write_all(self, payload: bytes) -> None:
+        fd = self._fd
+        if fd is None:
+            return
+        written = 0
+        while written < len(payload):
+            written += os.write(fd, payload[written:])
+
+    def _maybe_rotate(self, incoming: int) -> None:
+        if self.max_bytes is None or self._fd is None:
+            return
+        try:
+            if os.fstat(self._fd).st_size + incoming <= self.max_bytes:
+                return
+        except OSError:
+            return
+        with self._lock:
+            fd = self._fd
+            if fd is None:
+                return
             try:
-                os.close(_SINK_FD)
+                if os.fstat(fd).st_size + incoming <= self.max_bytes:
+                    return  # another thread already rotated
+                # Only the process still holding the live segment renames;
+                # a process whose fd points at an already-rotated segment
+                # just reopens the fresh file.
+                try:
+                    same_file = os.stat(self.path).st_ino == os.fstat(fd).st_ino
+                except OSError:
+                    same_file = False
+                if same_file:
+                    os.replace(self.path, self.path + ".1")
+                os.close(fd)
+                self._fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
             except OSError:
                 pass
-            _SINK_FD = None
-        _SINK_PATH = path
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Append one JSON record; telemetry must never break the caller."""
+        if self._fd is None:
+            return
+        try:
+            payload = (json.dumps(record, default=str) + "\n").encode("utf-8")
+            self._maybe_rotate(len(payload))
+            self._write_all(payload)
+        except (OSError, TypeError, ValueError):
+            pass
+
+
+_SINK: Optional[LineSink] = None
+_SINK_LOCK = threading.Lock()
+
+
+def trace_to(path: Optional[str], max_bytes: Optional[int] = None) -> None:
+    """Configure (or, with ``None``, tear down) the JSON-lines span sink."""
+    global _SINK
+    with _SINK_LOCK:
+        if _SINK is not None:
+            _SINK.close()
+            _SINK = None
         if path is not None:
-            _SINK_FD = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            _SINK = LineSink(path, max_bytes=max_bytes)
 
 
 def trace_path() -> Optional[str]:
-    return _SINK_PATH
+    sink = _SINK
+    return sink.path if sink is not None else None
 
 
 def enabled() -> bool:
-    return _SINK_FD is not None
+    return _SINK is not None
 
 
 def new_trace_id() -> str:
@@ -135,14 +216,10 @@ def root(trace_id: Optional[str] = None) -> _Activation:
 
 def emit_record(record: Dict[str, Any]) -> None:
     """Append one raw JSON record to the sink (no-op when disabled)."""
-    fd = _SINK_FD
-    if fd is None:
+    sink = _SINK
+    if sink is None:
         return
-    try:
-        data = json.dumps(record, default=str) + "\n"
-        os.write(fd, data.encode("utf-8"))
-    except (OSError, TypeError, ValueError):
-        pass  # telemetry must never break the request path
+    sink.emit(record)
 
 
 def emit_span(
@@ -155,7 +232,7 @@ def emit_span(
     attrs: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Emit a span record directly (for async code that can't use ``span``)."""
-    if _SINK_FD is None:
+    if _SINK is None:
         return
     emit_record(
         {
@@ -229,6 +306,6 @@ _NULL_SPAN = _NullSpan()
 
 def span(name: str, **attrs: Any):
     """Open a span; returns a cached no-op context when tracing is off."""
-    if _SINK_FD is None:
+    if _SINK is None:
         return _NULL_SPAN
     return _Span(name, attrs)

@@ -1,0 +1,158 @@
+"""Rolling time-windowed telemetry over the fixed log buckets.
+
+The PR 8 histograms are process-lifetime cumulative: after an hour of
+traffic a latency spike is invisible in p95 because it drowns in the
+history.  These instruments keep a small ring of fixed-width time
+windows — each slot holds the same quarter-decade log buckets as
+:data:`repro.obs.metrics.HISTOGRAM_BUCKETS` — and summarize only the
+slots still inside the horizon, so ``stats`` and the Prometheus
+listener can expose *recent* p50/p95 and per-key request rates.
+
+A slot is reused in place when its epoch (``now // window_s``) comes
+around again, so memory is O(windows × buckets) regardless of uptime.
+All methods take an optional ``now`` (seconds, any monotonic-ish clock)
+to keep tests deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import HISTOGRAM_BUCKETS, histogram_summary
+
+__all__ = ["WindowedHistogram", "WindowedRate"]
+
+
+class WindowedHistogram:
+    """Ring of fixed time windows of log-bucket counts.
+
+    ``observe`` lands the value in the slot for the current epoch;
+    ``recent`` merges every slot still within ``window_s × windows``
+    seconds and returns the :func:`histogram_summary` shape
+    (count/sum/mean/p50/p95) plus the horizon actually covered.
+    """
+
+    __slots__ = ("window_s", "windows", "_lock", "_epochs", "_counts",
+                 "_sums", "_ns")
+
+    def __init__(self, window_s: float = 10.0, windows: int = 6) -> None:
+        if window_s <= 0 or windows <= 0:
+            raise ValueError("window_s and windows must be positive")
+        self.window_s = float(window_s)
+        self.windows = int(windows)
+        self._lock = threading.Lock()
+        self._epochs: List[int] = [-1] * self.windows
+        self._counts: List[List[int]] = [
+            [0] * (len(HISTOGRAM_BUCKETS) + 1) for _ in range(self.windows)
+        ]
+        self._sums: List[float] = [0.0] * self.windows
+        self._ns: List[int] = [0] * self.windows
+
+    def _slot(self, epoch: int) -> int:
+        index = epoch % self.windows
+        if self._epochs[index] != epoch:  # reuse a stale slot in place
+            self._epochs[index] = epoch
+            counts = self._counts[index]
+            for bucket in range(len(counts)):
+                counts[bucket] = 0
+            self._sums[index] = 0.0
+            self._ns[index] = 0
+        return index
+
+    def observe(self, value: float, now: Optional[float] = None) -> None:
+        if now is None:
+            now = time.time()
+        epoch = int(now // self.window_s)
+        with self._lock:
+            index = self._slot(epoch)
+            self._ns[index] += 1
+            self._sums[index] += value
+            counts = self._counts[index]
+            for bucket, bound in enumerate(HISTOGRAM_BUCKETS):
+                if value <= bound:
+                    counts[bucket] += 1
+                    return
+            counts[-1] += 1
+
+    def recent(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Summary over the live windows (the last ``windows`` epochs)."""
+        if now is None:
+            now = time.time()
+        epoch = int(now // self.window_s)
+        oldest = epoch - self.windows + 1
+        merged = [0] * (len(HISTOGRAM_BUCKETS) + 1)
+        total = 0.0
+        count = 0
+        with self._lock:
+            for index in range(self.windows):
+                if self._epochs[index] < oldest:
+                    continue
+                for bucket, bucket_count in enumerate(self._counts[index]):
+                    merged[bucket] += bucket_count
+                total += self._sums[index]
+                count += self._ns[index]
+        summary = histogram_summary({"counts": merged, "sum": total, "count": count})
+        summary["window_s"] = self.window_s * self.windows
+        return summary
+
+
+class WindowedRate:
+    """Per-key event counts over the same window ring (no buckets).
+
+    Used for per-pair load accounting: ``inc(digest)`` per request,
+    ``recent_rates()`` → events/second per key over the covered horizon
+    — the hot-pair signal the cluster-serving routing story needs.
+    Keys unseen for a full horizon are dropped, so the map stays
+    bounded by the live key set.
+    """
+
+    __slots__ = ("window_s", "windows", "_lock", "_slots")
+
+    def __init__(self, window_s: float = 10.0, windows: int = 6) -> None:
+        if window_s <= 0 or windows <= 0:
+            raise ValueError("window_s and windows must be positive")
+        self.window_s = float(window_s)
+        self.windows = int(windows)
+        self._lock = threading.Lock()
+        # key -> {epoch: count}; stale epochs pruned on touch/summary
+        self._slots: Dict[str, Dict[int, int]] = {}
+
+    def inc(self, key: str, amount: int = 1, now: Optional[float] = None) -> None:
+        if now is None:
+            now = time.time()
+        epoch = int(now // self.window_s)
+        oldest = epoch - self.windows + 1
+        with self._lock:
+            slots = self._slots.setdefault(key, {})
+            slots[epoch] = slots.get(epoch, 0) + amount
+            if len(slots) > self.windows:
+                for stale in [e for e in slots if e < oldest]:
+                    del slots[stale]
+
+    def recent_counts(self, now: Optional[float] = None) -> Dict[str, int]:
+        if now is None:
+            now = time.time()
+        epoch = int(now // self.window_s)
+        oldest = epoch - self.windows + 1
+        counts: Dict[str, int] = {}
+        with self._lock:
+            dead = []
+            for key, slots in self._slots.items():
+                live = sum(count for e, count in slots.items() if e >= oldest)
+                if live:
+                    counts[key] = live
+                elif all(e < oldest for e in slots):
+                    dead.append(key)
+            for key in dead:
+                del self._slots[key]
+        return counts
+
+    def recent_rates(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Events per second per key over the covered horizon."""
+        horizon = self.window_s * self.windows
+        return {
+            key: count / horizon
+            for key, count in self.recent_counts(now=now).items()
+        }

@@ -177,8 +177,14 @@ class ServiceClient:
         dout: Textable,
         method: str = "auto",
         shards: Optional[int] = None,
+        explain: bool = False,
     ) -> Dict[str, object]:
-        """Typecheck one instance; returns the JSON verdict dict."""
+        """Typecheck one instance; returns the JSON verdict dict.
+
+        ``explain=True`` asks the server for the query's attribution
+        report — the verdict dict then carries it under ``"explain"``
+        (old servers ignore the field and return no report).
+        """
         fields: Dict[str, object] = {
             "din": _dtd_text(din),
             "transducer": _transducer_text(transducer),
@@ -187,6 +193,8 @@ class ServiceClient:
         }
         if shards:
             fields["shards"] = int(shards)
+        if explain:
+            fields["explain"] = True
         return self.call("typecheck", **fields)
 
     def typecheck_text(self, text: str, method: str = "auto") -> Dict[str, object]:

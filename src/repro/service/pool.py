@@ -112,7 +112,8 @@ def _pin_pair(pair_key: str, sin, sout) -> None:
         _metrics.counter("repro.worker.pair_evictions").inc(evicted)
 
 
-def _json_result(session, transducer, json_op: str, method, base=None):
+def _json_result(session, transducer, json_op: str, method, base=None,
+                 explain: bool = False):
     """Run one JSON-shaped request against a warm session."""
     from repro.service.protocol import analysis_to_json, result_to_json
 
@@ -124,11 +125,11 @@ def _json_result(session, transducer, json_op: str, method, base=None):
         if base is None:
             raise ProtocolError("'retypecheck' needs a 'base' transducer section")
         return result_to_json(
-            session.retypecheck(transducer, base, method=method)
+            session.retypecheck(transducer, base, method=method, explain=explain)
         )
-    result = session.typecheck(transducer, method=method)
+    result = session.typecheck(transducer, method=method, explain=explain)
     if json_op == "counterexample":
-        return {
+        response = {
             "typechecks": result.typechecks,
             "counterexample": (
                 None
@@ -136,6 +137,9 @@ def _json_result(session, transducer, json_op: str, method, base=None):
                 else str(result.counterexample)
             ),
         }
+        if result.report is not None:
+            response["explain"] = result.report.to_dict()
+        return response
     return result_to_json(result)
 
 
@@ -221,11 +225,13 @@ def _worker_execute(op: str, args, config: Dict[str, object]):
             json_op,
             payload.get("method", "auto"),
             base=base,
+            explain=bool(payload.get("explain", False)),
         )
     if op == "json_parsed":
-        sin, sout, transducer, method, json_op, base = args
+        sin, sout, transducer, method, json_op, base, explain = args
         return _json_result(
-            warm_session(sin, sout), transducer, json_op, method, base=base
+            warm_session(sin, sout), transducer, json_op, method, base=base,
+            explain=explain,
         )
     raise ProtocolError(f"unknown worker op {op!r}")
 
@@ -812,6 +818,7 @@ class WorkerPool:
                 method,
                 json_op,
                 base,
+                bool(payload.get("explain", False)),
             ),
             slot=None if fanout else self.route_slot(din, dout),
         )

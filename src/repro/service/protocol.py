@@ -463,13 +463,17 @@ def result_to_json(result: TypecheckResult) -> Dict[str, object]:
     """A :class:`TypecheckResult` as a JSON-safe dict.
 
     Trees travel in term syntax (``repro.parse_tree`` round-trips them);
-    stats are passed through with non-JSON values stringified.
+    stats are passed through with non-JSON values stringified.  A query
+    that ran with ``explain=True`` additionally carries its
+    :class:`repro.obs.explain.QueryReport` as an ``explain`` dict — an
+    *optional* response field both protocol versions tolerate, so old
+    clients simply ignore it.
     """
     stats = {
         key: (value if isinstance(value, (int, float, str, bool)) else repr(value))
         for key, value in result.stats.items()
     }
-    return {
+    payload: Dict[str, object] = {
         "typechecks": result.typechecks,
         "algorithm": result.algorithm,
         "reason": result.reason,
@@ -479,6 +483,10 @@ def result_to_json(result: TypecheckResult) -> Dict[str, object]:
         "output": None if result.output is None else str(result.output),
         "stats": stats,
     }
+    report = getattr(result, "report", None)
+    if report is not None:
+        payload["explain"] = report.to_dict()
+    return payload
 
 
 def analysis_to_json(analysis) -> Dict[str, object]:

@@ -36,11 +36,13 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.errors import ProtocolError, UnknownPairError
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.obs.trace import LineSink
+from repro.obs.windows import WindowedHistogram, WindowedRate
 from repro.service import protocol
 from repro.service.pool import DEFAULT_CACHE_BYTES, WorkerPool
 
@@ -52,6 +54,18 @@ DEFAULT_MAX_INFLIGHT_TOTAL = 128
 
 #: Hard cap on one request line (a parse bomb guard).
 MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Default slow-query threshold (``serve --slow-ms``).
+DEFAULT_SLOW_MS = 100.0
+
+#: Ops eligible for the slow-query log: the single-instance query ops.
+#: When the log is enabled these are forced to run with ``explain=True``
+#: so a slow entry always carries its full attribution report.
+_SLOW_OPS = frozenset({"typecheck", "retypecheck", "counterexample"})
+
+#: Label length for pair digests on windowed metrics (full digests are
+#: 64 hex chars; 12 is collision-safe for any realistic live pair set).
+_PAIR_LABEL_CHARS = 12
 
 
 class _Pin:
@@ -97,6 +111,9 @@ class ServiceServer:
         *,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         max_inflight_total: int = DEFAULT_MAX_INFLIGHT_TOTAL,
+        slow_query_log: Optional[str] = None,
+        slow_ms: float = DEFAULT_SLOW_MS,
+        slow_log_max_bytes: Optional[int] = None,
     ) -> None:
         self.pool = pool
         self.max_inflight = max_inflight
@@ -106,6 +123,19 @@ class ServiceServer:
         # open connections and requests currently being handled.
         self.connections = 0
         self.inflight = 0
+        self.slow_ms = float(slow_ms)
+        self._slow_sink: Optional[LineSink] = (
+            LineSink(slow_query_log, max_bytes=slow_log_max_bytes)
+            if slow_query_log
+            else None
+        )
+        # Windowed (recent) telemetry next to the cumulative histograms:
+        # per-op latency rings and per-pair request rates.  Observed from
+        # the event-loop thread, summarized from executor threads — both
+        # instruments are internally locked.
+        self.latency_recent: Dict[str, WindowedHistogram] = {}
+        self.pair_window = WindowedRate()
+        self._pair_rate_gauges: Set[str] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._inflight_gate: Optional[asyncio.Semaphore] = None
@@ -131,6 +161,8 @@ class ServiceServer:
         if self._metrics_server is not None:
             self._metrics_server.close()
             await self._metrics_server.wait_closed()
+        if self._slow_sink is not None:
+            self._slow_sink.close()
 
     # ------------------------------------------------------------------
     # Prometheus text exposition (``serve --metrics-port``)
@@ -151,17 +183,40 @@ class ServiceServer:
 
     async def _handle_metrics_http(self, reader, writer) -> None:
         try:
-            # Minimal HTTP/1.0 server: read the request head, ignore it —
-            # every path scrapes the same registry.
-            while True:
-                line = await asyncio.wait_for(reader.readline(), timeout=10)
-                if not line or line in (b"\r\n", b"\n"):
-                    break
-            loop = asyncio.get_running_loop()
-            snapshot = await loop.run_in_executor(None, self._merged_metrics)
-            body = _metrics.render_prometheus(snapshot["merged"]).encode("utf-8")
+            # Minimal HTTP/1.0 server: the request line picks the view
+            # (/healthz, /readyz, anything else scrapes the registry);
+            # the headers are read and discarded.
+            request_line = await asyncio.wait_for(reader.readline(), timeout=10)
+            path = ""
+            parts = request_line.split()
+            if len(parts) >= 2:
+                path = parts[1].decode("latin-1", "replace")
+            while request_line and request_line not in (b"\r\n", b"\n"):
+                request_line = await asyncio.wait_for(
+                    reader.readline(), timeout=10
+                )
+            if path.startswith("/healthz"):
+                # Liveness: the event loop answered, nothing else checked.
+                status, body = b"200 OK", b"ok\n"
+            elif path.startswith("/readyz"):
+                # Readiness: every pool worker process is alive.
+                loop = asyncio.get_running_loop()
+                stats = await loop.run_in_executor(None, self.pool.pool_stats)
+                ready = int(stats["alive"]) >= int(stats["workers"])
+                status = b"200 OK" if ready else b"503 Service Unavailable"
+                body = (
+                    f"{'ready' if ready else 'not ready'} "
+                    f"({stats['alive']}/{stats['workers']} workers)\n"
+                ).encode("ascii")
+            else:
+                loop = asyncio.get_running_loop()
+                snapshot = await loop.run_in_executor(None, self._merged_metrics)
+                status = b"200 OK"
+                body = _metrics.render_prometheus(snapshot["merged"]).encode(
+                    "utf-8"
+                )
             writer.write(
-                b"HTTP/1.0 200 OK\r\n"
+                b"HTTP/1.0 " + status + b"\r\n"
                 b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
                 + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
             )
@@ -177,8 +232,30 @@ class ServiceServer:
                 pass
 
     def _merged_metrics(self) -> Dict[str, object]:
-        _metrics.gauge("repro.server.connections").set(self.connections)
-        _metrics.gauge("repro.server.inflight").set(self.inflight)
+        _metrics.gauge("repro.server.connections", policy="sum").set(self.connections)
+        _metrics.gauge("repro.server.inflight", policy="sum").set(self.inflight)
+        # Windowed views become point-in-time gauges at scrape time: only
+        # this server owns them, so the merge policy is "last".
+        for op, window in list(self.latency_recent.items()):
+            summary = window.recent()
+            # Quantiles are None while the window is idle — scrape as 0.
+            _metrics.gauge(
+                "repro.server.latency_ms_recent_p50", policy="last", op=op
+            ).set(float(summary["p50"] or 0.0))
+            _metrics.gauge(
+                "repro.server.latency_ms_recent_p95", policy="last", op=op
+            ).set(float(summary["p95"] or 0.0))
+        rates = self.pair_window.recent_rates()
+        for digest, rate in rates.items():
+            self._pair_rate_gauges.add(digest)
+            _metrics.gauge(
+                "repro.server.pair_request_rate", policy="last", digest=digest
+            ).set(round(rate, 6))
+        for digest in self._pair_rate_gauges - set(rates):
+            # A pair that went quiet scrapes as 0, not as its last rate.
+            _metrics.gauge(
+                "repro.server.pair_request_rate", policy="last", digest=digest
+            ).set(0.0)
         return self.pool.metrics()
 
     # ------------------------------------------------------------------
@@ -255,6 +332,10 @@ class ServiceServer:
                 raw_trace = message.get("trace_id")
                 if isinstance(raw_trace, str) and raw_trace:
                     trace_id = raw_trace
+                elif self._slow_sink is not None:
+                    # Untraced client: mint the ID server-side so a slow
+                    # entry still joins its spans and shard attribution.
+                    trace_id = _trace.new_trace_id()
                 op = protocol.validate_request(message)
                 result = await self._dispatch(op, message, conn, trace_id)
             except Exception as exc:  # noqa: BLE001 - reported on the wire
@@ -267,6 +348,21 @@ class ServiceServer:
             _metrics.histogram(
                 "repro.server.latency_ms", op=op or "invalid"
             ).observe(elapsed_ms)
+            window = self.latency_recent.get(op or "invalid")
+            if window is None:
+                window = self.latency_recent.setdefault(
+                    op or "invalid", WindowedHistogram()
+                )
+            window.observe(elapsed_ms)
+            if (
+                self._slow_sink is not None
+                and op in _SLOW_OPS
+                and elapsed_ms >= self.slow_ms
+            ):
+                self._log_slow_query(
+                    message, op, req_id, trace_id, wall_start, elapsed_ms,
+                    response,
+                )
             if trace_id is not None and _trace.enabled():
                 # Emitted explicitly: thread-local span context is unsafe
                 # across awaits, so the dispatch span carries its trace ID.
@@ -285,6 +381,41 @@ class ServiceServer:
         finally:
             self.inflight -= 1
             gate.release()
+
+    def _log_slow_query(
+        self, message, op, req_id, trace_id, wall_start, elapsed_ms, response
+    ) -> None:
+        """Append one slow-query record (full explain attached).
+
+        One line reconstructs the query: the wire identifiers, the
+        threshold it crossed, the verdict, and — because the server
+        forces ``explain=True`` on loggable ops while the log is enabled
+        — the complete :class:`repro.obs.explain.QueryReport` dict.
+        """
+        entry: Dict[str, object] = {
+            "ts": round(wall_start, 6),
+            "op": op,
+            "id": req_id,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "slow_ms": self.slow_ms,
+        }
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+        if isinstance(message, dict):
+            if message.get("method") is not None:
+                entry["method"] = message["method"]
+            if message.get("shards"):
+                entry["shards"] = message["shards"]
+        if response.get("ok"):
+            result = response.get("result")
+            if isinstance(result, dict):
+                if "typechecks" in result:
+                    entry["typechecks"] = result["typechecks"]
+                if result.get("explain") is not None:
+                    entry["explain"] = result["explain"]
+        else:
+            entry["error"] = response.get("error")
+        self._slow_sink.emit(entry)
 
     # ------------------------------------------------------------------
     async def _pool_result(self, submit, trace=None):
@@ -359,6 +490,8 @@ class ServiceServer:
         base = message.get("base")
         if base is not None:
             payload["base"] = base
+        if message.get("explain"):
+            payload["explain"] = True
         return payload
 
     def _require_pin(self, conn) -> _Pin:
@@ -409,6 +542,18 @@ class ServiceServer:
         # requests ride the connection's pinned pair.
         bare = not _has_instance_fields(message)
         pin = self._require_pin(conn) if bare else None
+        if pin is not None:
+            # Per-pair load accounting for the pinned serving plane: a
+            # cumulative counter plus the windowed recent-rate ring.
+            digest = pin.pair[:_PAIR_LABEL_CHARS]
+            _metrics.counter("repro.server.pair_requests", digest=digest).inc()
+            self.pair_window.inc(digest)
+        if self._slow_sink is not None and op in _SLOW_OPS:
+            # With the slow-query log armed every loggable query runs
+            # with explain on, so a threshold crosser always has its full
+            # report.  Documented overhead: the delta-scope snapshot and
+            # (if not already on) the metered kernel drain.
+            message["explain"] = True
         shards = message.get("shards")
         if op == "typecheck" and shards:
             return await self._pool_result(
@@ -438,6 +583,11 @@ class ServiceServer:
             "connections": connections,
             "inflight": inflight,
             "latency_ms": latency,
+            "latency_recent_ms": {
+                op: window.recent()
+                for op, window in list(self.latency_recent.items())
+            },
+            "pair_rates": self.pair_window.recent_rates(),
         }
 
     async def _set_pair(self, message: Dict[str, object], conn):
@@ -539,7 +689,8 @@ class ServiceServer:
         if not isinstance(method, str):
             raise ProtocolError("'method' must be a string")
         result = self.pool.typecheck_sharded(
-            din, dout, transducer, shards=shards, method=method
+            din, dout, transducer, shards=shards, method=method,
+            explain=bool(message.get("explain", False)),
         )
         return protocol.result_to_json(result)
 
@@ -573,18 +724,29 @@ async def serve(
     worker_pair_limit: Optional[int] = None,
     ready_message: bool = False,
     trace_path: Optional[str] = None,
+    trace_max_bytes: Optional[int] = None,
     metrics_port: Optional[int] = None,
+    slow_query_log: Optional[str] = None,
+    slow_ms: float = DEFAULT_SLOW_MS,
+    slow_log_max_bytes: Optional[int] = None,
 ):
     """Start pool + server; returns ``(service, pool)`` once listening.
 
     ``trace_path`` turns on the JSON-lines span sink in the server *and*
-    every pool worker (all appending to the same file).  ``metrics_port``
-    opens a second listener serving Prometheus text exposition of the
-    merged server+worker registry, and enables the hot kernel counters.
+    every pool worker (all appending to the same file; ``trace_max_bytes``
+    bounds it with a one-segment rotation).  ``metrics_port`` opens a
+    second listener serving Prometheus text exposition of the merged
+    server+worker registry (plus ``/healthz`` and ``/readyz``), and
+    enables the hot kernel counters.  ``slow_query_log`` appends a JSON
+    line — wire identifiers plus the query's full explain report — for
+    every single-instance request slower than ``slow_ms``; loggable ops
+    then always run with ``explain=True`` (the documented price of the
+    log), so kernel metrics are enabled in the workers too.
     """
     if trace_path is not None:
-        _trace.trace_to(str(trace_path))
-    if metrics_port is not None:
+        _trace.trace_to(str(trace_path), max_bytes=trace_max_bytes)
+    observing = metrics_port is not None or slow_query_log is not None
+    if observing:
         _metrics.enable_kernel_metrics()
     pool = WorkerPool(
         workers,
@@ -594,10 +756,15 @@ async def serve(
         worker_registry_bytes=worker_registry_bytes,
         worker_pair_limit=worker_pair_limit,
         trace_path=str(trace_path) if trace_path is not None else None,
-        metrics=metrics_port is not None,
+        metrics=observing,
     )
     service = ServiceServer(
-        pool, max_inflight=max_inflight, max_inflight_total=max_inflight_total
+        pool,
+        max_inflight=max_inflight,
+        max_inflight_total=max_inflight_total,
+        slow_query_log=slow_query_log,
+        slow_ms=slow_ms,
+        slow_log_max_bytes=slow_log_max_bytes,
     )
     await service.start(host, port)
     if metrics_port is not None:
@@ -626,7 +793,11 @@ def run_server(
     worker_registry_bytes: Optional[int] = None,
     worker_pair_limit: Optional[int] = None,
     trace_path: Optional[str] = None,
+    trace_max_bytes: Optional[int] = None,
     metrics_port: Optional[int] = None,
+    slow_query_log: Optional[str] = None,
+    slow_ms: float = DEFAULT_SLOW_MS,
+    slow_log_max_bytes: Optional[int] = None,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``."""
 
@@ -644,7 +815,11 @@ def run_server(
             worker_pair_limit=worker_pair_limit,
             ready_message=True,
             trace_path=trace_path,
+            trace_max_bytes=trace_max_bytes,
             metrics_port=metrics_port,
+            slow_query_log=slow_query_log,
+            slow_ms=slow_ms,
+            slow_log_max_bytes=slow_log_max_bytes,
         )
         try:
             await asyncio.Event().wait()  # serve forever

@@ -1,0 +1,80 @@
+"""Windowed telemetry: rolling histograms and per-key rates (repro.obs.windows)."""
+
+import pytest
+
+from repro.obs.windows import WindowedHistogram, WindowedRate
+
+
+class TestWindowedHistogram:
+    def test_recent_summarizes_live_windows(self):
+        win = WindowedHistogram(window_s=10.0, windows=3)
+        win.observe(5.0, now=100.0)
+        win.observe(7.0, now=105.0)
+        win.observe(9.0, now=112.0)
+        recent = win.recent(now=115.0)
+        assert recent["count"] == 3
+        assert recent["sum"] == pytest.approx(21.0)
+        assert recent["window_s"] == pytest.approx(30.0)
+        assert recent["p50"] > 0
+
+    def test_old_windows_age_out(self):
+        win = WindowedHistogram(window_s=10.0, windows=3)
+        win.observe(1000.0, now=100.0)
+        # Three full windows later the spike is outside the horizon.
+        assert win.recent(now=100.0)["count"] == 1
+        assert win.recent(now=135.0)["count"] == 0
+
+    def test_slot_reuse_clears_stale_counts(self):
+        win = WindowedHistogram(window_s=10.0, windows=2)
+        win.observe(1.0, now=100.0)
+        # Epoch 12 reuses epoch 10's slot (12 % 2 == 10 % 2): the stale
+        # observation must not leak into the new window.
+        win.observe(2.0, now=120.0)
+        recent = win.recent(now=125.0)
+        assert recent["count"] == 1
+        assert recent["sum"] == pytest.approx(2.0)
+
+    def test_spike_visible_in_recent_but_drowned_in_cumulative(self):
+        """The motivating case: recent p95 reacts to a fresh spike."""
+        win = WindowedHistogram(window_s=10.0, windows=2)
+        for _ in range(50):
+            win.observe(1.0, now=200.0)
+        win.observe(5000.0, now=205.0)
+        assert win.recent(now=206.0)["p95"] >= 1.0
+        # After the horizon passes, the spike no longer dominates.
+        for _ in range(50):
+            win.observe(1.0, now=230.0)
+        assert win.recent(now=231.0)["p95"] <= 10.0
+
+    def test_rejects_nonpositive_config(self):
+        with pytest.raises(ValueError):
+            WindowedHistogram(window_s=0)
+        with pytest.raises(ValueError):
+            WindowedHistogram(windows=0)
+
+
+class TestWindowedRate:
+    def test_counts_and_rates_per_key(self):
+        rate = WindowedRate(window_s=10.0, windows=6)
+        for _ in range(12):
+            rate.inc("pair-a", now=100.0)
+        rate.inc("pair-b", now=105.0)
+        counts = rate.recent_counts(now=110.0)
+        assert counts == {"pair-a": 12, "pair-b": 1}
+        rates = rate.recent_rates(now=110.0)
+        assert rates["pair-a"] == pytest.approx(12 / 60.0)
+        assert rates["pair-b"] == pytest.approx(1 / 60.0)
+
+    def test_dead_keys_are_pruned(self):
+        rate = WindowedRate(window_s=10.0, windows=2)
+        rate.inc("gone", now=100.0)
+        rate.inc("live", now=200.0)
+        counts = rate.recent_counts(now=205.0)
+        assert counts == {"live": 1}
+        assert "gone" not in rate._slots  # pruned, not just filtered
+
+    def test_epoch_accumulation_within_window(self):
+        rate = WindowedRate(window_s=10.0, windows=2)
+        rate.inc("k", amount=3, now=100.0)
+        rate.inc("k", amount=4, now=109.0)  # same epoch
+        assert rate.recent_counts(now=110.0) == {"k": 7}
